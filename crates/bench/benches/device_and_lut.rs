@@ -1,0 +1,91 @@
+//! Device-model and LUT-construction costs: transfer-curve evaluation,
+//! pulse solving, Monte Carlo programming, LUT builds, and the
+//! RC-discharge path vs the plain conductance-sum path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use femcam_core::{ConductanceLut, LevelLadder, McamArray, MlTiming, SenseAmp};
+use femcam_device::{DomainVariationParams, FefetModel, MonteCarloDevice, PulseProgrammer};
+
+fn bench_transfer_eval(c: &mut Criterion) {
+    let model = FefetModel::default();
+    c.bench_function("fefet_drain_current", |b| {
+        let mut vg = 0.0f64;
+        b.iter(|| {
+            vg = (vg + 0.01) % 1.2;
+            model.drain_current(vg, 0.84)
+        });
+    });
+}
+
+fn bench_pulse_solve(c: &mut Criterion) {
+    let programmer = PulseProgrammer::default();
+    c.bench_function("pulse_amplitude_bisection", |b| {
+        let mut k = 0u8;
+        b.iter(|| {
+            k = (k + 1) % 8;
+            programmer.pulse_for_vth(0.48 + 0.12 * k as f64).unwrap()
+        });
+    });
+}
+
+fn bench_monte_carlo_program(c: &mut Criterion) {
+    let programmer = PulseProgrammer::default();
+    let pulse = programmer.pulse_for_vth(0.84).unwrap();
+    let mut device =
+        MonteCarloDevice::new(programmer, DomainVariationParams::default(), 1).unwrap();
+    c.bench_function("monte_carlo_program", |b| {
+        b.iter(|| device.program(pulse));
+    });
+}
+
+fn bench_lut_build(c: &mut Criterion) {
+    let model = FefetModel::default();
+    for bits in [2u8, 3] {
+        let ladder = LevelLadder::new(bits).unwrap();
+        c.bench_function(&format!("lut_build_{bits}bit"), |b| {
+            b.iter(|| ConductanceLut::from_device(&model, &ladder));
+        });
+    }
+}
+
+fn bench_rc_vs_lut_sum(c: &mut Criterion) {
+    // DESIGN.md ablation 1: the LUT-sum argmin vs the full RC
+    // discharge-time + sense-amp path.
+    let ladder = LevelLadder::new(3).unwrap();
+    let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut array = McamArray::new(ladder, lut, 64);
+    for _ in 0..256 {
+        let word: Vec<u8> = (0..64).map(|_| rng.gen_range(0..8)).collect();
+        array.store(&word).unwrap();
+    }
+    let query: Vec<u8> = (0..64).map(|_| rng.gen_range(0..8)).collect();
+    let timing = MlTiming::default();
+    let sense = SenseAmp::default();
+
+    c.bench_function("winner_by_lut_argmin", |b| {
+        b.iter(|| array.search(&query).unwrap().best_row());
+    });
+    c.bench_function("winner_by_rc_sense_amp", |b| {
+        b.iter(|| {
+            array
+                .search(&query)
+                .unwrap()
+                .sensed_winner(&timing, &sense)
+                .unwrap()
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_transfer_eval,
+    bench_pulse_solve,
+    bench_monte_carlo_program,
+    bench_lut_build,
+    bench_rc_vs_lut_sum
+);
+criterion_main!(benches);

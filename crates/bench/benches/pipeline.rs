@@ -1,0 +1,89 @@
+//! Application-pipeline costs: quantization, LSH encoding, glyph
+//! rendering, CNN embedding, and a full few-shot episode.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use femcam_core::{QuantizeStrategy, Quantizer};
+use femcam_data::glyphs::{GlyphClass, GlyphRenderer};
+use femcam_data::{ClassFeatureSource, PrototypeFeatureModel};
+use femcam_lsh::RandomHyperplanes;
+use femcam_mann::{evaluate, Backend, EvalConfig, FewShotTask};
+use femcam_nn::model::mann_cnn;
+
+fn bench_quantize(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let train: Vec<Vec<f32>> = (0..256)
+        .map(|_| (0..64).map(|_| rng.gen::<f32>()).collect())
+        .collect();
+    for (name, strategy) in [
+        ("minmax", QuantizeStrategy::PerFeatureMinMax),
+        ("quantile", QuantizeStrategy::PerFeatureQuantile),
+    ] {
+        let q = Quantizer::fit(train.iter().map(|r| r.as_slice()), 64, 8, strategy).unwrap();
+        let x: Vec<f32> = (0..64).map(|_| rng.gen()).collect();
+        c.bench_function(&format!("quantize_64d_{name}"), |b| {
+            b.iter(|| q.quantize(&x).unwrap());
+        });
+    }
+}
+
+fn bench_lsh_encode(c: &mut Criterion) {
+    let lsh = RandomHyperplanes::new(64, 64, 2).unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    let x: Vec<f32> = (0..64).map(|_| rng.gen::<f32>() - 0.5).collect();
+    c.bench_function("lsh_signature_64b_64d", |b| {
+        b.iter(|| lsh.signature(&x).unwrap());
+    });
+}
+
+fn bench_glyph_render(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let class = GlyphClass::random(&mut rng);
+    let renderer = GlyphRenderer::default();
+    c.bench_function("glyph_render_28x28", |b| {
+        b.iter(|| renderer.render(&class, &mut rng));
+    });
+}
+
+fn bench_cnn_forward(c: &mut Criterion) {
+    let mut net = mann_cnn(28, 4, 10, 7);
+    let image = vec![0.3f32; 28 * 28];
+    c.bench_function("cnn_embed_28x28_base4", |b| {
+        b.iter(|| net.embed(&image));
+    });
+}
+
+fn bench_prototype_sampling(c: &mut Criterion) {
+    let mut model = PrototypeFeatureModel::paper_default(11);
+    c.bench_function("prototype_feature_sample", |b| {
+        let mut class = 0u64;
+        b.iter(|| {
+            class = class.wrapping_add(1);
+            model.sample(class)
+        });
+    });
+}
+
+fn bench_full_episode(c: &mut Criterion) {
+    c.bench_function("fewshot_episode_5w1s_mcam3", |b| {
+        b.iter(|| {
+            let mut source = PrototypeFeatureModel::paper_default(13);
+            let mut cfg = EvalConfig::new(FewShotTask::new(5, 1), 1, 13);
+            cfg.n_calibration = 32;
+            evaluate(&mut source, &Backend::mcam(3), &cfg).unwrap()
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_quantize,
+    bench_lsh_encode,
+    bench_glyph_render,
+    bench_cnn_forward,
+    bench_prototype_sampling,
+    bench_full_episode
+);
+criterion_main!(benches);

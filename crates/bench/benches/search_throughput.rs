@@ -1,0 +1,109 @@
+//! Simulator search throughput: MCAM array search vs software FP32 NN
+//! vs TCAM Hamming search, across array sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use femcam_core::{
+    ConductanceLut, Euclidean, LevelLadder, McamArray, NnIndex, SoftwareNn, TcamArray,
+};
+use femcam_device::FefetModel;
+use femcam_lsh::RandomHyperplanes;
+
+const WORD_LEN: usize = 64;
+
+fn random_levels(rng: &mut StdRng, n: usize) -> Vec<u8> {
+    (0..n).map(|_| rng.gen_range(0..8u8)).collect()
+}
+
+fn bench_mcam_search(c: &mut Criterion) {
+    let ladder = LevelLadder::new(3).unwrap();
+    let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+    let mut group = c.benchmark_group("mcam_search");
+    for &rows in &[32usize, 256, 2048] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut array = McamArray::new(ladder, lut.clone(), WORD_LEN);
+        for _ in 0..rows {
+            array.store(&random_levels(&mut rng, WORD_LEN)).unwrap();
+        }
+        let query = random_levels(&mut rng, WORD_LEN);
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| array.search(&query).unwrap().best_row());
+        });
+    }
+    group.finish();
+}
+
+fn bench_software_nn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fp32_euclidean_search");
+    for &rows in &[32usize, 256, 2048] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut index = SoftwareNn::new(Euclidean, WORD_LEN);
+        for i in 0..rows {
+            let v: Vec<f32> = (0..WORD_LEN).map(|_| rng.gen()).collect();
+            index.add(&v, i as u32).unwrap();
+        }
+        let query: Vec<f32> = (0..WORD_LEN).map(|_| rng.gen()).collect();
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| index.query(&query).unwrap().index);
+        });
+    }
+    group.finish();
+}
+
+fn bench_tcam_hamming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tcam_hamming_search");
+    let lsh = RandomHyperplanes::new(WORD_LEN, WORD_LEN, 3).unwrap();
+    for &rows in &[32usize, 256, 2048] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut tcam = TcamArray::new(WORD_LEN);
+        for _ in 0..rows {
+            let v: Vec<f32> = (0..WORD_LEN).map(|_| rng.gen::<f32>() - 0.5).collect();
+            tcam.store_signature(&lsh.signature(&v).unwrap()).unwrap();
+        }
+        let q: Vec<f32> = (0..WORD_LEN).map(|_| rng.gen::<f32>() - 0.5).collect();
+        let sig = lsh.signature(&q).unwrap();
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| tcam.hamming_search(&sig).unwrap().best_row());
+        });
+    }
+    group.finish();
+}
+
+fn bench_variation_array(c: &mut Criterion) {
+    use femcam_core::{McamArrayBuilder, VariationSpec};
+    let ladder = LevelLadder::new(3).unwrap();
+    let model = FefetModel::default();
+    let lut = ConductanceLut::from_device(&model, &ladder);
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut array = McamArrayBuilder::new(ladder, lut)
+        .word_len(WORD_LEN)
+        .variation(
+            VariationSpec {
+                sigma_v: 0.08,
+                seed: 7,
+            },
+            model,
+        )
+        .build();
+    for _ in 0..256 {
+        array.store(&random_levels(&mut rng, WORD_LEN)).unwrap();
+    }
+    let query = random_levels(&mut rng, WORD_LEN);
+    c.bench_function("mcam_search_with_variation_256", |b| {
+        b.iter(|| array.search(&query).unwrap().best_row());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mcam_search,
+    bench_software_nn,
+    bench_tcam_hamming,
+    bench_variation_array
+);
+criterion_main!(benches);

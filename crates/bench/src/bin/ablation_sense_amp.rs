@@ -1,0 +1,15 @@
+//! Sense-amplifier resolution ablation (DESIGN.md §7, item 5).
+//! `--searches N`, `--seed S`.
+
+use femcam_bench::figures::sense_amp;
+use femcam_bench::Args;
+
+fn main() {
+    let args = Args::parse();
+    let points = sense_amp::run(
+        &[0.0, 1e-13, 1e-12, 1e-11, 1e-10, 1e-9],
+        args.get_or("searches", 400usize),
+        args.get_or("seed", 42u64),
+    );
+    sense_amp::print(&points);
+}

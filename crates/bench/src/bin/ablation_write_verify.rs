@@ -1,0 +1,48 @@
+//! Write-and-verify programming ablation (the paper's §IV-D future-work
+//! item): per-state Vth sigma with single-pulse vs verified writes, and
+//! the pulse-count cost. `--devices N`, `--seed S`.
+
+use femcam_bench::{Args, Table};
+use femcam_device::{verify, DomainVariationParams, PulseProgrammer, WriteVerifyConfig};
+
+fn main() {
+    let args = Args::parse();
+    let programmer = PulseProgrammer::default();
+    let targets: Vec<f64> = (0..8).map(|k| 0.48 + 0.12 * k as f64).collect();
+    let rows = verify::verify_ablation(
+        &programmer,
+        WriteVerifyConfig::default(),
+        DomainVariationParams::default(),
+        &targets,
+        args.get_or("devices", 300usize),
+        args.get_or("seed", 42u64),
+    )
+    .expect("ablation");
+
+    println!("== ablation: write-and-verify programming (paper future work) ==");
+    println!("paper: single, same-width pulses, no verify -> Fig. 5 spread;");
+    println!("       'write-and-verify can be explored for further improvements'\n");
+    let mut t = Table::new(&[
+        "target (mV)",
+        "single-pulse sigma (mV)",
+        "verified sigma (mV)",
+        "mean cycles",
+    ]);
+    for (target, single, verified, iters) in &rows {
+        t.row(&[
+            format!("{:.0}", target * 1000.0),
+            format!("{:.1}", single * 1000.0),
+            format!("{:.1}", verified * 1000.0),
+            format!("{iters:.2}"),
+        ]);
+    }
+    t.print();
+    let worst_single = rows.iter().map(|r| r.1).fold(0.0f64, f64::max);
+    let worst_verified = rows.iter().map(|r| r.2).fold(0.0f64, f64::max);
+    println!(
+        "\nworst-case sigma: {:.1} mV -> {:.1} mV ({:.1}x tighter)",
+        worst_single * 1000.0,
+        worst_verified * 1000.0,
+        worst_single / worst_verified.max(1e-9)
+    );
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig. 1 ACAM/MCAM concept example.
+
+fn main() {
+    femcam_bench::figures::fig1::run().print();
+}

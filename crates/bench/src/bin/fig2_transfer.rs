@@ -1,0 +1,5 @@
+//! Regenerates paper Fig. 2(b).
+
+fn main() {
+    femcam_bench::figures::fig2::run().print();
+}

@@ -1,0 +1,8 @@
+//! Regenerates paper Fig. 3(b). `--bits 2|3` selects the ladder.
+
+use femcam_bench::Args;
+
+fn main() {
+    let args = Args::parse();
+    femcam_bench::figures::fig3::run(args.get_or("bits", 3u8)).print();
+}

@@ -1,0 +1,16 @@
+//! Regenerates paper Fig. 4(a,b,d). `--sweep-ss 1` adds the
+//! subthreshold-slope ablation.
+
+use femcam_bench::figures::fig4;
+use femcam_bench::Args;
+
+fn main() {
+    let args = Args::parse();
+    fig4::run().print();
+    if args.get_or("sweep-ss", 0u8) == 1 {
+        println!("\n== ablation: derivative peak vs subthreshold swing ==");
+        for (ss, peak) in fig4::slope_ablation(&[90.0, 120.0, 145.0, 180.0, 220.0]) {
+            println!("SS = {ss:>5.0} mV/dec -> derivative peak at step {peak}");
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates paper Fig. 5. `--devices N` (default 1200) and `--seed`.
+
+use femcam_bench::Args;
+
+fn main() {
+    let args = Args::parse();
+    femcam_bench::figures::fig5::run(
+        args.get_or("devices", 1200usize),
+        args.get_or("seed", 42u64),
+    )
+    .print();
+}

@@ -1,0 +1,22 @@
+//! Regenerates paper Fig. 6. `--splits N`, `--seed S`, `--quantizer
+//! minmax|global|quantile`.
+
+use femcam_bench::figures::fig6::{run, Fig6Config};
+use femcam_bench::Args;
+use femcam_core::QuantizeStrategy;
+
+fn main() {
+    let args = Args::parse();
+    let strategy = match args.get("quantizer").unwrap_or("minmax") {
+        "minmax" => QuantizeStrategy::PerFeatureMinMax,
+        "global" => QuantizeStrategy::GlobalMinMax,
+        "quantile" => QuantizeStrategy::PerFeatureQuantile,
+        other => panic!("unknown quantizer {other}"),
+    };
+    let cfg = Fig6Config {
+        seed: args.get_or("seed", 42),
+        n_splits: args.get_or("splits", 5),
+        strategy,
+    };
+    run(&cfg).expect("fig6 evaluation").print();
+}

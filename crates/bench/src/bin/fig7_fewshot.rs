@@ -1,0 +1,25 @@
+//! Regenerates paper Fig. 7. `--episodes N`, `--seed S`, `--threads T`;
+//! `--lsh-bits 1` adds the signature-length ablation (the paper's
+//! footnote on Ni et al.'s 512-bit words).
+
+use femcam_bench::figures::fig7::{lsh_bits_ablation, run, Fig7Config};
+use femcam_bench::Args;
+
+fn main() {
+    let args = Args::parse();
+    let defaults = Fig7Config::default();
+    let cfg = Fig7Config {
+        n_episodes: args.get_or("episodes", defaults.n_episodes),
+        seed: args.get_or("seed", defaults.seed),
+        n_threads: args.get_or("threads", defaults.n_threads),
+    };
+    run(&cfg).expect("fig7 evaluation").print();
+    if args.get_or("lsh-bits", 0u8) == 1 {
+        println!("\n== ablation: TCAM+LSH signature length (5w1s) ==");
+        for (bits, acc) in
+            lsh_bits_ablation(&[32, 64, 128, 256, 512], &cfg).expect("ablation")
+        {
+            println!("  {bits:>4}-bit signatures -> {:.2}%", 100.0 * acc);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Regenerates paper Fig. 9. `--episodes N`, `--seed S`, `--threads T`.
+
+use femcam_bench::figures::fig9::{run, Fig9Config};
+use femcam_bench::Args;
+
+fn main() {
+    let args = Args::parse();
+    let defaults = Fig9Config::default();
+    let cfg = Fig9Config {
+        n_episodes: args.get_or("episodes", defaults.n_episodes),
+        seed: args.get_or("seed", defaults.seed),
+        n_threads: args.get_or("threads", defaults.n_threads),
+        ..defaults
+    };
+    run(&cfg).expect("fig9 evaluation").print();
+}

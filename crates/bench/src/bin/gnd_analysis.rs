@@ -1,0 +1,8 @@
+//! Regenerates the §III-B G^n_d comparisons.
+
+use femcam_bench::figures::gnd;
+
+fn main() {
+    let report = gnd::run().expect("nominal LUT analysis");
+    gnd::print(&report);
+}

@@ -1,0 +1,60 @@
+//! Runs every figure/table reproduction in sequence (the EXPERIMENTS.md
+//! generator). `--fast 1` uses reduced episode budgets.
+
+use femcam_bench::figures::{fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, gnd, t1, t2};
+use femcam_bench::Args;
+
+fn main() {
+    let args = Args::parse();
+    let fast = args.get_or("fast", 0u8) == 1;
+    let episodes = if fast { 60 } else { 300 };
+    let devices = if fast { 300 } else { 1200 };
+    let splits = if fast { 2 } else { 5 };
+
+    fig1::run().print();
+    println!();
+    fig2::run().print();
+    println!();
+    fig3::run(3).print();
+    println!();
+    fig3::run(2).print();
+    println!();
+    fig4::run().print();
+    println!();
+    gnd::print(&gnd::run().expect("gnd"));
+    println!();
+    fig5::run(devices, 42).print();
+    println!();
+    let f6 = fig6::Fig6Config {
+        n_splits: splits,
+        ..fig6::Fig6Config::default()
+    };
+    fig6::run(&f6).expect("fig6").print();
+    println!();
+    let f7 = fig7::Fig7Config {
+        n_episodes: episodes,
+        ..fig7::Fig7Config::default()
+    };
+    fig7::run(&f7).expect("fig7").print();
+    println!();
+    let f8 = fig8::Fig8Config {
+        n_episodes: episodes.min(200),
+        ..fig8::Fig8Config::default()
+    };
+    fig8::run(&f8).expect("fig8").print();
+    println!();
+    let f9 = fig9::Fig9Config {
+        n_episodes: episodes.min(200),
+        ..fig9::Fig9Config::default()
+    };
+    fig9::run(&f9).expect("fig9").print();
+    println!();
+    let t1r = t1::run(&f6, &f7).expect("t1");
+    t1r.print();
+    println!();
+    t2::print(&t2::run().expect("t2"));
+    println!(
+        "\nall in-text accuracy claims hold: {}",
+        t1r.all_hold()
+    );
+}

@@ -1,0 +1,20 @@
+//! Regenerates the paper's in-text accuracy claims (T1).
+
+use femcam_bench::figures::{fig6, fig7, t1};
+use femcam_bench::Args;
+
+fn main() {
+    let args = Args::parse();
+    let f6 = fig6::Fig6Config {
+        n_splits: args.get_or("splits", 5),
+        ..fig6::Fig6Config::default()
+    };
+    let f7_defaults = fig7::Fig7Config::default();
+    let f7 = fig7::Fig7Config {
+        n_episodes: args.get_or("episodes", f7_defaults.n_episodes),
+        ..f7_defaults
+    };
+    let report = t1::run(&f6, &f7).expect("t1 evaluation");
+    report.print();
+    std::process::exit(i32::from(!report.all_hold()));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's in-text energy/delay claims (T2).
+
+use femcam_bench::figures::t2;
+
+fn main() {
+    let report = t2::run().expect("energy model");
+    t2::print(&report);
+}

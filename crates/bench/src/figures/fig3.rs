@@ -1,0 +1,98 @@
+//! Fig. 3(b): the multi-bit state/input voltage ladder.
+
+use femcam_core::LevelLadder;
+
+use crate::Table;
+
+/// The ladder reproduction for one bit width.
+#[derive(Debug, Clone)]
+pub struct Fig3Report {
+    /// Bit width reproduced.
+    pub bits: u8,
+    /// `(state_low, state_high, input_voltage, vth_right, vth_left)` per
+    /// state, volts.
+    pub rows: Vec<(f64, f64, f64, f64, f64)>,
+    /// Distinct programming voltages required.
+    pub n_programming_voltages: usize,
+    /// Distinct input voltages required.
+    pub n_input_voltages: usize,
+}
+
+/// Runs the ladder reproduction for `bits`.
+///
+/// # Panics
+///
+/// Panics for an unsupported bit width.
+#[must_use]
+pub fn run(bits: u8) -> Fig3Report {
+    let ladder = LevelLadder::new(bits).expect("supported bit width");
+    let rows = (0..ladder.n_levels() as u8)
+        .map(|k| {
+            (
+                ladder.state_low(k),
+                ladder.state_high(k),
+                ladder.input_voltage(k),
+                ladder.vth_right(k),
+                ladder.vth_left(k),
+            )
+        })
+        .collect();
+    Fig3Report {
+        bits,
+        rows,
+        n_programming_voltages: ladder.programming_voltages().len(),
+        n_input_voltages: ladder.input_voltages().len(),
+    }
+}
+
+impl Fig3Report {
+    /// Prints the ladder table and the "only 2^B voltages" check.
+    pub fn print(&self) {
+        println!("== Fig. 3(b): {}-bit MCAM voltage ladder ==", self.bits);
+        println!("paper (3-bit): state bounds 360..1320 mV in 120 mV steps,");
+        println!("       inputs 420..1260 mV, analog inversion about 840 mV;");
+        println!("       storing S3 programs right=720 mV, left=inv(600)=1080 mV\n");
+        let mut t = Table::new(&[
+            "state", "low (mV)", "high (mV)", "input (mV)", "vth_R (mV)", "vth_L (mV)",
+        ]);
+        for (k, &(lo, hi, inp, r, l)) in self.rows.iter().enumerate() {
+            t.row(&[
+                format!("S{}", k + 1),
+                format!("{:.0}", lo * 1000.0),
+                format!("{:.0}", hi * 1000.0),
+                format!("{:.0}", inp * 1000.0),
+                format!("{:.0}", r * 1000.0),
+                format!("{:.0}", l * 1000.0),
+            ]);
+        }
+        t.print();
+        println!(
+            "\ndistinct programming voltages: {} (paper: 2^B = {})",
+            self.n_programming_voltages,
+            self.rows.len()
+        );
+        println!(
+            "distinct input voltages:       {} (paper: 2^B = {})",
+            self.n_input_voltages,
+            self.rows.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_bit_ladder_matches_paper_numbers() {
+        let r = run(3);
+        assert_eq!(r.rows.len(), 8);
+        assert_eq!(r.n_programming_voltages, 8);
+        assert_eq!(r.n_input_voltages, 8);
+        // S3 example from the paper text.
+        let (lo, _hi, _inp, right, left) = r.rows[2];
+        assert!((lo - 0.60).abs() < 1e-12);
+        assert!((right - 0.72).abs() < 1e-12);
+        assert!((left - 1.08).abs() < 1e-12);
+    }
+}

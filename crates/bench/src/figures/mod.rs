@@ -1,0 +1,20 @@
+//! One module per reproduced figure / in-text result.
+//!
+//! Every module exposes a `run(...)` returning a structured report and a
+//! `print(...)` (or `report.print()`) that renders the paper-vs-measured
+//! comparison; the `src/bin/` wrappers and the `reproduce_all` binary
+//! share these entry points.
+
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod gnd;
+pub mod sense_amp;
+pub mod t1;
+pub mod t2;

@@ -1,0 +1,356 @@
+//! Analog CAM (paper §II-A, Fig. 1(a)): the continuous generalization of
+//! the MCAM.
+//!
+//! An ACAM cell stores a *range* of the normalized signal span `[0, 1]`
+//! and matches any analog input inside it. The MCAM of this paper is the
+//! special, highly robust case where the stored ranges form a regular,
+//! non-overlapping grid and queries only take the grid centers — which is
+//! what removes the need for truly analog FeFET programming and for the
+//! (≈100× more expensive) on-the-fly analog inverter.
+//!
+//! [`AcamArray`] implements both the idealized interval-matching
+//! semantics and the physical conductance semantics through the same
+//! two-FeFET cell as the MCAM.
+
+use femcam_device::FefetModel;
+
+use crate::cell::McamCell;
+use crate::error::CoreError;
+use crate::levels::LevelLadder;
+use crate::Result;
+
+/// One analog CAM cell: a stored range `[lo, hi] ⊆ [0, 1]` of the
+/// normalized signal span.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AcamCell {
+    lo: f64,
+    hi: f64,
+}
+
+impl AcamCell {
+    /// Creates a range cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] unless
+    /// `0 <= lo <= hi <= 1`.
+    pub fn new(lo: f64, hi: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&lo) || !(0.0..=1.0).contains(&hi) || lo > hi {
+            return Err(CoreError::InvalidParameter {
+                name: "range",
+                value: hi - lo,
+            });
+        }
+        Ok(AcamCell { lo, hi })
+    }
+
+    /// The full-span wildcard cell `[0, 1]`.
+    #[must_use]
+    pub fn wildcard() -> Self {
+        AcamCell { lo: 0.0, hi: 1.0 }
+    }
+
+    /// Low bound of the stored range.
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// High bound of the stored range.
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Idealized interval matching: is `q` inside the stored range?
+    #[must_use]
+    pub fn matches(&self, q: f64) -> bool {
+        (self.lo..=self.hi).contains(&q)
+    }
+
+    /// Physical conductance of the cell for normalized query `q`,
+    /// realized by two FeFETs on the given ladder's voltage window —
+    /// identical circuit semantics to the MCAM cell.
+    #[must_use]
+    pub fn conductance(&self, model: &FefetModel, ladder: &LevelLadder, q: f64) -> f64 {
+        let window = ladder.v_max() - ladder.v_min();
+        let to_v = |x: f64| ladder.v_min() + x * window;
+        let cell = McamCell::with_thresholds(ladder.invert(to_v(self.lo)), to_v(self.hi));
+        cell.conductance_at_voltage(model, ladder, to_v(q))
+    }
+}
+
+/// An analog CAM array of range cells.
+///
+/// # Examples
+///
+/// ```
+/// use femcam_core::{AcamArray, AcamCell};
+///
+/// # fn main() -> femcam_core::Result<()> {
+/// // The Fig. 1(a) example: first row stores (0,1), (0,0.15), (0.5,0.8).
+/// let mut acam = AcamArray::new(3);
+/// acam.store(&[
+///     AcamCell::new(0.0, 1.0)?,
+///     AcamCell::new(0.0, 0.15)?,
+///     AcamCell::new(0.5, 0.8)?,
+/// ])?;
+/// let matches = acam.matches(&[0.3, 0.1, 0.75])?;
+/// assert_eq!(matches, vec![true]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AcamArray {
+    word_len: usize,
+    cells: Vec<AcamCell>,
+}
+
+impl AcamArray {
+    /// Creates an empty array with `word_len` cells per row.
+    #[must_use]
+    pub fn new(word_len: usize) -> Self {
+        AcamArray {
+            word_len,
+            cells: Vec::new(),
+        }
+    }
+
+    /// Cells per row.
+    #[must_use]
+    pub fn word_len(&self) -> usize {
+        self.word_len
+    }
+
+    /// Number of stored rows.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.cells.len().checked_div(self.word_len).unwrap_or(0)
+    }
+
+    /// Returns `true` if nothing is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Stores one row of range cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::WordLengthMismatch`] for the wrong length.
+    pub fn store(&mut self, row: &[AcamCell]) -> Result<usize> {
+        if row.len() != self.word_len {
+            return Err(CoreError::WordLengthMismatch {
+                expected: self.word_len,
+                actual: row.len(),
+            });
+        }
+        self.cells.extend_from_slice(row);
+        Ok(self.n_rows() - 1)
+    }
+
+    fn check_query(&self, query: &[f64]) -> Result<()> {
+        if self.is_empty() {
+            return Err(CoreError::EmptyArray);
+        }
+        if query.len() != self.word_len {
+            return Err(CoreError::WordLengthMismatch {
+                expected: self.word_len,
+                actual: query.len(),
+            });
+        }
+        for &q in query {
+            if !(0.0..=1.0).contains(&q) {
+                return Err(CoreError::InvalidParameter {
+                    name: "query",
+                    value: q,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Idealized match search: rows whose every cell contains the
+    /// corresponding analog query value.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::EmptyArray`] if nothing is stored.
+    /// * [`CoreError::WordLengthMismatch`] for a wrong-length query.
+    /// * [`CoreError::InvalidParameter`] for queries outside `[0, 1]`.
+    pub fn matches(&self, query: &[f64]) -> Result<Vec<bool>> {
+        self.check_query(query)?;
+        Ok((0..self.n_rows())
+            .map(|r| {
+                let row = &self.cells[r * self.word_len..(r + 1) * self.word_len];
+                row.iter().zip(query).all(|(c, &q)| c.matches(q))
+            })
+            .collect())
+    }
+
+    /// Physical conductance search: per-row total ML conductance through
+    /// the two-FeFET realization of each range cell.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`matches`](Self::matches).
+    pub fn search(
+        &self,
+        model: &FefetModel,
+        ladder: &LevelLadder,
+        query: &[f64],
+    ) -> Result<Vec<f64>> {
+        self.check_query(query)?;
+        Ok((0..self.n_rows())
+            .map(|r| {
+                let row = &self.cells[r * self.word_len..(r + 1) * self.word_len];
+                row.iter()
+                    .zip(query)
+                    .map(|(c, &q)| c.conductance(model, ladder, q))
+                    .sum()
+            })
+            .collect())
+    }
+}
+
+/// Builds the ACAM range cell equivalent to an MCAM cell storing `state`
+/// on `ladder` — the bridge that makes the MCAM "a special, highly
+/// robust case of ACAM" concrete.
+///
+/// # Errors
+///
+/// Returns [`CoreError::LevelOutOfRange`] if `state` exceeds the ladder.
+pub fn mcam_state_as_range(ladder: &LevelLadder, state: u8) -> Result<AcamCell> {
+    ladder.check_level(state)?;
+    let n = ladder.n_levels() as f64;
+    AcamCell::new(state as f64 / n, (state as f64 + 1.0) / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1a_example_rows() {
+        // Fig. 1(a): with inputs (0.3, 0.1, 0.75) the first row matches,
+        // the others don't.
+        let mut acam = AcamArray::new(3);
+        acam.store(&[
+            AcamCell::new(0.0, 1.0).unwrap(),
+            AcamCell::new(0.0, 0.15).unwrap(),
+            AcamCell::new(0.5, 0.8).unwrap(),
+        ])
+        .unwrap();
+        acam.store(&[
+            AcamCell::new(0.2, 0.55).unwrap(),
+            AcamCell::new(0.85, 1.0).unwrap(),
+            AcamCell::new(0.45, 0.85).unwrap(),
+        ])
+        .unwrap();
+        acam.store(&[
+            AcamCell::new(0.6, 0.8).unwrap(),
+            AcamCell::new(0.45, 0.55).unwrap(),
+            AcamCell::new(0.0, 0.5).unwrap(),
+        ])
+        .unwrap();
+        let m = acam.matches(&[0.3, 0.1, 0.75]).unwrap();
+        assert_eq!(m, vec![true, false, false]);
+    }
+
+    #[test]
+    fn cell_validation() {
+        assert!(AcamCell::new(0.2, 0.1).is_err());
+        assert!(AcamCell::new(-0.1, 0.5).is_err());
+        assert!(AcamCell::new(0.5, 1.5).is_err());
+        assert!(AcamCell::new(0.3, 0.3).is_ok()); // degenerate point range
+    }
+
+    #[test]
+    fn wildcard_matches_everything() {
+        let w = AcamCell::wildcard();
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert!(w.matches(q));
+        }
+    }
+
+    #[test]
+    fn query_validation() {
+        let mut acam = AcamArray::new(1);
+        assert!(matches!(acam.matches(&[0.5]), Err(CoreError::EmptyArray)));
+        acam.store(&[AcamCell::wildcard()]).unwrap();
+        assert!(acam.matches(&[0.5, 0.5]).is_err());
+        assert!(acam.matches(&[1.5]).is_err());
+    }
+
+    #[test]
+    fn conductance_low_inside_high_outside() {
+        let model = FefetModel::default();
+        let ladder = LevelLadder::new(3).unwrap();
+        let cell = AcamCell::new(0.4, 0.6).unwrap();
+        let g_in = cell.conductance(&model, &ladder, 0.5);
+        let g_out = cell.conductance(&model, &ladder, 0.95);
+        assert!(
+            g_out / g_in > 1e2,
+            "outside/inside conductance ratio {}",
+            g_out / g_in
+        );
+    }
+
+    #[test]
+    fn conductance_grows_with_distance_outside_range() {
+        let model = FefetModel::default();
+        let ladder = LevelLadder::new(3).unwrap();
+        let cell = AcamCell::new(0.0, 0.2).unwrap();
+        let mut last = cell.conductance(&model, &ladder, 0.1);
+        for q in [0.3, 0.5, 0.7, 0.9] {
+            let g = cell.conductance(&model, &ladder, q);
+            assert!(g > last);
+            last = g;
+        }
+    }
+
+    #[test]
+    fn mcam_is_special_case_of_acam() {
+        // The conductance of the MCAM cell storing state k at input j
+        // equals the ACAM cell holding the state-k range queried at the
+        // state-j center.
+        let model = FefetModel::default();
+        let ladder = LevelLadder::new(3).unwrap();
+        for state in [0u8, 3, 7] {
+            let mcam = McamCell::programmed(&ladder, state).unwrap();
+            let range = mcam_state_as_range(&ladder, state).unwrap();
+            for input in 0..8u8 {
+                let g_mcam = mcam.conductance(&model, &ladder, input).unwrap();
+                let q = (input as f64 + 0.5) / 8.0;
+                let g_acam = range.conductance(&model, &ladder, q);
+                assert!(
+                    ((g_mcam - g_acam) / g_mcam).abs() < 1e-9,
+                    "state {state} input {input}: {g_mcam} vs {g_acam}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn array_search_ranks_by_containment_quality() {
+        let model = FefetModel::default();
+        let ladder = LevelLadder::new(3).unwrap();
+        let mut acam = AcamArray::new(2);
+        // Row 0 contains the query comfortably; row 1 misses on one cell.
+        acam.store(&[
+            AcamCell::new(0.2, 0.5).unwrap(),
+            AcamCell::new(0.6, 0.9).unwrap(),
+        ])
+        .unwrap();
+        acam.store(&[
+            AcamCell::new(0.2, 0.5).unwrap(),
+            AcamCell::new(0.0, 0.2).unwrap(),
+        ])
+        .unwrap();
+        let g = acam.search(&model, &ladder, &[0.35, 0.75]).unwrap();
+        assert!(g[0] < g[1]);
+    }
+}

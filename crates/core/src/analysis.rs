@@ -1,0 +1,179 @@
+//! The `G^n_d` concentration analysis of paper §III-B.
+//!
+//! `G^n_d` is the total conductance of an MCAM row when all cells observe
+//! distance 0 except `n` cells that observe distance `d` (total row
+//! distance `n·d`). Because cell conductance is exponential in distance,
+//! rows whose mismatch is *concentrated* in few cells conduct more than
+//! rows whose (even larger) mismatch is *spread* over many cells — the
+//! paper's examples on a 16-cell 3-bit row:
+//!
+//! * `G(1,4) > G(4,1)` (same total distance 4),
+//! * `G(1,7) ≫ G(7,1)` (same total distance 7),
+//! * `G(1,4) > G(7,1)` (total distance 4 vs 7!).
+
+use crate::error::CoreError;
+use crate::lut::ConductanceLut;
+use crate::Result;
+
+/// Total conductance `G^n_d` of a `word_len`-cell row storing
+/// `base_state` everywhere, searched with `n` cells at distance `d` and
+/// the rest matching.
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidParameter`] if `n > word_len` or `word_len` is
+///   zero.
+/// * [`CoreError::LevelOutOfRange`] if `base_state + d` leaves the LUT.
+pub fn g_n_d(
+    lut: &ConductanceLut,
+    word_len: usize,
+    n: usize,
+    d: usize,
+    base_state: u8,
+) -> Result<f64> {
+    if word_len == 0 || n > word_len {
+        return Err(CoreError::InvalidParameter {
+            name: "n",
+            value: n as f64,
+        });
+    }
+    let mismatch_input = base_state as usize + d;
+    if base_state as usize >= lut.n_levels() || mismatch_input >= lut.n_levels() {
+        return Err(CoreError::LevelOutOfRange {
+            level: mismatch_input.min(255) as u8,
+            max: (lut.n_levels() - 1) as u8,
+        });
+    }
+    let g_match = lut.get(base_state, base_state);
+    let g_mismatch = lut.get(mismatch_input as u8, base_state);
+    Ok(n as f64 * g_mismatch + (word_len - n) as f64 * g_match)
+}
+
+/// The paper's three `G^n_d` comparisons on a 16-cell, 3-bit row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GndReport {
+    /// `G^1_4`: one cell at distance 4.
+    pub g_1_4: f64,
+    /// `G^4_1`: four cells at distance 1.
+    pub g_4_1: f64,
+    /// `G^1_7`: one cell at distance 7.
+    pub g_1_7: f64,
+    /// `G^7_1`: seven cells at distance 1.
+    pub g_7_1: f64,
+}
+
+impl GndReport {
+    /// Evaluates the three comparisons on a 16-cell row over `lut`
+    /// (which must have at least 8 levels, i.e. be 3-bit).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`g_n_d`] failures (e.g. a LUT with fewer than 8
+    /// levels).
+    pub fn evaluate(lut: &ConductanceLut) -> Result<Self> {
+        const WORD: usize = 16;
+        Ok(GndReport {
+            g_1_4: g_n_d(lut, WORD, 1, 4, 0)?,
+            g_4_1: g_n_d(lut, WORD, 4, 1, 0)?,
+            g_1_7: g_n_d(lut, WORD, 1, 7, 0)?,
+            g_7_1: g_n_d(lut, WORD, 7, 1, 0)?,
+        })
+    }
+
+    /// `G(1,4) > G(4,1)`?
+    #[must_use]
+    pub fn concentrated_beats_spread_at_4(&self) -> bool {
+        self.g_1_4 > self.g_4_1
+    }
+
+    /// `G(1,7) ≫ G(7,1)`? ("much greater": at least 5×.)
+    #[must_use]
+    pub fn concentrated_dominates_at_7(&self) -> bool {
+        self.g_1_7 > 5.0 * self.g_7_1
+    }
+
+    /// `G(1,4) > G(7,1)` — lower total distance, higher conductance?
+    #[must_use]
+    pub fn concentration_outweighs_total_distance(&self) -> bool {
+        self.g_1_4 > self.g_7_1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levels::LevelLadder;
+    use femcam_device::FefetModel;
+
+    fn lut3() -> ConductanceLut {
+        let ladder = LevelLadder::new(3).unwrap();
+        ConductanceLut::from_device(&FefetModel::default(), &ladder)
+    }
+
+    #[test]
+    fn paper_inequalities_hold() {
+        let report = GndReport::evaluate(&lut3()).unwrap();
+        assert!(
+            report.concentrated_beats_spread_at_4(),
+            "G(1,4)={} !> G(4,1)={}",
+            report.g_1_4,
+            report.g_4_1
+        );
+        assert!(
+            report.concentrated_dominates_at_7(),
+            "G(1,7)={} not ≫ G(7,1)={}",
+            report.g_1_7,
+            report.g_7_1
+        );
+        assert!(
+            report.concentration_outweighs_total_distance(),
+            "G(1,4)={} !> G(7,1)={}",
+            report.g_1_4,
+            report.g_7_1
+        );
+    }
+
+    #[test]
+    fn g_n_d_monotonic_in_n_and_d() {
+        let lut = lut3();
+        // More mismatching cells → more conductance.
+        let mut last = 0.0;
+        for n in 0..=16 {
+            let g = g_n_d(&lut, 16, n, 1, 0).unwrap();
+            assert!(g > last);
+            last = g;
+        }
+        // Larger distance → more conductance.
+        let mut last = 0.0;
+        for d in 0..=7 {
+            let g = g_n_d(&lut, 16, 1, d, 0).unwrap();
+            assert!(g >= last);
+            last = g;
+        }
+    }
+
+    #[test]
+    fn zero_mismatch_is_floor() {
+        let lut = lut3();
+        let g0 = g_n_d(&lut, 16, 0, 5, 0).unwrap();
+        assert!((g0 - 16.0 * lut.get(0, 0)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn validation() {
+        let lut = lut3();
+        assert!(g_n_d(&lut, 0, 0, 1, 0).is_err());
+        assert!(g_n_d(&lut, 4, 5, 1, 0).is_err());
+        assert!(g_n_d(&lut, 16, 1, 8, 0).is_err()); // distance off the ladder
+        assert!(g_n_d(&lut, 16, 1, 1, 8).is_err()); // bad base state
+    }
+
+    #[test]
+    fn two_bit_lut_cannot_reach_distance_7() {
+        let ladder = LevelLadder::new(2).unwrap();
+        let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+        assert!(GndReport::evaluate(&lut).is_err());
+        assert!(g_n_d(&lut, 16, 1, 3, 0).is_ok());
+    }
+}

@@ -1,0 +1,233 @@
+//! Multi-bank MCAM organization.
+//!
+//! Physical CAM arrays are tiled: match-line length (word width) and
+//! array height (rows per bank) are bounded by RC constants and sense
+//! margins, so a realistic deployment splits a large memory across
+//! fixed-size banks, searches them in parallel, and merges the per-bank
+//! winners in a second (digital) stage — a hierarchical winner-take-all.
+//! [`BankedMcam`] models exactly that on top of [`McamArray`].
+
+use crate::array::{McamArray, McamArrayBuilder, SearchOutcome};
+use crate::error::CoreError;
+use crate::levels::LevelLadder;
+use crate::lut::ConductanceLut;
+use crate::Result;
+
+/// A row-tiled stack of MCAM banks sharing one ladder/LUT.
+///
+/// # Examples
+///
+/// ```
+/// use femcam_core::banked::BankedMcam;
+/// use femcam_core::{ConductanceLut, LevelLadder};
+/// use femcam_device::FefetModel;
+///
+/// # fn main() -> femcam_core::Result<()> {
+/// let ladder = LevelLadder::new(3)?;
+/// let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+/// let mut banked = BankedMcam::new(ladder, lut, 4, 2); // 2 rows per bank
+/// for row in [[0u8, 1, 2, 3], [7, 7, 7, 7], [1, 1, 2, 3], [4, 4, 4, 4]] {
+///     banked.store(&row)?;
+/// }
+/// assert_eq!(banked.n_banks(), 2);
+/// assert_eq!(banked.search(&[1, 1, 2, 3])?.0, 2); // global row index
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct BankedMcam {
+    ladder: LevelLadder,
+    lut: ConductanceLut,
+    word_len: usize,
+    rows_per_bank: usize,
+    banks: Vec<McamArray>,
+}
+
+impl BankedMcam {
+    /// Creates an empty banked memory with `rows_per_bank` rows per
+    /// physical array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows_per_bank` or `word_len` is zero.
+    #[must_use]
+    pub fn new(
+        ladder: LevelLadder,
+        lut: ConductanceLut,
+        word_len: usize,
+        rows_per_bank: usize,
+    ) -> Self {
+        assert!(rows_per_bank > 0, "banks need at least one row");
+        assert!(word_len > 0, "words need at least one cell");
+        BankedMcam {
+            ladder,
+            lut,
+            word_len,
+            rows_per_bank,
+            banks: Vec::new(),
+        }
+    }
+
+    /// Number of allocated banks.
+    #[must_use]
+    pub fn n_banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Total stored rows across all banks.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.banks.iter().map(McamArray::n_rows).sum()
+    }
+
+    /// Returns `true` if nothing is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n_rows() == 0
+    }
+
+    /// Rows per physical bank.
+    #[must_use]
+    pub fn rows_per_bank(&self) -> usize {
+        self.rows_per_bank
+    }
+
+    /// Stores a word, allocating a new bank when the last one is full;
+    /// returns the global row index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`McamArray::store`] failures.
+    pub fn store(&mut self, word: &[u8]) -> Result<usize> {
+        let need_new = self
+            .banks
+            .last()
+            .is_none_or(|b| b.n_rows() >= self.rows_per_bank);
+        if need_new {
+            self.banks.push(
+                McamArrayBuilder::new(self.ladder, self.lut.clone())
+                    .word_len(self.word_len)
+                    .build(),
+            );
+        }
+        let bank_idx = self.banks.len() - 1;
+        let local = self.banks[bank_idx].store(word)?;
+        Ok(bank_idx * self.rows_per_bank + local)
+    }
+
+    /// Searches every bank in parallel (physically) and merges the
+    /// per-bank winners; returns `(global_row, total_conductance)` of
+    /// the overall nearest row.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::EmptyArray`] if nothing is stored.
+    /// * Propagates per-bank search failures.
+    pub fn search(&self, query: &[u8]) -> Result<(usize, f64)> {
+        if self.is_empty() {
+            return Err(CoreError::EmptyArray);
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (bank_idx, bank) in self.banks.iter().enumerate() {
+            let outcome = bank.search(query)?;
+            let local = outcome.best_row();
+            let g = outcome.conductance(local);
+            let global = bank_idx * self.rows_per_bank + local;
+            if best.is_none_or(|(_, bg)| g < bg) {
+                best = Some((global, g));
+            }
+        }
+        Ok(best.expect("nonempty banked memory"))
+    }
+
+    /// Full per-bank outcomes (for energy accounting or inspection).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search`](Self::search).
+    pub fn search_all_banks(&self, query: &[u8]) -> Result<Vec<SearchOutcome>> {
+        if self.is_empty() {
+            return Err(CoreError::EmptyArray);
+        }
+        self.banks.iter().map(|b| b.search(query)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use femcam_device::FefetModel;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(rows_per_bank: usize) -> BankedMcam {
+        let ladder = LevelLadder::new(3).unwrap();
+        let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+        BankedMcam::new(ladder, lut, 8, rows_per_bank)
+    }
+
+    #[test]
+    fn banks_allocate_on_demand() {
+        let mut b = setup(3);
+        assert_eq!(b.n_banks(), 0);
+        for i in 0..7u8 {
+            b.store(&[i; 8]).unwrap();
+        }
+        assert_eq!(b.n_banks(), 3);
+        assert_eq!(b.n_rows(), 7);
+    }
+
+    #[test]
+    fn global_indices_are_stable() {
+        let mut b = setup(2);
+        for i in 0..5u8 {
+            let idx = b.store(&[i; 8]).unwrap();
+            assert_eq!(idx, i as usize);
+        }
+    }
+
+    #[test]
+    fn banked_search_equals_flat_search() {
+        let ladder = LevelLadder::new(3).unwrap();
+        let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+        let mut banked = BankedMcam::new(ladder, lut.clone(), 16, 5);
+        let mut flat = McamArray::new(ladder, lut, 16);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..23 {
+            let word: Vec<u8> = (0..16).map(|_| rng.gen_range(0..8)).collect();
+            banked.store(&word).unwrap();
+            flat.store(&word).unwrap();
+        }
+        for _ in 0..30 {
+            let query: Vec<u8> = (0..16).map(|_| rng.gen_range(0..8)).collect();
+            let (banked_row, banked_g) = banked.search(&query).unwrap();
+            let outcome = flat.search(&query).unwrap();
+            assert_eq!(banked_row, outcome.best_row());
+            assert!((banked_g - outcome.conductance(outcome.best_row())).abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn empty_banked_memory_refuses_search() {
+        let b = setup(4);
+        assert!(matches!(b.search(&[0; 8]), Err(CoreError::EmptyArray)));
+    }
+
+    #[test]
+    fn per_bank_outcomes_cover_all_banks() {
+        let mut b = setup(2);
+        for i in 0..6u8 {
+            b.store(&[i; 8]).unwrap();
+        }
+        let outcomes = b.search_all_banks(&[3; 8]).unwrap();
+        assert_eq!(outcomes.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn zero_rows_per_bank_panics() {
+        let ladder = LevelLadder::new(3).unwrap();
+        let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+        let _ = BankedMcam::new(ladder, lut, 8, 0);
+    }
+}

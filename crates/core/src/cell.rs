@@ -1,0 +1,229 @@
+//! The two-FeFET MCAM cell (paper Fig. 3(a)).
+//!
+//! The cell places two FeFETs in parallel between the match line and
+//! ground. Data line `DL` drives the right FeFET's gate with the search
+//! voltage and `DL̄` drives the left FeFET's gate with its analog
+//! inverse. Storing state `k` programs the right FeFET to the state's
+//! high threshold bound and the left FeFET to the inverse of the low
+//! bound, so the cell conducts only weakly when the input falls inside
+//! the stored window and exponentially more strongly the further outside
+//! it falls — for any (input, state) pair at most one FeFET is "on", and
+//! its subthreshold/on characteristic *is* the distance function.
+
+use femcam_device::FefetModel;
+
+use crate::levels::LevelLadder;
+use crate::Result;
+
+/// One MCAM cell: the threshold-voltage pair of its two FeFETs.
+///
+/// Construct nominal cells with [`McamCell::programmed`]; perturbed cells
+/// (device variation) with [`McamCell::with_thresholds`].
+///
+/// # Examples
+///
+/// ```
+/// use femcam_core::{LevelLadder, McamCell};
+/// use femcam_device::FefetModel;
+///
+/// # fn main() -> femcam_core::Result<()> {
+/// let ladder = LevelLadder::new(3)?;
+/// let model = FefetModel::default();
+/// let cell = McamCell::programmed(&ladder, 2)?;
+/// // Matching input leaks far less than a distance-5 input.
+/// let g_match = cell.conductance(&model, &ladder, 2)?;
+/// let g_far = cell.conductance(&model, &ladder, 7)?;
+/// assert!(g_far / g_match > 1e2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct McamCell {
+    vth_left: f64,
+    vth_right: f64,
+}
+
+impl McamCell {
+    /// Programs a nominal cell to store `state` on the given ladder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::LevelOutOfRange`](crate::CoreError::LevelOutOfRange)
+    /// if `state` exceeds the ladder.
+    pub fn programmed(ladder: &LevelLadder, state: u8) -> Result<Self> {
+        ladder.check_level(state)?;
+        Ok(McamCell {
+            vth_left: ladder.vth_left(state),
+            vth_right: ladder.vth_right(state),
+        })
+    }
+
+    /// Creates a cell with explicit (possibly variation-perturbed)
+    /// thresholds.
+    #[must_use]
+    pub fn with_thresholds(vth_left: f64, vth_right: f64) -> Self {
+        McamCell { vth_left, vth_right }
+    }
+
+    /// Left-FeFET threshold voltage (V).
+    #[must_use]
+    pub fn vth_left(&self) -> f64 {
+        self.vth_left
+    }
+
+    /// Right-FeFET threshold voltage (V).
+    #[must_use]
+    pub fn vth_right(&self) -> f64 {
+        self.vth_right
+    }
+
+    /// Cell conductance (S) for a search at `input` level: the sum of the
+    /// two FeFET channel conductances under `DL = V(input)` and
+    /// `DL̄ = inv(V(input))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::LevelOutOfRange`](crate::CoreError::LevelOutOfRange)
+    /// if `input` exceeds the ladder.
+    pub fn conductance(&self, model: &FefetModel, ladder: &LevelLadder, input: u8) -> Result<f64> {
+        ladder.check_level(input)?;
+        let dl = ladder.input_voltage(input);
+        let dl_bar = ladder.invert(dl);
+        Ok(model.conductance(dl, self.vth_right) + model.conductance(dl_bar, self.vth_left))
+    }
+
+    /// Cell conductance for an arbitrary (continuous) data-line voltage —
+    /// used by the ACAM generalization and the virtual experiment's DL
+    /// sweeps.
+    #[must_use]
+    pub fn conductance_at_voltage(
+        &self,
+        model: &FefetModel,
+        ladder: &LevelLadder,
+        v_dl: f64,
+    ) -> f64 {
+        model.conductance(v_dl, self.vth_right) + model.conductance(ladder.invert(v_dl), self.vth_left)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::CoreError;
+
+    fn setup() -> (FefetModel, LevelLadder) {
+        (FefetModel::default(), LevelLadder::new(3).unwrap())
+    }
+
+    #[test]
+    fn programmed_cell_uses_paper_thresholds() {
+        let (_, ladder) = setup();
+        let cell = McamCell::programmed(&ladder, 2).unwrap();
+        assert!((cell.vth_right() - 0.72).abs() < 1e-12);
+        assert!((cell.vth_left() - 1.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn programmed_rejects_out_of_range_state() {
+        let (_, ladder) = setup();
+        assert!(matches!(
+            McamCell::programmed(&ladder, 8),
+            Err(CoreError::LevelOutOfRange { level: 8, max: 7 })
+        ));
+    }
+
+    #[test]
+    fn matched_input_minimizes_conductance() {
+        let (model, ladder) = setup();
+        for state in 0..8u8 {
+            let cell = McamCell::programmed(&ladder, state).unwrap();
+            let g_match = cell.conductance(&model, &ladder, state).unwrap();
+            for input in 0..8u8 {
+                if input == state {
+                    continue;
+                }
+                let g = cell.conductance(&model, &ladder, input).unwrap();
+                assert!(
+                    g > g_match,
+                    "state {state} input {input}: mismatch must conduct more"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conductance_grows_with_distance_on_both_sides() {
+        let (model, ladder) = setup();
+        let cell = McamCell::programmed(&ladder, 4).unwrap();
+        // Walk away from the stored state in both directions.
+        let mut last = cell.conductance(&model, &ladder, 4).unwrap();
+        for input in (0..4u8).rev() {
+            let g = cell.conductance(&model, &ladder, input).unwrap();
+            assert!(g > last, "left walk must increase conductance");
+            last = g;
+        }
+        let mut last = cell.conductance(&model, &ladder, 4).unwrap();
+        for input in 5..8u8 {
+            let g = cell.conductance(&model, &ladder, input).unwrap();
+            assert!(g > last, "right walk must increase conductance");
+            last = g;
+        }
+    }
+
+    #[test]
+    fn conductance_depends_on_distance_roughly_symmetrically() {
+        // |I−S| = d in either direction should give comparable G (exact
+        // symmetry holds because the ladder and inputs are symmetric).
+        let (model, ladder) = setup();
+        let cell = McamCell::programmed(&ladder, 4).unwrap();
+        let g_left = cell.conductance(&model, &ladder, 2).unwrap();
+        let g_right = cell.conductance(&model, &ladder, 6).unwrap();
+        let ratio = g_left / g_right;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "distance-2 conductances differ wildly: {ratio}"
+        );
+    }
+
+    #[test]
+    fn exponential_regime_then_saturation() {
+        // Successive distance ratios should start large (subthreshold,
+        // ~10^(step/SS) per state) and collapse toward 1 at the far end
+        // (on-current saturation) — the mechanism behind Fig. 4(d).
+        let (model, ladder) = setup();
+        let cell = McamCell::programmed(&ladder, 0).unwrap();
+        let g: Vec<f64> = (0..8u8)
+            .map(|i| cell.conductance(&model, &ladder, i).unwrap())
+            .collect();
+        let first_ratio = g[1] / g[0];
+        let last_ratio = g[7] / g[6];
+        assert!(first_ratio > 3.0, "subthreshold growth ratio {first_ratio}");
+        assert!(last_ratio < 1.5, "saturated growth ratio {last_ratio}");
+    }
+
+    #[test]
+    fn variation_perturbed_cell_shifts_conductance() {
+        let (model, ladder) = setup();
+        let nominal = McamCell::programmed(&ladder, 3).unwrap();
+        let perturbed = McamCell::with_thresholds(
+            nominal.vth_left() + 0.05,
+            nominal.vth_right() - 0.05,
+        );
+        let g_nom = nominal.conductance(&model, &ladder, 4).unwrap();
+        let g_pert = perturbed.conductance(&model, &ladder, 4).unwrap();
+        assert!(g_pert > g_nom, "lower right Vth must conduct more");
+    }
+
+    #[test]
+    fn continuous_voltage_agrees_with_level_api() {
+        let (model, ladder) = setup();
+        let cell = McamCell::programmed(&ladder, 5).unwrap();
+        for input in 0..8u8 {
+            let via_level = cell.conductance(&model, &ladder, input).unwrap();
+            let via_volts =
+                cell.conductance_at_voltage(&model, &ladder, ladder.input_voltage(input));
+            assert!((via_level - via_volts).abs() < 1e-18);
+        }
+    }
+}

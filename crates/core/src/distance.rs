@@ -1,0 +1,361 @@
+//! Software distance functions (paper §IV-A).
+//!
+//! The GPU baselines evaluate cosine and Euclidean distances on FP32
+//! features; [`McamSoftware`] evaluates the *proposed MCAM distance
+//! function in software* — quantize both vectors and sum LUT
+//! conductances — which the paper notes "has neither been used for NN
+//! search in software nor been derived from a circuit" before.
+//!
+//! All distances are "smaller is nearer".
+
+use crate::lut::ConductanceLut;
+use crate::quantize::Quantizer;
+use crate::Result;
+
+/// A dissimilarity measure over real-valued feature vectors.
+///
+/// Implementations must return non-negative, finite values for finite
+/// inputs, with smaller values meaning "nearer".
+pub trait Distance {
+    /// Evaluates the distance between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic on length mismatch; engines validate
+    /// lengths before calling.
+    fn eval(&self, a: &[f32], b: &[f32]) -> f64;
+
+    /// Short human-readable name used in reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Euclidean (L2) distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Euclidean;
+
+impl Distance for Euclidean {
+    fn eval(&self, a: &[f32], b: &[f32]) -> f64 {
+        assert_eq!(a.len(), b.len(), "length mismatch");
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| {
+                let d = (x - y) as f64;
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    fn name(&self) -> &'static str {
+        "euclidean"
+    }
+}
+
+/// Cosine distance `1 − cos(a, b)`. Zero vectors are treated as maximally
+/// distant from everything (distance 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Cosine;
+
+impl Distance for Cosine {
+    fn eval(&self, a: &[f32], b: &[f32]) -> f64 {
+        assert_eq!(a.len(), b.len(), "length mismatch");
+        let mut dot = 0.0f64;
+        let mut na = 0.0f64;
+        let mut nb = 0.0f64;
+        for (&x, &y) in a.iter().zip(b) {
+            dot += (x as f64) * (y as f64);
+            na += (x as f64) * (x as f64);
+            nb += (y as f64) * (y as f64);
+        }
+        if na == 0.0 || nb == 0.0 {
+            return 1.0;
+        }
+        1.0 - (dot / (na.sqrt() * nb.sqrt())).clamp(-1.0, 1.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "cosine"
+    }
+}
+
+/// Manhattan (L1) distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Manhattan;
+
+impl Distance for Manhattan {
+    fn eval(&self, a: &[f32], b: &[f32]) -> f64 {
+        assert_eq!(a.len(), b.len(), "length mismatch");
+        a.iter().zip(b).map(|(&x, &y)| ((x - y) as f64).abs()).sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "manhattan"
+    }
+}
+
+/// Chebyshev (L∞) distance — the metric the earlier TCAM scheme of
+/// Laguna et al. (DATE 2019) implements with multiple lookups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Linf;
+
+impl Distance for Linf {
+    fn eval(&self, a: &[f32], b: &[f32]) -> f64 {
+        assert_eq!(a.len(), b.len(), "length mismatch");
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| ((x - y) as f64).abs())
+            .fold(0.0, f64::max)
+    }
+
+    fn name(&self) -> &'static str {
+        "linf"
+    }
+}
+
+/// The proposed MCAM distance function evaluated in software: quantize
+/// both vectors with the embedded [`Quantizer`], then sum per-feature
+/// conductances from the [`ConductanceLut`].
+///
+/// # Examples
+///
+/// ```
+/// use femcam_core::{
+///     ConductanceLut, Distance, LevelLadder, McamSoftware, QuantizeStrategy, Quantizer,
+/// };
+/// use femcam_device::FefetModel;
+///
+/// # fn main() -> femcam_core::Result<()> {
+/// let ladder = LevelLadder::new(3)?;
+/// let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+/// let train: Vec<Vec<f32>> = vec![vec![0.0, 0.0], vec![1.0, 1.0]];
+/// let q = Quantizer::fit(train.iter().map(|r| r.as_slice()), 2, 8,
+///                        QuantizeStrategy::PerFeatureMinMax)?;
+/// let d = McamSoftware::new(lut, q);
+/// let near = d.eval(&[0.1, 0.1], &[0.15, 0.12]);
+/// let far = d.eval(&[0.1, 0.1], &[0.9, 0.95]);
+/// assert!(near < far);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct McamSoftware {
+    lut: ConductanceLut,
+    quantizer: Quantizer,
+}
+
+impl McamSoftware {
+    /// Wraps a LUT and a fitted quantizer.
+    #[must_use]
+    pub fn new(lut: ConductanceLut, quantizer: Quantizer) -> Self {
+        McamSoftware { lut, quantizer }
+    }
+
+    /// The embedded quantizer.
+    #[must_use]
+    pub fn quantizer(&self) -> &Quantizer {
+        &self.quantizer
+    }
+
+    /// The embedded LUT.
+    #[must_use]
+    pub fn lut(&self) -> &ConductanceLut {
+        &self.lut
+    }
+
+    /// Distance between two already-quantized words.
+    ///
+    /// # Errors
+    ///
+    /// Returns a length error if the words differ in length.
+    pub fn eval_levels(&self, query: &[u8], stored: &[u8]) -> Result<f64> {
+        if query.len() != stored.len() {
+            return Err(crate::error::CoreError::DimensionMismatch {
+                expected: stored.len(),
+                actual: query.len(),
+            });
+        }
+        Ok(query
+            .iter()
+            .zip(stored)
+            .map(|(&i, &s)| self.lut.get(i, s))
+            .sum())
+    }
+}
+
+impl Distance for McamSoftware {
+    fn eval(&self, a: &[f32], b: &[f32]) -> f64 {
+        let qa = self.quantizer.quantize(a).expect("dimension mismatch");
+        let qb = self.quantizer.quantize(b).expect("dimension mismatch");
+        self.eval_levels(&qa, &qb).expect("equal lengths")
+    }
+
+    fn name(&self) -> &'static str {
+        "mcam"
+    }
+}
+
+/// Convenience enumeration of the software distances used across the
+/// paper's comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum DistanceKind {
+    /// Cosine distance (GPU FP32 baseline).
+    Cosine,
+    /// Euclidean distance (GPU FP32 baseline).
+    Euclidean,
+    /// Manhattan distance.
+    Manhattan,
+    /// Chebyshev distance.
+    Linf,
+}
+
+impl DistanceKind {
+    /// Evaluates the selected distance.
+    #[must_use]
+    pub fn eval(self, a: &[f32], b: &[f32]) -> f64 {
+        match self {
+            DistanceKind::Cosine => Cosine.eval(a, b),
+            DistanceKind::Euclidean => Euclidean.eval(a, b),
+            DistanceKind::Manhattan => Manhattan.eval(a, b),
+            DistanceKind::Linf => Linf.eval(a, b),
+        }
+    }
+
+    /// Report name of the selected distance.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DistanceKind::Cosine => Cosine.name(),
+            DistanceKind::Euclidean => Euclidean.name(),
+            DistanceKind::Manhattan => Manhattan.name(),
+            DistanceKind::Linf => Linf.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levels::LevelLadder;
+    use crate::quantize::QuantizeStrategy;
+    use femcam_device::FefetModel;
+
+    #[test]
+    fn euclidean_basics() {
+        assert_eq!(Euclidean.eval(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(Euclidean.eval(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert!((Cosine.eval(&[1.0, 0.0], &[1.0, 0.0])).abs() < 1e-12);
+        assert!((Cosine.eval(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((Cosine.eval(&[1.0, 0.0], &[-1.0, 0.0]) - 2.0).abs() < 1e-12);
+        // scale invariance
+        assert!(
+            (Cosine.eval(&[1.0, 2.0], &[2.0, 4.0])).abs() < 1e-9,
+            "parallel vectors have distance 0"
+        );
+        // zero vector convention
+        assert_eq!(Cosine.eval(&[0.0, 0.0], &[1.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn manhattan_and_linf() {
+        assert_eq!(Manhattan.eval(&[0.0, 0.0], &[1.0, -2.0]), 3.0);
+        assert_eq!(Linf.eval(&[0.0, 0.0], &[1.0, -2.0]), 2.0);
+    }
+
+    #[test]
+    fn all_distances_are_symmetric_and_zero_on_self() {
+        let a = [0.3f32, -1.2, 4.0];
+        let b = [2.0f32, 0.0, -0.5];
+        for kind in [
+            DistanceKind::Cosine,
+            DistanceKind::Euclidean,
+            DistanceKind::Manhattan,
+            DistanceKind::Linf,
+        ] {
+            assert!(
+                (kind.eval(&a, &b) - kind.eval(&b, &a)).abs() < 1e-12,
+                "{} not symmetric",
+                kind.name()
+            );
+            assert!(kind.eval(&a, &a) < 1e-9, "{} not zero on self", kind.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn euclidean_panics_on_mismatch() {
+        let _ = Euclidean.eval(&[1.0], &[1.0, 2.0]);
+    }
+
+    fn mcam_distance() -> McamSoftware {
+        let ladder = LevelLadder::new(3).unwrap();
+        let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+        let train: Vec<Vec<f32>> = (0..8).map(|i| vec![i as f32, i as f32]).collect();
+        let q = Quantizer::fit(
+            train.iter().map(|r| r.as_slice()),
+            2,
+            8,
+            QuantizeStrategy::PerFeatureMinMax,
+        )
+        .unwrap();
+        McamSoftware::new(lut, q)
+    }
+
+    #[test]
+    fn mcam_software_orders_by_distance() {
+        let d = mcam_distance();
+        let q = [0.0f32, 0.0];
+        let near = d.eval(&q, &[1.0, 1.0]);
+        let mid = d.eval(&q, &[3.0, 3.0]);
+        let far = d.eval(&q, &[7.0, 7.0]);
+        assert!(near < mid && mid < far);
+    }
+
+    #[test]
+    fn mcam_software_is_symmetric() {
+        let d = mcam_distance();
+        let a = [1.0f32, 6.0];
+        let b = [4.0f32, 2.0];
+        let ab = d.eval(&a, &b);
+        let ba = d.eval(&b, &a);
+        assert!((ab - ba).abs() / ab < 1e-9);
+    }
+
+    #[test]
+    fn mcam_eval_levels_checks_lengths() {
+        let d = mcam_distance();
+        assert!(d.eval_levels(&[0, 1], &[0]).is_err());
+        assert!(d.eval_levels(&[0, 1], &[0, 1]).is_ok());
+    }
+
+    #[test]
+    fn mcam_concentrated_vs_spread_matches_array_analysis() {
+        // Software evaluation of the distance function exhibits the same
+        // G^n_d behavior as the array (§III-B).
+        let ladder = LevelLadder::new(3).unwrap();
+        let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+        let train: Vec<Vec<f32>> = (0..8).map(|i| vec![i as f32; 16]).collect();
+        let q = Quantizer::fit(
+            train.iter().map(|r| r.as_slice()),
+            16,
+            8,
+            QuantizeStrategy::PerFeatureMinMax,
+        )
+        .unwrap();
+        let d = McamSoftware::new(lut, q);
+        let query = vec![0u8; 16];
+        let mut spread = vec![0u8; 16];
+        for s in spread.iter_mut().take(4) {
+            *s = 1;
+        }
+        let mut conc = vec![0u8; 16];
+        conc[0] = 4;
+        let g_spread = d.eval_levels(&query, &spread).unwrap();
+        let g_conc = d.eval_levels(&query, &conc).unwrap();
+        assert!(g_conc > g_spread);
+    }
+}

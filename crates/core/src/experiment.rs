@@ -1,0 +1,302 @@
+//! "Virtual experiment": the 2-bit GLOBALFOUNDRIES demonstration
+//! (paper §IV-D, Fig. 9).
+//!
+//! The paper measures a 2-bit FeFET MCAM fabricated in
+//! GLOBALFOUNDRIES 28-nm HKMG technology: FeFETs in an AND array are set
+//! with single same-width pulses, then cell conductance is read at
+//! `V_ML = 0.1 V` over a DL sweep. We cannot access that silicon, so this
+//! module synthesizes the *measured* lookup table the same way the
+//! hardware produces it: the nominal table distorted by
+//!
+//! 1. per-device threshold placement error (no verify pulses →
+//!    device-level `Vth` offsets),
+//! 2. multiplicative read noise averaged over a configurable number of
+//!    measurement repetitions.
+//!
+//! The paper's observation — the measured distance function follows the
+//! simulated trends, and few-shot accuracy with the measured table is
+//! acceptable (even slightly *better*, a regularization effect of the
+//! noise) — is reproduced against this virtual measurement.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use femcam_device::rng::normal;
+use femcam_device::FefetModel;
+
+use crate::cell::McamCell;
+use crate::error::CoreError;
+use crate::levels::LevelLadder;
+use crate::lut::ConductanceLut;
+use crate::Result;
+
+/// Configuration of the virtual measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ExperimentConfig {
+    /// Per-FeFET threshold placement error, in volts (single-pulse, no
+    /// verify — the paper's §IV-D conditions).
+    pub device_sigma_v: f64,
+    /// Relative (multiplicative) read noise per measurement.
+    pub read_noise_rel: f64,
+    /// Measurement repetitions averaged per table entry.
+    pub n_averages: usize,
+    /// Seed for the measurement.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            device_sigma_v: 0.05,
+            read_noise_rel: 0.15,
+            n_averages: 4,
+            seed: 0xFE_FE,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for negative sigmas or a
+    /// zero repetition count.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.device_sigma_v >= 0.0 && self.device_sigma_v.is_finite()) {
+            return Err(CoreError::InvalidParameter {
+                name: "device_sigma_v",
+                value: self.device_sigma_v,
+            });
+        }
+        if !(self.read_noise_rel >= 0.0 && self.read_noise_rel.is_finite()) {
+            return Err(CoreError::InvalidParameter {
+                name: "read_noise_rel",
+                value: self.read_noise_rel,
+            });
+        }
+        if self.n_averages == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "n_averages",
+                value: 0.0,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Produces the measured conductance LUT of a fabricated MCAM array: one
+/// physical cell per state, each read over the full input sweep.
+///
+/// # Errors
+///
+/// Propagates configuration validation failures.
+///
+/// # Examples
+///
+/// ```
+/// use femcam_core::{measured_lut, ExperimentConfig, LevelLadder};
+/// use femcam_device::FefetModel;
+///
+/// # fn main() -> femcam_core::Result<()> {
+/// let ladder = LevelLadder::new(2)?;
+/// let lut = measured_lut(&FefetModel::default(), &ladder, ExperimentConfig::default())?;
+/// assert_eq!(lut.n_levels(), 4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn measured_lut(
+    model: &FefetModel,
+    ladder: &LevelLadder,
+    config: ExperimentConfig,
+) -> Result<ConductanceLut> {
+    config.validate()?;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = ladder.n_levels();
+
+    // One fabricated cell per state, with frozen placement error.
+    let cells: Vec<McamCell> = (0..n as u8)
+        .map(|state| {
+            let nominal = McamCell::programmed(ladder, state).expect("state within ladder");
+            McamCell::with_thresholds(
+                normal(&mut rng, nominal.vth_left(), config.device_sigma_v),
+                normal(&mut rng, nominal.vth_right(), config.device_sigma_v),
+            )
+        })
+        .collect();
+
+    let mut table = vec![0.0f64; n * n];
+    for state in 0..n {
+        for input in 0..n as u8 {
+            let true_g = cells[state]
+                .conductance(model, ladder, input)
+                .expect("input within ladder");
+            let mut acc = 0.0;
+            for _ in 0..config.n_averages {
+                let noisy = true_g * (1.0 + normal(&mut rng, 0.0, config.read_noise_rel));
+                acc += noisy.max(model.g_off() * 0.1);
+            }
+            table[input as usize * n + state] = acc / config.n_averages as f64;
+        }
+    }
+    ConductanceLut::from_fn(n, |i, s| table[i as usize * n + s as usize])
+}
+
+/// A measured DL sweep of one fabricated cell (paper Fig. 9(b)'s raw
+/// data): `(v_dl, current_a)` points with read noise.
+///
+/// # Errors
+///
+/// Propagates configuration validation failures, or
+/// [`CoreError::LevelOutOfRange`] for a bad state.
+pub fn measured_dl_sweep(
+    model: &FefetModel,
+    ladder: &LevelLadder,
+    state: u8,
+    v_start: f64,
+    v_stop: f64,
+    points: usize,
+    config: ExperimentConfig,
+) -> Result<Vec<(f64, f64)>> {
+    config.validate()?;
+    ladder.check_level(state)?;
+    if points < 2 {
+        return Err(CoreError::InvalidParameter {
+            name: "points",
+            value: points as f64,
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed ^ (state as u64) << 32);
+    let nominal = McamCell::programmed(ladder, state)?;
+    let cell = McamCell::with_thresholds(
+        normal(&mut rng, nominal.vth_left(), config.device_sigma_v),
+        normal(&mut rng, nominal.vth_right(), config.device_sigma_v),
+    );
+    let step = (v_stop - v_start) / (points - 1) as f64;
+    Ok((0..points)
+        .map(|i| {
+            let v = v_start + step * i as f64;
+            let g = cell.conductance_at_voltage(model, ladder, v);
+            let i_ml = g * model.params().v_read;
+            let noisy = i_ml * (1.0 + normal(&mut rng, 0.0, config.read_noise_rel));
+            (v, noisy.max(0.0))
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup2() -> (FefetModel, LevelLadder) {
+        (FefetModel::default(), LevelLadder::new(2).unwrap())
+    }
+
+    #[test]
+    fn measured_lut_follows_simulated_trends() {
+        // Fig. 9: experimental conductance increases with distance just
+        // like simulation, despite the noise.
+        let (model, ladder) = setup2();
+        let lut = measured_lut(&model, &ladder, ExperimentConfig::default()).unwrap();
+        for s in 0..4u8 {
+            let d0 = lut.get(s, s);
+            // The largest-distance entry should dominate the match.
+            let far = if s < 2 { 3 } else { 0 };
+            assert!(
+                lut.get(far, s) / d0 > 10.0,
+                "state {s}: far/match ratio too small under noise"
+            );
+        }
+    }
+
+    #[test]
+    fn noise_free_measurement_equals_nominal() {
+        let (model, ladder) = setup2();
+        let quiet = ExperimentConfig {
+            device_sigma_v: 0.0,
+            read_noise_rel: 0.0,
+            n_averages: 1,
+            seed: 1,
+        };
+        let measured = measured_lut(&model, &ladder, quiet).unwrap();
+        let nominal = ConductanceLut::from_device(&model, &ladder);
+        for i in 0..4u8 {
+            for s in 0..4u8 {
+                let a = measured.get(i, s);
+                let b = nominal.get(i, s);
+                assert!(((a - b) / b).abs() < 1e-12, "({i},{s}): {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn measurement_is_reproducible_per_seed() {
+        let (model, ladder) = setup2();
+        let a = measured_lut(&model, &ladder, ExperimentConfig::default()).unwrap();
+        let b = measured_lut(&model, &ladder, ExperimentConfig::default()).unwrap();
+        assert_eq!(a, b);
+        let other = measured_lut(
+            &model,
+            &ladder,
+            ExperimentConfig {
+                seed: 7,
+                ..ExperimentConfig::default()
+            },
+        )
+        .unwrap();
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn config_validation() {
+        let bad_sigma = ExperimentConfig {
+            device_sigma_v: -0.1,
+            ..ExperimentConfig::default()
+        };
+        assert!(bad_sigma.validate().is_err());
+        let bad_reps = ExperimentConfig {
+            n_averages: 0,
+            ..ExperimentConfig::default()
+        };
+        assert!(bad_reps.validate().is_err());
+        let bad_noise = ExperimentConfig {
+            read_noise_rel: f64::NAN,
+            ..ExperimentConfig::default()
+        };
+        assert!(bad_noise.validate().is_err());
+    }
+
+    #[test]
+    fn dl_sweep_covers_experimental_range() {
+        // Paper: DL sweep from −0.5 V to 1.1 V at V_ML = 0.1 V.
+        let (model, ladder) = setup2();
+        let sweep = measured_dl_sweep(
+            &model,
+            &ladder,
+            1,
+            -0.5,
+            1.1,
+            33,
+            ExperimentConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(sweep.len(), 33);
+        assert!((sweep[0].0 - -0.5).abs() < 1e-12);
+        assert!((sweep.last().unwrap().0 - 1.1).abs() < 1e-12);
+        assert!(sweep.iter().all(|&(_, i)| i >= 0.0));
+    }
+
+    #[test]
+    fn dl_sweep_validates() {
+        let (model, ladder) = setup2();
+        assert!(
+            measured_dl_sweep(&model, &ladder, 9, 0.0, 1.0, 10, ExperimentConfig::default())
+                .is_err()
+        );
+        assert!(
+            measured_dl_sweep(&model, &ladder, 0, 0.0, 1.0, 1, ExperimentConfig::default())
+                .is_err()
+        );
+    }
+}

@@ -1,0 +1,327 @@
+//! The multi-bit voltage ladder of paper Fig. 3(b).
+//!
+//! A `B`-bit MCAM cell divides the FeFET memory window into `2^B`
+//! adjacent, non-overlapping threshold ranges (the *states*), with one
+//! search-input voltage at the center of each state. The paper's 3-bit
+//! ladder over a 0.36–1.32 V window therefore has state bounds
+//! `{360, 480, …, 1320} mV` and input voltages `{420, 540, …, 1260} mV`.
+//!
+//! The *analog inverse* of a voltage is its mirror about the window
+//! center (840 mV for the default window): `inv(x) = v_min + v_max − x`.
+//! Crucially, the inverse maps the set of state bounds onto itself and
+//! the set of input voltages onto itself — the paper's example `inv(600
+//! mV) = 1080 mV` — which is why an MCAM needs only `2^B` distinct
+//! programming voltages and `2^B` distinct input voltages and **no
+//! run-time analog inverter** (§III-A).
+
+use femcam_device::FefetParams;
+
+use crate::error::CoreError;
+use crate::Result;
+
+/// Largest supported bit width. Eight states (3 bits) is the most the
+/// paper demonstrates; 6 bits (64 states) is allowed for sensitivity
+/// studies.
+pub const MAX_BITS: u8 = 6;
+
+/// A `B`-bit state/input voltage ladder inside an FeFET memory window.
+///
+/// # Examples
+///
+/// ```
+/// use femcam_core::LevelLadder;
+///
+/// # fn main() -> femcam_core::Result<()> {
+/// let ladder = LevelLadder::new(3)?;
+/// assert_eq!(ladder.n_levels(), 8);
+/// // Paper Fig. 3(b): state 3 (1-indexed) spans 600..720 mV …
+/// assert!((ladder.state_low(2) - 0.60).abs() < 1e-12);
+/// assert!((ladder.state_high(2) - 0.72).abs() < 1e-12);
+/// // … and the analog inverse of its low bound is 1080 mV.
+/// assert!((ladder.invert(0.60) - 1.08).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LevelLadder {
+    bits: u8,
+    v_min: f64,
+    v_max: f64,
+}
+
+impl LevelLadder {
+    /// Creates a ladder with `bits` bits per cell over the default FeFET
+    /// memory window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnsupportedBitWidth`] unless
+    /// `1 <= bits <= MAX_BITS`.
+    pub fn new(bits: u8) -> Result<Self> {
+        let p = FefetParams::default();
+        Self::with_window(bits, p.vth_min, p.vth_max)
+    }
+
+    /// Creates a ladder over an explicit window `[v_min, v_max]` volts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnsupportedBitWidth`] for an out-of-range bit
+    /// width, or [`CoreError::InvalidParameter`] for an inverted or
+    /// non-finite window.
+    pub fn with_window(bits: u8, v_min: f64, v_max: f64) -> Result<Self> {
+        if bits == 0 || bits > MAX_BITS {
+            return Err(CoreError::UnsupportedBitWidth { bits });
+        }
+        if v_max <= v_min || !v_min.is_finite() || !v_max.is_finite() {
+            return Err(CoreError::InvalidParameter {
+                name: "window",
+                value: v_max - v_min,
+            });
+        }
+        Ok(LevelLadder { bits, v_min, v_max })
+    }
+
+    /// Bits per cell.
+    #[must_use]
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Number of states / input levels, `2^bits`.
+    #[must_use]
+    pub fn n_levels(&self) -> usize {
+        1usize << self.bits
+    }
+
+    /// Largest valid level index, `2^bits − 1`.
+    #[must_use]
+    pub fn max_level(&self) -> u8 {
+        ((1usize << self.bits) - 1) as u8
+    }
+
+    /// Voltage step between adjacent state bounds.
+    #[must_use]
+    pub fn step(&self) -> f64 {
+        (self.v_max - self.v_min) / self.n_levels() as f64
+    }
+
+    /// Window low bound (V).
+    #[must_use]
+    pub fn v_min(&self) -> f64 {
+        self.v_min
+    }
+
+    /// Window high bound (V).
+    #[must_use]
+    pub fn v_max(&self) -> f64 {
+        self.v_max
+    }
+
+    /// Validates a level index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::LevelOutOfRange`] if `level` exceeds
+    /// [`max_level`](Self::max_level).
+    pub fn check_level(&self, level: u8) -> Result<()> {
+        if level > self.max_level() {
+            return Err(CoreError::LevelOutOfRange {
+                level,
+                max: self.max_level(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Low threshold bound of state `k` (0-indexed), in volts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds the ladder; validate with
+    /// [`check_level`](Self::check_level) first when `k` is untrusted.
+    #[must_use]
+    pub fn state_low(&self, k: u8) -> f64 {
+        assert!(k <= self.max_level(), "state {k} out of range");
+        self.v_min + self.step() * k as f64
+    }
+
+    /// High threshold bound of state `k` (0-indexed), in volts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds the ladder.
+    #[must_use]
+    pub fn state_high(&self, k: u8) -> f64 {
+        self.state_low(k) + self.step()
+    }
+
+    /// Search-input voltage for level `j` — the center of state `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` exceeds the ladder.
+    #[must_use]
+    pub fn input_voltage(&self, j: u8) -> f64 {
+        self.state_low(j) + 0.5 * self.step()
+    }
+
+    /// Analog inverse about the window center:
+    /// `inv(x) = v_min + v_max − x`.
+    #[must_use]
+    pub fn invert(&self, v: f64) -> f64 {
+        self.v_min + self.v_max - v
+    }
+
+    /// Threshold voltage programmed into the **right** FeFET to store
+    /// state `k`: the state's high bound (paper: `Vth−Hi`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds the ladder.
+    #[must_use]
+    pub fn vth_right(&self, k: u8) -> f64 {
+        self.state_high(k)
+    }
+
+    /// Threshold voltage programmed into the **left** FeFET to store
+    /// state `k`: the analog inverse of the state's low bound (paper:
+    /// `inv(Vth−Lo)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds the ladder.
+    #[must_use]
+    pub fn vth_left(&self, k: u8) -> f64 {
+        self.invert(self.state_low(k))
+    }
+
+    /// The set of distinct programming voltages needed for all states —
+    /// `2^B` values, because left- and right-FeFET targets coincide.
+    #[must_use]
+    pub fn programming_voltages(&self) -> Vec<f64> {
+        let mut vs: Vec<f64> = (0..self.n_levels() as u8).map(|k| self.vth_right(k)).collect();
+        for k in 0..self.n_levels() as u8 {
+            let v = self.vth_left(k);
+            if !vs.iter().any(|&x| (x - v).abs() < 1e-9) {
+                vs.push(v);
+            }
+        }
+        vs.sort_by(|a, b| a.partial_cmp(b).expect("voltages are finite"));
+        vs
+    }
+
+    /// The set of distinct search-input voltages — `2^B` values whose
+    /// collection equals the collection of their inverses.
+    #[must_use]
+    pub fn input_voltages(&self) -> Vec<f64> {
+        (0..self.n_levels() as u8).map(|j| self.input_voltage(j)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_three_bit_ladder_values() {
+        // Fig. 3(b): bounds {0.36, 0.48, …, 1.32}, inputs {0.42 … 1.26}.
+        let l = LevelLadder::new(3).unwrap();
+        assert_eq!(l.n_levels(), 8);
+        assert!((l.step() - 0.12).abs() < 1e-12);
+        for k in 0..8u8 {
+            assert!((l.state_low(k) - (0.36 + 0.12 * k as f64)).abs() < 1e-12);
+            assert!((l.input_voltage(k) - (0.42 + 0.12 * k as f64)).abs() < 1e-12);
+        }
+        assert!((l.state_high(7) - 1.32).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_state3_programming_example() {
+        // §III-A: storing state 3 programs the right FeFET to 720 mV and
+        // the left FeFET to inv(600 mV) = 1080 mV.
+        let l = LevelLadder::new(3).unwrap();
+        let k = 2; // state 3, 1-indexed in the paper
+        assert!((l.vth_right(k) - 0.72).abs() < 1e-12);
+        assert!((l.vth_left(k) - 1.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_bit_ladder_merges_neighboring_states() {
+        // §III-A: a 2-bit cell combines neighboring 3-bit states with
+        // inputs in the middle of the new states.
+        let l = LevelLadder::new(2).unwrap();
+        assert_eq!(l.n_levels(), 4);
+        assert!((l.step() - 0.24).abs() < 1e-12);
+        assert!((l.input_voltage(0) - 0.48).abs() < 1e-12);
+        assert!((l.input_voltage(3) - 1.20).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inversion_is_an_involution_and_maps_sets_onto_themselves() {
+        let l = LevelLadder::new(3).unwrap();
+        for j in 0..8u8 {
+            let v = l.input_voltage(j);
+            assert!((l.invert(l.invert(v)) - v).abs() < 1e-12);
+            // inverse of every input voltage is itself an input voltage
+            let inv = l.invert(v);
+            assert!(
+                l.input_voltages().iter().any(|&x| (x - inv).abs() < 1e-9),
+                "inv({v}) = {inv} not an input voltage"
+            );
+        }
+    }
+
+    #[test]
+    fn only_n_levels_programming_voltages_needed() {
+        // §III-A: "only 8 distinct programming and input voltages for a
+        // 3-bit cell".
+        let l3 = LevelLadder::new(3).unwrap();
+        assert_eq!(l3.programming_voltages().len(), 8);
+        assert_eq!(l3.input_voltages().len(), 8);
+        let l2 = LevelLadder::new(2).unwrap();
+        assert_eq!(l2.programming_voltages().len(), 4);
+    }
+
+    #[test]
+    fn invalid_bit_widths_rejected() {
+        assert!(matches!(
+            LevelLadder::new(0),
+            Err(CoreError::UnsupportedBitWidth { bits: 0 })
+        ));
+        assert!(matches!(
+            LevelLadder::new(7),
+            Err(CoreError::UnsupportedBitWidth { bits: 7 })
+        ));
+    }
+
+    #[test]
+    fn invalid_window_rejected() {
+        assert!(LevelLadder::with_window(3, 1.0, 0.5).is_err());
+        assert!(LevelLadder::with_window(3, f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn check_level_bounds() {
+        let l = LevelLadder::new(2).unwrap();
+        assert!(l.check_level(3).is_ok());
+        assert!(matches!(
+            l.check_level(4),
+            Err(CoreError::LevelOutOfRange { level: 4, max: 3 })
+        ));
+    }
+
+    #[test]
+    fn match_window_brackets_input() {
+        // The input voltage of level k must lie strictly inside the state
+        // k match window (state_low, state_high).
+        for bits in 1..=MAX_BITS {
+            let l = LevelLadder::new(bits).unwrap();
+            for k in 0..=l.max_level() {
+                let v = l.input_voltage(k);
+                assert!(l.state_low(k) < v && v < l.state_high(k));
+            }
+        }
+    }
+}

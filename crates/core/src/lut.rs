@@ -1,0 +1,384 @@
+//! The 2-D conductance lookup table `F(I, S) = G` (paper §III-B).
+//!
+//! The paper's own evaluation methodology reduces the MCAM cell to a
+//! lookup table: *"we create a 2D conductance look-up table based on
+//! states and inputs for a single cell"*, then sums cell conductances per
+//! row. [`ConductanceLut`] is that table, generated from the behavioral
+//! FeFET model, plus the Fig. 4 analysis helpers: the per-state distance
+//! curve (4(a)), the full distance-function scatter (4(b)), and the
+//! bell-shaped derivative (4(d)).
+
+use femcam_device::FefetModel;
+
+use crate::cell::McamCell;
+use crate::error::CoreError;
+use crate::levels::LevelLadder;
+use crate::Result;
+
+/// A dense `n_levels × n_levels` conductance table indexed by
+/// `(input, state)`.
+///
+/// # Examples
+///
+/// ```
+/// use femcam_core::{ConductanceLut, LevelLadder};
+/// use femcam_device::FefetModel;
+///
+/// # fn main() -> femcam_core::Result<()> {
+/// let ladder = LevelLadder::new(3)?;
+/// let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+/// // A match conducts less than any mismatch.
+/// assert!(lut.get(5, 5) < lut.get(4, 5));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ConductanceLut {
+    n_levels: usize,
+    /// Row-major `table[input * n_levels + state]`, in siemens.
+    table: Vec<f64>,
+}
+
+impl ConductanceLut {
+    /// Builds the nominal LUT from the FeFET transfer model and a level
+    /// ladder: entry `(I, S)` is the conductance of a nominal cell
+    /// storing `S` searched with input `I`.
+    #[must_use]
+    pub fn from_device(model: &FefetModel, ladder: &LevelLadder) -> Self {
+        let n = ladder.n_levels();
+        let mut table = vec![0.0; n * n];
+        for state in 0..n as u8 {
+            let cell = McamCell::programmed(ladder, state).expect("state within ladder");
+            for input in 0..n as u8 {
+                let g = cell
+                    .conductance(model, ladder, input)
+                    .expect("input within ladder");
+                table[input as usize * n + state as usize] = g;
+            }
+        }
+        ConductanceLut { n_levels: n, table }
+    }
+
+    /// Builds a LUT from an arbitrary generator `f(input, state) -> G`;
+    /// used for measured/noisy tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if `n_levels` is zero or
+    /// any generated conductance is negative or non-finite.
+    pub fn from_fn<F>(n_levels: usize, mut f: F) -> Result<Self>
+    where
+        F: FnMut(u8, u8) -> f64,
+    {
+        if n_levels == 0 || n_levels > 256 {
+            return Err(CoreError::InvalidParameter {
+                name: "n_levels",
+                value: n_levels as f64,
+            });
+        }
+        let mut table = vec![0.0; n_levels * n_levels];
+        for input in 0..n_levels as u8 {
+            for state in 0..n_levels as u8 {
+                let g = f(input, state);
+                if !(g >= 0.0 && g.is_finite()) {
+                    return Err(CoreError::InvalidParameter {
+                        name: "conductance",
+                        value: g,
+                    });
+                }
+                table[input as usize * n_levels + state as usize] = g;
+            }
+        }
+        Ok(ConductanceLut { n_levels, table })
+    }
+
+    /// Number of levels per axis.
+    #[must_use]
+    pub fn n_levels(&self) -> usize {
+        self.n_levels
+    }
+
+    /// Conductance for `(input, state)`, in siemens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[must_use]
+    pub fn get(&self, input: u8, state: u8) -> f64 {
+        assert!(
+            (input as usize) < self.n_levels && (state as usize) < self.n_levels,
+            "lut index ({input}, {state}) out of range {}",
+            self.n_levels
+        );
+        self.table[input as usize * self.n_levels + state as usize]
+    }
+
+    /// The raw table, row-major by input.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.table
+    }
+
+    /// Smallest entry (the deepest match leakage).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.table.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest entry (the strongest mismatch).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.table.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Conductance vs distance for a cell storing `state` — paper
+    /// Fig. 4(a). Returns `(distance, conductance)` for every input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    #[must_use]
+    pub fn distance_curve(&self, state: u8) -> Vec<(usize, f64)> {
+        (0..self.n_levels as u8)
+            .map(|input| {
+                let d = (input as i32 - state as i32).unsigned_abs() as usize;
+                (d, self.get(input, state))
+            })
+            .collect()
+    }
+
+    /// The complete distance function of the cell — paper Fig. 4(b):
+    /// `(distance, conductance)` for **every** `(I, S)` pair. Different
+    /// pairs at the same distance may differ in conductance, exactly as
+    /// the paper's scatter shows.
+    #[must_use]
+    pub fn scatter(&self) -> Vec<(usize, f64)> {
+        let mut points = Vec::with_capacity(self.n_levels * self.n_levels);
+        for state in 0..self.n_levels as u8 {
+            points.extend(self.distance_curve(state));
+        }
+        points
+    }
+
+    /// Mean conductance at each distance `0..n_levels`, averaged over all
+    /// `(I, S)` pairs at that distance.
+    #[must_use]
+    pub fn mean_by_distance(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.n_levels];
+        let mut counts = vec![0usize; self.n_levels];
+        for (d, g) in self.scatter() {
+            sums[d] += g;
+            counts[d] += 1;
+        }
+        sums.iter()
+            .zip(&counts)
+            .map(|(&s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+            .collect()
+    }
+
+    /// Finite-difference derivative of the distance function for a cell
+    /// storing `state` — paper Fig. 4(d). Returns `(midpoint_distance,
+    /// dG/dd)` pairs along the increasing-distance direction away from
+    /// `state`.
+    #[must_use]
+    pub fn derivative_curve(&self, state: u8) -> Vec<(f64, f64)> {
+        // Walk in whichever direction offers the longer run of distances.
+        let n = self.n_levels as i32;
+        let s = state as i32;
+        let ascending = (n - 1 - s) >= s;
+        let curve: Vec<f64> = if ascending {
+            (s..n).map(|i| self.get(i as u8, state)).collect()
+        } else {
+            (0..=s).rev().map(|i| self.get(i as u8, state)).collect()
+        };
+        curve
+            .windows(2)
+            .enumerate()
+            .map(|(d, w)| (d as f64 + 0.5, w[1] - w[0]))
+            .collect()
+    }
+
+    /// A copy of the table normalized so the maximum entry equals 1 —
+    /// convenient for comparing simulated and measured tables (Fig. 9).
+    #[must_use]
+    pub fn normalized(&self) -> ConductanceLut {
+        let max = self.max();
+        let table = if max > 0.0 {
+            self.table.iter().map(|&g| g / max).collect()
+        } else {
+            self.table.clone()
+        };
+        ConductanceLut {
+            n_levels: self.n_levels,
+            table,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lut3() -> ConductanceLut {
+        let ladder = LevelLadder::new(3).unwrap();
+        ConductanceLut::from_device(&FefetModel::default(), &ladder)
+    }
+
+    #[test]
+    fn diagonal_is_row_and_column_minimum() {
+        let lut = lut3();
+        for s in 0..8u8 {
+            let diag = lut.get(s, s);
+            for i in 0..8u8 {
+                if i != s {
+                    assert!(lut.get(i, s) > diag);
+                    assert!(lut.get(s, i) > diag);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_is_symmetric_in_input_and_state() {
+        // The ladder's symmetric construction makes F(I,S) = F(S,I).
+        let lut = lut3();
+        for i in 0..8u8 {
+            for s in 0..8u8 {
+                let a = lut.get(i, s);
+                let b = lut.get(s, i);
+                assert!(
+                    ((a - b) / a).abs() < 1e-9,
+                    "asymmetry at ({i},{s}): {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conductance_monotonic_in_distance_per_state() {
+        let lut = lut3();
+        for s in 0..8u8 {
+            let mut by_d: Vec<(usize, f64)> = lut.distance_curve(s);
+            by_d.sort_by_key(|&(d, _)| d);
+            for w in by_d.windows(2) {
+                if w[0].0 < w[1].0 {
+                    assert!(
+                        w[1].1 > w[0].1,
+                        "state {s}: G(d={}) !> G(d={})",
+                        w[1].0,
+                        w[0].0
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_is_bell_shaped_for_state0() {
+        // Fig. 4(d): the derivative peaks at mid distances (3–5) and
+        // drops at the far end (6–7).
+        let lut = lut3();
+        let deriv = lut.derivative_curve(0);
+        assert_eq!(deriv.len(), 7);
+        let values: Vec<f64> = deriv.iter().map(|&(_, dg)| dg).collect();
+        let peak_idx = values
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        // derivative index d corresponds to the step d -> d+1
+        assert!(
+            (2..=5).contains(&peak_idx),
+            "derivative peak at step {peak_idx}, expected mid-range"
+        );
+        assert!(
+            *values.last().unwrap() < values[peak_idx] * 0.7,
+            "derivative must drop for points that are already far"
+        );
+        assert!(
+            values[0] < values[peak_idx] * 0.2,
+            "derivative must be small for near points"
+        );
+    }
+
+    #[test]
+    fn derivative_curve_walks_downward_for_high_states() {
+        let lut = lut3();
+        let deriv = lut.derivative_curve(7);
+        assert_eq!(deriv.len(), 7);
+        // All finite, and mostly positive (conductance grows with distance).
+        assert!(deriv.iter().all(|&(_, dg)| dg.is_finite()));
+        assert!(deriv.iter().filter(|&&(_, dg)| dg > 0.0).count() >= 6);
+    }
+
+    #[test]
+    fn scatter_has_all_pairs_and_spread_at_fixed_distance() {
+        let lut = lut3();
+        let scatter = lut.scatter();
+        assert_eq!(scatter.len(), 64);
+        // Distance-1 instances come from different (I,S) pairs whose
+        // conductances differ (different positions along the transfer
+        // curve) — the spread visible in Fig. 4(b).
+        let d1: Vec<f64> = scatter
+            .iter()
+            .filter(|&&(d, _)| d == 1)
+            .map(|&(_, g)| g)
+            .collect();
+        assert_eq!(d1.len(), 14);
+        let min = d1.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = d1.iter().copied().fold(0.0_f64, f64::max);
+        assert!(max >= min);
+    }
+
+    #[test]
+    fn mean_by_distance_is_increasing() {
+        let lut = lut3();
+        let means = lut.mean_by_distance();
+        assert_eq!(means.len(), 8);
+        for w in means.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn exponential_then_saturating_span() {
+        // The distance-0 to distance-7 conductance span should cover
+        // several decades (Fig. 4 log axis).
+        let lut = lut3();
+        let span = lut.max() / lut.min();
+        assert!(span > 1e3, "span {span} too small for Fig. 4");
+    }
+
+    #[test]
+    fn from_fn_validates() {
+        assert!(ConductanceLut::from_fn(0, |_, _| 1.0).is_err());
+        assert!(ConductanceLut::from_fn(4, |_, _| -1.0).is_err());
+        assert!(ConductanceLut::from_fn(4, |_, _| f64::NAN).is_err());
+        let ok = ConductanceLut::from_fn(4, |i, s| (i as f64 - s as f64).abs()).unwrap();
+        assert_eq!(ok.n_levels(), 4);
+        assert_eq!(ok.get(3, 0), 3.0);
+    }
+
+    #[test]
+    fn normalized_peaks_at_one() {
+        let lut = lut3().normalized();
+        assert!((lut.max() - 1.0).abs() < 1e-12);
+        assert!(lut.min() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_panics_out_of_range() {
+        let _ = lut3().get(8, 0);
+    }
+
+    #[test]
+    fn two_bit_lut_has_four_levels() {
+        let ladder = LevelLadder::new(2).unwrap();
+        let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+        assert_eq!(lut.n_levels(), 4);
+        assert!(lut.get(0, 3) > lut.get(0, 0));
+    }
+}

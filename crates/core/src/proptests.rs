@@ -1,0 +1,228 @@
+//! Property-based tests of the core invariants (proptest).
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::array::{McamArray, MlTiming};
+use crate::levels::LevelLadder;
+use crate::lut::ConductanceLut;
+use crate::quantize::{QuantizeStrategy, Quantizer};
+use crate::tcam::{linf_query, thermometer_encode, TcamArray, Ternary};
+use femcam_device::FefetModel;
+
+fn lut(bits: u8) -> ConductanceLut {
+    let ladder = LevelLadder::new(bits).expect("ladder");
+    ConductanceLut::from_device(&FefetModel::default(), &ladder)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Ladder geometry invariants hold for every supported bit width.
+    #[test]
+    fn ladder_geometry(bits in 1u8..=6) {
+        let l = LevelLadder::new(bits).expect("ladder");
+        let n = l.n_levels();
+        prop_assert_eq!(n, 1 << bits);
+        // States tile the window exactly.
+        prop_assert!((l.state_low(0) - l.v_min()).abs() < 1e-12);
+        prop_assert!((l.state_high(l.max_level()) - l.v_max()).abs() < 1e-12);
+        for k in 0..l.max_level() {
+            prop_assert!((l.state_high(k) - l.state_low(k + 1)).abs() < 1e-12);
+        }
+        // Inversion maps the input set onto itself.
+        for j in 0..n as u8 {
+            let inv = l.invert(l.input_voltage(j));
+            let mirrored = l.input_voltage((n - 1 - j as usize) as u8);
+            prop_assert!((inv - mirrored).abs() < 1e-9);
+        }
+    }
+
+    /// The LUT diagonal is the strict row/column minimum for every width.
+    #[test]
+    fn lut_diagonal_minimal(bits in 1u8..=4) {
+        let t = lut(bits);
+        let n = t.n_levels() as u8;
+        for s in 0..n {
+            for i in 0..n {
+                if i != s {
+                    prop_assert!(t.get(i, s) > t.get(s, s));
+                }
+            }
+        }
+    }
+
+    /// LUT symmetry F(I,S) = F(S,I) for all widths (the ladder is
+    /// mirror-symmetric).
+    #[test]
+    fn lut_symmetry(bits in 1u8..=4) {
+        let t = lut(bits);
+        let n = t.n_levels() as u8;
+        for s in 0..n {
+            for i in 0..n {
+                let a = t.get(i, s);
+                let b = t.get(s, i);
+                prop_assert!(((a - b) / a).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Storing the same words in any order never changes a row's own
+    /// conductance (rows are independent).
+    #[test]
+    fn rows_are_independent(
+        words in proptest::collection::vec(
+            proptest::collection::vec(0u8..8, 5), 2..6),
+        query in proptest::collection::vec(0u8..8, 5),
+    ) {
+        let ladder = LevelLadder::new(3).expect("ladder");
+        let t = lut(3);
+        let mut forward = McamArray::new(ladder, t.clone(), 5);
+        for w in &words {
+            forward.store(w).expect("store");
+        }
+        let mut reverse = McamArray::new(ladder, t, 5);
+        for w in words.iter().rev() {
+            reverse.store(w).expect("store");
+        }
+        let a = forward.search(&query).expect("search");
+        let b = reverse.search(&query).expect("search");
+        for (i, w) in words.iter().enumerate() {
+            let j = words.len() - 1 - i;
+            prop_assert_eq!(a.conductance(i), b.conductance(j), "word {:?}", w);
+        }
+    }
+
+    /// Total row conductance is monotone in per-cell distance: raising
+    /// one cell's |I-S| never lowers G.
+    #[test]
+    fn row_conductance_monotone_in_cell_distance(
+        base in proptest::collection::vec(0u8..8, 6),
+        cell in 0usize..6,
+    ) {
+        let ladder = LevelLadder::new(3).expect("ladder");
+        let mut array = McamArray::new(ladder, lut(3), 6);
+        array.store(&base).expect("store");
+        // Query equals the stored word except at `cell`, walking away.
+        let s = base[cell];
+        let mut last = None;
+        for d in 0..8i16 {
+            let level = if s as i16 + d <= 7 { s as i16 + d } else { s as i16 - d };
+            if !(0..=7).contains(&level) {
+                break;
+            }
+            let mut query = base.clone();
+            query[cell] = level as u8;
+            let g = array.search(&query).expect("search").conductance(0);
+            if let Some(prev) = last {
+                prop_assert!(g >= prev, "distance {} lowered conductance", d);
+            }
+            last = Some(g);
+        }
+    }
+
+    /// Quantizer levels are monotone in the input value for any fitted
+    /// data and strategy.
+    #[test]
+    fn quantizer_monotone(
+        data in proptest::collection::vec(-50.0f32..50.0, 4..40),
+        probes in proptest::collection::vec(-60.0f32..60.0, 2..10),
+        strategy_idx in 0usize..3,
+    ) {
+        let strategy = [
+            QuantizeStrategy::PerFeatureMinMax,
+            QuantizeStrategy::GlobalMinMax,
+            QuantizeStrategy::PerFeatureQuantile,
+        ][strategy_idx];
+        let rows: Vec<Vec<f32>> = data.iter().map(|&x| vec![x]).collect();
+        let q = Quantizer::fit(rows.iter().map(|r| r.as_slice()), 1, 8, strategy)
+            .expect("fit");
+        let mut sorted = probes.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut last = 0u8;
+        for (i, &p) in sorted.iter().enumerate() {
+            let l = q.level_of(0, p);
+            prop_assert!(l < 8);
+            if i > 0 {
+                prop_assert!(l >= last, "level decreased along sorted probes");
+            }
+            last = l;
+        }
+    }
+
+    /// Dequantized centers always quantize back to their own level.
+    #[test]
+    fn centers_are_fixed_points(
+        data in proptest::collection::vec(-50.0f32..50.0, 4..40),
+    ) {
+        let rows: Vec<Vec<f32>> = data.iter().map(|&x| vec![x]).collect();
+        let q = Quantizer::fit(
+            rows.iter().map(|r| r.as_slice()),
+            1,
+            8,
+            QuantizeStrategy::PerFeatureMinMax,
+        ).expect("fit");
+        for level in 0..8u8 {
+            let center = q.dequantize(&[level]).expect("centers")[0];
+            prop_assert_eq!(q.level_of(0, center), level);
+        }
+    }
+
+    /// Thermometer encode/L∞-query consistency: a stored word matches a
+    /// radius-r query iff its true L∞ distance is at most r.
+    #[test]
+    fn linf_query_matches_iff_within_radius(
+        stored in proptest::collection::vec(0u8..8, 3),
+        query in proptest::collection::vec(0u8..8, 3),
+        radius in 0usize..8,
+    ) {
+        let n_levels = 8;
+        let enc = thermometer_encode(&stored, n_levels).expect("encode");
+        let q = linf_query(&query, n_levels, radius).expect("query");
+        let matched = enc.iter().zip(&q).all(|(&c, &qc)| match qc {
+            Ternary::DontCare => true,
+            Ternary::Zero => c.matches(false),
+            Ternary::One => c.matches(true),
+        });
+        let true_linf = stored
+            .iter()
+            .zip(&query)
+            .map(|(&a, &b)| (a as i16 - b as i16).unsigned_abs() as usize)
+            .max()
+            .unwrap_or(0);
+        prop_assert_eq!(matched, true_linf <= radius,
+            "stored {:?} query {:?} r {}: linf {}", stored, query, radius, true_linf);
+    }
+
+    /// TCAM Hamming search equals the software Hamming distance.
+    #[test]
+    fn tcam_counts_match_software(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(any::<bool>(), 12), 1..6),
+        query in proptest::collection::vec(any::<bool>(), 12),
+    ) {
+        let mut tcam = TcamArray::new(12);
+        for r in &rows {
+            tcam.store_bits(r).expect("store");
+        }
+        let sig = femcam_lsh::BitSignature::from_bools(&query).expect("sig");
+        let outcome = tcam.hamming_search(&sig).expect("search");
+        for (i, r) in rows.iter().enumerate() {
+            let sw = r.iter().zip(&query).filter(|(a, b)| a != b).count();
+            prop_assert_eq!(outcome.hamming(i), sw);
+        }
+    }
+
+    /// Discharge time is strictly decreasing in conductance for any
+    /// positive RC parameters.
+    #[test]
+    fn discharge_time_strictly_decreasing(
+        c_ml in 1e-16f64..1e-12,
+        g in 1e-9f64..1e-2,
+        factor in 1.001f64..100.0,
+    ) {
+        let timing = MlTiming { c_ml, v_precharge: 0.8, v_sense: 0.4 };
+        prop_assert!(timing.discharge_time(g) > timing.discharge_time(g * factor));
+    }
+}

@@ -1,0 +1,533 @@
+//! Ternary CAM: the baseline of Ni et al. (Nature Electronics 2019) and
+//! the multi-lookup L∞ scheme of Laguna et al. (DATE 2019).
+//!
+//! A TCAM cell stores `0`, `1`, or `X` (don't care). For the paper's
+//! TCAM+LSH baseline the array stores binary LSH signatures and measures
+//! Hamming distance in-memory: every mismatching cell adds one unit of
+//! match-line conductance, so the slowest-discharging ML is the
+//! signature with the fewest mismatches.
+//!
+//! [`TcamArray::linf_search`] additionally implements the earlier
+//! multi-lookup L∞ scheme as an extension: features are thermometer
+//! encoded and the query widens its don't-care window radius by radius
+//! until a row matches exactly — the first matching radius is the L∞
+//! distance of the nearest neighbor.
+
+use femcam_lsh::BitSignature;
+
+use crate::error::CoreError;
+use crate::Result;
+
+/// One ternary cell value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Ternary {
+    /// Matches a `0` query bit.
+    Zero,
+    /// Matches a `1` query bit.
+    One,
+    /// Matches any query bit (wildcard).
+    DontCare,
+}
+
+impl From<bool> for Ternary {
+    fn from(b: bool) -> Self {
+        if b {
+            Ternary::One
+        } else {
+            Ternary::Zero
+        }
+    }
+}
+
+impl Ternary {
+    /// Whether this cell matches a binary query bit.
+    #[must_use]
+    pub fn matches(self, bit: bool) -> bool {
+        match self {
+            Ternary::Zero => !bit,
+            Ternary::One => bit,
+            Ternary::DontCare => true,
+        }
+    }
+}
+
+/// Result of a TCAM Hamming search: per-row mismatch counts plus the ML
+/// conductance model.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TcamOutcome {
+    mismatches: Vec<usize>,
+    word_len: usize,
+    g_mismatch: f64,
+    g_leak: f64,
+}
+
+impl TcamOutcome {
+    /// Index of the row with the fewest mismatches (ties → lowest index).
+    #[must_use]
+    pub fn best_row(&self) -> usize {
+        self.mismatches
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &m)| m)
+            .map(|(i, _)| i)
+            .expect("outcome is nonempty")
+    }
+
+    /// Hamming distance (mismatch count) of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[must_use]
+    pub fn hamming(&self, r: usize) -> usize {
+        self.mismatches[r]
+    }
+
+    /// All per-row mismatch counts.
+    #[must_use]
+    pub fn mismatches(&self) -> &[usize] {
+        &self.mismatches
+    }
+
+    /// ML conductance of row `r`: mismatching cells conduct
+    /// `g_mismatch`, the rest leak `g_leak`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[must_use]
+    pub fn conductance(&self, r: usize) -> f64 {
+        let m = self.mismatches[r] as f64;
+        m * self.g_mismatch + (self.word_len as f64 - m) * self.g_leak
+    }
+}
+
+/// A ternary CAM array.
+///
+/// # Examples
+///
+/// ```
+/// use femcam_core::{TcamArray, Ternary};
+/// use femcam_lsh::BitSignature;
+///
+/// # fn main() -> femcam_core::Result<()> {
+/// let mut tcam = TcamArray::new(4);
+/// tcam.store_bits(&[true, false, true, true])?;
+/// tcam.store_bits(&[false, false, false, false])?;
+/// let q = BitSignature::from_bools(&[true, false, true, false]).unwrap();
+/// let outcome = tcam.hamming_search(&q)?;
+/// assert_eq!(outcome.best_row(), 0);
+/// assert_eq!(outcome.hamming(0), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TcamArray {
+    word_len: usize,
+    cells: Vec<Ternary>,
+    g_mismatch: f64,
+    g_leak: f64,
+}
+
+impl TcamArray {
+    /// Creates an empty TCAM with `word_len` cells per row and default
+    /// match-line conductances (one "on" FeFET per mismatch, matched
+    /// cells at the leakage floor — same device as the MCAM).
+    #[must_use]
+    pub fn new(word_len: usize) -> Self {
+        TcamArray {
+            word_len,
+            cells: Vec::new(),
+            g_mismatch: 1e-4 / 0.1,
+            g_leak: 2e-9 / 0.1,
+        }
+    }
+
+    /// Overrides the per-cell mismatch/leak conductances (siemens).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] unless
+    /// `0 <= g_leak < g_mismatch`.
+    pub fn with_conductances(mut self, g_mismatch: f64, g_leak: f64) -> Result<Self> {
+        if !(g_mismatch > g_leak && g_leak >= 0.0 && g_mismatch.is_finite()) {
+            return Err(CoreError::InvalidParameter {
+                name: "g_mismatch",
+                value: g_mismatch,
+            });
+        }
+        self.g_mismatch = g_mismatch;
+        self.g_leak = g_leak;
+        Ok(self)
+    }
+
+    /// Cells per row.
+    #[must_use]
+    pub fn word_len(&self) -> usize {
+        self.word_len
+    }
+
+    /// Number of stored rows.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.cells.len().checked_div(self.word_len).unwrap_or(0)
+    }
+
+    /// Returns `true` if nothing is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Stores a ternary word and returns its row index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::WordLengthMismatch`] for the wrong length.
+    pub fn store(&mut self, word: &[Ternary]) -> Result<usize> {
+        if word.len() != self.word_len {
+            return Err(CoreError::WordLengthMismatch {
+                expected: self.word_len,
+                actual: word.len(),
+            });
+        }
+        self.cells.extend_from_slice(word);
+        Ok(self.n_rows() - 1)
+    }
+
+    /// Stores a binary word (no wildcards).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::WordLengthMismatch`] for the wrong length.
+    pub fn store_bits(&mut self, bits: &[bool]) -> Result<usize> {
+        let word: Vec<Ternary> = bits.iter().map(|&b| Ternary::from(b)).collect();
+        self.store(&word)
+    }
+
+    /// Stores an LSH signature as a binary row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::WordLengthMismatch`] for the wrong length.
+    pub fn store_signature(&mut self, sig: &BitSignature) -> Result<usize> {
+        let word: Vec<Ternary> = sig.iter().map(Ternary::from).collect();
+        self.store(&word)
+    }
+
+    /// In-memory Hamming search: counts mismatching cells per row in a
+    /// single parallel lookup.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::EmptyArray`] if nothing is stored.
+    /// * [`CoreError::WordLengthMismatch`] for the wrong query length.
+    pub fn hamming_search(&self, query: &BitSignature) -> Result<TcamOutcome> {
+        if self.is_empty() {
+            return Err(CoreError::EmptyArray);
+        }
+        if query.len() != self.word_len {
+            return Err(CoreError::WordLengthMismatch {
+                expected: self.word_len,
+                actual: query.len(),
+            });
+        }
+        let bits: Vec<bool> = query.iter().collect();
+        let mismatches = (0..self.n_rows())
+            .map(|r| {
+                let row = &self.cells[r * self.word_len..(r + 1) * self.word_len];
+                row.iter().zip(&bits).filter(|&(c, &b)| !c.matches(b)).count()
+            })
+            .collect();
+        Ok(TcamOutcome {
+            mismatches,
+            word_len: self.word_len,
+            g_mismatch: self.g_mismatch,
+            g_leak: self.g_leak,
+        })
+    }
+
+    /// Rows that match `query` exactly (every non-wildcard cell agrees).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`hamming_search`](Self::hamming_search).
+    pub fn exact_match(&self, query: &BitSignature) -> Result<Vec<usize>> {
+        let outcome = self.hamming_search(query)?;
+        Ok((0..self.n_rows())
+            .filter(|&r| outcome.hamming(r) == 0)
+            .collect())
+    }
+
+    /// Multi-lookup L∞ nearest-neighbor search over thermometer-encoded
+    /// levels (the Laguna et al. DATE 2019 scheme): widening the query's
+    /// per-feature don't-care window radius by radius, the first radius
+    /// at which any row matches exactly is the L∞ distance of the
+    /// nearest neighbor(s).
+    ///
+    /// The array must have been populated with
+    /// [`thermometer_encode`]-encoded rows of the same `n_levels`.
+    ///
+    /// Returns `(radius, matching_rows)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::EmptyArray`] if nothing is stored.
+    /// * [`CoreError::WordLengthMismatch`] if `levels.len() * (n_levels −
+    ///   1)` differs from the array word length.
+    /// * [`CoreError::LevelOutOfRange`] if a level exceeds `n_levels`.
+    pub fn linf_search(&self, levels: &[u8], n_levels: usize) -> Result<(usize, Vec<usize>)> {
+        if self.is_empty() {
+            return Err(CoreError::EmptyArray);
+        }
+        let expected = levels.len() * (n_levels - 1);
+        if expected != self.word_len {
+            return Err(CoreError::WordLengthMismatch {
+                expected: self.word_len,
+                actual: expected,
+            });
+        }
+        for r in 0..n_levels {
+            let query = linf_query(levels, n_levels, r)?;
+            let matches: Vec<usize> = (0..self.n_rows())
+                .filter(|&row| {
+                    let cells = &self.cells[row * self.word_len..(row + 1) * self.word_len];
+                    cells.iter().zip(&query).all(|(&c, &q)| match q {
+                        Ternary::DontCare => true,
+                        Ternary::Zero => c.matches(false),
+                        Ternary::One => c.matches(true),
+                    })
+                })
+                .collect();
+            if !matches.is_empty() {
+                return Ok((r, matches));
+            }
+        }
+        // Unreachable for valid thermometer rows: radius n_levels-1
+        // wildcards everything.
+        Ok((n_levels - 1, (0..self.n_rows()).collect()))
+    }
+}
+
+/// Thermometer-encodes quantized levels for the L∞ scheme: each feature
+/// becomes `n_levels − 1` cells where cell `t` stores `level > t`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::LevelOutOfRange`] if any level is `>= n_levels`,
+/// or [`CoreError::InvalidParameter`] if `n_levels < 2`.
+pub fn thermometer_encode(levels: &[u8], n_levels: usize) -> Result<Vec<Ternary>> {
+    if n_levels < 2 {
+        return Err(CoreError::InvalidParameter {
+            name: "n_levels",
+            value: n_levels as f64,
+        });
+    }
+    let mut out = Vec::with_capacity(levels.len() * (n_levels - 1));
+    for &v in levels {
+        if v as usize >= n_levels {
+            return Err(CoreError::LevelOutOfRange {
+                level: v,
+                max: (n_levels - 1) as u8,
+            });
+        }
+        for t in 0..n_levels - 1 {
+            out.push(Ternary::from(v as usize > t));
+        }
+    }
+    Ok(out)
+}
+
+/// Builds the radius-`r` L∞ query over thermometer encoding: thresholds
+/// certainly below `v − r` demand `1`, thresholds at or above `v + r`
+/// demand `0`, everything between is a wildcard.
+///
+/// # Errors
+///
+/// Same conditions as [`thermometer_encode`].
+pub fn linf_query(levels: &[u8], n_levels: usize, radius: usize) -> Result<Vec<Ternary>> {
+    if n_levels < 2 {
+        return Err(CoreError::InvalidParameter {
+            name: "n_levels",
+            value: n_levels as f64,
+        });
+    }
+    let mut out = Vec::with_capacity(levels.len() * (n_levels - 1));
+    for &v in levels {
+        if v as usize >= n_levels {
+            return Err(CoreError::LevelOutOfRange {
+                level: v,
+                max: (n_levels - 1) as u8,
+            });
+        }
+        let v = v as isize;
+        let r = radius as isize;
+        for t in 0..(n_levels - 1) as isize {
+            let cell = if t < v - r {
+                Ternary::One
+            } else if t >= v + r {
+                Ternary::Zero
+            } else {
+                Ternary::DontCare
+            };
+            out.push(cell);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ternary_matching_rules() {
+        assert!(Ternary::One.matches(true));
+        assert!(!Ternary::One.matches(false));
+        assert!(Ternary::Zero.matches(false));
+        assert!(!Ternary::Zero.matches(true));
+        assert!(Ternary::DontCare.matches(true));
+        assert!(Ternary::DontCare.matches(false));
+    }
+
+    #[test]
+    fn hamming_search_counts_and_ranks() {
+        let mut tcam = TcamArray::new(8);
+        tcam.store_bits(&[true; 8]).unwrap();
+        tcam.store_bits(&[false; 8]).unwrap();
+        let q = BitSignature::from_bools(&[true, true, true, true, true, true, false, false])
+            .unwrap();
+        let o = tcam.hamming_search(&q).unwrap();
+        assert_eq!(o.hamming(0), 2);
+        assert_eq!(o.hamming(1), 6);
+        assert_eq!(o.best_row(), 0);
+        assert!(o.conductance(1) > o.conductance(0));
+    }
+
+    #[test]
+    fn dont_care_matches_everything() {
+        let mut tcam = TcamArray::new(2);
+        tcam.store(&[Ternary::DontCare, Ternary::One]).unwrap();
+        let q0 = BitSignature::from_bools(&[false, true]).unwrap();
+        let q1 = BitSignature::from_bools(&[true, true]).unwrap();
+        assert_eq!(tcam.hamming_search(&q0).unwrap().hamming(0), 0);
+        assert_eq!(tcam.hamming_search(&q1).unwrap().hamming(0), 0);
+    }
+
+    #[test]
+    fn store_and_search_validate_lengths() {
+        let mut tcam = TcamArray::new(4);
+        assert!(tcam.store_bits(&[true, false]).is_err());
+        tcam.store_bits(&[true, false, true, false]).unwrap();
+        let q = BitSignature::zeros(5).unwrap();
+        assert!(matches!(
+            tcam.hamming_search(&q),
+            Err(CoreError::WordLengthMismatch {
+                expected: 4,
+                actual: 5
+            })
+        ));
+    }
+
+    #[test]
+    fn empty_array_refuses_search() {
+        let tcam = TcamArray::new(4);
+        let q = BitSignature::zeros(4).unwrap();
+        assert!(matches!(tcam.hamming_search(&q), Err(CoreError::EmptyArray)));
+    }
+
+    #[test]
+    fn exact_match_requires_zero_mismatches() {
+        let mut tcam = TcamArray::new(3);
+        tcam.store_bits(&[true, true, false]).unwrap();
+        tcam.store_bits(&[true, false, false]).unwrap();
+        let q = BitSignature::from_bools(&[true, true, false]).unwrap();
+        assert_eq!(tcam.exact_match(&q).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn conductance_model_validation() {
+        assert!(TcamArray::new(4).with_conductances(1e-3, 1e-9).is_ok());
+        assert!(TcamArray::new(4).with_conductances(1e-9, 1e-3).is_err());
+        assert!(TcamArray::new(4).with_conductances(f64::NAN, 0.0).is_err());
+    }
+
+    #[test]
+    fn thermometer_encoding_shape_and_content() {
+        let enc = thermometer_encode(&[0, 3, 7], 8).unwrap();
+        assert_eq!(enc.len(), 3 * 7);
+        // level 0 → all zeros; level 7 → all ones
+        assert!(enc[..7].iter().all(|&c| c == Ternary::Zero));
+        assert!(enc[14..].iter().all(|&c| c == Ternary::One));
+        // level 3 → three ones then four zeros
+        assert_eq!(
+            &enc[7..14],
+            &[
+                Ternary::One,
+                Ternary::One,
+                Ternary::One,
+                Ternary::Zero,
+                Ternary::Zero,
+                Ternary::Zero,
+                Ternary::Zero
+            ]
+        );
+    }
+
+    #[test]
+    fn thermometer_rejects_bad_levels() {
+        assert!(thermometer_encode(&[8], 8).is_err());
+        assert!(thermometer_encode(&[0], 1).is_err());
+    }
+
+    #[test]
+    fn linf_query_radius_zero_is_exact() {
+        let q = linf_query(&[3], 8, 0).unwrap();
+        let enc = thermometer_encode(&[3], 8).unwrap();
+        for (a, b) in q.iter().zip(&enc) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn linf_search_finds_true_chebyshev_nn() {
+        let n_levels = 8;
+        let rows: Vec<Vec<u8>> = vec![
+            vec![0, 0, 0, 0],
+            vec![3, 3, 3, 3],
+            vec![5, 1, 2, 0],
+        ];
+        let mut tcam = TcamArray::new(4 * (n_levels - 1));
+        for r in &rows {
+            let enc = thermometer_encode(r, n_levels).unwrap();
+            tcam.store(&enc).unwrap();
+        }
+        let query = [4u8, 2, 2, 1];
+        let (radius, matches) = tcam.linf_search(&query, n_levels).unwrap();
+        // Software L∞ distances: row0 = 4, row1 = 2, row2 = 1.
+        assert_eq!(radius, 1);
+        assert_eq!(matches, vec![2]);
+    }
+
+    #[test]
+    fn linf_search_radius_zero_on_exact_hit() {
+        let n_levels = 4;
+        let mut tcam = TcamArray::new(2 * (n_levels - 1));
+        tcam.store(&thermometer_encode(&[1, 2], n_levels).unwrap())
+            .unwrap();
+        let (radius, matches) = tcam.linf_search(&[1, 2], n_levels).unwrap();
+        assert_eq!(radius, 0);
+        assert_eq!(matches, vec![0]);
+    }
+
+    #[test]
+    fn linf_search_validates_shape() {
+        let mut tcam = TcamArray::new(6);
+        tcam.store(&thermometer_encode(&[1, 2], 4).unwrap()).unwrap();
+        assert!(tcam.linf_search(&[1, 2, 3], 4).is_err()); // wrong dims
+        assert!(tcam.linf_search(&[1, 9], 4).is_err()); // bad level
+    }
+}

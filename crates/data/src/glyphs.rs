@@ -1,0 +1,280 @@
+//! Procedural Omniglot-like glyphs (paper §IV-C image substrate).
+//!
+//! Omniglot contains 1623 handwritten character classes with 20 samples
+//! each; its images are stroke drawings. This module synthesizes the
+//! same regime: a [`GlyphClass`] is a small set of polyline strokes on
+//! the unit square, and rendering an *instance* jitters the control
+//! points, applies a small random affine transform, and rasterizes with
+//! soft-edged thick strokes onto a 28×28 grayscale image — the
+//! resolution commonly used for Omniglot CNN pipelines.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Glyph raster side length in pixels.
+pub const GLYPH_SIDE: usize = 28;
+
+/// Number of pixels per rendered glyph.
+pub const GLYPH_PIXELS: usize = GLYPH_SIDE * GLYPH_SIDE;
+
+/// A character class: its stroke skeleton (polyline control points in
+/// the unit square).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GlyphClass {
+    strokes: Vec<Vec<(f32, f32)>>,
+}
+
+impl GlyphClass {
+    /// Draws a random class: 2–4 strokes of 2–4 control points each.
+    #[must_use]
+    pub fn random(rng: &mut StdRng) -> Self {
+        let n_strokes = rng.gen_range(2..=4);
+        let strokes = (0..n_strokes)
+            .map(|_| {
+                let n_points = rng.gen_range(2..=4);
+                (0..n_points)
+                    .map(|_| {
+                        (
+                            rng.gen_range(0.12f32..0.88),
+                            rng.gen_range(0.12f32..0.88),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        GlyphClass { strokes }
+    }
+
+    /// The stroke skeleton.
+    #[must_use]
+    pub fn strokes(&self) -> &[Vec<(f32, f32)>] {
+        &self.strokes
+    }
+
+    /// Generates an alphabet of `n_classes` distinct classes from a
+    /// seed.
+    #[must_use]
+    pub fn alphabet(n_classes: usize, seed: u64) -> Vec<GlyphClass> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n_classes).map(|_| GlyphClass::random(&mut rng)).collect()
+    }
+}
+
+/// Renders glyph instances with per-instance handwriting variation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GlyphRenderer {
+    /// Stroke half-thickness in unit-square units.
+    pub thickness: f32,
+    /// Control-point jitter sigma (handwriting wobble).
+    pub jitter: f32,
+    /// Max rotation magnitude in radians.
+    pub max_rotation: f32,
+    /// Max translation magnitude in unit-square units.
+    pub max_shift: f32,
+}
+
+impl Default for GlyphRenderer {
+    fn default() -> Self {
+        GlyphRenderer {
+            thickness: 0.035,
+            jitter: 0.025,
+            max_rotation: 0.12,
+            max_shift: 0.04,
+        }
+    }
+}
+
+impl GlyphRenderer {
+    /// Renders one instance of `class` as `GLYPH_PIXELS` grayscale
+    /// values in `[0, 1]`, row-major.
+    #[must_use]
+    pub fn render(&self, class: &GlyphClass, rng: &mut StdRng) -> Vec<f32> {
+        // Per-instance variation: jittered control points + small affine.
+        let theta = rng.gen_range(-self.max_rotation..=self.max_rotation);
+        let (sin, cos) = theta.sin_cos();
+        let dx = rng.gen_range(-self.max_shift..=self.max_shift);
+        let dy = rng.gen_range(-self.max_shift..=self.max_shift);
+        let scale = rng.gen_range(0.92f32..=1.08);
+
+        let transform = |(x, y): (f32, f32)| -> (f32, f32) {
+            let (cx, cy) = (x - 0.5, y - 0.5);
+            let (rx, ry) = (cx * cos - cy * sin, cx * sin + cy * cos);
+            (rx * scale + 0.5 + dx, ry * scale + 0.5 + dy)
+        };
+
+        let strokes: Vec<Vec<(f32, f32)>> = class
+            .strokes
+            .iter()
+            .map(|stroke| {
+                stroke
+                    .iter()
+                    .map(|&p| {
+                        let q = (
+                            p.0 + rng.gen_range(-self.jitter..=self.jitter),
+                            p.1 + rng.gen_range(-self.jitter..=self.jitter),
+                        );
+                        transform(q)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut img = vec![0.0f32; GLYPH_PIXELS];
+        let side = GLYPH_SIDE as f32;
+        for (i, px) in img.iter_mut().enumerate() {
+            let x = ((i % GLYPH_SIDE) as f32 + 0.5) / side;
+            let y = ((i / GLYPH_SIDE) as f32 + 0.5) / side;
+            let mut intensity = 0.0f32;
+            for stroke in &strokes {
+                for seg in stroke.windows(2) {
+                    let d = point_segment_distance((x, y), seg[0], seg[1]);
+                    // Soft-edged stroke: full ink inside the core,
+                    // linear falloff over half a pixel.
+                    let edge = 0.5 / side;
+                    let v = if d <= self.thickness {
+                        1.0
+                    } else if d <= self.thickness + edge {
+                        1.0 - (d - self.thickness) / edge
+                    } else {
+                        0.0
+                    };
+                    intensity = intensity.max(v);
+                }
+            }
+            *px = intensity;
+        }
+        img
+    }
+
+    /// Renders `n` instances of every class in `alphabet`, returning
+    /// `(images, labels)` where labels index into the alphabet.
+    #[must_use]
+    pub fn render_set(
+        &self,
+        alphabet: &[GlyphClass],
+        n_per_class: usize,
+        seed: u64,
+    ) -> (Vec<Vec<f32>>, Vec<u32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut images = Vec::with_capacity(alphabet.len() * n_per_class);
+        let mut labels = Vec::with_capacity(alphabet.len() * n_per_class);
+        for (c, class) in alphabet.iter().enumerate() {
+            for _ in 0..n_per_class {
+                images.push(self.render(class, &mut rng));
+                labels.push(c as u32);
+            }
+        }
+        (images, labels)
+    }
+}
+
+fn point_segment_distance(p: (f32, f32), a: (f32, f32), b: (f32, f32)) -> f32 {
+    let (px, py) = (p.0 - a.0, p.1 - a.1);
+    let (bx, by) = (b.0 - a.0, b.1 - a.1);
+    let len2 = bx * bx + by * by;
+    let t = if len2 <= f32::EPSILON {
+        0.0
+    } else {
+        ((px * bx + py * by) / len2).clamp(0.0, 1.0)
+    };
+    let (dx, dy) = (px - t * bx, py - t * by);
+    (dx * dx + dy * dy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l2(a: &[f32], b: &[f32]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| ((x - y) as f64).powi(2))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    #[test]
+    fn render_shape_and_value_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let class = GlyphClass::random(&mut rng);
+        let img = GlyphRenderer::default().render(&class, &mut rng);
+        assert_eq!(img.len(), GLYPH_PIXELS);
+        assert!(img.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn glyphs_contain_ink_but_not_too_much() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            let class = GlyphClass::random(&mut rng);
+            let img = GlyphRenderer::default().render(&class, &mut rng);
+            let ink: f32 = img.iter().sum();
+            let frac = ink / GLYPH_PIXELS as f32;
+            assert!(
+                (0.01..0.6).contains(&frac),
+                "ink fraction {frac} implausible for a glyph"
+            );
+        }
+    }
+
+    #[test]
+    fn same_class_instances_are_closer_than_cross_class() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let renderer = GlyphRenderer::default();
+        let a = GlyphClass::random(&mut rng);
+        let b = GlyphClass::random(&mut rng);
+        let mut within = 0.0f64;
+        let mut across = 0.0f64;
+        let n = 8;
+        for _ in 0..n {
+            let a1 = renderer.render(&a, &mut rng);
+            let a2 = renderer.render(&a, &mut rng);
+            let b1 = renderer.render(&b, &mut rng);
+            within += l2(&a1, &a2);
+            across += l2(&a1, &b1);
+        }
+        assert!(
+            (within / n as f64) < (across / n as f64),
+            "within {within} !< across {across}"
+        );
+    }
+
+    #[test]
+    fn alphabet_is_deterministic_and_distinct() {
+        let a1 = GlyphClass::alphabet(10, 99);
+        let a2 = GlyphClass::alphabet(10, 99);
+        assert_eq!(a1, a2);
+        assert_eq!(a1.len(), 10);
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                assert_ne!(a1[i], a1[j], "classes {i} and {j} identical");
+            }
+        }
+    }
+
+    #[test]
+    fn render_set_layout() {
+        let alphabet = GlyphClass::alphabet(3, 5);
+        let (images, labels) = GlyphRenderer::default().render_set(&alphabet, 4, 7);
+        assert_eq!(images.len(), 12);
+        assert_eq!(labels, vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn segment_distance_math() {
+        // On the segment.
+        assert!(point_segment_distance((0.5, 0.0), (0.0, 0.0), (1.0, 0.0)) < 1e-6);
+        // Perpendicular offset.
+        assert!(
+            (point_segment_distance((0.5, 0.3), (0.0, 0.0), (1.0, 0.0)) - 0.3).abs() < 1e-6
+        );
+        // Beyond an endpoint: distance to the endpoint.
+        let d = point_segment_distance((2.0, 0.0), (0.0, 0.0), (1.0, 0.0));
+        assert!((d - 1.0).abs() < 1e-6);
+        // Degenerate segment.
+        let d = point_segment_distance((1.0, 1.0), (0.0, 0.0), (0.0, 0.0));
+        assert!((d - 2.0f32.sqrt()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,195 @@
+//! Feature scalers: min-max and z-score normalization.
+
+/// Per-feature min-max scaler onto `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use femcam_data::normalize::MinMaxScaler;
+///
+/// let train: Vec<Vec<f32>> = vec![vec![0.0, 100.0], vec![10.0, 200.0]];
+/// let scaler = MinMaxScaler::fit(&train);
+/// let x = scaler.transform(&[5.0, 150.0]);
+/// assert_eq!(x, vec![0.5, 0.5]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MinMaxScaler {
+    lo: Vec<f32>,
+    span: Vec<f32>,
+}
+
+impl MinMaxScaler {
+    /// Fits per-feature ranges on training rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input or ragged rows.
+    #[must_use]
+    pub fn fit(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a scaler on no data");
+        let dims = rows[0].len();
+        let mut lo = vec![f32::INFINITY; dims];
+        let mut hi = vec![f32::NEG_INFINITY; dims];
+        for r in rows {
+            assert_eq!(r.len(), dims, "ragged rows");
+            for (f, &v) in r.iter().enumerate() {
+                lo[f] = lo[f].min(v);
+                hi[f] = hi[f].max(v);
+            }
+        }
+        let span = lo
+            .iter()
+            .zip(&hi)
+            .map(|(&l, &h)| if h > l { h - l } else { 1.0 })
+            .collect();
+        MinMaxScaler { lo, span }
+    }
+
+    /// Scales one row; values outside the fitted range are clamped to
+    /// `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    #[must_use]
+    pub fn transform(&self, row: &[f32]) -> Vec<f32> {
+        assert_eq!(row.len(), self.lo.len(), "dimension mismatch");
+        row.iter()
+            .enumerate()
+            .map(|(f, &v)| ((v - self.lo[f]) / self.span[f]).clamp(0.0, 1.0))
+            .collect()
+    }
+
+    /// Scales many rows.
+    #[must_use]
+    pub fn transform_all(&self, rows: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        rows.iter().map(|r| self.transform(r)).collect()
+    }
+}
+
+/// Per-feature z-score scaler.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ZScoreScaler {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl ZScoreScaler {
+    /// Fits per-feature moments on training rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input or ragged rows.
+    #[must_use]
+    pub fn fit(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a scaler on no data");
+        let dims = rows[0].len();
+        let n = rows.len() as f32;
+        let mut mean = vec![0.0f32; dims];
+        for r in rows {
+            assert_eq!(r.len(), dims, "ragged rows");
+            for (f, &v) in r.iter().enumerate() {
+                mean[f] += v;
+            }
+        }
+        mean.iter_mut().for_each(|m| *m /= n);
+        let mut var = vec![0.0f32; dims];
+        for r in rows {
+            for (f, &v) in r.iter().enumerate() {
+                var[f] += (v - mean[f]) * (v - mean[f]);
+            }
+        }
+        let std = var
+            .iter()
+            .map(|&v| {
+                let s = (v / n).sqrt();
+                if s > 0.0 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        ZScoreScaler { mean, std }
+    }
+
+    /// Standardizes one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    #[must_use]
+    pub fn transform(&self, row: &[f32]) -> Vec<f32> {
+        assert_eq!(row.len(), self.mean.len(), "dimension mismatch");
+        row.iter()
+            .enumerate()
+            .map(|(f, &v)| (v - self.mean[f]) / self.std[f])
+            .collect()
+    }
+
+    /// Standardizes many rows.
+    #[must_use]
+    pub fn transform_all(&self, rows: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        rows.iter().map(|r| self.transform(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_max_maps_training_extremes_to_unit_interval() {
+        let rows = vec![vec![-5.0f32, 0.0], vec![5.0, 10.0], vec![0.0, 5.0]];
+        let s = MinMaxScaler::fit(&rows);
+        assert_eq!(s.transform(&[-5.0, 0.0]), vec![0.0, 0.0]);
+        assert_eq!(s.transform(&[5.0, 10.0]), vec![1.0, 1.0]);
+        assert_eq!(s.transform(&[0.0, 5.0]), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn min_max_clamps_out_of_range() {
+        let s = MinMaxScaler::fit(&[vec![0.0f32], vec![1.0]]);
+        assert_eq!(s.transform(&[-10.0]), vec![0.0]);
+        assert_eq!(s.transform(&[10.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn constant_feature_does_not_divide_by_zero() {
+        let s = MinMaxScaler::fit(&[vec![3.0f32], vec![3.0]]);
+        let out = s.transform(&[3.0]);
+        assert!(out[0].is_finite());
+    }
+
+    #[test]
+    fn zscore_standardizes_moments() {
+        let rows: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32]).collect();
+        let s = ZScoreScaler::fit(&rows);
+        let out = s.transform_all(&rows);
+        let mean: f32 = out.iter().map(|r| r[0]).sum::<f32>() / 100.0;
+        let var: f32 = out.iter().map(|r| r[0] * r[0]).sum::<f32>() / 100.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn zscore_constant_feature_is_safe() {
+        let s = ZScoreScaler::fit(&[vec![7.0f32], vec![7.0]]);
+        assert_eq!(s.transform(&[7.0]), vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn fit_on_empty_panics() {
+        let _ = MinMaxScaler::fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn transform_checks_dims() {
+        let s = MinMaxScaler::fit(&[vec![0.0f32, 1.0]]);
+        let _ = s.transform(&[1.0]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the dataset substrate.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::features::{ClassFeatureSource, PrototypeFeatureModel};
+use crate::glyphs::{GlyphClass, GlyphRenderer, GLYPH_PIXELS};
+use crate::normalize::{MinMaxScaler, ZScoreScaler};
+use crate::synth::GaussianMixtureSpec;
+use crate::tabular::Dataset;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Splits partition the dataset for any fraction and seed.
+    #[test]
+    fn split_partitions(
+        n in 5usize..200,
+        frac in 0.05f64..0.95,
+        seed in 0u64..100,
+    ) {
+        let ds = Dataset::new(
+            "p",
+            (0..n).map(|i| vec![i as f32]).collect(),
+            (0..n).map(|i| (i % 4) as u32).collect(),
+        );
+        let (train, test) = ds.split(frac, seed);
+        prop_assert_eq!(train.len() + test.len(), n);
+        prop_assert!(!train.is_empty());
+        prop_assert!(!test.is_empty());
+        // No sample appears twice.
+        let mut all: Vec<f32> = train
+            .features()
+            .iter()
+            .chain(test.features())
+            .map(|r| r[0])
+            .collect();
+        all.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        all.dedup();
+        prop_assert_eq!(all.len(), n);
+    }
+
+    /// Generated mixtures have exactly the requested shape.
+    #[test]
+    fn mixture_shape(
+        dims in 1usize..20,
+        sizes in proptest::collection::vec(1usize..30, 1..6),
+        seed in 0u64..50,
+    ) {
+        let spec = GaussianMixtureSpec::named("t", dims, sizes.clone(), 1.0, 0.2);
+        let ds = spec.generate(seed);
+        prop_assert_eq!(ds.len(), sizes.iter().sum::<usize>());
+        prop_assert_eq!(ds.dims(), dims);
+        let counts = ds.class_counts();
+        for (c, &expected) in sizes.iter().enumerate() {
+            prop_assert_eq!(counts[c], (c as u32, expected));
+        }
+        // All features finite.
+        prop_assert!(ds.features().iter().flatten().all(|v| v.is_finite()));
+    }
+
+    /// Prototype samples are always unit-norm regardless of class, seed,
+    /// or noise.
+    #[test]
+    fn prototype_samples_unit_norm(
+        class in any::<u64>(),
+        sigma in 0.0f64..0.5,
+        seed in 0u64..100,
+    ) {
+        let mut m = PrototypeFeatureModel::new(32, sigma, seed);
+        let s = m.sample(class);
+        let norm: f64 = s.iter().map(|&x| (x as f64).powi(2)).sum::<f64>().sqrt();
+        prop_assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    /// Glyph rendering always yields a valid grayscale image with some
+    /// ink, for any class and renderer jitter.
+    #[test]
+    fn glyphs_valid(seed in 0u64..300, jitter in 0.0f32..0.05) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let class = GlyphClass::random(&mut rng);
+        let renderer = GlyphRenderer { jitter, ..GlyphRenderer::default() };
+        let img = renderer.render(&class, &mut rng);
+        prop_assert_eq!(img.len(), GLYPH_PIXELS);
+        prop_assert!(img.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        prop_assert!(img.iter().sum::<f32>() > 0.0, "blank glyph");
+    }
+
+    /// Scalers are idempotent on their own output ranges: min-max output
+    /// always lies in [0, 1]; z-score output of the training set has
+    /// near-zero mean.
+    #[test]
+    fn scalers_behave(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-100.0f32..100.0, 3), 2..30),
+    ) {
+        let mm = MinMaxScaler::fit(&rows);
+        for r in &rows {
+            prop_assert!(mm.transform(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+        let zs = ZScoreScaler::fit(&rows);
+        let out = zs.transform_all(&rows);
+        for f in 0..3 {
+            let mean: f32 = out.iter().map(|r| r[f]).sum::<f32>() / rows.len() as f32;
+            prop_assert!(mean.abs() < 1e-2, "feature {} mean {}", f, mean);
+        }
+    }
+}

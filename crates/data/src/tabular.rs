@@ -1,0 +1,233 @@
+//! Labelled tabular datasets and seeded splits.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A labelled, dense, real-valued dataset.
+///
+/// # Examples
+///
+/// ```
+/// use femcam_data::Dataset;
+///
+/// let ds = Dataset::new(
+///     "toy",
+///     vec![vec![0.0, 1.0], vec![1.0, 0.0]],
+///     vec![0, 1],
+/// );
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.dims(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Dataset {
+    name: String,
+    features: Vec<Vec<f32>>,
+    labels: Vec<u32>,
+}
+
+impl Dataset {
+    /// Creates a dataset from parallel feature rows and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` and `labels` lengths differ, or rows have
+    /// inconsistent dimensionality.
+    #[must_use]
+    pub fn new(name: impl Into<String>, features: Vec<Vec<f32>>, labels: Vec<u32>) -> Self {
+        assert_eq!(
+            features.len(),
+            labels.len(),
+            "features and labels must be parallel"
+        );
+        if let Some(first) = features.first() {
+            let d = first.len();
+            assert!(
+                features.iter().all(|r| r.len() == d),
+                "all rows must share dimensionality"
+            );
+        }
+        Dataset {
+            name: name.into(),
+            features,
+            labels,
+        }
+    }
+
+    /// Dataset name (used in reports).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` if the dataset holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimensionality (0 for an empty dataset).
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.features.first().map_or(0, Vec::len)
+    }
+
+    /// Number of distinct labels.
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        let mut labels: Vec<u32> = self.labels.clone();
+        labels.sort_unstable();
+        labels.dedup();
+        labels.len()
+    }
+
+    /// Feature rows.
+    #[must_use]
+    pub fn features(&self) -> &[Vec<f32>] {
+        &self.features
+    }
+
+    /// Labels, parallel to [`features`](Self::features).
+    #[must_use]
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// One sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn sample(&self, i: usize) -> (&[f32], u32) {
+        (&self.features[i], self.labels[i])
+    }
+
+    /// Seeded random split into `(train, test)` with `train_frac` of the
+    /// samples (rounded down, at least 1 each when possible) going to the
+    /// training side — the paper's random 80%/20% protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < train_frac < 1`.
+    #[must_use]
+    pub fn split(&self, train_frac: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!(
+            train_frac > 0.0 && train_frac < 1.0,
+            "train_frac must be in (0, 1)"
+        );
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        let n_train = ((self.len() as f64 * train_frac) as usize)
+            .clamp(1.min(self.len()), self.len().saturating_sub(1));
+        let take = |ids: &[usize], suffix: &str| {
+            Dataset::new(
+                format!("{}-{suffix}", self.name),
+                ids.iter().map(|&i| self.features[i].clone()).collect(),
+                ids.iter().map(|&i| self.labels[i]).collect(),
+            )
+        };
+        (take(&idx[..n_train], "train"), take(&idx[n_train..], "test"))
+    }
+
+    /// Per-class sample counts as `(label, count)` pairs sorted by label.
+    #[must_use]
+    pub fn class_counts(&self) -> Vec<(u32, usize)> {
+        let mut counts: Vec<(u32, usize)> = Vec::new();
+        let mut labels: Vec<u32> = self.labels.clone();
+        labels.sort_unstable();
+        for l in labels {
+            match counts.last_mut() {
+                Some((prev, c)) if *prev == l => *c += 1,
+                _ => counts.push((l, 1)),
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        Dataset::new(
+            "toy",
+            (0..n).map(|i| vec![i as f32, (i * 2) as f32]).collect(),
+            (0..n).map(|i| (i % 3) as u32).collect(),
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let ds = toy(9);
+        assert_eq!(ds.len(), 9);
+        assert_eq!(ds.dims(), 2);
+        assert_eq!(ds.n_classes(), 3);
+        assert_eq!(ds.sample(4), (&[4.0f32, 8.0][..], 1));
+        assert_eq!(ds.class_counts(), vec![(0, 3), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn mismatched_lengths_panic() {
+        let _ = Dataset::new("bad", vec![vec![1.0]], vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share dimensionality")]
+    fn ragged_rows_panic() {
+        let _ = Dataset::new("bad", vec![vec![1.0], vec![1.0, 2.0]], vec![0, 1]);
+    }
+
+    #[test]
+    fn split_partitions_all_samples() {
+        let ds = toy(100);
+        let (train, test) = ds.split(0.8, 1);
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+        // Every original row appears exactly once across the two halves.
+        let mut seen: Vec<Vec<f32>> = train
+            .features()
+            .iter()
+            .chain(test.features())
+            .cloned()
+            .collect();
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut orig = ds.features().to_vec();
+        orig.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(seen, orig);
+    }
+
+    #[test]
+    fn split_is_seeded() {
+        let ds = toy(50);
+        let (a, _) = ds.split(0.8, 42);
+        let (b, _) = ds.split(0.8, 42);
+        let (c, _) = ds.split(0.8, 43);
+        assert_eq!(a.features(), b.features());
+        assert_ne!(a.features(), c.features());
+    }
+
+    #[test]
+    #[should_panic(expected = "train_frac")]
+    fn split_rejects_bad_fraction() {
+        let _ = toy(10).split(1.0, 0);
+    }
+
+    #[test]
+    fn empty_dataset_is_consistent() {
+        let ds = Dataset::new("empty", vec![], vec![]);
+        assert!(ds.is_empty());
+        assert_eq!(ds.dims(), 0);
+        assert_eq!(ds.n_classes(), 0);
+    }
+}

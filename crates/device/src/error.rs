@@ -1,0 +1,89 @@
+//! Error type for device-model APIs.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the FeFET device models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// A `Vth` target lies outside the device memory window.
+    VthOutOfWindow {
+        /// Requested threshold voltage in volts.
+        requested: f64,
+        /// Lowest reachable threshold voltage in volts.
+        min: f64,
+        /// Highest reachable threshold voltage in volts.
+        max: f64,
+    },
+    /// A pulse-amplitude solve failed to bracket the target.
+    AmplitudeSolveFailed {
+        /// The switched-polarization fraction that was requested.
+        target_fraction: f64,
+    },
+    /// A model parameter was invalid (non-positive, NaN, …).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::VthOutOfWindow {
+                requested,
+                min,
+                max,
+            } => write!(
+                f,
+                "threshold target {requested:.3} V outside memory window [{min:.3}, {max:.3}] V"
+            ),
+            DeviceError::AmplitudeSolveFailed { target_fraction } => write!(
+                f,
+                "no pulse amplitude reaches switched fraction {target_fraction:.4}"
+            ),
+            DeviceError::InvalidParameter { name, value } => {
+                write!(f, "invalid device parameter {name} = {value}")
+            }
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            DeviceError::VthOutOfWindow {
+                requested: 2.0,
+                min: 0.36,
+                max: 1.32,
+            },
+            DeviceError::AmplitudeSolveFailed {
+                target_fraction: 0.5,
+            },
+            DeviceError::InvalidParameter {
+                name: "i_on",
+                value: -1.0,
+            },
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeviceError>();
+    }
+}

@@ -1,0 +1,64 @@
+//! Behavioral FeFET device models for multi-bit content-addressable memories.
+//!
+//! This crate implements the device-level substrate of *"In-Memory Nearest
+//! Neighbor Search with FeFET Multi-Bit Content-Addressable Memories"*
+//! (Kazemi et al., DATE 2021):
+//!
+//! * [`transfer`] — the FeFET transfer characteristic `Id(Vg)` of paper
+//!   Fig. 2(b): exponential subthreshold conduction that saturates at the
+//!   on-current, parameterized by a programmable threshold voltage.
+//! * [`programming`] — single same-width pulse programming (Preisach /
+//!   nucleation-limited-switching flavored): a gate pulse of amplitude
+//!   `Va` switches a fraction of the ferroelectric polarization, moving
+//!   `Vth` within the memory window. Amplitudes for arbitrary `Vth`
+//!   targets are solved by bisection, as the paper does to obtain its
+//!   8 distinct `Vth` levels.
+//! * [`variation`] — a Monte Carlo domain-switching model in the spirit of
+//!   Deng et al. (VLSI 2020): each device holds a finite number of
+//!   ferroelectric domains with dispersed activation voltages, so repeated
+//!   programming yields the per-state `Vth` distributions of paper Fig. 5
+//!   (sigma up to ~80 mV, broadest for mid-window states).
+//! * [`rng`] — small self-contained sampling helpers (Box–Muller normals)
+//!   so the crate only depends on `rand`.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use femcam_device::{FefetModel, PulseProgrammer};
+//!
+//! # fn main() -> femcam_device::Result<()> {
+//! let fefet = FefetModel::default();
+//! let programmer = PulseProgrammer::default();
+//!
+//! // Solve the pulse amplitude that lands Vth at 720 mV, then check the
+//! // transfer curve at a gate bias above threshold.
+//! let pulse = programmer.pulse_for_vth(0.720)?;
+//! let vth = programmer.vth_after(pulse);
+//! assert!((vth - 0.720).abs() < 1e-3);
+//! let id = fefet.drain_current(1.2, vth);
+//! assert!(id > fefet.params().i_off);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod programming;
+mod proptests;
+pub mod rng;
+pub mod transfer;
+pub mod variation;
+pub mod verify;
+
+pub use error::DeviceError;
+pub use programming::{ProgramPulse, PulseProgrammer, PulseProgrammerBuilder};
+pub use transfer::{FefetModel, FefetParams};
+pub use variation::{
+    DomainVariationParams, GaussianVth, MonteCarloDevice, StateStatistics, VthPopulation,
+};
+pub use verify::{VerifiedProgrammer, VerifyOutcome, WriteVerifyConfig};
+
+/// Result alias used by fallible APIs in this crate.
+pub type Result<T> = std::result::Result<T, DeviceError>;

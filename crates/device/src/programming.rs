@@ -1,0 +1,519 @@
+//! Single-pulse multi-level FeFET programming (paper §II-B / §III-A).
+//!
+//! The paper programs intermediate threshold states with *single,
+//! same-width pulses of different amplitudes* (no verify pulses). We model
+//! the switched-polarization fraction with a Merz-law /
+//! Kolmogorov–Avrami–Ishibashi (KAI) nucleation-limited-switching form:
+//!
+//! ```text
+//! s(Va) = 1 − exp(−(t_pulse / τ(Va))^β)      with
+//! τ(Va) = τ0 · exp(V_act / Va)               (Merz field-activation law)
+//! ```
+//!
+//! and map the switched fraction linearly onto the threshold window:
+//! `Vth = vth_max − s·(vth_max − vth_min)`. The erased device (−5 V,
+//! 500 ns in the paper's GLOBALFOUNDRIES demonstration) sits at
+//! `vth_max`; a full-switching pulse reaches `vth_min`.
+//!
+//! [`PulseProgrammer::pulse_for_vth`] inverts the law by bisection, which
+//! is how the eight-state ladder of Fig. 3(b) (and the four-state 2-bit
+//! ladder) is realized.
+
+use crate::error::DeviceError;
+use crate::transfer::FefetParams;
+use crate::Result;
+
+/// A programming pulse: a single gate pulse of fixed width and amplitude.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ProgramPulse {
+    /// Pulse amplitude in volts. Zero means "leave erased".
+    pub amplitude_v: f64,
+    /// Pulse width in seconds.
+    pub width_s: f64,
+}
+
+impl ProgramPulse {
+    /// A zero-amplitude pulse that leaves the device in its erased state.
+    #[must_use]
+    pub fn none(width_s: f64) -> Self {
+        ProgramPulse {
+            amplitude_v: 0.0,
+            width_s,
+        }
+    }
+}
+
+/// Builder for [`PulseProgrammer`].
+///
+/// # Examples
+///
+/// ```
+/// use femcam_device::PulseProgrammerBuilder;
+///
+/// # fn main() -> femcam_device::Result<()> {
+/// let programmer = PulseProgrammerBuilder::new()
+///     .pulse_width(200e-9)
+///     .kai_exponent(0.5)
+///     .build()?;
+/// assert!(programmer.vth_after(programmer.pulse_for_vth(0.6)?) - 0.6 < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PulseProgrammerBuilder {
+    fefet: FefetParams,
+    pulse_width_s: f64,
+    tau0_s: f64,
+    v_act: f64,
+    beta: f64,
+    erase_amplitude_v: f64,
+    erase_width_s: f64,
+    max_amplitude_v: f64,
+}
+
+impl PulseProgrammerBuilder {
+    /// Starts a builder with the paper-calibrated defaults: 200 ns
+    /// programming pulses in 1–4.5 V, −5 V / 500 ns erase.
+    #[must_use]
+    pub fn new() -> Self {
+        PulseProgrammerBuilder {
+            fefet: FefetParams::default(),
+            pulse_width_s: 200e-9,
+            tau0_s: 1e-11,
+            v_act: 20.0,
+            beta: 0.5,
+            erase_amplitude_v: 5.0,
+            erase_width_s: 500e-9,
+            max_amplitude_v: 4.5,
+        }
+    }
+
+    /// Sets the FeFET parameter set that defines the memory window.
+    #[must_use]
+    pub fn fefet(mut self, fefet: FefetParams) -> Self {
+        self.fefet = fefet;
+        self
+    }
+
+    /// Sets the programming pulse width in seconds.
+    #[must_use]
+    pub fn pulse_width(mut self, width_s: f64) -> Self {
+        self.pulse_width_s = width_s;
+        self
+    }
+
+    /// Sets the Merz-law attempt time `τ0` in seconds.
+    #[must_use]
+    pub fn tau0(mut self, tau0_s: f64) -> Self {
+        self.tau0_s = tau0_s;
+        self
+    }
+
+    /// Sets the Merz activation voltage in volts.
+    #[must_use]
+    pub fn activation_voltage(mut self, v_act: f64) -> Self {
+        self.v_act = v_act;
+        self
+    }
+
+    /// Sets the KAI stretching exponent β (β < 1 models the broad
+    /// switching-time dispersion of polycrystalline HfO₂).
+    #[must_use]
+    pub fn kai_exponent(mut self, beta: f64) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Sets the maximum programming amplitude in volts.
+    #[must_use]
+    pub fn max_amplitude(mut self, v: f64) -> Self {
+        self.max_amplitude_v = v;
+        self
+    }
+
+    /// Sets the erase pulse (amplitude magnitude in volts, width in
+    /// seconds).
+    #[must_use]
+    pub fn erase_pulse(mut self, amplitude_v: f64, width_s: f64) -> Self {
+        self.erase_amplitude_v = amplitude_v;
+        self.erase_width_s = width_s;
+        self
+    }
+
+    /// Builds the programmer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] if any switching
+    /// parameter is non-positive or non-finite.
+    pub fn build(self) -> Result<PulseProgrammer> {
+        self.fefet.validate()?;
+        let checks: [(&'static str, f64); 5] = [
+            ("pulse_width_s", self.pulse_width_s),
+            ("tau0_s", self.tau0_s),
+            ("v_act", self.v_act),
+            ("beta", self.beta),
+            ("max_amplitude_v", self.max_amplitude_v),
+        ];
+        for (name, value) in checks {
+            if !(value > 0.0 && value.is_finite()) {
+                return Err(DeviceError::InvalidParameter { name, value });
+            }
+        }
+        Ok(PulseProgrammer {
+            fefet: self.fefet,
+            pulse_width_s: self.pulse_width_s,
+            tau0_s: self.tau0_s,
+            v_act: self.v_act,
+            beta: self.beta,
+            erase_amplitude_v: self.erase_amplitude_v,
+            erase_width_s: self.erase_width_s,
+            max_amplitude_v: self.max_amplitude_v,
+        })
+    }
+}
+
+impl Default for PulseProgrammerBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Deterministic (mean-field) single-pulse programmer: maps pulse
+/// amplitudes to switched fractions and threshold voltages, and solves
+/// amplitudes for `Vth` targets.
+///
+/// For the stochastic per-device behavior see
+/// [`MonteCarloDevice`](crate::variation::MonteCarloDevice), which shares
+/// this switching law but samples discrete domains.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PulseProgrammer {
+    fefet: FefetParams,
+    pulse_width_s: f64,
+    tau0_s: f64,
+    v_act: f64,
+    beta: f64,
+    erase_amplitude_v: f64,
+    erase_width_s: f64,
+    max_amplitude_v: f64,
+}
+
+impl Default for PulseProgrammer {
+    fn default() -> Self {
+        PulseProgrammerBuilder::new()
+            .build()
+            .expect("default programmer parameters are valid")
+    }
+}
+
+impl PulseProgrammer {
+    /// Returns the FeFET parameters this programmer targets.
+    #[must_use]
+    pub fn fefet(&self) -> &FefetParams {
+        &self.fefet
+    }
+
+    /// Returns the programming pulse width in seconds.
+    #[must_use]
+    pub fn pulse_width(&self) -> f64 {
+        self.pulse_width_s
+    }
+
+    /// Returns the erase pulse used before programming.
+    #[must_use]
+    pub fn erase_pulse(&self) -> ProgramPulse {
+        ProgramPulse {
+            amplitude_v: self.erase_amplitude_v,
+            width_s: self.erase_width_s,
+        }
+    }
+
+    /// Returns the maximum programming amplitude in volts.
+    #[must_use]
+    pub fn max_amplitude(&self) -> f64 {
+        self.max_amplitude_v
+    }
+
+    /// Merz-law characteristic switching time for pulse amplitude
+    /// `amplitude_v`, in seconds.
+    #[must_use]
+    pub fn switching_time(&self, amplitude_v: f64) -> f64 {
+        if amplitude_v <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.tau0_s * (self.v_act / amplitude_v).exp()
+    }
+
+    /// Mean switched-polarization fraction `s ∈ [0, 1]` produced by a
+    /// single pulse of the given amplitude at the configured width.
+    #[must_use]
+    pub fn switched_fraction(&self, amplitude_v: f64) -> f64 {
+        let tau = self.switching_time(amplitude_v);
+        if !tau.is_finite() {
+            return 0.0;
+        }
+        1.0 - (-((self.pulse_width_s / tau).powf(self.beta))).exp()
+    }
+
+    /// Threshold voltage after erase followed by a single programming
+    /// pulse.
+    #[must_use]
+    pub fn vth_after(&self, pulse: ProgramPulse) -> f64 {
+        let s = if (pulse.width_s - self.pulse_width_s).abs() < f64::EPSILON {
+            self.switched_fraction(pulse.amplitude_v)
+        } else {
+            // Re-evaluate KAI at the provided width.
+            let tau = self.switching_time(pulse.amplitude_v);
+            if tau.is_finite() {
+                1.0 - (-((pulse.width_s / tau).powf(self.beta))).exp()
+            } else {
+                0.0
+            }
+        };
+        self.fefet.vth_max - s * self.fefet.window()
+    }
+
+    /// Switched fraction required to land at `vth_target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::VthOutOfWindow`] if the target is outside
+    /// the memory window.
+    pub fn fraction_for_vth(&self, vth_target: f64) -> Result<f64> {
+        let (lo, hi) = (self.fefet.vth_min, self.fefet.vth_max);
+        // Absorb floating-point epsilon from ladder arithmetic at the
+        // window bounds.
+        let tol = 1e-9 * self.fefet.window().max(1.0);
+        if vth_target < lo - tol || vth_target > hi + tol {
+            return Err(DeviceError::VthOutOfWindow {
+                requested: vth_target,
+                min: lo,
+                max: hi,
+            });
+        }
+        Ok(((hi - vth_target) / self.fefet.window()).clamp(0.0, 1.0))
+    }
+
+    /// Solves (by bisection) the single-pulse amplitude that programs the
+    /// device to `vth_target`, reproducing the paper's amplitude ladder.
+    ///
+    /// A target equal to `vth_max` returns a zero-amplitude pulse (the
+    /// erased state needs no programming pulse).
+    ///
+    /// # Errors
+    ///
+    /// * [`DeviceError::VthOutOfWindow`] if the target is outside the
+    ///   memory window.
+    /// * [`DeviceError::AmplitudeSolveFailed`] if the target fraction is
+    ///   not reachable below [`max_amplitude`](Self::max_amplitude).
+    pub fn pulse_for_vth(&self, vth_target: f64) -> Result<ProgramPulse> {
+        let s_target = self.fraction_for_vth(vth_target)?;
+        if s_target <= 0.0 {
+            return Ok(ProgramPulse::none(self.pulse_width_s));
+        }
+        let s_max = self.switched_fraction(self.max_amplitude_v);
+        if s_target > s_max {
+            return Err(DeviceError::AmplitudeSolveFailed {
+                target_fraction: s_target,
+            });
+        }
+        // switched_fraction is monotonically increasing in amplitude, so
+        // bisection over (0, max_amplitude] converges unconditionally.
+        let mut lo = 1e-3;
+        let mut hi = self.max_amplitude_v;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.switched_fraction(mid) < s_target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(ProgramPulse {
+            amplitude_v: 0.5 * (lo + hi),
+            width_s: self.pulse_width_s,
+        })
+    }
+
+    /// Solves the amplitude ladder for a list of `Vth` targets.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing [`Self::pulse_for_vth`].
+    pub fn ladder_for(&self, vth_targets: &[f64]) -> Result<Vec<ProgramPulse>> {
+        vth_targets.iter().map(|&v| self.pulse_for_vth(v)).collect()
+    }
+
+    /// Solves the pulse amplitude whose per-domain switching probability
+    /// equals `fraction` — the control law used by incremental
+    /// write-and-verify, which aims each pulse at a chosen share of the
+    /// still-unswitched polarization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::AmplitudeSolveFailed`] if `fraction` is
+    /// outside `(0, s(max_amplitude)]`.
+    pub fn pulse_for_fraction(&self, fraction: f64) -> Result<ProgramPulse> {
+        if !(fraction > 0.0 && fraction <= self.switched_fraction(self.max_amplitude_v)) {
+            return Err(DeviceError::AmplitudeSolveFailed {
+                target_fraction: fraction,
+            });
+        }
+        let mut lo = 1e-3;
+        let mut hi = self.max_amplitude_v;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.switched_fraction(mid) < fraction {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(ProgramPulse {
+            amplitude_v: 0.5 * (lo + hi),
+            width_s: self.pulse_width_s,
+        })
+    }
+
+    /// Energy (joules) dissipated charging the gate for one pulse, using
+    /// a fixed gate capacitance `c_gate` (farads): `E = C·V²`.
+    ///
+    /// This is the quantity behind the paper's finding that average MCAM
+    /// programming energy is ~12% *lower* than TCAM (intermediate states
+    /// need lower amplitudes than a full-switching TCAM write).
+    #[must_use]
+    pub fn pulse_energy(&self, pulse: ProgramPulse, c_gate: f64) -> f64 {
+        c_gate * pulse.amplitude_v * pulse.amplitude_v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switched_fraction_monotonic_in_amplitude() {
+        let p = PulseProgrammer::default();
+        let mut last = -1.0;
+        for i in 0..100 {
+            let v = 0.5 + 0.05 * i as f64;
+            let s = p.switched_fraction(v);
+            assert!(s >= last, "fraction must not decrease with amplitude");
+            assert!((0.0..=1.0).contains(&s));
+            last = s;
+        }
+    }
+
+    #[test]
+    fn paper_amplitude_range_spans_the_window() {
+        // The paper programs intermediate states with 1–4.5 V pulses; the
+        // switching law should be near-zero at 1 V and near-full at 4.5 V.
+        let p = PulseProgrammer::default();
+        assert!(p.switched_fraction(1.0) < 0.05);
+        assert!(p.switched_fraction(4.5) > 0.95);
+    }
+
+    #[test]
+    fn zero_amplitude_leaves_device_erased() {
+        let p = PulseProgrammer::default();
+        let vth = p.vth_after(ProgramPulse::none(200e-9));
+        assert!((vth - p.fefet().vth_max).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eight_state_ladder_solves_within_amplitude_budget() {
+        // The Fig. 3(b) programming targets: {0.48, 0.60, …, 1.32} V.
+        let p = PulseProgrammer::default();
+        let targets: Vec<f64> = (0..8).map(|k| 0.48 + 0.12 * k as f64).collect();
+        let ladder = p.ladder_for(&targets).unwrap();
+        for (pulse, &target) in ladder.iter().zip(&targets) {
+            assert!(pulse.amplitude_v <= p.max_amplitude());
+            assert!(pulse.amplitude_v >= 0.0);
+            let vth = p.vth_after(*pulse);
+            assert!(
+                (vth - target).abs() < 1e-3,
+                "ladder misses target {target}: got {vth}"
+            );
+        }
+        // Deeper-switching (lower Vth) targets need larger amplitudes.
+        for w in ladder.windows(2) {
+            assert!(w[0].amplitude_v >= w[1].amplitude_v || w[1].amplitude_v == 0.0);
+        }
+    }
+
+    #[test]
+    fn ladder_amplitudes_are_below_tcam_full_switch() {
+        // All multi-level amplitudes should be well below the amplitude
+        // needed for (near-)full switching — that is what makes MCAM
+        // programming cheaper on average than TCAM.
+        let p = PulseProgrammer::default();
+        let full = p.pulse_for_vth(p.fefet().vth_min + 1e-4).unwrap();
+        let mid = p.pulse_for_vth(0.84).unwrap();
+        assert!(mid.amplitude_v < full.amplitude_v);
+    }
+
+    #[test]
+    fn out_of_window_target_rejected() {
+        let p = PulseProgrammer::default();
+        assert!(matches!(
+            p.pulse_for_vth(2.0),
+            Err(DeviceError::VthOutOfWindow { .. })
+        ));
+        assert!(matches!(
+            p.pulse_for_vth(0.1),
+            Err(DeviceError::VthOutOfWindow { .. })
+        ));
+    }
+
+    #[test]
+    fn unreachable_fraction_reports_solve_failure() {
+        // With a tiny max amplitude nothing switches, so low-Vth targets
+        // must fail loudly rather than return garbage.
+        let p = PulseProgrammerBuilder::new()
+            .max_amplitude(0.5)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            p.pulse_for_vth(0.4),
+            Err(DeviceError::AmplitudeSolveFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_nonsense() {
+        assert!(PulseProgrammerBuilder::new().pulse_width(-1.0).build().is_err());
+        assert!(PulseProgrammerBuilder::new().kai_exponent(0.0).build().is_err());
+        assert!(PulseProgrammerBuilder::new().tau0(f64::NAN).build().is_err());
+    }
+
+    #[test]
+    fn pulse_energy_scales_quadratically() {
+        let p = PulseProgrammer::default();
+        let a = ProgramPulse {
+            amplitude_v: 1.0,
+            width_s: 200e-9,
+        };
+        let b = ProgramPulse {
+            amplitude_v: 2.0,
+            width_s: 200e-9,
+        };
+        let c = 1e-15;
+        assert!((p.pulse_energy(b, c) / p.pulse_energy(a, c) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_width_pulse_changes_fraction() {
+        let p = PulseProgrammer::default();
+        let short = ProgramPulse {
+            amplitude_v: 2.0,
+            width_s: 20e-9,
+        };
+        let long = ProgramPulse {
+            amplitude_v: 2.0,
+            width_s: 2000e-9,
+        };
+        assert!(p.vth_after(short) > p.vth_after(long), "longer pulse switches more");
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests of the device-model invariants.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::programming::{ProgramPulse, PulseProgrammer, PulseProgrammerBuilder};
+use crate::transfer::{FefetModel, FefetParams};
+use crate::variation::GaussianVth;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Current is bounded by the leakage floor and on-current for any
+    /// bias and threshold, including absurd ones.
+    #[test]
+    fn current_always_bounded(vg in -10.0f64..10.0, vth in -2.0f64..3.0) {
+        let m = FefetModel::default();
+        let id = m.drain_current(vg, vth);
+        prop_assert!(id >= m.params().i_off * (1.0 - 1e-12));
+        prop_assert!(id <= m.params().i_on * (1.0 + 1e-12));
+        prop_assert!(id.is_finite());
+    }
+
+    /// The transfer curve translates with Vth: Id(Vg + d, Vth + d) is
+    /// invariant.
+    #[test]
+    fn transfer_curve_translates(
+        vg in -1.0f64..2.0,
+        vth in 0.3f64..1.4,
+        shift in -0.5f64..0.5,
+    ) {
+        let m = FefetModel::default();
+        let a = m.drain_current(vg, vth);
+        let b = m.drain_current(vg + shift, vth + shift);
+        prop_assert!(((a - b) / a).abs() < 1e-9);
+    }
+
+    /// Swing parameterization: in deep subthreshold the measured decade
+    /// slope matches the configured swing for any legal configuration.
+    #[test]
+    fn swing_matches_configuration(ss in 60.0f64..250.0) {
+        let params = FefetParams { ss_mv_per_dec: ss, ..FefetParams::default() };
+        let m = FefetModel::new(params).expect("valid params");
+        // Probe ~6 nVT below the conduction point: deep subthreshold but
+        // still far above the leakage floor for any swing.
+        let vth = 1.32;
+        let vg = vth + m.params().v_on_offset - 6.0 * m.params().n_vt();
+        let dv = 1e-4;
+        let i1 = m.drain_current(vg, vth) - m.params().i_off;
+        let i2 = m.drain_current(vg + dv, vth) - m.params().i_off;
+        let measured = 1000.0 * dv / (i2 / i1).log10();
+        prop_assert!((measured - ss).abs() / ss < 0.05,
+            "configured {} measured {}", ss, measured);
+    }
+
+    /// Switched fraction is monotone in amplitude and bounded in [0,1].
+    #[test]
+    fn switching_law_monotone(a in 0.0f64..6.0, delta in 0.001f64..2.0) {
+        let p = PulseProgrammer::default();
+        let s1 = p.switched_fraction(a);
+        let s2 = p.switched_fraction(a + delta);
+        prop_assert!((0.0..=1.0).contains(&s1));
+        prop_assert!(s2 >= s1);
+    }
+
+    /// Longer pulses never switch less.
+    #[test]
+    fn switching_monotone_in_width(
+        amplitude in 1.0f64..4.5,
+        w1 in 1e-9f64..1e-5,
+        factor in 1.0f64..100.0,
+    ) {
+        let p = PulseProgrammer::default();
+        let short = p.vth_after(ProgramPulse { amplitude_v: amplitude, width_s: w1 });
+        let long = p.vth_after(ProgramPulse { amplitude_v: amplitude, width_s: w1 * factor });
+        prop_assert!(long <= short + 1e-12);
+    }
+
+    /// The solve-apply roundtrip works across the whole window and for
+    /// altered switching-law parameters.
+    #[test]
+    fn solve_roundtrip_various_laws(
+        vth in 0.40f64..1.30,
+        beta in 0.3f64..1.5,
+        v_act in 10.0f64..30.0,
+    ) {
+        let p = PulseProgrammerBuilder::new()
+            .kai_exponent(beta)
+            .activation_voltage(v_act)
+            .max_amplitude(20.0)
+            .build()
+            .expect("valid builder");
+        let pulse = p.pulse_for_vth(vth).expect("solvable with huge budget");
+        prop_assert!((p.vth_after(pulse) - vth).abs() < 5e-3);
+    }
+
+    /// Gaussian perturbation means stay centered for any sigma.
+    #[test]
+    fn gaussian_perturbation_centered(sigma in 0.0f64..0.3, seed in 0u64..500) {
+        let mut g = GaussianVth::new(sigma, seed).expect("valid");
+        let n = 2000;
+        let mean: f64 = (0..n).map(|_| g.perturb(0.84)).sum::<f64>() / n as f64;
+        prop_assert!((mean - 0.84).abs() < 0.03 + sigma * 0.1);
+    }
+}

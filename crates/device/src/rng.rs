@@ -1,0 +1,91 @@
+//! Small sampling helpers shared by the Monte Carlo models.
+//!
+//! Only `rand` is available offline, which provides uniform sampling but
+//! no normal distribution; [`normal`] implements Box–Muller on top of it.
+
+use rand::Rng;
+
+/// Draws one standard-normal sample via the Box–Muller transform.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let z = femcam_device::rng::standard_normal(&mut rng);
+/// assert!(z.is_finite());
+/// ```
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Draw u1 from the half-open (0, 1] so the log is finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws one `N(mean, sigma²)` sample.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+    mean + sigma * standard_normal(rng)
+}
+
+/// Sample mean of a slice. Returns `0.0` for an empty slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (population form). Returns `0.0` for slices
+/// shorter than 2.
+#[must_use]
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_samples_have_requested_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let xs: Vec<f64> = (0..40_000).map(|_| normal(&mut rng, 3.0, 0.5)).collect();
+        assert!((mean(&xs) - 3.0).abs() < 0.02);
+        assert!((std_dev(&xs) - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn standard_normal_is_roughly_symmetric() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let pos = (0..n)
+            .filter(|_| standard_normal(&mut rng) > 0.0)
+            .count() as f64;
+        let frac = pos / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "positive fraction {frac}");
+    }
+
+    #[test]
+    fn moments_of_empty_and_singleton() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert_eq!(mean(&[5.0]), 5.0);
+    }
+
+    #[test]
+    fn seeded_rng_is_reproducible() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(standard_normal(&mut a), standard_normal(&mut b));
+        }
+    }
+}

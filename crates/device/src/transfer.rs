@@ -1,0 +1,409 @@
+//! FeFET transfer characteristic (paper Fig. 2(b)).
+//!
+//! The model captures the two regimes that matter for the MCAM distance
+//! function of the paper:
+//!
+//! 1. **Subthreshold** — drain current rises exponentially with gate
+//!    overdrive, with a (FeFET-typical, interfacial-layer-degraded)
+//!    subthreshold swing well above the 60 mV/dec room-temperature limit.
+//! 2. **On saturation** — at high overdrive the extrinsic series
+//!    resistance and velocity saturation cap the current at `i_on`.
+//!
+//! Both regimes are captured by a logistic interpolation in current,
+//! which is exactly the behavior of an exponential subthreshold channel
+//! in series with a fixed resistance: `Id = I_on · E / (1 + E)` with
+//! `E = exp((Vg − Vth − v_on_offset) / (n·kT/q))`. A gate-leakage /
+//! junction floor `i_off` bounds the off current. The composite is what
+//! produces the exponential distance function of paper Fig. 4(a,b) and
+//! its bell-shaped derivative (Fig. 4(d)): exponential growth for small
+//! mismatch, saturation for large mismatch.
+
+use crate::error::DeviceError;
+use crate::Result;
+
+/// Thermal voltage `kT/q` at 300 K, in volts.
+pub const THERMAL_VOLTAGE: f64 = 0.02585;
+
+/// Parameters of the behavioral FeFET transfer model.
+///
+/// Defaults are calibrated to paper Fig. 2(b): eight `Vth` states spread
+/// over a ~1 V memory window with drain currents spanning `1e-9` to
+/// `1e-4` A over a 0–1.2 V gate sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FefetParams {
+    /// On-current in amperes (series-resistance limited).
+    pub i_on: f64,
+    /// Off-current floor in amperes (gate/junction leakage).
+    pub i_off: f64,
+    /// Subthreshold swing in mV per decade of drain current.
+    pub ss_mv_per_dec: f64,
+    /// Gate overdrive (V) above `Vth` at which the device reaches half of
+    /// `i_on`. `Vth` itself is a constant-current threshold near the
+    /// bottom of the subthreshold region, so matched CAM cells sit deep
+    /// in subthreshold while strongly mismatched cells saturate.
+    pub v_on_offset: f64,
+    /// Lowest programmable threshold voltage (V).
+    pub vth_min: f64,
+    /// Highest programmable threshold voltage (V).
+    pub vth_max: f64,
+    /// Drain (match-line) read bias in volts used to convert current to
+    /// conductance; the experimental demonstration in the paper reads the
+    /// array at `V_ML = 0.1 V`.
+    pub v_read: f64,
+    /// State dependence of the transfer characteristic: the subthreshold
+    /// swing of a partially polarized FeFET differs from a fully
+    /// switched one (domain-wall scattering), which is what spreads the
+    /// same-distance points of paper Fig. 4(b). The effective swing is
+    /// `ss · (1 + dispersion · (vth − window_center)/(window/2))`; zero
+    /// (the default) gives the ideal, perfectly symmetric device.
+    pub ss_state_dispersion: f64,
+}
+
+impl FefetParams {
+    /// Memory window width `vth_max − vth_min` in volts.
+    #[must_use]
+    pub fn window(&self) -> f64 {
+        self.vth_max - self.vth_min
+    }
+
+    /// Ideality-scaled thermal voltage `n·kT/q` in volts, derived from the
+    /// subthreshold swing.
+    #[must_use]
+    pub fn n_vt(&self) -> f64 {
+        (self.ss_mv_per_dec / 1000.0) / std::f64::consts::LN_10
+    }
+
+    /// Validates the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] if a current, swing, or
+    /// window bound is non-positive, non-finite, or inconsistent.
+    pub fn validate(&self) -> Result<()> {
+        let checks: [(&'static str, f64, bool); 7] = [
+            ("i_on", self.i_on, self.i_on > 0.0 && self.i_on.is_finite()),
+            (
+                "i_off",
+                self.i_off,
+                self.i_off > 0.0 && self.i_off < self.i_on,
+            ),
+            (
+                "ss_mv_per_dec",
+                self.ss_mv_per_dec,
+                self.ss_mv_per_dec >= 60.0 && self.ss_mv_per_dec.is_finite(),
+            ),
+            (
+                "v_on_offset",
+                self.v_on_offset,
+                self.v_on_offset >= 0.0 && self.v_on_offset.is_finite(),
+            ),
+            (
+                "vth_window",
+                self.window(),
+                self.window() > 0.0 && self.window().is_finite(),
+            ),
+            ("v_read", self.v_read, self.v_read > 0.0),
+            (
+                "ss_state_dispersion",
+                self.ss_state_dispersion,
+                self.ss_state_dispersion.is_finite() && self.ss_state_dispersion.abs() < 0.5,
+            ),
+        ];
+        for (name, value, ok) in checks {
+            if !ok {
+                return Err(DeviceError::InvalidParameter { name, value });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for FefetParams {
+    fn default() -> Self {
+        FefetParams {
+            i_on: 1e-4,
+            i_off: 1e-9,
+            ss_mv_per_dec: 145.0,
+            v_on_offset: 0.54,
+            vth_min: 0.36,
+            vth_max: 1.32,
+            v_read: 0.1,
+            ss_state_dispersion: 0.0,
+        }
+    }
+}
+
+/// Behavioral FeFET: maps gate bias and programmed threshold voltage to
+/// drain current and channel conductance.
+///
+/// # Examples
+///
+/// ```
+/// use femcam_device::FefetModel;
+///
+/// let fefet = FefetModel::default();
+/// // A device programmed to a low Vth conducts far more at Vg = 1.0 V
+/// // than one programmed to a high Vth.
+/// let on = fefet.drain_current(1.0, 0.48);
+/// let off = fefet.drain_current(1.0, 1.32);
+/// assert!(on / off > 1e2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FefetModel {
+    params: FefetParams,
+}
+
+impl FefetModel {
+    /// Creates a model from validated parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] if `params` fails
+    /// [`FefetParams::validate`].
+    pub fn new(params: FefetParams) -> Result<Self> {
+        params.validate()?;
+        Ok(FefetModel { params })
+    }
+
+    /// Returns the model parameters.
+    #[must_use]
+    pub fn params(&self) -> &FefetParams {
+        &self.params
+    }
+
+    /// Drain current in amperes at gate bias `vg` (V) for a device
+    /// programmed to threshold `vth` (V), at the small read drain bias.
+    ///
+    /// The logistic form is numerically safe for arbitrarily large
+    /// positive or negative overdrive.
+    #[must_use]
+    pub fn drain_current(&self, vg: f64, vth: f64) -> f64 {
+        let p = &self.params;
+        let n_vt = if p.ss_state_dispersion == 0.0 {
+            p.n_vt()
+        } else {
+            let mid = 0.5 * (p.vth_min + p.vth_max);
+            let half = 0.5 * p.window();
+            let rel = ((vth - mid) / half).clamp(-1.5, 1.5);
+            p.n_vt() * (1.0 + p.ss_state_dispersion * rel).max(0.2)
+        };
+        let x = (vg - vth - p.v_on_offset) / n_vt;
+        // logistic(x) computed without overflow
+        let sat = if x >= 0.0 {
+            1.0 / (1.0 + (-x).exp())
+        } else {
+            let e = x.exp();
+            e / (1.0 + e)
+        };
+        p.i_off + (p.i_on - p.i_off) * sat
+    }
+
+    /// Channel conductance in siemens at gate bias `vg` for threshold
+    /// `vth`, i.e. `Id / v_read`.
+    #[must_use]
+    pub fn conductance(&self, vg: f64, vth: f64) -> f64 {
+        self.drain_current(vg, vth) / self.params.v_read
+    }
+
+    /// On-state conductance bound `i_on / v_read` in siemens.
+    #[must_use]
+    pub fn g_on(&self) -> f64 {
+        self.params.i_on / self.params.v_read
+    }
+
+    /// Off-state conductance floor `i_off / v_read` in siemens.
+    #[must_use]
+    pub fn g_off(&self) -> f64 {
+        self.params.i_off / self.params.v_read
+    }
+
+    /// Samples the `Id(Vg)` transfer curve over `[vg_start, vg_stop]` with
+    /// `points` samples, for a device programmed to `vth`.
+    ///
+    /// This regenerates one curve of paper Fig. 2(b).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points < 2`.
+    #[must_use]
+    pub fn transfer_curve(&self, vth: f64, vg_start: f64, vg_stop: f64, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "a sweep needs at least 2 points");
+        let step = (vg_stop - vg_start) / (points - 1) as f64;
+        (0..points)
+            .map(|i| {
+                let vg = vg_start + step * i as f64;
+                (vg, self.drain_current(vg, vth))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // explicit per-field tweaks read clearer in tests
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_validate() {
+        FefetParams::default().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut p = FefetParams::default();
+        p.i_on = -1.0;
+        assert!(matches!(
+            FefetModel::new(p),
+            Err(DeviceError::InvalidParameter { name: "i_on", .. })
+        ));
+
+        let mut p = FefetParams::default();
+        p.i_off = 1.0; // larger than i_on
+        assert!(FefetModel::new(p).is_err());
+
+        let mut p = FefetParams::default();
+        p.ss_mv_per_dec = 30.0; // below thermal limit
+        assert!(FefetModel::new(p).is_err());
+
+        let mut p = FefetParams::default();
+        p.vth_min = 2.0; // window inverted
+        assert!(FefetModel::new(p).is_err());
+    }
+
+    #[test]
+    fn current_bounded_by_i_off_and_i_on() {
+        let fefet = FefetModel::default();
+        let p = fefet.params();
+        for vg in [-5.0, 0.0, 0.6, 1.2, 10.0] {
+            for vth in [0.36, 0.84, 1.32] {
+                let id = fefet.drain_current(vg, vth);
+                assert!(id >= p.i_off, "below floor at vg={vg}, vth={vth}");
+                assert!(id <= p.i_on, "above ceiling at vg={vg}, vth={vth}");
+            }
+        }
+    }
+
+    #[test]
+    fn current_monotonic_in_vg() {
+        let fefet = FefetModel::default();
+        let mut last = 0.0;
+        for i in 0..200 {
+            let vg = -1.0 + 0.02 * i as f64;
+            let id = fefet.drain_current(vg, 0.84);
+            assert!(id >= last);
+            last = id;
+        }
+    }
+
+    #[test]
+    fn current_monotonic_decreasing_in_vth() {
+        let fefet = FefetModel::default();
+        let mut last = f64::INFINITY;
+        for i in 0..9 {
+            let vth = 0.36 + 0.12 * i as f64;
+            let id = fefet.drain_current(1.0, vth);
+            assert!(id <= last, "current should fall as Vth rises");
+            last = id;
+        }
+    }
+
+    #[test]
+    fn subthreshold_swing_matches_parameter() {
+        // In deep subthreshold, (d log10 I / d Vg)^-1 should equal the
+        // configured swing.
+        let fefet = FefetModel::default();
+        let vth = 1.32; // highest state; Vg ~ 0.9 V is deep subthreshold
+        let vg = 0.9;
+        let dv = 1e-3;
+        let i1 = fefet.drain_current(vg, vth) - fefet.params().i_off;
+        let i2 = fefet.drain_current(vg + dv, vth) - fefet.params().i_off;
+        let decades_per_volt = (i2 / i1).log10() / dv;
+        let ss = 1000.0 / decades_per_volt;
+        assert!(
+            (ss - fefet.params().ss_mv_per_dec).abs() < 3.0,
+            "measured swing {ss} mV/dec"
+        );
+    }
+
+    #[test]
+    fn transfer_curve_spans_fig2_range() {
+        // Fig. 2(b): currents from ~1e-9 A to ~1e-4 A over a 0..1.2 V sweep
+        // across the eight programmed states.
+        let fefet = FefetModel::default();
+        let low_state = fefet.transfer_curve(0.48, 0.0, 1.2, 121);
+        let high_state = fefet.transfer_curve(1.32, 0.0, 1.2, 121);
+        let max_on = low_state.last().unwrap().1;
+        let min_off = high_state.first().unwrap().1;
+        assert!(max_on > 1e-5, "lowest state should approach i_on");
+        assert!(min_off < 2e-9, "highest state should sit at the floor");
+    }
+
+    #[test]
+    fn conductance_is_current_over_read_bias() {
+        let fefet = FefetModel::default();
+        let id = fefet.drain_current(1.0, 0.6);
+        let g = fefet.conductance(1.0, 0.6);
+        assert!((g - id / 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 points")]
+    fn transfer_curve_rejects_single_point() {
+        let _ = FefetModel::default().transfer_curve(0.6, 0.0, 1.2, 1);
+    }
+
+    #[test]
+    fn state_dispersion_breaks_the_ideal_symmetry() {
+        // With dispersion, low-Vth (fully switched) devices have a
+        // steeper swing than high-Vth (partially switched) ones, so the
+        // same overdrive conducts differently — the Fig. 4(b) spread.
+        let mut p = FefetParams::default();
+        p.ss_state_dispersion = 0.1;
+        let m = FefetModel::new(p).unwrap();
+        let overdrive = -0.2;
+        let low = m.drain_current(0.48 + overdrive, 0.48);
+        let high = m.drain_current(1.32 + overdrive, 1.32);
+        assert!(
+            (low / high - 1.0).abs() > 0.1,
+            "dispersion should split equal-overdrive currents: {low} vs {high}"
+        );
+        // And the ideal device keeps them identical.
+        let ideal = FefetModel::default();
+        let a = ideal.drain_current(0.48 + overdrive, 0.48);
+        let b = ideal.drain_current(1.32 + overdrive, 1.32);
+        assert!(((a - b) / a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dispersion_validation() {
+        let mut p = FefetParams::default();
+        p.ss_state_dispersion = 0.9;
+        assert!(p.validate().is_err());
+        p.ss_state_dispersion = f64::NAN;
+        assert!(p.validate().is_err());
+        p.ss_state_dispersion = -0.2;
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn eight_states_separated_in_subthreshold() {
+        // Adjacent states (120 mV apart) should differ by close to
+        // 120/ss decades of current in the subthreshold region.
+        let fefet = FefetModel::default();
+        let vg = 0.5;
+        let expected_ratio = 10f64.powf(120.0 / fefet.params().ss_mv_per_dec);
+        for k in 4..8 {
+            let vth_a = 0.48 + 0.12 * k as f64;
+            let vth_b = vth_a - 0.12;
+            let ia = fefet.drain_current(vg, vth_a) - fefet.params().i_off;
+            let ib = fefet.drain_current(vg, vth_b) - fefet.params().i_off;
+            let ratio = ib / ia;
+            assert!(
+                (ratio / expected_ratio - 1.0).abs() < 0.2,
+                "state separation ratio {ratio:.2} vs expected {expected_ratio:.2}"
+            );
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! CAM array energy/delay models, derived from the device models.
+//!
+//! Energies use a driver-dissipation accounting `E ∝ V² · t` per driven
+//! line (a resistively-loaded driver holding voltage `V` for pulse
+//! width `t`), with capacitive charging absorbed into the same constant.
+//! Only *ratios* between MCAM and TCAM are reported as results; the
+//! absolute scale constants cancel.
+
+use femcam_core::{LevelLadder, MlTiming, Result};
+use femcam_device::{FefetModel, PulseProgrammer};
+
+/// Geometry of a CAM array used in an end-to-end estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CamArraySpec {
+    /// Stored words.
+    pub rows: usize,
+    /// Cells per word.
+    pub cols: usize,
+}
+
+impl CamArraySpec {
+    /// Single-step search delay in seconds: input application (one
+    /// search pulse) plus worst-case (slowest, i.e. best-match) ML
+    /// discharge plus sense-amp resolution. Identical for MCAM and TCAM
+    /// (same cells, same sensing scheme) — the paper's delay-parity
+    /// statement.
+    #[must_use]
+    pub fn search_delay(&self) -> f64 {
+        let input_pulse = 1e-9;
+        // Best-match row discharges through leakage only.
+        let model = FefetModel::default();
+        let g_leak_row = self.cols as f64 * 2.0 * model.g_off();
+        let timing = MlTiming {
+            c_ml: self.cols as f64 * 1e-15,
+            ..MlTiming::default()
+        };
+        let sense = 0.5e-9;
+        input_pulse + timing.discharge_time(g_leak_row).min(10e-9) + sense
+    }
+}
+
+/// Search-energy model: per-search data-line drive energy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SearchEnergyModel {
+    /// Data-line drive constant (J per V² per cell per search); cancels
+    /// in ratios.
+    pub c_dl: f64,
+    /// TCAM search-line high voltage in volts (Ni et al. drive one of
+    /// the two search lines high per cell).
+    pub tcam_search_v: f64,
+    /// Match-line precharge energy constant per cell (shared by both
+    /// CAM types).
+    pub c_ml_precharge: f64,
+    /// Precharge voltage (0.8 V in the paper).
+    pub v_precharge: f64,
+}
+
+impl Default for SearchEnergyModel {
+    fn default() -> Self {
+        SearchEnergyModel {
+            c_dl: 1e-15,
+            tcam_search_v: 1.0,
+            c_ml_precharge: 0.2e-15,
+            v_precharge: 0.8,
+        }
+    }
+}
+
+impl SearchEnergyModel {
+    /// Mean per-cell MCAM search energy over a uniform input
+    /// distribution: both `DL` and `DL̄` are driven, so the cost is
+    /// `mean(V_in² + inv(V_in)²) = 2 · mean(V_in²)` over the Fig. 3(b)
+    /// ladder.
+    #[must_use]
+    pub fn mcam_cell_search(&self, ladder: &LevelLadder) -> f64 {
+        let vs = ladder.input_voltages();
+        let mean_sq: f64 = vs
+            .iter()
+            .map(|&v| {
+                let inv = ladder.invert(v);
+                v * v + inv * inv
+            })
+            .sum::<f64>()
+            / vs.len() as f64;
+        self.c_dl * mean_sq + self.ml_precharge_per_cell()
+    }
+
+    /// Per-cell TCAM search energy: one search line high per cell.
+    #[must_use]
+    pub fn tcam_cell_search(&self) -> f64 {
+        self.c_dl * self.tcam_search_v * self.tcam_search_v + self.ml_precharge_per_cell()
+    }
+
+    fn ml_precharge_per_cell(&self) -> f64 {
+        self.c_ml_precharge * self.v_precharge * self.v_precharge
+    }
+
+    /// MCAM / TCAM per-cell search-energy ratio (paper: 1.56).
+    #[must_use]
+    pub fn mcam_vs_tcam(&self, ladder: &LevelLadder) -> f64 {
+        self.mcam_cell_search(ladder) / self.tcam_cell_search()
+    }
+
+    /// Whole-array MCAM search energy (J).
+    #[must_use]
+    pub fn mcam_array_search(&self, ladder: &LevelLadder, spec: &CamArraySpec) -> f64 {
+        self.mcam_cell_search(ladder) * (spec.rows * spec.cols) as f64
+    }
+
+    /// Whole-array TCAM search energy (J).
+    #[must_use]
+    pub fn tcam_array_search(&self, spec: &CamArraySpec) -> f64 {
+        self.tcam_cell_search() * (spec.rows * spec.cols) as f64
+    }
+}
+
+/// Programming-energy model: erase + single-pulse write per FeFET, with
+/// `E ∝ V² · t` driver accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ProgramEnergyModel {
+    /// Gate drive constant (J per V² per second); cancels in ratios.
+    pub c_gate: f64,
+    /// Switched-polarization depth a TCAM write targets (TCAMs write the
+    /// window extremes for maximum margin).
+    pub tcam_write_fraction: f64,
+}
+
+impl Default for ProgramEnergyModel {
+    fn default() -> Self {
+        ProgramEnergyModel {
+            c_gate: 1e-9,
+            tcam_write_fraction: 0.9999,
+        }
+    }
+}
+
+impl ProgramEnergyModel {
+    fn pulse_energy(&self, amplitude_v: f64, width_s: f64) -> f64 {
+        self.c_gate * amplitude_v * amplitude_v * width_s
+    }
+
+    /// Mean per-cell MCAM programming energy over a uniform state
+    /// distribution: block erase of both FeFETs plus the two ladder
+    /// write pulses for the stored state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates amplitude-solve failures.
+    pub fn mcam_cell_program(
+        &self,
+        programmer: &PulseProgrammer,
+        ladder: &LevelLadder,
+    ) -> Result<f64> {
+        let erase = programmer.erase_pulse();
+        let erase_energy = 2.0 * self.pulse_energy(erase.amplitude_v, erase.width_s);
+        let n = ladder.n_levels();
+        let mut write_energy = 0.0;
+        for state in 0..n as u8 {
+            for vth in [ladder.vth_right(state), ladder.vth_left(state)] {
+                let pulse = programmer.pulse_for_vth(vth)?;
+                write_energy += self.pulse_energy(pulse.amplitude_v, pulse.width_s);
+            }
+        }
+        Ok(erase_energy + write_energy / n as f64)
+    }
+
+    /// Per-cell TCAM programming energy: block erase of both FeFETs plus
+    /// one full-depth write pulse on the low-`Vth` side.
+    ///
+    /// # Errors
+    ///
+    /// Propagates amplitude-solve failures.
+    pub fn tcam_cell_program(
+        &self,
+        programmer: &PulseProgrammer,
+        ladder: &LevelLadder,
+    ) -> Result<f64> {
+        let erase = programmer.erase_pulse();
+        let erase_energy = 2.0 * self.pulse_energy(erase.amplitude_v, erase.width_s);
+        let window = ladder.v_max() - ladder.v_min();
+        let vth_target = ladder.v_max() - self.tcam_write_fraction * window;
+        let pulse = programmer.pulse_for_vth(vth_target)?;
+        Ok(erase_energy + self.pulse_energy(pulse.amplitude_v, pulse.width_s))
+    }
+
+    /// MCAM / TCAM per-cell programming-energy ratio (paper: 0.88).
+    ///
+    /// # Errors
+    ///
+    /// Propagates amplitude-solve failures.
+    pub fn mcam_vs_tcam(
+        &self,
+        programmer: &PulseProgrammer,
+        ladder: &LevelLadder,
+    ) -> Result<f64> {
+        Ok(self.mcam_cell_program(programmer, ladder)?
+            / self.tcam_cell_program(programmer, ladder)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder3() -> LevelLadder {
+        LevelLadder::new(3).unwrap()
+    }
+
+    #[test]
+    fn mcam_search_energy_is_56_percent_higher() {
+        // The headline number: the Fig. 3(b) ladder gives
+        // 2·mean(V²) = 1.5624 V² vs the TCAM's 1.0 V².
+        let m = SearchEnergyModel {
+            c_ml_precharge: 0.0, // isolate the data-line term
+            ..SearchEnergyModel::default()
+        };
+        let ratio = m.mcam_vs_tcam(&ladder3());
+        assert!(
+            (ratio - 1.5624).abs() < 1e-3,
+            "pure DL ratio {ratio} should be 1.5624"
+        );
+        // With the (shared) precharge term the ratio shrinks slightly.
+        let full = SearchEnergyModel::default().mcam_vs_tcam(&ladder3());
+        assert!(full > 1.4 && full < 1.5624);
+    }
+
+    #[test]
+    fn program_energy_mcam_lower_than_tcam() {
+        let programmer = PulseProgrammer::default();
+        let m = ProgramEnergyModel::default();
+        let ratio = m.mcam_vs_tcam(&programmer, &ladder3()).unwrap();
+        assert!(
+            (0.80..0.97).contains(&ratio),
+            "program ratio {ratio} off the paper's −12% regime"
+        );
+    }
+
+    #[test]
+    fn two_bit_mcam_search_cost_similar_ladder_mean() {
+        // The 2-bit ladder's input set {0.48,0.72,0.96,1.20} has a
+        // slightly different mean V² but the same +50–60% regime.
+        let m = SearchEnergyModel {
+            c_ml_precharge: 0.0,
+            ..SearchEnergyModel::default()
+        };
+        let l2 = LevelLadder::new(2).unwrap();
+        let ratio = m.mcam_vs_tcam(&l2);
+        assert!((1.4..1.8).contains(&ratio), "2-bit ratio {ratio}");
+    }
+
+    #[test]
+    fn array_energy_scales_with_cells() {
+        let m = SearchEnergyModel::default();
+        let small = CamArraySpec { rows: 10, cols: 64 };
+        let big = CamArraySpec { rows: 20, cols: 64 };
+        let ratio =
+            m.mcam_array_search(&ladder3(), &big) / m.mcam_array_search(&ladder3(), &small);
+        assert!((ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn search_delay_is_nanoseconds_and_size_dependent() {
+        let d64 = CamArraySpec { rows: 25, cols: 64 }.search_delay();
+        assert!(d64 > 1e-9 && d64 < 50e-9, "delay {d64} s not ns-scale");
+    }
+
+    #[test]
+    fn erase_dominates_write_cost_difference() {
+        // Sanity: erase energy is identical across CAM types; the write
+        // pulses alone favour the MCAM much more strongly.
+        let programmer = PulseProgrammer::default();
+        let ladder = ladder3();
+        let m = ProgramEnergyModel {
+            c_gate: 1.0,
+            ..ProgramEnergyModel::default()
+        };
+        let mcam = m.mcam_cell_program(&programmer, &ladder).unwrap();
+        let tcam = m.tcam_cell_program(&programmer, &ladder).unwrap();
+        let erase = 2.0 * 5.0 * 5.0 * 500e-9;
+        let mcam_write = mcam - erase;
+        let tcam_write = tcam - erase;
+        assert!(mcam_write < tcam_write * 0.7);
+    }
+}

@@ -1,0 +1,165 @@
+//! End-to-end MANN pipeline comparison: GPU-only vs GPU+CAM.
+
+use crate::gpu::GpuCostModel;
+
+/// The MANN inference workload being accelerated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MannWorkload {
+    /// Entries stored in the NN memory (N-way × K-shot).
+    pub memory_entries: usize,
+    /// Feature dimensionality (64 in the paper).
+    pub feature_dims: usize,
+}
+
+impl MannWorkload {
+    /// The paper's 5-way 5-shot workload: 25 memory entries of 64
+    /// features.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        MannWorkload {
+            memory_entries: 25,
+            feature_dims: 64,
+        }
+    }
+}
+
+/// End-to-end improvement of a CAM-assisted pipeline over the GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EndToEnd {
+    /// GPU-only per-query latency (s).
+    pub gpu_latency: f64,
+    /// CAM-assisted per-query latency (s): CNN still on the GPU, search
+    /// in the CAM.
+    pub cam_latency: f64,
+    /// GPU-only per-query energy (J).
+    pub gpu_energy: f64,
+    /// CAM-assisted per-query energy (J).
+    pub cam_energy: f64,
+    /// Latency improvement factor (paper: ≈4.5×).
+    pub latency_improvement: f64,
+    /// Energy improvement factor (paper: ≈4.4×).
+    pub energy_improvement: f64,
+}
+
+impl EndToEnd {
+    /// Composes the comparison: the CAM replaces the GPU's NN-search
+    /// stage with an in-memory search of energy `cam_search_energy` (J)
+    /// and delay `cam_search_delay` (s); feature extraction stays on the
+    /// GPU (the Amdahl bound the paper highlights).
+    #[must_use]
+    pub fn evaluate(
+        gpu: &GpuCostModel,
+        workload: &MannWorkload,
+        cam_search_energy: f64,
+        cam_search_delay: f64,
+    ) -> Self {
+        let gpu_latency = gpu.total_time(workload.memory_entries, workload.feature_dims);
+        let gpu_energy = gpu.total_energy(workload.memory_entries, workload.feature_dims);
+        let cam_latency = gpu.t_cnn + cam_search_delay;
+        let cam_energy = gpu.e_cnn + cam_search_energy;
+        EndToEnd {
+            gpu_latency,
+            cam_latency,
+            gpu_energy,
+            cam_energy,
+            latency_improvement: gpu_latency / cam_latency,
+            energy_improvement: gpu_energy / cam_energy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cam::{CamArraySpec, SearchEnergyModel};
+    use femcam_core::LevelLadder;
+
+    #[test]
+    fn end_to_end_lands_in_paper_regime() {
+        let gpu = GpuCostModel::tx2_mann_default();
+        let workload = MannWorkload::paper_default();
+        let spec = CamArraySpec {
+            rows: workload.memory_entries,
+            cols: workload.feature_dims,
+        };
+        let search = SearchEnergyModel::default();
+        let ladder = LevelLadder::new(3).unwrap();
+        let mcam = EndToEnd::evaluate(
+            &gpu,
+            &workload,
+            search.mcam_array_search(&ladder, &spec),
+            spec.search_delay(),
+        );
+        assert!(
+            (4.0..5.0).contains(&mcam.latency_improvement),
+            "latency improvement {}",
+            mcam.latency_improvement
+        );
+        assert!(
+            (3.9..5.0).contains(&mcam.energy_improvement),
+            "energy improvement {}",
+            mcam.energy_improvement
+        );
+    }
+
+    #[test]
+    fn amdahl_bound_hides_the_cam_choice() {
+        // The MCAM's 56% higher search energy is invisible end-to-end
+        // because the CNN dominates the accelerated pipeline.
+        let gpu = GpuCostModel::tx2_mann_default();
+        let workload = MannWorkload::paper_default();
+        let spec = CamArraySpec {
+            rows: workload.memory_entries,
+            cols: workload.feature_dims,
+        };
+        let search = SearchEnergyModel::default();
+        let ladder = LevelLadder::new(3).unwrap();
+        let mcam = EndToEnd::evaluate(
+            &gpu,
+            &workload,
+            search.mcam_array_search(&ladder, &spec),
+            spec.search_delay(),
+        );
+        let tcam = EndToEnd::evaluate(
+            &gpu,
+            &workload,
+            search.tcam_array_search(&spec),
+            spec.search_delay(),
+        );
+        let rel = (mcam.energy_improvement - tcam.energy_improvement).abs()
+            / tcam.energy_improvement;
+        assert!(rel < 0.01, "CAM choice shifted end-to-end energy by {rel}");
+    }
+
+    #[test]
+    fn bigger_memories_favor_the_cam_more() {
+        // GPU search cost grows with entries; CAM search is single-step.
+        let gpu = GpuCostModel::tx2_mann_default();
+        let search = SearchEnergyModel::default();
+        let ladder = LevelLadder::new(3).unwrap();
+        let improvements: Vec<f64> = [25usize, 100, 400]
+            .iter()
+            .map(|&entries| {
+                let workload = MannWorkload {
+                    memory_entries: entries,
+                    feature_dims: 64,
+                };
+                let spec = CamArraySpec {
+                    rows: entries,
+                    cols: 64,
+                };
+                EndToEnd::evaluate(
+                    &gpu,
+                    &workload,
+                    search.mcam_array_search(&ladder, &spec),
+                    spec.search_delay(),
+                )
+                .latency_improvement
+            })
+            .collect();
+        assert!(improvements[0] < improvements[1]);
+        assert!(improvements[1] < improvements[2]);
+    }
+}

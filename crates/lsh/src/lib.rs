@@ -1,0 +1,96 @@
+//! Random-hyperplane locality-sensitive hashing (SimHash).
+//!
+//! This crate is the encoding substrate of the paper's TCAM+LSH baseline
+//! (Ni et al., Nature Electronics 2019): real-valued feature vectors are
+//! projected onto random hyperplanes and the sign pattern forms a binary
+//! *signature*; the Hamming distance between signatures concentrates
+//! around the angle between the original vectors (Andoni & Indyk, FOCS
+//! 2006), so an in-CAM Hamming search approximates a cosine-distance
+//! nearest-neighbor search.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use femcam_lsh::RandomHyperplanes;
+//!
+//! # fn main() -> Result<(), femcam_lsh::LshError> {
+//! let lsh = RandomHyperplanes::new(64, 4, 42)?;
+//! let a = lsh.signature(&[1.0, 0.0, 0.0, 0.0])?;
+//! let b = lsh.signature(&[0.99, 0.01, 0.0, 0.0])?;
+//! let c = lsh.signature(&[-1.0, 0.0, 0.0, 0.0])?;
+//! assert!(a.hamming(&b) < a.hamming(&c));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod planes;
+mod proptests;
+mod signature;
+
+pub use planes::RandomHyperplanes;
+pub use signature::BitSignature;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the LSH encoder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LshError {
+    /// The input vector's dimensionality does not match the hyperplanes.
+    DimensionMismatch {
+        /// Dimensionality the encoder was built for.
+        expected: usize,
+        /// Dimensionality of the offending input.
+        actual: usize,
+    },
+    /// Requested a zero-bit signature or zero-dimensional space.
+    EmptyConfiguration,
+    /// Two signatures of different lengths were compared.
+    LengthMismatch {
+        /// Bits in the left signature.
+        left: usize,
+        /// Bits in the right signature.
+        right: usize,
+    },
+}
+
+impl fmt::Display for LshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LshError::DimensionMismatch { expected, actual } => {
+                write!(f, "input has {actual} dimensions, encoder expects {expected}")
+            }
+            LshError::EmptyConfiguration => {
+                write!(f, "signature bits and input dimensions must be nonzero")
+            }
+            LshError::LengthMismatch { left, right } => {
+                write!(f, "cannot compare signatures of {left} and {right} bits")
+            }
+        }
+    }
+}
+
+impl Error for LshError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_nonempty() {
+        for e in [
+            LshError::DimensionMismatch {
+                expected: 4,
+                actual: 3,
+            },
+            LshError::EmptyConfiguration,
+            LshError::LengthMismatch { left: 8, right: 16 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

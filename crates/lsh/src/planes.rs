@@ -1,0 +1,215 @@
+//! Random hyperplane generation and signature encoding.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::signature::BitSignature;
+use crate::LshError;
+
+/// A SimHash encoder: `bits` random hyperplanes in `dims`-dimensional
+/// space, drawn once from a seed.
+///
+/// Each hyperplane normal is sampled from an isotropic Gaussian
+/// (Box–Muller over `rand`'s uniforms), the standard construction whose
+/// per-bit disagreement probability equals `θ/π` for vectors at angle
+/// `θ`.
+///
+/// # Examples
+///
+/// ```
+/// use femcam_lsh::RandomHyperplanes;
+///
+/// # fn main() -> Result<(), femcam_lsh::LshError> {
+/// let lsh = RandomHyperplanes::new(128, 8, 7)?;
+/// let sig = lsh.signature(&[0.5; 8])?;
+/// assert_eq!(sig.len(), 128);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RandomHyperplanes {
+    bits: usize,
+    dims: usize,
+    /// Row-major `bits × dims` normals.
+    normals: Vec<f64>,
+}
+
+impl RandomHyperplanes {
+    /// Draws `bits` hyperplanes in `dims` dimensions from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LshError::EmptyConfiguration`] if `bits` or `dims` is
+    /// zero.
+    pub fn new(bits: usize, dims: usize, seed: u64) -> Result<Self, LshError> {
+        if bits == 0 || dims == 0 {
+            return Err(LshError::EmptyConfiguration);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let normals = (0..bits * dims)
+            .map(|_| {
+                // Box–Muller standard normal.
+                let u1: f64 = 1.0 - rng.gen::<f64>();
+                let u2: f64 = rng.gen();
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            })
+            .collect();
+        Ok(RandomHyperplanes { bits, dims, normals })
+    }
+
+    /// Signature length in bits.
+    #[must_use]
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Input dimensionality.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Encodes a vector into its sign-pattern signature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LshError::DimensionMismatch`] if `x.len() != dims()`.
+    pub fn signature(&self, x: &[f32]) -> Result<BitSignature, LshError> {
+        if x.len() != self.dims {
+            return Err(LshError::DimensionMismatch {
+                expected: self.dims,
+                actual: x.len(),
+            });
+        }
+        let mut sig = BitSignature::zeros(self.bits)?;
+        for b in 0..self.bits {
+            let row = &self.normals[b * self.dims..(b + 1) * self.dims];
+            let dot: f64 = row.iter().zip(x).map(|(n, &v)| n * v as f64).sum();
+            if dot >= 0.0 {
+                sig.set(b, true);
+            }
+        }
+        Ok(sig)
+    }
+
+    /// Encodes a batch of vectors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`LshError::DimensionMismatch`].
+    pub fn signatures<'a, I>(&self, xs: I) -> Result<Vec<BitSignature>, LshError>
+    where
+        I: IntoIterator<Item = &'a [f32]>,
+    {
+        xs.into_iter().map(|x| self.signature(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cosine_angle(a: &[f32], b: &[f32]) -> f64 {
+        let dot: f64 = a.iter().zip(b).map(|(&x, &y)| (x * y) as f64).sum();
+        let na: f64 = a.iter().map(|&x| (x * x) as f64).sum::<f64>().sqrt();
+        let nb: f64 = b.iter().map(|&x| (x * x) as f64).sum::<f64>().sqrt();
+        (dot / (na * nb)).clamp(-1.0, 1.0).acos()
+    }
+
+    #[test]
+    fn rejects_empty_configuration() {
+        assert!(RandomHyperplanes::new(0, 4, 1).is_err());
+        assert!(RandomHyperplanes::new(4, 0, 1).is_err());
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let lsh = RandomHyperplanes::new(16, 4, 1).unwrap();
+        assert_eq!(
+            lsh.signature(&[1.0, 2.0]),
+            Err(LshError::DimensionMismatch {
+                expected: 4,
+                actual: 2
+            })
+        );
+    }
+
+    #[test]
+    fn same_seed_same_signature() {
+        let a = RandomHyperplanes::new(64, 8, 99).unwrap();
+        let b = RandomHyperplanes::new(64, 8, 99).unwrap();
+        let x = [0.3f32, -0.2, 0.9, 0.1, 0.0, -0.7, 0.4, 0.5];
+        assert_eq!(a.signature(&x).unwrap(), b.signature(&x).unwrap());
+    }
+
+    #[test]
+    fn identical_vectors_collide_fully() {
+        let lsh = RandomHyperplanes::new(256, 16, 3).unwrap();
+        let x = [0.25f32; 16];
+        let s1 = lsh.signature(&x).unwrap();
+        let s2 = lsh.signature(&x).unwrap();
+        assert_eq!(s1.hamming(&s2), 0);
+    }
+
+    #[test]
+    fn scaling_does_not_change_signature() {
+        // SimHash depends only on direction.
+        let lsh = RandomHyperplanes::new(128, 8, 5).unwrap();
+        let x = [0.3f32, -0.2, 0.9, 0.1, 0.2, -0.7, 0.4, 0.5];
+        let scaled: Vec<f32> = x.iter().map(|v| v * 17.0).collect();
+        assert_eq!(
+            lsh.signature(&x).unwrap(),
+            lsh.signature(&scaled).unwrap()
+        );
+    }
+
+    #[test]
+    fn opposite_vectors_disagree_everywhere() {
+        let lsh = RandomHyperplanes::new(128, 8, 5).unwrap();
+        let x = [0.3f32, -0.2, 0.9, 0.1, 0.2, -0.7, 0.4, 0.5];
+        let neg: Vec<f32> = x.iter().map(|v| -v).collect();
+        let h = lsh.signature(&x).unwrap().hamming(&lsh.signature(&neg).unwrap());
+        // Sign flips except possible boundary ties (measure-zero here).
+        assert_eq!(h, 128);
+    }
+
+    #[test]
+    fn hamming_fraction_tracks_angle() {
+        // P[bit differs] = θ/π; with 4096 bits the estimate concentrates.
+        let lsh = RandomHyperplanes::new(4096, 3, 11).unwrap();
+        let a = [1.0f32, 0.0, 0.0];
+        let b = [1.0f32, 1.0, 0.0]; // 45° from a
+        let theta = cosine_angle(&a, &b);
+        let sig_a = lsh.signature(&a).unwrap();
+        let sig_b = lsh.signature(&b).unwrap();
+        let est = sig_a.angle_estimate(&sig_b);
+        assert!(
+            (est - theta).abs() < 0.05,
+            "angle estimate {est:.3} vs true {theta:.3}"
+        );
+    }
+
+    #[test]
+    fn nearer_vector_has_smaller_hamming() {
+        let lsh = RandomHyperplanes::new(512, 4, 13).unwrap();
+        let q = [1.0f32, 0.2, -0.3, 0.5];
+        let near = [0.95f32, 0.25, -0.28, 0.52];
+        let far = [-0.4f32, 0.9, 0.3, -0.1];
+        let sq = lsh.signature(&q).unwrap();
+        let hn = sq.hamming(&lsh.signature(&near).unwrap());
+        let hf = sq.hamming(&lsh.signature(&far).unwrap());
+        assert!(hn < hf, "near {hn} !< far {hf}");
+    }
+
+    #[test]
+    fn batch_encoding_matches_single() {
+        let lsh = RandomHyperplanes::new(32, 2, 17).unwrap();
+        let xs: Vec<Vec<f32>> = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let batch = lsh
+            .signatures(xs.iter().map(|v| v.as_slice()))
+            .unwrap();
+        assert_eq!(batch[0], lsh.signature(&xs[0]).unwrap());
+        assert_eq!(batch[1], lsh.signature(&xs[1]).unwrap());
+    }
+}

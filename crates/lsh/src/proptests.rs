@@ -1,0 +1,69 @@
+//! Property-based tests of the LSH invariants.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::planes::RandomHyperplanes;
+use crate::signature::BitSignature;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Hamming distance is a metric on equal-length signatures:
+    /// non-negative, symmetric, zero iff equal, triangle inequality.
+    #[test]
+    fn hamming_is_a_metric(
+        a in proptest::collection::vec(any::<bool>(), 24),
+        b in proptest::collection::vec(any::<bool>(), 24),
+        c in proptest::collection::vec(any::<bool>(), 24),
+    ) {
+        let sa = BitSignature::from_bools(&a).expect("sig");
+        let sb = BitSignature::from_bools(&b).expect("sig");
+        let sc = BitSignature::from_bools(&c).expect("sig");
+        prop_assert_eq!(sa.hamming(&sb), sb.hamming(&sa));
+        prop_assert_eq!(sa.hamming(&sa), 0);
+        prop_assert_eq!(sa.hamming(&sb) == 0, a == b);
+        prop_assert!(sa.hamming(&sc) <= sa.hamming(&sb) + sb.hamming(&sc));
+    }
+
+    /// Set/get roundtrip across arbitrary indices.
+    #[test]
+    fn bit_roundtrip(len in 1usize..200, indices in proptest::collection::vec(0usize..200, 1..20)) {
+        let mut sig = BitSignature::zeros(len).expect("sig");
+        for &i in indices.iter().filter(|&&i| i < len) {
+            sig.set(i, true);
+            prop_assert!(sig.get(i));
+        }
+        let expected: std::collections::BTreeSet<usize> =
+            indices.iter().copied().filter(|&i| i < len).collect();
+        prop_assert_eq!(sig.count_ones(), expected.len());
+    }
+
+    /// Signature depends only on direction: positive scaling never
+    /// changes it, for any dimensionality and seed.
+    #[test]
+    fn scale_invariance(
+        x in proptest::collection::vec(-10.0f32..10.0, 2..16),
+        scale in 0.01f32..100.0,
+        seed in 0u64..100,
+    ) {
+        prop_assume!(x.iter().any(|&v| v.abs() > 1e-3));
+        let lsh = RandomHyperplanes::new(16, x.len(), seed).expect("lsh");
+        let scaled: Vec<f32> = x.iter().map(|&v| v * scale).collect();
+        prop_assert_eq!(
+            lsh.signature(&x).expect("sig"),
+            lsh.signature(&scaled).expect("sig")
+        );
+    }
+
+    /// Encoding is deterministic per seed and differs across seeds
+    /// (statistically: 64 bits virtually never collide).
+    #[test]
+    fn seeded_determinism(seed in 0u64..1000) {
+        let x = [0.3f32, -1.0, 0.7, 0.2];
+        let a = RandomHyperplanes::new(64, 4, seed).expect("lsh");
+        let b = RandomHyperplanes::new(64, 4, seed).expect("lsh");
+        prop_assert_eq!(a.signature(&x).expect("sig"), b.signature(&x).expect("sig"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Packed binary signatures and Hamming distance.
+
+use crate::LshError;
+
+/// A fixed-length binary signature packed into 64-bit words.
+///
+/// Signatures are produced by [`RandomHyperplanes`](crate::RandomHyperplanes)
+/// and compared with [`hamming`](Self::hamming); they are also the payload
+/// stored in the TCAM rows of the paper's TCAM+LSH baseline.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BitSignature {
+    bits: usize,
+    words: Vec<u64>,
+}
+
+impl BitSignature {
+    /// Creates an all-zero signature of `bits` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LshError::EmptyConfiguration`] if `bits == 0`.
+    pub fn zeros(bits: usize) -> Result<Self, LshError> {
+        if bits == 0 {
+            return Err(LshError::EmptyConfiguration);
+        }
+        Ok(BitSignature {
+            bits,
+            words: vec![0; bits.div_ceil(64)],
+        })
+    }
+
+    /// Builds a signature from a boolean slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LshError::EmptyConfiguration`] for an empty slice.
+    pub fn from_bools(bools: &[bool]) -> Result<Self, LshError> {
+        let mut sig = Self::zeros(bools.len())?;
+        for (i, &b) in bools.iter().enumerate() {
+            if b {
+                sig.set(i, true);
+            }
+        }
+        Ok(sig)
+    }
+
+    /// Number of bits in the signature.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bits
+    }
+
+    /// Returns `true` if the signature has zero bits (never constructable
+    /// through the public API, but kept for completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Reads bit `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len()`.
+    #[must_use]
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.bits, "bit index {idx} out of range {}", self.bits);
+        (self.words[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    /// Writes bit `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len()`.
+    pub fn set(&mut self, idx: usize, value: bool) {
+        assert!(idx < self.bits, "bit index {idx} out of range {}", self.bits);
+        let (w, b) = (idx / 64, idx % 64);
+        if value {
+            self.words[w] |= 1 << b;
+        } else {
+            self.words[w] &= !(1 << b);
+        }
+    }
+
+    /// Number of set bits.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Hamming distance to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signatures have different lengths; use
+    /// [`try_hamming`](Self::try_hamming) for a fallible variant.
+    #[must_use]
+    pub fn hamming(&self, other: &BitSignature) -> usize {
+        self.try_hamming(other)
+            .expect("hamming distance requires equal-length signatures")
+    }
+
+    /// Hamming distance to `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LshError::LengthMismatch`] if the lengths differ.
+    pub fn try_hamming(&self, other: &BitSignature) -> Result<usize, LshError> {
+        if self.bits != other.bits {
+            return Err(LshError::LengthMismatch {
+                left: self.bits,
+                right: other.bits,
+            });
+        }
+        Ok(self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum())
+    }
+
+    /// Iterates over the bits as booleans.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.bits).map(move |i| self.get(i))
+    }
+
+    /// Estimated angle (radians) between the original vectors, from the
+    /// SimHash collision probability `P[bit differs] = θ/π`.
+    #[must_use]
+    pub fn angle_estimate(&self, other: &BitSignature) -> f64 {
+        let h = self.hamming(other) as f64;
+        std::f64::consts::PI * h / self.bits as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_no_ones() {
+        let s = BitSignature::zeros(130).unwrap();
+        assert_eq!(s.len(), 130);
+        assert_eq!(s.count_ones(), 0);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn zero_bits_rejected() {
+        assert_eq!(BitSignature::zeros(0), Err(LshError::EmptyConfiguration));
+    }
+
+    #[test]
+    fn set_get_roundtrip_across_word_boundary() {
+        let mut s = BitSignature::zeros(100).unwrap();
+        for idx in [0, 1, 63, 64, 65, 99] {
+            s.set(idx, true);
+            assert!(s.get(idx));
+            s.set(idx, false);
+            assert!(!s.get(idx));
+        }
+    }
+
+    #[test]
+    fn hamming_counts_differing_bits() {
+        let a = BitSignature::from_bools(&[true, false, true, false]).unwrap();
+        let b = BitSignature::from_bools(&[true, true, false, false]).unwrap();
+        assert_eq!(a.hamming(&b), 2);
+        assert_eq!(a.hamming(&a), 0);
+    }
+
+    #[test]
+    fn hamming_is_symmetric() {
+        let a = BitSignature::from_bools(&[true, false, true, true, false]).unwrap();
+        let b = BitSignature::from_bools(&[false, false, true, false, true]).unwrap();
+        assert_eq!(a.hamming(&b), b.hamming(&a));
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        let a = BitSignature::zeros(8).unwrap();
+        let b = BitSignature::zeros(16).unwrap();
+        assert_eq!(
+            a.try_hamming(&b),
+            Err(LshError::LengthMismatch { left: 8, right: 16 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn hamming_panics_on_mismatch() {
+        let a = BitSignature::zeros(8).unwrap();
+        let b = BitSignature::zeros(9).unwrap();
+        let _ = a.hamming(&b);
+    }
+
+    #[test]
+    fn angle_estimate_endpoints() {
+        let a = BitSignature::from_bools(&[true; 64]).unwrap();
+        let same = a.clone();
+        assert_eq!(a.angle_estimate(&same), 0.0);
+        let opposite = BitSignature::from_bools(&[false; 64]).unwrap();
+        assert!((a.angle_estimate(&opposite) - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_matches_get() {
+        let bools = [true, false, false, true, true];
+        let s = BitSignature::from_bools(&bools).unwrap();
+        let collected: Vec<bool> = s.iter().collect();
+        assert_eq!(collected, bools);
+    }
+}

@@ -1,0 +1,279 @@
+//! Search-backend configurations (the paper's three NN implementations).
+//!
+//! A [`Backend`] is a *configuration*; [`Backend::build_index`]
+//! instantiates a fresh engine per episode (MCAM arrays are reprogrammed
+//! per episode; device variation redraws per episode with a derived
+//! seed, modeling a different physical array each time).
+
+use femcam_core::{
+    Cosine, DistanceKind, Euclidean, Linf, Manhattan, McamNn, NnIndex,
+    QuantizeStrategy, Quantizer, SoftwareNn, TcamLshNn, VariationSpec,
+};
+use femcam_core::{ConductanceLut, LevelLadder, McamArray, McamArrayBuilder};
+use femcam_device::FefetModel;
+
+/// A nearest-neighbor search backend configuration.
+#[derive(Debug, Clone)]
+pub enum Backend {
+    /// FP32 software search with a standard distance function.
+    Software(DistanceKind),
+    /// The proposed in-MCAM search.
+    Mcam {
+        /// Cell precision in bits (2 and 3 in the paper).
+        bits: u8,
+        /// Feature quantization strategy.
+        strategy: QuantizeStrategy,
+        /// Per-FeFET Gaussian `Vth` variation sigma in volts
+        /// (`0.0` = nominal array).
+        variation_sigma: f64,
+        /// Optional measured LUT override (the Fig. 9 experimental
+        /// table). Ignored when `variation_sigma > 0`.
+        lut: Option<ConductanceLut>,
+    },
+    /// The TCAM+LSH baseline.
+    TcamLsh {
+        /// Signature length; `None` uses the feature dimensionality
+        /// (iso-word-length with the MCAM, the paper's comparison).
+        signature_bits: Option<usize>,
+    },
+}
+
+impl Backend {
+    /// FP32 cosine backend.
+    #[must_use]
+    pub fn cosine() -> Self {
+        Backend::Software(DistanceKind::Cosine)
+    }
+
+    /// FP32 Euclidean backend.
+    #[must_use]
+    pub fn euclidean() -> Self {
+        Backend::Software(DistanceKind::Euclidean)
+    }
+
+    /// Nominal MCAM backend with `bits` precision.
+    ///
+    /// Uses per-feature quantile quantization, which spends the `2^bits`
+    /// levels where the (concentrated, unit-norm) feature mass actually
+    /// lies; this is what achieves the paper's "within 0.8% of FP32"
+    /// regime at 3 bits.
+    #[must_use]
+    pub fn mcam(bits: u8) -> Self {
+        Backend::Mcam {
+            bits,
+            strategy: QuantizeStrategy::PerFeatureQuantile,
+            variation_sigma: 0.0,
+            lut: None,
+        }
+    }
+
+    /// MCAM backend with Gaussian `Vth` variation (paper Fig. 8).
+    #[must_use]
+    pub fn mcam_with_variation(bits: u8, sigma_v: f64) -> Self {
+        Backend::Mcam {
+            bits,
+            strategy: QuantizeStrategy::PerFeatureQuantile,
+            variation_sigma: sigma_v,
+            lut: None,
+        }
+    }
+
+    /// MCAM backend driven by a measured LUT (paper Fig. 9(c)).
+    #[must_use]
+    pub fn mcam_with_lut(bits: u8, lut: ConductanceLut) -> Self {
+        Backend::Mcam {
+            bits,
+            strategy: QuantizeStrategy::PerFeatureQuantile,
+            variation_sigma: 0.0,
+            lut: Some(lut),
+        }
+    }
+
+    /// Iso-word-length TCAM+LSH backend.
+    #[must_use]
+    pub fn tcam_lsh() -> Self {
+        Backend::TcamLsh {
+            signature_bits: None,
+        }
+    }
+
+    /// Report name.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            Backend::Software(kind) => format!("fp32-{}", kind.name()),
+            Backend::Mcam {
+                bits,
+                variation_sigma,
+                lut,
+                ..
+            } => {
+                let mut n = format!("mcam-{bits}bit");
+                if *variation_sigma > 0.0 {
+                    n.push_str(&format!("-var{:.0}mv", variation_sigma * 1000.0));
+                }
+                if lut.is_some() {
+                    n.push_str("-exp");
+                }
+                n
+            }
+            Backend::TcamLsh { signature_bits } => match signature_bits {
+                Some(b) => format!("tcam+lsh-{b}b"),
+                None => "tcam+lsh".to_string(),
+            },
+        }
+    }
+
+    /// Builds a fresh engine for one episode.
+    ///
+    /// `calibration` supplies unlabeled feature vectors used to fit the
+    /// quantizer's input ranges (the input DAC configuration);
+    /// `episode_seed` derives per-episode stochastic state (device
+    /// variation draws, LSH planes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine-construction failures.
+    pub fn build_index(
+        &self,
+        calibration: &[&[f32]],
+        dims: usize,
+        episode_seed: u64,
+        model: &FefetModel,
+    ) -> femcam_core::Result<Box<dyn NnIndex>> {
+        match self {
+            Backend::Software(kind) => Ok(match kind {
+                DistanceKind::Cosine => Box::new(SoftwareNn::new(Cosine, dims)),
+                DistanceKind::Euclidean => Box::new(SoftwareNn::new(Euclidean, dims)),
+                DistanceKind::Manhattan => Box::new(SoftwareNn::new(Manhattan, dims)),
+                DistanceKind::Linf => Box::new(SoftwareNn::new(Linf, dims)),
+            }),
+            Backend::Mcam {
+                bits,
+                strategy,
+                variation_sigma,
+                lut,
+            } => {
+                let ladder = LevelLadder::new(*bits)?;
+                let quantizer = Quantizer::fit(
+                    calibration.iter().copied(),
+                    dims,
+                    ladder.n_levels() as u16,
+                    *strategy,
+                )?;
+                let nominal_lut = match lut {
+                    Some(l) => l.clone(),
+                    None => ConductanceLut::from_device(model, &ladder),
+                };
+                let array = if *variation_sigma > 0.0 {
+                    McamArrayBuilder::new(ladder, nominal_lut)
+                        .word_len(dims)
+                        .variation(
+                            VariationSpec {
+                                sigma_v: *variation_sigma,
+                                seed: episode_seed,
+                            },
+                            *model,
+                        )
+                        .build()
+                } else {
+                    McamArray::new(ladder, nominal_lut, dims)
+                };
+                Ok(Box::new(McamNn::new(quantizer, array)?))
+            }
+            Backend::TcamLsh { signature_bits } => {
+                let bits = signature_bits.unwrap_or(dims);
+                // LSH planes are fixed hardware: derive them from the
+                // evaluation seed space but not per episode, so every
+                // episode shares the same encoder.
+                Ok(Box::new(TcamLshNn::new(bits, dims, 0xC0FE)?))
+            }
+        }
+    }
+}
+
+/// A software implementation of the full backend lineup used in the
+/// paper's figures: 3-bit MCAM, 2-bit MCAM, TCAM+LSH, cosine, Euclidean.
+#[must_use]
+pub fn paper_lineup() -> Vec<Backend> {
+    vec![
+        Backend::mcam(3),
+        Backend::mcam(2),
+        Backend::tcam_lsh(),
+        Backend::cosine(),
+        Backend::euclidean(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn calibration_data() -> Vec<Vec<f32>> {
+        (0..20)
+            .map(|i| {
+                let t = i as f32 / 19.0;
+                vec![t, 1.0 - t, 0.5 * t, -t]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn names_are_distinct_and_stable() {
+        let names: Vec<String> = paper_lineup().iter().map(Backend::name).collect();
+        assert_eq!(
+            names,
+            vec!["mcam-3bit", "mcam-2bit", "tcam+lsh", "fp32-cosine", "fp32-euclidean"]
+        );
+        assert_eq!(Backend::mcam_with_variation(3, 0.08).name(), "mcam-3bit-var80mv");
+    }
+
+    #[test]
+    fn all_backends_build_and_answer() {
+        let model = FefetModel::default();
+        let cal = calibration_data();
+        let cal_refs: Vec<&[f32]> = cal.iter().map(|r| r.as_slice()).collect();
+        for backend in paper_lineup() {
+            let mut idx = backend.build_index(&cal_refs, 4, 1, &model).unwrap();
+            idx.add(&[0.0, 1.0, 0.0, 0.0], 0).unwrap();
+            idx.add(&[1.0, 0.0, 0.5, -1.0], 1).unwrap();
+            let r = idx.query(&[0.95, 0.05, 0.45, -0.9]).unwrap();
+            assert_eq!(r.label, 1, "{} misclassified an easy query", backend.name());
+        }
+    }
+
+    #[test]
+    fn variation_backend_differs_from_nominal_but_works() {
+        let model = FefetModel::default();
+        let cal = calibration_data();
+        let cal_refs: Vec<&[f32]> = cal.iter().map(|r| r.as_slice()).collect();
+        let nominal = Backend::mcam(3);
+        let varied = Backend::mcam_with_variation(3, 0.05);
+        let mut a = nominal.build_index(&cal_refs, 4, 9, &model).unwrap();
+        let mut b = varied.build_index(&cal_refs, 4, 9, &model).unwrap();
+        for idx in [&mut a, &mut b] {
+            idx.add(&[0.0, 1.0, 0.0, 0.0], 0).unwrap();
+            idx.add(&[1.0, 0.0, 0.5, -1.0], 1).unwrap();
+        }
+        let qa = a.query(&[0.0, 0.9, 0.05, 0.0]).unwrap();
+        let qb = b.query(&[0.0, 0.9, 0.05, 0.0]).unwrap();
+        assert_eq!(qa.label, 0);
+        assert_eq!(qb.label, 0);
+        assert_ne!(qa.score, qb.score, "variation must perturb conductances");
+    }
+
+    #[test]
+    fn experimental_lut_backend_builds() {
+        use femcam_core::{measured_lut, ExperimentConfig};
+        let model = FefetModel::default();
+        let ladder = LevelLadder::new(2).unwrap();
+        let lut = measured_lut(&model, &ladder, ExperimentConfig::default()).unwrap();
+        let backend = Backend::mcam_with_lut(2, lut);
+        assert_eq!(backend.name(), "mcam-2bit-exp");
+        let cal = calibration_data();
+        let cal_refs: Vec<&[f32]> = cal.iter().map(|r| r.as_slice()).collect();
+        let mut idx = backend.build_index(&cal_refs, 4, 0, &model).unwrap();
+        idx.add(&[0.0, 1.0, 0.0, 0.0], 0).unwrap();
+        assert_eq!(idx.query(&[0.0, 1.0, 0.0, 0.0]).unwrap().label, 0);
+    }
+}

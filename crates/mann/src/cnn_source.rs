@@ -1,0 +1,142 @@
+//! End-to-end feature source: a `femcam-nn` CNN embedding procedurally
+//! generated glyphs.
+//!
+//! This is the full MANN pipeline of paper §IV-C — images → CNN →
+//! 64-d features → NN-search memory — with the Omniglot images replaced
+//! by the stroke-glyph generator (see `DESIGN.md` §3). The CNN is
+//! trained as an ordinary classifier on a set of *background* classes;
+//! few-shot episodes then draw from held-out classes the network never
+//! saw, exactly the one/few-shot protocol.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use femcam_data::glyphs::{GlyphClass, GlyphRenderer};
+use femcam_data::ClassFeatureSource;
+use femcam_nn::model::{mann_cnn, Sequential};
+use femcam_nn::optim::Sgd;
+
+/// A trained CNN over a glyph alphabet, exposed as a
+/// [`ClassFeatureSource`] whose classes are held-out glyphs.
+#[derive(Debug)]
+pub struct CnnFeatureSource {
+    net: Sequential,
+    renderer: GlyphRenderer,
+    eval_classes: Vec<GlyphClass>,
+    rng: StdRng,
+}
+
+impl CnnFeatureSource {
+    /// Trains the embedding CNN on `n_background` glyph classes and
+    /// holds out `n_eval` fresh classes for episode sampling.
+    ///
+    /// `base_channels` scales the CNN (the paper uses 64; examples use
+    /// 4–8 for speed). Returns the source plus the final background
+    /// classification accuracy (sanity signal that training worked).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero.
+    #[must_use]
+    pub fn train(
+        n_background: usize,
+        n_eval: usize,
+        samples_per_class: usize,
+        base_channels: usize,
+        epochs: usize,
+        seed: u64,
+    ) -> (Self, f64) {
+        assert!(
+            n_background > 0 && n_eval > 0 && samples_per_class > 0,
+            "counts must be positive"
+        );
+        let renderer = GlyphRenderer::default();
+        let all = GlyphClass::alphabet(n_background + n_eval, seed);
+        let background = &all[..n_background];
+        let eval_classes = all[n_background..].to_vec();
+
+        let (images, labels) = renderer.render_set(background, samples_per_class, seed ^ 0xB5);
+        let mut net = mann_cnn(femcam_data::GLYPH_SIDE, base_channels, n_background, seed ^ 0x11);
+        // Single-sample SGD: momentum amplifies the effective step ~10x
+        // and collapses the ReLUs, so train plain SGD at a small rate.
+        let mut opt = Sgd::new(0.005, 0.0);
+        net.train_classifier(&images, &labels, epochs, &mut opt, seed ^ 0x77);
+        let train_acc = net.accuracy(&images, &labels);
+
+        (
+            CnnFeatureSource {
+                net,
+                renderer,
+                eval_classes,
+                rng: StdRng::seed_from_u64(seed ^ 0x5EED),
+            },
+            train_acc,
+        )
+    }
+
+    /// Number of held-out evaluation classes.
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        self.eval_classes.len()
+    }
+
+    /// The embedding network (e.g. to inspect its parameter count).
+    #[must_use]
+    pub fn net_mut(&mut self) -> &mut Sequential {
+        &mut self.net
+    }
+}
+
+impl ClassFeatureSource for CnnFeatureSource {
+    fn dims(&self) -> usize {
+        64
+    }
+
+    fn sample(&mut self, class: u64) -> Vec<f32> {
+        let class = (class as usize) % self.eval_classes.len();
+        let image = self.renderer.render(&self.eval_classes[class], &mut self.rng);
+        let mut f = self.net.embed(&image);
+        // Unit-normalize, as SimpleShot-style pipelines do before NN
+        // search.
+        let norm = f.iter().map(|&x| (x as f64).powi(2)).sum::<f64>().sqrt();
+        if norm > 1e-9 {
+            f.iter_mut().for_each(|x| *x = (*x as f64 / norm) as f32);
+        }
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::Backend;
+    use crate::eval::{evaluate, EvalConfig, FewShotTask};
+
+    #[test]
+    fn tiny_cnn_source_end_to_end() {
+        // Minutes-scale budgets don't allow the paper's 64-channel CNN
+        // here; a tiny one still exercises the whole pipeline.
+        let (mut source, train_acc) = CnnFeatureSource::train(6, 8, 6, 2, 4, 42);
+        assert!(
+            train_acc > 0.5,
+            "background training accuracy {train_acc} too low"
+        );
+        assert_eq!(source.dims(), 64);
+        let f = source.sample(3);
+        assert_eq!(f.len(), 64);
+        let norm: f64 = f.iter().map(|&x| (x as f64).powi(2)).sum::<f64>();
+        assert!((norm - 1.0).abs() < 1e-3, "embedding not unit-norm");
+
+        // A small few-shot evaluation over held-out classes must beat
+        // chance (20%) with the software backend.
+        let mut cfg = EvalConfig::new(FewShotTask::new(5, 1), 8, 42);
+        cfg.class_pool = Some(source.n_classes() as u64);
+        cfg.n_calibration = 16;
+        let r = evaluate(&mut source, &Backend::cosine(), &cfg).unwrap();
+        assert!(
+            r.accuracy > 0.3,
+            "cnn few-shot accuracy {} not above chance",
+            r.accuracy
+        );
+    }
+}

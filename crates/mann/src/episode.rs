@@ -1,0 +1,173 @@
+//! N-way K-shot episode sampling.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use femcam_data::ClassFeatureSource;
+
+/// One few-shot episode: a labelled support set (written to the MANN
+/// memory) and a labelled query set (classified against it). Labels are
+/// episode-local (`0..n_way`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Episode {
+    /// Support feature vectors with episode-local labels.
+    pub support: Vec<(Vec<f32>, u32)>,
+    /// Query feature vectors with episode-local ground-truth labels.
+    pub queries: Vec<(Vec<f32>, u32)>,
+}
+
+impl Episode {
+    /// All feature vectors (support then queries) without labels —
+    /// useful for fitting quantizer input ranges.
+    #[must_use]
+    pub fn all_features(&self) -> Vec<&[f32]> {
+        self.support
+            .iter()
+            .chain(&self.queries)
+            .map(|(f, _)| f.as_slice())
+            .collect()
+    }
+}
+
+/// Samples episodes from a class-conditional feature source.
+#[derive(Debug)]
+pub struct EpisodeSampler {
+    n_way: usize,
+    k_shot: usize,
+    n_query: usize,
+    /// When set, classes are drawn from `0..pool`; otherwise from the
+    /// full `u64` space (the prototype model's unbounded regime).
+    class_pool: Option<u64>,
+    rng: StdRng,
+}
+
+impl EpisodeSampler {
+    /// Creates a sampler for `n_way`-way `k_shot`-shot episodes with
+    /// `n_query` queries per class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero, or if `class_pool` is smaller than
+    /// `n_way`.
+    #[must_use]
+    pub fn new(
+        n_way: usize,
+        k_shot: usize,
+        n_query: usize,
+        class_pool: Option<u64>,
+        seed: u64,
+    ) -> Self {
+        assert!(n_way > 0 && k_shot > 0 && n_query > 0, "counts must be positive");
+        if let Some(pool) = class_pool {
+            assert!(
+                pool >= n_way as u64,
+                "class pool {pool} smaller than n_way {n_way}"
+            );
+        }
+        EpisodeSampler {
+            n_way,
+            k_shot,
+            n_query,
+            class_pool,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Ways per episode.
+    #[must_use]
+    pub fn n_way(&self) -> usize {
+        self.n_way
+    }
+
+    /// Draws the next episode from `source`.
+    pub fn sample<S: ClassFeatureSource + ?Sized>(&mut self, source: &mut S) -> Episode {
+        // Draw n_way distinct class ids.
+        let mut classes: Vec<u64> = Vec::with_capacity(self.n_way);
+        while classes.len() < self.n_way {
+            let c = match self.class_pool {
+                Some(pool) => self.rng.gen_range(0..pool),
+                None => self.rng.gen(),
+            };
+            if !classes.contains(&c) {
+                classes.push(c);
+            }
+        }
+        let mut support = Vec::with_capacity(self.n_way * self.k_shot);
+        let mut queries = Vec::with_capacity(self.n_way * self.n_query);
+        for (label, &class) in classes.iter().enumerate() {
+            for f in source.sample_n(class, self.k_shot) {
+                support.push((f, label as u32));
+            }
+            for f in source.sample_n(class, self.n_query) {
+                queries.push((f, label as u32));
+            }
+        }
+        Episode { support, queries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use femcam_data::PrototypeFeatureModel;
+
+    #[test]
+    fn episode_shape() {
+        let mut source = PrototypeFeatureModel::paper_default(1);
+        let mut sampler = EpisodeSampler::new(5, 3, 2, None, 7);
+        let ep = sampler.sample(&mut source);
+        assert_eq!(ep.support.len(), 15);
+        assert_eq!(ep.queries.len(), 10);
+        // Labels are exactly 0..5, three supports each.
+        for l in 0..5u32 {
+            assert_eq!(ep.support.iter().filter(|&&(_, x)| x == l).count(), 3);
+            assert_eq!(ep.queries.iter().filter(|&&(_, x)| x == l).count(), 2);
+        }
+        assert_eq!(ep.all_features().len(), 25);
+    }
+
+    #[test]
+    fn class_pool_restricts_ids() {
+        let mut source = PrototypeFeatureModel::paper_default(2);
+        let mut sampler = EpisodeSampler::new(4, 1, 1, Some(4), 3);
+        // With a pool of exactly n_way, every episode uses all classes.
+        let ep = sampler.sample(&mut source);
+        assert_eq!(ep.support.len(), 4);
+    }
+
+    #[test]
+    fn same_seed_same_episode_stream() {
+        let mut s1 = PrototypeFeatureModel::paper_default(5);
+        let mut s2 = PrototypeFeatureModel::paper_default(5);
+        let mut a = EpisodeSampler::new(3, 2, 2, None, 11);
+        let mut b = EpisodeSampler::new(3, 2, 2, None, 11);
+        assert_eq!(a.sample(&mut s1), b.sample(&mut s2));
+    }
+
+    #[test]
+    fn query_features_cluster_with_their_support() {
+        let mut source = PrototypeFeatureModel::paper_default(9);
+        let mut sampler = EpisodeSampler::new(2, 1, 4, None, 13);
+        let ep = sampler.sample(&mut source);
+        let dot = |a: &[f32], b: &[f32]| -> f64 {
+            a.iter().zip(b).map(|(&x, &y)| (x * y) as f64).sum()
+        };
+        for (q, l) in &ep.queries {
+            let own = &ep.support[*l as usize].0;
+            let other = &ep.support[1 - *l as usize].0;
+            assert!(dot(q, own) > dot(q, other));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "counts must be positive")]
+    fn zero_way_panics() {
+        let _ = EpisodeSampler::new(0, 1, 1, None, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "class pool")]
+    fn tiny_pool_panics() {
+        let _ = EpisodeSampler::new(5, 1, 1, Some(3), 0);
+    }
+}

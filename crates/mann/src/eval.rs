@@ -1,0 +1,506 @@
+//! Episodic few-shot evaluation (paper Fig. 7 protocol).
+
+use femcam_data::ClassFeatureSource;
+use femcam_device::FefetModel;
+
+use crate::backend::Backend;
+use crate::episode::EpisodeSampler;
+
+/// An N-way K-shot task description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FewShotTask {
+    /// Number of classes per episode.
+    pub n_way: usize,
+    /// Support samples per class.
+    pub k_shot: usize,
+    /// Query samples per class.
+    pub n_query: usize,
+}
+
+impl FewShotTask {
+    /// Creates a task with the conventional 5 queries per class.
+    #[must_use]
+    pub fn new(n_way: usize, k_shot: usize) -> Self {
+        FewShotTask {
+            n_way,
+            k_shot,
+            n_query: 5,
+        }
+    }
+
+    /// The four tasks of paper Fig. 7, in presentation order.
+    #[must_use]
+    pub fn paper_tasks() -> Vec<FewShotTask> {
+        vec![
+            FewShotTask::new(5, 1),
+            FewShotTask::new(5, 5),
+            FewShotTask::new(20, 1),
+            FewShotTask::new(20, 5),
+        ]
+    }
+
+    /// Short label like `5w1s`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{}w{}s", self.n_way, self.k_shot)
+    }
+}
+
+/// How support features are written into the MANN memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum MemoryPolicy {
+    /// One memory row per support sample (Matching-Networks style; the
+    /// paper's N·K-entry memory).
+    #[default]
+    PerSample,
+    /// One row per class: the unit-renormalized mean of its support
+    /// features (SimpleShot/ProtoNet-style centroids). Uses N rows
+    /// regardless of K.
+    ClassPrototype,
+}
+
+/// Evaluation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EvalConfig {
+    /// The task to run.
+    pub task: FewShotTask,
+    /// Number of episodes to average over.
+    pub n_episodes: usize,
+    /// Base seed (episodes, class draws, device variation derive from
+    /// it).
+    pub seed: u64,
+    /// Optional class-pool bound for finite-class sources.
+    pub class_pool: Option<u64>,
+    /// Number of unlabeled calibration samples used to fit quantizer
+    /// input ranges before the episodes run.
+    pub n_calibration: usize,
+    /// How support features are written to the memory.
+    pub memory_policy: MemoryPolicy,
+}
+
+impl EvalConfig {
+    /// Creates a config with sensible calibration defaults.
+    #[must_use]
+    pub fn new(task: FewShotTask, n_episodes: usize, seed: u64) -> Self {
+        EvalConfig {
+            task,
+            n_episodes,
+            seed,
+            class_pool: None,
+            n_calibration: 128,
+            memory_policy: MemoryPolicy::default(),
+        }
+    }
+}
+
+/// Applies the memory policy: the rows actually written to the index.
+fn memory_rows(
+    support: &[(Vec<f32>, u32)],
+    n_way: usize,
+    policy: MemoryPolicy,
+) -> Vec<(Vec<f32>, u32)> {
+    match policy {
+        MemoryPolicy::PerSample => support.to_vec(),
+        MemoryPolicy::ClassPrototype => {
+            let dims = support.first().map_or(0, |(f, _)| f.len());
+            let mut sums = vec![vec![0.0f64; dims]; n_way];
+            let mut counts = vec![0usize; n_way];
+            for (f, l) in support {
+                let l = *l as usize;
+                counts[l] += 1;
+                for (acc, &v) in sums[l].iter_mut().zip(f) {
+                    *acc += v as f64;
+                }
+            }
+            sums.into_iter()
+                .enumerate()
+                .filter(|(l, _)| counts[*l] > 0)
+                .map(|(l, sum)| {
+                    let mean: Vec<f64> =
+                        sum.iter().map(|&v| v / counts[l] as f64).collect();
+                    let norm = mean.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-12);
+                    (
+                        mean.iter().map(|&v| (v / norm) as f32).collect(),
+                        l as u32,
+                    )
+                })
+                .collect()
+        }
+    }
+}
+
+/// Accuracy of one backend on one task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FewShotResult {
+    /// Mean query accuracy over all episodes.
+    pub accuracy: f64,
+    /// Standard error of the per-episode accuracy.
+    pub std_error: f64,
+    /// Episodes evaluated.
+    pub n_episodes: usize,
+}
+
+/// Draws the calibration set: unlabeled features from random classes,
+/// used to fit input quantizer ranges once per evaluation (the input
+/// driver's fixed DAC configuration).
+fn calibration_set<S: ClassFeatureSource + ?Sized>(
+    source: &mut S,
+    cfg: &EvalConfig,
+) -> Vec<Vec<f32>> {
+    let mut sampler = EpisodeSampler::new(
+        1,
+        1,
+        1,
+        cfg.class_pool,
+        cfg.seed ^ 0xCA11_B8A7_E000_0000,
+    );
+    (0..cfg.n_calibration.max(2))
+        .map(|_| sampler.sample(source).support.remove(0).0)
+        .collect()
+}
+
+/// Runs the episodic evaluation of `backend` on features drawn from
+/// `source`.
+///
+/// # Errors
+///
+/// Propagates engine construction and query failures.
+pub fn evaluate<S: ClassFeatureSource + ?Sized>(
+    source: &mut S,
+    backend: &Backend,
+    cfg: &EvalConfig,
+) -> femcam_core::Result<FewShotResult> {
+    let model = FefetModel::default();
+    let dims = source.dims();
+    let calibration = calibration_set(source, cfg);
+    let cal_refs: Vec<&[f32]> = calibration.iter().map(|r| r.as_slice()).collect();
+    let mut sampler = EpisodeSampler::new(
+        cfg.task.n_way,
+        cfg.task.k_shot,
+        cfg.task.n_query,
+        cfg.class_pool,
+        cfg.seed,
+    );
+    let mut episode_accuracies = Vec::with_capacity(cfg.n_episodes);
+    for e in 0..cfg.n_episodes {
+        let episode = sampler.sample(source);
+        let mut index = backend.build_index(
+            &cal_refs,
+            dims,
+            cfg.seed.wrapping_add(e as u64).wrapping_mul(0x9E37_79B9),
+            &model,
+        )?;
+        for (f, l) in memory_rows(&episode.support, cfg.task.n_way, cfg.memory_policy) {
+            index.add(&f, l)?;
+        }
+        let mut correct = 0usize;
+        for (f, l) in &episode.queries {
+            if index.query(f)?.label == *l {
+                correct += 1;
+            }
+        }
+        episode_accuracies.push(correct as f64 / episode.queries.len() as f64);
+    }
+    Ok(summarize(&episode_accuracies))
+}
+
+/// Multi-threaded evaluation: `factory(thread_seed)` constructs an
+/// independent feature source per worker; episodes are partitioned over
+/// `n_threads` workers.
+///
+/// Statistically equivalent to [`evaluate`] (same episode count, same
+/// backend), though the exact RNG stream differs.
+///
+/// # Errors
+///
+/// Propagates the first worker failure.
+pub fn evaluate_with_factory<S, F>(
+    factory: F,
+    backend: &Backend,
+    cfg: &EvalConfig,
+    n_threads: usize,
+) -> femcam_core::Result<FewShotResult>
+where
+    S: ClassFeatureSource,
+    F: Fn(u64) -> S + Sync,
+    Backend: Sync,
+{
+    let n_threads = n_threads.max(1).min(cfg.n_episodes.max(1));
+    let per_thread = cfg.n_episodes.div_ceil(n_threads);
+    let results: Vec<femcam_core::Result<Vec<f64>>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..n_threads {
+            let factory = &factory;
+            let backend = backend.clone();
+            let n_here = per_thread.min(cfg.n_episodes.saturating_sub(t * per_thread));
+            let thread_cfg = EvalConfig {
+                n_episodes: n_here,
+                seed: cfg.seed ^ ((t as u64 + 1) << 32),
+                ..*cfg
+            };
+            handles.push(scope.spawn(move || {
+                let mut source = factory(thread_cfg.seed);
+                let model = FefetModel::default();
+                let dims = source.dims();
+                let calibration = calibration_set(&mut source, &thread_cfg);
+                let cal_refs: Vec<&[f32]> =
+                    calibration.iter().map(|r| r.as_slice()).collect();
+                let mut sampler = EpisodeSampler::new(
+                    thread_cfg.task.n_way,
+                    thread_cfg.task.k_shot,
+                    thread_cfg.task.n_query,
+                    thread_cfg.class_pool,
+                    thread_cfg.seed,
+                );
+                let mut accs = Vec::with_capacity(thread_cfg.n_episodes);
+                for e in 0..thread_cfg.n_episodes {
+                    let episode = sampler.sample(&mut source);
+                    let mut index = backend.build_index(
+                        &cal_refs,
+                        dims,
+                        thread_cfg.seed.wrapping_add(e as u64),
+                        &model,
+                    )?;
+                    for (f, l) in memory_rows(
+                        &episode.support,
+                        thread_cfg.task.n_way,
+                        thread_cfg.memory_policy,
+                    ) {
+                        index.add(&f, l)?;
+                    }
+                    let mut correct = 0usize;
+                    for (f, l) in &episode.queries {
+                        if index.query(f)?.label == *l {
+                            correct += 1;
+                        }
+                    }
+                    accs.push(correct as f64 / episode.queries.len() as f64);
+                }
+                Ok(accs)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let mut all = Vec::with_capacity(cfg.n_episodes);
+    for r in results {
+        all.extend(r?);
+    }
+    Ok(summarize(&all))
+}
+
+fn summarize(episode_accuracies: &[f64]) -> FewShotResult {
+    let n = episode_accuracies.len();
+    if n == 0 {
+        return FewShotResult {
+            accuracy: 0.0,
+            std_error: 0.0,
+            n_episodes: 0,
+        };
+    }
+    let mean = episode_accuracies.iter().sum::<f64>() / n as f64;
+    let var = episode_accuracies
+        .iter()
+        .map(|&a| (a - mean) * (a - mean))
+        .sum::<f64>()
+        / n as f64;
+    FewShotResult {
+        accuracy: mean,
+        std_error: (var / n as f64).sqrt(),
+        n_episodes: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use femcam_data::PrototypeFeatureModel;
+
+    #[test]
+    fn task_labels() {
+        assert_eq!(FewShotTask::new(5, 1).label(), "5w1s");
+        assert_eq!(FewShotTask::paper_tasks().len(), 4);
+    }
+
+    #[test]
+    fn cosine_reaches_paper_regime_on_5w1s() {
+        let mut source = PrototypeFeatureModel::paper_default(42);
+        let cfg = EvalConfig::new(FewShotTask::new(5, 1), 60, 42);
+        let r = evaluate(&mut source, &Backend::cosine(), &cfg).unwrap();
+        assert!(
+            r.accuracy > 0.95,
+            "cosine 5w1s accuracy {} below the paper's ~99% regime",
+            r.accuracy
+        );
+        assert_eq!(r.n_episodes, 60);
+    }
+
+    #[test]
+    fn mcam3_tracks_fp32_closely() {
+        let mut source = PrototypeFeatureModel::paper_default(43);
+        let cfg = EvalConfig::new(FewShotTask::new(5, 1), 60, 43);
+        let fp32 = evaluate(&mut source, &Backend::cosine(), &cfg).unwrap();
+        let mcam = evaluate(&mut source, &Backend::mcam(3), &cfg).unwrap();
+        assert!(
+            fp32.accuracy - mcam.accuracy < 0.05,
+            "3-bit MCAM {} strays too far from FP32 {}",
+            mcam.accuracy,
+            fp32.accuracy
+        );
+    }
+
+    #[test]
+    fn tcam_lsh_with_iso_word_length_trails_mcam() {
+        // The paper's central accuracy claim at iso word length.
+        let mut source = PrototypeFeatureModel::paper_default(44);
+        let cfg = EvalConfig::new(FewShotTask::new(5, 1), 80, 44);
+        let mcam = evaluate(&mut source, &Backend::mcam(3), &cfg).unwrap();
+        let tcam = evaluate(&mut source, &Backend::tcam_lsh(), &cfg).unwrap();
+        assert!(
+            mcam.accuracy > tcam.accuracy + 0.03,
+            "mcam {} should clearly beat tcam+lsh {}",
+            mcam.accuracy,
+            tcam.accuracy
+        );
+    }
+
+    #[test]
+    fn harder_tasks_are_harder() {
+        let mut source = PrototypeFeatureModel::paper_default(45);
+        let easy = evaluate(
+            &mut source,
+            &Backend::cosine(),
+            &EvalConfig::new(FewShotTask::new(5, 5), 40, 45),
+        )
+        .unwrap();
+        let hard = evaluate(
+            &mut source,
+            &Backend::cosine(),
+            &EvalConfig::new(FewShotTask::new(20, 1), 40, 45),
+        )
+        .unwrap();
+        assert!(easy.accuracy >= hard.accuracy);
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_serial_statistics() {
+        let cfg = EvalConfig::new(FewShotTask::new(5, 1), 60, 46);
+        let serial = {
+            let mut source = PrototypeFeatureModel::paper_default(46);
+            evaluate(&mut source, &Backend::mcam(2), &cfg).unwrap()
+        };
+        let parallel = evaluate_with_factory(
+            PrototypeFeatureModel::paper_default,
+            &Backend::mcam(2),
+            &cfg,
+            4,
+        )
+        .unwrap();
+        assert_eq!(parallel.n_episodes, 60);
+        assert!(
+            (serial.accuracy - parallel.accuracy).abs() < 0.08,
+            "serial {} vs parallel {}",
+            serial.accuracy,
+            parallel.accuracy
+        );
+    }
+
+    #[test]
+    fn zero_episodes_yields_empty_summary() {
+        let mut source = PrototypeFeatureModel::paper_default(9);
+        let cfg = EvalConfig::new(FewShotTask::new(2, 1), 0, 9);
+        let r = evaluate(&mut source, &Backend::cosine(), &cfg).unwrap();
+        assert_eq!(r.n_episodes, 0);
+        assert_eq!(r.accuracy, 0.0);
+    }
+
+    #[test]
+    fn thread_count_never_exceeds_episodes() {
+        // More workers than episodes must not break partitioning.
+        let cfg = EvalConfig::new(FewShotTask::new(2, 1), 3, 10);
+        let r = evaluate_with_factory(
+            PrototypeFeatureModel::paper_default,
+            &Backend::cosine(),
+            &cfg,
+            64,
+        )
+        .unwrap();
+        assert_eq!(r.n_episodes, 3);
+    }
+
+    #[test]
+    fn euclidean_and_cosine_agree_on_unit_norm_features() {
+        // On unit-norm vectors the two metrics induce the same ordering,
+        // so their accuracies coincide exactly under the same seed.
+        let cfg = EvalConfig::new(FewShotTask::new(5, 1), 30, 77);
+        let mut s1 = PrototypeFeatureModel::paper_default(77);
+        let cos = evaluate(&mut s1, &Backend::cosine(), &cfg).unwrap();
+        let mut s2 = PrototypeFeatureModel::paper_default(77);
+        let euc = evaluate(&mut s2, &Backend::euclidean(), &cfg).unwrap();
+        assert_eq!(cos.accuracy, euc.accuracy);
+    }
+
+    #[test]
+    fn prototype_memory_uses_n_rows_and_helps_multishot() {
+        // Centroid memories average away support noise: on 5-shot tasks
+        // the prototype policy should match or beat per-sample storage,
+        // and it must not hurt 1-shot (where both coincide).
+        let task = FewShotTask::new(5, 5);
+        let mut cfg = EvalConfig::new(task, 40, 91);
+        let mut s1 = PrototypeFeatureModel::paper_default(91);
+        let per_sample = evaluate(&mut s1, &Backend::mcam(2), &cfg).unwrap();
+        cfg.memory_policy = MemoryPolicy::ClassPrototype;
+        let mut s2 = PrototypeFeatureModel::paper_default(91);
+        let centroid = evaluate(&mut s2, &Backend::mcam(2), &cfg).unwrap();
+        assert!(
+            centroid.accuracy >= per_sample.accuracy - 0.01,
+            "centroids {} should not trail per-sample {}",
+            centroid.accuracy,
+            per_sample.accuracy
+        );
+    }
+
+    #[test]
+    fn one_shot_policies_coincide() {
+        // With K = 1 the centroid of a single (unit-norm) sample is the
+        // sample itself, so the two policies agree exactly.
+        let task = FewShotTask::new(5, 1);
+        let mut cfg = EvalConfig::new(task, 20, 92);
+        let mut s1 = PrototypeFeatureModel::paper_default(92);
+        let a = evaluate(&mut s1, &Backend::cosine(), &cfg).unwrap();
+        cfg.memory_policy = MemoryPolicy::ClassPrototype;
+        let mut s2 = PrototypeFeatureModel::paper_default(92);
+        let b = evaluate(&mut s2, &Backend::cosine(), &cfg).unwrap();
+        assert_eq!(a.accuracy, b.accuracy);
+    }
+
+    #[test]
+    fn memory_rows_shapes() {
+        let support = vec![
+            (vec![1.0f32, 0.0], 0u32),
+            (vec![0.0, 1.0], 0),
+            (vec![-1.0, 0.0], 1),
+        ];
+        let per_sample = memory_rows(&support, 2, MemoryPolicy::PerSample);
+        assert_eq!(per_sample.len(), 3);
+        let centroids = memory_rows(&support, 2, MemoryPolicy::ClassPrototype);
+        assert_eq!(centroids.len(), 2);
+        // Class 0 centroid = normalize((0.5, 0.5)).
+        let c0 = &centroids[0].0;
+        assert!((c0[0] - c0[1]).abs() < 1e-6);
+        let norm: f32 = c0.iter().map(|v| v * v).sum::<f32>();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let r = summarize(&[1.0, 0.5]);
+        assert!((r.accuracy - 0.75).abs() < 1e-12);
+        assert!(r.std_error > 0.0);
+        let empty = summarize(&[]);
+        assert_eq!(empty.n_episodes, 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Memory-augmented neural network (MANN) few-shot evaluation
+//! (paper §IV-C).
+//!
+//! A MANN couples a feature-extracting neural network with an external
+//! key–value memory: the support set's features are written to the
+//! memory, and a query is classified by the label of its nearest
+//! neighbor among the stored features. The *search backend* is exactly
+//! where the paper's contribution plugs in — FP32 software search, the
+//! TCAM+LSH baseline, or the proposed FeFET MCAM.
+//!
+//! * [`episode`] — N-way K-shot episode sampling over any
+//!   [`ClassFeatureSource`](femcam_data::ClassFeatureSource).
+//! * [`backend`] — backend configurations that build a fresh
+//!   [`NnIndex`](femcam_core::NnIndex) per episode.
+//! * [`eval`] — serial and multi-threaded episodic evaluation
+//!   (accuracy ± standard error), regenerating paper Figs. 7–9(c).
+//! * [`variation`] — the Fig. 8 `Vth`-variation sweep.
+//! * [`cnn_source`] — the end-to-end path: a `femcam-nn` CNN embedding
+//!   procedurally generated glyphs.
+//!
+//! # Quickstart: Fig. 7's 5-way 1-shot comparison (abridged)
+//!
+//! ```
+//! use femcam_data::PrototypeFeatureModel;
+//! use femcam_mann::{evaluate, Backend, EvalConfig, FewShotTask};
+//!
+//! # fn main() -> femcam_core::Result<()> {
+//! let mut source = PrototypeFeatureModel::paper_default(42);
+//! let cfg = EvalConfig::new(FewShotTask::new(5, 1), 20, 42);
+//! let fp32 = evaluate(&mut source, &Backend::cosine(), &cfg)?;
+//! let mcam = evaluate(&mut source, &Backend::mcam(3), &cfg)?;
+//! assert!(fp32.accuracy > 0.9);
+//! assert!(mcam.accuracy > 0.85);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod backend;
+pub mod cnn_source;
+pub mod episode;
+pub mod eval;
+pub mod variation;
+
+pub use backend::Backend;
+pub use cnn_source::CnnFeatureSource;
+pub use episode::{Episode, EpisodeSampler};
+pub use eval::{evaluate, evaluate_with_factory, EvalConfig, FewShotResult, FewShotTask, MemoryPolicy};
+pub use variation::{variation_sweep, VariationPoint};

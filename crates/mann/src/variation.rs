@@ -1,0 +1,87 @@
+//! The Fig. 8 `Vth`-variation sweep: 3-bit MCAM few-shot accuracy as a
+//! function of the Gaussian variation sigma.
+
+use crate::backend::Backend;
+use crate::eval::{evaluate_with_factory, EvalConfig, FewShotResult, FewShotTask};
+use femcam_data::PrototypeFeatureModel;
+
+/// One point of the variation sweep.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VariationPoint {
+    /// Variation sigma in volts.
+    pub sigma_v: f64,
+    /// Task evaluated.
+    pub task: FewShotTask,
+    /// Result at this sigma.
+    pub result: FewShotResult,
+}
+
+/// Sweeps MCAM accuracy over `sigmas` (volts) for every task, using the
+/// prototype feature model (paper Fig. 8's 0–300 mV x-axis).
+///
+/// # Errors
+///
+/// Propagates evaluation failures.
+pub fn variation_sweep(
+    bits: u8,
+    sigmas: &[f64],
+    tasks: &[FewShotTask],
+    n_episodes: usize,
+    seed: u64,
+    n_threads: usize,
+) -> femcam_core::Result<Vec<VariationPoint>> {
+    let mut points = Vec::with_capacity(sigmas.len() * tasks.len());
+    for &task in tasks {
+        for &sigma_v in sigmas {
+            let backend = Backend::mcam_with_variation(bits, sigma_v);
+            let cfg = EvalConfig::new(task, n_episodes, seed);
+            let result = evaluate_with_factory(
+                PrototypeFeatureModel::paper_default,
+                &backend,
+                &cfg,
+                n_threads,
+            )?;
+            points.push(VariationPoint {
+                sigma_v,
+                task,
+                result,
+            });
+        }
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_shape_and_monotonic_degradation() {
+        let tasks = [FewShotTask::new(5, 1)];
+        let sigmas = [0.0, 0.08, 0.30];
+        let points = variation_sweep(3, &sigmas, &tasks, 30, 7, 4).unwrap();
+        assert_eq!(points.len(), 3);
+        // Paper Fig. 8: flat out to 80 mV, degrading by 300 mV.
+        let at = |s: f64| {
+            points
+                .iter()
+                .find(|p| (p.sigma_v - s).abs() < 1e-12)
+                .unwrap()
+                .result
+                .accuracy
+        };
+        assert!(
+            at(0.0) - at(0.08) < 0.05,
+            "80 mV should cost almost nothing: {} -> {}",
+            at(0.0),
+            at(0.08)
+        );
+        assert!(
+            at(0.30) < at(0.0),
+            "300 mV must hurt: {} vs {}",
+            at(0.30),
+            at(0.0)
+        );
+    }
+}

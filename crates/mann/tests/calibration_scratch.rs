@@ -1,0 +1,121 @@
+//! Temporary calibration probe (run with --nocapture); not part of CI
+//! assertions.
+
+use femcam_data::PrototypeFeatureModel;
+use femcam_mann::{evaluate, Backend, EvalConfig, FewShotTask};
+
+#[test]
+#[ignore]
+fn probe_noise_sigma() {
+    use femcam_core::QuantizeStrategy;
+    for &sigma in &[0.10, 0.11, 0.12] {
+        for task in [
+            FewShotTask::new(5, 1),
+            FewShotTask::new(5, 5),
+            FewShotTask::new(20, 1),
+            FewShotTask::new(20, 5),
+        ] {
+            let cfg = EvalConfig::new(task, 100, 42);
+            let mk = |seed: u64| PrototypeFeatureModel::new(64, sigma, seed);
+            let mut s = mk(42);
+            let cos = evaluate(&mut s, &Backend::cosine(), &cfg).unwrap();
+            let mut s = mk(42);
+            let mcam3 = evaluate(&mut s, &Backend::mcam(3), &cfg).unwrap();
+            let mut s = mk(42);
+            let mcam3q = evaluate(
+                &mut s,
+                &Backend::Mcam {
+                    bits: 3,
+                    strategy: QuantizeStrategy::PerFeatureQuantile,
+                    variation_sigma: 0.0,
+                    lut: None,
+                },
+                &cfg,
+            )
+            .unwrap();
+            let mut s = mk(42);
+            let mcam2q = evaluate(
+                &mut s,
+                &Backend::Mcam {
+                    bits: 2,
+                    strategy: QuantizeStrategy::PerFeatureQuantile,
+                    variation_sigma: 0.0,
+                    lut: None,
+                },
+                &cfg,
+            )
+            .unwrap();
+            let mut s = mk(42);
+            let tcam = evaluate(&mut s, &Backend::tcam_lsh(), &cfg).unwrap();
+            println!(
+                "sigma={sigma:.3} {}: cos={:.3} mcam3={:.3} mcam3q={:.3} mcam2q={:.3} tcam={:.3}",
+                task.label(),
+                cos.accuracy,
+                mcam3.accuracy,
+                mcam3q.accuracy,
+                mcam2q.accuracy,
+                tcam.accuracy
+            );
+        }
+    }
+}
+
+#[test]
+#[ignore]
+fn probe_cnn_training() {
+    use femcam_data::glyphs::{GlyphClass, GlyphRenderer};
+    use femcam_nn::model::mann_cnn;
+    use femcam_nn::optim::Sgd;
+
+    for &(base, epochs, lr) in &[
+        (2usize, 10usize, 0.01f32),
+        (2, 10, 0.05),
+        (4, 10, 0.02),
+        (4, 20, 0.05),
+        (8, 10, 0.02),
+    ] {
+        let renderer = GlyphRenderer::default();
+        let alphabet = GlyphClass::alphabet(6, 42);
+        let (images, labels) = renderer.render_set(&alphabet, 8, 7);
+        let mut net = mann_cnn(28, base, 6, 11);
+        let mut opt = Sgd::new(lr, 0.9);
+        let losses = net.train_classifier(&images, &labels, epochs, &mut opt, 3);
+        let acc = net.accuracy(&images, &labels);
+        println!(
+            "base={base} epochs={epochs} lr={lr}: loss {:.3} -> {:.3}, acc={acc:.3}",
+            losses[0],
+            losses.last().unwrap()
+        );
+    }
+}
+
+#[test]
+#[ignore]
+fn probe_cnn_debug() {
+    use femcam_data::glyphs::{GlyphClass, GlyphRenderer};
+    use femcam_nn::layers::{Dense, Layer, Relu};
+    use femcam_nn::model::{mann_cnn, Sequential};
+    use femcam_nn::optim::Sgd;
+
+    let renderer = GlyphRenderer::default();
+    let alphabet = GlyphClass::alphabet(6, 42);
+    let (images, labels) = renderer.render_set(&alphabet, 8, 7);
+
+    // Dense-only baseline on raw pixels.
+    let mut mlp = Sequential::new(vec![
+        Box::new(Dense::new(784, 64, 1)) as Box<dyn Layer>,
+        Box::new(Relu::new(64)),
+        Box::new(Dense::new(64, 6, 2)),
+    ]);
+    let mut opt = Sgd::new(0.01, 0.9);
+    let losses = mlp.train_classifier(&images, &labels, 10, &mut opt, 3);
+    println!("mlp: losses {:?} acc={:.3}", &losses, mlp.accuracy(&images, &labels));
+
+    // CNN with no momentum, small lr, verbose.
+    let mut net = mann_cnn(28, 4, 6, 11);
+    let mut opt = Sgd::new(0.005, 0.0);
+    for epoch in 0..12 {
+        let l = net.train_classifier(&images, &labels, 1, &mut opt, 100 + epoch);
+        println!("cnn epoch {epoch}: loss {:.4} acc {:.3}", l[0], net.accuracy(&images, &labels));
+    }
+}

@@ -1,0 +1,39 @@
+//! Weight initialization.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// He (Kaiming) initialization: zero-mean normals with variance
+/// `2 / fan_in`, appropriate for ReLU networks.
+#[must_use]
+pub fn he_normal(n: usize, fan_in: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sigma = (2.0 / fan_in.max(1) as f64).sqrt();
+    (0..n).map(|_| (sigma * normal(&mut rng)) as f32).collect()
+}
+
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn he_moments_match() {
+        let w = he_normal(50_000, 100, 7);
+        let mean: f64 = w.iter().map(|&x| x as f64).sum::<f64>() / w.len() as f64;
+        let var: f64 = w.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / w.len() as f64;
+        assert!(mean.abs() < 2e-3, "mean {mean}");
+        assert!((var - 0.02).abs() < 2e-3, "var {var} vs 2/100");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(he_normal(16, 4, 1), he_normal(16, 4, 1));
+        assert_ne!(he_normal(16, 4, 1), he_normal(16, 4, 2));
+    }
+}

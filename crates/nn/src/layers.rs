@@ -1,0 +1,557 @@
+//! Neural-network layers with hand-written backward passes.
+//!
+//! Layers operate on flat `f32` buffers with statically configured
+//! shapes (single-sample; the few-shot training regime the paper targets
+//! does not need large-batch throughput). Every layer caches whatever
+//! its backward pass needs during `forward`.
+
+use crate::init::he_normal;
+
+/// A differentiable layer.
+pub trait Layer: std::fmt::Debug {
+    /// Forward pass; caches activations needed by
+    /// [`backward`](Self::backward).
+    fn forward(&mut self, input: &[f32]) -> Vec<f32>;
+
+    /// Backward pass: receives `dL/d(output)`, accumulates parameter
+    /// gradients, returns `dL/d(input)`.
+    ///
+    /// Must be called after a matching [`forward`](Self::forward).
+    fn backward(&mut self, grad_out: &[f32]) -> Vec<f32>;
+
+    /// Visits `(parameters, gradients)` slices for the optimizer.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32]));
+
+    /// Clears accumulated gradients.
+    fn zero_grads(&mut self);
+
+    /// Number of inputs the layer expects.
+    fn input_len(&self) -> usize;
+
+    /// Number of outputs the layer produces.
+    fn output_len(&self) -> usize;
+
+    /// Layer kind for debugging.
+    fn name(&self) -> &'static str;
+}
+
+/// Fully-connected layer `y = Wx + b`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    in_len: usize,
+    out_len: usize,
+    /// Row-major `out_len × in_len`.
+    w: Vec<f32>,
+    b: Vec<f32>,
+    dw: Vec<f32>,
+    db: Vec<f32>,
+    cached_input: Vec<f32>,
+}
+
+impl Dense {
+    /// Creates a He-initialized dense layer.
+    #[must_use]
+    pub fn new(in_len: usize, out_len: usize, seed: u64) -> Self {
+        Dense {
+            in_len,
+            out_len,
+            w: he_normal(in_len * out_len, in_len, seed),
+            b: vec![0.0; out_len],
+            dw: vec![0.0; in_len * out_len],
+            db: vec![0.0; out_len],
+            cached_input: Vec::new(),
+        }
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &[f32]) -> Vec<f32> {
+        assert_eq!(input.len(), self.in_len, "dense input length");
+        self.cached_input = input.to_vec();
+        (0..self.out_len)
+            .map(|o| {
+                let row = &self.w[o * self.in_len..(o + 1) * self.in_len];
+                row.iter().zip(input).map(|(&w, &x)| w * x).sum::<f32>() + self.b[o]
+            })
+            .collect()
+    }
+
+    #[allow(clippy::needless_range_loop)] // indexing three parallel buffers
+    fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
+        assert_eq!(grad_out.len(), self.out_len, "dense grad length");
+        let x = &self.cached_input;
+        assert_eq!(x.len(), self.in_len, "backward before forward");
+        let mut grad_in = vec![0.0f32; self.in_len];
+        for o in 0..self.out_len {
+            let g = grad_out[o];
+            self.db[o] += g;
+            let wrow = &self.w[o * self.in_len..(o + 1) * self.in_len];
+            let dwrow = &mut self.dw[o * self.in_len..(o + 1) * self.in_len];
+            for i in 0..self.in_len {
+                dwrow[i] += g * x[i];
+                grad_in[i] += g * wrow[i];
+            }
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        f(&mut self.w, &mut self.dw);
+        f(&mut self.b, &mut self.db);
+    }
+
+    fn zero_grads(&mut self) {
+        self.dw.iter_mut().for_each(|g| *g = 0.0);
+        self.db.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    fn input_len(&self) -> usize {
+        self.in_len
+    }
+
+    fn output_len(&self) -> usize {
+        self.out_len
+    }
+
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+}
+
+/// ReLU activation.
+#[derive(Debug, Clone)]
+pub struct Relu {
+    len: usize,
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// Creates a ReLU over `len` activations.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        Relu {
+            len,
+            mask: Vec::new(),
+        }
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &[f32]) -> Vec<f32> {
+        assert_eq!(input.len(), self.len, "relu input length");
+        self.mask = input.iter().map(|&x| x > 0.0).collect();
+        input.iter().map(|&x| x.max(0.0)).collect()
+    }
+
+    fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
+        assert_eq!(grad_out.len(), self.len, "relu grad length");
+        grad_out
+            .iter()
+            .zip(&self.mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect()
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+
+    fn zero_grads(&mut self) {}
+
+    fn input_len(&self) -> usize {
+        self.len
+    }
+
+    fn output_len(&self) -> usize {
+        self.len
+    }
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+}
+
+/// Same-padded 3×3 convolution over `c_in × side × side` feature maps.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    c_in: usize,
+    c_out: usize,
+    side: usize,
+    /// `c_out × c_in × 3 × 3`.
+    w: Vec<f32>,
+    b: Vec<f32>,
+    dw: Vec<f32>,
+    db: Vec<f32>,
+    cached_input: Vec<f32>,
+}
+
+impl Conv2d {
+    /// Creates a He-initialized 3×3 convolution preserving spatial size.
+    #[must_use]
+    pub fn new(c_in: usize, c_out: usize, side: usize, seed: u64) -> Self {
+        Conv2d {
+            c_in,
+            c_out,
+            side,
+            w: he_normal(c_out * c_in * 9, c_in * 9, seed),
+            b: vec![0.0; c_out],
+            dw: vec![0.0; c_out * c_in * 9],
+            db: vec![0.0; c_out],
+            cached_input: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn at(&self, buf: &[f32], c: usize, y: isize, x: isize) -> f32 {
+        if y < 0 || x < 0 || y >= self.side as isize || x >= self.side as isize {
+            0.0
+        } else {
+            buf[c * self.side * self.side + y as usize * self.side + x as usize]
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &[f32]) -> Vec<f32> {
+        let hw = self.side * self.side;
+        assert_eq!(input.len(), self.c_in * hw, "conv input length");
+        self.cached_input = input.to_vec();
+        let mut out = vec![0.0f32; self.c_out * hw];
+        for co in 0..self.c_out {
+            for y in 0..self.side {
+                for x in 0..self.side {
+                    let mut acc = self.b[co];
+                    for ci in 0..self.c_in {
+                        let wbase = ((co * self.c_in) + ci) * 9;
+                        for ky in 0..3isize {
+                            for kx in 0..3isize {
+                                let v = self.at(
+                                    input,
+                                    ci,
+                                    y as isize + ky - 1,
+                                    x as isize + kx - 1,
+                                );
+                                acc += self.w[wbase + (ky * 3 + kx) as usize] * v;
+                            }
+                        }
+                    }
+                    out[co * hw + y * self.side + x] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
+        let hw = self.side * self.side;
+        assert_eq!(grad_out.len(), self.c_out * hw, "conv grad length");
+        let input = std::mem::take(&mut self.cached_input);
+        assert_eq!(input.len(), self.c_in * hw, "backward before forward");
+        let mut grad_in = vec![0.0f32; self.c_in * hw];
+        let side = self.side as isize;
+        for co in 0..self.c_out {
+            for y in 0..self.side {
+                for x in 0..self.side {
+                    let g = grad_out[co * hw + y * self.side + x];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    self.db[co] += g;
+                    for ci in 0..self.c_in {
+                        let wbase = ((co * self.c_in) + ci) * 9;
+                        for ky in 0..3isize {
+                            for kx in 0..3isize {
+                                let iy = y as isize + ky - 1;
+                                let ix = x as isize + kx - 1;
+                                if iy < 0 || ix < 0 || iy >= side || ix >= side {
+                                    continue;
+                                }
+                                let idx =
+                                    ci * hw + iy as usize * self.side + ix as usize;
+                                let widx = wbase + (ky * 3 + kx) as usize;
+                                self.dw[widx] += g * input[idx];
+                                grad_in[idx] += g * self.w[widx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.cached_input = input;
+        grad_in
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        f(&mut self.w, &mut self.dw);
+        f(&mut self.b, &mut self.db);
+    }
+
+    fn zero_grads(&mut self) {
+        self.dw.iter_mut().for_each(|g| *g = 0.0);
+        self.db.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    fn input_len(&self) -> usize {
+        self.c_in * self.side * self.side
+    }
+
+    fn output_len(&self) -> usize {
+        self.c_out * self.side * self.side
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+}
+
+/// 2×2 max pooling with stride 2.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    channels: usize,
+    side: usize,
+    argmax: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a pool over `channels × side × side` inputs; `side` must
+    /// be even.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side` is odd.
+    #[must_use]
+    pub fn new(channels: usize, side: usize) -> Self {
+        assert!(side.is_multiple_of(2), "maxpool needs an even side, got {side}");
+        MaxPool2d {
+            channels,
+            side,
+            argmax: Vec::new(),
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &[f32]) -> Vec<f32> {
+        let hw = self.side * self.side;
+        assert_eq!(input.len(), self.channels * hw, "pool input length");
+        let half = self.side / 2;
+        let mut out = vec![0.0f32; self.channels * half * half];
+        self.argmax = vec![0; out.len()];
+        for c in 0..self.channels {
+            for y in 0..half {
+                for x in 0..half {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let idx = c * hw + (2 * y + dy) * self.side + 2 * x + dx;
+                            if input[idx] > best {
+                                best = input[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let o = c * half * half + y * half + x;
+                    out[o] = best;
+                    self.argmax[o] = best_idx;
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
+        assert_eq!(grad_out.len(), self.argmax.len(), "pool grad length");
+        let mut grad_in = vec![0.0f32; self.channels * self.side * self.side];
+        for (o, &idx) in self.argmax.iter().enumerate() {
+            grad_in[idx] += grad_out[o];
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+
+    fn zero_grads(&mut self) {}
+
+    fn input_len(&self) -> usize {
+        self.channels * self.side * self.side
+    }
+
+    fn output_len(&self) -> usize {
+        self.channels * (self.side / 2) * (self.side / 2)
+    }
+
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Numerical gradient check of dL/d(input) where L = sum(output·k).
+    fn check_input_gradient(layer: &mut dyn Layer, input: &[f32], tol: f32) {
+        let k: Vec<f32> = (0..layer.output_len())
+            .map(|i| 0.3 + 0.1 * (i % 7) as f32)
+            .collect();
+        let out = layer.forward(input);
+        assert_eq!(out.len(), layer.output_len());
+        let analytic = layer.backward(&k);
+        let eps = 1e-3f32;
+        for i in (0..input.len()).step_by((input.len() / 16).max(1)) {
+            let mut plus = input.to_vec();
+            plus[i] += eps;
+            let mut minus = input.to_vec();
+            minus[i] -= eps;
+            let lp: f32 = layer.forward(&plus).iter().zip(&k).map(|(a, b)| a * b).sum();
+            let lm: f32 = layer.forward(&minus).iter().zip(&k).map(|(a, b)| a * b).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (analytic[i] - numeric).abs() < tol * (1.0 + numeric.abs()),
+                "{}: d input[{i}] analytic {} vs numeric {}",
+                layer.name(),
+                analytic[i],
+                numeric
+            );
+        }
+    }
+
+    /// Numerical gradient check of dL/d(params).
+    #[allow(clippy::needless_range_loop)] // group indexes two parallel structures
+    fn check_param_gradient(layer: &mut dyn Layer, input: &[f32], tol: f32) {
+        let k: Vec<f32> = (0..layer.output_len())
+            .map(|i| 0.3 + 0.1 * (i % 7) as f32)
+            .collect();
+        layer.zero_grads();
+        let _ = layer.forward(input);
+        let _ = layer.backward(&k);
+        // Collect analytic grads.
+        let mut analytic: Vec<Vec<f32>> = Vec::new();
+        layer.visit_params(&mut |_p, g| analytic.push(g.to_vec()));
+        let eps = 1e-3f32;
+        let n_groups = analytic.len();
+        for group in 0..n_groups {
+            let len = analytic[group].len();
+            for i in (0..len).step_by((len / 8).max(1)) {
+                let set = |delta: f32, layer: &mut dyn Layer| {
+                    let mut idx = 0;
+                    layer.visit_params(&mut |p, _g| {
+                        if idx == group {
+                            p[i] += delta;
+                        }
+                        idx += 1;
+                    });
+                };
+                set(eps, layer);
+                let lp: f32 = layer.forward(input).iter().zip(&k).map(|(a, b)| a * b).sum();
+                set(-2.0 * eps, layer);
+                let lm: f32 = layer.forward(input).iter().zip(&k).map(|(a, b)| a * b).sum();
+                set(eps, layer);
+                let numeric = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (analytic[group][i] - numeric).abs() < tol * (1.0 + numeric.abs()),
+                    "{} param group {group}[{i}]: analytic {} vs numeric {}",
+                    layer.name(),
+                    analytic[group][i],
+                    numeric
+                );
+            }
+        }
+    }
+
+    fn ramp(n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i * 37 % 17) as f32 - 8.0) * 0.1).collect()
+    }
+
+    #[test]
+    fn dense_forward_math() {
+        let mut d = Dense::new(2, 2, 1);
+        d.visit_params(&mut |p, _| {
+            if p.len() == 4 {
+                p.copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+            } else {
+                p.copy_from_slice(&[0.5, -0.5]);
+            }
+        });
+        let y = d.forward(&[1.0, 1.0]);
+        assert_eq!(y, vec![3.5, 6.5]);
+    }
+
+    #[test]
+    fn dense_gradients_check() {
+        let mut d = Dense::new(6, 4, 2);
+        let x = ramp(6);
+        check_input_gradient(&mut d, &x, 1e-2);
+        check_param_gradient(&mut d, &x, 1e-2);
+    }
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut r = Relu::new(4);
+        let y = r.forward(&[-1.0, 0.0, 2.0, -3.0]);
+        assert_eq!(y, vec![0.0, 0.0, 2.0, 0.0]);
+        let g = r.backward(&[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(g, vec![0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn conv_gradients_check() {
+        let mut c = Conv2d::new(2, 3, 4, 3);
+        let x = ramp(2 * 16);
+        check_input_gradient(&mut c, &x, 2e-2);
+        check_param_gradient(&mut c, &x, 2e-2);
+    }
+
+    #[test]
+    fn conv_identity_kernel_passes_through() {
+        let mut c = Conv2d::new(1, 1, 4, 1);
+        c.visit_params(&mut |p, _| {
+            if p.len() == 9 {
+                p.copy_from_slice(&[0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0]);
+            } else {
+                p[0] = 0.0;
+            }
+        });
+        let x = ramp(16);
+        let y = c.forward(&x);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn maxpool_selects_maxima_and_routes_gradient() {
+        let mut p = MaxPool2d::new(1, 4);
+        #[rustfmt::skip]
+        let x = vec![
+            1.0, 2.0,  0.0, 0.0,
+            3.0, 4.0,  0.0, 5.0,
+            0.0, 0.0,  9.0, 8.0,
+            0.0, 0.0,  7.0, 6.0,
+        ];
+        let y = p.forward(&x);
+        assert_eq!(y, vec![4.0, 5.0, 0.0, 9.0]);
+        let g = p.backward(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(g[5], 1.0); // position of 4.0
+        assert_eq!(g[7], 2.0); // position of 5.0
+        assert_eq!(g[10], 4.0); // position of 9.0
+        assert_eq!(g.iter().filter(|&&v| v != 0.0).count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "even side")]
+    fn maxpool_rejects_odd_side() {
+        let _ = MaxPool2d::new(1, 5);
+    }
+
+    #[test]
+    fn layer_shapes_are_consistent() {
+        let conv = Conv2d::new(1, 8, 28, 1);
+        assert_eq!(conv.input_len(), 784);
+        assert_eq!(conv.output_len(), 8 * 784);
+        let pool = MaxPool2d::new(8, 28);
+        assert_eq!(pool.output_len(), 8 * 196);
+        let dense = Dense::new(100, 10, 1);
+        assert_eq!(dense.input_len(), 100);
+        assert_eq!(dense.output_len(), 10);
+    }
+}

@@ -1,0 +1,93 @@
+//! Softmax cross-entropy loss.
+
+/// Computes softmax cross-entropy of `logits` against `target` and the
+/// gradient `dL/d(logits)`.
+///
+/// Returns `(loss, grad)`.
+///
+/// # Panics
+///
+/// Panics if `target >= logits.len()` or `logits` is empty.
+#[must_use]
+pub fn softmax_cross_entropy(logits: &[f32], target: usize) -> (f32, Vec<f32>) {
+    assert!(!logits.is_empty(), "empty logits");
+    assert!(target < logits.len(), "target {target} out of range");
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    let probs: Vec<f32> = exps.iter().map(|&e| e / sum).collect();
+    let loss = -probs[target].max(1e-12).ln();
+    let grad = probs
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| if i == target { p - 1.0 } else { p })
+        .collect();
+    (loss, grad)
+}
+
+/// Softmax probabilities of `logits` (numerically stable).
+///
+/// # Panics
+///
+/// Panics if `logits` is empty.
+#[must_use]
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    assert!(!logits.is_empty(), "empty logits");
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_k_loss() {
+        let (loss, _) = softmax_cross_entropy(&[0.0; 4], 2);
+        assert!((loss - 4.0f32.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let (loss, _) = softmax_cross_entropy(&[10.0, -10.0], 0);
+        assert!(loss < 1e-3);
+        let (loss_wrong, _) = softmax_cross_entropy(&[10.0, -10.0], 1);
+        assert!(loss_wrong > 10.0);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_and_matches_numeric() {
+        let logits = [0.5f32, -1.0, 2.0];
+        let (_, grad) = softmax_cross_entropy(&logits, 1);
+        let total: f32 = grad.iter().sum();
+        assert!(total.abs() < 1e-6);
+        // numeric check
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut p = logits;
+            p[i] += eps;
+            let mut m = logits;
+            m[i] -= eps;
+            let (lp, _) = softmax_cross_entropy(&p, 1);
+            let (lm, _) = softmax_cross_entropy(&m, 1);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((grad[i] - numeric).abs() < 1e-3, "grad[{i}]");
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_for_huge_logits() {
+        let p = softmax(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-6);
+        let p = softmax(&[-1000.0, 0.0]);
+        assert!(p[0] < 1e-6 && (p[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_target_panics() {
+        let _ = softmax_cross_entropy(&[0.0, 0.0], 5);
+    }
+}

@@ -1,0 +1,377 @@
+//! Sequential models and the paper's MANN CNN architecture.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::layers::{Conv2d, Dense, Layer, MaxPool2d, Relu};
+use crate::loss::softmax_cross_entropy;
+use crate::optim::Sgd;
+
+/// A feed-forward stack of layers.
+#[derive(Debug)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+    /// Index of the layer whose *output* is the embedding the MANN
+    /// memory stores (defaults to the final layer).
+    embedding_layer: usize,
+}
+
+impl Sequential {
+    /// Builds a model from layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or adjacent layer shapes disagree.
+    #[must_use]
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        assert!(!layers.is_empty(), "a model needs at least one layer");
+        for w in layers.windows(2) {
+            assert_eq!(
+                w[0].output_len(),
+                w[1].input_len(),
+                "layer shapes disagree: {} -> {}",
+                w[0].name(),
+                w[1].name()
+            );
+        }
+        let embedding_layer = layers.len() - 1;
+        Sequential {
+            layers,
+            embedding_layer,
+        }
+    }
+
+    /// Marks the layer whose output is the embedding (0-indexed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn with_embedding_layer(mut self, idx: usize) -> Self {
+        assert!(idx < self.layers.len(), "embedding layer out of range");
+        self.embedding_layer = idx;
+        self
+    }
+
+    /// Number of layers.
+    #[must_use]
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Input length of the first layer.
+    #[must_use]
+    pub fn input_len(&self) -> usize {
+        self.layers[0].input_len()
+    }
+
+    /// Output length of the last layer.
+    #[must_use]
+    pub fn output_len(&self) -> usize {
+        self.layers.last().expect("nonempty").output_len()
+    }
+
+    /// Embedding dimensionality.
+    #[must_use]
+    pub fn embedding_len(&self) -> usize {
+        self.layers[self.embedding_layer].output_len()
+    }
+
+    /// Total number of trainable parameters.
+    #[must_use]
+    pub fn n_params(&mut self) -> usize {
+        let mut n = 0;
+        for l in &mut self.layers {
+            l.visit_params(&mut |p, _| n += p.len());
+        }
+        n
+    }
+
+    /// Full forward pass to the logits.
+    pub fn forward(&mut self, input: &[f32]) -> Vec<f32> {
+        let mut x = input.to_vec();
+        for l in &mut self.layers {
+            x = l.forward(&x);
+        }
+        x
+    }
+
+    /// Forward pass stopping at the embedding layer — the features the
+    /// MANN memory stores and queries.
+    pub fn embed(&mut self, input: &[f32]) -> Vec<f32> {
+        let mut x = input.to_vec();
+        for l in self.layers.iter_mut().take(self.embedding_layer + 1) {
+            x = l.forward(&x);
+        }
+        x
+    }
+
+    /// Backward pass from a logits gradient.
+    pub fn backward(&mut self, grad_logits: &[f32]) {
+        let mut g = grad_logits.to_vec();
+        for l in self.layers.iter_mut().rev() {
+            g = l.backward(&g);
+        }
+    }
+
+    /// One SGD training step on a single `(input, class)` example;
+    /// returns the loss.
+    pub fn train_step(&mut self, input: &[f32], target: usize, opt: &mut Sgd) -> f32 {
+        let logits = self.forward(input);
+        let (loss, grad) = softmax_cross_entropy(&logits, target);
+        self.backward(&grad);
+        opt.step(&mut self.layers);
+        loss
+    }
+
+    /// Trains a classifier for `epochs` passes over shuffled data;
+    /// returns the mean loss per epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` and `labels` lengths differ or are empty.
+    pub fn train_classifier(
+        &mut self,
+        images: &[Vec<f32>],
+        labels: &[u32],
+        epochs: usize,
+        opt: &mut Sgd,
+        seed: u64,
+    ) -> Vec<f32> {
+        assert_eq!(images.len(), labels.len(), "images/labels must be parallel");
+        assert!(!images.is_empty(), "no training data");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut order: Vec<usize> = (0..images.len()).collect();
+        let mut losses = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            order.shuffle(&mut rng);
+            let mut total = 0.0f32;
+            for &i in &order {
+                total += self.train_step(&images[i], labels[i] as usize, opt);
+            }
+            losses.push(total / images.len() as f32);
+        }
+        losses
+    }
+
+    /// Classification accuracy (argmax of logits) over a labelled set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` and `labels` lengths differ.
+    pub fn accuracy(&mut self, images: &[Vec<f32>], labels: &[u32]) -> f64 {
+        assert_eq!(images.len(), labels.len(), "images/labels must be parallel");
+        if images.is_empty() {
+            return 0.0;
+        }
+        let mut correct = 0usize;
+        for (img, &l) in images.iter().zip(labels) {
+            let logits = self.forward(img);
+            let pred = logits
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                .map(|(i, _)| i)
+                .expect("nonempty logits");
+            if pred == l as usize {
+                correct += 1;
+            }
+        }
+        correct as f64 / images.len() as f64
+    }
+}
+
+/// Builds the paper's MANN CNN (§IV-C) over `side × side` single-channel
+/// images, scaled by `base_channels` (the paper uses 64; tests and
+/// examples use smaller values for speed):
+///
+/// `conv3×3(base) → ReLU → conv3×3(base) → ReLU → pool →
+///  conv3×3(2·base) → ReLU → conv3×3(2·base) → ReLU → pool →
+///  FC(128) → ReLU → FC(64) [embedding] → FC(n_classes)`
+///
+/// The 64-d FC output is the embedding the MANN memory stores; with
+/// `base_channels = 64` this is exactly the paper's architecture.
+///
+/// # Panics
+///
+/// Panics unless `side` is divisible by 4.
+#[must_use]
+pub fn mann_cnn(side: usize, base_channels: usize, n_classes: usize, seed: u64) -> Sequential {
+    assert!(side.is_multiple_of(4), "side must be divisible by 4 (two pools)");
+    let c1 = base_channels;
+    let c2 = base_channels * 2;
+    let half = side / 2;
+    let quarter = side / 4;
+    let flat = c2 * quarter * quarter;
+    let layers: Vec<Box<dyn Layer>> = vec![
+        Box::new(Conv2d::new(1, c1, side, seed)),
+        Box::new(Relu::new(c1 * side * side)),
+        Box::new(Conv2d::new(c1, c1, side, seed ^ 1)),
+        Box::new(Relu::new(c1 * side * side)),
+        Box::new(MaxPool2d::new(c1, side)),
+        Box::new(Conv2d::new(c1, c2, half, seed ^ 2)),
+        Box::new(Relu::new(c2 * half * half)),
+        Box::new(Conv2d::new(c2, c2, half, seed ^ 3)),
+        Box::new(Relu::new(c2 * half * half)),
+        Box::new(MaxPool2d::new(c2, half)),
+        Box::new(Dense::new(flat, 128, seed ^ 4)),
+        Box::new(Relu::new(128)),
+        Box::new(Dense::new(128, 64, seed ^ 5)),
+        Box::new(Dense::new(64, n_classes, seed ^ 6)),
+    ];
+    // The 64-wide dense layer (index 12) is the embedding.
+    Sequential::new(layers).with_embedding_layer(12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_net(n_classes: usize) -> Sequential {
+        Sequential::new(vec![
+            Box::new(Dense::new(4, 16, 1)),
+            Box::new(Relu::new(16)),
+            Box::new(Dense::new(16, n_classes, 2)),
+        ])
+    }
+
+    #[test]
+    fn shapes_validated_at_construction() {
+        let result = std::panic::catch_unwind(|| {
+            Sequential::new(vec![
+                Box::new(Dense::new(4, 8, 1)) as Box<dyn Layer>,
+                Box::new(Dense::new(9, 2, 2)),
+            ])
+        });
+        assert!(result.is_err(), "mismatched shapes must panic");
+    }
+
+    #[test]
+    fn training_separates_two_classes() {
+        let mut net = tiny_net(2);
+        let mut opt = Sgd::new(0.05, 0.9);
+        // Class 0 near (1,0,0,0); class 1 near (0,0,0,1).
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            let t = i as f32 * 0.01;
+            images.push(vec![1.0 - t, t, 0.0, 0.1]);
+            labels.push(0u32);
+            images.push(vec![0.1, t, 0.0, 1.0 - t]);
+            labels.push(1u32);
+        }
+        let losses = net.train_classifier(&images, &labels, 30, &mut opt, 7);
+        assert!(
+            losses.last().unwrap() < &0.1,
+            "final loss {}",
+            losses.last().unwrap()
+        );
+        assert!(net.accuracy(&images, &labels) > 0.95);
+    }
+
+    #[test]
+    fn loss_decreases_over_epochs() {
+        let mut net = tiny_net(3);
+        let mut opt = Sgd::new(0.02, 0.5);
+        let images: Vec<Vec<f32>> = (0..30)
+            .map(|i| {
+                let c = i % 3;
+                let mut v = vec![0.1f32; 4];
+                v[c] = 1.0;
+                v
+            })
+            .collect();
+        let labels: Vec<u32> = (0..30).map(|i| (i % 3) as u32).collect();
+        let losses = net.train_classifier(&images, &labels, 20, &mut opt, 3);
+        assert!(losses.last().unwrap() < &losses[0]);
+    }
+
+    #[test]
+    fn embed_returns_penultimate_features() {
+        let mut net = tiny_net(2).with_embedding_layer(1);
+        let e = net.embed(&[0.5, 0.5, 0.5, 0.5]);
+        assert_eq!(e.len(), 16);
+        assert_eq!(net.embedding_len(), 16);
+    }
+
+    #[test]
+    fn mann_cnn_shapes() {
+        let mut net = mann_cnn(8, 2, 5, 1);
+        assert_eq!(net.input_len(), 64);
+        assert_eq!(net.output_len(), 5);
+        assert_eq!(net.embedding_len(), 64);
+        let logits = net.forward(&vec![0.1; 64]);
+        assert_eq!(logits.len(), 5);
+        let emb = net.embed(&vec![0.1; 64]);
+        assert_eq!(emb.len(), 64);
+        assert!(net.n_params() > 0);
+    }
+
+    #[test]
+    fn paper_architecture_at_full_scale_has_expected_params() {
+        // With base_channels = 64 on 28×28 inputs (the paper's setup):
+        // conv1 1→64, conv2 64→64, conv3 64→128, conv4 128→128,
+        // FC 6272→128, FC 128→64, head 64→n.
+        let mut net = mann_cnn(28, 64, 5, 1);
+        let expected = (64 * 9 + 64)
+            + (64 * 64 * 9 + 64)
+            + (64 * 128 * 9 + 128)
+            + (128 * 128 * 9 + 128)
+            + (128 * 7 * 7 * 128 + 128)
+            + (128 * 64 + 64)
+            + (64 * 5 + 5);
+        assert_eq!(net.n_params(), expected);
+        assert_eq!(net.embedding_len(), 64);
+    }
+
+    #[test]
+    fn accessors_report_architecture() {
+        let net = tiny_net(2);
+        assert_eq!(net.n_layers(), 3);
+        assert_eq!(net.input_len(), 4);
+        assert_eq!(net.output_len(), 2);
+        assert_eq!(net.embedding_len(), 2); // defaults to the last layer
+    }
+
+    #[test]
+    #[should_panic(expected = "embedding layer out of range")]
+    fn embedding_layer_bounds_checked() {
+        let _ = tiny_net(2).with_embedding_layer(9);
+    }
+
+    #[test]
+    fn accuracy_on_empty_set_is_zero() {
+        let mut net = tiny_net(2);
+        assert_eq!(net.accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn mann_cnn_trains_on_trivial_images() {
+        // 8×8 images: class 0 bright left half, class 1 bright right.
+        let mut net = mann_cnn(8, 2, 2, 9);
+        let mut opt = Sgd::new(0.01, 0.9);
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..8 {
+            let shade = 0.8 + 0.02 * i as f32;
+            let mut left = vec![0.0f32; 64];
+            let mut right = vec![0.0f32; 64];
+            for y in 0..8 {
+                for x in 0..4 {
+                    left[y * 8 + x] = shade;
+                    right[y * 8 + 7 - x] = shade;
+                }
+            }
+            images.push(left);
+            labels.push(0);
+            images.push(right);
+            labels.push(1);
+        }
+        net.train_classifier(&images, &labels, 15, &mut opt, 11);
+        assert!(
+            net.accuracy(&images, &labels) > 0.9,
+            "CNN failed to learn a trivial split"
+        );
+    }
+}

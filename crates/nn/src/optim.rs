@@ -1,0 +1,136 @@
+//! Optimizers.
+
+use crate::layers::Layer;
+
+/// Stochastic gradient descent with classical momentum.
+///
+/// Velocity buffers are allocated lazily on the first step and keyed by
+/// parameter-group order, so the same optimizer must always be used with
+/// the same model.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient in `[0, 1)`.
+    pub momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-finite `lr` or `momentum` outside `[0, 1)`.
+    #[must_use]
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "lr must be positive");
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "momentum must be in [0, 1)"
+        );
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Applies one update step over every layer's parameters, then
+    /// clears the gradients.
+    pub fn step(&mut self, layers: &mut [Box<dyn Layer>]) {
+        let mut group = 0usize;
+        for layer in layers.iter_mut() {
+            layer.visit_params(&mut |p, g| {
+                if self.velocity.len() <= group {
+                    self.velocity.push(vec![0.0; p.len()]);
+                }
+                let v = &mut self.velocity[group];
+                assert_eq!(v.len(), p.len(), "optimizer reused with a different model");
+                for i in 0..p.len() {
+                    v[i] = self.momentum * v[i] - self.lr * g[i];
+                    p[i] += v[i];
+                }
+                group += 1;
+            });
+        }
+        for layer in layers.iter_mut() {
+            layer.zero_grads();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Dense;
+
+    fn quadratic_loss_grad(layers: &mut [Box<dyn Layer>], x: &[f32], target: &[f32]) -> f32 {
+        let y = layers[0].forward(x);
+        let loss: f32 = y
+            .iter()
+            .zip(target)
+            .map(|(&a, &t)| 0.5 * (a - t) * (a - t))
+            .sum();
+        let grad: Vec<f32> = y.iter().zip(target).map(|(&a, &t)| a - t).collect();
+        let _ = layers[0].backward(&grad);
+        loss
+    }
+
+    #[test]
+    fn sgd_reduces_a_quadratic_loss() {
+        let mut layers: Vec<Box<dyn Layer>> = vec![Box::new(Dense::new(3, 2, 7))];
+        let mut opt = Sgd::new(0.05, 0.0);
+        let x = [1.0f32, -0.5, 0.25];
+        let t = [0.3f32, -0.7];
+        let first = quadratic_loss_grad(&mut layers, &x, &t);
+        opt.step(&mut layers);
+        for _ in 0..200 {
+            let _ = quadratic_loss_grad(&mut layers, &x, &t);
+            opt.step(&mut layers);
+        }
+        let last = quadratic_loss_grad(&mut layers, &x, &t);
+        assert!(last < first * 0.01, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn momentum_accelerates_convergence() {
+        let run = |momentum: f32| -> f32 {
+            let mut layers: Vec<Box<dyn Layer>> = vec![Box::new(Dense::new(3, 2, 7))];
+            let mut opt = Sgd::new(0.01, momentum);
+            let x = [1.0f32, -0.5, 0.25];
+            let t = [0.3f32, -0.7];
+            for _ in 0..40 {
+                let _ = quadratic_loss_grad(&mut layers, &x, &t);
+                opt.step(&mut layers);
+            }
+            quadratic_loss_grad(&mut layers, &x, &t)
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn step_clears_gradients() {
+        let mut layers: Vec<Box<dyn Layer>> = vec![Box::new(Dense::new(2, 1, 1))];
+        let _ = quadratic_loss_grad(&mut layers, &[1.0, 1.0], &[0.0]);
+        let mut opt = Sgd::new(0.1, 0.0);
+        opt.step(&mut layers);
+        let mut all_zero = true;
+        layers[0].visit_params(&mut |_p, g| {
+            all_zero &= g.iter().all(|&v| v == 0.0);
+        });
+        assert!(all_zero);
+    }
+
+    #[test]
+    #[should_panic(expected = "lr must be positive")]
+    fn bad_lr_panics() {
+        let _ = Sgd::new(0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn bad_momentum_panics() {
+        let _ = Sgd::new(0.1, 1.0);
+    }
+}

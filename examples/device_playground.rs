@@ -1,0 +1,74 @@
+//! Device playground: program FeFETs to multi-level states, sweep
+//! transfer curves, and study Monte Carlo device-to-device variation.
+//!
+//! ```sh
+//! cargo run --release -p femcam-harness --example device_playground
+//! ```
+
+use femcam_harness::prelude::*;
+
+fn main() -> femcam_core::Result<()> {
+    let fefet = FefetModel::default();
+    let programmer = PulseProgrammer::default();
+
+    // Solve the 8-state programming ladder (Fig. 2(b) / Fig. 3(b)).
+    println!("single-pulse programming ladder (erase {}V/{}ns first):",
+        programmer.erase_pulse().amplitude_v,
+        programmer.erase_pulse().width_s * 1e9);
+    for k in 0..8u8 {
+        let target = 0.48 + 0.12 * k as f64;
+        let pulse = programmer.pulse_for_vth(target)?;
+        println!(
+            "  Vth {:.2} V <- {:.2} V / {:.0} ns pulse (switched fraction {:.3})",
+            target,
+            pulse.amplitude_v,
+            pulse.width_s * 1e9,
+            programmer.switched_fraction(pulse.amplitude_v)
+        );
+    }
+
+    // Read a transfer curve around one state.
+    let vth = 0.84;
+    println!("\nId(Vg) for Vth = {vth} V:");
+    for (vg, id) in fefet.transfer_curve(vth, 0.0, 1.2, 7) {
+        println!("  Vg {vg:.2} V -> Id {id:.2e} A");
+    }
+
+    // Monte Carlo: one device programmed 10 times (cycle-to-cycle), then
+    // a small population (device-to-device).
+    let pulse = programmer.pulse_for_vth(0.84)?;
+    let mut device = MonteCarloDevice::new(
+        programmer.clone(),
+        DomainVariationParams::default(),
+        1234,
+    )?;
+    let cycles: Vec<f64> = (0..10).map(|_| device.program(pulse)).collect();
+    println!("\ncycle-to-cycle Vth samples targeting 0.84 V:");
+    for v in &cycles {
+        print!(" {v:.3}");
+    }
+    println!();
+
+    let targets: Vec<f64> = (0..8).map(|k| 0.48 + 0.12 * k as f64).collect();
+    let population = VthPopulation::generate(
+        &programmer,
+        DomainVariationParams::default(),
+        &targets,
+        400,
+        99,
+    )?;
+    println!("\n400-device population statistics (Fig. 5 regime):");
+    for s in population.statistics() {
+        println!(
+            "  target {:.2} V: mean {:.3} V, sigma {:.1} mV",
+            s.target_vth,
+            s.mean_vth,
+            s.sigma_vth * 1000.0
+        );
+    }
+    println!(
+        "worst-case sigma: {:.1} mV (paper: up to 80 mV)",
+        population.max_sigma() * 1000.0
+    );
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! NN classification across the paper's engine lineup on the four
+//! UCI-like datasets (the Fig. 6 workload as a library-usage example).
+//!
+//! ```sh
+//! cargo run --release -p femcam-harness --example nn_classification
+//! ```
+
+use femcam_harness::prelude::*;
+
+fn main() -> femcam_core::Result<()> {
+    let model = FefetModel::default();
+    for dataset in synth::fig6_datasets(42) {
+        let (train, test) = dataset.split(0.8, 7);
+        let dims = dataset.dims();
+        let train_refs: Vec<&[f32]> = train.features().iter().map(|r| r.as_slice()).collect();
+
+        let mut engines: Vec<Box<dyn NnIndex>> = vec![
+            Box::new(McamNn::fit(
+                3,
+                train_refs.iter().copied(),
+                dims,
+                QuantizeStrategy::PerFeatureMinMax,
+                &model,
+            )?),
+            Box::new(TcamLshNn::new(dims, dims, 99)?),
+            Box::new(SoftwareNn::new(Euclidean, dims)),
+            Box::new(SoftwareNn::new(Cosine, dims)),
+        ];
+
+        println!(
+            "{} ({} train / {} test, {} features, {} classes)",
+            dataset.name(),
+            train.len(),
+            test.len(),
+            dims,
+            dataset.n_classes()
+        );
+        for engine in &mut engines {
+            for (f, &l) in train.features().iter().zip(train.labels()) {
+                engine.add(f, l)?;
+            }
+            let acc = accuracy(engine.as_ref(), test.features(), test.labels())?;
+            println!("  {:<16} {:>6.2}%", engine.name(), 100.0 * acc);
+        }
+        println!();
+    }
+    Ok(())
+}

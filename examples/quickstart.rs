@@ -1,0 +1,71 @@
+//! Quickstart: build a 3-bit FeFET MCAM, store a few feature vectors,
+//! and run a single-step in-memory nearest-neighbor search.
+//!
+//! ```sh
+//! cargo run --release -p femcam-harness --example quickstart
+//! ```
+
+use femcam_harness::prelude::*;
+
+fn main() -> femcam_core::Result<()> {
+    // 1. Device + ladder: the paper's 3-bit cell (8 states, Fig. 3(b)).
+    let model = FefetModel::default();
+    let ladder = LevelLadder::new(3)?;
+    println!(
+        "3-bit ladder: {} states over {:.2}..{:.2} V, inputs at state centers",
+        ladder.n_levels(),
+        ladder.v_min(),
+        ladder.v_max()
+    );
+
+    // 2. The conductance lookup table F(I, S) — the distance function.
+    let lut = ConductanceLut::from_device(&model, &ladder);
+    println!(
+        "LUT: match leakage {:.2e} S, worst mismatch {:.2e} S ({:.0}x span)",
+        lut.min(),
+        lut.max(),
+        lut.max() / lut.min()
+    );
+
+    // 3. Quantize real-valued vectors onto the 8 levels.
+    let vectors: Vec<Vec<f32>> = vec![
+        vec![0.10, 0.90, 0.20, 0.80],
+        vec![0.15, 0.85, 0.25, 0.75], // near the first
+        vec![0.90, 0.10, 0.85, 0.15], // far from the first
+    ];
+    let quantizer = Quantizer::fit(
+        vectors.iter().map(|v| v.as_slice()),
+        4,
+        8,
+        QuantizeStrategy::PerFeatureMinMax,
+    )?;
+
+    // 4. Program an MCAM array with the quantized words.
+    let mut array = McamArray::new(ladder, lut, 4);
+    for v in &vectors {
+        array.store(&quantizer.quantize(v)?)?;
+    }
+
+    // 5. Search: one in-memory step. Lowest total match-line conductance
+    //    = slowest discharging ML = nearest neighbor.
+    let query = vec![0.12f32, 0.88, 0.22, 0.78];
+    let outcome = array.search(&quantizer.quantize(&query)?)?;
+    println!("\nquery {query:?}");
+    for r in 0..array.n_rows() {
+        println!(
+            "  row {r}: G_ML = {:.3e} S {}",
+            outcome.conductance(r),
+            if r == outcome.best_row() { "<- nearest" } else { "" }
+        );
+    }
+
+    // 6. The physical view: ML discharge times and the sense-amp winner.
+    let timing = MlTiming::default();
+    let times = outcome.discharge_times(&timing);
+    let winner = outcome
+        .sensed_winner(&timing, &SenseAmp::default())
+        .expect("nonempty array");
+    println!("\nML discharge times: {times:?}");
+    println!("sense-amp winner: row {winner} (same as argmin-G: {})", outcome.best_row());
+    Ok(())
+}

@@ -1,0 +1,125 @@
+//! Cross-crate integration: dataset generation -> quantization -> CAM
+//! engines -> 1-NN classification (the Fig. 6 pipeline).
+
+use femcam_harness::prelude::*;
+
+fn engine_accuracy(engine: &mut dyn NnIndex, train: &Dataset, test: &Dataset) -> f64 {
+    for (f, &l) in train.features().iter().zip(train.labels()) {
+        engine.add(f, l).expect("add");
+    }
+    accuracy(engine, test.features(), test.labels()).expect("accuracy")
+}
+
+#[test]
+fn mcam_matches_software_on_every_dataset() {
+    let model = FefetModel::default();
+    for dataset in synth::fig6_datasets(7) {
+        let (train, test) = dataset.split(0.8, 3);
+        let dims = dataset.dims();
+        let train_refs: Vec<&[f32]> = train.features().iter().map(|r| r.as_slice()).collect();
+
+        let mut mcam = McamNn::fit(
+            3,
+            train_refs.iter().copied(),
+            dims,
+            QuantizeStrategy::PerFeatureMinMax,
+            &model,
+        )
+        .expect("mcam engine");
+        let mut euclid = SoftwareNn::new(Euclidean, dims);
+
+        let acc_mcam = engine_accuracy(&mut mcam, &train, &test);
+        let acc_sw = engine_accuracy(&mut euclid, &train, &test);
+        assert!(
+            acc_sw - acc_mcam < 0.10,
+            "{}: mcam {acc_mcam} strays from euclidean {acc_sw}",
+            dataset.name()
+        );
+    }
+}
+
+#[test]
+fn tcam_lsh_trails_mcam_at_iso_word_length() {
+    let model = FefetModel::default();
+    let mut mcam_total = 0.0;
+    let mut tcam_total = 0.0;
+    for dataset in synth::fig6_datasets(7) {
+        let (train, test) = dataset.split(0.8, 5);
+        let dims = dataset.dims();
+        let train_refs: Vec<&[f32]> = train.features().iter().map(|r| r.as_slice()).collect();
+        let mut mcam = McamNn::fit(
+            3,
+            train_refs.iter().copied(),
+            dims,
+            QuantizeStrategy::PerFeatureMinMax,
+            &model,
+        )
+        .expect("mcam engine");
+        let mut tcam = TcamLshNn::new(dims, dims, 11).expect("tcam engine");
+        mcam_total += engine_accuracy(&mut mcam, &train, &test);
+        tcam_total += engine_accuracy(&mut tcam, &train, &test);
+    }
+    assert!(
+        mcam_total > tcam_total + 0.1,
+        "mean mcam {mcam_total} vs tcam {tcam_total} over 4 datasets"
+    );
+}
+
+#[test]
+fn mcam_distance_usable_as_software_distance() {
+    // The paper notes the proposed distance function had never been used
+    // in software; McamSoftware does exactly that through the generic
+    // SoftwareNn engine.
+    let model = FefetModel::default();
+    let ladder = LevelLadder::new(3).expect("ladder");
+    let lut = ConductanceLut::from_device(&model, &ladder);
+    let dataset = synth::iris(3);
+    let (train, test) = dataset.split(0.8, 1);
+    let train_refs: Vec<&[f32]> = train.features().iter().map(|r| r.as_slice()).collect();
+    let quantizer = Quantizer::fit(
+        train_refs.iter().copied(),
+        dataset.dims(),
+        8,
+        QuantizeStrategy::PerFeatureMinMax,
+    )
+    .expect("quantizer");
+    let mut engine = SoftwareNn::new(McamSoftware::new(lut, quantizer), dataset.dims());
+    let acc = engine_accuracy(&mut engine, &train, &test);
+    assert!(acc > 0.8, "software MCAM distance accuracy {acc}");
+}
+
+#[test]
+fn linf_tcam_extension_classifies() {
+    // The multi-lookup L-infinity scheme (DATE 2019 baseline) as a
+    // classification engine, assembled from parts.
+    use femcam_harness::core::tcam::{thermometer_encode, TcamArray};
+    let dataset = synth::iris(9);
+    let (train, test) = dataset.split(0.8, 2);
+    let dims = dataset.dims();
+    let n_levels = 8usize;
+    let train_refs: Vec<&[f32]> = train.features().iter().map(|r| r.as_slice()).collect();
+    let quantizer = Quantizer::fit(
+        train_refs.iter().copied(),
+        dims,
+        n_levels as u16,
+        QuantizeStrategy::PerFeatureMinMax,
+    )
+    .expect("quantizer");
+
+    let mut tcam = TcamArray::new(dims * (n_levels - 1));
+    for f in train.features() {
+        let levels = quantizer.quantize(f).expect("quantize");
+        tcam.store(&thermometer_encode(&levels, n_levels).expect("encode"))
+            .expect("store");
+    }
+    let mut correct = 0usize;
+    for (f, &label) in test.features().iter().zip(test.labels()) {
+        let levels = quantizer.quantize(f).expect("quantize");
+        let (_radius, rows) = tcam.linf_search(&levels, n_levels).expect("search");
+        if train.labels()[rows[0]] == label {
+            correct += 1;
+        }
+    }
+    let acc = correct as f64 / test.len() as f64;
+    assert!(acc > 0.6, "L-infinity TCAM accuracy {acc} not above chance");
+}

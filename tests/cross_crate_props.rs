@@ -1,0 +1,169 @@
+//! Cross-crate property tests: randomized invariants that tie the
+//! device physics, the LUT, the arrays, and the engines together.
+
+use proptest::prelude::*;
+
+use femcam_harness::prelude::*;
+
+fn lut3() -> ConductanceLut {
+    let ladder = LevelLadder::new(3).expect("ladder");
+    ConductanceLut::from_device(&FefetModel::default(), &ladder)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The array search winner is always the row minimizing the software
+    /// LUT sum — the in-memory search computes the proposed distance.
+    #[test]
+    fn array_winner_is_lut_argmin(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(0u8..8, 8), 1..12),
+        query in proptest::collection::vec(0u8..8, 8),
+    ) {
+        let ladder = LevelLadder::new(3).expect("ladder");
+        let lut = lut3();
+        let mut array = McamArray::new(ladder, lut.clone(), 8);
+        for r in &rows {
+            array.store(r).expect("store");
+        }
+        let outcome = array.search(&query).expect("search");
+        // Software argmin over the same LUT.
+        let mut best = (f64::INFINITY, 0usize);
+        for (i, r) in rows.iter().enumerate() {
+            let g: f64 = query.iter().zip(r).map(|(&q, &s)| lut.get(q, s)).sum();
+            if g < best.0 {
+                best = (g, i);
+            }
+        }
+        prop_assert_eq!(outcome.best_row(), best.1);
+    }
+
+    /// Exact matches always beat any non-identical row.
+    #[test]
+    fn exact_match_always_wins(
+        word in proptest::collection::vec(0u8..8, 6),
+        other in proptest::collection::vec(0u8..8, 6),
+    ) {
+        prop_assume!(word != other);
+        let ladder = LevelLadder::new(3).expect("ladder");
+        let mut array = McamArray::new(ladder, lut3(), 6);
+        array.store(&other).expect("store");
+        array.store(&word).expect("store");
+        let outcome = array.search(&word).expect("search");
+        prop_assert_eq!(outcome.best_row(), 1);
+    }
+
+    /// ML discharge times order inversely to conductances under any
+    /// positive timing parameters.
+    #[test]
+    fn discharge_order_inverts_conductance_order(
+        c_ml in 1e-16f64..1e-12,
+        v_sense_frac in 0.05f64..0.95,
+        words in proptest::collection::vec(
+            proptest::collection::vec(0u8..8, 4), 2..8),
+    ) {
+        let ladder = LevelLadder::new(3).expect("ladder");
+        let mut array = McamArray::new(ladder, lut3(), 4);
+        for w in &words {
+            array.store(w).expect("store");
+        }
+        let outcome = array.search(&words[0]).expect("search");
+        let timing = MlTiming {
+            c_ml,
+            v_precharge: 0.8,
+            v_sense: 0.8 * v_sense_frac,
+        };
+        let times = outcome.discharge_times(&timing);
+        for i in 0..words.len() {
+            for j in 0..words.len() {
+                let (gi, gj) = (outcome.conductance(i), outcome.conductance(j));
+                // Strict time ordering for meaningfully distinct
+                // conductances; ulp-level differences may round to equal
+                // times.
+                if gi < gj && (gj - gi) / gj > 1e-12 {
+                    prop_assert!(times[i] >= times[j]);
+                    if (gj - gi) / gj > 1e-9 {
+                        prop_assert!(times[i] > times[j]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Quantize-dequantize-quantize is idempotent for any data.
+    #[test]
+    fn quantizer_roundtrip_is_idempotent(
+        data in proptest::collection::vec(
+            proptest::collection::vec(-100.0f32..100.0, 3), 2..20),
+        x in proptest::collection::vec(-150.0f32..150.0, 3),
+    ) {
+        let q = Quantizer::fit(
+            data.iter().map(|r| r.as_slice()),
+            3,
+            8,
+            QuantizeStrategy::PerFeatureMinMax,
+        ).expect("fit");
+        let levels = q.quantize(&x).expect("quantize");
+        let back = q.dequantize(&levels).expect("dequantize");
+        let again = q.quantize(&back).expect("requantize");
+        prop_assert_eq!(levels, again);
+    }
+
+    /// LSH signatures are invariant to positive scaling and exactly
+    /// inverted by negation.
+    #[test]
+    fn lsh_scale_and_negation_laws(
+        x in proptest::collection::vec(-1.0f32..1.0, 8),
+        scale in 0.1f32..50.0,
+    ) {
+        prop_assume!(x.iter().any(|&v| v.abs() > 1e-3));
+        let lsh = RandomHyperplanes::new(32, 8, 9).expect("lsh");
+        let base = lsh.signature(&x).expect("sig");
+        let scaled: Vec<f32> = x.iter().map(|&v| v * scale).collect();
+        prop_assert_eq!(&lsh.signature(&scaled).expect("sig"), &base);
+        let neg: Vec<f32> = x.iter().map(|&v| -v).collect();
+        let neg_sig = lsh.signature(&neg).expect("sig");
+        prop_assert_eq!(base.hamming(&neg_sig), 32);
+    }
+
+    /// The FeFET transfer curve is monotone in Vg and anti-monotone in
+    /// Vth, for any bias in a wide window.
+    #[test]
+    fn transfer_curve_monotonicity(
+        vg in -1.0f64..2.0,
+        dv in 1e-4f64..0.5,
+        vth in 0.36f64..1.32,
+    ) {
+        let m = FefetModel::default();
+        prop_assert!(m.drain_current(vg + dv, vth) >= m.drain_current(vg, vth));
+        let vth2 = (vth + dv).min(1.32);
+        prop_assert!(m.drain_current(vg, vth2) <= m.drain_current(vg, vth));
+    }
+
+    /// Pulse solving is self-consistent: solve-then-apply lands on the
+    /// target anywhere in the window.
+    #[test]
+    fn pulse_solve_roundtrip(vth in 0.37f64..1.31) {
+        let p = PulseProgrammer::default();
+        let pulse = p.pulse_for_vth(vth).expect("solvable");
+        let reached = p.vth_after(pulse);
+        prop_assert!((reached - vth).abs() < 2e-3,
+            "target {} reached {}", vth, reached);
+    }
+
+    /// Episode evaluation accuracy is always a valid probability and
+    /// deterministic in the seed.
+    #[test]
+    fn evaluation_is_bounded_and_seeded(seed in 0u64..1000) {
+        let task = FewShotTask::new(2, 1);
+        let mut cfg = EvalConfig::new(task, 3, seed);
+        cfg.n_calibration = 8;
+        let mut s1 = PrototypeFeatureModel::paper_default(seed);
+        let a = evaluate(&mut s1, &Backend::mcam(2), &cfg).expect("eval");
+        prop_assert!((0.0..=1.0).contains(&a.accuracy));
+        let mut s2 = PrototypeFeatureModel::paper_default(seed);
+        let b = evaluate(&mut s2, &Backend::mcam(2), &cfg).expect("eval");
+        prop_assert_eq!(a.accuracy, b.accuracy);
+    }
+}

@@ -1,0 +1,70 @@
+//! Cross-crate integration: the full few-shot evaluation stack
+//! (device model -> LUT -> MCAM array -> MANN episodes) reproduces the
+//! paper's Fig. 7 ordering.
+
+use femcam_harness::prelude::*;
+
+fn run(backend: &Backend, task: FewShotTask, episodes: usize) -> f64 {
+    let cfg = EvalConfig::new(task, episodes, 42);
+    evaluate_with_factory(PrototypeFeatureModel::paper_default, backend, &cfg, 4)
+        .expect("evaluation")
+        .accuracy
+}
+
+#[test]
+fn paper_ordering_on_5way_1shot() {
+    let task = FewShotTask::new(5, 1);
+    let cosine = run(&Backend::cosine(), task, 60);
+    let mcam3 = run(&Backend::mcam(3), task, 60);
+    let mcam2 = run(&Backend::mcam(2), task, 60);
+    let tcam = run(&Backend::tcam_lsh(), task, 60);
+    // Fig. 7 ordering: cosine >= mcam3 >= mcam2 > tcam, with mcam3 close
+    // to cosine and tcam far behind.
+    assert!(cosine >= mcam3 - 0.01, "cosine {cosine} vs mcam3 {mcam3}");
+    assert!(mcam3 >= mcam2 - 0.01, "mcam3 {mcam3} vs mcam2 {mcam2}");
+    assert!(mcam2 > tcam + 0.02, "mcam2 {mcam2} vs tcam {tcam}");
+    assert!(cosine - mcam3 < 0.04, "3-bit quantization cost too high");
+    assert!(mcam3 - tcam > 0.05, "mcam advantage vanished");
+}
+
+#[test]
+fn five_shot_beats_one_shot_everywhere() {
+    for backend in [Backend::mcam(3), Backend::tcam_lsh()] {
+        let one = run(&backend, FewShotTask::new(5, 1), 40);
+        let five = run(&backend, FewShotTask::new(5, 5), 40);
+        assert!(
+            five >= one - 0.01,
+            "{}: 5-shot {five} should not trail 1-shot {one}",
+            backend.name()
+        );
+    }
+}
+
+#[test]
+fn variation_below_80mv_is_tolerated() {
+    // Fig. 8's central claim, end to end.
+    let task = FewShotTask::new(5, 5);
+    let nominal = run(&Backend::mcam(3), task, 40);
+    let varied = run(&Backend::mcam_with_variation(3, 0.08), task, 40);
+    assert!(
+        nominal - varied < 0.04,
+        "80 mV variation cost {:.3} exceeds the paper's ~0",
+        nominal - varied
+    );
+}
+
+#[test]
+fn experimental_lut_keeps_accuracy() {
+    // Fig. 9(c) end to end: a measured (noisy) 2-bit table still works.
+    use femcam_harness::core::{measured_lut, ExperimentConfig};
+    let model = FefetModel::default();
+    let ladder = LevelLadder::new(2).expect("2-bit ladder");
+    let lut = measured_lut(&model, &ladder, ExperimentConfig::default()).expect("measurement");
+    let task = FewShotTask::new(5, 1);
+    let sim = run(&Backend::mcam(2), task, 40);
+    let exp = run(&Backend::mcam_with_lut(2, lut), task, 40);
+    assert!(
+        (sim - exp).abs() < 0.06,
+        "experimental LUT accuracy {exp} strays from simulated {sim}"
+    );
+}
