@@ -1,20 +1,52 @@
 //! Simulator search throughput: MCAM array search vs software FP32 NN
-//! vs TCAM Hamming search, across array sizes.
+//! vs TCAM Hamming search, across array sizes — plus batch-size and
+//! thread-count sweeps over the compiled multi-bank executor, recording
+//! a machine-readable baseline to `results/BENCH_search.json`.
+
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use femcam_core::{
-    ConductanceLut, Euclidean, LevelLadder, McamArray, NnIndex, SoftwareNn, TcamArray,
+    par, BankedMcam, ConductanceLut, Euclidean, LevelLadder, McamArray, NnIndex, SoftwareNn,
+    TcamArray,
 };
 use femcam_device::FefetModel;
 use femcam_lsh::RandomHyperplanes;
 
 const WORD_LEN: usize = 64;
 
+/// Multi-bank sweep geometry: 16 banks of 256 rows.
+const SWEEP_ROWS: usize = 4096;
+const SWEEP_ROWS_PER_BANK: usize = 256;
+const BATCH_SIZES: [usize; 3] = [1, 64, 1024];
+
 fn random_levels(rng: &mut StdRng, n: usize) -> Vec<u8> {
     (0..n).map(|_| rng.gen_range(0..8u8)).collect()
+}
+
+/// Thread counts for the sweeps: 1, 4, and whatever the machine offers.
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1usize, 4, par::max_threads()];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+fn sweep_memory(seed: u64) -> (BankedMcam, Vec<Vec<u8>>) {
+    let ladder = LevelLadder::new(3).unwrap();
+    let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut banked = BankedMcam::new(ladder, lut, WORD_LEN, SWEEP_ROWS_PER_BANK);
+    for _ in 0..SWEEP_ROWS {
+        banked.store(&random_levels(&mut rng, WORD_LEN)).unwrap();
+    }
+    let queries: Vec<Vec<u8>> = (0..*BATCH_SIZES.iter().max().unwrap())
+        .map(|_| random_levels(&mut rng, WORD_LEN))
+        .collect();
+    (banked, queries)
 }
 
 fn bench_mcam_search(c: &mut Criterion) {
@@ -99,11 +131,134 @@ fn bench_variation_array(c: &mut Criterion) {
     });
 }
 
+fn bench_batch_size_sweep(c: &mut Criterion) {
+    let (banked, queries) = sweep_memory(7);
+    let plan = banked.compile().unwrap();
+    let threads = par::max_threads();
+    let mut group = c.benchmark_group("banked_batch_sweep_maxthreads");
+    for &batch in &BATCH_SIZES {
+        let refs: Vec<&[u8]> = queries[..batch].iter().map(|q| q.as_slice()).collect();
+        group.throughput(Throughput::Elements((batch * SWEEP_ROWS) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &refs, |b, refs| {
+            b.iter(|| plan.search_batch(refs, threads).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_thread_sweep(c: &mut Criterion) {
+    let (banked, queries) = sweep_memory(8);
+    let plan = banked.compile().unwrap();
+    let batch = *BATCH_SIZES.last().unwrap();
+    let refs: Vec<&[u8]> = queries[..batch].iter().map(|q| q.as_slice()).collect();
+    let mut group = c.benchmark_group("banked_thread_sweep_batch1024");
+    for threads in thread_counts() {
+        group.throughput(Throughput::Elements((batch * SWEEP_ROWS) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &refs, |b, refs| {
+            b.iter(|| plan.search_batch(refs, threads).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// Times `f` (which processes `queries_per_call` queries per call) and
+/// returns mean nanoseconds per query.
+fn ns_per_query<F: FnMut()>(queries_per_call: usize, min_calls: usize, mut f: F) -> f64 {
+    // Warmup.
+    f();
+    let start = Instant::now();
+    let mut calls = 0usize;
+    while calls < min_calls || start.elapsed().as_millis() < 300 {
+        f();
+        calls += 1;
+    }
+    start.elapsed().as_nanos() as f64 / (calls * queries_per_call) as f64
+}
+
+/// Records the machine-readable throughput baseline the acceptance
+/// criterion checks: seed-style scalar row-by-row search vs the
+/// compiled, batched multi-bank executor, plus the full sweep grid.
+///
+/// This is a multi-second manual sweep that overwrites
+/// `results/BENCH_search.json`; set `FEMCAM_RECORD_BASELINE=0` to
+/// skip it (e.g. when iterating on the criterion-timed benches above).
+fn record_search_baseline(_c: &mut Criterion) {
+    if std::env::var("FEMCAM_RECORD_BASELINE").as_deref() == Ok("0") {
+        println!("record_search_baseline: skipped (FEMCAM_RECORD_BASELINE=0)");
+        return;
+    }
+    let (banked, queries) = sweep_memory(9);
+    let plan = banked.compile().unwrap();
+
+    // The seed scalar reference: one flat array, one query at a time,
+    // row-by-row cell-by-cell LUT dispatch (exactly McamArray::search).
+    let ladder = LevelLadder::new(3).unwrap();
+    let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+    let mut flat = McamArray::new(ladder, lut, WORD_LEN);
+    let mut rng = StdRng::seed_from_u64(9);
+    for _ in 0..SWEEP_ROWS {
+        flat.store(&random_levels(&mut rng, WORD_LEN)).unwrap();
+    }
+
+    let scalar_batch = 64; // keep the slow path's sampling time sane
+    let scalar_refs: Vec<&[u8]> = queries[..scalar_batch]
+        .iter()
+        .map(|q| q.as_slice())
+        .collect();
+    let scalar_ns = ns_per_query(scalar_batch, 2, || {
+        for q in &scalar_refs {
+            std::hint::black_box(flat.search(q).unwrap().best_row());
+        }
+    });
+
+    let max_threads = par::max_threads();
+    let mut sweep_lines = Vec::new();
+    let mut best_batched_ns = f64::INFINITY;
+    for threads in thread_counts() {
+        for &batch in &BATCH_SIZES {
+            let refs: Vec<&[u8]> = queries[..batch].iter().map(|q| q.as_slice()).collect();
+            let ns = ns_per_query(batch, 2, || {
+                std::hint::black_box(plan.search_batch(&refs, threads).unwrap());
+            });
+            if threads == max_threads && batch > 1 {
+                best_batched_ns = best_batched_ns.min(ns);
+            }
+            sweep_lines.push(format!(
+                "    {{\"threads\": {threads}, \"batch\": {batch}, \
+                 \"ns_per_query\": {ns:.1}, \"queries_per_s\": {:.1}}}",
+                1e9 / ns
+            ));
+        }
+    }
+
+    let speedup = scalar_ns / best_batched_ns;
+    let json = format!(
+        "{{\n  \"config\": {{\"rows\": {SWEEP_ROWS}, \"word_len\": {WORD_LEN}, \
+         \"rows_per_bank\": {SWEEP_ROWS_PER_BANK}, \"bits\": 3, \
+         \"max_threads\": {max_threads}}},\n\
+         \"scalar_ns_per_query\": {scalar_ns:.1},\n\
+         \"best_batched_ns_per_query\": {best_batched_ns:.1},\n\
+         \"speedup_batched_vs_scalar\": {speedup:.2},\n\
+         \"sweep\": [\n{}\n  ]\n}}\n",
+        sweep_lines.join(",\n")
+    );
+    let path = femcam_bench::results_dir().join("BENCH_search.json");
+    std::fs::write(&path, &json).expect("write BENCH_search.json");
+    println!(
+        "baseline: scalar {scalar_ns:.0} ns/query, batched {best_batched_ns:.0} ns/query \
+         ({speedup:.1}x) -> {}",
+        path.display()
+    );
+}
+
 criterion_group!(
     benches,
     bench_mcam_search,
     bench_software_nn,
     bench_tcam_hamming,
-    bench_variation_array
+    bench_variation_array,
+    bench_batch_size_sweep,
+    bench_thread_sweep,
+    record_search_baseline
 );
 criterion_main!(benches);

@@ -16,9 +16,7 @@ fn main() {
     run(&cfg).expect("fig7 evaluation").print();
     if args.get_or("lsh-bits", 0u8) == 1 {
         println!("\n== ablation: TCAM+LSH signature length (5w1s) ==");
-        for (bits, acc) in
-            lsh_bits_ablation(&[32, 64, 128, 256, 512], &cfg).expect("ablation")
-        {
+        for (bits, acc) in lsh_bits_ablation(&[32, 64, 128, 256, 512], &cfg).expect("ablation") {
             println!("  {bits:>4}-bit signatures -> {:.2}%", 100.0 * acc);
         }
     }

@@ -53,8 +53,5 @@ fn main() {
     t1r.print();
     println!();
     t2::print(&t2::run().expect("t2"));
-    println!(
-        "\nall in-text accuracy claims hold: {}",
-        t1r.all_hold()
-    );
+    println!("\nall in-text accuracy claims hold: {}", t1r.all_hold());
 }

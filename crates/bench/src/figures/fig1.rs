@@ -67,10 +67,18 @@ impl Fig1Report {
         println!("paper: an ACAM cell stores an analog range; an MCAM is the");
         println!("       special case of narrow, non-overlapping ranges with");
         println!("       grid-restricted inputs\n");
-        let mut t = Table::new(&["row", "ACAM (query 0.3, 0.1, 0.75)", "MCAM (query S3,S1,S2)"]);
+        let mut t = Table::new(&[
+            "row",
+            "ACAM (query 0.3, 0.1, 0.75)",
+            "MCAM (query S3,S1,S2)",
+        ]);
         for (i, (a, m)) in self.acam_matches.iter().zip(&self.mcam_matches).enumerate() {
             let fmt = |b: bool| if b { "match" } else { "mismatch" };
-            t.row(&[format!("{}", i + 1), fmt(*a).to_string(), fmt(*m).to_string()]);
+            t.row(&[
+                format!("{}", i + 1),
+                fmt(*a).to_string(),
+                fmt(*m).to_string(),
+            ]);
         }
         t.print();
     }

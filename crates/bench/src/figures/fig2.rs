@@ -86,7 +86,13 @@ impl Fig2Report {
         println!("== Fig. 2(b): FeFET transfer characteristics, 8 states ==");
         println!("paper: 8 distinct Vth levels from single same-width pulses;");
         println!("       currents span ~1e-9..1e-4 A over a 0..1.2 V gate sweep\n");
-        let mut t = Table::new(&["state", "vth (V)", "pulse (V)", "Id@0.6V (A)", "Id@1.2V (A)"]);
+        let mut t = Table::new(&[
+            "state",
+            "vth (V)",
+            "pulse (V)",
+            "Id@0.6V (A)",
+            "Id@1.2V (A)",
+        ]);
         for (k, s) in self.states.iter().enumerate() {
             t.row(&[
                 format!("S{}", k + 1),
@@ -97,7 +103,10 @@ impl Fig2Report {
             ]);
         }
         t.print();
-        println!("\nmeasured @1.2V dynamic range across states: {:.1e}x", self.dynamic_range);
+        println!(
+            "\nmeasured @1.2V dynamic range across states: {:.1e}x",
+            self.dynamic_range
+        );
         println!("csv: results/fig2_transfer.csv");
     }
 }

@@ -53,7 +53,12 @@ impl Fig3Report {
         println!("       inputs 420..1260 mV, analog inversion about 840 mV;");
         println!("       storing S3 programs right=720 mV, left=inv(600)=1080 mV\n");
         let mut t = Table::new(&[
-            "state", "low (mV)", "high (mV)", "input (mV)", "vth_R (mV)", "vth_L (mV)",
+            "state",
+            "low (mV)",
+            "high (mV)",
+            "input (mV)",
+            "vth_R (mV)",
+            "vth_L (mV)",
         ]);
         for (k, &(lo, hi, inp, r, l)) in self.rows.iter().enumerate() {
             t.row(&[

@@ -143,7 +143,10 @@ impl Fig4Report {
             self.derivative_peak,
             self.derivative_peak + 1
         );
-        println!("distance-1 conductance spread across (I,S) pairs: {:.2}x", self.d1_spread);
+        println!(
+            "distance-1 conductance spread across (I,S) pairs: {:.2}x",
+            self.d1_spread
+        );
         println!("csv: results/fig4_distance.csv, results/fig4_derivative.csv");
     }
 }

@@ -50,7 +50,10 @@ pub fn run(n_devices: usize, seed: u64) -> Fig5Report {
 impl Fig5Report {
     /// Prints the per-state statistics table.
     pub fn print(&self) {
-        println!("== Fig. 5: Vth distributions, {} devices x 8 states ==", self.n_devices);
+        println!(
+            "== Fig. 5: Vth distributions, {} devices x 8 states ==",
+            self.n_devices
+        );
         println!("paper: Monte Carlo domain-switching model, sigma up to 80 mV\n");
         let mut t = Table::new(&["state", "target (mV)", "mean (mV)", "sigma (mV)"]);
         for (k, s) in self.stats.iter().enumerate() {

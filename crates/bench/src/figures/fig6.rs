@@ -128,11 +128,7 @@ pub fn run(cfg: &Fig6Config) -> femcam_core::Result<Fig6Report> {
 
     let n = rows.len() as f64;
     let mcam3_vs_tcam = rows.iter().map(|(_, a)| a[0] - a[2]).sum::<f64>() / n;
-    let mcam3_vs_software = rows
-        .iter()
-        .map(|(_, a)| a[0] - a[3].max(a[4]))
-        .sum::<f64>()
-        / n;
+    let mcam3_vs_software = rows.iter().map(|(_, a)| a[0] - a[3].max(a[4])).sum::<f64>() / n;
     Ok(Fig6Report {
         rows,
         mcam3_vs_tcam,

@@ -49,7 +49,14 @@ impl Default for Fig8Config {
 /// Propagates evaluation failures.
 pub fn run(cfg: &Fig8Config) -> femcam_core::Result<Fig8Report> {
     let tasks = FewShotTask::paper_tasks();
-    let points = variation_sweep(3, &cfg.sigmas, &tasks, cfg.n_episodes, cfg.seed, cfg.n_threads)?;
+    let points = variation_sweep(
+        3,
+        &cfg.sigmas,
+        &tasks,
+        cfg.n_episodes,
+        cfg.seed,
+        cfg.n_threads,
+    )?;
 
     let csv_rows: Vec<Vec<String>> = points
         .iter()

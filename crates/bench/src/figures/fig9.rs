@@ -132,7 +132,10 @@ impl Fig9Report {
             }
         }
         t.print();
-        println!("\nlog-conductance correlation sim/meas: {:.3}", self.log_correlation);
+        println!(
+            "\nlog-conductance correlation sim/meas: {:.3}",
+            self.log_correlation
+        );
         let mut t = Table::new(&["task", "2-bit sim", "2-bit exp"]);
         for (label, sim, exp) in &self.accuracy_rows {
             t.row(&[label.clone(), crate::pct(*sim), crate::pct(*exp)]);

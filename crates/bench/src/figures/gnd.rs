@@ -22,14 +22,36 @@ pub fn print(report: &GndReport) {
     println!("== G^n_d analysis: 16-cell, 3-bit MCAM row (§III-B) ==");
     println!("paper: G(1,4) > G(4,1); G(1,7) >> G(7,1); G(1,4) > G(7,1)\n");
     let mut t = Table::new(&["quantity", "conductance (S)"]);
-    t.row(&["G(1,4) - one cell at distance 4", &format!("{:.3e}", report.g_1_4)]);
-    t.row(&["G(4,1) - four cells at distance 1", &format!("{:.3e}", report.g_4_1)]);
-    t.row(&["G(1,7) - one cell at distance 7", &format!("{:.3e}", report.g_1_7)]);
-    t.row(&["G(7,1) - seven cells at distance 1", &format!("{:.3e}", report.g_7_1)]);
+    t.row(&[
+        "G(1,4) - one cell at distance 4",
+        &format!("{:.3e}", report.g_1_4),
+    ]);
+    t.row(&[
+        "G(4,1) - four cells at distance 1",
+        &format!("{:.3e}", report.g_4_1),
+    ]);
+    t.row(&[
+        "G(1,7) - one cell at distance 7",
+        &format!("{:.3e}", report.g_1_7),
+    ]);
+    t.row(&[
+        "G(7,1) - seven cells at distance 1",
+        &format!("{:.3e}", report.g_7_1),
+    ]);
     t.print();
-    println!("\nG(1,4) >  G(4,1): {}", report.concentrated_beats_spread_at_4());
-    println!("G(1,7) >> G(7,1): {} ({:.0}x)", report.concentrated_dominates_at_7(), report.g_1_7 / report.g_7_1);
-    println!("G(1,4) >  G(7,1): {}", report.concentration_outweighs_total_distance());
+    println!(
+        "\nG(1,4) >  G(4,1): {}",
+        report.concentrated_beats_spread_at_4()
+    );
+    println!(
+        "G(1,7) >> G(7,1): {} ({:.0}x)",
+        report.concentrated_dominates_at_7(),
+        report.g_1_7 / report.g_7_1
+    );
+    println!(
+        "G(1,4) >  G(7,1): {}",
+        report.concentration_outweighs_total_distance()
+    );
 }
 
 #[cfg(test)]

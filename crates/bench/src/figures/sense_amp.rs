@@ -52,16 +52,19 @@ pub fn run(resolutions_s: &[f64], n_searches: usize, seed: u64) -> Vec<SenseAmpP
         })
         .collect();
 
+    // The per-row conductances are resolution-independent: run the
+    // whole query set once through the batched compiled executor and
+    // re-score the sense amplifier per resolution.
+    let outcomes = array
+        .search_batch(queries.iter().map(|q| q.as_slice()))
+        .expect("search");
     resolutions_s
         .iter()
         .map(|&resolution_s| {
             let amp = SenseAmp { resolution_s };
-            let flips = queries
+            let flips = outcomes
                 .iter()
-                .filter(|q| {
-                    let outcome = array.search(q).expect("search");
-                    outcome.sensed_winner(&timing, &amp) != Some(outcome.best_row())
-                })
+                .filter(|outcome| outcome.sensed_winner(&timing, &amp) != Some(outcome.best_row()))
                 .count();
             SenseAmpPoint {
                 resolution_s,

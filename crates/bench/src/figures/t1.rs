@@ -29,7 +29,10 @@ pub struct T1Report {
 /// # Errors
 ///
 /// Propagates evaluation failures.
-pub fn run(fig6_cfg: &fig6::Fig6Config, fig7_cfg: &fig7::Fig7Config) -> femcam_core::Result<T1Report> {
+pub fn run(
+    fig6_cfg: &fig6::Fig6Config,
+    fig7_cfg: &fig7::Fig7Config,
+) -> femcam_core::Result<T1Report> {
     let f6 = fig6::run(fig6_cfg)?;
     let f7 = fig7::run(fig7_cfg)?;
 
@@ -119,7 +122,11 @@ mod tests {
         let r = run(&f6, &f7).unwrap();
         assert_eq!(r.claims.len(), 6);
         for c in &r.claims {
-            assert!(c.holds, "claim failed: {} (measured {})", c.description, c.measured);
+            assert!(
+                c.holds,
+                "claim failed: {} (measured {})",
+                c.description, c.measured
+            );
         }
     }
 }

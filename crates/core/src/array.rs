@@ -20,8 +20,10 @@ use femcam_device::{FefetModel, GaussianVth};
 
 use crate::cell::McamCell;
 use crate::error::CoreError;
+use crate::exec::{self, CompiledMcam};
 use crate::levels::LevelLadder;
 use crate::lut::ConductanceLut;
+use crate::par;
 use crate::Result;
 
 /// Gaussian device-variation specification for an array build.
@@ -94,7 +96,9 @@ pub struct SenseAmp {
 
 impl Default for SenseAmp {
     fn default() -> Self {
-        SenseAmp { resolution_s: 1e-12 }
+        SenseAmp {
+            resolution_s: 1e-12,
+        }
     }
 }
 
@@ -122,6 +126,12 @@ pub struct SearchOutcome {
 }
 
 impl SearchOutcome {
+    /// Wraps precomputed per-row conductances (the compiled executor
+    /// produces these; see [`crate::exec`]).
+    pub(crate) fn from_conductances(conductances: Vec<f64>) -> Self {
+        SearchOutcome { conductances }
+    }
+
     /// Index of the nearest row (minimum total conductance = slowest ML).
     ///
     /// # Panics
@@ -157,17 +167,11 @@ impl SearchOutcome {
         &self.conductances
     }
 
-    /// Row indices of the `k` smallest conductances, nearest first.
+    /// Row indices of the `k` smallest conductances, nearest first
+    /// (bounded-heap selection, `O(n_rows log k)`).
     #[must_use]
     pub fn top_k(&self, k: usize) -> Vec<usize> {
-        let mut idx: Vec<usize> = (0..self.conductances.len()).collect();
-        idx.sort_by(|&a, &b| {
-            self.conductances[a]
-                .partial_cmp(&self.conductances[b])
-                .expect("conductances are finite")
-        });
-        idx.truncate(k);
-        idx
+        exec::top_k_indices(&self.conductances, k)
     }
 
     /// Per-row discharge times under an RC timing model.
@@ -288,7 +292,9 @@ impl McamArray {
     /// word.
     #[must_use]
     pub fn new(ladder: LevelLadder, lut: ConductanceLut, word_len: usize) -> Self {
-        McamArrayBuilder::new(ladder, lut).word_len(word_len).build()
+        McamArrayBuilder::new(ladder, lut)
+            .word_len(word_len)
+            .build()
     }
 
     /// The array's level ladder.
@@ -400,8 +406,9 @@ impl McamArray {
         Ok(())
     }
 
-    /// Conductance contributed by cell `c` of row `r` under `input`.
-    fn cell_conductance(&self, r: usize, c: usize, input: u8) -> f64 {
+    /// Conductance contributed by cell `c` of row `r` under `input`
+    /// (the compiled executor reads this when building planes).
+    pub(crate) fn cell_conductance(&self, r: usize, c: usize, input: u8) -> f64 {
         match &self.bank {
             Bank::Shared => self.lut.get(input, self.states[r * self.word_len + c]),
             Bank::PerCell(bank) => {
@@ -447,16 +454,43 @@ impl McamArray {
         Ok(SearchOutcome { conductances })
     }
 
-    /// Searches a batch of queries (e.g. a MANN query set applied
-    /// back-to-back to the same programmed array).
+    /// Compiles the array's current contents into a reusable
+    /// plane-major query plan (see [`crate::exec`]).
     ///
     /// # Errors
     ///
-    /// Propagates the first failing [`search`](Self::search).
+    /// Returns [`CoreError::EmptyArray`] if nothing is stored.
+    pub fn compile(&self) -> Result<CompiledMcam> {
+        CompiledMcam::compile(self)
+    }
+
+    /// Searches a batch of queries (e.g. a MANN query set applied
+    /// back-to-back to the same programmed array).
+    ///
+    /// Batches of at least `n_levels` queries are executed through the
+    /// compiled plane-major plan with queries sharded across worker
+    /// threads ([`crate::exec`]); smaller batches run the scalar path.
+    /// Both produce bit-identical outcomes, in query order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing [`search`](Self::search) in query
+    /// order.
     pub fn search_batch<'a, I>(&self, queries: I) -> Result<Vec<SearchOutcome>>
     where
         I: IntoIterator<Item = &'a [u8]>,
     {
+        let queries: Vec<&[u8]> = queries.into_iter().collect();
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Compiling costs n_levels plane fills of n_rows × word_len
+        // each; a batch of at least n_levels queries amortizes it.
+        if !self.is_empty() && queries.len() >= self.ladder.n_levels() {
+            let plan = CompiledMcam::compile(self)?;
+            let work = queries.len() * self.n_rows() * self.word_len;
+            return plan.search_batch(&queries, par::threads_for(work));
+        }
         queries.into_iter().map(|q| self.search(q)).collect()
     }
 
@@ -568,7 +602,10 @@ mod tests {
     #[test]
     fn empty_array_refuses_search() {
         let a = nominal_array(4);
-        assert!(matches!(a.search(&[0, 0, 0, 0]), Err(CoreError::EmptyArray)));
+        assert!(matches!(
+            a.search(&[0, 0, 0, 0]),
+            Err(CoreError::EmptyArray)
+        ));
     }
 
     #[test]
@@ -728,7 +765,13 @@ mod tests {
         let build = |seed| {
             let mut a = McamArrayBuilder::new(ladder, lut.clone())
                 .word_len(4)
-                .variation(VariationSpec { sigma_v: 0.05, seed }, model)
+                .variation(
+                    VariationSpec {
+                        sigma_v: 0.05,
+                        seed,
+                    },
+                    model,
+                )
                 .build();
             a.store(&[1, 2, 3, 4]).unwrap();
             a.search(&[1, 2, 3, 4]).unwrap().conductance(0)

@@ -5,12 +5,19 @@
 //! margins, so a realistic deployment splits a large memory across
 //! fixed-size banks, searches them in parallel, and merges the per-bank
 //! winners in a second (digital) stage — a hierarchical winner-take-all.
-//! [`BankedMcam`] models exactly that on top of [`McamArray`].
+//! [`BankedMcam`] models exactly that on top of [`McamArray`], and the
+//! simulation really is parallel: single-query searches shard banks
+//! across worker threads ([`crate::par`]), batched searches run through
+//! per-bank compiled plans ([`crate::exec`]), and the winner merge is a
+//! fixed-order fold over per-bank results in bank order, so every path
+//! is bit-identical to a sequential bank-by-bank sweep.
 
 use crate::array::{McamArray, McamArrayBuilder, SearchOutcome};
 use crate::error::CoreError;
+use crate::exec::CompiledBanked;
 use crate::levels::LevelLadder;
 use crate::lut::ConductanceLut;
+use crate::par;
 use crate::Result;
 
 /// A row-tiled stack of MCAM banks sharing one ladder/LUT.
@@ -115,9 +122,14 @@ impl BankedMcam {
         Ok(bank_idx * self.rows_per_bank + local)
     }
 
-    /// Searches every bank in parallel (physically) and merges the
-    /// per-bank winners; returns `(global_row, total_conductance)` of
-    /// the overall nearest row.
+    /// Searches every bank — sharded across worker threads when the
+    /// array is large enough to justify forking — and merges the
+    /// per-bank winners in ascending bank order; returns
+    /// `(global_row, total_conductance)` of the overall nearest row.
+    ///
+    /// The merge is a fixed-order fold, so the result (including
+    /// lowest-index tie-breaks) is bit-identical to a sequential
+    /// bank-by-bank sweep regardless of thread count.
     ///
     /// # Errors
     ///
@@ -127,9 +139,10 @@ impl BankedMcam {
         if self.is_empty() {
             return Err(CoreError::EmptyArray);
         }
+        let threads = self.search_threads();
+        let per_bank = par::try_par_map(&self.banks, threads, |_, bank| bank.search(query))?;
         let mut best: Option<(usize, f64)> = None;
-        for (bank_idx, bank) in self.banks.iter().enumerate() {
-            let outcome = bank.search(query)?;
+        for (bank_idx, outcome) in per_bank.iter().enumerate() {
             let local = outcome.best_row();
             let g = outcome.conductance(local);
             let global = bank_idx * self.rows_per_bank + local;
@@ -140,7 +153,52 @@ impl BankedMcam {
         Ok(best.expect("nonempty banked memory"))
     }
 
-    /// Full per-bank outcomes (for energy accounting or inspection).
+    /// Searches a batch of queries and returns each query's merged
+    /// `(global_row, total_conductance)` winner, in query order.
+    ///
+    /// Batches of at least `n_levels` queries compile per-bank
+    /// plane-major plans once and shard queries across worker threads
+    /// ([`crate::exec`]); smaller batches run [`search`](Self::search)
+    /// per query. Both paths are bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::EmptyArray`] if nothing is stored (and the batch
+    ///   is nonempty).
+    /// * The first failing query (in query order) fails the batch.
+    pub fn search_batch(&self, queries: &[&[u8]]) -> Result<Vec<(usize, f64)>> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.is_empty() {
+            return Err(CoreError::EmptyArray);
+        }
+        if queries.len() >= self.ladder.n_levels() {
+            let plan = self.compile()?;
+            let work = queries.len() * self.n_rows() * self.word_len;
+            return plan.search_batch(queries, par::threads_for(work));
+        }
+        queries.iter().map(|q| self.search(q)).collect()
+    }
+
+    /// Compiles every bank into a reusable multi-bank query plan (see
+    /// [`crate::exec`]); amortizes plane construction across many
+    /// [`CompiledBanked::search_batch`] calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyArray`] if nothing is stored.
+    pub fn compile(&self) -> Result<CompiledBanked> {
+        CompiledBanked::compile(&self.banks, self.rows_per_bank)
+    }
+
+    /// Worker threads justified by the current total search workload.
+    fn search_threads(&self) -> usize {
+        par::threads_for(self.n_rows() * self.word_len)
+    }
+
+    /// Full per-bank outcomes (for energy accounting or inspection),
+    /// banks sharded across worker threads like [`search`](Self::search).
     ///
     /// # Errors
     ///
@@ -149,7 +207,9 @@ impl BankedMcam {
         if self.is_empty() {
             return Err(CoreError::EmptyArray);
         }
-        self.banks.iter().map(|b| b.search(query)).collect()
+        par::try_par_map(&self.banks, self.search_threads(), |_, bank| {
+            bank.search(query)
+        })
     }
 }
 
@@ -204,6 +264,46 @@ mod tests {
             let outcome = flat.search(&query).unwrap();
             assert_eq!(banked_row, outcome.best_row());
             assert!((banked_g - outcome.conductance(outcome.best_row())).abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn batched_search_equals_per_query_search() {
+        let ladder = LevelLadder::new(3).unwrap();
+        let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+        let mut banked = BankedMcam::new(ladder, lut, 8, 4);
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..19 {
+            let word: Vec<u8> = (0..8).map(|_| rng.gen_range(0..8)).collect();
+            banked.store(&word).unwrap();
+        }
+        // 10 queries: above the compile threshold (n_levels = 8).
+        let queries: Vec<Vec<u8>> = (0..10)
+            .map(|_| (0..8).map(|_| rng.gen_range(0..8)).collect())
+            .collect();
+        let refs: Vec<&[u8]> = queries.iter().map(|q| q.as_slice()).collect();
+        let batched = banked.search_batch(&refs).unwrap();
+        for (q, &(row, g)) in refs.iter().zip(&batched) {
+            let (row1, g1) = banked.search(q).unwrap();
+            assert_eq!(row, row1);
+            assert_eq!(g, g1, "batched conductance must be bit-identical");
+        }
+        assert!(banked.search_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn compiled_banked_plan_is_reusable() {
+        let ladder = LevelLadder::new(2).unwrap();
+        let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+        let mut banked = BankedMcam::new(ladder, lut, 4, 2);
+        for i in 0..5u8 {
+            banked.store(&[i % 4; 4]).unwrap();
+        }
+        let plan = banked.compile().unwrap();
+        assert_eq!(plan.n_banks(), 3);
+        assert_eq!(plan.n_rows(), 5);
+        for q in [[0u8, 0, 0, 0], [3, 3, 3, 3], [1, 2, 1, 2]] {
+            assert_eq!(plan.search(&q, 2).unwrap(), banked.search(&q).unwrap());
         }
     }
 

@@ -63,7 +63,10 @@ impl McamCell {
     /// thresholds.
     #[must_use]
     pub fn with_thresholds(vth_left: f64, vth_right: f64) -> Self {
-        McamCell { vth_left, vth_right }
+        McamCell {
+            vth_left,
+            vth_right,
+        }
     }
 
     /// Left-FeFET threshold voltage (V).
@@ -103,7 +106,8 @@ impl McamCell {
         ladder: &LevelLadder,
         v_dl: f64,
     ) -> f64 {
-        model.conductance(v_dl, self.vth_right) + model.conductance(ladder.invert(v_dl), self.vth_left)
+        model.conductance(v_dl, self.vth_right)
+            + model.conductance(ladder.invert(v_dl), self.vth_left)
     }
 }
 
@@ -206,10 +210,8 @@ mod tests {
     fn variation_perturbed_cell_shifts_conductance() {
         let (model, ladder) = setup();
         let nominal = McamCell::programmed(&ladder, 3).unwrap();
-        let perturbed = McamCell::with_thresholds(
-            nominal.vth_left() + 0.05,
-            nominal.vth_right() - 0.05,
-        );
+        let perturbed =
+            McamCell::with_thresholds(nominal.vth_left() + 0.05, nominal.vth_right() - 0.05);
         let g_nom = nominal.conductance(&model, &ladder, 4).unwrap();
         let g_pert = perturbed.conductance(&model, &ladder, 4).unwrap();
         assert!(g_pert > g_nom, "lower right Vth must conduct more");

@@ -15,8 +15,10 @@ use crate::Result;
 /// A dissimilarity measure over real-valued feature vectors.
 ///
 /// Implementations must return non-negative, finite values for finite
-/// inputs, with smaller values meaning "nearer".
-pub trait Distance {
+/// inputs, with smaller values meaning "nearer". `Send + Sync` is
+/// required so engines can shard batched queries across worker threads
+/// (see [`crate::par`]).
+pub trait Distance: Send + Sync {
     /// Evaluates the distance between `a` and `b`.
     ///
     /// # Panics

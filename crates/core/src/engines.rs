@@ -18,8 +18,10 @@ use femcam_lsh::RandomHyperplanes;
 use crate::array::{McamArray, McamArrayBuilder, VariationSpec};
 use crate::distance::Distance;
 use crate::error::CoreError;
+use crate::exec;
 use crate::levels::LevelLadder;
 use crate::lut::ConductanceLut;
+use crate::par;
 use crate::quantize::{QuantizeStrategy, Quantizer};
 use crate::tcam::TcamArray;
 use crate::Result;
@@ -73,6 +75,33 @@ pub trait NnIndex {
     ///
     /// Same conditions as [`query`](Self::query).
     fn query_k(&self, features: &[f32], k: usize) -> Result<Vec<QueryResult>>;
+
+    /// Finds the nearest stored entry for each query, in query order.
+    ///
+    /// The default implementation loops [`query`](Self::query); every
+    /// engine in this crate overrides it with a natively batched path
+    /// (compiled MCAM plans, worker-thread sharding) that returns
+    /// identical results.
+    ///
+    /// # Errors
+    ///
+    /// The first failing query (in query order) fails the batch.
+    fn query_batch(&self, queries: &[&[f32]]) -> Result<Vec<QueryResult>> {
+        queries.iter().map(|q| self.query(q)).collect()
+    }
+
+    /// Finds the `k` nearest stored entries for each query, in query
+    /// order (nearest first within each result).
+    ///
+    /// Default and override semantics mirror
+    /// [`query_batch`](Self::query_batch).
+    ///
+    /// # Errors
+    ///
+    /// The first failing query (in query order) fails the batch.
+    fn query_k_batch(&self, queries: &[&[f32]], k: usize) -> Result<Vec<Vec<QueryResult>>> {
+        queries.iter().map(|q| self.query_k(q, k)).collect()
+    }
 
     /// Human-readable engine name for reports.
     fn name(&self) -> String;
@@ -191,19 +220,29 @@ impl<D: Distance> NnIndex for SoftwareNn<D> {
                 actual: features.len(),
             });
         }
-        let mut scored: Vec<QueryResult> = self
+        let scores: Vec<f64> = self
             .data
             .chunks_exact(self.dims)
-            .enumerate()
-            .map(|(i, row)| QueryResult {
-                index: i,
-                label: self.labels[i],
-                score: self.distance.eval(features, row),
-            })
+            .map(|row| self.distance.eval(features, row))
             .collect();
-        scored.sort_by(|a, b| a.score.partial_cmp(&b.score).expect("finite scores"));
-        scored.truncate(k);
-        Ok(scored)
+        Ok(exec::top_k_indices(&scores, k)
+            .into_iter()
+            .map(|index| QueryResult {
+                index,
+                label: self.labels[index],
+                score: scores[index],
+            })
+            .collect())
+    }
+
+    fn query_batch(&self, queries: &[&[f32]]) -> Result<Vec<QueryResult>> {
+        let threads = par::threads_for(queries.len() * self.len() * self.dims);
+        par::try_par_map(queries, threads, |_, q| self.query(q))
+    }
+
+    fn query_k_batch(&self, queries: &[&[f32]], k: usize) -> Result<Vec<Vec<QueryResult>>> {
+        let threads = par::threads_for(queries.len() * self.len() * self.dims);
+        par::try_par_map(queries, threads, |_, q| self.query_k(q, k))
     }
 
     fn name(&self) -> String {
@@ -353,6 +392,12 @@ impl McamNn {
     pub fn array(&self) -> &McamArray {
         &self.array
     }
+
+    /// Quantizes every query, failing on the first malformed one in
+    /// query order.
+    fn quantize_batch(&self, queries: &[&[f32]]) -> Result<Vec<Vec<u8>>> {
+        queries.iter().map(|q| self.quantizer.quantize(q)).collect()
+    }
 }
 
 impl NnIndex for McamNn {
@@ -392,6 +437,43 @@ impl NnIndex for McamNn {
                 index,
                 label: self.labels[index],
                 score: outcome.conductance(index),
+            })
+            .collect())
+    }
+
+    fn query_batch(&self, queries: &[&[f32]]) -> Result<Vec<QueryResult>> {
+        let levels = self.quantize_batch(queries)?;
+        let refs: Vec<&[u8]> = levels.iter().map(|l| l.as_slice()).collect();
+        let outcomes = self.array.search_batch(refs)?;
+        Ok(outcomes
+            .into_iter()
+            .map(|outcome| {
+                let index = outcome.best_row();
+                QueryResult {
+                    index,
+                    label: self.labels[index],
+                    score: outcome.conductance(index),
+                }
+            })
+            .collect())
+    }
+
+    fn query_k_batch(&self, queries: &[&[f32]], k: usize) -> Result<Vec<Vec<QueryResult>>> {
+        let levels = self.quantize_batch(queries)?;
+        let refs: Vec<&[u8]> = levels.iter().map(|l| l.as_slice()).collect();
+        let outcomes = self.array.search_batch(refs)?;
+        Ok(outcomes
+            .into_iter()
+            .map(|outcome| {
+                outcome
+                    .top_k(k)
+                    .into_iter()
+                    .map(|index| QueryResult {
+                        index,
+                        label: self.labels[index],
+                        score: outcome.conductance(index),
+                    })
+                    .collect()
             })
             .collect())
     }
@@ -467,24 +549,25 @@ impl NnIndex for TcamLshNn {
     fn query_k(&self, features: &[f32], k: usize) -> Result<Vec<QueryResult>> {
         let sig = self.lsh.signature(features)?;
         let outcome = self.tcam.hamming_search(&sig)?;
-        let mut scored: Vec<QueryResult> = outcome
-            .mismatches()
-            .iter()
-            .enumerate()
-            .map(|(index, &m)| QueryResult {
+        let scores: Vec<f64> = outcome.mismatches().iter().map(|&m| m as f64).collect();
+        Ok(exec::top_k_indices(&scores, k)
+            .into_iter()
+            .map(|index| QueryResult {
                 index,
                 label: self.labels[index],
-                score: m as f64,
+                score: scores[index],
             })
-            .collect();
-        scored.sort_by(|a, b| {
-            a.score
-                .partial_cmp(&b.score)
-                .expect("finite scores")
-                .then(a.index.cmp(&b.index))
-        });
-        scored.truncate(k);
-        Ok(scored)
+            .collect())
+    }
+
+    fn query_batch(&self, queries: &[&[f32]]) -> Result<Vec<QueryResult>> {
+        let threads = par::threads_for(queries.len() * self.len() * self.lsh.bits());
+        par::try_par_map(queries, threads, |_, q| self.query(q))
+    }
+
+    fn query_k_batch(&self, queries: &[&[f32]], k: usize) -> Result<Vec<Vec<QueryResult>>> {
+        let threads = par::threads_for(queries.len() * self.len() * self.lsh.bits());
+        par::try_par_map(queries, threads, |_, q| self.query_k(q, k))
     }
 
     fn name(&self) -> String {
@@ -492,7 +575,8 @@ impl NnIndex for TcamLshNn {
     }
 }
 
-/// 1-NN classification accuracy over parallel feature/label slices.
+/// 1-NN classification accuracy over parallel feature/label slices,
+/// evaluated through the engine's batched query path.
 ///
 /// # Errors
 ///
@@ -512,12 +596,13 @@ where
     if features.is_empty() {
         return Err(CoreError::EmptyArray);
     }
-    let mut correct = 0usize;
-    for (f, &l) in features.iter().zip(labels) {
-        if index.query(f)?.label == l {
-            correct += 1;
-        }
-    }
+    let refs: Vec<&[f32]> = features.iter().map(|f| f.as_slice()).collect();
+    let results = index.query_batch(&refs)?;
+    let correct = results
+        .iter()
+        .zip(labels)
+        .filter(|(r, &l)| r.label == l)
+        .count();
     Ok(correct as f64 / features.len() as f64)
 }
 
@@ -557,7 +642,10 @@ mod tests {
     fn software_nn_validates() {
         let mut idx = SoftwareNn::new(Cosine, 3);
         assert!(idx.add(&[1.0], 0).is_err());
-        assert!(matches!(idx.query(&[1.0, 0.0, 0.0]), Err(CoreError::EmptyArray)));
+        assert!(matches!(
+            idx.query(&[1.0, 0.0, 0.0]),
+            Err(CoreError::EmptyArray)
+        ));
         idx.add(&[1.0, 0.0, 0.0], 0).unwrap();
         assert!(idx.query(&[1.0]).is_err());
     }
@@ -685,6 +773,69 @@ mod tests {
     }
 
     #[test]
+    fn batched_queries_equal_sequential_queries_across_engines() {
+        let (features, labels) = clustered_data();
+        let mut engines: Vec<Box<dyn NnIndex>> = vec![
+            Box::new(SoftwareNn::new(Euclidean, 3)),
+            Box::new(SoftwareNn::new(Cosine, 3)),
+            Box::new(
+                McamNn::fit(
+                    3,
+                    features.iter().map(|r| r.as_slice()),
+                    3,
+                    QuantizeStrategy::PerFeatureMinMax,
+                    &FefetModel::default(),
+                )
+                .unwrap(),
+            ),
+            Box::new(TcamLshNn::new(64, 3, 3).unwrap()),
+        ];
+        for engine in &mut engines {
+            for (f, &l) in features.iter().zip(&labels) {
+                engine.add(f, l).unwrap();
+            }
+            let refs: Vec<&[f32]> = features.iter().map(|f| f.as_slice()).collect();
+            let batched = engine.query_batch(&refs).unwrap();
+            assert_eq!(batched.len(), refs.len(), "{}", engine.name());
+            for (q, b) in refs.iter().zip(&batched) {
+                let s = engine.query(q).unwrap();
+                assert_eq!((b.index, b.label), (s.index, s.label), "{}", engine.name());
+                assert_eq!(b.score, s.score, "{} batched score drifted", engine.name());
+            }
+            let batched_k = engine.query_k_batch(&refs, 3).unwrap();
+            for (q, bk) in refs.iter().zip(&batched_k) {
+                let sk = engine.query_k(q, 3).unwrap();
+                assert_eq!(bk.len(), sk.len(), "{}", engine.name());
+                for (b, s) in bk.iter().zip(&sk) {
+                    assert_eq!((b.index, b.score), (s.index, s.score), "{}", engine.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_of_empty_queries_is_empty() {
+        let mut idx = SoftwareNn::new(Euclidean, 2);
+        idx.add(&[0.0, 0.0], 0).unwrap();
+        assert!(idx.query_batch(&[]).unwrap().is_empty());
+        assert!(idx.query_k_batch(&[], 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn batch_propagates_first_error_in_query_order() {
+        let mut idx = SoftwareNn::new(Euclidean, 2);
+        idx.add(&[0.0, 0.0], 0).unwrap();
+        let queries: Vec<&[f32]> = vec![&[0.0, 0.0], &[1.0], &[1.0, 2.0, 3.0]];
+        assert!(matches!(
+            idx.query_batch(&queries),
+            Err(CoreError::DimensionMismatch {
+                expected: 2,
+                actual: 1
+            })
+        ));
+    }
+
+    #[test]
     fn knn_majority_vote_fixes_outlier_neighbors() {
         // One mislabeled point right next to the query: 1-NN fails,
         // 3-NN recovers.
@@ -711,10 +862,8 @@ mod tests {
         idx.add(&[0.0, 0.0], 0).unwrap();
         idx.add(&[1.0, 1.0], 1).unwrap();
         // Swap in a distorted LUT; stored rows and labels survive.
-        let lut = ConductanceLut::from_fn(4, |i, s| {
-            ((i as f64 - s as f64).abs() + 0.1) * 1e-6
-        })
-        .unwrap();
+        let lut =
+            ConductanceLut::from_fn(4, |i, s| ((i as f64 - s as f64).abs() + 0.1) * 1e-6).unwrap();
         let idx = idx.with_lut(lut).unwrap();
         assert_eq!(idx.len(), 2);
         assert_eq!(idx.query(&[0.95, 0.9]).unwrap().label, 1);

@@ -1,0 +1,597 @@
+//! Compiled, batched query execution for MCAM search.
+//!
+//! The scalar reference path ([`McamArray::search`]) walks
+//! `n_rows × word_len` cells per query and dispatches each one through
+//! the LUT (shared bank) or the realized per-cell bank (variation).
+//! That models the physics faithfully but is architecturally the
+//! opposite of the hardware, where every match line evaluates at once.
+//! This module is the software analogue of that parallelism: a query
+//! plan compiled once per stored array, executed as contiguous gathers
+//! and sums.
+//!
+//! # Plane-major layout
+//!
+//! [`CompiledMcam`] precomputes one **conductance plane per input
+//! level**: `plane[input]` holds, for every `(column, row)`, the
+//! conductance that a search input `input` would draw through the cell
+//! at `(row, column)`. Planes are laid out column-major with rows
+//! contiguous:
+//!
+//! ```text
+//! planes[(input * word_len + column) * n_rows + row]
+//! ```
+//!
+//! A query `q` then reduces to `word_len` strided plane lookups: for
+//! each column `c`, fetch the contiguous row-vector of plane
+//! `q[c]`/column `c` and add it elementwise into the per-row
+//! accumulator. No per-cell branch, no bank dispatch, unit-stride inner
+//! loops — one plane column is exactly the vector a physical driver
+//! applies to one search line. For shared-LUT arrays the planes are
+//! expanded from the `n_levels × n_levels` LUT; for arrays built with
+//! device variation they are gathered from the realized per-cell bank,
+//! so a compiled search reproduces the same disorder as the scalar
+//! path.
+//!
+//! # Determinism guarantee
+//!
+//! Per row, the scalar path folds cell conductances in ascending column
+//! order starting from `0.0`; the compiled path accumulates plane
+//! columns in exactly the same ascending column order. Floating-point
+//! addition happens in an identical sequence, so compiled results are
+//! **bit-identical** to [`McamArray::search`] — not merely close.
+//! Row-chunked and query-parallel execution ([`CompiledMcam::
+//! search_batch`], [`CompiledBanked`]) shard only across rows, queries,
+//! and banks — never within one row's fold — and every reduction is a
+//! fixed-order fold over results reassembled in input order
+//! ([`crate::par`]), so parallel execution is bit-identical too. The
+//! property tests in `tests/batch_parallel_props.rs` assert this.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::array::{McamArray, SearchOutcome};
+use crate::error::CoreError;
+use crate::par;
+use crate::Result;
+
+/// A query plan: the read-only, plane-major execution image of one
+/// [`McamArray`] (see the [module docs](self) for the layout).
+///
+/// Compiling costs `n_levels × word_len × n_rows` LUT reads and the
+/// same amount of memory; it pays for itself once a handful of queries
+/// run against the same stored contents. The plan is a snapshot —
+/// rows stored after [`compile`](Self::compile) are not visible to it.
+///
+/// # Examples
+///
+/// ```
+/// use femcam_core::{CompiledMcam, ConductanceLut, LevelLadder, McamArray};
+/// use femcam_device::FefetModel;
+///
+/// # fn main() -> femcam_core::Result<()> {
+/// let ladder = LevelLadder::new(3)?;
+/// let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+/// let mut array = McamArray::new(ladder, lut, 4);
+/// array.store(&[0, 3, 7, 1])?;
+/// array.store(&[5, 5, 5, 5])?;
+/// let plan = CompiledMcam::compile(&array)?;
+/// assert_eq!(
+///     plan.search(&[0, 3, 7, 1])?.best_row(),
+///     array.search(&[0, 3, 7, 1])?.best_row(),
+/// );
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledMcam {
+    n_rows: usize,
+    word_len: usize,
+    n_levels: usize,
+    /// `[input][column][row]`, rows contiguous.
+    planes: Vec<f64>,
+}
+
+impl CompiledMcam {
+    /// Compiles the array's current contents into a plane-major plan.
+    ///
+    /// Plane construction fans out over input levels on the workspace
+    /// executor when the array is large enough to justify it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyArray`] if nothing is stored.
+    pub fn compile(array: &McamArray) -> Result<Self> {
+        if array.is_empty() {
+            return Err(CoreError::EmptyArray);
+        }
+        let n_rows = array.n_rows();
+        let word_len = array.word_len();
+        let n_levels = array.ladder().n_levels();
+        let inputs: Vec<u8> = (0..n_levels as u8).collect();
+        let threads = par::max_threads();
+        let plane_work = word_len * n_rows;
+        let per_input = par::par_map(
+            &inputs,
+            if par::worth_parallelizing(plane_work * n_levels, threads) {
+                threads
+            } else {
+                1
+            },
+            |_, &input| {
+                let mut plane = Vec::with_capacity(plane_work);
+                for c in 0..word_len {
+                    for r in 0..n_rows {
+                        plane.push(array.cell_conductance(r, c, input));
+                    }
+                }
+                plane
+            },
+        );
+        let mut planes = Vec::with_capacity(n_levels * plane_work);
+        for plane in per_input {
+            planes.extend(plane);
+        }
+        Ok(CompiledMcam {
+            n_rows,
+            word_len,
+            n_levels,
+            planes,
+        })
+    }
+
+    /// Rows in the compiled snapshot.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Cells per word.
+    #[must_use]
+    pub fn word_len(&self) -> usize {
+        self.word_len
+    }
+
+    /// Input/state levels per cell.
+    #[must_use]
+    pub fn n_levels(&self) -> usize {
+        self.n_levels
+    }
+
+    fn check_query(&self, query: &[u8]) -> Result<()> {
+        if query.len() != self.word_len {
+            return Err(CoreError::WordLengthMismatch {
+                expected: self.word_len,
+                actual: query.len(),
+            });
+        }
+        for &q in query {
+            if q as usize >= self.n_levels {
+                return Err(CoreError::LevelOutOfRange {
+                    level: q,
+                    max: (self.n_levels - 1) as u8,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Accumulates the query into `out[..]` for rows
+    /// `row_start..row_start + out.len()`, in ascending column order
+    /// (the determinism-critical inner loop).
+    fn accumulate_rows(&self, query: &[u8], row_start: usize, out: &mut [f64]) {
+        out.fill(0.0);
+        for (c, &q) in query.iter().enumerate() {
+            let base = (q as usize * self.word_len + c) * self.n_rows + row_start;
+            let column = &self.planes[base..base + out.len()];
+            for (acc, &g) in out.iter_mut().zip(column) {
+                *acc += g;
+            }
+        }
+    }
+
+    /// Queries per grouped batch block, sized so one block's
+    /// accumulators stay cache-resident (the plane column loaded for a
+    /// level then serves every query in the block that drives it).
+    fn block_len(&self) -> usize {
+        const ACC_BUDGET_BYTES: usize = 256 * 1024;
+        (ACC_BUDGET_BYTES / (self.n_rows * std::mem::size_of::<f64>()).max(1)).clamp(1, 16)
+    }
+
+    /// The grouped block kernel: accumulates a block of (validated)
+    /// queries at once. Columns advance in the outer loop, so each
+    /// query still folds its conductances in ascending column order —
+    /// bit-identical to [`accumulate_rows`](Self::accumulate_rows) —
+    /// while queries sharing an input level at a column reuse the same
+    /// cache-hot plane column instead of re-streaming it.
+    fn accumulate_block(&self, queries: &[&[u8]], outs: &mut [Vec<f64>]) {
+        debug_assert_eq!(queries.len(), outs.len());
+        for c in 0..self.word_len {
+            for level in 0..self.n_levels {
+                let base = (level * self.word_len + c) * self.n_rows;
+                let column = &self.planes[base..base + self.n_rows];
+                for (q, out) in queries.iter().zip(outs.iter_mut()) {
+                    if q[c] as usize == level {
+                        for (acc, &g) in out.iter_mut().zip(column) {
+                            *acc += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Executes one query over all rows, sharding row ranges across up
+    /// to `n_threads` workers (exactly as asked — callers that want
+    /// work-proportional thread selection gate on
+    /// [`par::worth_parallelizing`] as [`search`](Self::search) does),
+    /// and writes per-row total conductances into `out`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::WordLengthMismatch`] / [`CoreError::LevelOutOfRange`]
+    /// for malformed queries, or [`CoreError::DimensionMismatch`] if
+    /// `out` is not exactly `n_rows` long.
+    pub fn search_into(&self, query: &[u8], n_threads: usize, out: &mut [f64]) -> Result<()> {
+        self.check_query(query)?;
+        if out.len() != self.n_rows {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.n_rows,
+                actual: out.len(),
+            });
+        }
+        if n_threads <= 1 || self.n_rows <= 1 {
+            self.accumulate_rows(query, 0, out);
+            return Ok(());
+        }
+        let threads = n_threads.min(self.n_rows);
+        let chunk = self.n_rows.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (chunk_idx, slice) in out.chunks_mut(chunk).enumerate() {
+                scope.spawn(move || self.accumulate_rows(query, chunk_idx * chunk, slice));
+            }
+        });
+        Ok(())
+    }
+
+    /// Executes one query and returns the full per-row outcome,
+    /// bit-identical to [`McamArray::search`] on the compiled contents.
+    /// Rows shard across workers when the workload justifies forking.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search_into`](Self::search_into).
+    pub fn search(&self, query: &[u8]) -> Result<SearchOutcome> {
+        let threads = par::max_threads();
+        let threads = if par::worth_parallelizing(self.n_rows * self.word_len, threads) {
+            threads
+        } else {
+            1
+        };
+        let mut out = vec![0.0; self.n_rows];
+        self.search_into(query, threads, &mut out)?;
+        Ok(SearchOutcome::from_conductances(out))
+    }
+
+    /// Executes a batch of queries through the grouped block kernel,
+    /// sharding blocks across up to `n_threads` workers (exactly as
+    /// asked). Results are in query order and bit-identical to running
+    /// [`search`](Self::search) per query; the first malformed query
+    /// (in input order) fails the batch before any work runs.
+    ///
+    /// # Errors
+    ///
+    /// Same per-query conditions as [`search`](Self::search).
+    pub fn search_batch(&self, queries: &[&[u8]], n_threads: usize) -> Result<Vec<SearchOutcome>> {
+        for q in queries {
+            self.check_query(q)?;
+        }
+        let blocks: Vec<&[&[u8]]> = queries.chunks(self.block_len()).collect();
+        let per_block = par::par_map(&blocks, n_threads, |_, block| {
+            let mut outs: Vec<Vec<f64>> = block.iter().map(|_| vec![0.0; self.n_rows]).collect();
+            self.accumulate_block(block, &mut outs);
+            outs
+        });
+        Ok(per_block
+            .into_iter()
+            .flatten()
+            .map(SearchOutcome::from_conductances)
+            .collect())
+    }
+}
+
+/// A compiled multi-bank plan: one [`CompiledMcam`] per bank plus the
+/// fixed-order hierarchical winner-take-all merge.
+#[derive(Debug, Clone)]
+pub struct CompiledBanked {
+    plans: Vec<CompiledMcam>,
+    rows_per_bank: usize,
+}
+
+impl CompiledBanked {
+    /// Compiles per-bank plans (banks compile independently).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyArray`] if `banks` is empty or any
+    /// bank is.
+    pub fn compile(banks: &[McamArray], rows_per_bank: usize) -> Result<Self> {
+        if banks.is_empty() {
+            return Err(CoreError::EmptyArray);
+        }
+        let plans = par::try_par_map(banks, 1, |_, bank| CompiledMcam::compile(bank))?;
+        Ok(CompiledBanked {
+            plans,
+            rows_per_bank,
+        })
+    }
+
+    /// Number of banks.
+    #[must_use]
+    pub fn n_banks(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Total rows across banks.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.plans.iter().map(CompiledMcam::n_rows).sum()
+    }
+
+    /// Merges per-bank winners in ascending bank order: the global
+    /// nearest row as `(global_row, total_conductance)`. The fold order
+    /// is fixed, so ties resolve to the lowest global row index exactly
+    /// as the sequential reference does.
+    fn merge_winners(&self, per_bank: &[SearchOutcome]) -> (usize, f64) {
+        let mut best: Option<(usize, f64)> = None;
+        for (bank_idx, outcome) in per_bank.iter().enumerate() {
+            let local = outcome.best_row();
+            let g = outcome.conductance(local);
+            let global = bank_idx * self.rows_per_bank + local;
+            if best.is_none_or(|(_, bg)| g < bg) {
+                best = Some((global, g));
+            }
+        }
+        best.expect("merge over at least one bank")
+    }
+
+    /// Searches every bank (banks shard across up to `n_threads`
+    /// workers, exactly as asked) and merges the per-bank winners in
+    /// bank order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-bank query validation failures.
+    pub fn search(&self, query: &[u8], n_threads: usize) -> Result<(usize, f64)> {
+        let per_bank = par::try_par_map(&self.plans, n_threads, |_, plan| {
+            // One bank per worker; the bank axis is the parallel axis.
+            plan.search_batch(&[query], 1)
+                .map(|mut v| v.pop().expect("one outcome per query"))
+        })?;
+        Ok(self.merge_winners(&per_bank))
+    }
+
+    /// Searches a batch of queries, sharding each bank's query blocks
+    /// across up to `n_threads` workers; each result is the merged
+    /// `(global_row, total_conductance)` winner for that query, in
+    /// query order.
+    ///
+    /// Banks run ascending and the per-query merge folds in bank
+    /// order, so winners (including lowest-index tie-breaks) are
+    /// bit-identical to a sequential sweep.
+    ///
+    /// # Errors
+    ///
+    /// The first failing query (in input order) fails the batch.
+    pub fn search_batch(&self, queries: &[&[u8]], n_threads: usize) -> Result<Vec<(usize, f64)>> {
+        let mut best: Vec<Option<(usize, f64)>> = vec![None; queries.len()];
+        for (bank_idx, plan) in self.plans.iter().enumerate() {
+            let outcomes = plan.search_batch(queries, n_threads)?;
+            for (slot, outcome) in best.iter_mut().zip(&outcomes) {
+                let local = outcome.best_row();
+                let g = outcome.conductance(local);
+                let global = bank_idx * self.rows_per_bank + local;
+                if slot.is_none_or(|(_, bg)| g < bg) {
+                    *slot = Some((global, g));
+                }
+            }
+        }
+        Ok(best
+            .into_iter()
+            .map(|b| b.expect("at least one bank per query"))
+            .collect())
+    }
+}
+
+/// `f64` ordered by [`f64::total_cmp`] for heap membership.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TotalF64(f64);
+
+impl Eq for TotalF64 {}
+
+impl PartialOrd for TotalF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Indices of the `k` smallest scores, ascending by `(score, index)` —
+/// a bounded max-heap selection in `O(n log k)` replacing the previous
+/// full `O(n log n)` sorts on the hot path.
+///
+/// Ties on score resolve to the lower index, matching a stable
+/// ascending sort; `k >= n` returns all indices fully sorted.
+#[must_use]
+pub fn top_k_indices(scores: &[f64], k: usize) -> Vec<usize> {
+    if k == 0 || scores.is_empty() {
+        return Vec::new();
+    }
+    let k = k.min(scores.len());
+    let mut heap: BinaryHeap<(TotalF64, usize)> = BinaryHeap::with_capacity(k + 1);
+    for (i, &s) in scores.iter().enumerate() {
+        if heap.len() < k {
+            heap.push((TotalF64(s), i));
+        } else if let Some(&(worst, worst_idx)) = heap.peek() {
+            if (TotalF64(s), i) < (worst, worst_idx) {
+                heap.pop();
+                heap.push((TotalF64(s), i));
+            }
+        }
+    }
+    let mut out: Vec<(TotalF64, usize)> = heap.into_vec();
+    out.sort_unstable();
+    out.into_iter().map(|(_, i)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::{McamArrayBuilder, VariationSpec};
+    use crate::levels::LevelLadder;
+    use crate::lut::ConductanceLut;
+    use femcam_device::FefetModel;
+
+    fn array_with_rows(word_len: usize, rows: &[Vec<u8>]) -> McamArray {
+        let ladder = LevelLadder::new(3).unwrap();
+        let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+        let mut a = McamArray::new(ladder, lut, word_len);
+        for r in rows {
+            a.store(r).unwrap();
+        }
+        a
+    }
+
+    #[test]
+    fn compiled_search_is_bit_identical_to_scalar() {
+        let rows: Vec<Vec<u8>> = (0..17)
+            .map(|i| (0..6).map(|c| ((i * 3 + c * 5) % 8) as u8).collect())
+            .collect();
+        let a = array_with_rows(6, &rows);
+        let plan = CompiledMcam::compile(&a).unwrap();
+        for q in [[0u8, 1, 2, 3, 4, 5], [7, 7, 0, 0, 3, 3], [2, 2, 2, 2, 2, 2]] {
+            let scalar = a.search(&q).unwrap();
+            let compiled = plan.search(&q).unwrap();
+            assert_eq!(scalar.conductances(), compiled.conductances());
+        }
+    }
+
+    #[test]
+    fn compiled_search_matches_scalar_under_variation() {
+        let ladder = LevelLadder::new(3).unwrap();
+        let model = FefetModel::default();
+        let lut = ConductanceLut::from_device(&model, &ladder);
+        let mut a = McamArrayBuilder::new(ladder, lut)
+            .word_len(5)
+            .variation(
+                VariationSpec {
+                    sigma_v: 0.06,
+                    seed: 17,
+                },
+                model,
+            )
+            .build();
+        for i in 0..9u8 {
+            a.store(&[i % 8, (i + 1) % 8, (i + 2) % 8, (i + 3) % 8, (i + 5) % 8])
+                .unwrap();
+        }
+        let plan = CompiledMcam::compile(&a).unwrap();
+        let q = [4u8, 0, 6, 2, 7];
+        assert_eq!(
+            a.search(&q).unwrap().conductances(),
+            plan.search(&q).unwrap().conductances(),
+        );
+    }
+
+    #[test]
+    fn compiled_plan_is_a_snapshot() {
+        let mut a = array_with_rows(2, &[vec![0, 0]]);
+        let plan = CompiledMcam::compile(&a).unwrap();
+        a.store(&[7, 7]).unwrap();
+        assert_eq!(plan.n_rows(), 1);
+        assert_eq!(a.n_rows(), 2);
+        assert_eq!(plan.search(&[7, 7]).unwrap().conductances().len(), 1);
+    }
+
+    #[test]
+    fn compiled_validation_mirrors_scalar_errors() {
+        let a = array_with_rows(3, &[vec![1, 2, 3]]);
+        let plan = CompiledMcam::compile(&a).unwrap();
+        assert!(matches!(
+            plan.search(&[1, 2]),
+            Err(CoreError::WordLengthMismatch {
+                expected: 3,
+                actual: 2
+            })
+        ));
+        assert!(matches!(
+            plan.search(&[1, 2, 9]),
+            Err(CoreError::LevelOutOfRange { level: 9, max: 7 })
+        ));
+        let empty = McamArray::new(
+            LevelLadder::new(3).unwrap(),
+            ConductanceLut::from_device(&FefetModel::default(), &LevelLadder::new(3).unwrap()),
+            3,
+        );
+        assert!(matches!(
+            CompiledMcam::compile(&empty),
+            Err(CoreError::EmptyArray)
+        ));
+    }
+
+    #[test]
+    fn row_sharded_search_matches_inline_search() {
+        let rows: Vec<Vec<u8>> = (0..53)
+            .map(|i| (0..4).map(|c| ((i * 7 + c) % 8) as u8).collect())
+            .collect();
+        let a = array_with_rows(4, &rows);
+        let plan = CompiledMcam::compile(&a).unwrap();
+        let q = [3u8, 1, 4, 1];
+        let mut inline = vec![0.0; plan.n_rows()];
+        plan.search_into(&q, 1, &mut inline).unwrap();
+        for threads in [2, 3, 7, 64] {
+            let mut sharded = vec![0.0; plan.n_rows()];
+            plan.search_into(&q, threads, &mut sharded).unwrap();
+            assert_eq!(inline, sharded, "threads={threads}");
+        }
+        let mut wrong_len = vec![0.0; plan.n_rows() + 1];
+        assert!(matches!(
+            plan.search_into(&q, 1, &mut wrong_len),
+            Err(CoreError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_results_are_in_query_order_and_first_error_wins() {
+        let a = array_with_rows(2, &[vec![0, 0], vec![7, 7], vec![3, 3]]);
+        let plan = CompiledMcam::compile(&a).unwrap();
+        let queries: Vec<Vec<u8>> = vec![vec![0, 0], vec![7, 7], vec![3, 4]];
+        let refs: Vec<&[u8]> = queries.iter().map(|q| q.as_slice()).collect();
+        let outcomes = plan.search_batch(&refs, 4).unwrap();
+        assert_eq!(outcomes[0].best_row(), 0);
+        assert_eq!(outcomes[1].best_row(), 1);
+        assert_eq!(outcomes[2].best_row(), 2);
+        // First malformed query in input order decides the error.
+        let bad: Vec<&[u8]> = vec![&[0, 0], &[9, 9], &[1]];
+        assert!(matches!(
+            plan.search_batch(&bad, 4),
+            Err(CoreError::LevelOutOfRange { level: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn top_k_matches_stable_full_sort() {
+        let scores = [3.0, 1.0, 2.0, 1.0, 5.0, 0.5, 2.0, 1.0];
+        for k in 0..=10 {
+            let mut expect: Vec<usize> = (0..scores.len()).collect();
+            expect.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap());
+            expect.truncate(k);
+            assert_eq!(top_k_indices(&scores, k), expect, "k={k}");
+        }
+        assert!(top_k_indices(&[], 3).is_empty());
+    }
+}

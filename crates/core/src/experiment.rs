@@ -290,10 +290,16 @@ mod tests {
     #[test]
     fn dl_sweep_validates() {
         let (model, ladder) = setup2();
-        assert!(
-            measured_dl_sweep(&model, &ladder, 9, 0.0, 1.0, 10, ExperimentConfig::default())
-                .is_err()
-        );
+        assert!(measured_dl_sweep(
+            &model,
+            &ladder,
+            9,
+            0.0,
+            1.0,
+            10,
+            ExperimentConfig::default()
+        )
+        .is_err());
         assert!(
             measured_dl_sweep(&model, &ladder, 0, 0.0, 1.0, 1, ExperimentConfig::default())
                 .is_err()

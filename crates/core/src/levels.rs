@@ -201,7 +201,9 @@ impl LevelLadder {
     /// `2^B` values, because left- and right-FeFET targets coincide.
     #[must_use]
     pub fn programming_voltages(&self) -> Vec<f64> {
-        let mut vs: Vec<f64> = (0..self.n_levels() as u8).map(|k| self.vth_right(k)).collect();
+        let mut vs: Vec<f64> = (0..self.n_levels() as u8)
+            .map(|k| self.vth_right(k))
+            .collect();
         for k in 0..self.n_levels() as u8 {
             let v = self.vth_left(k);
             if !vs.iter().any(|&x| (x - v).abs() < 1e-9) {
@@ -216,7 +218,9 @@ impl LevelLadder {
     /// collection equals the collection of their inverses.
     #[must_use]
     pub fn input_voltages(&self) -> Vec<f64> {
-        (0..self.n_levels() as u8).map(|j| self.input_voltage(j)).collect()
+        (0..self.n_levels() as u8)
+            .map(|j| self.input_voltage(j))
+            .collect()
     }
 }
 

@@ -16,6 +16,10 @@
 //!   curves and their derivative.
 //! * [`array`] — MCAM arrays with match-line RC discharge, sense-amp
 //!   winner-take-all, and optional per-cell `Vth` variation.
+//! * [`exec`] / [`par`] — the compiled, batched query executor:
+//!   plane-major conductance plans, row/query/bank sharding across
+//!   worker threads, and bounded-heap top-k — bit-identical to the
+//!   scalar reference path.
 //! * [`tcam`] / [`acam`] — the ternary CAM baseline (Hamming search and a
 //!   multi-lookup L∞ extension) and the analog-CAM generalization.
 //! * [`quantize`] — feature quantizers that map real-valued vectors onto
@@ -61,9 +65,11 @@ pub mod cell;
 pub mod distance;
 pub mod engines;
 pub mod error;
+pub mod exec;
 pub mod experiment;
 pub mod levels;
 pub mod lut;
+pub mod par;
 mod proptests;
 pub mod quantize;
 pub mod tcam;
@@ -75,11 +81,12 @@ pub use cell::McamCell;
 pub use distance::{Cosine, Distance, DistanceKind, Euclidean, Linf, Manhattan, McamSoftware};
 pub use engines::{accuracy, classify_knn, McamNn, NnIndex, QueryResult, SoftwareNn, TcamLshNn};
 pub use error::CoreError;
+pub use exec::{top_k_indices, CompiledBanked, CompiledMcam};
 pub use experiment::{measured_lut, ExperimentConfig};
 pub use levels::LevelLadder;
 pub use lut::ConductanceLut;
 pub use quantize::{QuantizeStrategy, Quantizer};
-pub use tcam::{Ternary, TcamArray, TcamOutcome};
+pub use tcam::{TcamArray, TcamOutcome, Ternary};
 
 /// Result alias used by fallible APIs in this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,177 @@
+//! Deterministic fork–join parallelism for the search executor.
+//!
+//! The real `rayon` crate cannot be vendored into this offline build, so
+//! this module provides the narrow slice of it the search pipeline
+//! needs: a chunked parallel map over a slice using
+//! [`std::thread::scope`], with results reassembled **in input order**
+//! so every reduction downstream is a fixed-order fold and the parallel
+//! paths stay bit-identical to their sequential counterparts.
+//!
+//! Thread count resolution: [`max_threads`] honors the
+//! `FEMCAM_THREADS` environment variable when set (≥ 1), otherwise
+//! [`std::thread::available_parallelism`]. Work below
+//! [`PAR_WORK_THRESHOLD`] scalar operations is not worth a thread
+//! spawn; callers gate on [`worth_parallelizing`].
+
+use std::num::NonZeroUsize;
+
+/// Scalar-operation count below which forking threads costs more than
+/// it saves (thread spawn plus join is on the order of tens of
+/// microseconds; this many LUT adds take roughly as long).
+pub const PAR_WORK_THRESHOLD: usize = 1 << 15;
+
+/// The number of worker threads parallel searches may use:
+/// `FEMCAM_THREADS` when set to a positive integer, otherwise the
+/// machine's available parallelism.
+#[must_use]
+pub fn max_threads() -> usize {
+    if let Ok(v) = std::env::var("FEMCAM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Returns `true` when `work` scalar operations justify forking onto
+/// `threads` workers.
+#[must_use]
+pub fn worth_parallelizing(work: usize, threads: usize) -> bool {
+    threads > 1 && work >= PAR_WORK_THRESHOLD
+}
+
+/// The worker-thread count a workload of `work` scalar operations
+/// justifies: [`max_threads`] when forking pays for itself, else 1
+/// (inline). The single thread-selection policy for every auto-gated
+/// parallel path in this crate.
+#[must_use]
+pub fn threads_for(work: usize) -> usize {
+    let threads = max_threads();
+    if worth_parallelizing(work, threads) {
+        threads
+    } else {
+        1
+    }
+}
+
+/// Maps `f` over `items` on up to `n_threads` scoped worker threads and
+/// returns the results **in input order**.
+///
+/// `f` receives `(index, &item)`. The slice is split into contiguous
+/// chunks, one per worker; with `n_threads <= 1` (or one item) the map
+/// runs inline on the caller's thread. Because results are reassembled
+/// chunk-by-chunk in order, output is independent of scheduling —
+/// callers folding over it get a deterministic, fixed-order reduction.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers first).
+pub fn par_map<T, R, F>(items: &[T], n_threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = n_threads.clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(chunk_idx, slice)| {
+                scope.spawn(move || {
+                    slice
+                        .iter()
+                        .enumerate()
+                        .map(|(j, t)| f(chunk_idx * chunk + j, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for handle in handles {
+            out.extend(handle.join().expect("parallel worker panicked"));
+        }
+        out
+    })
+}
+
+/// Like [`par_map`] with a fallible mapper: returns the first error in
+/// **input order** (not completion order), or all results.
+///
+/// # Errors
+///
+/// The error of the lowest-indexed failing item.
+pub fn try_par_map<T, R, E, F>(items: &[T], n_threads: usize, f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    par_map(items, n_threads, f).into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..101).collect();
+        for threads in [1, 2, 3, 8] {
+            let out = par_map(&items, threads, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_handles_edge_sizes() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, 4, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7u32], 4, |_, &x| x + 1), vec![8]);
+        // More threads than items.
+        let out = par_map(&[1u32, 2, 3], 64, |_, &x| x);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn try_par_map_returns_first_error_in_input_order() {
+        let items: Vec<usize> = (0..64).collect();
+        let r: Result<Vec<usize>, usize> =
+            try_par_map(
+                &items,
+                4,
+                |_, &x| {
+                    if x == 9 || x == 40 {
+                        Err(x)
+                    } else {
+                        Ok(x)
+                    }
+                },
+            );
+        assert_eq!(r, Err(9));
+        let ok: Result<Vec<usize>, usize> = try_par_map(&items, 4, |_, &x| Ok(x));
+        assert_eq!(ok.unwrap(), items);
+    }
+
+    #[test]
+    fn thresholds_and_thread_counts_are_sane() {
+        assert!(max_threads() >= 1);
+        assert!(!worth_parallelizing(10, 8));
+        assert!(!worth_parallelizing(1 << 20, 1));
+        assert!(worth_parallelizing(1 << 20, 2));
+    }
+}

@@ -73,7 +73,12 @@ impl Quantizer {
     ///   `dims`.
     /// * [`CoreError::InvalidParameter`] if `n_levels < 2` or
     ///   `dims == 0`.
-    pub fn fit<'a, I>(rows: I, dims: usize, n_levels: u16, strategy: QuantizeStrategy) -> Result<Self>
+    pub fn fit<'a, I>(
+        rows: I,
+        dims: usize,
+        n_levels: u16,
+        strategy: QuantizeStrategy,
+    ) -> Result<Self>
     where
         I: IntoIterator<Item = &'a [f32]>,
     {
@@ -274,11 +279,7 @@ fn quantile_grid(sorted: &[f32], n_levels: u16) -> (Vec<f32>, Vec<f32>) {
     let mut centers = Vec::with_capacity(n);
     for i in 0..n {
         let lo = if i == 0 { sorted[0] } else { edges[i - 1] };
-        let hi = if i == n - 1 {
-            sorted[m - 1]
-        } else {
-            edges[i]
-        };
+        let hi = if i == n - 1 { sorted[m - 1] } else { edges[i] };
         centers.push(0.5 * (lo + hi));
     }
     (edges, centers)
@@ -294,8 +295,13 @@ mod tests {
 
     fn fit(data: &[&[f32]], levels: u16, strategy: QuantizeStrategy) -> Quantizer {
         let owned = rows(data);
-        Quantizer::fit(owned.iter().map(|r| r.as_slice()), data[0].len(), levels, strategy)
-            .unwrap()
+        Quantizer::fit(
+            owned.iter().map(|r| r.as_slice()),
+            data[0].len(),
+            levels,
+            strategy,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -343,7 +349,13 @@ mod tests {
         // 100 samples heavily skewed: quantile bins should still split
         // them roughly evenly.
         let col: Vec<Vec<f32>> = (0..100)
-            .map(|i| vec![if i < 90 { i as f32 * 0.01 } else { 1000.0 + i as f32 }])
+            .map(|i| {
+                vec![if i < 90 {
+                    i as f32 * 0.01
+                } else {
+                    1000.0 + i as f32
+                }]
+            })
             .collect();
         let q = Quantizer::fit(
             col.iter().map(|r| r.as_slice()),
@@ -416,8 +428,20 @@ mod tests {
     #[test]
     fn fit_rejects_bad_configs() {
         let data = rows(&[&[1.0, 2.0]]);
-        assert!(Quantizer::fit(data.iter().map(|r| r.as_slice()), 2, 1, QuantizeStrategy::default()).is_err());
-        assert!(Quantizer::fit(data.iter().map(|r| r.as_slice()), 0, 4, QuantizeStrategy::default()).is_err());
+        assert!(Quantizer::fit(
+            data.iter().map(|r| r.as_slice()),
+            2,
+            1,
+            QuantizeStrategy::default()
+        )
+        .is_err());
+        assert!(Quantizer::fit(
+            data.iter().map(|r| r.as_slice()),
+            0,
+            4,
+            QuantizeStrategy::default()
+        )
+        .is_err());
         assert!(matches!(
             Quantizer::fit(std::iter::empty(), 2, 4, QuantizeStrategy::default()),
             Err(CoreError::QuantizerNotFitted)

@@ -239,7 +239,10 @@ impl TcamArray {
         let mismatches = (0..self.n_rows())
             .map(|r| {
                 let row = &self.cells[r * self.word_len..(r + 1) * self.word_len];
-                row.iter().zip(&bits).filter(|&(c, &b)| !c.matches(b)).count()
+                row.iter()
+                    .zip(&bits)
+                    .filter(|&(c, &b)| !c.matches(b))
+                    .count()
             })
             .collect();
         Ok(TcamOutcome {
@@ -398,8 +401,8 @@ mod tests {
         let mut tcam = TcamArray::new(8);
         tcam.store_bits(&[true; 8]).unwrap();
         tcam.store_bits(&[false; 8]).unwrap();
-        let q = BitSignature::from_bools(&[true, true, true, true, true, true, false, false])
-            .unwrap();
+        let q =
+            BitSignature::from_bools(&[true, true, true, true, true, true, false, false]).unwrap();
         let o = tcam.hamming_search(&q).unwrap();
         assert_eq!(o.hamming(0), 2);
         assert_eq!(o.hamming(1), 6);
@@ -436,7 +439,10 @@ mod tests {
     fn empty_array_refuses_search() {
         let tcam = TcamArray::new(4);
         let q = BitSignature::zeros(4).unwrap();
-        assert!(matches!(tcam.hamming_search(&q), Err(CoreError::EmptyArray)));
+        assert!(matches!(
+            tcam.hamming_search(&q),
+            Err(CoreError::EmptyArray)
+        ));
     }
 
     #[test]
@@ -495,11 +501,7 @@ mod tests {
     #[test]
     fn linf_search_finds_true_chebyshev_nn() {
         let n_levels = 8;
-        let rows: Vec<Vec<u8>> = vec![
-            vec![0, 0, 0, 0],
-            vec![3, 3, 3, 3],
-            vec![5, 1, 2, 0],
-        ];
+        let rows: Vec<Vec<u8>> = vec![vec![0, 0, 0, 0], vec![3, 3, 3, 3], vec![5, 1, 2, 0]];
         let mut tcam = TcamArray::new(4 * (n_levels - 1));
         for r in &rows {
             let enc = thermometer_encode(r, n_levels).unwrap();
@@ -526,7 +528,8 @@ mod tests {
     #[test]
     fn linf_search_validates_shape() {
         let mut tcam = TcamArray::new(6);
-        tcam.store(&thermometer_encode(&[1, 2], 4).unwrap()).unwrap();
+        tcam.store(&thermometer_encode(&[1, 2], 4).unwrap())
+            .unwrap();
         assert!(tcam.linf_search(&[1, 2, 3], 4).is_err()); // wrong dims
         assert!(tcam.linf_search(&[1, 9], 4).is_err()); // bad level
     }

@@ -34,12 +34,7 @@ impl GlyphClass {
             .map(|_| {
                 let n_points = rng.gen_range(2..=4);
                 (0..n_points)
-                    .map(|_| {
-                        (
-                            rng.gen_range(0.12f32..0.88),
-                            rng.gen_range(0.12f32..0.88),
-                        )
-                    })
+                    .map(|_| (rng.gen_range(0.12f32..0.88), rng.gen_range(0.12f32..0.88)))
                     .collect()
             })
             .collect();
@@ -57,7 +52,9 @@ impl GlyphClass {
     #[must_use]
     pub fn alphabet(n_classes: usize, seed: u64) -> Vec<GlyphClass> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n_classes).map(|_| GlyphClass::random(&mut rng)).collect()
+        (0..n_classes)
+            .map(|_| GlyphClass::random(&mut rng))
+            .collect()
     }
 }
 
@@ -267,9 +264,7 @@ mod tests {
         // On the segment.
         assert!(point_segment_distance((0.5, 0.0), (0.0, 0.0), (1.0, 0.0)) < 1e-6);
         // Perpendicular offset.
-        assert!(
-            (point_segment_distance((0.5, 0.3), (0.0, 0.0), (1.0, 0.0)) - 0.3).abs() < 1e-6
-        );
+        assert!((point_segment_distance((0.5, 0.3), (0.0, 0.0), (1.0, 0.0)) - 0.3).abs() < 1e-6);
         // Beyond an endpoint: distance to the endpoint.
         let d = point_segment_distance((2.0, 0.0), (0.0, 0.0), (1.0, 0.0));
         assert!((d - 1.0).abs() < 1e-6);

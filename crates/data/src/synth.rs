@@ -132,9 +132,7 @@ impl GaussianMixtureSpec {
                         let wobble = random_unit(&mut rng, self.dims);
                         dir.iter()
                             .zip(&wobble)
-                            .map(|(&d, &w)| {
-                                t * self.class_sep * d + 0.08 * self.class_sep * w
-                            })
+                            .map(|(&d, &w)| t * self.class_sep * d + 0.08 * self.class_sep * w)
                             .collect()
                     })
                     .collect()
@@ -377,7 +375,11 @@ mod tests {
             m
         };
         let dist = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt()
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).powi(2))
+                .sum::<f64>()
+                .sqrt()
         };
         let m2 = mean_of(2);
         let m3 = mean_of(3);

@@ -135,7 +135,10 @@ impl Dataset {
                 ids.iter().map(|&i| self.labels[i]).collect(),
             )
         };
-        (take(&idx[..n_train], "train"), take(&idx[n_train..], "test"))
+        (
+            take(&idx[..n_train], "train"),
+            take(&idx[n_train..], "test"),
+        )
     }
 
     /// Per-class sample counts as `(label, count)` pairs sorted by label.

@@ -483,9 +483,18 @@ mod tests {
 
     #[test]
     fn builder_rejects_nonsense() {
-        assert!(PulseProgrammerBuilder::new().pulse_width(-1.0).build().is_err());
-        assert!(PulseProgrammerBuilder::new().kai_exponent(0.0).build().is_err());
-        assert!(PulseProgrammerBuilder::new().tau0(f64::NAN).build().is_err());
+        assert!(PulseProgrammerBuilder::new()
+            .pulse_width(-1.0)
+            .build()
+            .is_err());
+        assert!(PulseProgrammerBuilder::new()
+            .kai_exponent(0.0)
+            .build()
+            .is_err());
+        assert!(PulseProgrammerBuilder::new()
+            .tau0(f64::NAN)
+            .build()
+            .is_err());
     }
 
     #[test]
@@ -514,6 +523,9 @@ mod tests {
             amplitude_v: 2.0,
             width_s: 2000e-9,
         };
-        assert!(p.vth_after(short) > p.vth_after(long), "longer pulse switches more");
+        assert!(
+            p.vth_after(short) > p.vth_after(long),
+            "longer pulse switches more"
+        );
     }
 }

@@ -65,9 +65,7 @@ mod tests {
     fn standard_normal_is_roughly_symmetric() {
         let mut rng = StdRng::seed_from_u64(1);
         let n = 20_000;
-        let pos = (0..n)
-            .filter(|_| standard_normal(&mut rng) > 0.0)
-            .count() as f64;
+        let pos = (0..n).filter(|_| standard_normal(&mut rng) > 0.0).count() as f64;
         let frac = pos / n as f64;
         assert!((frac - 0.5).abs() < 0.02, "positive fraction {frac}");
     }

@@ -228,7 +228,13 @@ impl FefetModel {
     ///
     /// Panics if `points < 2`.
     #[must_use]
-    pub fn transfer_curve(&self, vth: f64, vg_start: f64, vg_stop: f64, points: usize) -> Vec<(f64, f64)> {
+    pub fn transfer_curve(
+        &self,
+        vth: f64,
+        vg_start: f64,
+        vg_stop: f64,
+        points: usize,
+    ) -> Vec<(f64, f64)> {
         assert!(points >= 2, "a sweep needs at least 2 points");
         let step = (vg_stop - vg_start) / (points - 1) as f64;
         (0..points)

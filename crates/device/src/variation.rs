@@ -118,8 +118,7 @@ impl MonteCarloDevice {
         let device_offset = normal(&mut rng, 0.0, params.sigma_device);
         let domain_v_act = (0..params.n_domains)
             .map(|_| {
-                (nominal_v_act + device_offset + normal(&mut rng, 0.0, params.sigma_v_act))
-                    .max(1.0)
+                (nominal_v_act + device_offset + normal(&mut rng, 0.0, params.sigma_v_act)).max(1.0)
             })
             .collect();
         let n = params.n_domains;
@@ -387,16 +386,16 @@ mod tests {
         let pulse = programmer.pulse_for_vth(0.84).unwrap();
         let mut vths = Vec::new();
         for seed in 0..400 {
-            let mut dev = MonteCarloDevice::new(
-                programmer.clone(),
-                DomainVariationParams::default(),
-                seed,
-            )
-            .unwrap();
+            let mut dev =
+                MonteCarloDevice::new(programmer.clone(), DomainVariationParams::default(), seed)
+                    .unwrap();
             vths.push(dev.program(pulse));
         }
         let m = mean(&vths);
-        assert!((m - 0.84).abs() < 0.05, "population mean {m} far from target");
+        assert!(
+            (m - 0.84).abs() < 0.05,
+            "population mean {m} far from target"
+        );
         assert!(std_dev(&vths) > 0.02, "population should show spread");
     }
 

@@ -62,11 +62,7 @@ impl WriteVerifyConfig {
                 self.gap_fraction,
                 self.gap_fraction > 0.0 && self.gap_fraction <= 1.0,
             ),
-            (
-                "max_pulses",
-                self.max_pulses as f64,
-                self.max_pulses > 0,
-            ),
+            ("max_pulses", self.max_pulses as f64, self.max_pulses > 0),
         ];
         for (name, value, ok) in checks {
             if !(ok && value.is_finite()) {
@@ -184,11 +180,9 @@ pub fn verify_ablation(
         let mut pulses = 0usize;
         for d in 0..n_devices {
             let device_seed = seed ^ ((t_idx as u64) << 32) ^ d as u64;
-            let mut dev_a =
-                MonteCarloDevice::new(programmer.clone(), variation, device_seed)?;
+            let mut dev_a = MonteCarloDevice::new(programmer.clone(), variation, device_seed)?;
             single.push(dev_a.program(pulse));
-            let mut dev_b =
-                MonteCarloDevice::new(programmer.clone(), variation, device_seed)?;
+            let mut dev_b = MonteCarloDevice::new(programmer.clone(), variation, device_seed)?;
             let outcome = verified.program_to(&mut dev_b, target)?;
             multi.push(outcome.vth);
             pulses += outcome.pulses;
@@ -241,12 +235,9 @@ mod tests {
             VerifiedProgrammer::new(programmer.clone(), WriteVerifyConfig::default()).unwrap();
         let mut hits = 0usize;
         for seed in 0..60 {
-            let mut dev = MonteCarloDevice::new(
-                programmer.clone(),
-                DomainVariationParams::default(),
-                seed,
-            )
-            .unwrap();
+            let mut dev =
+                MonteCarloDevice::new(programmer.clone(), DomainVariationParams::default(), seed)
+                    .unwrap();
             let outcome = verified.program_to(&mut dev, 0.84).unwrap();
             if outcome.converged {
                 hits += 1;

@@ -191,11 +191,7 @@ impl ProgramEnergyModel {
     /// # Errors
     ///
     /// Propagates amplitude-solve failures.
-    pub fn mcam_vs_tcam(
-        &self,
-        programmer: &PulseProgrammer,
-        ladder: &LevelLadder,
-    ) -> Result<f64> {
+    pub fn mcam_vs_tcam(&self, programmer: &PulseProgrammer, ladder: &LevelLadder) -> Result<f64> {
         Ok(self.mcam_cell_program(programmer, ladder)?
             / self.tcam_cell_program(programmer, ladder)?)
     }
@@ -256,8 +252,7 @@ mod tests {
         let m = SearchEnergyModel::default();
         let small = CamArraySpec { rows: 10, cols: 64 };
         let big = CamArraySpec { rows: 20, cols: 64 };
-        let ratio =
-            m.mcam_array_search(&ladder3(), &big) / m.mcam_array_search(&ladder3(), &small);
+        let ratio = m.mcam_array_search(&ladder3(), &big) / m.mcam_array_search(&ladder3(), &small);
         assert!((ratio - 2.0).abs() < 1e-12);
     }
 

@@ -128,8 +128,8 @@ mod tests {
             search.tcam_array_search(&spec),
             spec.search_delay(),
         );
-        let rel = (mcam.energy_improvement - tcam.energy_improvement).abs()
-            / tcam.energy_improvement;
+        let rel =
+            (mcam.energy_improvement - tcam.energy_improvement).abs() / tcam.energy_improvement;
         assert!(rel < 0.01, "CAM choice shifted end-to-end energy by {rel}");
     }
 

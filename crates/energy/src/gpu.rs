@@ -95,9 +95,7 @@ mod tests {
     #[test]
     fn search_fraction_grows_with_memory() {
         let gpu = GpuCostModel::tx2_mann_default();
-        assert!(
-            gpu.search_time_fraction(400, 64) > gpu.search_time_fraction(25, 64)
-        );
+        assert!(gpu.search_time_fraction(400, 64) > gpu.search_time_fraction(25, 64));
         assert!(gpu.search_time_fraction(25, 64) < 1.0);
     }
 

@@ -95,8 +95,18 @@ impl EnergyReport {
             rows: workload.memory_entries,
             cols: workload.feature_dims,
         };
-        let mcam = EndToEnd::evaluate(&gpu, &workload, search.mcam_array_search(&ladder, &spec), spec.search_delay());
-        let tcam = EndToEnd::evaluate(&gpu, &workload, search.tcam_array_search(&spec), spec.search_delay());
+        let mcam = EndToEnd::evaluate(
+            &gpu,
+            &workload,
+            search.mcam_array_search(&ladder, &spec),
+            spec.search_delay(),
+        );
+        let tcam = EndToEnd::evaluate(
+            &gpu,
+            &workload,
+            search.tcam_array_search(&spec),
+            spec.search_delay(),
+        );
 
         Ok(EnergyReport {
             program_energy_ratio: program_ratio,

@@ -31,10 +31,11 @@ pub use femcam_nn as nn;
 /// Commonly used items from across the workspace.
 pub mod prelude {
     pub use femcam_core::{
-        accuracy, AcamArray, AcamCell, ConductanceLut, Cosine, Distance, DistanceKind,
-        Euclidean, LevelLadder, Linf, McamArray, McamArrayBuilder, McamCell, McamNn,
-        McamSoftware, MlTiming, NnIndex, QuantizeStrategy, Quantizer, SearchOutcome, SenseAmp,
-        SoftwareNn, TcamArray, TcamLshNn, Ternary, VariationSpec,
+        accuracy, top_k_indices, AcamArray, AcamCell, BankedMcam, CompiledBanked, CompiledMcam,
+        ConductanceLut, Cosine, Distance, DistanceKind, Euclidean, LevelLadder, Linf, McamArray,
+        McamArrayBuilder, McamCell, McamNn, McamSoftware, MlTiming, NnIndex, QuantizeStrategy,
+        Quantizer, SearchOutcome, SenseAmp, SoftwareNn, TcamArray, TcamLshNn, Ternary,
+        VariationSpec,
     };
     pub use femcam_data::{
         synth, ClassFeatureSource, Dataset, GlyphClass, GlyphRenderer, PrototypeFeatureModel,

@@ -62,7 +62,10 @@ impl fmt::Display for LshError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LshError::DimensionMismatch { expected, actual } => {
-                write!(f, "input has {actual} dimensions, encoder expects {expected}")
+                write!(
+                    f,
+                    "input has {actual} dimensions, encoder expects {expected}"
+                )
             }
             LshError::EmptyConfiguration => {
                 write!(f, "signature bits and input dimensions must be nonzero")

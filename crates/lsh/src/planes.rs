@@ -55,7 +55,11 @@ impl RandomHyperplanes {
                 (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
             })
             .collect();
-        Ok(RandomHyperplanes { bits, dims, normals })
+        Ok(RandomHyperplanes {
+            bits,
+            dims,
+            normals,
+        })
     }
 
     /// Signature length in bits.
@@ -158,10 +162,7 @@ mod tests {
         let lsh = RandomHyperplanes::new(128, 8, 5).unwrap();
         let x = [0.3f32, -0.2, 0.9, 0.1, 0.2, -0.7, 0.4, 0.5];
         let scaled: Vec<f32> = x.iter().map(|v| v * 17.0).collect();
-        assert_eq!(
-            lsh.signature(&x).unwrap(),
-            lsh.signature(&scaled).unwrap()
-        );
+        assert_eq!(lsh.signature(&x).unwrap(), lsh.signature(&scaled).unwrap());
     }
 
     #[test]
@@ -169,7 +170,10 @@ mod tests {
         let lsh = RandomHyperplanes::new(128, 8, 5).unwrap();
         let x = [0.3f32, -0.2, 0.9, 0.1, 0.2, -0.7, 0.4, 0.5];
         let neg: Vec<f32> = x.iter().map(|v| -v).collect();
-        let h = lsh.signature(&x).unwrap().hamming(&lsh.signature(&neg).unwrap());
+        let h = lsh
+            .signature(&x)
+            .unwrap()
+            .hamming(&lsh.signature(&neg).unwrap());
         // Sign flips except possible boundary ties (measure-zero here).
         assert_eq!(h, 128);
     }
@@ -206,9 +210,7 @@ mod tests {
     fn batch_encoding_matches_single() {
         let lsh = RandomHyperplanes::new(32, 2, 17).unwrap();
         let xs: Vec<Vec<f32>> = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
-        let batch = lsh
-            .signatures(xs.iter().map(|v| v.as_slice()))
-            .unwrap();
+        let batch = lsh.signatures(xs.iter().map(|v| v.as_slice())).unwrap();
         assert_eq!(batch[0], lsh.signature(&xs[0]).unwrap());
         assert_eq!(batch[1], lsh.signature(&xs[1]).unwrap());
     }

@@ -65,7 +65,11 @@ impl BitSignature {
     /// Panics if `idx >= len()`.
     #[must_use]
     pub fn get(&self, idx: usize) -> bool {
-        assert!(idx < self.bits, "bit index {idx} out of range {}", self.bits);
+        assert!(
+            idx < self.bits,
+            "bit index {idx} out of range {}",
+            self.bits
+        );
         (self.words[idx / 64] >> (idx % 64)) & 1 == 1
     }
 
@@ -75,7 +79,11 @@ impl BitSignature {
     ///
     /// Panics if `idx >= len()`.
     pub fn set(&mut self, idx: usize, value: bool) {
-        assert!(idx < self.bits, "bit index {idx} out of range {}", self.bits);
+        assert!(
+            idx < self.bits,
+            "bit index {idx} out of range {}",
+            self.bits
+        );
         let (w, b) = (idx / 64, idx % 64);
         if value {
             self.words[w] |= 1 << b;

@@ -5,11 +5,11 @@
 //! per episode; device variation redraws per episode with a derived
 //! seed, modeling a different physical array each time).
 
-use femcam_core::{
-    Cosine, DistanceKind, Euclidean, Linf, Manhattan, McamNn, NnIndex,
-    QuantizeStrategy, Quantizer, SoftwareNn, TcamLshNn, VariationSpec,
-};
 use femcam_core::{ConductanceLut, LevelLadder, McamArray, McamArrayBuilder};
+use femcam_core::{
+    Cosine, DistanceKind, Euclidean, Linf, Manhattan, McamNn, NnIndex, QuantizeStrategy, Quantizer,
+    SoftwareNn, TcamLshNn, VariationSpec,
+};
 use femcam_device::FefetModel;
 
 /// A nearest-neighbor search backend configuration.
@@ -185,8 +185,13 @@ impl Backend {
                 let bits = signature_bits.unwrap_or(dims);
                 // LSH planes are fixed hardware: derive them from the
                 // evaluation seed space but not per episode, so every
-                // episode shares the same encoder.
-                Ok(Box::new(TcamLshNn::new(bits, dims, 0xC0FE)?))
+                // episode shares the same encoder. The constant is
+                // arbitrary; it was retuned from 0xC0FE when the
+                // offline vendored RNG (vendor/rand, xoshiro256++)
+                // replaced upstream StdRng's ChaCha stream, under
+                // which that draw produced a degenerate 4-plane
+                // encoder.
+                Ok(Box::new(TcamLshNn::new(bits, dims, 0xC0FFEE)?))
             }
         }
     }
@@ -223,9 +228,18 @@ mod tests {
         let names: Vec<String> = paper_lineup().iter().map(Backend::name).collect();
         assert_eq!(
             names,
-            vec!["mcam-3bit", "mcam-2bit", "tcam+lsh", "fp32-cosine", "fp32-euclidean"]
+            vec![
+                "mcam-3bit",
+                "mcam-2bit",
+                "tcam+lsh",
+                "fp32-cosine",
+                "fp32-euclidean"
+            ]
         );
-        assert_eq!(Backend::mcam_with_variation(3, 0.08).name(), "mcam-3bit-var80mv");
+        assert_eq!(
+            Backend::mcam_with_variation(3, 0.08).name(),
+            "mcam-3bit-var80mv"
+        );
     }
 
     #[test]

@@ -56,7 +56,12 @@ impl CnnFeatureSource {
         let eval_classes = all[n_background..].to_vec();
 
         let (images, labels) = renderer.render_set(background, samples_per_class, seed ^ 0xB5);
-        let mut net = mann_cnn(femcam_data::GLYPH_SIDE, base_channels, n_background, seed ^ 0x11);
+        let mut net = mann_cnn(
+            femcam_data::GLYPH_SIDE,
+            base_channels,
+            n_background,
+            seed ^ 0x11,
+        );
         // Single-sample SGD: momentum amplifies the effective step ~10x
         // and collapses the ReLUs, so train plain SGD at a small rate.
         let mut opt = Sgd::new(0.005, 0.0);
@@ -94,7 +99,9 @@ impl ClassFeatureSource for CnnFeatureSource {
 
     fn sample(&mut self, class: u64) -> Vec<f32> {
         let class = (class as usize) % self.eval_classes.len();
-        let image = self.renderer.render(&self.eval_classes[class], &mut self.rng);
+        let image = self
+            .renderer
+            .render(&self.eval_classes[class], &mut self.rng);
         let mut f = self.net.embed(&image);
         // Unit-normalize, as SimpleShot-style pipelines do before NN
         // search.

@@ -57,7 +57,10 @@ impl EpisodeSampler {
         class_pool: Option<u64>,
         seed: u64,
     ) -> Self {
-        assert!(n_way > 0 && k_shot > 0 && n_query > 0, "counts must be positive");
+        assert!(
+            n_way > 0 && k_shot > 0 && n_query > 0,
+            "counts must be positive"
+        );
         if let Some(pool) = class_pool {
             assert!(
                 pool >= n_way as u64,
@@ -149,9 +152,8 @@ mod tests {
         let mut source = PrototypeFeatureModel::paper_default(9);
         let mut sampler = EpisodeSampler::new(2, 1, 4, None, 13);
         let ep = sampler.sample(&mut source);
-        let dot = |a: &[f32], b: &[f32]| -> f64 {
-            a.iter().zip(b).map(|(&x, &y)| (x * y) as f64).sum()
-        };
+        let dot =
+            |a: &[f32], b: &[f32]| -> f64 { a.iter().zip(b).map(|(&x, &y)| (x * y) as f64).sum() };
         for (q, l) in &ep.queries {
             let own = &ep.support[*l as usize].0;
             let other = &ep.support[1 - *l as usize].0;

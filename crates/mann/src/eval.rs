@@ -119,13 +119,9 @@ fn memory_rows(
                 .enumerate()
                 .filter(|(l, _)| counts[*l] > 0)
                 .map(|(l, sum)| {
-                    let mean: Vec<f64> =
-                        sum.iter().map(|&v| v / counts[l] as f64).collect();
+                    let mean: Vec<f64> = sum.iter().map(|&v| v / counts[l] as f64).collect();
                     let norm = mean.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-12);
-                    (
-                        mean.iter().map(|&v| (v / norm) as f32).collect(),
-                        l as u32,
-                    )
+                    (mean.iter().map(|&v| (v / norm) as f32).collect(), l as u32)
                 })
                 .collect()
         }
@@ -151,13 +147,8 @@ fn calibration_set<S: ClassFeatureSource + ?Sized>(
     source: &mut S,
     cfg: &EvalConfig,
 ) -> Vec<Vec<f32>> {
-    let mut sampler = EpisodeSampler::new(
-        1,
-        1,
-        1,
-        cfg.class_pool,
-        cfg.seed ^ 0xCA11_B8A7_E000_0000,
-    );
+    let mut sampler =
+        EpisodeSampler::new(1, 1, 1, cfg.class_pool, cfg.seed ^ 0xCA11_B8A7_E000_0000);
     (0..cfg.n_calibration.max(2))
         .map(|_| sampler.sample(source).support.remove(0).0)
         .collect()
@@ -197,15 +188,25 @@ pub fn evaluate<S: ClassFeatureSource + ?Sized>(
         for (f, l) in memory_rows(&episode.support, cfg.task.n_way, cfg.memory_policy) {
             index.add(&f, l)?;
         }
-        let mut correct = 0usize;
-        for (f, l) in &episode.queries {
-            if index.query(f)?.label == *l {
-                correct += 1;
-            }
-        }
-        episode_accuracies.push(correct as f64 / episode.queries.len() as f64);
+        episode_accuracies.push(episode_accuracy(index.as_ref(), &episode.queries)?);
     }
     Ok(summarize(&episode_accuracies))
+}
+
+/// Classifies one episode's query set through the engine's batched
+/// path and returns the fraction answered correctly.
+fn episode_accuracy(
+    index: &dyn femcam_core::NnIndex,
+    queries: &[(Vec<f32>, u32)],
+) -> femcam_core::Result<f64> {
+    let refs: Vec<&[f32]> = queries.iter().map(|(f, _)| f.as_slice()).collect();
+    let results = index.query_batch(&refs)?;
+    let correct = results
+        .iter()
+        .zip(queries)
+        .filter(|(r, (_, l))| r.label == *l)
+        .count();
+    Ok(correct as f64 / queries.len() as f64)
 }
 
 /// Multi-threaded evaluation: `factory(thread_seed)` constructs an
@@ -247,8 +248,7 @@ where
                 let model = FefetModel::default();
                 let dims = source.dims();
                 let calibration = calibration_set(&mut source, &thread_cfg);
-                let cal_refs: Vec<&[f32]> =
-                    calibration.iter().map(|r| r.as_slice()).collect();
+                let cal_refs: Vec<&[f32]> = calibration.iter().map(|r| r.as_slice()).collect();
                 let mut sampler = EpisodeSampler::new(
                     thread_cfg.task.n_way,
                     thread_cfg.task.k_shot,
@@ -272,18 +272,15 @@ where
                     ) {
                         index.add(&f, l)?;
                     }
-                    let mut correct = 0usize;
-                    for (f, l) in &episode.queries {
-                        if index.query(f)?.label == *l {
-                            correct += 1;
-                        }
-                    }
-                    accs.push(correct as f64 / episode.queries.len() as f64);
+                    accs.push(episode_accuracy(index.as_ref(), &episode.queries)?);
                 }
                 Ok(accs)
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
     let mut all = Vec::with_capacity(cfg.n_episodes);
     for r in results {

@@ -47,5 +47,7 @@ pub mod variation;
 pub use backend::Backend;
 pub use cnn_source::CnnFeatureSource;
 pub use episode::{Episode, EpisodeSampler};
-pub use eval::{evaluate, evaluate_with_factory, EvalConfig, FewShotResult, FewShotTask, MemoryPolicy};
+pub use eval::{
+    evaluate, evaluate_with_factory, EvalConfig, FewShotResult, FewShotTask, MemoryPolicy,
+};
 pub use variation::{variation_sweep, VariationPoint};

@@ -109,13 +109,21 @@ fn probe_cnn_debug() {
     ]);
     let mut opt = Sgd::new(0.01, 0.9);
     let losses = mlp.train_classifier(&images, &labels, 10, &mut opt, 3);
-    println!("mlp: losses {:?} acc={:.3}", &losses, mlp.accuracy(&images, &labels));
+    println!(
+        "mlp: losses {:?} acc={:.3}",
+        &losses,
+        mlp.accuracy(&images, &labels)
+    );
 
     // CNN with no momentum, small lr, verbose.
     let mut net = mann_cnn(28, 4, 6, 11);
     let mut opt = Sgd::new(0.005, 0.0);
     for epoch in 0..12 {
         let l = net.train_classifier(&images, &labels, 1, &mut opt, 100 + epoch);
-        println!("cnn epoch {epoch}: loss {:.4} acc {:.3}", l[0], net.accuracy(&images, &labels));
+        println!(
+            "cnn epoch {epoch}: loss {:.4} acc {:.3}",
+            l[0],
+            net.accuracy(&images, &labels)
+        );
     }
 }

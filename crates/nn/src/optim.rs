@@ -25,10 +25,7 @@ impl Sgd {
     #[must_use]
     pub fn new(lr: f32, momentum: f32) -> Self {
         assert!(lr.is_finite() && lr > 0.0, "lr must be positive");
-        assert!(
-            (0.0..1.0).contains(&momentum),
-            "momentum must be in [0, 1)"
-        );
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
         Sgd {
             lr,
             momentum,

@@ -12,9 +12,11 @@ fn main() -> femcam_core::Result<()> {
     let programmer = PulseProgrammer::default();
 
     // Solve the 8-state programming ladder (Fig. 2(b) / Fig. 3(b)).
-    println!("single-pulse programming ladder (erase {}V/{}ns first):",
+    println!(
+        "single-pulse programming ladder (erase {}V/{}ns first):",
         programmer.erase_pulse().amplitude_v,
-        programmer.erase_pulse().width_s * 1e9);
+        programmer.erase_pulse().width_s * 1e9
+    );
     for k in 0..8u8 {
         let target = 0.48 + 0.12 * k as f64;
         let pulse = programmer.pulse_for_vth(target)?;
@@ -37,11 +39,8 @@ fn main() -> femcam_core::Result<()> {
     // Monte Carlo: one device programmed 10 times (cycle-to-cycle), then
     // a small population (device-to-device).
     let pulse = programmer.pulse_for_vth(0.84)?;
-    let mut device = MonteCarloDevice::new(
-        programmer.clone(),
-        DomainVariationParams::default(),
-        1234,
-    )?;
+    let mut device =
+        MonteCarloDevice::new(programmer.clone(), DomainVariationParams::default(), 1234)?;
     let cycles: Vec<f64> = (0..10).map(|_| device.program(pulse)).collect();
     println!("\ncycle-to-cycle Vth samples targeting 0.84 V:");
     for v in &cycles {

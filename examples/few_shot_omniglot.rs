@@ -16,14 +16,17 @@ fn main() -> femcam_core::Result<()> {
     // --- Full pipeline: glyphs -> CNN -> MANN ------------------------
     println!("training a small glyph-embedding CNN (background classes)...");
     let (mut cnn_source, train_acc) = CnnFeatureSource::train(
-        12,  // background classes used to train the embedding
-        30,  // held-out classes for few-shot episodes
-        10,  // samples per background class
-        3,   // CNN channel scale (the paper uses 64)
-        6,   // epochs
+        12, // background classes used to train the embedding
+        30, // held-out classes for few-shot episodes
+        10, // samples per background class
+        3,  // CNN channel scale (the paper uses 64)
+        6,  // epochs
         42,
     );
-    println!("background classification accuracy: {:.1}%\n", 100.0 * train_acc);
+    println!(
+        "background classification accuracy: {:.1}%\n",
+        100.0 * train_acc
+    );
 
     let task = FewShotTask::new(5, 1);
     let mut cfg = EvalConfig::new(task, 30, 42);

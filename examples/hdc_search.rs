@@ -89,8 +89,11 @@ fn main() -> femcam_core::Result<()> {
         .fold(0.0f32, |m, &v| m.max(v.abs()));
 
     // --- Evaluate both memories --------------------------------------
+    // The MCAM side batches the whole test set into one search_batch
+    // call: the array compiles a plane-major plan once and executes
+    // every query through the parallel executor.
     let mut correct_tcam = 0usize;
-    let mut correct_mcam = 0usize;
+    let mut mcam_queries: Vec<Vec<u8>> = Vec::with_capacity(test.len());
     for (f, &label) in test.features().iter().zip(test.labels()) {
         let sig = lsh.signature(f).expect("encode");
         // TCAM path.
@@ -98,17 +101,25 @@ fn main() -> femcam_core::Result<()> {
         if outcome.best_row() as u32 == label {
             correct_tcam += 1;
         }
-        // MCAM path.
+        // MCAM path: quantize now, search as one batch below.
         let qvec: Vec<f32> = sig.iter().map(|b| if b { scale } else { -scale }).collect();
-        let levels = quantizer.quantize(&qvec)?;
-        let outcome = mcam.search(&levels)?;
-        if outcome.best_row() as u32 == label {
-            correct_mcam += 1;
-        }
+        mcam_queries.push(quantizer.quantize(&qvec)?);
     }
+    let outcomes = mcam.search_batch(mcam_queries.iter().map(|q| q.as_slice()))?;
+    let correct_mcam = outcomes
+        .iter()
+        .zip(test.labels())
+        .filter(|(o, &l)| o.best_row() as u32 == l)
+        .count();
     let n = test.len() as f64;
-    println!("binary HDC  (TCAM Hamming):       {:>6.2}%", 100.0 * correct_tcam as f64 / n);
-    println!("multi-bit HDC (MCAM distance):    {:>6.2}%", 100.0 * correct_mcam as f64 / n);
+    println!(
+        "binary HDC  (TCAM Hamming):       {:>6.2}%",
+        100.0 * correct_tcam as f64 / n
+    );
+    println!(
+        "multi-bit HDC (MCAM distance):    {:>6.2}%",
+        100.0 * correct_mcam as f64 / n
+    );
 
     // Reference: exact 1-NN on the raw features.
     let mut exact = SoftwareNn::new(Euclidean, dataset.dims());

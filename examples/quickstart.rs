@@ -55,7 +55,11 @@ fn main() -> femcam_core::Result<()> {
         println!(
             "  row {r}: G_ML = {:.3e} S {}",
             outcome.conductance(r),
-            if r == outcome.best_row() { "<- nearest" } else { "" }
+            if r == outcome.best_row() {
+                "<- nearest"
+            } else {
+                ""
+            }
         );
     }
 
@@ -66,6 +70,22 @@ fn main() -> femcam_core::Result<()> {
         .sensed_winner(&timing, &SenseAmp::default())
         .expect("nonempty array");
     println!("\nML discharge times: {times:?}");
-    println!("sense-amp winner: row {winner} (same as argmin-G: {})", outcome.best_row());
+    println!(
+        "sense-amp winner: row {winner} (same as argmin-G: {})",
+        outcome.best_row()
+    );
+
+    // 7. Batched execution: a query set compiles into one plane-major
+    //    plan and runs through the parallel executor — results are
+    //    bit-identical to the scalar search above.
+    let levels: Vec<Vec<u8>> = vectors
+        .iter()
+        .map(|v| quantizer.quantize(v))
+        .collect::<femcam_core::Result<_>>()?;
+    let outcomes = array.search_batch(levels.iter().map(|l| l.as_slice()))?;
+    println!();
+    for (i, o) in outcomes.iter().enumerate() {
+        println!("batched query {i} -> nearest row {}", o.best_row());
+    }
     Ok(())
 }

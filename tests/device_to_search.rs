@@ -55,9 +55,13 @@ fn monte_carlo_population_sigma_matches_fig8_tolerance() {
 
     // And the MCAM at exactly that sigma still classifies.
     let cfg = EvalConfig::new(FewShotTask::new(5, 1), 40, 17);
-    let nominal =
-        evaluate_with_factory(PrototypeFeatureModel::paper_default, &Backend::mcam(3), &cfg, 4)
-            .expect("nominal");
+    let nominal = evaluate_with_factory(
+        PrototypeFeatureModel::paper_default,
+        &Backend::mcam(3),
+        &cfg,
+        4,
+    )
+    .expect("nominal");
     let varied = evaluate_with_factory(
         PrototypeFeatureModel::paper_default,
         &Backend::mcam_with_variation(3, sigma),
@@ -102,9 +106,7 @@ fn rc_discharge_winner_equals_argmin_conductance() {
         // A finite-resolution amplifier may swap rows whose discharge
         // times are closer than its resolution; its guarantee is that
         // the pick discharges within one resolution of the slowest ML.
-        let sensed = outcome
-            .sensed_winner(&timing, &physical)
-            .expect("nonempty");
+        let sensed = outcome.sensed_winner(&timing, &physical).expect("nonempty");
         let times = outcome.discharge_times(&timing);
         let t_max = times.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         assert!(
@@ -141,7 +143,9 @@ fn acam_generalizes_the_programmed_mcam() {
     let query = [3u8, 3, 3, 2];
     let outcome = mcam.search(&query).expect("mcam search");
     let q_analog: Vec<f64> = query.iter().map(|&j| (j as f64 + 0.5) / 8.0).collect();
-    let acam_g = acam.search(&model, &ladder, &q_analog).expect("acam search");
+    let acam_g = acam
+        .search(&model, &ladder, &q_analog)
+        .expect("acam search");
     // Same winner and same pairwise ordering.
     let acam_best = acam_g
         .iter()
@@ -179,9 +183,8 @@ fn one_bit_mcam_ranks_like_a_binary_cam() {
     for _ in 0..25 {
         let q: Vec<u8> = (0..12).map(|_| rng.gen_range(0..2u8)).collect();
         let outcome = mcam.search(&q).expect("mcam search");
-        let sig =
-            BitSignature::from_bools(&q.iter().map(|&b| b == 1).collect::<Vec<_>>())
-                .expect("signature");
+        let sig = BitSignature::from_bools(&q.iter().map(|&b| b == 1).collect::<Vec<_>>())
+            .expect("signature");
         let hams = tcam.hamming_search(&sig).expect("tcam search");
         // Pairwise order agreement: strictly fewer mismatches => strictly
         // lower conductance.

@@ -1,0 +1,230 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion/0.5)
+//! crate.
+//!
+//! The build environment has no network access, so this vendored crate
+//! implements the API subset the workspace's benches use: `Criterion`,
+//! benchmark groups with throughput annotations, `Bencher::iter`, and
+//! the `criterion_group!` / `criterion_main!` macros. Measurement is a
+//! plain adaptive wall-clock loop (short warmup, then timed batches
+//! until a sampling budget is met) reporting mean ns/iteration — no
+//! statistical analysis, plots, or baseline comparisons.
+//!
+//! Set `FEMCAM_BENCH_MS` to change the per-benchmark sampling budget in
+//! milliseconds (default 200; raise it for stabler numbers).
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents dead-code elimination of a benchmark result (name parity
+/// with upstream's `criterion::black_box`).
+pub use std::hint::black_box;
+
+/// The work-rate annotation attached to a benchmark, used to report a
+/// throughput figure next to the per-iteration time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new<D: Display>(name: &str, parameter: D) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id made of a parameter value only.
+    pub fn from_parameter<D: Display>(parameter: D) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    /// Mean seconds per iteration, filled by [`iter`](Self::iter).
+    sec_per_iter: f64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly: a short warmup, then timed batches until the
+    /// sampling budget is exhausted. Stores the mean time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup, and a first estimate of the per-iteration cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        loop {
+            black_box(f());
+            warmup_iters += 1;
+            if warmup_start.elapsed() >= self.budget / 10 || warmup_iters >= 1000 {
+                break;
+            }
+        }
+        let est = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+        // Timed batches: aim for ~20 batches within the budget.
+        let batch = ((self.budget.as_secs_f64() / 20.0 / est.max(1e-9)) as u64).clamp(1, 1 << 20);
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < self.budget {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            iters += batch;
+        }
+        self.sec_per_iter = start.elapsed().as_secs_f64() / iters as f64;
+    }
+}
+
+fn sampling_budget() -> Duration {
+    let ms = std::env::var("FEMCAM_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(200);
+    Duration::from_millis(ms.max(10))
+}
+
+fn run_one(label: &str, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        budget: sampling_budget(),
+        sec_per_iter: 0.0,
+    };
+    f(&mut bencher);
+    let ns = bencher.sec_per_iter * 1e9;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.3} Melem/s)", n as f64 / bencher.sec_per_iter / 1e6)
+        }
+        Some(Throughput::Bytes(n)) => format!(
+            "  ({:.3} MiB/s)",
+            n as f64 / bencher.sec_per_iter / (1024.0 * 1024.0)
+        ),
+        None => String::new(),
+    };
+    println!("{label:<48} {ns:>14.1} ns/iter{rate}");
+}
+
+/// The benchmark manager: registers and immediately runs benchmarks.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, None, |b| f(b));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and an optional
+/// throughput annotation.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.throughput, |b| f(b));
+        self
+    }
+
+    /// Runs a parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Closes the group (a no-op; results were printed as they ran).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions under one group name, mirroring
+/// upstream's `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups, mirroring upstream's
+/// `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_positive_time() {
+        std::env::set_var("FEMCAM_BENCH_MS", "15");
+        let mut b = Bencher {
+            budget: Duration::from_millis(15),
+            sec_per_iter: 0.0,
+        };
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.sec_per_iter > 0.0);
+        assert!(b.sec_per_iter < 1.0);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        std::env::set_var("FEMCAM_BENCH_MS", "10");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+    }
+}
