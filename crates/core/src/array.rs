@@ -18,9 +18,11 @@
 
 use femcam_device::{FefetModel, GaussianVth};
 
+use std::sync::Arc;
+
 use crate::cell::McamCell;
 use crate::error::CoreError;
-use crate::exec::{self, CompiledMcam};
+use crate::exec::{self, CompiledMcam, PlanCache, PlaneScalar, Precision};
 use crate::levels::LevelLadder;
 use crate::lut::ConductanceLut;
 use crate::par;
@@ -268,6 +270,7 @@ impl McamArrayBuilder {
             states: Vec::new(),
             bank,
             variation,
+            plans: PlanCache::default(),
         }
     }
 }
@@ -285,6 +288,10 @@ pub struct McamArray {
     states: Vec<u8>,
     bank: Bank,
     variation: Option<VariationState>,
+    /// Cached compiled plans (one slot per precision), invalidated on
+    /// every mutation — see [`crate::exec`]'s "Cached, auto-recompiling
+    /// plans".
+    plans: PlanCache,
 }
 
 impl McamArray {
@@ -387,6 +394,9 @@ impl McamArray {
             }
         }
         self.states.extend_from_slice(word);
+        // The stored contents changed: any cached compiled plan is now
+        // stale (the dirty-flag half of plan auto-recompilation).
+        self.plans.invalidate();
         Ok(self.n_rows() - 1)
     }
 
@@ -455,7 +465,10 @@ impl McamArray {
     }
 
     /// Compiles the array's current contents into a reusable
-    /// plane-major query plan (see [`crate::exec`]).
+    /// plane-major query plan (see [`crate::exec`]). This is an
+    /// explicit snapshot; prefer the cached entry points
+    /// ([`compiled`](Self::compiled), [`search_batch`](Self::search_batch))
+    /// unless you need one.
     ///
     /// # Errors
     ///
@@ -464,13 +477,84 @@ impl McamArray {
         CompiledMcam::compile(self)
     }
 
-    /// Searches a batch of queries (e.g. a MANN query set applied
-    /// back-to-back to the same programmed array).
+    /// The cached compiled plan for plane scalar `S`, compiling it on
+    /// first use; every [`store`](Self::store) invalidates the cache so
+    /// the next call transparently recompiles against the new contents.
     ///
-    /// Batches of at least `n_levels` queries are executed through the
-    /// compiled plane-major plan with queries sharded across worker
-    /// threads ([`crate::exec`]); smaller batches run the scalar path.
-    /// Both produce bit-identical outcomes, in query order.
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyArray`] if nothing is stored.
+    pub fn cached_plan<S: PlaneScalar>(&self) -> Result<Arc<CompiledMcam<S>>> {
+        self.plans.get_or_compile::<S>(self)
+    }
+
+    /// The cached plan for `S` if one is currently compiled, without
+    /// compiling on a miss.
+    pub fn cached_plan_if_warm<S: PlaneScalar>(&self) -> Option<Arc<CompiledMcam<S>>> {
+        self.plans.cached::<S>()
+    }
+
+    /// The cached `f64` (reference, bit-identical) compiled plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyArray`] if nothing is stored.
+    pub fn compiled(&self) -> Result<Arc<CompiledMcam<f64>>> {
+        self.cached_plan::<f64>()
+    }
+
+    /// The cached `f32` (opt-in fast mode) compiled plan — see
+    /// [`crate::exec`]'s "Precision modes" for the accuracy contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyArray`] if nothing is stored.
+    pub fn compiled_f32(&self) -> Result<Arc<CompiledMcam<f32>>> {
+        self.cached_plan::<f32>()
+    }
+
+    /// The `f64` plan the current workload should execute on: the
+    /// cached plan when warm (reusing it is free), a fresh cached
+    /// compile when `batch` queries amortize the `n_levels` plane
+    /// fills, and `None` — run the bit-identical scalar path — when the
+    /// cache is cold and the batch is too small to pay for compiling
+    /// (e.g. single queries interleaved with stores).
+    fn f64_plan_for(&self, batch: usize) -> Result<Option<Arc<CompiledMcam<f64>>>> {
+        if let Some(plan) = self.plans.cached::<f64>() {
+            return Ok(Some(plan));
+        }
+        if batch >= self.ladder.n_levels() {
+            return self.compiled().map(Some);
+        }
+        Ok(None)
+    }
+
+    /// Runs one search through the cached compiled plan at the chosen
+    /// [`Precision`]. At [`Precision::F64`] the outcome is bit-identical
+    /// to [`search`](Self::search) (and falls back to the scalar path
+    /// while the cache is cold — a lone query never pays for a
+    /// compile); [`Precision::F32`] always executes compiled, trading
+    /// the documented accuracy contract for roughly 2× throughput.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search`](Self::search).
+    pub fn search_with(&self, query: &[u8], precision: Precision) -> Result<SearchOutcome> {
+        match precision {
+            Precision::F64 => match self.f64_plan_for(1)? {
+                Some(plan) => plan.search(query),
+                None => self.search(query),
+            },
+            Precision::F32 => self.compiled_f32()?.search(query),
+        }
+    }
+
+    /// Searches a batch of queries (e.g. a MANN query set applied
+    /// back-to-back to the same programmed array) through the cached
+    /// compiled plan, with queries sharded across worker threads
+    /// ([`crate::exec`]). Outcomes are bit-identical to the scalar
+    /// [`search`](Self::search), in query order; the plan compiles on
+    /// the first call after a mutation and is reused afterwards.
     ///
     /// # Errors
     ///
@@ -481,17 +565,98 @@ impl McamArray {
         I: IntoIterator<Item = &'a [u8]>,
     {
         let queries: Vec<&[u8]> = queries.into_iter().collect();
+        self.search_batch_with(&queries, Precision::F64)
+    }
+
+    /// [`search_batch`](Self::search_batch) at a chosen [`Precision`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search_batch`](Self::search_batch).
+    pub fn search_batch_with(
+        &self,
+        queries: &[&[u8]],
+        precision: Precision,
+    ) -> Result<Vec<SearchOutcome>> {
         if queries.is_empty() {
             return Ok(Vec::new());
         }
-        // Compiling costs n_levels plane fills of n_rows × word_len
-        // each; a batch of at least n_levels queries amortizes it.
-        if !self.is_empty() && queries.len() >= self.ladder.n_levels() {
-            let plan = CompiledMcam::compile(self)?;
-            let work = queries.len() * self.n_rows() * self.word_len;
-            return plan.search_batch(&queries, par::threads_for(work));
+        let threads = par::max_threads();
+        match precision {
+            Precision::F64 => match self.f64_plan_for(queries.len())? {
+                Some(plan) => plan.search_batch(queries, threads),
+                None => queries.iter().map(|q| self.search(q)).collect(),
+            },
+            Precision::F32 => self.compiled_f32()?.search_batch(queries, threads),
         }
-        queries.into_iter().map(|q| self.search(q)).collect()
+    }
+
+    /// Each query's nearest row as `(row, total_conductance)` through
+    /// the cached plan — the allocation-free winners kernel (no per-row
+    /// vector is materialized per query).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search_batch`](Self::search_batch).
+    pub fn search_batch_winners_with(
+        &self,
+        queries: &[&[u8]],
+        precision: Precision,
+    ) -> Result<Vec<(usize, f64)>> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let threads = par::max_threads();
+        match precision {
+            Precision::F64 => match self.f64_plan_for(queries.len())? {
+                Some(plan) => plan.search_batch_winners(queries, threads),
+                None => queries
+                    .iter()
+                    .map(|q| {
+                        let outcome = self.search(q)?;
+                        let best = outcome.best_row();
+                        Ok((best, outcome.conductance(best)))
+                    })
+                    .collect(),
+            },
+            Precision::F32 => self.compiled_f32()?.search_batch_winners(queries, threads),
+        }
+    }
+
+    /// Each query's `k` nearest rows as `(row, total_conductance)`
+    /// (nearest first) through the cached plan, using the reusable
+    /// bounded-heap kernel.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search_batch`](Self::search_batch).
+    pub fn search_batch_top_k_with(
+        &self,
+        queries: &[&[u8]],
+        k: usize,
+        precision: Precision,
+    ) -> Result<Vec<Vec<(usize, f64)>>> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let threads = par::max_threads();
+        match precision {
+            Precision::F64 => match self.f64_plan_for(queries.len())? {
+                Some(plan) => plan.search_batch_top_k(queries, k, threads),
+                None => queries
+                    .iter()
+                    .map(|q| {
+                        let outcome = self.search(q)?;
+                        Ok(outcome
+                            .top_k(k)
+                            .into_iter()
+                            .map(|r| (r, outcome.conductance(r)))
+                            .collect())
+                    })
+                    .collect(),
+            },
+            Precision::F32 => self.compiled_f32()?.search_batch_top_k(queries, k, threads),
+        }
     }
 
     /// Conventional exact-match search: rows whose every cell matches the

@@ -12,9 +12,11 @@
 //! fixed-order fold over per-bank results in bank order, so every path
 //! is bit-identical to a sequential bank-by-bank sweep.
 
+use std::sync::Arc;
+
 use crate::array::{McamArray, McamArrayBuilder, SearchOutcome};
 use crate::error::CoreError;
-use crate::exec::CompiledBanked;
+use crate::exec::{self, CompiledBanked, CompiledMcam, PlaneScalar, Precision};
 use crate::levels::LevelLadder;
 use crate::lut::ConductanceLut;
 use crate::par;
@@ -122,25 +124,46 @@ impl BankedMcam {
         Ok(bank_idx * self.rows_per_bank + local)
     }
 
-    /// Searches every bank — sharded across worker threads when the
-    /// array is large enough to justify forking — and merges the
-    /// per-bank winners in ascending bank order; returns
-    /// `(global_row, total_conductance)` of the overall nearest row.
-    ///
-    /// The merge is a fixed-order fold, so the result (including
-    /// lowest-index tie-breaks) is bit-identical to a sequential
-    /// bank-by-bank sweep regardless of thread count.
-    ///
-    /// # Errors
-    ///
-    /// * [`CoreError::EmptyArray`] if nothing is stored.
-    /// * Propagates per-bank search failures.
-    pub fn search(&self, query: &[u8]) -> Result<(usize, f64)> {
+    /// The per-bank cached compiled plans for plane scalar `S`; each
+    /// bank compiles lazily and recompiles only when *that* bank has
+    /// mutated since its last compile (storing a row dirties one bank,
+    /// not the whole memory).
+    fn bank_plans<S: PlaneScalar>(&self) -> Result<Vec<Arc<CompiledMcam<S>>>> {
         if self.is_empty() {
             return Err(CoreError::EmptyArray);
         }
-        let threads = self.search_threads();
-        let per_bank = par::try_par_map(&self.banks, threads, |_, bank| bank.search(query))?;
+        self.banks.iter().map(McamArray::cached_plan::<S>).collect()
+    }
+
+    /// Like [`bank_plans`](Self::bank_plans), but only when every bank
+    /// already holds a warm plan, or `batch` queries amortize compiling
+    /// the cold ones; `None` means the bit-identical scalar sweep
+    /// should serve this call (cold cache, workload too small to pay
+    /// for `n_levels` plane fills per bank).
+    fn f64_bank_plans_for(&self, batch: usize) -> Result<Option<Vec<Arc<CompiledMcam<f64>>>>> {
+        if self.is_empty() {
+            return Err(CoreError::EmptyArray);
+        }
+        let warm: Option<Vec<_>> = self
+            .banks
+            .iter()
+            .map(McamArray::cached_plan_if_warm::<f64>)
+            .collect();
+        if warm.is_some() {
+            return Ok(warm);
+        }
+        if batch >= self.ladder.n_levels() {
+            return self.bank_plans::<f64>().map(Some);
+        }
+        Ok(None)
+    }
+
+    /// The pre-PR-2 scalar reference sweep: per-bank physics-path
+    /// searches (sharded across workers), winners merged in bank order.
+    fn search_scalar(&self, query: &[u8]) -> Result<(usize, f64)> {
+        let per_bank = par::try_par_map(&self.banks, self.search_threads(), |_, bank| {
+            bank.search(query)
+        })?;
         let mut best: Option<(usize, f64)> = None;
         for (bank_idx, outcome) in per_bank.iter().enumerate() {
             let local = outcome.best_row();
@@ -153,13 +176,64 @@ impl BankedMcam {
         Ok(best.expect("nonempty banked memory"))
     }
 
+    fn search_impl<S: PlaneScalar>(&self, query: &[u8]) -> Result<(usize, f64)> {
+        let plans = self.bank_plans::<S>()?;
+        let refs: Vec<&CompiledMcam<S>> = plans.iter().map(Arc::as_ref).collect();
+        exec::banked_winner(&refs, self.rows_per_bank, query, self.search_threads())
+    }
+
+    fn search_batch_impl<S: PlaneScalar>(&self, queries: &[&[u8]]) -> Result<Vec<(usize, f64)>> {
+        let plans = self.bank_plans::<S>()?;
+        let refs: Vec<&CompiledMcam<S>> = plans.iter().map(Arc::as_ref).collect();
+        exec::banked_winner_batch(&refs, self.rows_per_bank, queries, par::max_threads())
+    }
+
+    /// Searches every bank — through the cached per-bank compiled
+    /// plans, sharded across worker threads when the array is large
+    /// enough to justify forking — and merges the per-bank winners in
+    /// ascending bank order; returns `(global_row, total_conductance)`
+    /// of the overall nearest row.
+    ///
+    /// The merge is a fixed-order fold, so the result (including
+    /// lowest-index tie-breaks) is bit-identical to a sequential
+    /// bank-by-bank scalar sweep regardless of thread count.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::EmptyArray`] if nothing is stored.
+    /// * Propagates per-bank search failures.
+    pub fn search(&self, query: &[u8]) -> Result<(usize, f64)> {
+        match self.f64_bank_plans_for(1)? {
+            Some(plans) => {
+                let refs: Vec<&CompiledMcam<f64>> = plans.iter().map(Arc::as_ref).collect();
+                exec::banked_winner(&refs, self.rows_per_bank, query, self.search_threads())
+            }
+            None => self.search_scalar(query),
+        }
+    }
+
+    /// [`search`](Self::search) at a chosen [`Precision`]
+    /// ([`Precision::F32`] is the opt-in fast mode; see
+    /// [`crate::exec`]'s "Precision modes").
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search`](Self::search).
+    pub fn search_with(&self, query: &[u8], precision: Precision) -> Result<(usize, f64)> {
+        match precision {
+            Precision::F64 => self.search(query),
+            Precision::F32 => self.search_impl::<f32>(query),
+        }
+    }
+
     /// Searches a batch of queries and returns each query's merged
     /// `(global_row, total_conductance)` winner, in query order.
     ///
-    /// Batches of at least `n_levels` queries compile per-bank
-    /// plane-major plans once and shard queries across worker threads
-    /// ([`crate::exec`]); smaller batches run [`search`](Self::search)
-    /// per query. Both paths are bit-identical.
+    /// Contiguous query groups shard across worker threads; each worker
+    /// sweeps every bank's cached compiled plan for its queries with
+    /// one reusable scratch, so a whole batch costs a single fork–join
+    /// no matter how many banks the memory spans. Bit-identical to a
+    /// per-query [`search`](Self::search) sweep at any thread count.
     ///
     /// # Errors
     ///
@@ -170,26 +244,54 @@ impl BankedMcam {
         if queries.is_empty() {
             return Ok(Vec::new());
         }
-        if self.is_empty() {
-            return Err(CoreError::EmptyArray);
+        match self.f64_bank_plans_for(queries.len())? {
+            Some(plans) => {
+                let refs: Vec<&CompiledMcam<f64>> = plans.iter().map(Arc::as_ref).collect();
+                exec::banked_winner_batch(&refs, self.rows_per_bank, queries, par::max_threads())
+            }
+            None => queries.iter().map(|q| self.search(q)).collect(),
         }
-        if queries.len() >= self.ladder.n_levels() {
-            let plan = self.compile()?;
-            let work = queries.len() * self.n_rows() * self.word_len;
-            return plan.search_batch(queries, par::threads_for(work));
+    }
+
+    /// [`search_batch`](Self::search_batch) at a chosen [`Precision`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search_batch`](Self::search_batch).
+    pub fn search_batch_with(
+        &self,
+        queries: &[&[u8]],
+        precision: Precision,
+    ) -> Result<Vec<(usize, f64)>> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
         }
-        queries.iter().map(|q| self.search(q)).collect()
+        match precision {
+            Precision::F64 => self.search_batch(queries),
+            Precision::F32 => self.search_batch_impl::<f32>(queries),
+        }
     }
 
     /// Compiles every bank into a reusable multi-bank query plan (see
-    /// [`crate::exec`]); amortizes plane construction across many
-    /// [`CompiledBanked::search_batch`] calls.
+    /// [`crate::exec`]); an explicit snapshot for callers that want to
+    /// pin the contents — the cached entry points above are usually
+    /// preferable.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::EmptyArray`] if nothing is stored.
     pub fn compile(&self) -> Result<CompiledBanked> {
         CompiledBanked::compile(&self.banks, self.rows_per_bank)
+    }
+
+    /// Like [`compile`](Self::compile) at `f32` precision (the opt-in
+    /// fast mode; see [`crate::exec`]'s "Precision modes").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyArray`] if nothing is stored.
+    pub fn compile_f32(&self) -> Result<CompiledBanked<f32>> {
+        CompiledBanked::<f32>::compile(&self.banks, self.rows_per_bank)
     }
 
     /// Worker threads justified by the current total search workload.

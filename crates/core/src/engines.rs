@@ -18,7 +18,7 @@ use femcam_lsh::RandomHyperplanes;
 use crate::array::{McamArray, McamArrayBuilder, VariationSpec};
 use crate::distance::Distance;
 use crate::error::CoreError;
-use crate::exec;
+use crate::exec::{self, Precision};
 use crate::levels::LevelLadder;
 use crate::lut::ConductanceLut;
 use crate::par;
@@ -279,6 +279,7 @@ pub struct McamNn {
     quantizer: Quantizer,
     array: McamArray,
     labels: Vec<u32>,
+    precision: Precision,
 }
 
 impl McamNn {
@@ -299,7 +300,30 @@ impl McamNn {
             quantizer,
             array,
             labels: Vec::new(),
+            precision: Precision::F64,
         })
+    }
+
+    /// The execution precision queries run at (default
+    /// [`Precision::F64`], bit-identical to the scalar physics path).
+    #[must_use]
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Selects the execution precision for all query paths.
+    /// [`Precision::F32`] opts into the fast plane kernel (roughly 2×
+    /// on the bandwidth-bound hot loop) under the accuracy contract
+    /// documented in [`crate::exec`]'s "Precision modes".
+    pub fn set_precision(&mut self, precision: Precision) {
+        self.precision = precision;
+    }
+
+    /// Builder-style [`set_precision`](Self::set_precision).
+    #[must_use]
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
     }
 
     /// Convenience constructor: fits a quantizer on training rows and
@@ -378,6 +402,7 @@ impl McamNn {
             quantizer: self.quantizer,
             array,
             labels: self.labels,
+            precision: self.precision,
         })
     }
 
@@ -418,7 +443,7 @@ impl NnIndex for McamNn {
 
     fn query(&self, features: &[f32]) -> Result<QueryResult> {
         let levels = self.quantizer.quantize(features)?;
-        let outcome = self.array.search(&levels)?;
+        let outcome = self.array.search_with(&levels, self.precision)?;
         let index = outcome.best_row();
         Ok(QueryResult {
             index,
@@ -429,7 +454,7 @@ impl NnIndex for McamNn {
 
     fn query_k(&self, features: &[f32], k: usize) -> Result<Vec<QueryResult>> {
         let levels = self.quantizer.quantize(features)?;
-        let outcome = self.array.search(&levels)?;
+        let outcome = self.array.search_with(&levels, self.precision)?;
         Ok(outcome
             .top_k(k)
             .into_iter()
@@ -444,16 +469,15 @@ impl NnIndex for McamNn {
     fn query_batch(&self, queries: &[&[f32]]) -> Result<Vec<QueryResult>> {
         let levels = self.quantize_batch(queries)?;
         let refs: Vec<&[u8]> = levels.iter().map(|l| l.as_slice()).collect();
-        let outcomes = self.array.search_batch(refs)?;
-        Ok(outcomes
+        let winners = self
+            .array
+            .search_batch_winners_with(&refs, self.precision)?;
+        Ok(winners
             .into_iter()
-            .map(|outcome| {
-                let index = outcome.best_row();
-                QueryResult {
-                    index,
-                    label: self.labels[index],
-                    score: outcome.conductance(index),
-                }
+            .map(|(index, score)| QueryResult {
+                index,
+                label: self.labels[index],
+                score,
             })
             .collect())
     }
@@ -461,17 +485,17 @@ impl NnIndex for McamNn {
     fn query_k_batch(&self, queries: &[&[f32]], k: usize) -> Result<Vec<Vec<QueryResult>>> {
         let levels = self.quantize_batch(queries)?;
         let refs: Vec<&[u8]> = levels.iter().map(|l| l.as_slice()).collect();
-        let outcomes = self.array.search_batch(refs)?;
-        Ok(outcomes
+        let hits = self
+            .array
+            .search_batch_top_k_with(&refs, k, self.precision)?;
+        Ok(hits
             .into_iter()
-            .map(|outcome| {
-                outcome
-                    .top_k(k)
-                    .into_iter()
-                    .map(|index| QueryResult {
+            .map(|top| {
+                top.into_iter()
+                    .map(|(index, score)| QueryResult {
                         index,
                         label: self.labels[index],
-                        score: outcome.conductance(index),
+                        score,
                     })
                     .collect()
             })
@@ -479,7 +503,11 @@ impl NnIndex for McamNn {
     }
 
     fn name(&self) -> String {
-        format!("mcam-{}bit", self.array.ladder().bits())
+        let suffix = match self.precision {
+            Precision::F64 => "",
+            Precision::F32 => "-f32",
+        };
+        format!("mcam-{}bit{}", self.array.ladder().bits(), suffix)
     }
 }
 

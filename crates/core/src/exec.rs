@@ -32,35 +32,288 @@
 //! so a compiled search reproduces the same disorder as the scalar
 //! path.
 //!
+//! The batched kernel is cache-tiled: rows advance in panels sized so
+//! one plane-column slice stays L1-resident while it serves every query
+//! in the block, and each worker thread owns one reusable
+//! [`BatchScratch`] of accumulators and top-k heap storage — the hot
+//! path performs **no per-query heap allocation**.
+//!
+//! # Precision modes
+//!
+//! Plans are generic over a [`PlaneScalar`] — the element type of the
+//! conductance planes and of the match-line accumulators:
+//!
+//! * **`f64` (the default, [`Precision::F64`])** is the *reference*
+//!   mode. Per row, conductances fold in ascending column order
+//!   starting from `0.0`, exactly like [`McamArray::search`], so every
+//!   `f64` result in this module is **bit-identical** to the scalar
+//!   physics path — not merely close. This is the mode all property
+//!   tests pin against.
+//! * **`f32` ([`Precision::F32`])** is the opt-in *fast* mode: planes
+//!   are rounded to `f32` at compile time and match lines accumulate in
+//!   `f32`. Halving the plane bytes roughly doubles the throughput of
+//!   this bandwidth-bound kernel and doubles SIMD lane width, at the
+//!   cost of exactness. The accuracy contract is: per row, the relative
+//!   error of a total conductance is bounded by
+//!   `word_len · ε_f32 ≈ word_len · 1.2e-7` (one rounding per plane
+//!   read plus one per add, all values positive, no cancellation), so
+//!   rankings only change between rows whose `f64` conductances agree
+//!   to within that bound. Top-1/top-k recall against the `f64`
+//!   reference is asserted by `tests/precision_props.rs`; rows an `f32`
+//!   search ranks into the top k are always within relative `1e-5` of
+//!   the true k-th best in practice. All public results (scores,
+//!   [`SearchOutcome`] conductances) are reported as `f64` in both
+//!   modes; in `f32` mode they are exact widenings of the `f32`
+//!   accumulators.
+//!
+//! Callers pick a mode either statically (`CompiledMcam::<f32>`) or at
+//! run time through the [`Precision`] knob on the cached-plan entry
+//! points ([`McamArray::search_batch_with`],
+//! [`crate::engines::McamNn::set_precision`]).
+//!
+//! # Cached, auto-recompiling plans
+//!
+//! A plan is a snapshot of the array contents at compile time. So that
+//! callers get compiled speed without managing snapshots, every
+//! [`McamArray`] (and, per bank, every [`crate::banked::BankedMcam`])
+//! owns a [`PlanCache`]: the first search through a cached entry point
+//! compiles and stores the plan (one slot per precision), and any
+//! mutation ([`McamArray::store`]) invalidates the cache so the next
+//! search transparently recompiles against the new contents. A banked
+//! memory invalidates only the bank that changed.
+//!
 //! # Determinism guarantee
 //!
 //! Per row, the scalar path folds cell conductances in ascending column
 //! order starting from `0.0`; the compiled path accumulates plane
-//! columns in exactly the same ascending column order. Floating-point
-//! addition happens in an identical sequence, so compiled results are
-//! **bit-identical** to [`McamArray::search`] — not merely close.
-//! Row-chunked and query-parallel execution ([`CompiledMcam::
-//! search_batch`], [`CompiledBanked`]) shard only across rows, queries,
-//! and banks — never within one row's fold — and every reduction is a
-//! fixed-order fold over results reassembled in input order
-//! ([`crate::par`]), so parallel execution is bit-identical too. The
-//! property tests in `tests/batch_parallel_props.rs` assert this.
+//! columns in exactly the same ascending column order (row panels tile
+//! the row axis, never the column axis). Floating-point addition
+//! happens in an identical sequence, so compiled `f64` results are
+//! **bit-identical** to [`McamArray::search`]. Row-chunked and
+//! query-parallel execution ([`CompiledMcam::search_batch`],
+//! [`CompiledBanked`]) shard only across rows, queries, and banks —
+//! never within one row's fold — and every reduction is a fixed-order
+//! fold over results reassembled in input order ([`crate::par`]), so
+//! parallel execution is bit-identical too, at any thread count. The
+//! property tests in `tests/batch_parallel_props.rs` assert this. The
+//! same sequencing holds in `f32` mode (the fold is identical, just in
+//! `f32`), so `f32` results are deterministic and thread-count
+//! independent as well.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::array::{McamArray, SearchOutcome};
 use crate::error::CoreError;
 use crate::par;
 use crate::Result;
 
+/// Runtime selector for the plan element type (see the
+/// [module-level "Precision modes"](self#precision-modes)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Precision {
+    /// `f64` planes and accumulators — bit-identical to the scalar
+    /// reference path. The default.
+    #[default]
+    F64,
+    /// `f32` planes and accumulators — roughly 2× faster on the
+    /// bandwidth-bound kernel, with the documented accuracy contract.
+    F32,
+}
+
+impl Precision {
+    /// Short lowercase name (`"f64"` / `"f32"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+        }
+    }
+}
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for f64 {}
+    impl Sealed for f32 {}
+}
+
+/// Element type of a compiled plan: the scalar the conductance planes
+/// are stored in and the match-line accumulators fold in.
+///
+/// Implemented for `f64` (bit-identical reference) and `f32` (fast
+/// mode); sealed — the two modes are a deliberate, documented contract,
+/// not an extension point.
+pub trait PlaneScalar:
+    Copy + PartialOrd + Send + Sync + std::fmt::Debug + sealed::Sealed + 'static
+{
+    /// The additive identity the per-row fold starts from.
+    const ZERO: Self;
+    /// The runtime tag for this scalar.
+    const PRECISION: Precision;
+
+    /// Rounds an `f64` conductance into this scalar (plane
+    /// compilation).
+    fn from_f64(v: f64) -> Self;
+    /// Widens back to `f64` for reporting (exact for both impls).
+    fn to_f64(self) -> f64;
+    /// Addition in this precision (the determinism-critical fold step).
+    fn add(self, rhs: Self) -> Self;
+
+    /// The cache slot for this precision inside a [`PlanCache`].
+    #[doc(hidden)]
+    fn plan_slot(cache: &PlanCache) -> &Mutex<Option<Arc<CompiledMcam<Self>>>>
+    where
+        Self: Sized;
+}
+
+impl PlaneScalar for f64 {
+    const ZERO: Self = 0.0;
+    const PRECISION: Precision = Precision::F64;
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+
+    fn plan_slot(cache: &PlanCache) -> &Mutex<Option<Arc<CompiledMcam<Self>>>> {
+        &cache.f64_plan
+    }
+}
+
+impl PlaneScalar for f32 {
+    const ZERO: Self = 0.0;
+    const PRECISION: Precision = Precision::F32;
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+
+    fn plan_slot(cache: &PlanCache) -> &Mutex<Option<Arc<CompiledMcam<Self>>>> {
+        &cache.f32_plan
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Interior-mutable cache of compiled plans for one array: one slot per
+/// [`Precision`], filled lazily on first use and cleared by
+/// [`invalidate`](Self::invalidate) when the array mutates (the
+/// dirty-flag half of auto-recompilation — an empty slot *is* the dirty
+/// flag).
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    f64_plan: Mutex<Option<Arc<CompiledMcam<f64>>>>,
+    f32_plan: Mutex<Option<Arc<CompiledMcam<f32>>>>,
+}
+
+impl PlanCache {
+    /// Returns the cached plan for `S`, compiling and caching it from
+    /// `array` on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompiledMcam::compile`] failures (the slot stays
+    /// empty).
+    pub fn get_or_compile<S: PlaneScalar>(
+        &self,
+        array: &McamArray,
+    ) -> Result<Arc<CompiledMcam<S>>> {
+        let mut slot = lock(S::plan_slot(self));
+        if let Some(plan) = slot.as_ref() {
+            return Ok(Arc::clone(plan));
+        }
+        let plan = Arc::new(CompiledMcam::<S>::compile(array)?);
+        *slot = Some(Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// The cached plan for `S` if one is currently compiled, without
+    /// compiling on a miss (lets callers amortize: skip plan
+    /// construction for workloads too small to pay for it).
+    pub fn cached<S: PlaneScalar>(&self) -> Option<Arc<CompiledMcam<S>>> {
+        lock(S::plan_slot(self)).as_ref().map(Arc::clone)
+    }
+
+    /// Drops every cached plan; the next search recompiles.
+    pub fn invalidate(&mut self) {
+        *self
+            .f64_plan
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner) = None;
+        *self
+            .f32_plan
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner) = None;
+    }
+}
+
+/// Per-worker reusable storage for the batched kernels: the block
+/// accumulator panel plus bounded-heap top-k scratch. One scratch lives
+/// for a worker's whole query group, so the per-query hot path
+/// allocates nothing (results excepted — they are the output).
+#[derive(Debug)]
+struct BatchScratch<S> {
+    acc: Vec<S>,
+    heap: BinaryHeap<(TotalF64, usize)>,
+    sorted: Vec<(TotalF64, usize)>,
+}
+
+impl<S: PlaneScalar> BatchScratch<S> {
+    fn new() -> Self {
+        BatchScratch {
+            acc: Vec::new(),
+            heap: BinaryHeap::new(),
+            sorted: Vec::new(),
+        }
+    }
+
+    /// A zero-filled accumulator slab of at least `len` scalars.
+    fn acc(&mut self, len: usize) -> &mut [S] {
+        if self.acc.len() < len {
+            self.acc.resize(len, S::ZERO);
+        }
+        &mut self.acc[..len]
+    }
+}
+
 /// A query plan: the read-only, plane-major execution image of one
-/// [`McamArray`] (see the [module docs](self) for the layout).
+/// [`McamArray`] (see the [module docs](self) for the layout), with
+/// planes and accumulators in `S` (see
+/// ["Precision modes"](self#precision-modes)).
 ///
 /// Compiling costs `n_levels × word_len × n_rows` LUT reads and the
 /// same amount of memory; it pays for itself once a handful of queries
 /// run against the same stored contents. The plan is a snapshot —
 /// rows stored after [`compile`](Self::compile) are not visible to it.
+/// Prefer the cached entry points on [`McamArray`]
+/// ([`search_batch_with`](McamArray::search_batch_with)) unless you
+/// need an explicit snapshot.
 ///
 /// # Examples
 ///
@@ -74,24 +327,38 @@ use crate::Result;
 /// let mut array = McamArray::new(ladder, lut, 4);
 /// array.store(&[0, 3, 7, 1])?;
 /// array.store(&[5, 5, 5, 5])?;
-/// let plan = CompiledMcam::compile(&array)?;
+/// let plan: CompiledMcam = CompiledMcam::compile(&array)?;
 /// assert_eq!(
 ///     plan.search(&[0, 3, 7, 1])?.best_row(),
 ///     array.search(&[0, 3, 7, 1])?.best_row(),
+/// );
+/// // Opt-in fast mode: f32 planes, ~2x on the bandwidth-bound kernel.
+/// let fast = CompiledMcam::<f32>::compile(&array)?;
+/// assert_eq!(
+///     fast.search(&[0, 3, 7, 1])?.best_row(),
+///     plan.search(&[0, 3, 7, 1])?.best_row(),
 /// );
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Debug, Clone)]
-pub struct CompiledMcam {
+pub struct CompiledMcam<S: PlaneScalar = f64> {
     n_rows: usize,
     word_len: usize,
     n_levels: usize,
     /// `[input][column][row]`, rows contiguous.
-    planes: Vec<f64>,
+    planes: Vec<S>,
 }
 
-impl CompiledMcam {
+/// Bytes of one plane-column row panel; sized so a panel slice stays
+/// L1-resident while it serves every query in a block.
+const ROW_TILE_BYTES: usize = 16 * 1024;
+
+/// Accumulator budget per block: `block_len × row_tile` accumulators
+/// stay within a comfortable slice of L2 alongside the plane panels.
+const ACC_BUDGET_BYTES: usize = 256 * 1024;
+
+impl<S: PlaneScalar> CompiledMcam<S> {
     /// Compiles the array's current contents into a plane-major plan.
     ///
     /// Plane construction fans out over input levels on the workspace
@@ -108,20 +375,15 @@ impl CompiledMcam {
         let word_len = array.word_len();
         let n_levels = array.ladder().n_levels();
         let inputs: Vec<u8> = (0..n_levels as u8).collect();
-        let threads = par::max_threads();
         let plane_work = word_len * n_rows;
         let per_input = par::par_map(
             &inputs,
-            if par::worth_parallelizing(plane_work * n_levels, threads) {
-                threads
-            } else {
-                1
-            },
+            par::threads_for(plane_work * n_levels),
             |_, &input| {
                 let mut plane = Vec::with_capacity(plane_work);
                 for c in 0..word_len {
                     for r in 0..n_rows {
-                        plane.push(array.cell_conductance(r, c, input));
+                        plane.push(S::from_f64(array.cell_conductance(r, c, input)));
                     }
                 }
                 plane
@@ -157,7 +419,13 @@ impl CompiledMcam {
         self.n_levels
     }
 
-    fn check_query(&self, query: &[u8]) -> Result<()> {
+    /// The precision this plan was compiled at.
+    #[must_use]
+    pub fn precision(&self) -> Precision {
+        S::PRECISION
+    }
+
+    pub(crate) fn check_query(&self, query: &[u8]) -> Result<()> {
         if query.len() != self.word_len {
             return Err(CoreError::WordLengthMismatch {
                 expected: self.word_len,
@@ -178,53 +446,234 @@ impl CompiledMcam {
     /// Accumulates the query into `out[..]` for rows
     /// `row_start..row_start + out.len()`, in ascending column order
     /// (the determinism-critical inner loop).
-    fn accumulate_rows(&self, query: &[u8], row_start: usize, out: &mut [f64]) {
-        out.fill(0.0);
+    fn accumulate_rows(&self, query: &[u8], row_start: usize, out: &mut [S]) {
+        out.fill(S::ZERO);
         for (c, &q) in query.iter().enumerate() {
             let base = (q as usize * self.word_len + c) * self.n_rows + row_start;
             let column = &self.planes[base..base + out.len()];
             for (acc, &g) in out.iter_mut().zip(column) {
-                *acc += g;
+                *acc = acc.add(g);
             }
         }
+    }
+
+    /// Rows per cache panel of the tiled block kernel.
+    fn row_tile(&self) -> usize {
+        (ROW_TILE_BYTES / std::mem::size_of::<S>())
+            .min(self.n_rows)
+            .max(1)
     }
 
     /// Queries per grouped batch block, sized so one block's
-    /// accumulators stay cache-resident (the plane column loaded for a
-    /// level then serves every query in the block that drives it).
+    /// accumulator panel stays cache-resident (the plane panel loaded
+    /// for a level then serves every query in the block that drives
+    /// it).
     fn block_len(&self) -> usize {
-        const ACC_BUDGET_BYTES: usize = 256 * 1024;
-        (ACC_BUDGET_BYTES / (self.n_rows * std::mem::size_of::<f64>()).max(1)).clamp(1, 16)
+        (ACC_BUDGET_BYTES / (self.row_tile() * std::mem::size_of::<S>()).max(1)).clamp(1, 16)
     }
 
-    /// The grouped block kernel: accumulates a block of (validated)
-    /// queries at once. Columns advance in the outer loop, so each
-    /// query still folds its conductances in ascending column order —
-    /// bit-identical to [`accumulate_rows`](Self::accumulate_rows) —
-    /// while queries sharing an input level at a column reuse the same
-    /// cache-hot plane column instead of re-streaming it.
-    fn accumulate_block(&self, queries: &[&[u8]], outs: &mut [Vec<f64>]) {
-        debug_assert_eq!(queries.len(), outs.len());
-        for c in 0..self.word_len {
-            for level in 0..self.n_levels {
-                let base = (level * self.word_len + c) * self.n_rows;
-                let column = &self.planes[base..base + self.n_rows];
-                for (q, out) in queries.iter().zip(outs.iter_mut()) {
-                    if q[c] as usize == level {
-                        for (acc, &g) in out.iter_mut().zip(column) {
-                            *acc += g;
-                        }
+    /// The cache-tiled grouped block kernel: accumulates a block of
+    /// (validated) queries into `acc`, laid out query-major
+    /// (`acc[q * n_rows + row]`). Row panels advance in the outer loop
+    /// and columns in the next, so each query still folds its
+    /// conductances in ascending column order — bit-identical to
+    /// [`accumulate_rows`](Self::accumulate_rows) — while queries
+    /// sharing an input level at a column reuse the same L1-hot plane
+    /// panel instead of re-streaming it.
+    fn accumulate_block(&self, queries: &[&[u8]], acc: &mut [S]) {
+        let n = self.n_rows;
+        debug_assert!(acc.len() >= queries.len() * n);
+        acc[..queries.len() * n].fill(S::ZERO);
+        let tile = self.row_tile();
+        let mut t0 = 0;
+        while t0 < n {
+            let t1 = (t0 + tile).min(n);
+            for c in 0..self.word_len {
+                for (qi, q) in queries.iter().enumerate() {
+                    let base = (q[c] as usize * self.word_len + c) * n;
+                    let column = &self.planes[base + t0..base + t1];
+                    let out = &mut acc[qi * n + t0..qi * n + t1];
+                    for (a, &g) in out.iter_mut().zip(column) {
+                        *a = a.add(g);
                     }
                 }
             }
+            t0 = t1;
         }
     }
 
+    /// Row-sharded single-query accumulation into `out` (`n_rows`
+    /// scalars), forking onto exactly `n_threads` row chunks when
+    /// `n_threads > 1`.
+    fn accumulate_sharded(&self, query: &[u8], n_threads: usize, out: &mut [S]) {
+        if n_threads <= 1 || self.n_rows <= 1 {
+            self.accumulate_rows(query, 0, out);
+            return;
+        }
+        let threads = n_threads.min(self.n_rows);
+        let chunk = self.n_rows.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (chunk_idx, slice) in out.chunks_mut(chunk).enumerate() {
+                scope.spawn(move || self.accumulate_rows(query, chunk_idx * chunk, slice));
+            }
+        });
+    }
+
+    /// Executes one query and returns the full per-row outcome — in
+    /// `f64` mode bit-identical to [`McamArray::search`] on the
+    /// compiled contents. Rows shard across workers when the workload
+    /// justifies forking ([`par::threads_for`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::WordLengthMismatch`] / [`CoreError::LevelOutOfRange`]
+    /// for malformed queries.
+    pub fn search(&self, query: &[u8]) -> Result<SearchOutcome> {
+        self.check_query(query)?;
+        let threads = par::threads_for(self.n_rows * self.word_len);
+        let mut out = vec![S::ZERO; self.n_rows];
+        self.accumulate_sharded(query, threads, &mut out);
+        Ok(SearchOutcome::from_conductances(
+            out.iter().map(|g| g.to_f64()).collect(),
+        ))
+    }
+
+    /// Splits `queries` into one contiguous group per earned worker.
+    fn query_groups<'q, 'a>(
+        &self,
+        queries: &'q [&'a [u8]],
+        n_threads: usize,
+    ) -> (Vec<&'q [&'a [u8]]>, usize) {
+        let threads = par::batch_threads(queries.len(), self.n_rows * self.word_len, n_threads);
+        let group = queries.len().div_ceil(threads).max(1);
+        (queries.chunks(group).collect(), threads)
+    }
+
+    /// Executes a batch of queries through the tiled block kernel,
+    /// sharding contiguous query groups across workers. `n_threads` is
+    /// an upper bound: the kernel forks only as many workers as the
+    /// workload earns ([`par::batch_threads`]), so raising the thread
+    /// count never regresses throughput. Results are in query order
+    /// and (in `f64` mode) bit-identical to running
+    /// [`search`](Self::search) per query; the first malformed query
+    /// (in input order) fails the batch before any work runs.
+    ///
+    /// # Errors
+    ///
+    /// Same per-query conditions as [`search`](Self::search).
+    pub fn search_batch(&self, queries: &[&[u8]], n_threads: usize) -> Result<Vec<SearchOutcome>> {
+        for q in queries {
+            self.check_query(q)?;
+        }
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (groups, threads) = self.query_groups(queries, n_threads);
+        let per_group = par::par_map(&groups, threads, |_, group| {
+            let mut scratch = BatchScratch::<S>::new();
+            let mut outcomes = Vec::with_capacity(group.len());
+            for block in group.chunks(self.block_len()) {
+                let acc = scratch.acc(block.len() * self.n_rows);
+                self.accumulate_block(block, acc);
+                for qi in 0..block.len() {
+                    let rows = &acc[qi * self.n_rows..(qi + 1) * self.n_rows];
+                    outcomes.push(SearchOutcome::from_conductances(
+                        rows.iter().map(|g| g.to_f64()).collect(),
+                    ));
+                }
+            }
+            outcomes
+        });
+        Ok(per_group.into_iter().flatten().collect())
+    }
+
+    /// Like [`search_batch`](Self::search_batch), but returns only each
+    /// query's nearest row as `(row, total_conductance)` — the winner
+    /// argmin runs on the worker's scratch accumulators, so no per-row
+    /// vector is ever materialized per query.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search_batch`](Self::search_batch).
+    pub fn search_batch_winners(
+        &self,
+        queries: &[&[u8]],
+        n_threads: usize,
+    ) -> Result<Vec<(usize, f64)>> {
+        for q in queries {
+            self.check_query(q)?;
+        }
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (groups, threads) = self.query_groups(queries, n_threads);
+        let per_group = par::par_map(&groups, threads, |_, group| {
+            let mut scratch = BatchScratch::<S>::new();
+            let mut winners = Vec::with_capacity(group.len());
+            for block in group.chunks(self.block_len()) {
+                let acc = scratch.acc(block.len() * self.n_rows);
+                self.accumulate_block(block, acc);
+                for qi in 0..block.len() {
+                    let rows = &acc[qi * self.n_rows..(qi + 1) * self.n_rows];
+                    let (row, g) = argmin(rows);
+                    winners.push((row, g.to_f64()));
+                }
+            }
+            winners
+        });
+        Ok(per_group.into_iter().flatten().collect())
+    }
+
+    /// Like [`search_batch`](Self::search_batch), but returns each
+    /// query's `k` nearest rows as `(row, total_conductance)`, nearest
+    /// first — selected by a bounded heap on the worker's reusable
+    /// scratch (no per-query heap allocation).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search_batch`](Self::search_batch).
+    pub fn search_batch_top_k(
+        &self,
+        queries: &[&[u8]],
+        k: usize,
+        n_threads: usize,
+    ) -> Result<Vec<Vec<(usize, f64)>>> {
+        for q in queries {
+            self.check_query(q)?;
+        }
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (groups, threads) = self.query_groups(queries, n_threads);
+        let per_group = par::par_map(&groups, threads, |_, group| {
+            let mut scratch = BatchScratch::<S>::new();
+            let mut hits = Vec::with_capacity(group.len());
+            for block in group.chunks(self.block_len()) {
+                let need = block.len() * self.n_rows;
+                let BatchScratch { acc, heap, sorted } = &mut scratch;
+                if acc.len() < need {
+                    acc.resize(need, S::ZERO);
+                }
+                self.accumulate_block(block, &mut acc[..need]);
+                for qi in 0..block.len() {
+                    let rows = &acc[qi * self.n_rows..(qi + 1) * self.n_rows];
+                    let mut top = Vec::new();
+                    select_top_k(rows, k, heap, sorted, &mut top);
+                    hits.push(top);
+                }
+            }
+            hits
+        });
+        Ok(per_group.into_iter().flatten().collect())
+    }
+}
+
+impl CompiledMcam<f64> {
     /// Executes one query over all rows, sharding row ranges across up
     /// to `n_threads` workers (exactly as asked — callers that want
-    /// work-proportional thread selection gate on
-    /// [`par::worth_parallelizing`] as [`search`](Self::search) does),
-    /// and writes per-row total conductances into `out`.
+    /// work-proportional thread selection use [`search`](Self::search),
+    /// which gates on [`par::threads_for`]), and writes per-row total
+    /// conductances into `out`.
     ///
     /// # Errors
     ///
@@ -239,75 +688,34 @@ impl CompiledMcam {
                 actual: out.len(),
             });
         }
-        if n_threads <= 1 || self.n_rows <= 1 {
-            self.accumulate_rows(query, 0, out);
-            return Ok(());
-        }
-        let threads = n_threads.min(self.n_rows);
-        let chunk = self.n_rows.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (chunk_idx, slice) in out.chunks_mut(chunk).enumerate() {
-                scope.spawn(move || self.accumulate_rows(query, chunk_idx * chunk, slice));
-            }
-        });
+        self.accumulate_sharded(query, n_threads, out);
         Ok(())
     }
+}
 
-    /// Executes one query and returns the full per-row outcome,
-    /// bit-identical to [`McamArray::search`] on the compiled contents.
-    /// Rows shard across workers when the workload justifies forking.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`search_into`](Self::search_into).
-    pub fn search(&self, query: &[u8]) -> Result<SearchOutcome> {
-        let threads = par::max_threads();
-        let threads = if par::worth_parallelizing(self.n_rows * self.word_len, threads) {
-            threads
-        } else {
-            1
-        };
-        let mut out = vec![0.0; self.n_rows];
-        self.search_into(query, threads, &mut out)?;
-        Ok(SearchOutcome::from_conductances(out))
-    }
-
-    /// Executes a batch of queries through the grouped block kernel,
-    /// sharding blocks across up to `n_threads` workers (exactly as
-    /// asked). Results are in query order and bit-identical to running
-    /// [`search`](Self::search) per query; the first malformed query
-    /// (in input order) fails the batch before any work runs.
-    ///
-    /// # Errors
-    ///
-    /// Same per-query conditions as [`search`](Self::search).
-    pub fn search_batch(&self, queries: &[&[u8]], n_threads: usize) -> Result<Vec<SearchOutcome>> {
-        for q in queries {
-            self.check_query(q)?;
+/// Index and value of the smallest scalar; ties keep the lowest index
+/// (identical to [`SearchOutcome::best_row`]'s first-minimum argmin).
+fn argmin<S: PlaneScalar>(scores: &[S]) -> (usize, S) {
+    let mut best = 0;
+    let mut best_g = scores[0];
+    for (i, &g) in scores.iter().enumerate().skip(1) {
+        if g < best_g {
+            best = i;
+            best_g = g;
         }
-        let blocks: Vec<&[&[u8]]> = queries.chunks(self.block_len()).collect();
-        let per_block = par::par_map(&blocks, n_threads, |_, block| {
-            let mut outs: Vec<Vec<f64>> = block.iter().map(|_| vec![0.0; self.n_rows]).collect();
-            self.accumulate_block(block, &mut outs);
-            outs
-        });
-        Ok(per_block
-            .into_iter()
-            .flatten()
-            .map(SearchOutcome::from_conductances)
-            .collect())
     }
+    (best, best_g)
 }
 
 /// A compiled multi-bank plan: one [`CompiledMcam`] per bank plus the
 /// fixed-order hierarchical winner-take-all merge.
 #[derive(Debug, Clone)]
-pub struct CompiledBanked {
-    plans: Vec<CompiledMcam>,
+pub struct CompiledBanked<S: PlaneScalar = f64> {
+    plans: Vec<CompiledMcam<S>>,
     rows_per_bank: usize,
 }
 
-impl CompiledBanked {
+impl<S: PlaneScalar> CompiledBanked<S> {
     /// Compiles per-bank plans (banks compile independently).
     ///
     /// # Errors
@@ -337,69 +745,118 @@ impl CompiledBanked {
         self.plans.iter().map(CompiledMcam::n_rows).sum()
     }
 
-    /// Merges per-bank winners in ascending bank order: the global
-    /// nearest row as `(global_row, total_conductance)`. The fold order
-    /// is fixed, so ties resolve to the lowest global row index exactly
-    /// as the sequential reference does.
-    fn merge_winners(&self, per_bank: &[SearchOutcome]) -> (usize, f64) {
-        let mut best: Option<(usize, f64)> = None;
-        for (bank_idx, outcome) in per_bank.iter().enumerate() {
-            let local = outcome.best_row();
-            let g = outcome.conductance(local);
-            let global = bank_idx * self.rows_per_bank + local;
-            if best.is_none_or(|(_, bg)| g < bg) {
-                best = Some((global, g));
-            }
-        }
-        best.expect("merge over at least one bank")
+    /// The precision this plan was compiled at.
+    #[must_use]
+    pub fn precision(&self) -> Precision {
+        S::PRECISION
     }
 
     /// Searches every bank (banks shard across up to `n_threads`
-    /// workers, exactly as asked) and merges the per-bank winners in
-    /// bank order.
+    /// workers) and merges the per-bank winners in bank order; returns
+    /// `(global_row, total_conductance)` of the overall nearest row.
     ///
     /// # Errors
     ///
     /// Propagates per-bank query validation failures.
     pub fn search(&self, query: &[u8], n_threads: usize) -> Result<(usize, f64)> {
-        let per_bank = par::try_par_map(&self.plans, n_threads, |_, plan| {
-            // One bank per worker; the bank axis is the parallel axis.
-            plan.search_batch(&[query], 1)
-                .map(|mut v| v.pop().expect("one outcome per query"))
-        })?;
-        Ok(self.merge_winners(&per_bank))
+        let plans: Vec<&CompiledMcam<S>> = self.plans.iter().collect();
+        banked_winner(&plans, self.rows_per_bank, query, n_threads)
     }
 
-    /// Searches a batch of queries, sharding each bank's query blocks
-    /// across up to `n_threads` workers; each result is the merged
-    /// `(global_row, total_conductance)` winner for that query, in
-    /// query order.
+    /// Searches a batch of queries, sharding contiguous query groups
+    /// across up to `n_threads` workers (each worker sweeps every bank
+    /// for its queries, so one fork–join serves the whole batch); each
+    /// result is the merged `(global_row, total_conductance)` winner
+    /// for that query, in query order.
     ///
     /// Banks run ascending and the per-query merge folds in bank
     /// order, so winners (including lowest-index tie-breaks) are
-    /// bit-identical to a sequential sweep.
+    /// bit-identical to a sequential sweep at any thread count.
     ///
     /// # Errors
     ///
     /// The first failing query (in input order) fails the batch.
     pub fn search_batch(&self, queries: &[&[u8]], n_threads: usize) -> Result<Vec<(usize, f64)>> {
-        let mut best: Vec<Option<(usize, f64)>> = vec![None; queries.len()];
-        for (bank_idx, plan) in self.plans.iter().enumerate() {
-            let outcomes = plan.search_batch(queries, n_threads)?;
-            for (slot, outcome) in best.iter_mut().zip(&outcomes) {
-                let local = outcome.best_row();
-                let g = outcome.conductance(local);
-                let global = bank_idx * self.rows_per_bank + local;
-                if slot.is_none_or(|(_, bg)| g < bg) {
-                    *slot = Some((global, g));
+        let plans: Vec<&CompiledMcam<S>> = self.plans.iter().collect();
+        banked_winner_batch(&plans, self.rows_per_bank, queries, n_threads)
+    }
+}
+
+/// Single-query hierarchical winner-take-all over per-bank plans: banks
+/// shard across up to `n_threads` workers, winners merge in ascending
+/// bank order (fixed-order fold, lowest-global-row tie-break).
+pub(crate) fn banked_winner<S: PlaneScalar>(
+    plans: &[&CompiledMcam<S>],
+    rows_per_bank: usize,
+    query: &[u8],
+    n_threads: usize,
+) -> Result<(usize, f64)> {
+    let first = plans.first().expect("at least one bank");
+    first.check_query(query)?;
+    let per_bank = par::par_map(plans, n_threads.min(plans.len()), |_, plan| {
+        let mut acc = vec![S::ZERO; plan.n_rows()];
+        plan.accumulate_rows(query, 0, &mut acc);
+        let (local, g) = argmin(&acc);
+        (local, g.to_f64())
+    });
+    let mut best: Option<(usize, f64)> = None;
+    for (bank_idx, &(local, g)) in per_bank.iter().enumerate() {
+        let global = bank_idx * rows_per_bank + local;
+        if best.is_none_or(|(_, bg)| g < bg) {
+            best = Some((global, g));
+        }
+    }
+    Ok(best.expect("merge over at least one bank"))
+}
+
+/// Batched hierarchical winner-take-all over per-bank plans: contiguous
+/// query groups shard across workers; each worker sweeps banks in
+/// ascending order for its group with one reusable scratch, merging
+/// per-query winners in bank order as it goes.
+pub(crate) fn banked_winner_batch<S: PlaneScalar>(
+    plans: &[&CompiledMcam<S>],
+    rows_per_bank: usize,
+    queries: &[&[u8]],
+    n_threads: usize,
+) -> Result<Vec<(usize, f64)>> {
+    let first = plans.first().expect("at least one bank");
+    for q in queries {
+        first.check_query(q)?;
+    }
+    if queries.is_empty() {
+        return Ok(Vec::new());
+    }
+    let total_rows: usize = plans.iter().map(|p| p.n_rows()).sum();
+    let threads = par::batch_threads(queries.len(), total_rows * first.word_len(), n_threads);
+    let group = queries.len().div_ceil(threads).max(1);
+    let groups: Vec<&[&[u8]]> = queries.chunks(group).collect();
+    let per_group = par::par_map(&groups, threads, |_, group| {
+        let mut scratch = BatchScratch::<S>::new();
+        let mut best: Vec<Option<(usize, f64)>> = vec![None; group.len()];
+        for (bank_idx, plan) in plans.iter().enumerate() {
+            let n = plan.n_rows();
+            let mut done = 0;
+            for block in group.chunks(plan.block_len()) {
+                let acc = scratch.acc(block.len() * n);
+                plan.accumulate_block(block, acc);
+                for qi in 0..block.len() {
+                    let rows = &acc[qi * n..(qi + 1) * n];
+                    let (local, g) = argmin(rows);
+                    let g = g.to_f64();
+                    let global = bank_idx * rows_per_bank + local;
+                    let slot = &mut best[done + qi];
+                    if slot.is_none_or(|(_, bg)| g < bg) {
+                        *slot = Some((global, g));
+                    }
                 }
+                done += block.len();
             }
         }
-        Ok(best
-            .into_iter()
+        best.into_iter()
             .map(|b| b.expect("at least one bank per query"))
-            .collect())
-    }
+            .collect::<Vec<_>>()
+    });
+    Ok(per_group.into_iter().flatten().collect())
 }
 
 /// `f64` ordered by [`f64::total_cmp`] for heap membership.
@@ -420,6 +877,40 @@ impl Ord for TotalF64 {
     }
 }
 
+/// Bounded-heap top-k selection into `out` as ascending
+/// `(index, score)` pairs, reusing the caller's heap and sort scratch.
+/// Ties on score resolve to the lower index, matching a stable
+/// ascending sort; `k >= n` returns all entries fully sorted.
+fn select_top_k<S: PlaneScalar>(
+    scores: &[S],
+    k: usize,
+    heap: &mut BinaryHeap<(TotalF64, usize)>,
+    sorted: &mut Vec<(TotalF64, usize)>,
+    out: &mut Vec<(usize, f64)>,
+) {
+    out.clear();
+    if k == 0 || scores.is_empty() {
+        return;
+    }
+    let k = k.min(scores.len());
+    heap.clear();
+    for (i, &s) in scores.iter().enumerate() {
+        let item = (TotalF64(s.to_f64()), i);
+        if heap.len() < k {
+            heap.push(item);
+        } else if let Some(&worst) = heap.peek() {
+            if item < worst {
+                heap.pop();
+                heap.push(item);
+            }
+        }
+    }
+    sorted.clear();
+    sorted.extend(heap.drain());
+    sorted.sort_unstable();
+    out.extend(sorted.iter().map(|&(g, i)| (i, g.0)));
+}
+
 /// Indices of the `k` smallest scores, ascending by `(score, index)` —
 /// a bounded max-heap selection in `O(n log k)` replacing the previous
 /// full `O(n log n)` sorts on the hot path.
@@ -428,24 +919,11 @@ impl Ord for TotalF64 {
 /// ascending sort; `k >= n` returns all indices fully sorted.
 #[must_use]
 pub fn top_k_indices(scores: &[f64], k: usize) -> Vec<usize> {
-    if k == 0 || scores.is_empty() {
-        return Vec::new();
-    }
-    let k = k.min(scores.len());
-    let mut heap: BinaryHeap<(TotalF64, usize)> = BinaryHeap::with_capacity(k + 1);
-    for (i, &s) in scores.iter().enumerate() {
-        if heap.len() < k {
-            heap.push((TotalF64(s), i));
-        } else if let Some(&(worst, worst_idx)) = heap.peek() {
-            if (TotalF64(s), i) < (worst, worst_idx) {
-                heap.pop();
-                heap.push((TotalF64(s), i));
-            }
-        }
-    }
-    let mut out: Vec<(TotalF64, usize)> = heap.into_vec();
-    out.sort_unstable();
-    out.into_iter().map(|(_, i)| i).collect()
+    let mut heap = BinaryHeap::new();
+    let mut sorted = Vec::new();
+    let mut out = Vec::new();
+    select_top_k(scores, k, &mut heap, &mut sorted, &mut out);
+    out.into_iter().map(|(i, _)| i).collect()
 }
 
 #[cfg(test)]
@@ -472,7 +950,7 @@ mod tests {
             .map(|i| (0..6).map(|c| ((i * 3 + c * 5) % 8) as u8).collect())
             .collect();
         let a = array_with_rows(6, &rows);
-        let plan = CompiledMcam::compile(&a).unwrap();
+        let plan: CompiledMcam = CompiledMcam::compile(&a).unwrap();
         for q in [[0u8, 1, 2, 3, 4, 5], [7, 7, 0, 0, 3, 3], [2, 2, 2, 2, 2, 2]] {
             let scalar = a.search(&q).unwrap();
             let compiled = plan.search(&q).unwrap();
@@ -499,7 +977,7 @@ mod tests {
             a.store(&[i % 8, (i + 1) % 8, (i + 2) % 8, (i + 3) % 8, (i + 5) % 8])
                 .unwrap();
         }
-        let plan = CompiledMcam::compile(&a).unwrap();
+        let plan: CompiledMcam = CompiledMcam::compile(&a).unwrap();
         let q = [4u8, 0, 6, 2, 7];
         assert_eq!(
             a.search(&q).unwrap().conductances(),
@@ -510,7 +988,7 @@ mod tests {
     #[test]
     fn compiled_plan_is_a_snapshot() {
         let mut a = array_with_rows(2, &[vec![0, 0]]);
-        let plan = CompiledMcam::compile(&a).unwrap();
+        let plan: CompiledMcam = CompiledMcam::compile(&a).unwrap();
         a.store(&[7, 7]).unwrap();
         assert_eq!(plan.n_rows(), 1);
         assert_eq!(a.n_rows(), 2);
@@ -520,7 +998,7 @@ mod tests {
     #[test]
     fn compiled_validation_mirrors_scalar_errors() {
         let a = array_with_rows(3, &[vec![1, 2, 3]]);
-        let plan = CompiledMcam::compile(&a).unwrap();
+        let plan: CompiledMcam = CompiledMcam::compile(&a).unwrap();
         assert!(matches!(
             plan.search(&[1, 2]),
             Err(CoreError::WordLengthMismatch {
@@ -538,7 +1016,7 @@ mod tests {
             3,
         );
         assert!(matches!(
-            CompiledMcam::compile(&empty),
+            CompiledMcam::<f64>::compile(&empty),
             Err(CoreError::EmptyArray)
         ));
     }
@@ -549,7 +1027,7 @@ mod tests {
             .map(|i| (0..4).map(|c| ((i * 7 + c) % 8) as u8).collect())
             .collect();
         let a = array_with_rows(4, &rows);
-        let plan = CompiledMcam::compile(&a).unwrap();
+        let plan: CompiledMcam = CompiledMcam::compile(&a).unwrap();
         let q = [3u8, 1, 4, 1];
         let mut inline = vec![0.0; plan.n_rows()];
         plan.search_into(&q, 1, &mut inline).unwrap();
@@ -568,7 +1046,7 @@ mod tests {
     #[test]
     fn batch_results_are_in_query_order_and_first_error_wins() {
         let a = array_with_rows(2, &[vec![0, 0], vec![7, 7], vec![3, 3]]);
-        let plan = CompiledMcam::compile(&a).unwrap();
+        let plan: CompiledMcam = CompiledMcam::compile(&a).unwrap();
         let queries: Vec<Vec<u8>> = vec![vec![0, 0], vec![7, 7], vec![3, 4]];
         let refs: Vec<&[u8]> = queries.iter().map(|q| q.as_slice()).collect();
         let outcomes = plan.search_batch(&refs, 4).unwrap();
@@ -581,6 +1059,71 @@ mod tests {
             plan.search_batch(&bad, 4),
             Err(CoreError::LevelOutOfRange { level: 9, .. })
         ));
+    }
+
+    #[test]
+    fn winners_and_top_k_agree_with_full_outcomes() {
+        let rows: Vec<Vec<u8>> = (0..29)
+            .map(|i| (0..5).map(|c| ((i * 5 + c * 3) % 8) as u8).collect())
+            .collect();
+        let a = array_with_rows(5, &rows);
+        let plan: CompiledMcam = CompiledMcam::compile(&a).unwrap();
+        let queries: Vec<Vec<u8>> = (0..9)
+            .map(|i| (0..5).map(|c| ((i * 7 + c) % 8) as u8).collect())
+            .collect();
+        let refs: Vec<&[u8]> = queries.iter().map(|q| q.as_slice()).collect();
+        let outcomes = plan.search_batch(&refs, 3).unwrap();
+        let winners = plan.search_batch_winners(&refs, 3).unwrap();
+        let top3 = plan.search_batch_top_k(&refs, 3, 3).unwrap();
+        for ((outcome, &(row, g)), hits) in outcomes.iter().zip(&winners).zip(&top3) {
+            assert_eq!(row, outcome.best_row());
+            assert_eq!(g, outcome.conductance(row));
+            let expect: Vec<usize> = outcome.top_k(3);
+            let got: Vec<usize> = hits.iter().map(|&(r, _)| r).collect();
+            assert_eq!(got, expect);
+            for &(r, score) in hits {
+                assert_eq!(score, outcome.conductance(r));
+            }
+        }
+    }
+
+    #[test]
+    fn f32_plan_finds_the_same_easy_winners() {
+        let rows: Vec<Vec<u8>> = (0..23)
+            .map(|i| (0..6).map(|c| ((i * 3 + c * 5) % 8) as u8).collect())
+            .collect();
+        let a = array_with_rows(6, &rows);
+        let plan64 = CompiledMcam::<f64>::compile(&a).unwrap();
+        let plan32 = CompiledMcam::<f32>::compile(&a).unwrap();
+        assert_eq!(plan32.precision(), Precision::F32);
+        for (i, row) in rows.iter().enumerate().take(8) {
+            // Exact-match queries have an unambiguous winner.
+            assert_eq!(plan32.search(row).unwrap().best_row(), i);
+            assert_eq!(plan64.search(row).unwrap().best_row(), i);
+        }
+        // And f32 conductances are close to the f64 reference.
+        let o64 = plan64.search(&rows[0]).unwrap();
+        let o32 = plan32.search(&rows[0]).unwrap();
+        for (a, b) in o64.conductances().iter().zip(o32.conductances()) {
+            assert!((a - b).abs() / a < 1e-5, "f32 drifted: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn plan_cache_compiles_once_and_invalidates() {
+        let mut a = array_with_rows(2, &[vec![0, 0], vec![7, 7]]);
+        let p1 = a.compiled().unwrap();
+        let p2 = a.compiled().unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2), "cache must return the same plan");
+        let f1 = a.compiled_f32().unwrap();
+        assert_eq!(f1.precision(), Precision::F32);
+        a.store(&[3, 3]).unwrap();
+        let p3 = a.compiled().unwrap();
+        assert!(!Arc::ptr_eq(&p1, &p3), "store must invalidate the cache");
+        assert_eq!(p3.n_rows(), 3);
+        let f2 = a.compiled_f32().unwrap();
+        assert!(!Arc::ptr_eq(&f1, &f2));
+        assert_eq!(f2.n_rows(), 3);
     }
 
     #[test]

@@ -20,6 +20,13 @@ use std::num::NonZeroUsize;
 /// microseconds; this many LUT adds take roughly as long).
 pub const PAR_WORK_THRESHOLD: usize = 1 << 15;
 
+/// Target scalar-operation count per forked worker. Thread selection is
+/// work-proportional: a workload only earns its second thread once it
+/// can hand each worker at least this much, so small batches never pay
+/// fork–join overhead they cannot amortize (the PR 1 regression where
+/// `threads=4` was slower than `threads=1` at moderate batch sizes).
+pub const PAR_CHUNK_WORK: usize = 1 << 17;
+
 /// The number of worker threads parallel searches may use:
 /// `FEMCAM_THREADS` when set to a positive integer, otherwise the
 /// machine's available parallelism.
@@ -44,18 +51,48 @@ pub fn worth_parallelizing(work: usize, threads: usize) -> bool {
     threads > 1 && work >= PAR_WORK_THRESHOLD
 }
 
+/// The number of worker threads a workload of `work` scalar operations
+/// actually earns, given that the caller is willing to use up to
+/// `n_threads`.
+///
+/// Three caps compose, and the result is never larger than any of them:
+///
+/// 1. the caller's `n_threads` (an upper bound, not a demand);
+/// 2. [`max_threads`] — oversubscribing a CPU-bound kernel past the
+///    machine's parallelism (or the `FEMCAM_THREADS` override) only adds
+///    scheduler churn;
+/// 3. `work / `[`PAR_CHUNK_WORK`] — each forked worker must receive
+///    enough work to amortize its spawn/join cost.
+///
+/// Work below [`PAR_WORK_THRESHOLD`] always runs inline. Because every
+/// parallel path in this crate is bit-identical at any thread count,
+/// downgrading the requested count changes timing only — never results.
+#[must_use]
+pub fn effective_threads(work: usize, n_threads: usize) -> usize {
+    if n_threads <= 1 || work < PAR_WORK_THRESHOLD {
+        return 1;
+    }
+    n_threads
+        .min(max_threads())
+        .min((work / PAR_CHUNK_WORK).max(1))
+}
+
+/// Worker threads for a batch of `n_queries` queries of
+/// `per_query_work` scalar operations each: [`effective_threads`] on
+/// the total workload, additionally capped by the query count (the
+/// batch paths shard whole queries, never one query's fold).
+#[must_use]
+pub fn batch_threads(n_queries: usize, per_query_work: usize, n_threads: usize) -> usize {
+    effective_threads(n_queries.saturating_mul(per_query_work), n_threads).min(n_queries.max(1))
+}
+
 /// The worker-thread count a workload of `work` scalar operations
-/// justifies: [`max_threads`] when forking pays for itself, else 1
-/// (inline). The single thread-selection policy for every auto-gated
-/// parallel path in this crate.
+/// justifies on its own: [`effective_threads`] with the machine's
+/// [`max_threads`] as the cap. The thread-selection policy for
+/// auto-gated parallel paths in this crate.
 #[must_use]
 pub fn threads_for(work: usize) -> usize {
-    let threads = max_threads();
-    if worth_parallelizing(work, threads) {
-        threads
-    } else {
-        1
-    }
+    effective_threads(work, max_threads())
 }
 
 /// Maps `f` over `items` on up to `n_threads` scoped worker threads and
@@ -173,5 +210,27 @@ mod tests {
         assert!(!worth_parallelizing(10, 8));
         assert!(!worth_parallelizing(1 << 20, 1));
         assert!(worth_parallelizing(1 << 20, 2));
+    }
+
+    #[test]
+    fn effective_threads_is_work_proportional_and_capped() {
+        // Tiny workloads always run inline, whatever is requested.
+        assert_eq!(effective_threads(100, 64), 1);
+        assert_eq!(effective_threads(PAR_WORK_THRESHOLD - 1, 8), 1);
+        // A single caller cap of one means inline.
+        assert_eq!(effective_threads(1 << 30, 1), 1);
+        // Large workloads respect the caller cap and the machine cap.
+        let huge = effective_threads(1 << 30, 2);
+        assert!(huge <= 2 && huge <= max_threads().max(1));
+        // Moderate workloads earn at most work / PAR_CHUNK_WORK workers.
+        assert!(effective_threads(PAR_CHUNK_WORK, 64) <= 1);
+        assert!(effective_threads(3 * PAR_CHUNK_WORK, 64) <= 3);
+    }
+
+    #[test]
+    fn batch_threads_never_exceeds_query_count() {
+        assert_eq!(batch_threads(1, 1 << 30, 64), 1);
+        assert!(batch_threads(2, 1 << 30, 64) <= 2);
+        assert_eq!(batch_threads(0, 1 << 30, 64), 1);
     }
 }

@@ -33,9 +33,9 @@ pub mod prelude {
     pub use femcam_core::{
         accuracy, top_k_indices, AcamArray, AcamCell, BankedMcam, CompiledBanked, CompiledMcam,
         ConductanceLut, Cosine, Distance, DistanceKind, Euclidean, LevelLadder, Linf, McamArray,
-        McamArrayBuilder, McamCell, McamNn, McamSoftware, MlTiming, NnIndex, QuantizeStrategy,
-        Quantizer, SearchOutcome, SenseAmp, SoftwareNn, TcamArray, TcamLshNn, Ternary,
-        VariationSpec,
+        McamArrayBuilder, McamCell, McamNn, McamSoftware, MlTiming, NnIndex, PlaneScalar,
+        Precision, QuantizeStrategy, Quantizer, SearchOutcome, SenseAmp, SoftwareNn, TcamArray,
+        TcamLshNn, Ternary, VariationSpec,
     };
     pub use femcam_data::{
         synth, ClassFeatureSource, Dataset, GlyphClass, GlyphRenderer, PrototypeFeatureModel,

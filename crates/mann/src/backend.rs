@@ -7,8 +7,8 @@
 
 use femcam_core::{ConductanceLut, LevelLadder, McamArray, McamArrayBuilder};
 use femcam_core::{
-    Cosine, DistanceKind, Euclidean, Linf, Manhattan, McamNn, NnIndex, QuantizeStrategy, Quantizer,
-    SoftwareNn, TcamLshNn, VariationSpec,
+    Cosine, DistanceKind, Euclidean, Linf, Manhattan, McamNn, NnIndex, Precision, QuantizeStrategy,
+    Quantizer, SoftwareNn, TcamLshNn, VariationSpec,
 };
 use femcam_device::FefetModel;
 
@@ -29,6 +29,11 @@ pub enum Backend {
         /// Optional measured LUT override (the Fig. 9 experimental
         /// table). Ignored when `variation_sigma > 0`.
         lut: Option<ConductanceLut>,
+        /// Execution precision of the compiled search kernel
+        /// ([`Precision::F64`] = bit-identical reference,
+        /// [`Precision::F32`] = opt-in fast mode; see
+        /// `femcam_core::exec`'s "Precision modes").
+        precision: Precision,
     },
     /// The TCAM+LSH baseline.
     TcamLsh {
@@ -64,6 +69,21 @@ impl Backend {
             strategy: QuantizeStrategy::PerFeatureQuantile,
             variation_sigma: 0.0,
             lut: None,
+            precision: Precision::F64,
+        }
+    }
+
+    /// Nominal MCAM backend running the opt-in `f32` fast kernel
+    /// (reduced-precision match-line evaluation; the accuracy contract
+    /// is documented in `femcam_core::exec`).
+    #[must_use]
+    pub fn mcam_f32(bits: u8) -> Self {
+        Backend::Mcam {
+            bits,
+            strategy: QuantizeStrategy::PerFeatureQuantile,
+            variation_sigma: 0.0,
+            lut: None,
+            precision: Precision::F32,
         }
     }
 
@@ -75,6 +95,7 @@ impl Backend {
             strategy: QuantizeStrategy::PerFeatureQuantile,
             variation_sigma: sigma_v,
             lut: None,
+            precision: Precision::F64,
         }
     }
 
@@ -86,6 +107,7 @@ impl Backend {
             strategy: QuantizeStrategy::PerFeatureQuantile,
             variation_sigma: 0.0,
             lut: Some(lut),
+            precision: Precision::F64,
         }
     }
 
@@ -106,6 +128,7 @@ impl Backend {
                 bits,
                 variation_sigma,
                 lut,
+                precision,
                 ..
             } => {
                 let mut n = format!("mcam-{bits}bit");
@@ -114,6 +137,9 @@ impl Backend {
                 }
                 if lut.is_some() {
                     n.push_str("-exp");
+                }
+                if *precision == Precision::F32 {
+                    n.push_str("-f32");
                 }
                 n
             }
@@ -153,6 +179,7 @@ impl Backend {
                 strategy,
                 variation_sigma,
                 lut,
+                precision,
             } => {
                 let ladder = LevelLadder::new(*bits)?;
                 let quantizer = Quantizer::fit(
@@ -179,7 +206,9 @@ impl Backend {
                 } else {
                     McamArray::new(ladder, nominal_lut, dims)
                 };
-                Ok(Box::new(McamNn::new(quantizer, array)?))
+                Ok(Box::new(
+                    McamNn::new(quantizer, array)?.with_precision(*precision),
+                ))
             }
             Backend::TcamLsh { signature_bits } => {
                 let bits = signature_bits.unwrap_or(dims);
@@ -253,6 +282,31 @@ mod tests {
             idx.add(&[1.0, 0.0, 0.5, -1.0], 1).unwrap();
             let r = idx.query(&[0.95, 0.05, 0.45, -0.9]).unwrap();
             assert_eq!(r.label, 1, "{} misclassified an easy query", backend.name());
+        }
+    }
+
+    #[test]
+    fn f32_backend_builds_and_classifies_like_f64() {
+        let model = FefetModel::default();
+        let cal = calibration_data();
+        let cal_refs: Vec<&[f32]> = cal.iter().map(|r| r.as_slice()).collect();
+        let backend = Backend::mcam_f32(3);
+        assert_eq!(backend.name(), "mcam-3bit-f32");
+        let mut fast = backend.build_index(&cal_refs, 4, 1, &model).unwrap();
+        let mut reference = Backend::mcam(3)
+            .build_index(&cal_refs, 4, 1, &model)
+            .unwrap();
+        for idx in [&mut fast, &mut reference] {
+            idx.add(&[0.0, 1.0, 0.0, 0.0], 0).unwrap();
+            idx.add(&[1.0, 0.0, 0.5, -1.0], 1).unwrap();
+        }
+        // Far-apart queries classify identically; scores agree to the
+        // f32 accuracy contract (relative ~1e-7 per cell, 4 cells).
+        for q in [[0.95f32, 0.05, 0.45, -0.9], [0.0, 0.9, 0.05, 0.0]] {
+            let f = fast.query(&q).unwrap();
+            let r = reference.query(&q).unwrap();
+            assert_eq!(f.label, r.label);
+            assert!(((f.score - r.score) / r.score).abs() < 1e-5);
         }
     }
 

@@ -29,6 +29,7 @@ fn probe_noise_sigma() {
                     strategy: QuantizeStrategy::PerFeatureQuantile,
                     variation_sigma: 0.0,
                     lut: None,
+                    precision: femcam_core::Precision::F64,
                 },
                 &cfg,
             )
@@ -41,6 +42,7 @@ fn probe_noise_sigma() {
                     strategy: QuantizeStrategy::PerFeatureQuantile,
                     variation_sigma: 0.0,
                     lut: None,
+                    precision: femcam_core::Precision::F64,
                 },
                 &cfg,
             )

@@ -75,9 +75,10 @@ fn main() -> femcam_core::Result<()> {
         outcome.best_row()
     );
 
-    // 7. Batched execution: a query set compiles into one plane-major
-    //    plan and runs through the parallel executor — results are
-    //    bit-identical to the scalar search above.
+    // 7. Batched execution: the array lazily compiles (and caches) a
+    //    plane-major plan and runs the query set through the parallel
+    //    executor — results are bit-identical to the scalar search
+    //    above, and the cached plan is reused until the next store.
     let levels: Vec<Vec<u8>> = vectors
         .iter()
         .map(|v| quantizer.quantize(v))
