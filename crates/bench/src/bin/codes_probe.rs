@@ -1,0 +1,63 @@
+//! Micro-probe for the packed-code kernel: times the f32 plane plan
+//! against the codes plan on one flat sweep-geometry array, per batch
+//! size, so kernel work (no banking, no merge) can be compared in
+//! isolation while tuning tile/block constants.
+//!
+//! ```sh
+//! cargo run --release -p femcam-bench --bin codes_probe
+//! ```
+
+use std::time::Instant;
+
+use femcam_core::{CompiledCodes, CompiledMcam, ConductanceLut, LevelLadder, McamArray};
+use femcam_device::FefetModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ROWS: usize = 4096;
+const WORD_LEN: usize = 64;
+
+fn time_per_query<F: FnMut()>(batch: usize, mut f: F) -> f64 {
+    f();
+    let start = Instant::now();
+    let mut calls = 0;
+    while calls < 3 || start.elapsed().as_millis() < 400 {
+        f();
+        calls += 1;
+    }
+    start.elapsed().as_nanos() as f64 / (calls * batch) as f64
+}
+
+fn main() {
+    let ladder = LevelLadder::new(3).unwrap();
+    let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut array = McamArray::new(ladder, lut, WORD_LEN);
+    for _ in 0..ROWS {
+        let word: Vec<u8> = (0..WORD_LEN).map(|_| rng.gen_range(0..8u8)).collect();
+        array.store(&word).unwrap();
+    }
+    let queries: Vec<Vec<u8>> = (0..1024)
+        .map(|_| (0..WORD_LEN).map(|_| rng.gen_range(0..8u8)).collect())
+        .collect();
+    let plan32 = CompiledMcam::<f32>::compile(&array).unwrap();
+    let codes = CompiledCodes::compile(&array).unwrap();
+    println!(
+        "flat {ROWS}x{WORD_LEN} 3-bit; plan bytes: f32 {} codes {}",
+        plan32.plan_bytes(),
+        codes.plan_bytes()
+    );
+    for batch in [64usize, 256, 1024] {
+        let refs: Vec<&[u8]> = queries[..batch].iter().map(|q| q.as_slice()).collect();
+        let ns32 = time_per_query(batch, || {
+            std::hint::black_box(plan32.search_batch_winners(&refs, 1).unwrap());
+        });
+        let ns_codes = time_per_query(batch, || {
+            std::hint::black_box(codes.search_batch_winners(&refs, 1).unwrap());
+        });
+        println!(
+            "batch {batch:4}: f32 {ns32:9.0} ns/q  codes {ns_codes:9.0} ns/q  ratio {:.2}x",
+            ns32 / ns_codes
+        );
+    }
+}

@@ -22,7 +22,9 @@ use std::sync::Arc;
 
 use crate::cell::McamCell;
 use crate::error::CoreError;
-use crate::exec::{self, CompiledMcam, PlanCache, PlaneScalar, Precision};
+use crate::exec::{
+    self, CodesDispatch, CompiledMcam, PlanCache, PlanMemoryBytes, PlaneScalar, Precision,
+};
 use crate::levels::LevelLadder;
 use crate::lut::ConductanceLut;
 use crate::par;
@@ -334,6 +336,16 @@ impl McamArray {
         self.states.is_empty()
     }
 
+    /// Whether stored cells carry individually realized conductances
+    /// (device variation) instead of sharing the nominal LUT.
+    /// Shared-LUT arrays are eligible for the packed-code execution
+    /// mode ([`Precision::Codes`]); per-cell arrays transparently fall
+    /// back to the `f32` plane kernel there.
+    #[must_use]
+    pub fn has_per_cell_bank(&self) -> bool {
+        matches!(self.bank, Bank::PerCell(_))
+    }
+
     /// Stored states of row `r`.
     ///
     /// # Panics
@@ -513,6 +525,32 @@ impl McamArray {
         self.cached_plan::<f32>()
     }
 
+    /// The cached codes-mode execution engine ([`Precision::Codes`]):
+    /// the byte-packed LUT-gather plan on shared-LUT arrays, or the
+    /// `f32` plane plan on per-cell (variation) arrays — the dispatch
+    /// is transparent ([`CodesDispatch::is_packed`] tells you which).
+    /// Every [`store`](Self::store) invalidates the cache. Unlike the
+    /// `f64` path there is no cold-cache scalar fallback: compiling a
+    /// code plan costs about one scalar query
+    /// ([`exec::CODES_COMPILE_THRESHOLD`] is 1), so even a lone query
+    /// compiles eagerly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyArray`] if nothing is stored.
+    pub fn compiled_codes(&self) -> Result<CodesDispatch> {
+        self.plans.get_or_compile_codes(self)
+    }
+
+    /// Resident bytes of the cached compiled plans, one field per
+    /// precision slot (0 = slot cold) — serving-layer backpressure can
+    /// budget node memory against this (see
+    /// [`exec::PlanMemoryBytes`]).
+    #[must_use]
+    pub fn plan_memory_bytes(&self) -> PlanMemoryBytes {
+        self.plans.memory_bytes()
+    }
+
     /// The `f64` plan the current workload should execute on: the
     /// cached plan when warm (reusing it is free), a fresh cached
     /// compile when `batch` queries amortize the `n_levels` plane
@@ -546,6 +584,7 @@ impl McamArray {
                 None => self.search(query),
             },
             Precision::F32 => self.compiled_f32()?.search(query),
+            Precision::Codes => self.compiled_codes()?.search(query),
         }
     }
 
@@ -588,6 +627,7 @@ impl McamArray {
                 None => queries.iter().map(|q| self.search(q)).collect(),
             },
             Precision::F32 => self.compiled_f32()?.search_batch(queries, threads),
+            Precision::Codes => self.compiled_codes()?.search_batch(queries, threads),
         }
     }
 
@@ -620,6 +660,9 @@ impl McamArray {
                     .collect(),
             },
             Precision::F32 => self.compiled_f32()?.search_batch_winners(queries, threads),
+            Precision::Codes => self
+                .compiled_codes()?
+                .search_batch_winners(queries, threads),
         }
     }
 
@@ -656,6 +699,9 @@ impl McamArray {
                     .collect(),
             },
             Precision::F32 => self.compiled_f32()?.search_batch_top_k(queries, k, threads),
+            Precision::Codes => self
+                .compiled_codes()?
+                .search_batch_top_k(queries, k, threads),
         }
     }
 

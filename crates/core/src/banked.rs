@@ -16,7 +16,10 @@ use std::sync::Arc;
 
 use crate::array::{McamArray, McamArrayBuilder, SearchOutcome};
 use crate::error::CoreError;
-use crate::exec::{self, CompiledBanked, CompiledMcam, PlaneScalar, Precision};
+use crate::exec::{
+    self, CodesDispatch, CompiledBanked, CompiledBankedCodes, CompiledMcam, PlanMemoryBytes,
+    PlaneScalar, Precision,
+};
 use crate::levels::LevelLadder;
 use crate::lut::ConductanceLut;
 use crate::par;
@@ -188,6 +191,35 @@ impl BankedMcam {
         exec::banked_winner_batch(&refs, self.rows_per_bank, queries, par::max_threads())
     }
 
+    /// The per-bank cached codes-mode engines ([`Precision::Codes`]):
+    /// packed-code plans on shared-LUT banks, transparent `f32` plane
+    /// fallbacks otherwise, each invalidated only when its own bank
+    /// mutates. Codes plans compile eagerly — no cold-cache
+    /// amortization gate, because compiling one costs about one scalar
+    /// query over the bank ([`exec::CODES_COMPILE_THRESHOLD`]).
+    fn codes_bank_plans(&self) -> Result<Vec<CodesDispatch>> {
+        if self.is_empty() {
+            return Err(CoreError::EmptyArray);
+        }
+        self.banks.iter().map(McamArray::compiled_codes).collect()
+    }
+
+    fn search_codes(&self, query: &[u8]) -> Result<(usize, f64)> {
+        let plans = self.codes_bank_plans()?;
+        let refs: Vec<&CodesDispatch> = plans.iter().collect();
+        // Work is summed per bank by what each dispatch actually
+        // executes (codes discount for packed banks, full plane cost
+        // for variation fallbacks).
+        let threads = par::threads_for(exec::banked_work_per_query(&refs));
+        exec::banked_winner_kernel(&refs, self.rows_per_bank, query, threads)
+    }
+
+    fn search_batch_codes(&self, queries: &[&[u8]]) -> Result<Vec<(usize, f64)>> {
+        let plans = self.codes_bank_plans()?;
+        let refs: Vec<&CodesDispatch> = plans.iter().collect();
+        exec::banked_winner_batch_kernel(&refs, self.rows_per_bank, queries, par::max_threads())
+    }
+
     /// Searches every bank — through the cached per-bank compiled
     /// plans, sharded across worker threads when the array is large
     /// enough to justify forking — and merges the per-bank winners in
@@ -223,6 +255,7 @@ impl BankedMcam {
         match precision {
             Precision::F64 => self.search(query),
             Precision::F32 => self.search_impl::<f32>(query),
+            Precision::Codes => self.search_codes(query),
         }
     }
 
@@ -269,6 +302,7 @@ impl BankedMcam {
         match precision {
             Precision::F64 => self.search_batch(queries),
             Precision::F32 => self.search_batch_impl::<f32>(queries),
+            Precision::Codes => self.search_batch_codes(queries),
         }
     }
 
@@ -292,6 +326,30 @@ impl BankedMcam {
     /// Returns [`CoreError::EmptyArray`] if nothing is stored.
     pub fn compile_f32(&self) -> Result<CompiledBanked<f32>> {
         CompiledBanked::<f32>::compile(&self.banks, self.rows_per_bank)
+    }
+
+    /// Like [`compile`](Self::compile) in the packed-code mode
+    /// ([`Precision::Codes`]; see [`crate::exec`]'s "Codes mode") —
+    /// bit-identical to [`compile_f32`](Self::compile_f32) results on
+    /// shared-LUT banks at a fraction of the resident bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyArray`] if nothing is stored.
+    pub fn compile_codes(&self) -> Result<CompiledBankedCodes> {
+        CompiledBankedCodes::compile(&self.banks, self.rows_per_bank)
+    }
+
+    /// Resident bytes of every bank's cached compiled plans, summed per
+    /// precision slot — the multi-bank face of
+    /// [`McamArray::plan_memory_bytes`].
+    #[must_use]
+    pub fn plan_memory_bytes(&self) -> PlanMemoryBytes {
+        let mut total = PlanMemoryBytes::default();
+        for bank in &self.banks {
+            total += bank.plan_memory_bytes();
+        }
+        total
     }
 
     /// Worker threads justified by the current total search workload.
@@ -407,6 +465,48 @@ mod tests {
         for q in [[0u8, 0, 0, 0], [3, 3, 3, 3], [1, 2, 1, 2]] {
             assert_eq!(plan.search(&q, 2).unwrap(), banked.search(&q).unwrap());
         }
+    }
+
+    #[test]
+    fn codes_mode_matches_f32_across_banked_entry_points() {
+        let ladder = LevelLadder::new(3).unwrap();
+        let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+        let mut banked = BankedMcam::new(ladder, lut, 8, 16);
+        let mut rng = StdRng::seed_from_u64(33);
+        for _ in 0..40 {
+            let word: Vec<u8> = (0..8).map(|_| rng.gen_range(0..8)).collect();
+            banked.store(&word).unwrap();
+        }
+        let queries: Vec<Vec<u8>> = (0..12)
+            .map(|_| (0..8).map(|_| rng.gen_range(0..8)).collect())
+            .collect();
+        let refs: Vec<&[u8]> = queries.iter().map(|q| q.as_slice()).collect();
+        // Cached front door: codes batch == f32 batch, bit-identical.
+        let codes = banked.search_batch_with(&refs, Precision::Codes).unwrap();
+        let f32s = banked.search_batch_with(&refs, Precision::F32).unwrap();
+        assert_eq!(codes, f32s);
+        // Single-query front door agrees too.
+        for q in &refs {
+            assert_eq!(
+                banked.search_with(q, Precision::Codes).unwrap(),
+                banked.search_with(q, Precision::F32).unwrap(),
+            );
+        }
+        // Explicit snapshot plan: same winners, small resident bytes.
+        let plan = banked.compile_codes().unwrap();
+        assert_eq!(plan.n_banks(), banked.n_banks());
+        assert_eq!(plan.n_rows(), banked.n_rows());
+        assert_eq!(plan.precision(), Precision::Codes);
+        assert_eq!(plan.search_batch(&refs, 2).unwrap(), codes);
+        assert_eq!(plan.search(refs[0], 2).unwrap(), codes[0]);
+        let f64_plan = banked.compile().unwrap();
+        assert!(f64_plan.plan_bytes() >= 16 * plan.plan_bytes());
+        // Cached per-bank plan memory introspection sums across banks
+        // (codes + f32 slots are warm after the searches above).
+        let mem = banked.plan_memory_bytes();
+        assert!(mem.codes > 0 && mem.f32_plane > 0);
+        assert_eq!(mem.f64_plane, 0);
+        assert_eq!(mem.total(), mem.codes + mem.f32_plane);
     }
 
     #[test]

@@ -314,7 +314,10 @@ impl McamNn {
     /// Selects the execution precision for all query paths.
     /// [`Precision::F32`] opts into the fast plane kernel (roughly 2×
     /// on the bandwidth-bound hot loop) under the accuracy contract
-    /// documented in [`crate::exec`]'s "Precision modes".
+    /// documented in [`crate::exec`]'s "Precision modes";
+    /// [`Precision::Codes`] opts into the byte-packed LUT-gather kernel
+    /// (bit-identical to `F32` on shared-LUT arrays, transparent `f32`
+    /// fallback under device variation — see "Codes mode" there).
     pub fn set_precision(&mut self, precision: Precision) {
         self.precision = precision;
     }
@@ -506,6 +509,7 @@ impl NnIndex for McamNn {
         let suffix = match self.precision {
             Precision::F64 => "",
             Precision::F32 => "-f32",
+            Precision::Codes => "-codes",
         };
         format!("mcam-{}bit{}", self.array.ladder().bits(), suffix)
     }

@@ -31,6 +31,14 @@ pub enum CoreError {
     },
     /// A search was issued against an array with no stored rows.
     EmptyArray,
+    /// A packed-code plan was requested for an array whose cells carry
+    /// individually realized conductances (device variation), which a
+    /// shared-LUT code plan cannot represent. The cached entry points
+    /// never produce this error — they transparently fall back to the
+    /// `f32` plane plan; only an explicit
+    /// [`CompiledCodes::compile`](crate::exec::CompiledCodes::compile)
+    /// can surface it.
+    PerCellBank,
     /// A quantizer was used before fitting, or fitted on no data.
     QuantizerNotFitted,
     /// Input feature dimensionality does not match the engine.
@@ -66,6 +74,11 @@ impl fmt::Display for CoreError {
                 write!(f, "bit width {bits} not supported (expected 1..=6)")
             }
             CoreError::EmptyArray => write!(f, "search issued against an empty array"),
+            CoreError::PerCellBank => write!(
+                f,
+                "packed-code plan requires a shared-LUT array \
+                 (this array realizes per-cell conductances)"
+            ),
             CoreError::QuantizerNotFitted => {
                 write!(f, "quantizer must be fitted on nonempty data before use")
             }
@@ -117,6 +130,7 @@ mod tests {
             CoreError::LevelOutOfRange { level: 9, max: 7 },
             CoreError::UnsupportedBitWidth { bits: 9 },
             CoreError::EmptyArray,
+            CoreError::PerCellBank,
             CoreError::QuantizerNotFitted,
             CoreError::DimensionMismatch {
                 expected: 64,

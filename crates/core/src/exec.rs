@@ -66,9 +66,50 @@
 //!   modes; in `f32` mode they are exact widenings of the `f32`
 //!   accumulators.
 //!
-//! Callers pick a mode either statically (`CompiledMcam::<f32>`) or at
-//! run time through the [`Precision`] knob on the cached-plan entry
-//! points ([`McamArray::search_batch_with`],
+//! ## Codes mode
+//!
+//! **[`Precision::Codes`]** is the *bandwidth-floor* mode for
+//! shared-LUT arrays. The MCAM stores discrete levels — 4–16
+//! conductance states per cell — yet the plane modes above materialize
+//! one dense scalar plane per input level (`n_levels × word_len ×
+//! n_rows` scalars). [`CompiledCodes`] instead keeps the array as
+//! **byte-packed level codes** (`codes[column][row] = stored_level`,
+//! one byte per cell, independent of `n_levels`) plus the shared
+//! `n_levels × n_levels` conductance LUT rounded to `f32`. Per column,
+//! the query level selects one `n_levels`-entry LUT row — a tiny
+//! L1-resident gather table — and the inner loop is a unit-stride
+//! `table[code[row]]` gather-accumulate, streaming 1 byte per cell
+//! where the `f32` planes stream 4 and the `f64` planes 8×`n_levels`
+//! resident.
+//!
+//! **Exactness contract:** on shared-LUT arrays the gathered values are
+//! the very same `f32` roundings the `f32` planes hold, and each row
+//! folds them in the same ascending column order into an `f32`
+//! accumulator — so codes results are **bit-identical to
+//! [`Precision::F32`]**, not merely close, and the `f32` accuracy
+//! contract above applies verbatim. `tests/precision_props.rs` pins
+//! this bit-identity.
+//!
+//! **When fallback triggers:** arrays realized with device variation
+//! ([`crate::array::VariationSpec`]) carry per-cell conductances that
+//! no shared LUT can represent. The cached entry points detect this and
+//! transparently execute the `f32` plane plan instead; the
+//! [`CodesDispatch`] an array hands back tells you which engine served
+//! you. An explicit [`CompiledCodes::compile`] on such an array returns
+//! [`CoreError::PerCellBank`].
+//!
+//! Resident plan memory drops from `n_levels × word_len × n_rows`
+//! scalars to `word_len × n_rows` bytes (plus a negligible LUT) — 64×
+//! below the `f64` planes on the 3-bit ladder — which is what lets one
+//! node keep millions of rows compiled
+//! ([`McamArray::plan_memory_bytes`] exposes the per-slot budget).
+//! Compiling a code plan costs roughly one scalar query (one byte write
+//! per cell), so even a lone cold-cache query amortizes it
+//! ([`CODES_COMPILE_THRESHOLD`]).
+//!
+//! Callers pick a mode either statically (`CompiledMcam::<f32>`,
+//! [`CompiledCodes`]) or at run time through the [`Precision`] knob on
+//! the cached-plan entry points ([`McamArray::search_batch_with`],
 //! [`crate::engines::McamNn::set_precision`]).
 //!
 //! # Cached, auto-recompiling plans
@@ -121,18 +162,43 @@ pub enum Precision {
     /// `f32` planes and accumulators — roughly 2× faster on the
     /// bandwidth-bound kernel, with the documented accuracy contract.
     F32,
+    /// Byte-packed level codes plus the shared `f32` LUT — the
+    /// lowest-bandwidth mode: bit-identical to [`Precision::F32`] on
+    /// shared-LUT arrays, transparent `f32` plane fallback under device
+    /// variation (see the
+    /// [module-level "Codes mode"](self#codes-mode)).
+    Codes,
 }
 
 impl Precision {
-    /// Short lowercase name (`"f64"` / `"f32"`).
+    /// Short lowercase name (`"f64"` / `"f32"` / `"codes"`).
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             Precision::F64 => "f64",
             Precision::F32 => "f32",
+            Precision::Codes => "codes",
         }
     }
 }
+
+/// Cold-cache amortization threshold for [`Precision::Codes`]: the
+/// batch size from which compiling a packed-code plan pays for itself.
+///
+/// Compiling costs one pass over the stored cells (a byte write per
+/// cell) plus an `n_levels × n_levels` LUT round-trip — about the cost
+/// of ONE scalar query over the same cells — so a single query already
+/// amortizes it. This is why the codes entry points compile eagerly, in
+/// contrast to the cached `f64` path whose compile costs `n_levels`
+/// full plane fills (hence its `n_levels`-query threshold before a cold
+/// cache stops falling back to the scalar path).
+///
+/// This constant *documents* that decision (and is pinned by tests); a
+/// threshold of 1 means "always compile", which the entry points
+/// implement by compiling unconditionally — editing this value alone
+/// changes nothing without also gating
+/// [`McamArray::compiled_codes`](crate::McamArray::compiled_codes).
+pub const CODES_COMPILE_THRESHOLD: usize = 1;
 
 mod sealed {
     pub trait Sealed {}
@@ -230,6 +296,7 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 pub struct PlanCache {
     f64_plan: Mutex<Option<Arc<CompiledMcam<f64>>>>,
     f32_plan: Mutex<Option<Arc<CompiledMcam<f32>>>>,
+    codes_plan: Mutex<Option<Arc<CompiledCodes>>>,
 }
 
 impl PlanCache {
@@ -260,6 +327,48 @@ impl PlanCache {
         lock(S::plan_slot(self)).as_ref().map(Arc::clone)
     }
 
+    /// The codes-mode execution engine for `array`, compiling and
+    /// caching on a miss. This is where the codes-mode dispatch lives:
+    /// shared-LUT arrays get the packed-code plan (cached in the codes
+    /// slot); per-cell (variation) arrays transparently fall back to
+    /// the cached `f32` plane plan — see the
+    /// [module-level "Codes mode"](self#codes-mode).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile failures (the slot stays empty).
+    pub fn get_or_compile_codes(&self, array: &McamArray) -> Result<CodesDispatch> {
+        if array.has_per_cell_bank() {
+            return Ok(CodesDispatch::Planes(self.get_or_compile::<f32>(array)?));
+        }
+        let mut slot = lock(&self.codes_plan);
+        if let Some(plan) = slot.as_ref() {
+            return Ok(CodesDispatch::Packed(Arc::clone(plan)));
+        }
+        let plan = Arc::new(CompiledCodes::compile(array)?);
+        *slot = Some(Arc::clone(&plan));
+        Ok(CodesDispatch::Packed(plan))
+    }
+
+    /// The cached packed-code plan if one is currently compiled,
+    /// without compiling on a miss.
+    pub fn cached_codes(&self) -> Option<Arc<CompiledCodes>> {
+        lock(&self.codes_plan).as_ref().map(Arc::clone)
+    }
+
+    /// Resident bytes of each cached plan slot (0 = slot empty) — the
+    /// introspection behind [`McamArray::plan_memory_bytes`].
+    #[must_use]
+    pub fn memory_bytes(&self) -> PlanMemoryBytes {
+        PlanMemoryBytes {
+            f64_plane: lock(&self.f64_plan).as_ref().map_or(0, |p| p.plan_bytes()),
+            f32_plane: lock(&self.f32_plan).as_ref().map_or(0, |p| p.plan_bytes()),
+            codes: lock(&self.codes_plan)
+                .as_ref()
+                .map_or(0, |p| p.plan_bytes()),
+        }
+    }
+
     /// Drops every cached plan; the next search recompiles.
     pub fn invalidate(&mut self) {
         *self
@@ -270,6 +379,43 @@ impl PlanCache {
             .f32_plan
             .get_mut()
             .unwrap_or_else(PoisonError::into_inner) = None;
+        *self
+            .codes_plan
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner) = None;
+    }
+}
+
+/// Resident bytes of an array's cached compiled plans, one field per
+/// [`PlanCache`] slot (0 = slot empty / never compiled). Serving-layer
+/// backpressure can budget node memory against
+/// [`total`](Self::total); the per-slot split shows what switching
+/// modes buys (codes plans are `n_levels × size_of::<f64>()` ≈ 64×
+/// smaller than `f64` planes on the 3-bit ladder).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PlanMemoryBytes {
+    /// Bytes held by the cached `f64` plane plan.
+    pub f64_plane: usize,
+    /// Bytes held by the cached `f32` plane plan.
+    pub f32_plane: usize,
+    /// Bytes held by the cached packed-code plan (codes + `f32` LUT).
+    pub codes: usize,
+}
+
+impl PlanMemoryBytes {
+    /// Total resident plan bytes across all slots.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.f64_plane + self.f32_plane + self.codes
+    }
+}
+
+impl std::ops::AddAssign for PlanMemoryBytes {
+    fn add_assign(&mut self, rhs: Self) {
+        self.f64_plane += rhs.f64_plane;
+        self.f32_plane += rhs.f32_plane;
+        self.codes += rhs.codes;
     }
 }
 
@@ -280,6 +426,9 @@ impl PlanCache {
 #[derive(Debug)]
 struct BatchScratch<S> {
     acc: Vec<S>,
+    /// Kernel-private auxiliary slab (the codes kernel's per-block
+    /// level-expansion panel); plane kernels leave it empty.
+    aux: Vec<S>,
     heap: BinaryHeap<(TotalF64, usize)>,
     sorted: Vec<(TotalF64, usize)>,
 }
@@ -288,18 +437,53 @@ impl<S: PlaneScalar> BatchScratch<S> {
     fn new() -> Self {
         BatchScratch {
             acc: Vec::new(),
+            aux: Vec::new(),
             heap: BinaryHeap::new(),
             sorted: Vec::new(),
         }
     }
+}
 
-    /// A zero-filled accumulator slab of at least `len` scalars.
-    fn acc(&mut self, len: usize) -> &mut [S] {
-        if self.acc.len() < len {
-            self.acc.resize(len, S::ZERO);
-        }
-        &mut self.acc[..len]
+/// Validates one query against a snapshot's geometry — the single
+/// definition every kernel's `check_query` delegates to.
+fn validate_query(word_len: usize, n_levels: usize, query: &[u8]) -> Result<()> {
+    if query.len() != word_len {
+        return Err(CoreError::WordLengthMismatch {
+            expected: word_len,
+            actual: query.len(),
+        });
     }
+    for &q in query {
+        if q as usize >= n_levels {
+            return Err(CoreError::LevelOutOfRange {
+                level: q,
+                max: (n_levels - 1) as u8,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Row-sharded single-query execution: splits `out` into one contiguous
+/// row chunk per worker (at most `n_threads`) and runs
+/// `accumulate(row_start, chunk)` on each — the shared sharding policy
+/// of the plane and codes single-query paths.
+fn shard_rows<S: Send, F>(n_rows: usize, n_threads: usize, out: &mut [S], accumulate: F)
+where
+    F: Fn(usize, &mut [S]) + Sync,
+{
+    if n_threads <= 1 || n_rows <= 1 {
+        accumulate(0, out);
+        return;
+    }
+    let threads = n_threads.min(n_rows);
+    let chunk = n_rows.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let accumulate = &accumulate;
+        for (chunk_idx, slice) in out.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || accumulate(chunk_idx * chunk, slice));
+        }
+    });
 }
 
 /// A query plan: the read-only, plane-major execution image of one
@@ -357,6 +541,24 @@ const ROW_TILE_BYTES: usize = 16 * 1024;
 /// Accumulator budget per block: `block_len × row_tile` accumulators
 /// stay within a comfortable slice of L2 alongside the plane panels.
 const ACC_BUDGET_BYTES: usize = 256 * 1024;
+
+/// Budget for the codes kernel's per-tile expansion slab
+/// (`word_len × n_levels × row_tile` f32): the on-the-fly tile plane
+/// every query in a block reads from. Sized to sit in L2 — the point of
+/// the codes mode is that this slab is rebuilt from 1-byte codes per
+/// tile instead of streamed from an `n_levels`-times-larger resident
+/// plan.
+const CODES_EXPAND_BUDGET_BYTES: usize = 512 * 1024;
+
+/// Rows per register-blocked sub-tile of the codes serve loop: the
+/// running sums fit in the vector register file, so the column sweep
+/// never spills the accumulator.
+const SERVE_SUB: usize = 32;
+
+/// Bytes of one widened-index tile slab in the AVX2 codes fast path
+/// (`word_len × tile` dword indices): sized to stay L1-resident while
+/// every query in the block reads it back.
+const CODES_IDX_SLAB_BYTES: usize = 16 * 1024;
 
 impl<S: PlaneScalar> CompiledMcam<S> {
     /// Compiles the array's current contents into a plane-major plan.
@@ -425,22 +627,14 @@ impl<S: PlaneScalar> CompiledMcam<S> {
         S::PRECISION
     }
 
+    /// Resident bytes of this plan's conductance planes.
+    #[must_use]
+    pub fn plan_bytes(&self) -> usize {
+        std::mem::size_of_val(self.planes.as_slice())
+    }
+
     pub(crate) fn check_query(&self, query: &[u8]) -> Result<()> {
-        if query.len() != self.word_len {
-            return Err(CoreError::WordLengthMismatch {
-                expected: self.word_len,
-                actual: query.len(),
-            });
-        }
-        for &q in query {
-            if q as usize >= self.n_levels {
-                return Err(CoreError::LevelOutOfRange {
-                    level: q,
-                    max: (self.n_levels - 1) as u8,
-                });
-            }
-        }
-        Ok(())
+        validate_query(self.word_len, self.n_levels, query)
     }
 
     /// Accumulates the query into `out[..]` for rows
@@ -506,16 +700,8 @@ impl<S: PlaneScalar> CompiledMcam<S> {
     /// scalars), forking onto exactly `n_threads` row chunks when
     /// `n_threads > 1`.
     fn accumulate_sharded(&self, query: &[u8], n_threads: usize, out: &mut [S]) {
-        if n_threads <= 1 || self.n_rows <= 1 {
-            self.accumulate_rows(query, 0, out);
-            return;
-        }
-        let threads = n_threads.min(self.n_rows);
-        let chunk = self.n_rows.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (chunk_idx, slice) in out.chunks_mut(chunk).enumerate() {
-                scope.spawn(move || self.accumulate_rows(query, chunk_idx * chunk, slice));
-            }
+        shard_rows(self.n_rows, n_threads, out, |row_start, slice| {
+            self.accumulate_rows(query, row_start, slice);
         });
     }
 
@@ -538,17 +724,6 @@ impl<S: PlaneScalar> CompiledMcam<S> {
         ))
     }
 
-    /// Splits `queries` into one contiguous group per earned worker.
-    fn query_groups<'q, 'a>(
-        &self,
-        queries: &'q [&'a [u8]],
-        n_threads: usize,
-    ) -> (Vec<&'q [&'a [u8]]>, usize) {
-        let threads = par::batch_threads(queries.len(), self.n_rows * self.word_len, n_threads);
-        let group = queries.len().div_ceil(threads).max(1);
-        (queries.chunks(group).collect(), threads)
-    }
-
     /// Executes a batch of queries through the tiled block kernel,
     /// sharding contiguous query groups across workers. `n_threads` is
     /// an upper bound: the kernel forks only as many workers as the
@@ -562,29 +737,7 @@ impl<S: PlaneScalar> CompiledMcam<S> {
     ///
     /// Same per-query conditions as [`search`](Self::search).
     pub fn search_batch(&self, queries: &[&[u8]], n_threads: usize) -> Result<Vec<SearchOutcome>> {
-        for q in queries {
-            self.check_query(q)?;
-        }
-        if queries.is_empty() {
-            return Ok(Vec::new());
-        }
-        let (groups, threads) = self.query_groups(queries, n_threads);
-        let per_group = par::par_map(&groups, threads, |_, group| {
-            let mut scratch = BatchScratch::<S>::new();
-            let mut outcomes = Vec::with_capacity(group.len());
-            for block in group.chunks(self.block_len()) {
-                let acc = scratch.acc(block.len() * self.n_rows);
-                self.accumulate_block(block, acc);
-                for qi in 0..block.len() {
-                    let rows = &acc[qi * self.n_rows..(qi + 1) * self.n_rows];
-                    outcomes.push(SearchOutcome::from_conductances(
-                        rows.iter().map(|g| g.to_f64()).collect(),
-                    ));
-                }
-            }
-            outcomes
-        });
-        Ok(per_group.into_iter().flatten().collect())
+        kernel_search_batch(self, queries, n_threads)
     }
 
     /// Like [`search_batch`](Self::search_batch), but returns only each
@@ -600,28 +753,7 @@ impl<S: PlaneScalar> CompiledMcam<S> {
         queries: &[&[u8]],
         n_threads: usize,
     ) -> Result<Vec<(usize, f64)>> {
-        for q in queries {
-            self.check_query(q)?;
-        }
-        if queries.is_empty() {
-            return Ok(Vec::new());
-        }
-        let (groups, threads) = self.query_groups(queries, n_threads);
-        let per_group = par::par_map(&groups, threads, |_, group| {
-            let mut scratch = BatchScratch::<S>::new();
-            let mut winners = Vec::with_capacity(group.len());
-            for block in group.chunks(self.block_len()) {
-                let acc = scratch.acc(block.len() * self.n_rows);
-                self.accumulate_block(block, acc);
-                for qi in 0..block.len() {
-                    let rows = &acc[qi * self.n_rows..(qi + 1) * self.n_rows];
-                    let (row, g) = argmin(rows);
-                    winners.push((row, g.to_f64()));
-                }
-            }
-            winners
-        });
-        Ok(per_group.into_iter().flatten().collect())
+        kernel_search_batch_winners(self, queries, n_threads)
     }
 
     /// Like [`search_batch`](Self::search_batch), but returns each
@@ -638,34 +770,161 @@ impl<S: PlaneScalar> CompiledMcam<S> {
         k: usize,
         n_threads: usize,
     ) -> Result<Vec<Vec<(usize, f64)>>> {
-        for q in queries {
-            self.check_query(q)?;
-        }
-        if queries.is_empty() {
-            return Ok(Vec::new());
-        }
-        let (groups, threads) = self.query_groups(queries, n_threads);
-        let per_group = par::par_map(&groups, threads, |_, group| {
-            let mut scratch = BatchScratch::<S>::new();
-            let mut hits = Vec::with_capacity(group.len());
-            for block in group.chunks(self.block_len()) {
-                let need = block.len() * self.n_rows;
-                let BatchScratch { acc, heap, sorted } = &mut scratch;
-                if acc.len() < need {
-                    acc.resize(need, S::ZERO);
-                }
-                self.accumulate_block(block, &mut acc[..need]);
-                for qi in 0..block.len() {
-                    let rows = &acc[qi * self.n_rows..(qi + 1) * self.n_rows];
-                    let mut top = Vec::new();
-                    select_top_k(rows, k, heap, sorted, &mut top);
-                    hits.push(top);
-                }
-            }
-            hits
-        });
-        Ok(per_group.into_iter().flatten().collect())
+        kernel_search_batch_top_k(self, queries, k, n_threads)
     }
+}
+
+/// The batched execution surface shared by the plane kernel
+/// ([`CompiledMcam`]) and the packed-code kernel ([`CompiledCodes`] /
+/// [`CodesDispatch`]): everything the generic batch drivers below need.
+/// The drivers own the group/block orchestration exactly once; a kernel
+/// only supplies its block accumulator and its work-sizing.
+pub(crate) trait BlockKernel: Sync {
+    /// The scalar the kernel's match-line accumulators fold in.
+    type Acc: PlaneScalar;
+
+    /// Rows in the compiled snapshot.
+    fn n_rows(&self) -> usize;
+
+    /// Queries per grouped batch block (cache-residency sizing).
+    fn block_len(&self) -> usize;
+
+    /// Validates one query against the snapshot's geometry.
+    fn check_query(&self, query: &[u8]) -> Result<()>;
+
+    /// Accumulates a block of (validated) queries into `acc`, laid out
+    /// query-major (`acc[q * n_rows + row]`), folding each row's
+    /// conductances in ascending column order. `aux` is kernel-private
+    /// reusable scratch (the codes kernel's level-expansion panel);
+    /// kernels that need none ignore it.
+    fn accumulate_block(&self, queries: &[&[u8]], acc: &mut [Self::Acc], aux: &mut Vec<Self::Acc>);
+
+    /// Thread-gating cost of one query against this kernel, in
+    /// plane-step units ([`par::PAR_CHUNK_WORK`]'s currency) — cheaper
+    /// kernels report less work per cell so they fork later.
+    fn batch_work_per_query(&self) -> usize;
+}
+
+impl<S: PlaneScalar> BlockKernel for CompiledMcam<S> {
+    type Acc = S;
+
+    fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    fn block_len(&self) -> usize {
+        // Inherent method: the cache-residency formula above.
+        CompiledMcam::block_len(self)
+    }
+
+    fn check_query(&self, query: &[u8]) -> Result<()> {
+        CompiledMcam::check_query(self, query)
+    }
+
+    fn accumulate_block(&self, queries: &[&[u8]], acc: &mut [S], _aux: &mut Vec<S>) {
+        CompiledMcam::accumulate_block(self, queries, acc);
+    }
+
+    fn batch_work_per_query(&self) -> usize {
+        self.n_rows * self.word_len
+    }
+}
+
+/// Splits `queries` into one contiguous group per earned worker.
+fn kernel_query_groups<'q, 'a, K: BlockKernel>(
+    kernel: &K,
+    queries: &'q [&'a [u8]],
+    n_threads: usize,
+) -> (Vec<&'q [&'a [u8]]>, usize) {
+    let threads = par::batch_threads(queries.len(), kernel.batch_work_per_query(), n_threads);
+    let group = queries.len().div_ceil(threads).max(1);
+    (queries.chunks(group).collect(), threads)
+}
+
+/// The single batched orchestration loop every flat entry point runs
+/// on: validate, split into per-worker groups, accumulate block by
+/// block on reusable scratch, and hand each query's finished row
+/// conductances (plus the top-k scratch) to `finalize` in query order.
+fn kernel_batch_driver<K: BlockKernel, R, F>(
+    kernel: &K,
+    queries: &[&[u8]],
+    n_threads: usize,
+    finalize: F,
+) -> Result<Vec<R>>
+where
+    R: Send,
+    F: Fn(&[K::Acc], &mut BinaryHeap<(TotalF64, usize)>, &mut Vec<(TotalF64, usize)>) -> R + Sync,
+{
+    for q in queries {
+        kernel.check_query(q)?;
+    }
+    if queries.is_empty() {
+        return Ok(Vec::new());
+    }
+    let n = kernel.n_rows();
+    let (groups, threads) = kernel_query_groups(kernel, queries, n_threads);
+    let per_group = par::par_map(&groups, threads, |_, group| {
+        let mut scratch = BatchScratch::<K::Acc>::new();
+        let mut results = Vec::with_capacity(group.len());
+        for block in group.chunks(kernel.block_len()) {
+            let need = block.len() * n;
+            let BatchScratch {
+                acc,
+                aux,
+                heap,
+                sorted,
+            } = &mut scratch;
+            if acc.len() < need {
+                acc.resize(need, K::Acc::ZERO);
+            }
+            kernel.accumulate_block(block, &mut acc[..need], aux);
+            for qi in 0..block.len() {
+                results.push(finalize(&acc[qi * n..(qi + 1) * n], heap, sorted));
+            }
+        }
+        results
+    });
+    Ok(per_group.into_iter().flatten().collect())
+}
+
+/// Generic batched full-outcome driver (see
+/// [`CompiledMcam::search_batch`] for the caller-facing contract).
+fn kernel_search_batch<K: BlockKernel>(
+    kernel: &K,
+    queries: &[&[u8]],
+    n_threads: usize,
+) -> Result<Vec<SearchOutcome>> {
+    kernel_batch_driver(kernel, queries, n_threads, |rows, _, _| {
+        SearchOutcome::from_conductances(rows.iter().map(|g| g.to_f64()).collect())
+    })
+}
+
+/// Generic batched winners driver (see
+/// [`CompiledMcam::search_batch_winners`]).
+fn kernel_search_batch_winners<K: BlockKernel>(
+    kernel: &K,
+    queries: &[&[u8]],
+    n_threads: usize,
+) -> Result<Vec<(usize, f64)>> {
+    kernel_batch_driver(kernel, queries, n_threads, |rows, _, _| {
+        let (row, g) = argmin(rows);
+        (row, g.to_f64())
+    })
+}
+
+/// Generic batched top-k driver (see
+/// [`CompiledMcam::search_batch_top_k`]).
+fn kernel_search_batch_top_k<K: BlockKernel>(
+    kernel: &K,
+    queries: &[&[u8]],
+    k: usize,
+    n_threads: usize,
+) -> Result<Vec<Vec<(usize, f64)>>> {
+    kernel_batch_driver(kernel, queries, n_threads, |rows, heap, sorted| {
+        let mut top = Vec::new();
+        select_top_k(rows, k, heap, sorted, &mut top);
+        top
+    })
 }
 
 impl CompiledMcam<f64> {
@@ -690,6 +949,737 @@ impl CompiledMcam<f64> {
         }
         self.accumulate_sharded(query, n_threads, out);
         Ok(())
+    }
+}
+
+/// A packed-code query plan: the array as byte-packed level codes plus
+/// the shared conductance LUT in `f32` — the lowest-bandwidth execution
+/// image (see the [module-level "Codes mode"](self#codes-mode)).
+///
+/// Layout: `codes[column * n_rows + row] = stored_level` (column-major
+/// with rows contiguous, the same orientation as the plane plans), and
+/// `lut[input * stride + state]` with `stride` padded to a power of two
+/// so the gather index `code & (stride - 1)` provably stays in bounds —
+/// the inner loop carries no bound check.
+///
+/// Only shared-LUT arrays can compile to codes; per-cell (variation)
+/// arrays must use a plane plan ([`CoreError::PerCellBank`]). The
+/// cached entry points ([`McamArray::compiled_codes`]) make that
+/// fallback transparent via [`CodesDispatch`].
+///
+/// # Examples
+///
+/// ```
+/// use femcam_core::{CompiledCodes, CompiledMcam, ConductanceLut, LevelLadder, McamArray};
+/// use femcam_device::FefetModel;
+///
+/// # fn main() -> femcam_core::Result<()> {
+/// let ladder = LevelLadder::new(3)?;
+/// let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+/// let mut array = McamArray::new(ladder, lut, 4);
+/// array.store(&[0, 3, 7, 1])?;
+/// array.store(&[5, 5, 5, 5])?;
+/// array.store(&[2, 6, 0, 4])?;
+/// let codes = CompiledCodes::compile(&array)?;
+/// let f32_plan = CompiledMcam::<f32>::compile(&array)?;
+/// // Bit-identical to the f32 plane plan, at a fraction of the bytes.
+/// assert_eq!(
+///     codes.search(&[0, 3, 7, 1])?.conductances(),
+///     f32_plan.search(&[0, 3, 7, 1])?.conductances(),
+/// );
+/// assert!(codes.plan_bytes() < f32_plan.plan_bytes());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledCodes {
+    n_rows: usize,
+    word_len: usize,
+    n_levels: usize,
+    /// Power-of-two row stride of `lut`; `stride - 1` is the gather
+    /// mask.
+    lut_stride: usize,
+    /// `[column][row]`, rows contiguous; one byte per cell.
+    codes: Vec<u8>,
+    /// `[input][state]` conductances, rounded to `f32` exactly like the
+    /// `f32` planes; rows padded to `lut_stride`.
+    lut: Vec<f32>,
+}
+
+impl CompiledCodes {
+    /// Compiles the array's current contents into a packed-code plan.
+    ///
+    /// Costs one byte write per stored cell plus an
+    /// `n_levels × n_levels` LUT round-trip — about one scalar query's
+    /// work, so even a single query amortizes it
+    /// ([`CODES_COMPILE_THRESHOLD`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::EmptyArray`] if nothing is stored.
+    /// * [`CoreError::PerCellBank`] if the array realizes per-cell
+    ///   conductances (device variation) — use a plane plan, or the
+    ///   transparent [`McamArray::compiled_codes`] dispatch.
+    pub fn compile(array: &McamArray) -> Result<Self> {
+        if array.is_empty() {
+            return Err(CoreError::EmptyArray);
+        }
+        if array.has_per_cell_bank() {
+            return Err(CoreError::PerCellBank);
+        }
+        let n_rows = array.n_rows();
+        let word_len = array.word_len();
+        let n_levels = array.ladder().n_levels();
+        // Rows padded to at least 8 entries so a whole row is one
+        // 8-lane vector load for the in-register gather fast path.
+        let lut_stride = n_levels.next_power_of_two().max(8);
+        let mut lut = vec![0.0f32; n_levels * lut_stride];
+        for input in 0..n_levels as u8 {
+            for state in 0..n_levels as u8 {
+                // The exact f32 rounding the f32 planes hold — the
+                // bit-identity contract hinges on this.
+                lut[input as usize * lut_stride + state as usize] =
+                    array.lut().get(input, state) as f32;
+            }
+        }
+        let mut codes = vec![0u8; word_len * n_rows];
+        for r in 0..n_rows {
+            for (c, &state) in array.row(r).iter().enumerate() {
+                codes[c * n_rows + r] = state;
+            }
+        }
+        Ok(CompiledCodes {
+            n_rows,
+            word_len,
+            n_levels,
+            lut_stride,
+            codes,
+            lut,
+        })
+    }
+
+    /// Rows in the compiled snapshot.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Cells per word.
+    #[must_use]
+    pub fn word_len(&self) -> usize {
+        self.word_len
+    }
+
+    /// Input/state levels per cell.
+    #[must_use]
+    pub fn n_levels(&self) -> usize {
+        self.n_levels
+    }
+
+    /// The precision tag of this plan ([`Precision::Codes`]).
+    #[must_use]
+    pub fn precision(&self) -> Precision {
+        Precision::Codes
+    }
+
+    /// Resident bytes of this plan: the packed codes plus the `f32`
+    /// LUT — independent of `n_levels` per cell, ≈ 64× below the `f64`
+    /// planes on the 3-bit ladder.
+    #[must_use]
+    pub fn plan_bytes(&self) -> usize {
+        std::mem::size_of_val(self.codes.as_slice()) + std::mem::size_of_val(self.lut.as_slice())
+    }
+
+    fn check_query(&self, query: &[u8]) -> Result<()> {
+        validate_query(self.word_len, self.n_levels, query)
+    }
+
+    /// Rows per cache panel: sized so the whole per-tile expansion slab
+    /// (`word_len × n_levels × tile` f32) stays L2-resident while it
+    /// serves every query in the block.
+    fn row_tile(&self) -> usize {
+        (CODES_EXPAND_BUDGET_BYTES
+            / (std::mem::size_of::<f32>() * self.lut_stride * self.word_len.max(1)))
+        .clamp(32, ROW_TILE_BYTES / std::mem::size_of::<f32>())
+        .min(self.n_rows)
+        .max(1)
+    }
+
+    /// Queries per grouped batch block. Much larger than the plane
+    /// kernel's blocks on purpose: the per-tile expansion slab is
+    /// rebuilt once per block, so reuse (≈ `block_len / n_levels` adds
+    /// per expanded cell) is what pays for the gather.
+    fn block_len(&self) -> usize {
+        (ACC_BUDGET_BYTES / (self.row_tile() * std::mem::size_of::<f32>()).max(1)).clamp(1, 256)
+    }
+
+    /// Whether the in-register gather fast path serves this plan on
+    /// this machine: every (padded) LUT row fits one 8-lane vector
+    /// register, and the CPU can permute by variable lane index
+    /// (AVX2). Ladders up to 3 bits — the paper's headline
+    /// configuration — qualify on any AVX2 x86-64.
+    fn simd_eligible(&self) -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            self.lut_stride == 8 && std::arch::is_x86_feature_detected!("avx2")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    }
+
+    /// The AVX2 serve loop: the query level's whole LUT row lives in
+    /// one vector register, so eight stored codes gather through it
+    /// with a single lane permute — one load + one permute + one add
+    /// per eight cells, no expansion slab, 1 byte of plan traffic per
+    /// cell. Running sums for 32 rows stay in registers across the
+    /// whole column sweep.
+    ///
+    /// Per row the fold is the same ascending-column sequence of `f32`
+    /// adds over the same LUT roundings as the scalar path, so results
+    /// stay bit-identical to the `f32` plane kernel.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available and `lut_stride == 8`
+    /// ([`simd_eligible`](Self::simd_eligible)), `query` is validated
+    /// (`word_len` levels, each `< n_levels`), and
+    /// `row_start + out.len() <= n_rows`.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn accumulate_query_avx2(&self, query: &[u8], row_start: usize, out: &mut [f32]) {
+        use std::arch::x86_64::*;
+        let n = self.n_rows;
+        let len = out.len();
+        let mut tables = [_mm256_setzero_ps(); 8];
+        for (level, table) in tables.iter_mut().enumerate().take(self.n_levels) {
+            *table = _mm256_loadu_ps(self.lut.as_ptr().add(level * 8));
+        }
+        let codes = self.codes.as_ptr();
+        let out_ptr = out.as_mut_ptr();
+        let mut s = 0usize;
+        while s + 32 <= len {
+            let mut a0 = _mm256_setzero_ps();
+            let mut a1 = _mm256_setzero_ps();
+            let mut a2 = _mm256_setzero_ps();
+            let mut a3 = _mm256_setzero_ps();
+            for (c, &level) in query.iter().enumerate() {
+                let table = tables[level as usize];
+                let base = codes.add(c * n + row_start + s);
+                let i0 = _mm256_cvtepu8_epi32(_mm_loadl_epi64(base.cast()));
+                let i1 = _mm256_cvtepu8_epi32(_mm_loadl_epi64(base.add(8).cast()));
+                let i2 = _mm256_cvtepu8_epi32(_mm_loadl_epi64(base.add(16).cast()));
+                let i3 = _mm256_cvtepu8_epi32(_mm_loadl_epi64(base.add(24).cast()));
+                a0 = _mm256_add_ps(a0, _mm256_permutevar8x32_ps(table, i0));
+                a1 = _mm256_add_ps(a1, _mm256_permutevar8x32_ps(table, i1));
+                a2 = _mm256_add_ps(a2, _mm256_permutevar8x32_ps(table, i2));
+                a3 = _mm256_add_ps(a3, _mm256_permutevar8x32_ps(table, i3));
+            }
+            _mm256_storeu_ps(out_ptr.add(s), a0);
+            _mm256_storeu_ps(out_ptr.add(s + 8), a1);
+            _mm256_storeu_ps(out_ptr.add(s + 16), a2);
+            _mm256_storeu_ps(out_ptr.add(s + 24), a3);
+            s += 32;
+        }
+        while s + 8 <= len {
+            let mut a = _mm256_setzero_ps();
+            for (c, &level) in query.iter().enumerate() {
+                let table = tables[level as usize];
+                let base = codes.add(c * n + row_start + s);
+                let idx = _mm256_cvtepu8_epi32(_mm_loadl_epi64(base.cast()));
+                a = _mm256_add_ps(a, _mm256_permutevar8x32_ps(table, idx));
+            }
+            _mm256_storeu_ps(out_ptr.add(s), a);
+            s += 8;
+        }
+        if s < len {
+            // Scalar tail (< 8 rows): same ascending-column fold over
+            // the same f32 LUT roundings.
+            out[s..].fill(0.0);
+            for (c, &level) in query.iter().enumerate() {
+                let table = &self.lut[level as usize * 8..][..8];
+                let column = &self.codes[c * n + row_start + s..][..len - s];
+                for (acc, &code) in out[s..].iter_mut().zip(column) {
+                    *acc += table[(code & 7) as usize];
+                }
+            }
+        }
+    }
+
+    /// The block face of the AVX2 fast path: widens each row tile's
+    /// byte codes to dword permute indices **once per block** into the
+    /// `aux` slab (the widen shares the shuffle port with the permute,
+    /// so hoisting it out of the per-query loop roughly halves the
+    /// serve's critical-port pressure), then serves every query from
+    /// the widened slab — one index load, one in-register permute, one
+    /// add per eight cells, running sums for 32 rows pinned in
+    /// registers across the column sweep.
+    ///
+    /// Same per-row ascending-column `f32` fold as every other path:
+    /// bit-identical results.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as
+    /// [`accumulate_query_avx2`](Self::accumulate_query_avx2); `acc`
+    /// must hold `queries.len() * n_rows` scalars.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn accumulate_block_avx2(&self, queries: &[&[u8]], acc: &mut [f32], aux: &mut Vec<f32>) {
+        use std::arch::x86_64::*;
+        let n = self.n_rows;
+        let wl = self.word_len;
+        let mut tables = [_mm256_setzero_ps(); 8];
+        for (level, table) in tables.iter_mut().enumerate().take(self.n_levels) {
+            *table = _mm256_loadu_ps(self.lut.as_ptr().add(level * 8));
+        }
+        // Rows per widened tile: the dword-index slab (`word_len ×
+        // tile × 4` bytes) stays within the expansion budget.
+        let tile = (CODES_IDX_SLAB_BYTES / (4 * wl.max(1)))
+            .clamp(32, 1 << 16)
+            .min(n);
+        if aux.len() < wl * tile {
+            aux.resize(wl * tile, 0.0);
+        }
+        let idx_slab = aux.as_mut_ptr().cast::<i32>();
+        let codes = self.codes.as_ptr();
+        let mut t0 = 0;
+        while t0 < n {
+            let t1 = (t0 + tile).min(n);
+            let tlen = t1 - t0;
+            let groups = tlen / 8;
+            // Widen this tile's codes to permute indices, once for the
+            // whole block.
+            for c in 0..wl {
+                let col = codes.add(c * n + t0);
+                let dst = idx_slab.add(c * tile);
+                for g in 0..groups {
+                    let idx = _mm256_cvtepu8_epi32(_mm_loadl_epi64(col.add(g * 8).cast()));
+                    _mm256_storeu_si256(dst.add(g * 8).cast(), idx);
+                }
+            }
+            // Serve every query from the widened slab. Eight running
+            // sums per 64-row group: a row's fold must stay a serial
+            // chain of `f32` adds (bit-identity forbids splitting it),
+            // so throughput comes from keeping eight independent row
+            // chains in flight — enough to hide FP-add latency.
+            for (qi, q) in queries.iter().enumerate() {
+                let out = acc.as_mut_ptr().add(qi * n + t0);
+                let mut s = 0usize;
+                while s + 64 <= groups * 8 {
+                    let mut sums = [_mm256_setzero_ps(); 8];
+                    for (c, &level) in q.iter().enumerate() {
+                        let table = tables[level as usize];
+                        let base = idx_slab.add(c * tile + s);
+                        for (j, sum) in sums.iter_mut().enumerate() {
+                            let idx = _mm256_loadu_si256(base.add(j * 8).cast());
+                            *sum = _mm256_add_ps(*sum, _mm256_permutevar8x32_ps(table, idx));
+                        }
+                    }
+                    for (j, &sum) in sums.iter().enumerate() {
+                        _mm256_storeu_ps(out.add(s + j * 8), sum);
+                    }
+                    s += 64;
+                }
+                while s + 8 <= groups * 8 {
+                    let mut a = _mm256_setzero_ps();
+                    for (c, &level) in q.iter().enumerate() {
+                        let table = tables[level as usize];
+                        let idx = _mm256_loadu_si256(idx_slab.add(c * tile + s).cast());
+                        a = _mm256_add_ps(a, _mm256_permutevar8x32_ps(table, idx));
+                    }
+                    _mm256_storeu_ps(out.add(s), a);
+                    s += 8;
+                }
+                if s < tlen {
+                    // Scalar tail (< 8 rows) straight from the codes.
+                    let out_tail = &mut acc[qi * n + t0 + s..qi * n + t1];
+                    out_tail.fill(0.0);
+                    for (c, &level) in q.iter().enumerate() {
+                        let table = &self.lut[level as usize * 8..][..8];
+                        let column = &self.codes[c * n + t0 + s..][..tlen - s];
+                        for (a, &code) in out_tail.iter_mut().zip(column) {
+                            *a += table[(code & 7) as usize];
+                        }
+                    }
+                }
+            }
+            t0 = t1;
+        }
+    }
+
+    /// The LUT-gather inner loop over rows `row_start..row_start +
+    /// out.len()`: per column, the query level selects one LUT row (the
+    /// gather table) and every stored code gathers through it —
+    /// ascending column order, `f32` accumulation, so the fold is
+    /// bit-identical to the `f32` plane kernel's.
+    fn accumulate_rows(&self, query: &[u8], row_start: usize, out: &mut [f32]) {
+        if self.simd_eligible() {
+            // SAFETY: eligibility checked AVX2 + 8-entry LUT rows;
+            // callers pass validated queries and in-range row windows.
+            #[cfg(target_arch = "x86_64")]
+            unsafe {
+                self.accumulate_query_avx2(query, row_start, out);
+            }
+            return;
+        }
+        out.fill(0.0);
+        let mask = self.lut_stride - 1;
+        for (c, &q) in query.iter().enumerate() {
+            let column = &self.codes[c * self.n_rows + row_start..][..out.len()];
+            let table = &self.lut[q as usize * self.lut_stride..][..self.lut_stride];
+            for (acc, &code) in out.iter_mut().zip(column) {
+                // `code & mask < table.len()` by construction: the
+                // bound check vanishes.
+                *acc += table[code as usize & mask];
+            }
+        }
+    }
+
+    /// The tiled two-phase block kernel. Per row panel:
+    ///
+    /// 1. **Expand** — for every column, each *distinct* level the
+    ///    block's queries drive there gathers the codes column through
+    ///    its LUT row once, into an L2-resident `f32` micro-plane in
+    ///    the `aux` slab (`aux[column][level][row]`). This is the only
+    ///    gather, and it runs once per `(column, distinct level)` —
+    ///    amortized across every query in the block that shares the
+    ///    level, not repeated per query.
+    /// 2. **Serve** — each query then sweeps its columns in ascending
+    ///    order, adding the matching micro-planes into its accumulator
+    ///    tile with unit-stride SIMD-friendly loops. The accumulator
+    ///    tile stays L1-hot across the whole column sweep (this loop
+    ///    order — query outer, column inner — is what the plane kernel
+    ///    cannot afford, because its per-level planes would thrash; the
+    ///    compact slab makes it cheap).
+    ///
+    /// Rows advance in panels, columns ascend per query, and each cell
+    /// contributes exactly one `f32` add of exactly the LUT's `f32`
+    /// rounding — per-row folds identical to
+    /// [`accumulate_rows`](Self::accumulate_rows) and bit-identical to
+    /// the `f32` plane kernel.
+    fn accumulate_block(&self, queries: &[&[u8]], acc: &mut [f32], aux: &mut Vec<f32>) {
+        let n = self.n_rows;
+        debug_assert!(acc.len() >= queries.len() * n);
+        if self.simd_eligible() {
+            // In-register gather with block-amortized index widening —
+            // see accumulate_block_avx2.
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: eligibility checked AVX2 + 8-entry LUT rows; the
+            // drivers validate queries before any work runs.
+            unsafe {
+                self.accumulate_block_avx2(queries, acc, aux);
+            }
+            return;
+        }
+        acc[..queries.len() * n].fill(0.0);
+        let mask = self.lut_stride - 1;
+        let tile = self.row_tile();
+        if aux.len() < self.word_len * self.lut_stride * tile {
+            aux.resize(self.word_len * self.lut_stride * tile, 0.0);
+        }
+        let mut t0 = 0;
+        while t0 < n {
+            let t1 = (t0 + tile).min(n);
+            let tlen = t1 - t0;
+            // Phase 1: expand the (column, level) micro-planes the
+            // block needs into the slab.
+            for c in 0..self.word_len {
+                let column = &self.codes[c * n + t0..c * n + t1];
+                let slab = &mut aux[c * self.lut_stride * tlen..][..self.lut_stride * tlen];
+                let mut seen = [false; 256];
+                for q in queries {
+                    let level = q[c] as usize;
+                    if seen[level] {
+                        continue;
+                    }
+                    seen[level] = true;
+                    let table = &self.lut[level * self.lut_stride..][..self.lut_stride];
+                    let panel = &mut slab[level * tlen..(level + 1) * tlen];
+                    for (g, &code) in panel.iter_mut().zip(column) {
+                        // `code & mask < table.len()` by construction:
+                        // the bound check vanishes.
+                        *g = table[code as usize & mask];
+                    }
+                }
+            }
+            // Phase 2: per query, sweep columns from the hot slab in
+            // register-blocked row sub-tiles — the running sums for
+            // SERVE_SUB rows live in a fixed-size local the compiler
+            // keeps in vector registers across the whole column sweep,
+            // so each cell costs one panel load and one add (no
+            // accumulator load/store per column).
+            for (qi, q) in queries.iter().enumerate() {
+                let out = &mut acc[qi * n + t0..qi * n + t1];
+                let mut s0 = 0;
+                while s0 < tlen {
+                    if tlen - s0 >= SERVE_SUB {
+                        let mut local = [0.0f32; SERVE_SUB];
+                        for (c, &level) in q.iter().enumerate() {
+                            let panel = &aux[(c * self.lut_stride + level as usize) * tlen + s0..]
+                                [..SERVE_SUB];
+                            for (l, &g) in local.iter_mut().zip(panel) {
+                                *l += g;
+                            }
+                        }
+                        out[s0..s0 + SERVE_SUB].copy_from_slice(&local);
+                        s0 += SERVE_SUB;
+                    } else {
+                        for (c, &level) in q.iter().enumerate() {
+                            let panel = &aux[(c * self.lut_stride + level as usize) * tlen + s0..]
+                                [..tlen - s0];
+                            for (a, &g) in out[s0..].iter_mut().zip(panel) {
+                                *a += g;
+                            }
+                        }
+                        s0 = tlen;
+                    }
+                }
+            }
+            t0 = t1;
+        }
+    }
+
+    /// Row-sharded single-query accumulation (same [`shard_rows`]
+    /// policy as the plane path).
+    fn accumulate_sharded(&self, query: &[u8], n_threads: usize, out: &mut [f32]) {
+        shard_rows(self.n_rows, n_threads, out, |row_start, slice| {
+            self.accumulate_rows(query, row_start, slice);
+        });
+    }
+
+    /// Executes one query and returns the full per-row outcome —
+    /// bit-identical to `CompiledMcam::<f32>` on the same shared-LUT
+    /// contents. Rows shard across workers when the (discounted — see
+    /// [`par::codes_work`]) workload justifies forking.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::WordLengthMismatch`] / [`CoreError::LevelOutOfRange`]
+    /// for malformed queries.
+    pub fn search(&self, query: &[u8]) -> Result<SearchOutcome> {
+        self.check_query(query)?;
+        let threads = par::threads_for(par::codes_work(self.n_rows * self.word_len));
+        let mut out = vec![0.0f32; self.n_rows];
+        self.accumulate_sharded(query, threads, &mut out);
+        Ok(SearchOutcome::from_conductances(
+            out.iter().map(|&g| f64::from(g)).collect(),
+        ))
+    }
+
+    /// Batched execution through the generic tiled driver — same
+    /// contract as [`CompiledMcam::search_batch`], bit-identical to the
+    /// `f32` plane plan on the same contents.
+    ///
+    /// # Errors
+    ///
+    /// Same per-query conditions as [`search`](Self::search).
+    pub fn search_batch(&self, queries: &[&[u8]], n_threads: usize) -> Result<Vec<SearchOutcome>> {
+        kernel_search_batch(self, queries, n_threads)
+    }
+
+    /// Batched winners — same contract as
+    /// [`CompiledMcam::search_batch_winners`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search_batch`](Self::search_batch).
+    pub fn search_batch_winners(
+        &self,
+        queries: &[&[u8]],
+        n_threads: usize,
+    ) -> Result<Vec<(usize, f64)>> {
+        kernel_search_batch_winners(self, queries, n_threads)
+    }
+
+    /// Batched top-k — same contract as
+    /// [`CompiledMcam::search_batch_top_k`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search_batch`](Self::search_batch).
+    pub fn search_batch_top_k(
+        &self,
+        queries: &[&[u8]],
+        k: usize,
+        n_threads: usize,
+    ) -> Result<Vec<Vec<(usize, f64)>>> {
+        kernel_search_batch_top_k(self, queries, k, n_threads)
+    }
+}
+
+impl BlockKernel for CompiledCodes {
+    type Acc = f32;
+
+    fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    fn block_len(&self) -> usize {
+        CompiledCodes::block_len(self)
+    }
+
+    fn check_query(&self, query: &[u8]) -> Result<()> {
+        CompiledCodes::check_query(self, query)
+    }
+
+    fn accumulate_block(&self, queries: &[&[u8]], acc: &mut [f32], aux: &mut Vec<f32>) {
+        CompiledCodes::accumulate_block(self, queries, acc, aux);
+    }
+
+    fn batch_work_per_query(&self) -> usize {
+        par::codes_work(self.n_rows * self.word_len)
+    }
+}
+
+/// The engine actually serving a codes-mode request: the packed-code
+/// plan on shared-LUT arrays, or the transparent `f32` plane fallback
+/// on per-cell (variation) arrays — the dispatch half of
+/// [`Precision::Codes`] (see the
+/// [module-level "Codes mode"](self#codes-mode)). Obtained from the
+/// cached entry points ([`McamArray::compiled_codes`],
+/// [`PlanCache::get_or_compile_codes`]).
+#[derive(Debug, Clone)]
+pub enum CodesDispatch {
+    /// Shared-LUT array: the LUT-gather kernel (bit-identical to `f32`
+    /// planes at a fraction of the bytes).
+    Packed(Arc<CompiledCodes>),
+    /// Per-cell (variation) array: the `f32` plane kernel — per-cell
+    /// conductances cannot share a LUT.
+    Planes(Arc<CompiledMcam<f32>>),
+}
+
+impl CodesDispatch {
+    /// Compiles a fresh (uncached) codes-mode snapshot of `array` —
+    /// the single definition of the dispatch rule: shared-LUT arrays
+    /// pack to codes, per-cell (variation) arrays fall back to the
+    /// `f32` plane plan. [`PlanCache::get_or_compile_codes`] applies
+    /// the same rule against its cached slots;
+    /// [`CompiledBankedCodes::compile`] uses this per bank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyArray`] if nothing is stored.
+    pub fn compile_snapshot(array: &McamArray) -> Result<CodesDispatch> {
+        if array.has_per_cell_bank() {
+            Ok(CodesDispatch::Planes(Arc::new(
+                CompiledMcam::<f32>::compile(array)?,
+            )))
+        } else {
+            Ok(CodesDispatch::Packed(Arc::new(CompiledCodes::compile(
+                array,
+            )?)))
+        }
+    }
+
+    /// `true` when the packed-code kernel serves this array (no
+    /// variation fallback).
+    #[must_use]
+    pub fn is_packed(&self) -> bool {
+        matches!(self, CodesDispatch::Packed(_))
+    }
+
+    /// Rows in the compiled snapshot.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        match self {
+            CodesDispatch::Packed(c) => c.n_rows(),
+            CodesDispatch::Planes(p) => p.n_rows(),
+        }
+    }
+
+    /// Resident bytes of the serving plan.
+    #[must_use]
+    pub fn plan_bytes(&self) -> usize {
+        match self {
+            CodesDispatch::Packed(c) => c.plan_bytes(),
+            CodesDispatch::Planes(p) => p.plan_bytes(),
+        }
+    }
+
+    /// Executes one query on the serving engine.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CompiledCodes::search`].
+    pub fn search(&self, query: &[u8]) -> Result<SearchOutcome> {
+        match self {
+            CodesDispatch::Packed(c) => c.search(query),
+            CodesDispatch::Planes(p) => p.search(query),
+        }
+    }
+
+    /// Batched execution on the serving engine.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CompiledCodes::search_batch`].
+    pub fn search_batch(&self, queries: &[&[u8]], n_threads: usize) -> Result<Vec<SearchOutcome>> {
+        kernel_search_batch(self, queries, n_threads)
+    }
+
+    /// Batched winners on the serving engine.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CompiledCodes::search_batch`].
+    pub fn search_batch_winners(
+        &self,
+        queries: &[&[u8]],
+        n_threads: usize,
+    ) -> Result<Vec<(usize, f64)>> {
+        kernel_search_batch_winners(self, queries, n_threads)
+    }
+
+    /// Batched top-k on the serving engine.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CompiledCodes::search_batch`].
+    pub fn search_batch_top_k(
+        &self,
+        queries: &[&[u8]],
+        k: usize,
+        n_threads: usize,
+    ) -> Result<Vec<Vec<(usize, f64)>>> {
+        kernel_search_batch_top_k(self, queries, k, n_threads)
+    }
+}
+
+impl BlockKernel for CodesDispatch {
+    type Acc = f32;
+
+    fn n_rows(&self) -> usize {
+        CodesDispatch::n_rows(self)
+    }
+
+    fn block_len(&self) -> usize {
+        match self {
+            CodesDispatch::Packed(c) => c.block_len(),
+            CodesDispatch::Planes(p) => p.block_len(),
+        }
+    }
+
+    fn check_query(&self, query: &[u8]) -> Result<()> {
+        match self {
+            CodesDispatch::Packed(c) => c.check_query(query),
+            CodesDispatch::Planes(p) => p.check_query(query),
+        }
+    }
+
+    fn accumulate_block(&self, queries: &[&[u8]], acc: &mut [f32], aux: &mut Vec<f32>) {
+        match self {
+            CodesDispatch::Packed(c) => c.accumulate_block(queries, acc, aux),
+            CodesDispatch::Planes(p) => p.accumulate_block(queries, acc),
+        }
+    }
+
+    fn batch_work_per_query(&self) -> usize {
+        match self {
+            CodesDispatch::Packed(c) => BlockKernel::batch_work_per_query(c.as_ref()),
+            CodesDispatch::Planes(p) => BlockKernel::batch_work_per_query(p.as_ref()),
+        }
     }
 }
 
@@ -751,6 +1741,12 @@ impl<S: PlaneScalar> CompiledBanked<S> {
         S::PRECISION
     }
 
+    /// Total resident bytes across the per-bank plans.
+    #[must_use]
+    pub fn plan_bytes(&self) -> usize {
+        self.plans.iter().map(CompiledMcam::plan_bytes).sum()
+    }
+
     /// Searches every bank (banks shard across up to `n_threads`
     /// workers) and merges the per-bank winners in bank order; returns
     /// `(global_row, total_conductance)` of the overall nearest row.
@@ -782,20 +1778,32 @@ impl<S: PlaneScalar> CompiledBanked<S> {
     }
 }
 
-/// Single-query hierarchical winner-take-all over per-bank plans: banks
-/// shard across up to `n_threads` workers, winners merge in ascending
-/// bank order (fixed-order fold, lowest-global-row tie-break).
-pub(crate) fn banked_winner<S: PlaneScalar>(
-    plans: &[&CompiledMcam<S>],
+/// Thread-gating cost of one query against a set of per-bank kernels:
+/// the sum of each bank's own estimate, so mixed dispatches (packed
+/// codes banks next to plane-fallback banks) are costed by what each
+/// bank actually executes.
+pub(crate) fn banked_work_per_query<K: BlockKernel>(plans: &[&K]) -> usize {
+    plans.iter().map(|p| p.batch_work_per_query()).sum()
+}
+
+/// Single-query hierarchical winner-take-all over per-bank kernels:
+/// banks shard across up to `n_threads` workers, winners merge in
+/// ascending bank order (fixed-order fold, lowest-global-row
+/// tie-break). Generic over the kernel, so the plane and packed-code
+/// banked paths share one merge.
+pub(crate) fn banked_winner_kernel<K: BlockKernel>(
+    plans: &[&K],
     rows_per_bank: usize,
     query: &[u8],
     n_threads: usize,
 ) -> Result<(usize, f64)> {
     let first = plans.first().expect("at least one bank");
     first.check_query(query)?;
+    let block = [query];
     let per_bank = par::par_map(plans, n_threads.min(plans.len()), |_, plan| {
-        let mut acc = vec![S::ZERO; plan.n_rows()];
-        plan.accumulate_rows(query, 0, &mut acc);
+        let mut acc = vec![K::Acc::ZERO; plan.n_rows()];
+        let mut aux = Vec::new();
+        plan.accumulate_block(&block, &mut acc, &mut aux);
         let (local, g) = argmin(&acc);
         (local, g.to_f64())
     });
@@ -809,12 +1817,12 @@ pub(crate) fn banked_winner<S: PlaneScalar>(
     Ok(best.expect("merge over at least one bank"))
 }
 
-/// Batched hierarchical winner-take-all over per-bank plans: contiguous
-/// query groups shard across workers; each worker sweeps banks in
-/// ascending order for its group with one reusable scratch, merging
-/// per-query winners in bank order as it goes.
-pub(crate) fn banked_winner_batch<S: PlaneScalar>(
-    plans: &[&CompiledMcam<S>],
+/// Batched hierarchical winner-take-all over per-bank kernels:
+/// contiguous query groups shard across workers; each worker sweeps
+/// banks in ascending order for its group with one reusable scratch,
+/// merging per-query winners in bank order as it goes.
+pub(crate) fn banked_winner_batch_kernel<K: BlockKernel>(
+    plans: &[&K],
     rows_per_bank: usize,
     queries: &[&[u8]],
     n_threads: usize,
@@ -826,19 +1834,22 @@ pub(crate) fn banked_winner_batch<S: PlaneScalar>(
     if queries.is_empty() {
         return Ok(Vec::new());
     }
-    let total_rows: usize = plans.iter().map(|p| p.n_rows()).sum();
-    let threads = par::batch_threads(queries.len(), total_rows * first.word_len(), n_threads);
+    let threads = par::batch_threads(queries.len(), banked_work_per_query(plans), n_threads);
     let group = queries.len().div_ceil(threads).max(1);
     let groups: Vec<&[&[u8]]> = queries.chunks(group).collect();
     let per_group = par::par_map(&groups, threads, |_, group| {
-        let mut scratch = BatchScratch::<S>::new();
+        let mut scratch = BatchScratch::<K::Acc>::new();
         let mut best: Vec<Option<(usize, f64)>> = vec![None; group.len()];
         for (bank_idx, plan) in plans.iter().enumerate() {
             let n = plan.n_rows();
             let mut done = 0;
             for block in group.chunks(plan.block_len()) {
-                let acc = scratch.acc(block.len() * n);
-                plan.accumulate_block(block, acc);
+                let need = block.len() * n;
+                let BatchScratch { acc, aux, .. } = &mut scratch;
+                if acc.len() < need {
+                    acc.resize(need, K::Acc::ZERO);
+                }
+                plan.accumulate_block(block, &mut acc[..need], aux);
                 for qi in 0..block.len() {
                     let rows = &acc[qi * n..(qi + 1) * n];
                     let (local, g) = argmin(rows);
@@ -857,6 +1868,107 @@ pub(crate) fn banked_winner_batch<S: PlaneScalar>(
             .collect::<Vec<_>>()
     });
     Ok(per_group.into_iter().flatten().collect())
+}
+
+/// Single-query winner merge over per-bank plane plans (the
+/// [`banked_winner_kernel`] instantiation the plane paths use).
+pub(crate) fn banked_winner<S: PlaneScalar>(
+    plans: &[&CompiledMcam<S>],
+    rows_per_bank: usize,
+    query: &[u8],
+    n_threads: usize,
+) -> Result<(usize, f64)> {
+    banked_winner_kernel(plans, rows_per_bank, query, n_threads)
+}
+
+/// Batched winner merge over per-bank plane plans (the
+/// [`banked_winner_batch_kernel`] instantiation the plane paths use).
+pub(crate) fn banked_winner_batch<S: PlaneScalar>(
+    plans: &[&CompiledMcam<S>],
+    rows_per_bank: usize,
+    queries: &[&[u8]],
+    n_threads: usize,
+) -> Result<Vec<(usize, f64)>> {
+    banked_winner_batch_kernel(plans, rows_per_bank, queries, n_threads)
+}
+
+/// A compiled multi-bank packed-code plan: one [`CodesDispatch`] per
+/// bank (packed codes for shared-LUT banks, `f32` plane fallback for
+/// variation banks) plus the same fixed-order winner merge as
+/// [`CompiledBanked`]. An explicit snapshot — the cached entry points
+/// ([`crate::banked::BankedMcam::search_batch_with`] at
+/// [`Precision::Codes`]) are usually preferable.
+#[derive(Debug, Clone)]
+pub struct CompiledBankedCodes {
+    plans: Vec<CodesDispatch>,
+    rows_per_bank: usize,
+}
+
+impl CompiledBankedCodes {
+    /// Compiles per-bank codes plans (falling back to `f32` planes for
+    /// any bank realized with device variation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyArray`] if `banks` is empty or any
+    /// bank is.
+    pub fn compile(banks: &[McamArray], rows_per_bank: usize) -> Result<Self> {
+        if banks.is_empty() {
+            return Err(CoreError::EmptyArray);
+        }
+        let plans = par::try_par_map(banks, 1, |_, bank| CodesDispatch::compile_snapshot(bank))?;
+        Ok(CompiledBankedCodes {
+            plans,
+            rows_per_bank,
+        })
+    }
+
+    /// Number of banks.
+    #[must_use]
+    pub fn n_banks(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Total rows across banks.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.plans.iter().map(CodesDispatch::n_rows).sum()
+    }
+
+    /// The precision tag of this plan ([`Precision::Codes`]).
+    #[must_use]
+    pub fn precision(&self) -> Precision {
+        Precision::Codes
+    }
+
+    /// Total resident bytes across the per-bank plans.
+    #[must_use]
+    pub fn plan_bytes(&self) -> usize {
+        self.plans.iter().map(CodesDispatch::plan_bytes).sum()
+    }
+
+    /// Searches every bank and merges the per-bank winners in bank
+    /// order — same contract as [`CompiledBanked::search`],
+    /// bit-identical to the `f32` banked plan on shared-LUT banks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-bank query validation failures.
+    pub fn search(&self, query: &[u8], n_threads: usize) -> Result<(usize, f64)> {
+        let plans: Vec<&CodesDispatch> = self.plans.iter().collect();
+        banked_winner_kernel(&plans, self.rows_per_bank, query, n_threads)
+    }
+
+    /// Batched multi-bank search — same contract as
+    /// [`CompiledBanked::search_batch`].
+    ///
+    /// # Errors
+    ///
+    /// The first failing query (in input order) fails the batch.
+    pub fn search_batch(&self, queries: &[&[u8]], n_threads: usize) -> Result<Vec<(usize, f64)>> {
+        let plans: Vec<&CodesDispatch> = self.plans.iter().collect();
+        banked_winner_batch_kernel(&plans, self.rows_per_bank, queries, n_threads)
+    }
 }
 
 /// `f64` ordered by [`f64::total_cmp`] for heap membership.
@@ -1124,6 +2236,157 @@ mod tests {
         let f2 = a.compiled_f32().unwrap();
         assert!(!Arc::ptr_eq(&f1, &f2));
         assert_eq!(f2.n_rows(), 3);
+    }
+
+    #[test]
+    fn codes_plan_is_bit_identical_to_f32_plane() {
+        let rows: Vec<Vec<u8>> = (0..37)
+            .map(|i| (0..6).map(|c| ((i * 5 + c * 3) % 8) as u8).collect())
+            .collect();
+        let a = array_with_rows(6, &rows);
+        let plan32 = CompiledMcam::<f32>::compile(&a).unwrap();
+        let codes = CompiledCodes::compile(&a).unwrap();
+        assert_eq!(codes.precision(), Precision::Codes);
+        assert_eq!(codes.n_rows(), plan32.n_rows());
+        assert_eq!(codes.word_len(), plan32.word_len());
+        assert_eq!(codes.n_levels(), plan32.n_levels());
+        let queries: Vec<Vec<u8>> = (0..9)
+            .map(|i| (0..6).map(|c| ((i * 7 + c) % 8) as u8).collect())
+            .collect();
+        let refs: Vec<&[u8]> = queries.iter().map(|q| q.as_slice()).collect();
+        for q in &refs {
+            assert_eq!(
+                codes.search(q).unwrap().conductances(),
+                plan32.search(q).unwrap().conductances(),
+                "codes single-query result drifted from f32"
+            );
+        }
+        let o_codes = codes.search_batch(&refs, 3).unwrap();
+        let o_f32 = plan32.search_batch(&refs, 3).unwrap();
+        for (c, f) in o_codes.iter().zip(&o_f32) {
+            assert_eq!(c.conductances(), f.conductances());
+        }
+        assert_eq!(
+            codes.search_batch_winners(&refs, 2).unwrap(),
+            plan32.search_batch_winners(&refs, 2).unwrap(),
+        );
+        assert_eq!(
+            codes.search_batch_top_k(&refs, 4, 2).unwrap(),
+            plan32.search_batch_top_k(&refs, 4, 2).unwrap(),
+        );
+    }
+
+    #[test]
+    fn codes_compile_rejects_variation_and_empty() {
+        let ladder = LevelLadder::new(3).unwrap();
+        let model = FefetModel::default();
+        let lut = ConductanceLut::from_device(&model, &ladder);
+        let mut varied = McamArrayBuilder::new(ladder, lut.clone())
+            .word_len(4)
+            .variation(
+                VariationSpec {
+                    sigma_v: 0.05,
+                    seed: 3,
+                },
+                model,
+            )
+            .build();
+        varied.store(&[1, 2, 3, 4]).unwrap();
+        assert!(matches!(
+            CompiledCodes::compile(&varied),
+            Err(CoreError::PerCellBank)
+        ));
+        // The cached dispatch falls back to planes instead of failing.
+        let dispatch = varied.compiled_codes().unwrap();
+        assert!(!dispatch.is_packed());
+        assert_eq!(
+            dispatch.search(&[1, 2, 3, 4]).unwrap().conductances(),
+            varied
+                .compiled_f32()
+                .unwrap()
+                .search(&[1, 2, 3, 4])
+                .unwrap()
+                .conductances(),
+        );
+        let empty = McamArray::new(ladder, lut, 4);
+        assert!(matches!(
+            CompiledCodes::compile(&empty),
+            Err(CoreError::EmptyArray)
+        ));
+        // Validation mirrors the plane plans.
+        let a = array_with_rows(3, &[vec![1, 2, 3]]);
+        let codes = CompiledCodes::compile(&a).unwrap();
+        assert!(matches!(
+            codes.search(&[1, 2]),
+            Err(CoreError::WordLengthMismatch {
+                expected: 3,
+                actual: 2
+            })
+        ));
+        assert!(matches!(
+            codes.search(&[1, 2, 9]),
+            Err(CoreError::LevelOutOfRange { level: 9, max: 7 })
+        ));
+    }
+
+    #[test]
+    fn codes_plan_bytes_and_cache_slots() {
+        let rows: Vec<Vec<u8>> = (0..64)
+            .map(|i| (0..8).map(|c| ((i + c * 3) % 8) as u8).collect())
+            .collect();
+        let mut a = array_with_rows(8, &rows);
+        assert_eq!(a.plan_memory_bytes().total(), 0, "cold cache holds nothing");
+        let p64 = a.compiled().unwrap();
+        let p32 = a.compiled_f32().unwrap();
+        let codes = a.compiled_codes().unwrap();
+        assert!(codes.is_packed());
+        // Exact byte formulas: planes are n_levels*wl*rows scalars,
+        // codes are wl*rows bytes plus the padded f32 LUT.
+        assert_eq!(p64.plan_bytes(), 8 * 8 * 64 * 8);
+        assert_eq!(p32.plan_bytes(), 8 * 8 * 64 * 4);
+        assert_eq!(codes.plan_bytes(), 8 * 64 + 8 * 8 * 4);
+        // The acceptance ratio: codes at least 16x below the f64 plan.
+        assert!(p64.plan_bytes() >= 16 * codes.plan_bytes());
+        let mem = a.plan_memory_bytes();
+        assert_eq!(mem.f64_plane, p64.plan_bytes());
+        assert_eq!(mem.f32_plane, p32.plan_bytes());
+        assert_eq!(mem.codes, codes.plan_bytes());
+        assert_eq!(
+            mem.total(),
+            p64.plan_bytes() + p32.plan_bytes() + codes.plan_bytes()
+        );
+        // The codes slot caches (same engine back) and invalidates on
+        // store like the plane slots.
+        let codes2 = a.compiled_codes().unwrap();
+        match (&codes, &codes2) {
+            (CodesDispatch::Packed(x), CodesDispatch::Packed(y)) => {
+                assert!(Arc::ptr_eq(x, y), "cache must return the same codes plan");
+            }
+            _ => panic!("shared-LUT array must dispatch packed"),
+        }
+        a.store(&rows[0].clone()).unwrap();
+        assert_eq!(
+            a.plan_memory_bytes().total(),
+            0,
+            "store must clear all slots"
+        );
+        let codes3 = a.compiled_codes().unwrap();
+        assert_eq!(codes3.n_rows(), 65);
+    }
+
+    #[test]
+    fn codes_threshold_is_one_query() {
+        // The documented amortization decision: compiling a code plan
+        // costs about one scalar query, so the entry points compile
+        // eagerly even for a lone cold-cache query.
+        assert_eq!(CODES_COMPILE_THRESHOLD, 1);
+        let a = array_with_rows(2, &[vec![0, 0], vec![7, 7]]);
+        assert_eq!(a.plan_memory_bytes().codes, 0);
+        let _ = a.search_with(&[0, 0], Precision::Codes).unwrap();
+        assert!(
+            a.plan_memory_bytes().codes > 0,
+            "lone query must compile the codes plan"
+        );
     }
 
     #[test]

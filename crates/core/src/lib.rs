@@ -18,10 +18,13 @@
 //!   winner-take-all, and optional per-cell `Vth` variation.
 //! * [`exec`] / [`par`] — the compiled, batched query executor:
 //!   plane-major conductance plans (precision-generic: `f64` reference
-//!   bit-identical to the scalar path, opt-in `f32` fast mode), cached
-//!   auto-recompiling plans, cache-tiled block kernels with reusable
-//!   scratch, and work-proportional row/query/bank sharding across
-//!   worker threads with bounded-heap top-k.
+//!   bit-identical to the scalar path, opt-in `f32` fast mode) plus the
+//!   byte-packed level-code LUT-gather mode (`Precision::Codes`,
+//!   bit-identical to `f32` on shared-LUT arrays at a fraction of the
+//!   plan bytes), cached auto-recompiling plans with per-slot memory
+//!   introspection, cache-tiled block kernels with reusable scratch,
+//!   and work-proportional row/query/bank sharding across worker
+//!   threads with bounded-heap top-k.
 //! * [`tcam`] / [`acam`] — the ternary CAM baseline (Hamming search and a
 //!   multi-lookup L∞ extension) and the analog-CAM generalization.
 //! * [`quantize`] — feature quantizers that map real-valued vectors onto
@@ -83,7 +86,10 @@ pub use cell::McamCell;
 pub use distance::{Cosine, Distance, DistanceKind, Euclidean, Linf, Manhattan, McamSoftware};
 pub use engines::{accuracy, classify_knn, McamNn, NnIndex, QueryResult, SoftwareNn, TcamLshNn};
 pub use error::CoreError;
-pub use exec::{top_k_indices, CompiledBanked, CompiledMcam, PlanCache, PlaneScalar, Precision};
+pub use exec::{
+    top_k_indices, CodesDispatch, CompiledBanked, CompiledBankedCodes, CompiledCodes, CompiledMcam,
+    PlanCache, PlanMemoryBytes, PlaneScalar, Precision,
+};
 pub use experiment::{measured_lut, ExperimentConfig};
 pub use levels::LevelLadder;
 pub use lut::ConductanceLut;

@@ -27,6 +27,23 @@ pub const PAR_WORK_THRESHOLD: usize = 1 << 15;
 /// `threads=4` was slower than `threads=1` at moderate batch sizes).
 pub const PAR_CHUNK_WORK: usize = 1 << 17;
 
+/// Relative cost discount of the packed-code execution mode
+/// ([`crate::exec`]'s `Precision::Codes`): one gather-accumulate step
+/// streams a 1-byte code instead of a 4- or 8-byte plane scalar, so a
+/// cell of codes work finishes roughly this many times faster than a
+/// cell of plane work. Work estimates fed to the thread-gating helpers
+/// are divided by this factor first — a cheaper kernel needs *more*
+/// cells per worker to amortize the same fork–join overhead.
+pub const CODES_WORK_DIVISOR: usize = 2;
+
+/// The thread-gating work equivalent of `cells` packed-code
+/// gather-accumulate steps, in plane-step units (the currency of
+/// [`PAR_CHUNK_WORK`] and [`PAR_WORK_THRESHOLD`]).
+#[must_use]
+pub fn codes_work(cells: usize) -> usize {
+    (cells / CODES_WORK_DIVISOR).max(1)
+}
+
 /// The number of worker threads parallel searches may use:
 /// `FEMCAM_THREADS` when set to a positive integer, otherwise the
 /// machine's available parallelism.

@@ -31,11 +31,12 @@ pub use femcam_nn as nn;
 /// Commonly used items from across the workspace.
 pub mod prelude {
     pub use femcam_core::{
-        accuracy, top_k_indices, AcamArray, AcamCell, BankedMcam, CompiledBanked, CompiledMcam,
-        ConductanceLut, Cosine, Distance, DistanceKind, Euclidean, LevelLadder, Linf, McamArray,
-        McamArrayBuilder, McamCell, McamNn, McamSoftware, MlTiming, NnIndex, PlaneScalar,
-        Precision, QuantizeStrategy, Quantizer, SearchOutcome, SenseAmp, SoftwareNn, TcamArray,
-        TcamLshNn, Ternary, VariationSpec,
+        accuracy, top_k_indices, AcamArray, AcamCell, BankedMcam, CodesDispatch, CompiledBanked,
+        CompiledBankedCodes, CompiledCodes, CompiledMcam, ConductanceLut, Cosine, Distance,
+        DistanceKind, Euclidean, LevelLadder, Linf, McamArray, McamArrayBuilder, McamCell, McamNn,
+        McamSoftware, MlTiming, NnIndex, PlanMemoryBytes, PlaneScalar, Precision, QuantizeStrategy,
+        Quantizer, SearchOutcome, SenseAmp, SoftwareNn, TcamArray, TcamLshNn, Ternary,
+        VariationSpec,
     };
     pub use femcam_data::{
         synth, ClassFeatureSource, Dataset, GlyphClass, GlyphRenderer, PrototypeFeatureModel,

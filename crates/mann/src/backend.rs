@@ -31,8 +31,9 @@ pub enum Backend {
         lut: Option<ConductanceLut>,
         /// Execution precision of the compiled search kernel
         /// ([`Precision::F64`] = bit-identical reference,
-        /// [`Precision::F32`] = opt-in fast mode; see
-        /// `femcam_core::exec`'s "Precision modes").
+        /// [`Precision::F32`] = opt-in fast mode,
+        /// [`Precision::Codes`] = byte-packed level-code mode; see
+        /// `femcam_core::exec`'s "Precision modes" and "Codes mode").
         precision: Precision,
     },
     /// The TCAM+LSH baseline.
@@ -87,6 +88,22 @@ impl Backend {
         }
     }
 
+    /// Nominal MCAM backend running the byte-packed level-code kernel
+    /// ([`Precision::Codes`]): bit-identical to [`mcam_f32`](Self::mcam_f32)
+    /// results on the shared-LUT arrays episodes build, at a fraction
+    /// of the plan bandwidth and resident bytes (see
+    /// `femcam_core::exec`'s "Codes mode").
+    #[must_use]
+    pub fn mcam_codes(bits: u8) -> Self {
+        Backend::Mcam {
+            bits,
+            strategy: QuantizeStrategy::PerFeatureQuantile,
+            variation_sigma: 0.0,
+            lut: None,
+            precision: Precision::Codes,
+        }
+    }
+
     /// MCAM backend with Gaussian `Vth` variation (paper Fig. 8).
     #[must_use]
     pub fn mcam_with_variation(bits: u8, sigma_v: f64) -> Self {
@@ -138,8 +155,8 @@ impl Backend {
                 if lut.is_some() {
                     n.push_str("-exp");
                 }
-                if *precision == Precision::F32 {
-                    n.push_str("-f32");
+                if *precision != Precision::F64 {
+                    n.push_str(&format!("-{}", precision.name()));
                 }
                 n
             }
@@ -307,6 +324,32 @@ mod tests {
             let r = reference.query(&q).unwrap();
             assert_eq!(f.label, r.label);
             assert!(((f.score - r.score) / r.score).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn codes_backend_matches_f32_bitwise() {
+        let model = FefetModel::default();
+        let cal = calibration_data();
+        let cal_refs: Vec<&[f32]> = cal.iter().map(|r| r.as_slice()).collect();
+        let backend = Backend::mcam_codes(3);
+        assert_eq!(backend.name(), "mcam-3bit-codes");
+        let mut codes = backend.build_index(&cal_refs, 4, 1, &model).unwrap();
+        let mut fast = Backend::mcam_f32(3)
+            .build_index(&cal_refs, 4, 1, &model)
+            .unwrap();
+        for idx in [&mut codes, &mut fast] {
+            idx.add(&[0.0, 1.0, 0.0, 0.0], 0).unwrap();
+            idx.add(&[1.0, 0.0, 0.5, -1.0], 1).unwrap();
+        }
+        // Episodes build shared-LUT arrays, so codes results are
+        // bit-identical to the f32 plane kernel — scores and all.
+        for q in [[0.95f32, 0.05, 0.45, -0.9], [0.0, 0.9, 0.05, 0.0]] {
+            let c = codes.query(&q).unwrap();
+            let f = fast.query(&q).unwrap();
+            assert_eq!(c.label, f.label);
+            assert_eq!(c.index, f.index);
+            assert_eq!(c.score, f.score, "codes score drifted from f32");
         }
     }
 

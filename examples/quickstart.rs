@@ -88,5 +88,28 @@ fn main() -> femcam_core::Result<()> {
     for (i, o) in outcomes.iter().enumerate() {
         println!("batched query {i} -> nearest row {}", o.best_row());
     }
+
+    // 8. Codes mode: the lowest-bandwidth execution backend. Instead of
+    //    dense conductance planes, the cached plan keeps one byte-packed
+    //    level code per cell plus the shared LUT in f32 — bit-identical
+    //    to the f32 plane kernel on shared-LUT arrays like this one, at
+    //    a fraction of the resident plan memory.
+    let level_refs: Vec<&[u8]> = levels.iter().map(|l| l.as_slice()).collect();
+    let codes_outcomes = array.search_batch_with(&level_refs, Precision::Codes)?;
+    let f32_outcomes = array.search_batch_with(&level_refs, Precision::F32)?;
+    for (c, f) in codes_outcomes.iter().zip(&f32_outcomes) {
+        assert_eq!(c.conductances(), f.conductances(), "codes == f32, bitwise");
+    }
+    let mem = array.plan_memory_bytes();
+    println!(
+        "\ncodes mode: winners {:?}, plan bytes f64 {} / f32 {} / codes {}",
+        codes_outcomes
+            .iter()
+            .map(SearchOutcome::best_row)
+            .collect::<Vec<_>>(),
+        mem.f64_plane,
+        mem.f32_plane,
+        mem.codes,
+    );
     Ok(())
 }

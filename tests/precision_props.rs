@@ -1,7 +1,7 @@
 //! Property tests for the precision-generic execution layer and the
 //! cached auto-recompiling plans (`femcam_core::exec`).
 //!
-//! Two contracts are pinned here:
+//! Three contracts are pinned here:
 //!
 //! 1. **f32 accuracy** — the opt-in `f32` fast mode must agree with the
 //!    `f64` reference on top-1 and top-k up to the documented error
@@ -10,11 +10,17 @@
 //!    within `REL_TOL` of each other (i.e. the rows were
 //!    f32-indistinguishable), across random ladders, bits ∈ {2, 3, 4},
 //!    and device variation on/off.
-//! 2. **Plan-cache invalidation** — a search issued after `store` sees
+//! 2. **Codes exactness** — the byte-packed level-code mode
+//!    (`Precision::Codes`) is **bit-identical** to `f32` on shared-LUT
+//!    arrays (every entry point: full outcomes, winners, top-k, flat
+//!    and banked), and on variation arrays it transparently falls back
+//!    to the very same `f32` plane plan, again bitwise.
+//! 3. **Plan-cache invalidation** — a search issued after `store` sees
 //!    the new rows, and the cached `f64` path stays bit-identical to a
 //!    fresh compile and to the scalar physics path at every step of an
 //!    interleaved store/search sequence, for flat arrays, banked
-//!    memories, and the `McamNn` engine.
+//!    memories, and the `McamNn` engine; the codes slot invalidates on
+//!    store like the plane slots.
 
 use proptest::prelude::*;
 
@@ -132,6 +138,143 @@ proptest! {
         }
     }
 
+    /// Codes mode is bit-identical to f32 on shared-LUT arrays, across
+    /// every entry point: the compiled plans directly, the cached array
+    /// front doors (outcomes, winners, top-k), and the dispatch is the
+    /// packed kernel (no silent plane fallback).
+    #[test]
+    fn codes_bit_identical_to_f32_on_shared_lut(
+        bits in 2u8..=4,
+        word_len in 1usize..8,
+        n_rows in 1usize..24,
+        k in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let n_levels = 1usize << bits;
+        let rows: Vec<Vec<u8>> =
+            (0..n_rows).map(|i| gen_word(word_len, n_levels, seed, i)).collect();
+        let array = build_array(bits, word_len, &rows, 0.0, seed);
+        let dispatch = array.compiled_codes().expect("codes plan");
+        prop_assert!(dispatch.is_packed(), "shared-LUT array must use the packed kernel");
+        let plan32 = array.compiled_f32().expect("f32 plan");
+        let queries: Vec<Vec<u8>> =
+            (0..4).map(|s| gen_word(word_len, n_levels, seed, 800 + s)).collect();
+        let refs: Vec<&[u8]> = queries.iter().map(|q| q.as_slice()).collect();
+        for q in &refs {
+            let oc = dispatch.search(q).expect("codes search");
+            let of = plan32.search(q).expect("f32 search");
+            prop_assert_eq!(oc.conductances(), of.conductances());
+        }
+        // Cached array front doors, all three batched shapes.
+        let bc = array.search_batch_with(&refs, Precision::Codes).expect("codes batch");
+        let bf = array.search_batch_with(&refs, Precision::F32).expect("f32 batch");
+        for (c, f) in bc.iter().zip(&bf) {
+            prop_assert_eq!(c.conductances(), f.conductances());
+        }
+        prop_assert_eq!(
+            array.search_batch_winners_with(&refs, Precision::Codes).expect("codes winners"),
+            array.search_batch_winners_with(&refs, Precision::F32).expect("f32 winners")
+        );
+        prop_assert_eq!(
+            array.search_batch_top_k_with(&refs, k, Precision::Codes).expect("codes top k"),
+            array.search_batch_top_k_with(&refs, k, Precision::F32).expect("f32 top k")
+        );
+    }
+
+    /// Variation arrays cannot share a LUT: codes mode must dispatch to
+    /// the f32 plane fallback and produce bitwise-f32 results from
+    /// every entry point.
+    #[test]
+    fn codes_falls_back_to_f32_under_variation(
+        bits in 2u8..=4,
+        word_len in 1usize..7,
+        n_rows in 1usize..16,
+        seed in 0u64..1000,
+    ) {
+        let n_levels = 1usize << bits;
+        let rows: Vec<Vec<u8>> =
+            (0..n_rows).map(|i| gen_word(word_len, n_levels, seed, i * 2 + 1)).collect();
+        let array = build_array(bits, word_len, &rows, 0.07, seed ^ 0xC0DE5);
+        let dispatch = array.compiled_codes().expect("codes dispatch");
+        prop_assert!(!dispatch.is_packed(), "variation array must fall back to planes");
+        let queries: Vec<Vec<u8>> =
+            (0..3).map(|s| gen_word(word_len, n_levels, seed, 700 + s)).collect();
+        let refs: Vec<&[u8]> = queries.iter().map(|q| q.as_slice()).collect();
+        let bc = array.search_batch_with(&refs, Precision::Codes).expect("codes batch");
+        let bf = array.search_batch_with(&refs, Precision::F32).expect("f32 batch");
+        for (c, f) in bc.iter().zip(&bf) {
+            prop_assert_eq!(c.conductances(), f.conductances());
+        }
+        let single_codes = array.search_with(&queries[0], Precision::Codes).expect("codes");
+        let single_f32 = array.search_with(&queries[0], Precision::F32).expect("f32");
+        prop_assert_eq!(single_codes.conductances(), single_f32.conductances());
+    }
+
+    /// The codes slot invalidates on store at every entry point: flat
+    /// arrays, banked memories, and the `McamNn` engine all see rows
+    /// stored after the plan was cached, and stay bitwise-f32
+    /// throughout the interleaving.
+    #[test]
+    fn codes_cache_invalidation_tracks_stores(
+        rows_per_bank in 1usize..5,
+        n_steps in 1usize..8,
+        seed in 0u64..500,
+    ) {
+        let ladder = LevelLadder::new(3).expect("ladder");
+        let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+        let mut banked = BankedMcam::new(ladder, lut.clone(), 4, rows_per_bank);
+        let mut flat = McamArray::new(ladder, lut, 4);
+        for step in 0..n_steps {
+            let word = gen_word(4, 8, seed, step);
+            banked.store(&word).expect("store banked");
+            flat.store(&word).expect("store flat");
+            // Flat: the cached codes plan reflects every store.
+            let outcome = flat
+                .search_with(&word, Precision::Codes)
+                .expect("flat codes");
+            prop_assert_eq!(outcome.conductances().len(), step + 1);
+            // The row just stored is an exact match on a nominal
+            // array, so it ties the winning conductance.
+            prop_assert_eq!(
+                outcome.conductance(outcome.best_row()),
+                outcome.conductance(step)
+            );
+            // Banked: codes winners equal f32 winners bitwise while
+            // rows keep arriving (per-bank codes slots invalidate
+            // independently).
+            let queries: Vec<Vec<u8>> = (0..3)
+                .map(|s| gen_word(4, 8, seed, 300 + step * 3 + s))
+                .collect();
+            let refs: Vec<&[u8]> = queries.iter().map(|q| q.as_slice()).collect();
+            prop_assert_eq!(
+                banked.search_batch_with(&refs, Precision::Codes).expect("banked codes"),
+                banked.search_batch_with(&refs, Precision::F32).expect("banked f32")
+            );
+        }
+        // Engine entry point: add() must invalidate the codes slot so
+        // the next query sees the new entry.
+        let entries: Vec<Vec<f32>> = (0..n_steps.max(2))
+            .map(|i| (0..3).map(|c| ((seed as usize + i * 7 + c * 3) % 53) as f32 / 53.0).collect())
+            .collect();
+        let mut idx = McamNn::fit(
+            3,
+            entries.iter().map(|e| e.as_slice()),
+            3,
+            QuantizeStrategy::PerFeatureMinMax,
+            &FefetModel::default(),
+        )
+        .expect("fit")
+        .with_precision(Precision::Codes);
+        for (i, e) in entries.iter().enumerate() {
+            idx.add(e, i as u32).expect("add");
+            let hits = idx.query_k(e, entries.len()).expect("query after add");
+            prop_assert!(
+                hits.iter().any(|h| h.index == i),
+                "codes query must see the row just added"
+            );
+        }
+    }
+
     /// Interleaved store/search: the cached plan always reflects the
     /// latest contents, bit-identically to both a fresh compile and the
     /// scalar reference.
@@ -236,7 +379,7 @@ proptest! {
     fn mcam_engine_precision_and_cache(
         dims in 1usize..5,
         n_entries in 2usize..10,
-        use_f32 in any::<bool>(),
+        precision_sel in 0usize..3,
         seed in 0u64..300,
     ) {
         let entries: Vec<Vec<f32>> = (0..n_entries)
@@ -247,7 +390,7 @@ proptest! {
             })
             .collect();
         let refs: Vec<&[f32]> = entries.iter().map(|e| e.as_slice()).collect();
-        let precision = if use_f32 { Precision::F32 } else { Precision::F64 };
+        let precision = [Precision::F64, Precision::F32, Precision::Codes][precision_sel];
         let mut idx = McamNn::fit(
             3,
             refs.iter().copied(),
