@@ -10,27 +10,38 @@
 //! resolves to the same worker count execute byte-identical code, so
 //! they are timed once and emitted once.
 //!
+//! The recorder also runs a **closed-loop serving sweep**: 32 client
+//! threads submit single queries through the `femcam-serve`
+//! micro-batching dispatcher over the same memory geometry, recording
+//! achieved batch size, wall-clock µs/query, and wait percentiles
+//! under the `serving` key.
+//!
 //! `FEMCAM_BENCH_MS` shortens the per-config sampling window (CI smoke
 //! mode); with the default full window the recorder *asserts* the
 //! performance contracts of the executor — multi-thread throughput
 //! never below single-thread at batch ≥ 64 (`speedup_threads >= 1`),
 //! the opt-in f32 kernel at least 1.5× over f64, the packed-code
-//! kernel at least 1.5× over f32, and codes plan memory at least 16×
-//! below the f64 planes on the sweep geometry.
+//! kernel at least 1.5× over f32, codes plan memory at least 16×
+//! below the f64 planes on the sweep geometry, and for the serving
+//! sweep an achieved batch of at least 8 with µs/query within 2× of
+//! the offline batch-64 number at the same precision.
 
 use std::collections::HashMap;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use femcam_core::{
-    par, BankedMcam, ConductanceLut, Euclidean, LevelLadder, McamArray, NnIndex, SoftwareNn,
-    TcamArray,
+    par, BankedMcam, ConductanceLut, Euclidean, LevelLadder, McamArray, NnIndex, Precision,
+    SoftwareNn, TcamArray,
 };
 use femcam_device::FefetModel;
 use femcam_lsh::RandomHyperplanes;
+use femcam_serve::{McamServer, ServeConfig};
 
 const WORD_LEN: usize = 64;
 
@@ -202,6 +213,78 @@ fn ns_per_query<F: FnMut()>(queries_per_call: usize, min_calls: usize, mut f: F)
     start.elapsed().as_nanos() as f64 / (calls * queries_per_call) as f64
 }
 
+/// Closed-loop clients for the serving measurement: each keeps exactly
+/// one request in flight, the arrival pattern an online deployment
+/// sees from independent callers.
+const SERVE_CLIENTS: usize = 32;
+
+/// Result of one closed-loop serving measurement.
+struct ServingMeasurement {
+    precision: Precision,
+    queries: u64,
+    us_per_query: f64,
+    achieved_batch_mean: f64,
+    achieved_batch_max: usize,
+    p50_wait_us: f64,
+    p99_wait_us: f64,
+    exec_us_per_query: f64,
+}
+
+/// Drives `SERVE_CLIENTS` closed-loop client threads against a
+/// micro-batching server over the sweep memory for one sampling
+/// window and reports achieved batch size and per-query wall time.
+fn measure_serving(precision: Precision) -> ServingMeasurement {
+    let (banked, _) = sweep_memory(11);
+    // max_batch == client count: the window closes as soon as every
+    // client has resubmitted, so a full complement of closed-loop
+    // clients never idles out the batching window.
+    let server = McamServer::start(
+        banked,
+        ServeConfig {
+            max_batch: SERVE_CLIENTS,
+            max_wait: Duration::from_micros(300),
+            precision,
+            ..ServeConfig::default()
+        },
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let clients: Vec<_> = (0..SERVE_CLIENTS)
+        .map(|c| {
+            let handle = server.handle();
+            let stop = Arc::clone(&stop);
+            let mut rng = StdRng::seed_from_u64(0x5E21 + c as u64);
+            std::thread::spawn(move || {
+                let mut done = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let query = random_levels(&mut rng, WORD_LEN);
+                    handle.search(&query).expect("served search");
+                    done += 1;
+                }
+                done
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(
+        u64::try_from(bench_window_ms()).unwrap_or(300),
+    ));
+    stop.store(true, Ordering::Relaxed);
+    let queries: u64 = clients.into_iter().map(|c| c.join().unwrap()).sum();
+    let elapsed = started.elapsed();
+    let stats = server.stats();
+    drop(server);
+    ServingMeasurement {
+        precision,
+        queries,
+        us_per_query: elapsed.as_secs_f64() * 1e6 / queries.max(1) as f64,
+        achieved_batch_mean: stats.mean_batch,
+        achieved_batch_max: stats.max_batch,
+        p50_wait_us: stats.p50_wait_us,
+        p99_wait_us: stats.p99_wait_us,
+        exec_us_per_query: stats.mean_exec_us_per_query,
+    }
+}
+
 /// Records the machine-readable throughput baseline the acceptance
 /// criterion checks: seed-style scalar row-by-row search vs the
 /// compiled, batched multi-bank executor, plus the full sweep grid.
@@ -348,6 +431,7 @@ fn record_search_baseline(_c: &mut Criterion) {
     let mut precision_lines = Vec::new();
     let mut speedup_f32 = 0.0f64;
     let mut speedup_codes = 0.0f64;
+    let mut offline_b64_ns: HashMap<&'static str, f64> = HashMap::new();
     for &batch in BATCH_SIZES.iter().filter(|&&b| b >= 64) {
         let refs: Vec<&[u8]> = queries[..batch].iter().map(|q| q.as_slice()).collect();
         let (eff, ns64) = measure(max_threads, batch, &mut measured);
@@ -357,6 +441,13 @@ fn record_search_baseline(_c: &mut Criterion) {
         let ns_codes = ns_per_query(batch, 2, || {
             std::hint::black_box(plan_codes.search_batch(&refs, eff).unwrap());
         });
+        if batch == 64 {
+            // The offline reference the serving contract compares
+            // against: batch-64 per-query cost at each precision.
+            offline_b64_ns.insert("f64", ns64);
+            offline_b64_ns.insert("f32", ns32);
+            offline_b64_ns.insert("codes", ns_codes);
+        }
         speedup_f32 = speedup_f32.max(ns64 / ns32);
         speedup_codes = speedup_codes.max(ns32 / ns_codes);
         for (precision, ns) in [("f64", ns64), ("f32", ns32), ("codes", ns_codes)] {
@@ -368,6 +459,43 @@ fn record_search_baseline(_c: &mut Criterion) {
             ));
         }
     }
+
+    // Closed-loop serving sweep: single-query submissions through the
+    // femcam-serve micro-batcher over the same memory geometry, at the
+    // fast execution modes. The contract ties online throughput to the
+    // offline batch kernel: achieved batch >= 8, and wall-clock
+    // µs/query within 2x of the offline batch-64 number at the same
+    // precision.
+    let serving: Vec<ServingMeasurement> = [Precision::F32, Precision::Codes]
+        .into_iter()
+        .map(measure_serving)
+        .collect();
+    let serving_lines: Vec<String> = serving
+        .iter()
+        .map(|m| {
+            let offline_us = offline_b64_ns[m.precision.name()] / 1e3;
+            format!(
+                "    {{\"precision\": \"{}\", \"clients\": {SERVE_CLIENTS}, \
+                 \"queries\": {}, \"us_per_query\": {:.1}, \
+                 \"queries_per_s\": {:.1}, \"achieved_batch_mean\": {:.1}, \
+                 \"achieved_batch_max\": {}, \"p50_wait_us\": {:.0}, \
+                 \"p99_wait_us\": {:.0}, \"exec_us_per_query\": {:.1}, \
+                 \"offline_batch64_us_per_query\": {:.1}, \
+                 \"ratio_vs_offline_batch64\": {:.2}}}",
+                m.precision.name(),
+                m.queries,
+                m.us_per_query,
+                1e6 / m.us_per_query,
+                m.achieved_batch_mean,
+                m.achieved_batch_max,
+                m.p50_wait_us,
+                m.p99_wait_us,
+                m.exec_us_per_query,
+                offline_us,
+                m.us_per_query / offline_us,
+            )
+        })
+        .collect();
 
     let speedup = scalar_ns / best_batched_ns;
     let json = format!(
@@ -384,11 +512,13 @@ fn record_search_baseline(_c: &mut Criterion) {
          \"plan_modes\": [\n{}\n  ],\n\
          \"sweep\": [\n{}\n  ],\n\
          \"thread_scaling\": [\n{}\n  ],\n\
-         \"precision\": [\n{}\n  ]\n}}\n",
+         \"precision\": [\n{}\n  ],\n\
+         \"serving\": [\n{}\n  ]\n}}\n",
         plan_mode_lines.join(",\n"),
         sweep_lines.join(",\n"),
         scaling_lines.join(",\n"),
-        precision_lines.join(",\n")
+        precision_lines.join(",\n"),
+        serving_lines.join(",\n")
     );
     let path = femcam_bench::results_dir().join("BENCH_search.json");
     std::fs::write(&path, &json).expect("write BENCH_search.json");
@@ -399,6 +529,22 @@ fn record_search_baseline(_c: &mut Criterion) {
          plan bytes f64/codes: {plan_ratio:.0}x -> {}",
         path.display()
     );
+    for m in &serving {
+        println!(
+            "serving ({}): {} clients, {:.1} us/query wall \
+             (exec {:.1}, offline batch-64 {:.1}), achieved batch {:.1} \
+             (max {}), wait p50 {:.0} us / p99 {:.0} us",
+            m.precision.name(),
+            SERVE_CLIENTS,
+            m.us_per_query,
+            m.exec_us_per_query,
+            offline_b64_ns[m.precision.name()] / 1e3,
+            m.achieved_batch_mean,
+            m.achieved_batch_max,
+            m.p50_wait_us,
+            m.p99_wait_us,
+        );
+    }
 
     // Performance-contract guards, enforced only with the full sampling
     // window (FEMCAM_BENCH_MS unset) and after the JSON is on disk so a
@@ -443,6 +589,30 @@ fn record_search_baseline(_c: &mut Criterion) {
              (contract: >= 16x; see {})",
             path.display()
         );
+        // Serving contracts: micro-batching must actually coalesce
+        // closed-loop single-query traffic (achieved batch >= 8) and
+        // keep wall-clock per-query cost within 2x of the offline
+        // batch-64 kernel at the same precision.
+        for m in &serving {
+            let offline_us = offline_b64_ns[m.precision.name()] / 1e3;
+            assert!(
+                m.achieved_batch_mean >= 8.0,
+                "serving ({}) achieved batch {:.1} below the 8-query \
+                 contract (see {})",
+                m.precision.name(),
+                m.achieved_batch_mean,
+                path.display()
+            );
+            assert!(
+                m.us_per_query <= 2.0 * offline_us,
+                "serving ({}) {:.1} us/query exceeds 2x the offline \
+                 batch-64 number {:.1} us (see {})",
+                m.precision.name(),
+                m.us_per_query,
+                offline_us,
+                path.display()
+            );
+        }
     } else if speedup_threads < 1.0 || speedup_f32 < 1.5 || speedup_codes < 1.5 {
         println!(
             "warning (smoke mode, contracts not enforced): \

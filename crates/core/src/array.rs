@@ -595,10 +595,22 @@ impl McamArray {
     /// [`search`](Self::search), in query order; the plan compiles on
     /// the first call after a mutation and is reused afterwards.
     ///
+    /// # Empty-batch contract
+    ///
+    /// All batch entry points on this type (and on
+    /// [`crate::banked::BankedMcam`]) share one contract with
+    /// [`search`](Self::search): an empty **array** is an error first —
+    /// [`CoreError::EmptyArray`], even when the batch is also empty —
+    /// while an empty **batch** against a nonempty array is a no-op
+    /// (`Ok(vec![])`). A caller that cannot search one query at a time
+    /// cannot search zero of them in a batch either.
+    ///
     /// # Errors
     ///
-    /// Propagates the first failing [`search`](Self::search) in query
-    /// order.
+    /// * [`CoreError::EmptyArray`] if nothing is stored (even for an
+    ///   empty batch).
+    /// * Otherwise the first failing [`search`](Self::search) in query
+    ///   order.
     pub fn search_batch<'a, I>(&self, queries: I) -> Result<Vec<SearchOutcome>>
     where
         I: IntoIterator<Item = &'a [u8]>,
@@ -617,6 +629,9 @@ impl McamArray {
         queries: &[&[u8]],
         precision: Precision,
     ) -> Result<Vec<SearchOutcome>> {
+        if self.is_empty() {
+            return Err(CoreError::EmptyArray);
+        }
         if queries.is_empty() {
             return Ok(Vec::new());
         }
@@ -643,6 +658,9 @@ impl McamArray {
         queries: &[&[u8]],
         precision: Precision,
     ) -> Result<Vec<(usize, f64)>> {
+        if self.is_empty() {
+            return Err(CoreError::EmptyArray);
+        }
         if queries.is_empty() {
             return Ok(Vec::new());
         }
@@ -679,6 +697,9 @@ impl McamArray {
         k: usize,
         precision: Precision,
     ) -> Result<Vec<Vec<(usize, f64)>>> {
+        if self.is_empty() {
+            return Err(CoreError::EmptyArray);
+        }
         if queries.is_empty() {
             return Ok(Vec::new());
         }

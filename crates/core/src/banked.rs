@@ -104,6 +104,38 @@ impl BankedMcam {
         self.rows_per_bank
     }
 
+    /// Cells per stored word.
+    #[must_use]
+    pub fn word_len(&self) -> usize {
+        self.word_len
+    }
+
+    /// The level ladder shared by every bank.
+    #[must_use]
+    pub fn ladder(&self) -> &LevelLadder {
+        &self.ladder
+    }
+
+    /// The nominal LUT shared by every bank.
+    #[must_use]
+    pub fn lut(&self) -> &ConductanceLut {
+        &self.lut
+    }
+
+    /// Validates a query against this memory's geometry (word length
+    /// and ladder levels) without executing it — what a serving front
+    /// end runs at admission time, so a malformed request is rejected
+    /// synchronously instead of failing a whole micro-batch later.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::WordLengthMismatch`] /
+    /// [`CoreError::LevelOutOfRange`] exactly as
+    /// [`search`](Self::search) would report them.
+    pub fn check_query(&self, query: &[u8]) -> Result<()> {
+        exec::validate_query(self.word_len, self.ladder.n_levels(), query)
+    }
+
     /// Stores a word, allocating a new bank when the last one is full;
     /// returns the global row index.
     ///
@@ -270,10 +302,14 @@ impl BankedMcam {
     ///
     /// # Errors
     ///
-    /// * [`CoreError::EmptyArray`] if nothing is stored (and the batch
-    ///   is nonempty).
+    /// * [`CoreError::EmptyArray`] if nothing is stored — even for an
+    ///   empty batch, matching [`search`](Self::search) (see the
+    ///   empty-batch contract on [`McamArray::search_batch`]).
     /// * The first failing query (in query order) fails the batch.
     pub fn search_batch(&self, queries: &[&[u8]]) -> Result<Vec<(usize, f64)>> {
+        if self.is_empty() {
+            return Err(CoreError::EmptyArray);
+        }
         if queries.is_empty() {
             return Ok(Vec::new());
         }
@@ -296,6 +332,9 @@ impl BankedMcam {
         queries: &[&[u8]],
         precision: Precision,
     ) -> Result<Vec<(usize, f64)>> {
+        if self.is_empty() {
+            return Err(CoreError::EmptyArray);
+        }
         if queries.is_empty() {
             return Ok(Vec::new());
         }
@@ -304,6 +343,71 @@ impl BankedMcam {
             Precision::F32 => self.search_batch_impl::<f32>(queries),
             Precision::Codes => self.search_batch_codes(queries),
         }
+    }
+
+    /// Each query's merged `(global_row, total_conductance)` winner at
+    /// a chosen [`Precision`] — the **default serving path**: winners
+    /// fold on the workers' reusable scratch, no per-query row vector
+    /// is ever materialized, and results are bit-identical to calling
+    /// [`search_with`](Self::search_with) per query at any thread
+    /// count.
+    ///
+    /// On a banked memory the batch path already reduces to winners
+    /// (the hierarchical winner-take-all merge), so this is the same
+    /// kernel as [`search_batch_with`](Self::search_batch_with) under
+    /// a name that pins the serving contract.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search_batch`](Self::search_batch).
+    pub fn search_batch_winners_with(
+        &self,
+        queries: &[&[u8]],
+        precision: Precision,
+    ) -> Result<Vec<(usize, f64)>> {
+        self.search_batch_with(queries, precision)
+    }
+
+    /// The `k` nearest rows for one query as
+    /// `(global_row, total_conductance)` pairs, nearest first:
+    /// per-bank bounded-heap top-k through each bank's cached plan at
+    /// `precision`, merged by ascending `(conductance, global_row)` —
+    /// so exact ties resolve to the lowest global row, identically to
+    /// the flat [`McamArray::search_batch_top_k_with`] ordering.
+    ///
+    /// `k` is clamped, never an error: `0` returns an empty vector,
+    /// `k > n_rows()` returns every row (the
+    /// [`crate::engines::NnIndex::query_k`] contract).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search`](Self::search).
+    pub fn search_top_k_with(
+        &self,
+        query: &[u8],
+        k: usize,
+        precision: Precision,
+    ) -> Result<Vec<(usize, f64)>> {
+        if self.is_empty() {
+            return Err(CoreError::EmptyArray);
+        }
+        self.check_query(query)?;
+        let k = k.min(self.n_rows());
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let mut candidates: Vec<(usize, f64)> = Vec::new();
+        for (bank_idx, bank) in self.banks.iter().enumerate() {
+            let hits = bank.search_batch_top_k_with(&[query], k, precision)?;
+            let hits = hits.into_iter().next().expect("one query in, one out");
+            candidates.extend(
+                hits.into_iter()
+                    .map(|(local, g)| (bank_idx * self.rows_per_bank + local, g)),
+            );
+        }
+        candidates.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        candidates.truncate(k);
+        Ok(candidates)
     }
 
     /// Compiles every bank into a reusable multi-bank query plan (see
@@ -452,6 +556,31 @@ mod tests {
     }
 
     #[test]
+    fn banked_top_k_matches_flat_top_k() {
+        let ladder = LevelLadder::new(3).unwrap();
+        let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+        let mut banked = BankedMcam::new(ladder, lut.clone(), 6, 4);
+        let mut flat = McamArray::new(ladder, lut, 6);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..17 {
+            let word: Vec<u8> = (0..6).map(|_| rng.gen_range(0..8)).collect();
+            banked.store(&word).unwrap();
+            flat.store(&word).unwrap();
+        }
+        let query: Vec<u8> = (0..6).map(|_| rng.gen_range(0..8)).collect();
+        for precision in [Precision::F64, Precision::F32, Precision::Codes] {
+            for k in [0usize, 1, 5, 17, 100] {
+                let banked_k = banked.search_top_k_with(&query, k, precision).unwrap();
+                let flat_k = flat
+                    .search_batch_top_k_with(&[&query], k, precision)
+                    .unwrap()
+                    .remove(0);
+                assert_eq!(banked_k, flat_k, "k={k} {precision:?}");
+            }
+        }
+    }
+
+    #[test]
     fn compiled_banked_plan_is_reusable() {
         let ladder = LevelLadder::new(2).unwrap();
         let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
@@ -513,6 +642,38 @@ mod tests {
     fn empty_banked_memory_refuses_search() {
         let b = setup(4);
         assert!(matches!(b.search(&[0; 8]), Err(CoreError::EmptyArray)));
+        // The batch entry points share the contract — even for an
+        // empty batch (see McamArray::search_batch's contract docs).
+        assert!(matches!(b.search_batch(&[]), Err(CoreError::EmptyArray)));
+        assert!(matches!(
+            b.search_batch_with(&[], Precision::Codes),
+            Err(CoreError::EmptyArray)
+        ));
+        assert!(matches!(
+            b.search_batch_winners_with(&[], Precision::F32),
+            Err(CoreError::EmptyArray)
+        ));
+    }
+
+    #[test]
+    fn query_validation_matches_search_errors() {
+        let mut b = setup(2);
+        b.store(&[1; 8]).unwrap();
+        assert!(b.check_query(&[1; 8]).is_ok());
+        assert!(matches!(
+            b.check_query(&[1; 7]),
+            Err(CoreError::WordLengthMismatch {
+                expected: 8,
+                actual: 7
+            })
+        ));
+        assert!(matches!(
+            b.check_query(&[9; 8]),
+            Err(CoreError::LevelOutOfRange { level: 9, max: 7 })
+        ));
+        assert_eq!(b.word_len(), 8);
+        assert_eq!(b.ladder().n_levels(), 8);
+        assert_eq!(b.lut().n_levels(), 8);
     }
 
     #[test]

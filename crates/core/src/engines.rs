@@ -68,12 +68,21 @@ pub trait NnIndex {
     /// [`CoreError::DimensionMismatch`] for wrong-length queries.
     fn query(&self, features: &[f32]) -> Result<QueryResult>;
 
-    /// Finds the `k` nearest stored entries, nearest first (fewer if
-    /// the index holds fewer).
+    /// Finds the `k` nearest stored entries, nearest first.
+    ///
+    /// # `k` contract (uniform across engines)
+    ///
+    /// `k` is **clamped, never an error**: `k = 0` returns an empty
+    /// vector, `k > len()` returns all `len()` entries — identically
+    /// for every engine in this crate and for the batched variants
+    /// ([`query_k_batch`](Self::query_k_batch)), so callers can pass a
+    /// user-supplied `k` straight through without pre-validating it
+    /// against the index size.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`query`](Self::query).
+    /// Same conditions as [`query`](Self::query) — an empty index or a
+    /// malformed query, never an out-of-range `k`.
     fn query_k(&self, features: &[f32], k: usize) -> Result<Vec<QueryResult>>;
 
     /// Finds the nearest stored entry for each query, in query order.
@@ -85,8 +94,15 @@ pub trait NnIndex {
     ///
     /// # Errors
     ///
-    /// The first failing query (in query order) fails the batch.
+    /// * [`CoreError::EmptyArray`] if the index is empty — even for an
+    ///   empty batch, matching [`query`](Self::query) (the same
+    ///   contract as [`crate::McamArray::search_batch`]).
+    /// * Otherwise the first failing query (in query order) fails the
+    ///   batch; an empty batch on a nonempty index is `Ok(vec![])`.
     fn query_batch(&self, queries: &[&[f32]]) -> Result<Vec<QueryResult>> {
+        if self.is_empty() {
+            return Err(CoreError::EmptyArray);
+        }
         queries.iter().map(|q| self.query(q)).collect()
     }
 
@@ -94,12 +110,16 @@ pub trait NnIndex {
     /// order (nearest first within each result).
     ///
     /// Default and override semantics mirror
-    /// [`query_batch`](Self::query_batch).
+    /// [`query_batch`](Self::query_batch); `k` is clamped exactly as
+    /// in [`query_k`](Self::query_k).
     ///
     /// # Errors
     ///
-    /// The first failing query (in query order) fails the batch.
+    /// Same conditions as [`query_batch`](Self::query_batch).
     fn query_k_batch(&self, queries: &[&[f32]], k: usize) -> Result<Vec<Vec<QueryResult>>> {
+        if self.is_empty() {
+            return Err(CoreError::EmptyArray);
+        }
         queries.iter().map(|q| self.query_k(q, k)).collect()
     }
 
@@ -236,11 +256,17 @@ impl<D: Distance> NnIndex for SoftwareNn<D> {
     }
 
     fn query_batch(&self, queries: &[&[f32]]) -> Result<Vec<QueryResult>> {
+        if self.is_empty() {
+            return Err(CoreError::EmptyArray);
+        }
         let threads = par::threads_for(queries.len() * self.len() * self.dims);
         par::try_par_map(queries, threads, |_, q| self.query(q))
     }
 
     fn query_k_batch(&self, queries: &[&[f32]], k: usize) -> Result<Vec<Vec<QueryResult>>> {
+        if self.is_empty() {
+            return Err(CoreError::EmptyArray);
+        }
         let threads = par::threads_for(queries.len() * self.len() * self.dims);
         par::try_par_map(queries, threads, |_, q| self.query_k(q, k))
     }
@@ -470,6 +496,11 @@ impl NnIndex for McamNn {
     }
 
     fn query_batch(&self, queries: &[&[f32]]) -> Result<Vec<QueryResult>> {
+        // Emptiness outranks per-query validation (the cross-engine
+        // contract on the trait), so check it before quantizing.
+        if self.is_empty() {
+            return Err(CoreError::EmptyArray);
+        }
         let levels = self.quantize_batch(queries)?;
         let refs: Vec<&[u8]> = levels.iter().map(|l| l.as_slice()).collect();
         let winners = self
@@ -486,6 +517,9 @@ impl NnIndex for McamNn {
     }
 
     fn query_k_batch(&self, queries: &[&[f32]], k: usize) -> Result<Vec<Vec<QueryResult>>> {
+        if self.is_empty() {
+            return Err(CoreError::EmptyArray);
+        }
         let levels = self.quantize_batch(queries)?;
         let refs: Vec<&[u8]> = levels.iter().map(|l| l.as_slice()).collect();
         let hits = self
@@ -506,12 +540,11 @@ impl NnIndex for McamNn {
     }
 
     fn name(&self) -> String {
-        let suffix = match self.precision {
-            Precision::F64 => "",
-            Precision::F32 => "-f32",
-            Precision::Codes => "-codes",
-        };
-        format!("mcam-{}bit{}", self.array.ladder().bits(), suffix)
+        format!(
+            "mcam-{}bit{}",
+            self.array.ladder().bits(),
+            self.precision.name_suffix()
+        )
     }
 }
 
@@ -593,11 +626,17 @@ impl NnIndex for TcamLshNn {
     }
 
     fn query_batch(&self, queries: &[&[f32]]) -> Result<Vec<QueryResult>> {
+        if self.is_empty() {
+            return Err(CoreError::EmptyArray);
+        }
         let threads = par::threads_for(queries.len() * self.len() * self.lsh.bits());
         par::try_par_map(queries, threads, |_, q| self.query(q))
     }
 
     fn query_k_batch(&self, queries: &[&[f32]], k: usize) -> Result<Vec<Vec<QueryResult>>> {
+        if self.is_empty() {
+            return Err(CoreError::EmptyArray);
+        }
         let threads = par::threads_for(queries.len() * self.len() * self.lsh.bits());
         par::try_par_map(queries, threads, |_, q| self.query_k(q, k))
     }
@@ -851,6 +890,24 @@ mod tests {
         idx.add(&[0.0, 0.0], 0).unwrap();
         assert!(idx.query_batch(&[]).unwrap().is_empty());
         assert!(idx.query_k_batch(&[], 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_index_refuses_batches_like_single_queries() {
+        // The empty-array/empty-batch contract: an empty index errors
+        // first, even when the batch is also empty.
+        let idx = SoftwareNn::new(Euclidean, 2);
+        assert!(matches!(idx.query_batch(&[]), Err(CoreError::EmptyArray)));
+        assert!(matches!(
+            idx.query_k_batch(&[], 3),
+            Err(CoreError::EmptyArray)
+        ));
+        let tcam = TcamLshNn::new(16, 2, 1).unwrap();
+        assert!(matches!(tcam.query_batch(&[]), Err(CoreError::EmptyArray)));
+        assert!(matches!(
+            tcam.query_k_batch(&[], 1),
+            Err(CoreError::EmptyArray)
+        ));
     }
 
     #[test]

@@ -39,6 +39,14 @@ pub enum CoreError {
     /// [`CompiledCodes::compile`](crate::exec::CompiledCodes::compile)
     /// can surface it.
     PerCellBank,
+    /// A serving front end could not accept or complete the request
+    /// (admission control rejected it, or the server is shutting
+    /// down). Produced by `femcam-serve` adapters when mapping their
+    /// richer error type onto this one.
+    Unavailable {
+        /// Short human-readable cause.
+        reason: &'static str,
+    },
     /// A quantizer was used before fitting, or fitted on no data.
     QuantizerNotFitted,
     /// Input feature dimensionality does not match the engine.
@@ -79,6 +87,9 @@ impl fmt::Display for CoreError {
                 "packed-code plan requires a shared-LUT array \
                  (this array realizes per-cell conductances)"
             ),
+            CoreError::Unavailable { reason } => {
+                write!(f, "service unavailable: {reason}")
+            }
             CoreError::QuantizerNotFitted => {
                 write!(f, "quantizer must be fitted on nonempty data before use")
             }
@@ -131,6 +142,9 @@ mod tests {
             CoreError::UnsupportedBitWidth { bits: 9 },
             CoreError::EmptyArray,
             CoreError::PerCellBank,
+            CoreError::Unavailable {
+                reason: "queue full",
+            },
             CoreError::QuantizerNotFitted,
             CoreError::DimensionMismatch {
                 expected: 64,

@@ -180,6 +180,18 @@ impl Precision {
             Precision::Codes => "codes",
         }
     }
+
+    /// Engine-name suffix: empty for the default [`Precision::F64`],
+    /// `"-f32"` / `"-codes"` for the opt-in modes — the single
+    /// definition every engine/backend report name appends.
+    #[must_use]
+    pub fn name_suffix(self) -> &'static str {
+        match self {
+            Precision::F64 => "",
+            Precision::F32 => "-f32",
+            Precision::Codes => "-codes",
+        }
+    }
 }
 
 /// Cold-cache amortization threshold for [`Precision::Codes`]: the
@@ -444,9 +456,18 @@ impl<S: PlaneScalar> BatchScratch<S> {
     }
 }
 
-/// Validates one query against a snapshot's geometry — the single
-/// definition every kernel's `check_query` delegates to.
-fn validate_query(word_len: usize, n_levels: usize, query: &[u8]) -> Result<()> {
+/// Validates one query against an array geometry of `word_len` cells
+/// and `n_levels` input levels — the single definition every kernel's
+/// `check_query` delegates to, public so admission-time validators
+/// (e.g. a serving front end via
+/// [`crate::banked::BankedMcam::check_query`]) reject malformed
+/// requests with exactly the errors a search would report.
+///
+/// # Errors
+///
+/// [`CoreError::WordLengthMismatch`] for a wrong-length query,
+/// [`CoreError::LevelOutOfRange`] for a level `>= n_levels`.
+pub fn validate_query(word_len: usize, n_levels: usize, query: &[u8]) -> Result<()> {
     if query.len() != word_len {
         return Err(CoreError::WordLengthMismatch {
             expected: word_len,

@@ -8,8 +8,10 @@
 //! paths stay bit-identical to their sequential counterparts.
 //!
 //! Thread count resolution: [`max_threads`] honors the
-//! `FEMCAM_THREADS` environment variable when set (≥ 1), otherwise
-//! [`std::thread::available_parallelism`]. Work below
+//! `FEMCAM_THREADS` environment variable when set to a positive
+//! integer (whitespace-trimmed), otherwise
+//! [`std::thread::available_parallelism`]; a set-but-unusable value
+//! falls back with a one-time stderr warning. Work below
 //! [`PAR_WORK_THRESHOLD`] scalar operations is not worth a thread
 //! spawn; callers gate on [`worth_parallelizing`].
 
@@ -44,21 +46,67 @@ pub fn codes_work(cells: usize) -> usize {
     (cells / CODES_WORK_DIVISOR).max(1)
 }
 
-/// The number of worker threads parallel searches may use:
-/// `FEMCAM_THREADS` when set to a positive integer, otherwise the
-/// machine's available parallelism.
-#[must_use]
-pub fn max_threads() -> usize {
-    if let Ok(v) = std::env::var("FEMCAM_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
+/// How a `FEMCAM_THREADS` value resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadOverride {
+    /// Variable not set: use machine parallelism (the quiet default).
+    Unset,
+    /// A usable positive thread count.
+    Threads(usize),
+    /// Set but unusable (`0`, empty, or unparsable after trimming):
+    /// fall back to machine parallelism *loudly* — a shell typo must
+    /// not be indistinguishable from "unset".
+    Invalid,
+}
+
+/// Parses an optional `FEMCAM_THREADS` value. Surrounding whitespace is
+/// trimmed first: shell pipelines routinely hand over `" 4"` or `"4\n"`
+/// (e.g. from `$(nproc)` under some shells), and an untrimmed parse
+/// would silently discard the operator's explicit thread cap.
+fn parse_thread_override(value: Option<&str>) -> ThreadOverride {
+    let Some(raw) = value else {
+        return ThreadOverride::Unset;
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => ThreadOverride::Threads(n),
+        _ => ThreadOverride::Invalid,
     }
+}
+
+/// The machine's available parallelism (1 when undeterminable).
+fn machine_parallelism() -> usize {
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// The number of worker threads parallel searches may use:
+/// `FEMCAM_THREADS` when set to a positive integer (surrounding
+/// whitespace tolerated), otherwise the machine's available
+/// parallelism.
+///
+/// A `FEMCAM_THREADS` that is set but unusable — `0`, empty, or
+/// unparsable — also falls back to machine parallelism, but logs a
+/// one-time warning to stderr so the misconfiguration is visible
+/// instead of silently behaving like "unset".
+#[must_use]
+pub fn max_threads() -> usize {
+    match parse_thread_override(std::env::var("FEMCAM_THREADS").ok().as_deref()) {
+        ThreadOverride::Threads(n) => n,
+        ThreadOverride::Unset => machine_parallelism(),
+        ThreadOverride::Invalid => {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "femcam: FEMCAM_THREADS={:?} is not a positive integer; \
+                     falling back to machine parallelism ({})",
+                    std::env::var("FEMCAM_THREADS").unwrap_or_default(),
+                    machine_parallelism()
+                );
+            });
+            machine_parallelism()
+        }
+    }
 }
 
 /// Returns `true` when `work` scalar operations justify forking onto
@@ -219,6 +267,33 @@ mod tests {
         assert_eq!(r, Err(9));
         let ok: Result<Vec<usize>, usize> = try_par_map(&items, 4, |_, &x| Ok(x));
         assert_eq!(ok.unwrap(), items);
+    }
+
+    #[test]
+    fn thread_override_trims_whitespace() {
+        // The pure parser is tested directly: mutating the process
+        // environment from a test races with concurrently running
+        // tests, and `max_threads` is a thin dispatch over this.
+        for ok in ["4", " 4", "4\n", "\t4 ", "4\r\n"] {
+            assert_eq!(
+                parse_thread_override(Some(ok)),
+                ThreadOverride::Threads(4),
+                "{ok:?} must parse as 4 threads"
+            );
+        }
+        assert_eq!(parse_thread_override(Some("1")), ThreadOverride::Threads(1));
+    }
+
+    #[test]
+    fn thread_override_distinguishes_unset_from_invalid() {
+        assert_eq!(parse_thread_override(None), ThreadOverride::Unset);
+        for bad in ["0", " 0 ", "", "  ", "abc", "4x", "-1", "1.5"] {
+            assert_eq!(
+                parse_thread_override(Some(bad)),
+                ThreadOverride::Invalid,
+                "{bad:?} must be an explicit (logged) fallback, not unset"
+            );
+        }
     }
 
     #[test]

@@ -27,16 +27,17 @@ pub use femcam_energy as energy;
 pub use femcam_lsh as lsh;
 pub use femcam_mann as mann;
 pub use femcam_nn as nn;
+pub use femcam_serve as serve;
 
 /// Commonly used items from across the workspace.
 pub mod prelude {
     pub use femcam_core::{
         accuracy, top_k_indices, AcamArray, AcamCell, BankedMcam, CodesDispatch, CompiledBanked,
-        CompiledBankedCodes, CompiledCodes, CompiledMcam, ConductanceLut, Cosine, Distance,
-        DistanceKind, Euclidean, LevelLadder, Linf, McamArray, McamArrayBuilder, McamCell, McamNn,
-        McamSoftware, MlTiming, NnIndex, PlanMemoryBytes, PlaneScalar, Precision, QuantizeStrategy,
-        Quantizer, SearchOutcome, SenseAmp, SoftwareNn, TcamArray, TcamLshNn, Ternary,
-        VariationSpec,
+        CompiledBankedCodes, CompiledCodes, CompiledMcam, ConductanceLut, CoreError, Cosine,
+        Distance, DistanceKind, Euclidean, LevelLadder, Linf, McamArray, McamArrayBuilder,
+        McamCell, McamNn, McamSoftware, MlTiming, NnIndex, PlanMemoryBytes, PlaneScalar, Precision,
+        QuantizeStrategy, Quantizer, SearchOutcome, SenseAmp, SoftwareNn, TcamArray, TcamLshNn,
+        Ternary, VariationSpec,
     };
     pub use femcam_data::{
         synth, ClassFeatureSource, Dataset, GlyphClass, GlyphRenderer, PrototypeFeatureModel,
@@ -53,4 +54,8 @@ pub mod prelude {
     };
     pub use femcam_nn::model::{mann_cnn, Sequential};
     pub use femcam_nn::optim::Sgd;
+    pub use femcam_serve::{
+        McamServer, MemoryReport, ServeConfig, ServeError, ServeHandle, ServeStats, ServedNn,
+        Ticket,
+    };
 }

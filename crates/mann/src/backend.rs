@@ -5,12 +5,13 @@
 //! per episode; device variation redraws per episode with a derived
 //! seed, modeling a different physical array each time).
 
-use femcam_core::{ConductanceLut, LevelLadder, McamArray, McamArrayBuilder};
+use femcam_core::{BankedMcam, ConductanceLut, LevelLadder, McamArray, McamArrayBuilder};
 use femcam_core::{
     Cosine, DistanceKind, Euclidean, Linf, Manhattan, McamNn, NnIndex, Precision, QuantizeStrategy,
     Quantizer, SoftwareNn, TcamLshNn, VariationSpec,
 };
 use femcam_device::FefetModel;
+use femcam_serve::{ServeConfig, ServedNn};
 
 /// A nearest-neighbor search backend configuration.
 #[derive(Debug, Clone)]
@@ -35,6 +36,26 @@ pub enum Backend {
         /// [`Precision::Codes`] = byte-packed level-code mode; see
         /// `femcam_core::exec`'s "Precision modes" and "Codes mode").
         precision: Precision,
+    },
+    /// The proposed in-MCAM search behind the async micro-batching
+    /// serving layer (`femcam_serve`): the same quantize→search
+    /// pipeline as [`Backend::Mcam`], but the episode memory is a
+    /// row-tiled [`BankedMcam`] owned by a dispatcher thread, and
+    /// every query and support-set store routes through the serving
+    /// queue. Results are bit-identical to the equivalent
+    /// [`Backend::Mcam`] at the same precision — the serving layer's
+    /// determinism contract — which makes this backend a drop-in way
+    /// to evaluate the online deployment path on the paper's
+    /// workloads.
+    McamServed {
+        /// Cell precision in bits.
+        bits: u8,
+        /// Feature quantization strategy.
+        strategy: QuantizeStrategy,
+        /// Execution precision of the served search kernel.
+        precision: Precision,
+        /// Rows per physical bank of the served memory.
+        rows_per_bank: usize,
     },
     /// The TCAM+LSH baseline.
     TcamLsh {
@@ -128,6 +149,19 @@ impl Backend {
         }
     }
 
+    /// MCAM backend routed through the micro-batching serving layer
+    /// ([`Backend::McamServed`]) at the default `f64` (bit-identical)
+    /// precision; 256 rows per bank, the benchmark sweep geometry.
+    #[must_use]
+    pub fn mcam_served(bits: u8) -> Self {
+        Backend::McamServed {
+            bits,
+            strategy: QuantizeStrategy::PerFeatureQuantile,
+            precision: Precision::F64,
+            rows_per_bank: 256,
+        }
+    }
+
     /// Iso-word-length TCAM+LSH backend.
     #[must_use]
     pub fn tcam_lsh() -> Self {
@@ -155,10 +189,13 @@ impl Backend {
                 if lut.is_some() {
                     n.push_str("-exp");
                 }
-                if *precision != Precision::F64 {
-                    n.push_str(&format!("-{}", precision.name()));
-                }
+                n.push_str(precision.name_suffix());
                 n
+            }
+            Backend::McamServed {
+                bits, precision, ..
+            } => {
+                format!("mcam-served-{bits}bit{}", precision.name_suffix())
             }
             Backend::TcamLsh { signature_bits } => match signature_bits {
                 Some(b) => format!("tcam+lsh-{b}b"),
@@ -226,6 +263,27 @@ impl Backend {
                 Ok(Box::new(
                     McamNn::new(quantizer, array)?.with_precision(*precision),
                 ))
+            }
+            Backend::McamServed {
+                bits,
+                strategy,
+                precision,
+                rows_per_bank,
+            } => {
+                let ladder = LevelLadder::new(*bits)?;
+                let quantizer = Quantizer::fit(
+                    calibration.iter().copied(),
+                    dims,
+                    ladder.n_levels() as u16,
+                    *strategy,
+                )?;
+                let lut = ConductanceLut::from_device(model, &ladder);
+                let memory = BankedMcam::new(ladder, lut, dims, (*rows_per_bank).max(1));
+                let config = ServeConfig {
+                    precision: *precision,
+                    ..ServeConfig::default()
+                };
+                Ok(Box::new(ServedNn::new(quantizer, memory, config)?))
             }
             Backend::TcamLsh { signature_bits } => {
                 let bits = signature_bits.unwrap_or(dims);
@@ -351,6 +409,47 @@ mod tests {
             assert_eq!(c.index, f.index);
             assert_eq!(c.score, f.score, "codes score drifted from f32");
         }
+    }
+
+    #[test]
+    fn served_backend_matches_direct_mcam_bitwise() {
+        let model = FefetModel::default();
+        let cal = calibration_data();
+        let cal_refs: Vec<&[f32]> = cal.iter().map(|r| r.as_slice()).collect();
+        let backend = Backend::mcam_served(3);
+        assert_eq!(backend.name(), "mcam-served-3bit");
+        let mut served = backend.build_index(&cal_refs, 4, 1, &model).unwrap();
+        let mut direct = Backend::mcam(3)
+            .build_index(&cal_refs, 4, 1, &model)
+            .unwrap();
+        for idx in [&mut served, &mut direct] {
+            idx.add(&[0.0, 1.0, 0.0, 0.0], 0).unwrap();
+            idx.add(&[1.0, 0.0, 0.5, -1.0], 1).unwrap();
+            idx.add(&[0.5, 0.5, 0.25, -0.5], 2).unwrap();
+        }
+        // The serving determinism contract: routed through the
+        // dispatcher, results are bit-identical to the direct engine —
+        // indices, labels, and conductance scores.
+        let queries: Vec<Vec<f32>> = vec![
+            vec![0.95, 0.05, 0.45, -0.9],
+            vec![0.0, 0.9, 0.05, 0.0],
+            vec![0.4, 0.6, 0.2, -0.4],
+        ];
+        let refs: Vec<&[f32]> = queries.iter().map(|q| q.as_slice()).collect();
+        let s = served.query_batch(&refs).unwrap();
+        let d = direct.query_batch(&refs).unwrap();
+        for (a, b) in s.iter().zip(&d) {
+            assert_eq!((a.index, a.label), (b.index, b.label));
+            assert_eq!(a.score, b.score, "served score drifted from direct");
+        }
+        // Precision knob surfaces in the report name.
+        let codes = Backend::McamServed {
+            bits: 3,
+            strategy: QuantizeStrategy::PerFeatureQuantile,
+            precision: Precision::Codes,
+            rows_per_bank: 256,
+        };
+        assert_eq!(codes.name(), "mcam-served-3bit-codes");
     }
 
     #[test]

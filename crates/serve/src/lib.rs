@@ -1,0 +1,961 @@
+//! Async micro-batching serving layer for the banked MCAM executor.
+//!
+//! The paper's pitch is throughput: one MCAM search step amortizes
+//! across every row at once, and the compiled batch executor
+//! (`femcam_core::exec`) amortizes plan traffic across every query in
+//! a batch. An online front end, however, receives queries **one at a
+//! time**. This crate closes that gap: [`McamServer`] owns a live
+//! [`BankedMcam`] on a dedicated dispatcher thread, collects single
+//! submissions into bounded micro-batches, executes one
+//! [`BankedMcam::search_batch_winners_with`] call per batch, and fans
+//! the winners back to the per-request waiters.
+//!
+//! # Serving
+//!
+//! **Micro-batching window.** The dispatcher sleeps until a request
+//! arrives. The first search opens a batch window; the dispatcher then
+//! keeps collecting until the batch holds
+//! [`ServeConfig::max_batch`] queries, [`ServeConfig::max_wait`] has
+//! elapsed since the window opened, or a non-search request (a store,
+//! a report, shutdown) arrives — whichever comes first. The window
+//! closes, the whole batch executes as one compiled-plan sweep, and
+//! every waiter is answered. Under closed-loop load the achieved batch
+//! size approaches the number of concurrent clients; an isolated
+//! request pays at most `max_wait` of extra latency.
+//!
+//! **Backpressure policy.** Admission control is a queue-depth bound
+//! checked at [`ServeHandle::submit`]: the depth counts searches that
+//! are queued or executing, and the default capacity is
+//! `workers × max_batch × 2`, where `workers` is the
+//! work-proportional thread count `femcam_core::par::batch_threads`
+//! resolves for one full batch. Because that worker count is exactly
+//! what the executor will fork, queue depth maps 1:1 to utilization:
+//! at capacity, every worker already has two full batches of backlog,
+//! and admitting more work only grows latency without adding
+//! throughput — so the request is rejected with
+//! [`ServeError::Overloaded`] instead. Stores and reports bypass
+//! admission control (writes must not be silently dropped); they are
+//! rare and cheap relative to a batch.
+//!
+//! **Interleaved stores.** Writes travel through the same dispatcher
+//! queue as searches, so the dispatcher thread is the *only* code that
+//! ever touches the memory — plan-cache invalidation (a `store`
+//! dirties one bank's cached plans) can never race a search. A store
+//! acts as a batch barrier: searches queued before it execute first
+//! (against the pre-store contents), the store applies, and searches
+//! queued after it see the new row. From any single client's point of
+//! view the memory is sequentially consistent: a search submitted
+//! after a store completed observes that store.
+//!
+//! **Determinism contract.** Per-request results are **bit-identical**
+//! to calling [`BankedMcam::search_with`] directly at the same
+//! precision against the same contents — regardless of which
+//! micro-batch a request lands in, how large that batch is, or how
+//! many worker threads execute it. This is inherited from the
+//! executor's fixed-order folds (`femcam_core::exec`'s "Determinism
+//! guarantee") and pinned end-to-end, including under interleaved
+//! stores, by this crate's `tests/determinism.rs` property test.
+//!
+//! **Memory budget.** [`ServeHandle::memory_report`] round-trips
+//! through the dispatcher and returns the live
+//! [`BankedMcam::plan_memory_bytes`] per-slot breakdown against the
+//! configured [`ServeConfig::plan_budget_bytes`] — the number a
+//! deployment watches to decide when a node is full (codes-mode plans
+//! keep millions of rows resident where `f64` planes could not).
+//!
+//! # Example
+//!
+//! ```
+//! use femcam_core::{BankedMcam, ConductanceLut, LevelLadder, Precision};
+//! use femcam_device::FefetModel;
+//! use femcam_serve::{McamServer, ServeConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ladder = LevelLadder::new(3)?;
+//! let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+//! let mut memory = BankedMcam::new(ladder, lut, 4, 8);
+//! for row in [[0u8, 1, 2, 3], [7, 7, 7, 7], [1, 1, 2, 3]] {
+//!     memory.store(&row)?;
+//! }
+//! let server = McamServer::start(memory, ServeConfig::default());
+//! let handle = server.handle();
+//! let (row, _conductance) = handle.search(&[1, 1, 2, 3])?;
+//! assert_eq!(row, 2);
+//! // Writes go through the same dispatcher; later searches see them.
+//! let new_row = handle.store(&[4, 4, 4, 4])?;
+//! assert_eq!(handle.search(&[4, 4, 4, 4])?.0, new_row);
+//! let memory = server.shutdown(); // returns the live memory
+//! assert_eq!(memory.n_rows(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod nn;
+mod stats;
+
+pub use nn::ServedNn;
+pub use stats::ServeStats;
+
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use femcam_core::exec::validate_query;
+use femcam_core::{par, BankedMcam, CoreError, PlanMemoryBytes, Precision};
+
+use stats::StatsInner;
+
+/// Configuration of a [`McamServer`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Upper bound on queries per executed micro-batch (default 64 —
+    /// the regime where the compiled executor's batch amortization has
+    /// saturated on the benchmark geometry).
+    pub max_batch: usize,
+    /// Upper bound on how long the dispatcher holds an open batch
+    /// window waiting for more queries (default 200 µs). Smaller
+    /// trades achieved batch size for tail latency.
+    pub max_wait: Duration,
+    /// Execution precision of every served search (default
+    /// [`Precision::F64`], bit-identical to the scalar physics path).
+    pub precision: Precision,
+    /// Admission-control capacity: the maximum number of searches
+    /// queued or executing before [`ServeHandle::submit`] rejects.
+    /// `None` (the default) derives it from the work-proportional
+    /// worker count — see the
+    /// [module-level "Backpressure policy"](self#serving).
+    pub queue_capacity: Option<usize>,
+    /// Optional resident-plan-memory budget in bytes; reported against
+    /// the live [`BankedMcam::plan_memory_bytes`] by
+    /// [`ServeHandle::memory_report`].
+    pub plan_budget_bytes: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 64,
+            max_wait: Duration::from_micros(200),
+            precision: Precision::F64,
+            queue_capacity: None,
+            plan_budget_bytes: None,
+        }
+    }
+}
+
+/// Queued-or-executing backlog (in full batches per worker) at which
+/// admission control rejects: beyond this, added queue depth only adds
+/// wait time, never throughput.
+const QUEUE_SLACK_BATCHES: usize = 2;
+
+/// Errors surfaced to serving clients.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// Admission control rejected the request: the queue already holds
+    /// as much work as the executor can usefully absorb.
+    Overloaded {
+        /// Searches queued or executing at rejection time.
+        depth: usize,
+        /// The admission capacity in effect.
+        capacity: usize,
+    },
+    /// The server is shutting down (or its dispatcher has exited); the
+    /// request was not executed.
+    ShuttingDown,
+    /// The underlying search or store failed.
+    Core(CoreError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { depth, capacity } => write!(
+                f,
+                "serving queue at capacity ({depth} in flight, capacity {capacity})"
+            ),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Core(e) => write!(f, "search failed: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+impl From<ServeError> for CoreError {
+    fn from(e: ServeError) -> Self {
+        match e {
+            ServeError::Core(e) => e,
+            ServeError::Overloaded { .. } => CoreError::Unavailable {
+                reason: "serving queue at capacity",
+            },
+            ServeError::ShuttingDown => CoreError::Unavailable {
+                reason: "server shutting down",
+            },
+        }
+    }
+}
+
+/// Live snapshot of the served memory's resident compiled-plan bytes,
+/// taken on the dispatcher thread (so it can never race a store).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryReport {
+    /// Rows currently stored.
+    pub rows: usize,
+    /// Banks currently allocated.
+    pub banks: usize,
+    /// Cells per stored word.
+    pub word_len: usize,
+    /// Resident bytes of the cached compiled plans, per precision slot.
+    pub plan: PlanMemoryBytes,
+    /// The configured budget ([`ServeConfig::plan_budget_bytes`]).
+    pub budget_bytes: Option<usize>,
+}
+
+impl MemoryReport {
+    /// Total resident plan bytes across all precision slots.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.plan.total()
+    }
+
+    /// `true` when a budget is configured and the resident plans
+    /// exceed it — the node should stop absorbing rows (or switch to a
+    /// cheaper precision mode).
+    #[must_use]
+    pub fn over_budget(&self) -> bool {
+        self.budget_bytes
+            .is_some_and(|budget| self.plan.total() > budget)
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One-shot result slot a waiter blocks on.
+#[derive(Debug)]
+enum SlotState<T> {
+    Pending,
+    Done(Result<T, ServeError>),
+    Abandoned,
+}
+
+#[derive(Debug)]
+struct OneShot<T> {
+    state: Mutex<SlotState<T>>,
+    cv: Condvar,
+}
+
+impl<T> OneShot<T> {
+    fn wait(&self) -> Result<T, ServeError> {
+        let mut st = lock(&self.state);
+        loop {
+            match std::mem::replace(&mut *st, SlotState::Pending) {
+                SlotState::Done(r) => return r,
+                SlotState::Abandoned => return Err(ServeError::ShuttingDown),
+                SlotState::Pending => {
+                    st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+    }
+}
+
+/// The dispatcher-side half of a one-shot: fulfilling it wakes the
+/// waiter; dropping it unfulfilled (dispatcher exit) wakes the waiter
+/// with [`ServeError::ShuttingDown`] — a request can never strand its
+/// client.
+#[derive(Debug)]
+struct Responder<T> {
+    slot: Arc<OneShot<T>>,
+    done: bool,
+}
+
+impl<T> Responder<T> {
+    fn new() -> (Responder<T>, Arc<OneShot<T>>) {
+        let slot = Arc::new(OneShot {
+            state: Mutex::new(SlotState::Pending),
+            cv: Condvar::new(),
+        });
+        (
+            Responder {
+                slot: Arc::clone(&slot),
+                done: false,
+            },
+            slot,
+        )
+    }
+
+    fn fulfill(mut self, result: Result<T, ServeError>) {
+        {
+            let mut st = lock(&self.slot.state);
+            *st = SlotState::Done(result);
+            self.slot.cv.notify_all();
+        }
+        self.done = true;
+    }
+}
+
+impl<T> Drop for Responder<T> {
+    fn drop(&mut self) {
+        if !self.done {
+            let mut st = lock(&self.slot.state);
+            if matches!(*st, SlotState::Pending) {
+                *st = SlotState::Abandoned;
+                self.slot.cv.notify_all();
+            }
+        }
+    }
+}
+
+/// An in-flight search: wait on it to receive the
+/// `(global_row, total_conductance)` winner.
+#[derive(Debug)]
+pub struct Ticket {
+    slot: Arc<OneShot<(usize, f64)>>,
+}
+
+impl Ticket {
+    /// Blocks until the dispatcher answers this request.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::Core`] if the search failed (e.g. the memory is
+    ///   empty).
+    /// * [`ServeError::ShuttingDown`] if the server exited before
+    ///   answering.
+    pub fn wait(self) -> Result<(usize, f64), ServeError> {
+        self.slot.wait()
+    }
+}
+
+enum Request {
+    Search {
+        query: Vec<u8>,
+        submitted: Instant,
+        responder: Responder<(usize, f64)>,
+    },
+    TopK {
+        query: Vec<u8>,
+        k: usize,
+        responder: Responder<Vec<(usize, f64)>>,
+    },
+    Store {
+        word: Vec<u8>,
+        responder: Responder<usize>,
+    },
+    Report {
+        responder: Responder<MemoryReport>,
+    },
+    Shutdown,
+}
+
+#[derive(Debug)]
+struct Shared {
+    /// Searches queued or executing (admission-control state).
+    depth: AtomicUsize,
+    capacity: usize,
+    word_len: usize,
+    n_levels: usize,
+    /// Submissions rejected by admission control. Atomic (not under
+    /// `stats`) so a rejection storm — the moment the dispatcher is
+    /// busiest — never contends the mutex its hot loop takes.
+    rejected: AtomicU64,
+    stats: Mutex<StatsInner>,
+    started: Instant,
+}
+
+/// Cloneable client handle to a running [`McamServer`].
+#[derive(Debug, Clone)]
+pub struct ServeHandle {
+    tx: Sender<Request>,
+    shared: Arc<Shared>,
+}
+
+impl ServeHandle {
+    /// Submits one query without blocking on its result; the returned
+    /// [`Ticket`] waits for the winner. Queries are validated here, at
+    /// admission time, so a malformed request is rejected synchronously
+    /// and can never fail a micro-batch it would have shared with
+    /// well-formed neighbors.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::Core`] with [`CoreError::WordLengthMismatch`] /
+    ///   [`CoreError::LevelOutOfRange`] for malformed queries (exactly
+    ///   as a direct search would report them).
+    /// * [`ServeError::Overloaded`] when the queue is at capacity.
+    /// * [`ServeError::ShuttingDown`] when the server has exited.
+    pub fn submit(&self, query: &[u8]) -> Result<Ticket, ServeError> {
+        validate_query(self.shared.word_len, self.shared.n_levels, query)?;
+        // Admit-or-reject atomically: a check-then-increment would let
+        // concurrent submitters race past the capacity bound together.
+        let admitted =
+            self.shared
+                .depth
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |depth| {
+                    (depth < self.shared.capacity).then_some(depth + 1)
+                });
+        if let Err(depth) = admitted {
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Overloaded {
+                depth,
+                capacity: self.shared.capacity,
+            });
+        }
+        let (responder, slot) = Responder::new();
+        let request = Request::Search {
+            query: query.to_vec(),
+            submitted: Instant::now(),
+            responder,
+        };
+        if self.tx.send(request).is_err() {
+            self.shared.depth.fetch_sub(1, Ordering::Relaxed);
+            return Err(ServeError::ShuttingDown);
+        }
+        Ok(Ticket { slot })
+    }
+
+    /// Submits one query and blocks until its
+    /// `(global_row, total_conductance)` winner arrives —
+    /// bit-identical to [`BankedMcam::search_with`] at the server's
+    /// precision against the contents visible at execution time.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`submit`](Self::submit) and
+    /// [`Ticket::wait`].
+    pub fn search(&self, query: &[u8]) -> Result<(usize, f64), ServeError> {
+        self.submit(query)?.wait()
+    }
+
+    /// The `k` nearest rows for one query, nearest first — the debug /
+    /// analytics endpoint: it closes the current batch window and runs
+    /// alone on the dispatcher (see
+    /// [`BankedMcam::search_top_k_with`]). `k` is clamped, never an
+    /// error. Bypasses admission control.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search`](Self::search).
+    pub fn search_top_k(&self, query: &[u8], k: usize) -> Result<Vec<(usize, f64)>, ServeError> {
+        validate_query(self.shared.word_len, self.shared.n_levels, query)?;
+        let (responder, slot) = Responder::new();
+        self.tx
+            .send(Request::TopK {
+                query: query.to_vec(),
+                k,
+                responder,
+            })
+            .map_err(|_| ServeError::ShuttingDown)?;
+        slot.wait()
+    }
+
+    /// Stores one word through the dispatcher and blocks until it is
+    /// applied; returns the new global row index. Stores bypass
+    /// admission control (a write must not be silently dropped) but
+    /// share the dispatcher queue, which is what keeps plan-cache
+    /// invalidation race-free and gives the barrier ordering described
+    /// in the [module docs](self#serving).
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::Core`] for malformed words (validated here, like
+    ///   queries).
+    /// * [`ServeError::ShuttingDown`] when the server has exited.
+    pub fn store(&self, word: &[u8]) -> Result<usize, ServeError> {
+        validate_query(self.shared.word_len, self.shared.n_levels, word)?;
+        let (responder, slot) = Responder::new();
+        self.tx
+            .send(Request::Store {
+                word: word.to_vec(),
+                responder,
+            })
+            .map_err(|_| ServeError::ShuttingDown)?;
+        slot.wait()
+    }
+
+    /// Live plan-memory report, taken on the dispatcher thread.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShuttingDown`] when the server has exited.
+    pub fn memory_report(&self) -> Result<MemoryReport, ServeError> {
+        let (responder, slot) = Responder::new();
+        self.tx
+            .send(Request::Report { responder })
+            .map_err(|_| ServeError::ShuttingDown)?;
+        slot.wait()
+    }
+
+    /// Snapshot of the serving statistics (wait percentiles, achieved
+    /// batch size, throughput) since the server started.
+    #[must_use]
+    pub fn stats(&self) -> ServeStats {
+        // Copy the raw counters under the lock, then compute the
+        // percentile sort after releasing it — never stall the
+        // dispatcher's per-batch stats update on a snapshot.
+        let inner = lock(&self.shared.stats).clone();
+        stats::snapshot(
+            &inner,
+            self.shared.rejected.load(Ordering::Relaxed),
+            self.shared.started.elapsed(),
+            self.queue_depth(),
+            self.queue_capacity(),
+        )
+    }
+
+    /// Searches currently queued or executing.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.shared.depth.load(Ordering::Relaxed)
+    }
+
+    /// The admission-control capacity in effect.
+    #[must_use]
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.capacity
+    }
+}
+
+/// A running micro-batching server: owns the dispatcher thread, which
+/// owns the [`BankedMcam`]. See the [module docs](self) for the
+/// serving model.
+#[derive(Debug)]
+pub struct McamServer {
+    handle: ServeHandle,
+    dispatcher: Option<JoinHandle<BankedMcam>>,
+}
+
+impl McamServer {
+    /// Starts the dispatcher thread around `memory`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.max_batch` is zero or the dispatcher thread
+    /// cannot be spawned.
+    #[must_use]
+    pub fn start(memory: BankedMcam, config: ServeConfig) -> Self {
+        assert!(config.max_batch > 0, "max_batch must be at least 1");
+        let capacity = config
+            .queue_capacity
+            .unwrap_or_else(|| auto_capacity(&memory, &config));
+        let shared = Arc::new(Shared {
+            depth: AtomicUsize::new(0),
+            capacity: capacity.max(1),
+            word_len: memory.word_len(),
+            n_levels: memory.ladder().n_levels(),
+            rejected: AtomicU64::new(0),
+            stats: Mutex::new(StatsInner::default()),
+            started: Instant::now(),
+        });
+        let (tx, rx) = mpsc::channel();
+        let dispatcher_shared = Arc::clone(&shared);
+        let dispatcher_config = config.clone();
+        let dispatcher = std::thread::Builder::new()
+            .name("femcam-serve".into())
+            .spawn(move || dispatch(memory, &rx, &dispatcher_shared, &dispatcher_config))
+            .expect("spawn serving dispatcher");
+        McamServer {
+            handle: ServeHandle { tx, shared },
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// A cloneable client handle.
+    #[must_use]
+    pub fn handle(&self) -> ServeHandle {
+        self.handle.clone()
+    }
+
+    /// Snapshot of the serving statistics.
+    #[must_use]
+    pub fn stats(&self) -> ServeStats {
+        self.handle.stats()
+    }
+
+    /// Live plan-memory report.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShuttingDown`] when the dispatcher has exited.
+    pub fn memory_report(&self) -> Result<MemoryReport, ServeError> {
+        self.handle.memory_report()
+    }
+
+    /// Stops the dispatcher (already-queued requests are answered with
+    /// [`ServeError::ShuttingDown`]) and returns the live memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dispatcher thread itself panicked.
+    #[must_use]
+    pub fn shutdown(mut self) -> BankedMcam {
+        let _ = self.handle.tx.send(Request::Shutdown);
+        let dispatcher = self
+            .dispatcher
+            .take()
+            .expect("dispatcher runs until shutdown");
+        dispatcher.join().expect("serving dispatcher panicked")
+    }
+}
+
+impl Drop for McamServer {
+    fn drop(&mut self) {
+        if let Some(dispatcher) = self.dispatcher.take() {
+            let _ = self.handle.tx.send(Request::Shutdown);
+            let _ = dispatcher.join();
+        }
+    }
+}
+
+/// The default admission capacity: enough queue depth to keep every
+/// earned worker [`QUEUE_SLACK_BATCHES`] full batches deep, and never
+/// below one full batch. `par::batch_threads` is work-proportional, so
+/// this is the depth at which the executor is saturated — see the
+/// [module-level "Backpressure policy"](self#serving).
+fn auto_capacity(memory: &BankedMcam, config: &ServeConfig) -> usize {
+    let per_query_work = memory
+        .n_rows()
+        .max(memory.rows_per_bank())
+        .saturating_mul(memory.word_len())
+        .max(1);
+    let workers = par::batch_threads(config.max_batch, per_query_work, par::max_threads());
+    workers
+        .saturating_mul(config.max_batch)
+        .saturating_mul(QUEUE_SLACK_BATCHES)
+        .max(config.max_batch)
+}
+
+type PendingSearch = (Vec<u8>, Instant, Responder<(usize, f64)>);
+
+/// The dispatcher loop: the only code that touches `memory` while the
+/// server runs. Returns the memory on shutdown.
+fn dispatch(
+    mut memory: BankedMcam,
+    rx: &Receiver<Request>,
+    shared: &Shared,
+    config: &ServeConfig,
+) -> BankedMcam {
+    let mut batch: Vec<PendingSearch> = Vec::with_capacity(config.max_batch);
+    'serve: loop {
+        let Ok(first) = rx.recv() else {
+            break 'serve; // every handle dropped
+        };
+        // A window may close because a non-search request arrived; that
+        // request is handled right after the batch it interrupted.
+        let mut pending = Some(first);
+        while let Some(request) = pending.take() {
+            match request {
+                Request::Shutdown => break 'serve,
+                Request::Report { responder } => {
+                    responder.fulfill(Ok(report(&memory, config)));
+                }
+                Request::TopK {
+                    query,
+                    k,
+                    responder,
+                } => {
+                    let result = memory.search_top_k_with(&query, k, config.precision);
+                    responder.fulfill(result.map_err(ServeError::Core));
+                }
+                Request::Store { word, responder } => {
+                    let result = memory.store(&word).map_err(ServeError::Core);
+                    responder.fulfill(result);
+                    lock(&shared.stats).stores += 1;
+                }
+                Request::Search {
+                    query,
+                    submitted,
+                    responder,
+                } => {
+                    batch.push((query, submitted, responder));
+                    let deadline = Instant::now() + config.max_wait;
+                    while batch.len() < config.max_batch {
+                        let timeout = deadline.saturating_duration_since(Instant::now());
+                        if timeout.is_zero() {
+                            break;
+                        }
+                        match rx.recv_timeout(timeout) {
+                            Ok(Request::Search {
+                                query,
+                                submitted,
+                                responder,
+                            }) => batch.push((query, submitted, responder)),
+                            // A store/report/shutdown closes the window
+                            // (barrier ordering) and runs after this
+                            // batch.
+                            Ok(other) => {
+                                pending = Some(other);
+                                break;
+                            }
+                            Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
+                                break
+                            }
+                        }
+                    }
+                    execute_batch(&memory, &mut batch, shared, config.precision);
+                }
+            }
+        }
+    }
+    // Drain: answer anything still queued so no client blocks forever.
+    while let Ok(request) = rx.try_recv() {
+        match request {
+            Request::Search { responder, .. } => {
+                shared.depth.fetch_sub(1, Ordering::Relaxed);
+                responder.fulfill(Err(ServeError::ShuttingDown));
+            }
+            Request::TopK { responder, .. } => responder.fulfill(Err(ServeError::ShuttingDown)),
+            Request::Store { responder, .. } => responder.fulfill(Err(ServeError::ShuttingDown)),
+            Request::Report { responder } => responder.fulfill(Err(ServeError::ShuttingDown)),
+            Request::Shutdown => {}
+        }
+    }
+    memory
+}
+
+/// Executes one collected micro-batch and fans the winners out.
+fn execute_batch(
+    memory: &BankedMcam,
+    batch: &mut Vec<PendingSearch>,
+    shared: &Shared,
+    precision: Precision,
+) {
+    let exec_start = Instant::now();
+    let queries: Vec<&[u8]> = batch.iter().map(|(q, _, _)| q.as_slice()).collect();
+    let result = memory.search_batch_winners_with(&queries, precision);
+    drop(queries);
+    let exec_ns = exec_start.elapsed().as_nanos();
+    let size = batch.len();
+    {
+        let mut stats = lock(&shared.stats);
+        stats.record_batch(
+            batch
+                .iter()
+                .map(|(_, submitted, _)| exec_start.duration_since(*submitted)),
+            size,
+            exec_ns,
+        );
+    }
+    // Release the admission slots *before* waking any waiter: a client
+    // that resubmits the instant its result arrives must find its slot
+    // free, or a full wave of closed-loop clients would be spuriously
+    // rejected against a queue that is actually drained.
+    shared.depth.fetch_sub(size, Ordering::Relaxed);
+    match result {
+        Ok(winners) => {
+            for ((_, _, responder), winner) in batch.drain(..).zip(winners) {
+                responder.fulfill(Ok(winner));
+            }
+        }
+        // Queries were validated at admission, so a batch-level failure
+        // (an empty memory) applies to every request equally.
+        Err(e) => {
+            for (_, _, responder) in batch.drain(..) {
+                responder.fulfill(Err(ServeError::Core(e.clone())));
+            }
+        }
+    }
+}
+
+fn report(memory: &BankedMcam, config: &ServeConfig) -> MemoryReport {
+    MemoryReport {
+        rows: memory.n_rows(),
+        banks: memory.n_banks(),
+        word_len: memory.word_len(),
+        plan: memory.plan_memory_bytes(),
+        budget_bytes: config.plan_budget_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use femcam_core::{ConductanceLut, LevelLadder};
+    use femcam_device::FefetModel;
+
+    fn memory_with_rows(rows: &[[u8; 4]]) -> BankedMcam {
+        let ladder = LevelLadder::new(3).unwrap();
+        let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+        let mut memory = BankedMcam::new(ladder, lut, 4, 2);
+        for row in rows {
+            memory.store(row).unwrap();
+        }
+        memory
+    }
+
+    #[test]
+    fn served_search_matches_direct_search() {
+        let rows = [[0u8, 1, 2, 3], [7, 7, 7, 7], [1, 1, 2, 3], [4, 4, 4, 4]];
+        let memory = memory_with_rows(&rows);
+        let direct = memory_with_rows(&rows);
+        let server = McamServer::start(memory, ServeConfig::default());
+        let handle = server.handle();
+        for q in [[0u8, 1, 2, 3], [4, 4, 4, 5], [1, 1, 2, 2]] {
+            assert_eq!(handle.search(&q).unwrap(), direct.search(&q).unwrap());
+        }
+        let stats = server.stats();
+        assert_eq!(stats.queries, 3);
+        assert!(stats.batches >= 1);
+        let _ = server.shutdown();
+    }
+
+    #[test]
+    fn malformed_queries_rejected_at_admission() {
+        let server = McamServer::start(memory_with_rows(&[[0u8, 0, 0, 0]]), ServeConfig::default());
+        let handle = server.handle();
+        assert!(matches!(
+            handle.search(&[0, 0, 0]),
+            Err(ServeError::Core(CoreError::WordLengthMismatch { .. }))
+        ));
+        assert!(matches!(
+            handle.search(&[0, 0, 0, 9]),
+            Err(ServeError::Core(CoreError::LevelOutOfRange { .. }))
+        ));
+        // A well-formed neighbor is unaffected.
+        assert!(handle.search(&[0, 0, 0, 1]).is_ok());
+    }
+
+    #[test]
+    fn empty_memory_serves_empty_array_errors() {
+        let ladder = LevelLadder::new(3).unwrap();
+        let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+        let memory = BankedMcam::new(ladder, lut, 4, 2);
+        let server = McamServer::start(memory, ServeConfig::default());
+        assert!(matches!(
+            server.handle().search(&[0, 0, 0, 0]),
+            Err(ServeError::Core(CoreError::EmptyArray))
+        ));
+    }
+
+    #[test]
+    fn stores_are_visible_to_later_searches() {
+        let memory = memory_with_rows(&[[0u8, 0, 0, 0]]);
+        let server = McamServer::start(memory, ServeConfig::default());
+        let handle = server.handle();
+        let row = handle.store(&[5, 5, 5, 5]).unwrap();
+        assert_eq!(row, 1);
+        assert_eq!(handle.search(&[5, 5, 5, 5]).unwrap().0, row);
+        let report = handle.memory_report().unwrap();
+        assert_eq!(report.rows, 2);
+        assert_eq!(report.word_len, 4);
+        let memory = server.shutdown();
+        assert_eq!(memory.n_rows(), 2);
+    }
+
+    #[test]
+    fn top_k_endpoint_clamps_k() {
+        let memory = memory_with_rows(&[[0u8, 1, 2, 3], [7, 7, 7, 7], [1, 1, 2, 3]]);
+        let server = McamServer::start(memory, ServeConfig::default());
+        let handle = server.handle();
+        assert!(handle.search_top_k(&[1, 1, 2, 3], 0).unwrap().is_empty());
+        assert_eq!(handle.search_top_k(&[1, 1, 2, 3], 2).unwrap().len(), 2);
+        let all = handle.search_top_k(&[1, 1, 2, 3], 100).unwrap();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].0, 2);
+    }
+
+    #[test]
+    fn admission_control_rejects_at_capacity() {
+        let memory = memory_with_rows(&[[0u8, 0, 0, 0], [1, 1, 1, 1]]);
+        let config = ServeConfig {
+            max_batch: 2,
+            // A long window so submissions stay queued while we fill
+            // the admission budget from this single thread.
+            max_wait: Duration::from_millis(200),
+            queue_capacity: Some(2),
+            ..ServeConfig::default()
+        };
+        let server = McamServer::start(memory, config);
+        let handle = server.handle();
+        // Submit without waiting until the queue refuses.
+        let mut tickets = Vec::new();
+        let mut rejected = None;
+        for _ in 0..16 {
+            match handle.submit(&[1, 1, 1, 0]) {
+                Ok(t) => tickets.push(t),
+                Err(e) => {
+                    rejected = Some(e);
+                    break;
+                }
+            }
+        }
+        match rejected {
+            Some(ServeError::Overloaded { capacity, .. }) => assert_eq!(capacity, 2),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        assert!(server.stats().rejected >= 1);
+    }
+
+    #[test]
+    fn shutdown_answers_queued_requests() {
+        let memory = memory_with_rows(&[[0u8, 0, 0, 0]]);
+        let server = McamServer::start(
+            memory,
+            ServeConfig {
+                max_wait: Duration::from_millis(100),
+                ..ServeConfig::default()
+            },
+        );
+        let handle = server.handle();
+        let ticket = handle.submit(&[0, 0, 0, 1]).unwrap();
+        let _ = server.shutdown();
+        // The ticket either executed before shutdown or was drained.
+        match ticket.wait() {
+            Ok((row, _)) => assert_eq!(row, 0),
+            Err(ServeError::ShuttingDown) => {}
+            Err(e) => panic!("unexpected error {e:?}"),
+        }
+        // Requests after shutdown fail cleanly.
+        assert!(matches!(
+            handle.search(&[0, 0, 0, 1]),
+            Err(ServeError::ShuttingDown)
+        ));
+        assert!(matches!(
+            handle.store(&[0, 0, 0, 1]),
+            Err(ServeError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn memory_report_tracks_budget() {
+        let memory = memory_with_rows(&[[0u8, 1, 2, 3], [7, 7, 7, 7]]);
+        let config = ServeConfig {
+            precision: Precision::Codes,
+            plan_budget_bytes: Some(1),
+            ..ServeConfig::default()
+        };
+        let server = McamServer::start(memory, config);
+        let handle = server.handle();
+        handle.search(&[0, 1, 2, 3]).unwrap(); // warms the codes slot
+        let report = handle.memory_report().unwrap();
+        assert!(report.plan.codes > 0);
+        assert!(report.resident_bytes() >= report.plan.codes);
+        assert!(report.over_budget(), "1-byte budget must be exceeded");
+    }
+}

@@ -1,0 +1,445 @@
+//! [`ServedNn`]: the served nearest-neighbor engine — a
+//! [`NnIndex`] whose every query and store routes through a
+//! [`McamServer`] dispatcher, so application code written against the
+//! engine trait transparently gains micro-batched execution.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use femcam_core::{BankedMcam, CoreError, NnIndex, Precision, Quantizer, QueryResult};
+
+use crate::{McamServer, ServeConfig, ServeError, ServeHandle, ServeStats, Ticket};
+
+/// How long `query_batch` waits out a queue saturated by traffic that
+/// is not its own before propagating the overload to the caller —
+/// time-based (many batching windows), so the patience always spans
+/// several batch drains regardless of how fast the retry loop spins.
+const OVERLOAD_PATIENCE: Duration = Duration::from_millis(50);
+
+/// Sleep per retry while waiting out foreign overload: a fraction of
+/// the default batching window, so a freed admission slot is picked up
+/// promptly without busy-spinning.
+const OVERLOAD_BACKOFF: Duration = Duration::from_micros(50);
+
+/// A labelled NN engine serving through a [`McamServer`].
+///
+/// The quantize → search pipeline matches
+/// `femcam_core::engines::McamNn`, but the array is a [`BankedMcam`]
+/// owned by a dispatcher thread: queries submitted back-to-back (or by
+/// concurrent clones of the [`handle`](Self::handle)) coalesce into
+/// micro-batches, and results stay bit-identical to a direct
+/// [`BankedMcam::search_with`] at the configured precision.
+///
+/// `k`-nearest queries follow the uniform [`NnIndex::query_k`] clamp
+/// contract via the server's top-k endpoint.
+#[derive(Debug)]
+pub struct ServedNn {
+    quantizer: Quantizer,
+    server: McamServer,
+    handle: ServeHandle,
+    labels: Vec<u32>,
+    bits: u8,
+    precision: Precision,
+}
+
+impl ServedNn {
+    /// Starts a server around `memory` and wraps it as an engine.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidParameter`] if the quantizer's level
+    ///   count differs from the memory ladder's.
+    /// * [`CoreError::DimensionMismatch`] if the quantizer's
+    ///   dimensionality differs from the memory's word length.
+    pub fn new(
+        quantizer: Quantizer,
+        memory: BankedMcam,
+        config: ServeConfig,
+    ) -> femcam_core::Result<Self> {
+        if quantizer.n_levels() as usize != memory.ladder().n_levels() {
+            return Err(CoreError::InvalidParameter {
+                name: "n_levels",
+                value: f64::from(quantizer.n_levels()),
+            });
+        }
+        if quantizer.dims() != memory.word_len() {
+            return Err(CoreError::DimensionMismatch {
+                expected: memory.word_len(),
+                actual: quantizer.dims(),
+            });
+        }
+        let bits = memory.ladder().bits();
+        let precision = config.precision;
+        let server = McamServer::start(memory, config);
+        let handle = server.handle();
+        Ok(ServedNn {
+            quantizer,
+            server,
+            handle,
+            labels: Vec::new(),
+            bits,
+            precision,
+        })
+    }
+
+    /// A cloneable client handle to the underlying server (e.g. for
+    /// concurrent submitters or stats).
+    ///
+    /// Note: rows written through [`ServeHandle::store`] bypass this
+    /// engine's label bookkeeping. The engine stays safe — queries
+    /// whose winner is an unlabeled row, and any later
+    /// [`add`](NnIndex::add), report [`CoreError::Unavailable`]
+    /// instead of mislabeling — but labelled serving should go through
+    /// [`add`](NnIndex::add) exclusively.
+    #[must_use]
+    pub fn handle(&self) -> ServeHandle {
+        self.server.handle()
+    }
+
+    /// Snapshot of the serving statistics.
+    #[must_use]
+    pub fn stats(&self) -> ServeStats {
+        self.server.stats()
+    }
+
+    /// Shuts the server down and returns the live memory.
+    #[must_use]
+    pub fn into_memory(self) -> BankedMcam {
+        self.server.shutdown()
+    }
+
+    fn result(&self, index: usize, score: f64) -> femcam_core::Result<QueryResult> {
+        // Rows written through the raw ServeHandle (bypassing `add`)
+        // carry no label; surface that as an error instead of
+        // panicking on the winning row.
+        match self.labels.get(index) {
+            Some(&label) => Ok(QueryResult {
+                index,
+                label,
+                score,
+            }),
+            None => Err(CoreError::Unavailable {
+                reason: "winning row was stored outside the engine and has no label",
+            }),
+        }
+    }
+}
+
+impl NnIndex for ServedNn {
+    fn dims(&self) -> usize {
+        self.quantizer.dims()
+    }
+
+    fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    fn add(&mut self, features: &[f32], label: u32) -> femcam_core::Result<()> {
+        let levels = self.quantizer.quantize(features)?;
+        let row = self.handle.store(&levels).map_err(CoreError::from)?;
+        // Stores assign sequential global rows; a gap means rows were
+        // written through the raw handle and the label table can no
+        // longer be trusted to line up. Refuse loudly rather than
+        // mislabel every later result (the row itself is stored, but
+        // unlabeled rows only ever surface as a clean error).
+        if row != self.labels.len() {
+            return Err(CoreError::Unavailable {
+                reason: "memory was mutated outside the engine; label table out of sync",
+            });
+        }
+        self.labels.push(label);
+        Ok(())
+    }
+
+    fn query(&self, features: &[f32]) -> femcam_core::Result<QueryResult> {
+        let levels = self.quantizer.quantize(features)?;
+        let (index, score) = self.handle.search(&levels).map_err(CoreError::from)?;
+        self.result(index, score)
+    }
+
+    fn query_k(&self, features: &[f32], k: usize) -> femcam_core::Result<Vec<QueryResult>> {
+        let levels = self.quantizer.quantize(features)?;
+        let hits = self
+            .handle
+            .search_top_k(&levels, k)
+            .map_err(CoreError::from)?;
+        hits.into_iter()
+            .map(|(index, score)| self.result(index, score))
+            .collect()
+    }
+
+    fn query_batch(&self, queries: &[&[f32]]) -> femcam_core::Result<Vec<QueryResult>> {
+        if self.is_empty() {
+            return Err(CoreError::EmptyArray);
+        }
+        let levels: Vec<Vec<u8>> = queries
+            .iter()
+            .map(|q| self.quantizer.quantize(q))
+            .collect::<femcam_core::Result<_>>()?;
+        let mut out = Vec::with_capacity(levels.len());
+        // Adaptive pipelining: keep submitting (so the dispatcher can
+        // coalesce micro-batches) and, whenever admission control
+        // pushes back — because this batch filled the queue or foreign
+        // traffic through other handles did — drain the oldest
+        // in-flight ticket to free a slot instead of failing the whole
+        // batch. Tickets drain in submission order, so `out` stays in
+        // query order.
+        let mut in_flight: VecDeque<Ticket> = VecDeque::new();
+        let mut overloaded_since: Option<Instant> = None;
+        let mut pending = levels.iter();
+        let mut next = pending.next();
+        while let Some(level) = next {
+            match self.handle.submit(level) {
+                Ok(ticket) => {
+                    in_flight.push_back(ticket);
+                    overloaded_since = None;
+                    next = pending.next();
+                }
+                Err(ServeError::Overloaded { .. }) if !in_flight.is_empty() => {
+                    let ticket = in_flight.pop_front().expect("nonempty");
+                    let (index, score) = ticket.wait().map_err(CoreError::from)?;
+                    out.push(self.result(index, score)?);
+                }
+                // Foreign traffic saturates the queue with none of our
+                // own work outstanding: wait out several batching
+                // windows before giving up.
+                Err(e @ ServeError::Overloaded { .. }) => {
+                    let since = *overloaded_since.get_or_insert_with(Instant::now);
+                    if since.elapsed() > OVERLOAD_PATIENCE {
+                        return Err(CoreError::from(e));
+                    }
+                    std::thread::sleep(OVERLOAD_BACKOFF);
+                }
+                Err(e) => return Err(CoreError::from(e)),
+            }
+        }
+        for ticket in in_flight {
+            let (index, score) = ticket.wait().map_err(CoreError::from)?;
+            out.push(self.result(index, score)?);
+        }
+        Ok(out)
+    }
+
+    fn query_k_batch(
+        &self,
+        queries: &[&[f32]],
+        k: usize,
+    ) -> femcam_core::Result<Vec<Vec<QueryResult>>> {
+        if self.is_empty() {
+            return Err(CoreError::EmptyArray);
+        }
+        queries.iter().map(|q| self.query_k(q, k)).collect()
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "mcam-served-{}bit{}",
+            self.bits,
+            self.precision.name_suffix()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use femcam_core::{ConductanceLut, LevelLadder, McamNn, QuantizeStrategy};
+    use femcam_device::FefetModel;
+
+    fn clustered_data() -> (Vec<Vec<f32>>, Vec<u32>) {
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..8 {
+            let t = i as f32 * 0.01;
+            features.push(vec![1.0 - t, 0.05 + t, 0.1]);
+            labels.push(0);
+            features.push(vec![0.05 + t, 1.0 - t, 0.9]);
+            labels.push(1);
+        }
+        (features, labels)
+    }
+
+    fn build_served(precision: Precision, rows_per_bank: usize) -> (ServedNn, McamNn) {
+        let (features, _) = clustered_data();
+        let ladder = LevelLadder::new(3).unwrap();
+        let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+        let quantizer = Quantizer::fit(
+            features.iter().map(|r| r.as_slice()),
+            3,
+            ladder.n_levels() as u16,
+            QuantizeStrategy::PerFeatureMinMax,
+        )
+        .unwrap();
+        let memory = BankedMcam::new(ladder, lut, 3, rows_per_bank);
+        let served = ServedNn::new(
+            quantizer.clone(),
+            memory,
+            ServeConfig {
+                precision,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let reference = McamNn::fit(
+            3,
+            features.iter().map(|r| r.as_slice()),
+            3,
+            QuantizeStrategy::PerFeatureMinMax,
+            &FefetModel::default(),
+        )
+        .unwrap()
+        .with_precision(precision);
+        (served, reference)
+    }
+
+    #[test]
+    fn served_engine_matches_mcam_nn() {
+        let (features, labels) = clustered_data();
+        for precision in [Precision::F64, Precision::F32, Precision::Codes] {
+            let (mut served, mut reference) = build_served(precision, 4);
+            for (f, &l) in features.iter().zip(&labels) {
+                served.add(f, l).unwrap();
+                reference.add(f, l).unwrap();
+            }
+            assert_eq!(served.len(), reference.len());
+            let refs: Vec<&[f32]> = features.iter().map(|f| f.as_slice()).collect();
+            let got = served.query_batch(&refs).unwrap();
+            let want = reference.query_batch(&refs).unwrap();
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!((g.index, g.label), (w.index, w.label), "{precision:?}");
+            }
+            // Single queries agree with the batch (scores bitwise).
+            for (q, w) in refs.iter().zip(&got) {
+                let single = served.query(q).unwrap();
+                assert_eq!(single.index, w.index);
+                assert_eq!(single.score, w.score);
+            }
+            // Top-k follows the clamp contract.
+            assert!(served.query_k(refs[0], 0).unwrap().is_empty());
+            assert_eq!(served.query_k(refs[0], 1_000).unwrap().len(), served.len());
+            let top3 = served.query_k(refs[0], 3).unwrap();
+            assert_eq!(top3.len(), 3);
+            assert_eq!(top3[0].index, served.query(refs[0]).unwrap().index);
+            assert!(served.name().starts_with("mcam-served-3bit"));
+        }
+    }
+
+    #[test]
+    fn query_batch_survives_queue_smaller_than_batch() {
+        let (features, labels) = clustered_data();
+        let ladder = LevelLadder::new(3).unwrap();
+        let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+        let quantizer = Quantizer::fit(
+            features.iter().map(|r| r.as_slice()),
+            3,
+            ladder.n_levels() as u16,
+            QuantizeStrategy::PerFeatureMinMax,
+        )
+        .unwrap();
+        let memory = BankedMcam::new(ladder, lut, 3, 4);
+        let mut served = ServedNn::new(
+            quantizer,
+            memory,
+            ServeConfig {
+                // A 2-slot queue far below the 16-query batch: the
+                // adaptive pipeline must drain instead of failing.
+                queue_capacity: Some(2),
+                max_batch: 2,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        for (f, &l) in features.iter().zip(&labels) {
+            served.add(f, l).unwrap();
+        }
+        let refs: Vec<&[f32]> = features.iter().map(|f| f.as_slice()).collect();
+        let batched = served.query_batch(&refs).unwrap();
+        assert_eq!(batched.len(), refs.len());
+        for (q, b) in refs.iter().zip(&batched) {
+            let single = served.query(q).unwrap();
+            assert_eq!((b.index, b.score), (single.index, single.score));
+        }
+    }
+
+    #[test]
+    fn served_engine_validates_construction() {
+        let (features, _) = clustered_data();
+        let ladder = LevelLadder::new(3).unwrap();
+        let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+        let quantizer = Quantizer::fit(
+            features.iter().map(|r| r.as_slice()),
+            3,
+            4, // 2-bit quantizer vs 3-bit memory
+            QuantizeStrategy::PerFeatureMinMax,
+        )
+        .unwrap();
+        let memory = BankedMcam::new(ladder, lut.clone(), 3, 4);
+        assert!(ServedNn::new(quantizer, memory, ServeConfig::default()).is_err());
+        // Dimensionality mismatch.
+        let quantizer = Quantizer::fit(
+            features.iter().map(|r| r.as_slice()),
+            3,
+            8,
+            QuantizeStrategy::PerFeatureMinMax,
+        )
+        .unwrap();
+        let memory = BankedMcam::new(ladder, lut, 5, 4);
+        assert!(matches!(
+            ServedNn::new(quantizer, memory, ServeConfig::default()),
+            Err(CoreError::DimensionMismatch {
+                expected: 5,
+                actual: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn served_engine_honors_empty_contract() {
+        let (served, _) = build_served(Precision::F64, 4);
+        assert!(served.is_empty());
+        assert!(matches!(
+            served.query(&[0.0, 0.0, 0.0]),
+            Err(CoreError::EmptyArray)
+        ));
+        assert!(matches!(
+            served.query_batch(&[]),
+            Err(CoreError::EmptyArray)
+        ));
+        assert!(matches!(
+            served.query_k_batch(&[], 3),
+            Err(CoreError::EmptyArray)
+        ));
+    }
+
+    #[test]
+    fn unlabeled_handle_stores_error_instead_of_panicking() {
+        let (features, labels) = clustered_data();
+        let (mut served, _) = build_served(Precision::F64, 4);
+        for (f, &l) in features.iter().zip(&labels) {
+            served.add(f, l).unwrap();
+        }
+        // A row written through the raw serving handle bypasses the
+        // engine's label bookkeeping. Make it the best match for a
+        // crafted query: the engine must report the desync cleanly.
+        let handle = served.handle();
+        handle.store(&[7u8, 0, 0]).unwrap();
+        // A k spanning every row necessarily includes the unlabeled
+        // one: the engine must surface the desync, not panic.
+        let all = served.query_k(&features[0], served.len() + 1);
+        assert!(
+            matches!(all, Err(CoreError::Unavailable { .. })),
+            "query_k spanning an unlabeled row must error, got {all:?}"
+        );
+        // And a later add() must refuse to misalign the label table
+        // (the row index no longer matches the next label slot).
+        let n_before = served.len();
+        assert!(
+            matches!(
+                served.add(&features[0], 9),
+                Err(CoreError::Unavailable { .. })
+            ),
+            "add after a raw-handle store must report the desync"
+        );
+        assert_eq!(served.len(), n_before);
+    }
+}
