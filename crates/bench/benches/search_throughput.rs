@@ -14,7 +14,11 @@
 //! threads submit single queries through the `femcam-serve`
 //! micro-batching dispatcher over the same memory geometry, recording
 //! achieved batch size, wall-clock µs/query, and wait percentiles
-//! under the `serving` key.
+//! under the `serving` key — and a **sharded closed-loop sweep**
+//! (`serving_sharded` key): the same clients through a
+//! `ShardedServer` at 1/2/4 shards, recording per-shard-count
+//! achieved batch and µs/query plus the ratio against the
+//! single-dispatcher baseline.
 //!
 //! `FEMCAM_BENCH_MS` shortens the per-config sampling window (CI smoke
 //! mode); with the default full window the recorder *asserts* the
@@ -22,9 +26,11 @@
 //! never below single-thread at batch ≥ 64 (`speedup_threads >= 1`),
 //! the opt-in f32 kernel at least 1.5× over f64, the packed-code
 //! kernel at least 1.5× over f32, codes plan memory at least 16×
-//! below the f64 planes on the sweep geometry, and for the serving
+//! below the f64 planes on the sweep geometry, for the serving
 //! sweep an achieved batch of at least 8 with µs/query within 2× of
-//! the offline batch-64 number at the same precision.
+//! the offline batch-64 number at the same precision, and for the
+//! sharded sweep a fan-out/merge overhead bound: one-shard sharded
+//! µs/query within 1.25× of the single-dispatcher number.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -41,7 +47,7 @@ use femcam_core::{
 };
 use femcam_device::FefetModel;
 use femcam_lsh::RandomHyperplanes;
-use femcam_serve::{McamServer, ServeConfig};
+use femcam_serve::{McamServer, ServeConfig, ServingHandle, ShardedServer};
 
 const WORD_LEN: usize = 64;
 
@@ -221,6 +227,10 @@ const SERVE_CLIENTS: usize = 32;
 /// Result of one closed-loop serving measurement.
 struct ServingMeasurement {
     precision: Precision,
+    /// Dispatcher shard count (`None` = the plain single-dispatcher
+    /// `McamServer`; `Some(1)` = a `ShardedServer` with one shard,
+    /// which isolates the fan-out/merge overhead).
+    shards: Option<usize>,
     queries: u64,
     us_per_query: f64,
     achieved_batch_mean: f64,
@@ -231,27 +241,37 @@ struct ServingMeasurement {
 }
 
 /// Drives `SERVE_CLIENTS` closed-loop client threads against a
-/// micro-batching server over the sweep memory for one sampling
-/// window and reports achieved batch size and per-query wall time.
-fn measure_serving(precision: Precision) -> ServingMeasurement {
+/// micro-batching front end (single-dispatcher or sharded) over the
+/// sweep memory for one sampling window and reports achieved batch
+/// size and per-query wall time.
+fn measure_serving(precision: Precision, shards: Option<usize>) -> ServingMeasurement {
     let (banked, _) = sweep_memory(11);
     // max_batch == client count: the window closes as soon as every
     // client has resubmitted, so a full complement of closed-loop
     // clients never idles out the batching window.
-    let server = McamServer::start(
-        banked,
-        ServeConfig {
-            max_batch: SERVE_CLIENTS,
-            max_wait: Duration::from_micros(300),
-            precision,
-            ..ServeConfig::default()
-        },
-    );
+    let config = ServeConfig {
+        max_batch: SERVE_CLIENTS,
+        max_wait: Duration::from_micros(300),
+        precision,
+        ..ServeConfig::default()
+    };
+    enum Server {
+        Single(McamServer),
+        Sharded(ShardedServer),
+    }
+    let server = match shards {
+        None => Server::Single(McamServer::start(banked, config)),
+        Some(n) => Server::Sharded(ShardedServer::start(banked, n, config)),
+    };
+    let handle = match &server {
+        Server::Single(s) => ServingHandle::Single(s.handle()),
+        Server::Sharded(s) => ServingHandle::Sharded(s.handle()),
+    };
     let stop = Arc::new(AtomicBool::new(false));
     let started = Instant::now();
     let clients: Vec<_> = (0..SERVE_CLIENTS)
         .map(|c| {
-            let handle = server.handle();
+            let handle = handle.clone();
             let stop = Arc::clone(&stop);
             let mut rng = StdRng::seed_from_u64(0x5E21 + c as u64);
             std::thread::spawn(move || {
@@ -271,10 +291,14 @@ fn measure_serving(precision: Precision) -> ServingMeasurement {
     stop.store(true, Ordering::Relaxed);
     let queries: u64 = clients.into_iter().map(|c| c.join().unwrap()).sum();
     let elapsed = started.elapsed();
-    let stats = server.stats();
+    let stats = match &server {
+        Server::Single(s) => s.stats(),
+        Server::Sharded(s) => s.stats().merged(),
+    };
     drop(server);
     ServingMeasurement {
         precision,
+        shards,
         queries,
         us_per_query: elapsed.as_secs_f64() * 1e6 / queries.max(1) as f64,
         achieved_batch_mean: stats.mean_batch,
@@ -468,7 +492,7 @@ fn record_search_baseline(_c: &mut Criterion) {
     // precision.
     let serving: Vec<ServingMeasurement> = [Precision::F32, Precision::Codes]
         .into_iter()
-        .map(measure_serving)
+        .map(|p| measure_serving(p, None))
         .collect();
     let serving_lines: Vec<String> = serving
         .iter()
@@ -497,6 +521,44 @@ fn record_search_baseline(_c: &mut Criterion) {
         })
         .collect();
 
+    // Sharded closed-loop sweep: the same closed-loop clients through
+    // a ShardedServer at increasing shard counts (codes precision —
+    // the serving mode). shards=1 isolates the pure fan-out/merge
+    // overhead against the single-dispatcher baseline; the strict-mode
+    // contract bounds it at 1.25x us/query.
+    let single_codes_us = serving
+        .iter()
+        .find(|m| m.precision == Precision::Codes)
+        .expect("codes serving measurement")
+        .us_per_query;
+    let sharded: Vec<ServingMeasurement> = [1usize, 2, 4]
+        .into_iter()
+        .map(|n| measure_serving(Precision::Codes, Some(n)))
+        .collect();
+    let sharded_lines: Vec<String> = sharded
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"precision\": \"{}\", \"shards\": {}, \
+                 \"clients\": {SERVE_CLIENTS}, \"queries\": {}, \
+                 \"us_per_query\": {:.1}, \"queries_per_s\": {:.1}, \
+                 \"achieved_batch_mean\": {:.1}, \"achieved_batch_max\": {}, \
+                 \"p50_wait_us\": {:.0}, \"p99_wait_us\": {:.0}, \
+                 \"ratio_vs_single_dispatcher\": {:.2}}}",
+                m.precision.name(),
+                m.shards.expect("sharded measurement"),
+                m.queries,
+                m.us_per_query,
+                1e6 / m.us_per_query,
+                m.achieved_batch_mean,
+                m.achieved_batch_max,
+                m.p50_wait_us,
+                m.p99_wait_us,
+                m.us_per_query / single_codes_us,
+            )
+        })
+        .collect();
+
     let speedup = scalar_ns / best_batched_ns;
     let json = format!(
         "{{\n  \"config\": {{\"rows\": {SWEEP_ROWS}, \"word_len\": {WORD_LEN}, \
@@ -513,12 +575,14 @@ fn record_search_baseline(_c: &mut Criterion) {
          \"sweep\": [\n{}\n  ],\n\
          \"thread_scaling\": [\n{}\n  ],\n\
          \"precision\": [\n{}\n  ],\n\
-         \"serving\": [\n{}\n  ]\n}}\n",
+         \"serving\": [\n{}\n  ],\n\
+         \"serving_sharded\": [\n{}\n  ]\n}}\n",
         plan_mode_lines.join(",\n"),
         sweep_lines.join(",\n"),
         scaling_lines.join(",\n"),
         precision_lines.join(",\n"),
-        serving_lines.join(",\n")
+        serving_lines.join(",\n"),
+        sharded_lines.join(",\n")
     );
     let path = femcam_bench::results_dir().join("BENCH_search.json");
     std::fs::write(&path, &json).expect("write BENCH_search.json");
@@ -539,6 +603,21 @@ fn record_search_baseline(_c: &mut Criterion) {
             m.us_per_query,
             m.exec_us_per_query,
             offline_b64_ns[m.precision.name()] / 1e3,
+            m.achieved_batch_mean,
+            m.achieved_batch_max,
+            m.p50_wait_us,
+            m.p99_wait_us,
+        );
+    }
+    for m in &sharded {
+        println!(
+            "sharded serving ({}, {} shards): {:.1} us/query wall \
+             ({:.2}x single-dispatcher), achieved batch {:.1} (max {}), \
+             wait p50 {:.0} us / p99 {:.0} us",
+            m.precision.name(),
+            m.shards.expect("sharded"),
+            m.us_per_query,
+            m.us_per_query / single_codes_us,
             m.achieved_batch_mean,
             m.achieved_batch_max,
             m.p50_wait_us,
@@ -613,6 +692,23 @@ fn record_search_baseline(_c: &mut Criterion) {
                 path.display()
             );
         }
+        // Sharded-serving contract: at one shard the ShardedServer
+        // runs the exact single-dispatcher pipeline plus the fan-out
+        // submit and the (trivial, one-part) merge — that overhead
+        // must stay within 25% of the single-dispatcher wall cost, or
+        // the front end is taxing every deployment that shards.
+        let one_shard = sharded
+            .iter()
+            .find(|m| m.shards == Some(1))
+            .expect("one-shard measurement");
+        assert!(
+            one_shard.us_per_query <= 1.25 * single_codes_us,
+            "sharded front end at 1 shard costs {:.1} us/query vs \
+             {single_codes_us:.1} us single-dispatcher — fan-out/merge \
+             overhead above the 1.25x contract (see {})",
+            one_shard.us_per_query,
+            path.display()
+        );
     } else if speedup_threads < 1.0 || speedup_f32 < 1.5 || speedup_codes < 1.5 {
         println!(
             "warning (smoke mode, contracts not enforced): \

@@ -136,6 +136,113 @@ impl BankedMcam {
         exec::validate_query(self.word_len, self.ladder.n_levels(), query)
     }
 
+    /// Splits this memory into exactly `n_parts` contiguous bank
+    /// ranges, in global-row order — the physical partition a sharded
+    /// serving front end hands to its per-shard dispatchers. Every
+    /// part keeps the shared ladder/LUT and the same `word_len` /
+    /// `rows_per_bank`; part `i`'s global rows start at the sum of the
+    /// earlier parts' row counts, so `(partition, concat)` round-trips
+    /// global row indices exactly.
+    ///
+    /// When there are fewer banks than parts, the trailing parts come
+    /// back empty (they still accept stores). Because only the globally
+    /// last bank can be partial, every bank outside the last nonempty
+    /// part is full — which is what keeps the per-part global-row
+    /// arithmetic exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_parts` is zero.
+    #[must_use]
+    pub fn partition(mut self, n_parts: usize) -> Vec<BankedMcam> {
+        assert!(n_parts > 0, "partition needs at least one part");
+        let total = self.banks.len();
+        let per = total / n_parts;
+        let extra = total % n_parts;
+        let mut banks = self.banks.drain(..);
+        (0..n_parts)
+            .map(|i| {
+                let take = per + usize::from(i < extra);
+                BankedMcam {
+                    ladder: self.ladder,
+                    lut: self.lut.clone(),
+                    word_len: self.word_len,
+                    rows_per_bank: self.rows_per_bank,
+                    banks: banks.by_ref().take(take).collect(),
+                }
+            })
+            .collect()
+    }
+
+    /// Reassembles memories produced by [`partition`](Self::partition)
+    /// (in the same order) into one banked memory — the shutdown path
+    /// of a sharded server. Validates that the parts share a geometry
+    /// and that every bank except the global last is full, so the
+    /// concatenated memory's global row indices equal the parts'
+    /// base-offset rows exactly.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidParameter`] if `parts` is empty, the
+    ///   `rows_per_bank` / ladder geometries disagree, or an interior
+    ///   bank is not full.
+    /// * [`CoreError::WordLengthMismatch`] if the word lengths
+    ///   disagree.
+    pub fn concat(parts: Vec<BankedMcam>) -> Result<BankedMcam> {
+        let Some(first) = parts.first() else {
+            return Err(CoreError::InvalidParameter {
+                name: "concat parts",
+                value: 0.0,
+            });
+        };
+        let (ladder, lut) = (first.ladder, first.lut.clone());
+        let (word_len, rows_per_bank) = (first.word_len, first.rows_per_bank);
+        let mut banks = Vec::new();
+        for part in parts {
+            if part.word_len != word_len {
+                return Err(CoreError::WordLengthMismatch {
+                    expected: word_len,
+                    actual: part.word_len,
+                });
+            }
+            if part.rows_per_bank != rows_per_bank || part.ladder.n_levels() != ladder.n_levels() {
+                return Err(CoreError::InvalidParameter {
+                    name: "rows_per_bank",
+                    value: part.rows_per_bank as f64,
+                });
+            }
+            // Same geometry is not enough: conductances from different
+            // LUTs live on different scales, and a merge across the
+            // seam would compare them directly — wrong winners with no
+            // error. Refuse loudly instead.
+            if part.lut != lut {
+                return Err(CoreError::InvalidParameter {
+                    name: "conductance lut",
+                    value: part.lut.n_levels() as f64,
+                });
+            }
+            banks.extend(part.banks);
+        }
+        if banks
+            .iter()
+            .rev()
+            .skip(1)
+            .any(|b| b.n_rows() != rows_per_bank)
+        {
+            return Err(CoreError::InvalidParameter {
+                name: "interior bank rows",
+                value: rows_per_bank as f64,
+            });
+        }
+        Ok(BankedMcam {
+            ladder,
+            lut,
+            word_len,
+            rows_per_bank,
+            banks,
+        })
+    }
+
     /// Stores a word, allocating a new bank when the last one is full;
     /// returns the global row index.
     ///
@@ -391,23 +498,60 @@ impl BankedMcam {
         if self.is_empty() {
             return Err(CoreError::EmptyArray);
         }
-        self.check_query(query)?;
-        let k = k.min(self.n_rows());
-        if k == 0 {
+        let mut hits = self.search_batch_top_k_with(&[query], k, precision)?;
+        Ok(hits.pop().expect("one query in, one out"))
+    }
+
+    /// Each query's `k` nearest rows as `(global_row, total_conductance)`
+    /// pairs (nearest first) — the batched face of
+    /// [`search_top_k_with`](Self::search_top_k_with), and what lets a
+    /// serving front end coalesce k-NN traffic into micro-batches
+    /// instead of running each top-k solo. Every bank executes one
+    /// batched bounded-heap sweep over its cached plan (the same
+    /// `BlockKernel` drivers as the flat
+    /// [`McamArray::search_batch_top_k_with`]); per-bank candidates
+    /// merge by ascending `(conductance, global_row)`, so results are
+    /// bit-identical, per query, to a solo
+    /// [`search_top_k_with`](Self::search_top_k_with) call.
+    ///
+    /// `k` is clamped, never an error (the
+    /// [`crate::engines::NnIndex::query_k`] contract).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search_batch`](Self::search_batch).
+    pub fn search_batch_top_k_with(
+        &self,
+        queries: &[&[u8]],
+        k: usize,
+        precision: Precision,
+    ) -> Result<Vec<Vec<(usize, f64)>>> {
+        if self.is_empty() {
+            return Err(CoreError::EmptyArray);
+        }
+        if queries.is_empty() {
             return Ok(Vec::new());
         }
-        let mut candidates: Vec<(usize, f64)> = Vec::new();
-        for (bank_idx, bank) in self.banks.iter().enumerate() {
-            let hits = bank.search_batch_top_k_with(&[query], k, precision)?;
-            let hits = hits.into_iter().next().expect("one query in, one out");
-            candidates.extend(
-                hits.into_iter()
-                    .map(|(local, g)| (bank_idx * self.rows_per_bank + local, g)),
-            );
+        for query in queries {
+            self.check_query(query)?;
         }
-        candidates.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-        candidates.truncate(k);
-        Ok(candidates)
+        let k = k.min(self.n_rows());
+        if k == 0 {
+            return Ok(vec![Vec::new(); queries.len()]);
+        }
+        let mut merged: Vec<Vec<(usize, f64)>> = vec![Vec::new(); queries.len()];
+        for (bank_idx, bank) in self.banks.iter().enumerate() {
+            let base = bank_idx * self.rows_per_bank;
+            let per_bank = bank.search_batch_top_k_with(queries, k, precision)?;
+            for (slot, hits) in merged.iter_mut().zip(per_bank) {
+                slot.extend(hits.into_iter().map(|(local, g)| (base + local, g)));
+            }
+        }
+        for slot in &mut merged {
+            slot.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            slot.truncate(k);
+        }
+        Ok(merged)
     }
 
     /// Compiles every bank into a reusable multi-bank query plan (see
@@ -684,6 +828,119 @@ mod tests {
         }
         let outcomes = b.search_all_banks(&[3; 8]).unwrap();
         assert_eq!(outcomes.len(), 3);
+    }
+
+    #[test]
+    fn batched_top_k_matches_solo_top_k() {
+        let ladder = LevelLadder::new(3).unwrap();
+        let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+        let mut banked = BankedMcam::new(ladder, lut, 6, 4);
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..15 {
+            let word: Vec<u8> = (0..6).map(|_| rng.gen_range(0..8)).collect();
+            banked.store(&word).unwrap();
+        }
+        let queries: Vec<Vec<u8>> = (0..5)
+            .map(|_| (0..6).map(|_| rng.gen_range(0..8)).collect())
+            .collect();
+        let refs: Vec<&[u8]> = queries.iter().map(|q| q.as_slice()).collect();
+        for precision in [Precision::F64, Precision::F32, Precision::Codes] {
+            for k in [0usize, 1, 3, 15, 99] {
+                let batched = banked.search_batch_top_k_with(&refs, k, precision).unwrap();
+                assert_eq!(batched.len(), refs.len());
+                for (q, hits) in refs.iter().zip(&batched) {
+                    let solo = banked.search_top_k_with(q, k, precision).unwrap();
+                    assert_eq!(hits, &solo, "k={k} {precision:?}");
+                }
+            }
+            assert!(banked
+                .search_batch_top_k_with(&[], 3, precision)
+                .unwrap()
+                .is_empty());
+        }
+    }
+
+    #[test]
+    fn partition_concat_round_trips_global_rows() {
+        let ladder = LevelLadder::new(3).unwrap();
+        let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+        let mut rng = StdRng::seed_from_u64(17);
+        // 7 rows over 2-row banks: 4 banks, the last one partial.
+        let words: Vec<Vec<u8>> = (0..7)
+            .map(|_| (0..5).map(|_| rng.gen_range(0..8)).collect())
+            .collect();
+        for n_parts in [1usize, 2, 3, 4, 6] {
+            let mut banked = BankedMcam::new(ladder, lut.clone(), 5, 2);
+            for w in &words {
+                banked.store(w).unwrap();
+            }
+            let parts = banked.partition(n_parts);
+            assert_eq!(parts.len(), n_parts);
+            // Contiguity: bases are cumulative, interior banks full.
+            let total: usize = parts.iter().map(BankedMcam::n_rows).sum();
+            assert_eq!(total, 7);
+            for p in &parts {
+                assert_eq!(p.rows_per_bank(), 2);
+                assert_eq!(p.word_len(), 5);
+            }
+            let rejoined = BankedMcam::concat(parts).unwrap();
+            assert_eq!(rejoined.n_rows(), 7);
+            assert_eq!(rejoined.n_banks(), 4);
+            // Every stored word is still found at its original global
+            // row (exact match is the conductance minimum).
+            for (row, w) in words.iter().enumerate() {
+                // Duplicates resolve to the first occurrence.
+                let expected = words.iter().position(|x| x == w).unwrap_or(row);
+                assert_eq!(rejoined.search(w).unwrap().0, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn concat_rejects_mismatched_parts() {
+        let ladder = LevelLadder::new(3).unwrap();
+        let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+        assert!(matches!(
+            BankedMcam::concat(vec![]),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+        let a = BankedMcam::new(ladder, lut.clone(), 4, 2);
+        let b = BankedMcam::new(ladder, lut.clone(), 5, 2);
+        assert!(matches!(
+            BankedMcam::concat(vec![a, b]),
+            Err(CoreError::WordLengthMismatch { .. })
+        ));
+        let a = BankedMcam::new(ladder, lut.clone(), 4, 2);
+        let b = BankedMcam::new(ladder, lut.clone(), 4, 3);
+        assert!(matches!(
+            BankedMcam::concat(vec![a, b]),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+        // A partial interior bank breaks global-row arithmetic.
+        let mut a = BankedMcam::new(ladder, lut.clone(), 4, 2);
+        a.store(&[1, 1, 1, 1]).unwrap();
+        let mut b = BankedMcam::new(ladder, lut.clone(), 4, 2);
+        b.store(&[2, 2, 2, 2]).unwrap();
+        assert!(matches!(
+            BankedMcam::concat(vec![a, b]),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+        // Identical geometry but a different LUT: conductances would
+        // mix scales across the seam — must be refused.
+        let other_lut = {
+            let params = femcam_device::FefetParams {
+                i_on: 2e-4,
+                ..Default::default()
+            };
+            let model = FefetModel::new(params).unwrap();
+            ConductanceLut::from_device(&model, &ladder)
+        };
+        let a = BankedMcam::new(ladder, lut, 4, 2);
+        let b = BankedMcam::new(ladder, other_lut, 4, 2);
+        assert!(matches!(
+            BankedMcam::concat(vec![a, b]),
+            Err(CoreError::InvalidParameter { .. })
+        ));
     }
 
     #[test]

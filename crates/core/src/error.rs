@@ -47,6 +47,14 @@ pub enum CoreError {
         /// Short human-readable cause.
         reason: &'static str,
     },
+    /// A serving front end stayed saturated past the caller's bounded
+    /// retry budget: every admission attempt over the whole backoff
+    /// window was rejected. Produced by `femcam-serve` adapters; the
+    /// duration is how long the caller backed off before giving up.
+    Overloaded {
+        /// Total time spent overloaded (backing off), in microseconds.
+        waited_us: u64,
+    },
     /// A quantizer was used before fitting, or fitted on no data.
     QuantizerNotFitted,
     /// Input feature dimensionality does not match the engine.
@@ -89,6 +97,12 @@ impl fmt::Display for CoreError {
             ),
             CoreError::Unavailable { reason } => {
                 write!(f, "service unavailable: {reason}")
+            }
+            CoreError::Overloaded { waited_us } => {
+                write!(
+                    f,
+                    "serving queue stayed at capacity for {waited_us} us of bounded retries"
+                )
             }
             CoreError::QuantizerNotFitted => {
                 write!(f, "quantizer must be fitted on nonempty data before use")
@@ -145,6 +159,7 @@ mod tests {
             CoreError::Unavailable {
                 reason: "queue full",
             },
+            CoreError::Overloaded { waited_us: 50_000 },
             CoreError::QuantizerNotFitted,
             CoreError::DimensionMismatch {
                 expected: 64,

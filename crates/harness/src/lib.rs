@@ -56,6 +56,7 @@ pub mod prelude {
     pub use femcam_nn::optim::Sgd;
     pub use femcam_serve::{
         McamServer, MemoryReport, ServeConfig, ServeError, ServeHandle, ServeStats, ServedNn,
-        Ticket,
+        ServingHandle, ServingTicket, ShardTicket, ShardTopKTicket, ShardedHandle, ShardedServer,
+        ShardedStats, Ticket, TopKTicket,
     };
 }

@@ -57,6 +57,26 @@ pub enum Backend {
         /// Rows per physical bank of the served memory.
         rows_per_bank: usize,
     },
+    /// The in-MCAM search behind the **sharded** serving front end
+    /// (`femcam_serve::ShardedServer`): the episode memory is
+    /// partitioned across one micro-batching dispatcher per shard,
+    /// searches fan out and merge by the contractual
+    /// `(conductance, global_row)` order, and stores route to the
+    /// tail shard only. Results are bit-identical to
+    /// [`Backend::McamServed`] and [`Backend::Mcam`] at the same
+    /// precision — the shard-merge determinism contract.
+    McamSharded {
+        /// Cell precision in bits.
+        bits: u8,
+        /// Feature quantization strategy.
+        strategy: QuantizeStrategy,
+        /// Execution precision of the served search kernel.
+        precision: Precision,
+        /// Rows per physical bank of the served memory.
+        rows_per_bank: usize,
+        /// Number of dispatcher shards.
+        shards: usize,
+    },
     /// The TCAM+LSH baseline.
     TcamLsh {
         /// Signature length; `None` uses the feature dimensionality
@@ -162,6 +182,20 @@ impl Backend {
         }
     }
 
+    /// MCAM backend routed through the sharded serving front end
+    /// ([`Backend::McamSharded`]) at the default `f64` precision; 256
+    /// rows per bank, the benchmark sweep geometry.
+    #[must_use]
+    pub fn mcam_sharded(bits: u8, shards: usize) -> Self {
+        Backend::McamSharded {
+            bits,
+            strategy: QuantizeStrategy::PerFeatureQuantile,
+            precision: Precision::F64,
+            rows_per_bank: 256,
+            shards,
+        }
+    }
+
     /// Iso-word-length TCAM+LSH backend.
     #[must_use]
     pub fn tcam_lsh() -> Self {
@@ -196,6 +230,14 @@ impl Backend {
                 bits, precision, ..
             } => {
                 format!("mcam-served-{bits}bit{}", precision.name_suffix())
+            }
+            Backend::McamSharded {
+                bits,
+                precision,
+                shards,
+                ..
+            } => {
+                format!("mcam-sharded{shards}-{bits}bit{}", precision.name_suffix())
             }
             Backend::TcamLsh { signature_bits } => match signature_bits {
                 Some(b) => format!("tcam+lsh-{b}b"),
@@ -284,6 +326,33 @@ impl Backend {
                     ..ServeConfig::default()
                 };
                 Ok(Box::new(ServedNn::new(quantizer, memory, config)?))
+            }
+            Backend::McamSharded {
+                bits,
+                strategy,
+                precision,
+                rows_per_bank,
+                shards,
+            } => {
+                let ladder = LevelLadder::new(*bits)?;
+                let quantizer = Quantizer::fit(
+                    calibration.iter().copied(),
+                    dims,
+                    ladder.n_levels() as u16,
+                    *strategy,
+                )?;
+                let lut = ConductanceLut::from_device(model, &ladder);
+                let memory = BankedMcam::new(ladder, lut, dims, (*rows_per_bank).max(1));
+                let config = ServeConfig {
+                    precision: *precision,
+                    ..ServeConfig::default()
+                };
+                Ok(Box::new(ServedNn::new_sharded(
+                    quantizer,
+                    memory,
+                    (*shards).max(1),
+                    config,
+                )?))
             }
             Backend::TcamLsh { signature_bits } => {
                 let bits = signature_bits.unwrap_or(dims);
@@ -450,6 +519,55 @@ mod tests {
             rows_per_bank: 256,
         };
         assert_eq!(codes.name(), "mcam-served-3bit-codes");
+    }
+
+    #[test]
+    fn sharded_backend_matches_direct_mcam_bitwise() {
+        let model = FefetModel::default();
+        let cal = calibration_data();
+        let cal_refs: Vec<&[f32]> = cal.iter().map(|r| r.as_slice()).collect();
+        let backend = Backend::mcam_sharded(3, 2);
+        assert_eq!(backend.name(), "mcam-sharded2-3bit");
+        // Tiny rows_per_bank so three support rows actually straddle
+        // shard boundaries.
+        let backend = Backend::McamSharded {
+            bits: 3,
+            strategy: QuantizeStrategy::PerFeatureQuantile,
+            precision: Precision::Codes,
+            rows_per_bank: 1,
+            shards: 2,
+        };
+        assert_eq!(backend.name(), "mcam-sharded2-3bit-codes");
+        let mut sharded = backend.build_index(&cal_refs, 4, 1, &model).unwrap();
+        let mut direct = Backend::mcam_codes(3)
+            .build_index(&cal_refs, 4, 1, &model)
+            .unwrap();
+        for idx in [&mut sharded, &mut direct] {
+            idx.add(&[0.0, 1.0, 0.0, 0.0], 0).unwrap();
+            idx.add(&[1.0, 0.0, 0.5, -1.0], 1).unwrap();
+            idx.add(&[0.5, 0.5, 0.25, -0.5], 2).unwrap();
+        }
+        let queries: Vec<Vec<f32>> = vec![
+            vec![0.95, 0.05, 0.45, -0.9],
+            vec![0.0, 0.9, 0.05, 0.0],
+            vec![0.4, 0.6, 0.2, -0.4],
+        ];
+        let refs: Vec<&[f32]> = queries.iter().map(|q| q.as_slice()).collect();
+        let s = sharded.query_batch(&refs).unwrap();
+        let d = direct.query_batch(&refs).unwrap();
+        for (a, b) in s.iter().zip(&d) {
+            assert_eq!((a.index, a.label), (b.index, b.label));
+            assert_eq!(a.score, b.score, "sharded score drifted from direct");
+        }
+        // k-NN through the sharded merged top-k agrees too.
+        for q in &refs {
+            let sk = sharded.query_k(q, 3).unwrap();
+            let dk = direct.query_k(q, 3).unwrap();
+            for (a, b) in sk.iter().zip(&dk) {
+                assert_eq!((a.index, a.label), (b.index, b.label));
+                assert_eq!(a.score, b.score);
+            }
+        }
     }
 
     #[test]

@@ -13,15 +13,36 @@
 //! # Serving
 //!
 //! **Micro-batching window.** The dispatcher sleeps until a request
-//! arrives. The first search opens a batch window; the dispatcher then
-//! keeps collecting until the batch holds
-//! [`ServeConfig::max_batch`] queries, [`ServeConfig::max_wait`] has
-//! elapsed since the window opened, or a non-search request (a store,
-//! a report, shutdown) arrives — whichever comes first. The window
-//! closes, the whole batch executes as one compiled-plan sweep, and
-//! every waiter is answered. Under closed-loop load the achieved batch
-//! size approaches the number of concurrent clients; an isolated
-//! request pays at most `max_wait` of extra latency.
+//! arrives. The first search (winner or top-k) opens a batch window;
+//! the dispatcher then keeps collecting until the window holds
+//! [`ServeConfig::max_batch`] queries, the window must close (see
+//! "Deadlines" below), or a barrier request (a store, a report,
+//! shutdown) arrives — whichever comes first. The window closes, the
+//! collected winner queries execute as one
+//! [`BankedMcam::search_batch_winners_with`] sweep and the collected
+//! top-k queries as one [`BankedMcam::search_batch_top_k_with`] sweep
+//! (executed at the largest requested `k` and truncated per request —
+//! bit-identical to each request's solo answer, because a top-`k`
+//! list is a prefix of the top-`k_max` list), and every waiter is
+//! answered. Under closed-loop load the achieved batch size
+//! approaches the number of concurrent clients; an isolated request
+//! pays at most [`ServeConfig::max_wait`] of extra latency.
+//!
+//! **Deadlines.** The window's default close time is `max_wait` after
+//! it opened. A request submitted through
+//! [`ServeHandle::submit_with_deadline`] carries its own budget, and
+//! the window instead closes at the *earliest* deadline among the
+//! requests it holds — a tight-budget request never idles out a
+//! window on behalf of patient neighbors. A deadline bounds how long
+//! a request may sit *unexecuted*: when the dispatcher pops a request
+//! whose deadline already passed (it was queued behind stores or full
+//! windows), the request is rejected with
+//! [`ServeError::DeadlineExceeded`] instead of executing dead work;
+//! a zero budget is rejected at submission. Once a request makes it
+//! into the batch that its own deadline closes, it executes. The
+//! dispatcher never re-arms its wait with a zero timeout — a due
+//! window closes immediately (see [`window timeout`](self) notes on
+//! the wait loop), so an expired window can never busy-spin.
 //!
 //! **Backpressure policy.** Admission control is a queue-depth bound
 //! checked at [`ServeHandle::submit`]: the depth counts searches that
@@ -63,6 +84,39 @@
 //! deployment watches to decide when a node is full (codes-mode plans
 //! keep millions of rows resident where `f64` planes could not).
 //!
+//! # Sharding and deadlines
+//!
+//! One dispatcher serializes every request against one memory. The
+//! paper's banked organization (Fig. 9: fixed-height banks searched in
+//! parallel, winners merged digitally) extends past a single
+//! dispatcher: [`ShardedServer`] partitions a [`BankedMcam`]'s banks
+//! across `N` single-dispatcher shards
+//! ([`BankedMcam::partition`]), each with its own queue, batching
+//! window, and plan cache.
+//!
+//! * **Shard routing.** Searches (winner and top-k) fan out to every
+//!   shard and merge by ascending `(conductance, global_row)` — the
+//!   exact order the banked merge already pins, so sharded results are
+//!   bit-identical to a single-dispatcher server and to a direct
+//!   [`BankedMcam::search_with`] / [`BankedMcam::search_top_k_with`]
+//!   over the unpartitioned memory. Stores route *only* to the shard
+//!   that owns the append tail (global rows are assigned densely, so
+//!   exactly one shard ever grows).
+//! * **Barrier scope.** A store is a batch barrier on its owning
+//!   shard's queue alone: that shard's plan-cache invalidation stays
+//!   race-free while every other shard keeps coalescing searches —
+//!   the write never stalls the whole fleet.
+//! * **Deadline semantics vs `max_wait`.** [`ServeConfig::max_wait`]
+//!   is the *global* patience of a batching window; a per-request
+//!   deadline ([`ServeHandle::submit_with_deadline`],
+//!   [`ShardedHandle::submit_with_deadline`]) is one request's own
+//!   budget. The window closes at the earliest pending deadline (never
+//!   later than `max_wait`), dead-on-arrival requests are rejected
+//!   with [`ServeError::DeadlineExceeded`] instead of executing, and
+//!   on a sharded front end the same deadline instant is fanned to
+//!   every shard — if any shard cannot answer in time, the merged
+//!   request reports `DeadlineExceeded` rather than a partial merge.
+//!
 //! # Example
 //!
 //! ```
@@ -94,9 +148,14 @@
 #![warn(missing_debug_implementations)]
 
 mod nn;
+mod shard;
 mod stats;
 
 pub use nn::ServedNn;
+pub use shard::{
+    ServingHandle, ServingTicket, ShardTicket, ShardTopKTicket, ShardedHandle, ShardedServer,
+    ShardedStats,
+};
 pub use stats::ServeStats;
 
 use std::error::Error;
@@ -170,6 +229,16 @@ pub enum ServeError {
     /// The server is shutting down (or its dispatcher has exited); the
     /// request was not executed.
     ShuttingDown,
+    /// The request's deadline passed before the dispatcher could
+    /// execute it (it was dead on arrival at the dispatcher, or its
+    /// budget was zero at submission); no search was run on its
+    /// behalf.
+    DeadlineExceeded {
+        /// The budget the request was submitted with.
+        budget: Duration,
+        /// How long the request actually sat queued before rejection.
+        waited: Duration,
+    },
     /// The underlying search or store failed.
     Core(CoreError),
 }
@@ -182,6 +251,10 @@ impl fmt::Display for ServeError {
                 "serving queue at capacity ({depth} in flight, capacity {capacity})"
             ),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::DeadlineExceeded { budget, waited } => write!(
+                f,
+                "deadline exceeded before execution (budget {budget:?}, waited {waited:?})"
+            ),
             ServeError::Core(e) => write!(f, "search failed: {e}"),
         }
     }
@@ -211,6 +284,9 @@ impl From<ServeError> for CoreError {
             },
             ServeError::ShuttingDown => CoreError::Unavailable {
                 reason: "server shutting down",
+            },
+            ServeError::DeadlineExceeded { .. } => CoreError::Unavailable {
+                reason: "request deadline exceeded before execution",
             },
         }
     }
@@ -350,17 +426,44 @@ impl Ticket {
     }
 }
 
+/// An in-flight top-k search: wait on it to receive the
+/// `(global_row, total_conductance)` hits, nearest first.
+#[derive(Debug)]
+pub struct TopKTicket {
+    slot: Arc<OneShot<Vec<(usize, f64)>>>,
+}
+
+impl TopKTicket {
+    /// Blocks until the dispatcher answers this request.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Ticket::wait`].
+    pub fn wait(self) -> Result<Vec<(usize, f64)>, ServeError> {
+        self.slot.wait()
+    }
+}
+
+/// A queued winner search (one entry of a batching window).
+struct PendingSearch {
+    query: Vec<u8>,
+    submitted: Instant,
+    deadline: Option<Instant>,
+    responder: Responder<(usize, f64)>,
+}
+
+/// A queued top-k search (one entry of a batching window).
+struct PendingTopK {
+    query: Vec<u8>,
+    k: usize,
+    submitted: Instant,
+    deadline: Option<Instant>,
+    responder: Responder<Vec<(usize, f64)>>,
+}
+
 enum Request {
-    Search {
-        query: Vec<u8>,
-        submitted: Instant,
-        responder: Responder<(usize, f64)>,
-    },
-    TopK {
-        query: Vec<u8>,
-        k: usize,
-        responder: Responder<Vec<(usize, f64)>>,
-    },
+    Search(PendingSearch),
+    TopK(PendingTopK),
     Store {
         word: Vec<u8>,
         responder: Responder<usize>,
@@ -382,6 +485,8 @@ struct Shared {
     /// `stats`) so a rejection storm — the moment the dispatcher is
     /// busiest — never contends the mutex its hot loop takes.
     rejected: AtomicU64,
+    /// Requests rejected because their deadline passed unexecuted.
+    deadline_rejected: AtomicU64,
     stats: Mutex<StatsInner>,
     started: Instant,
 }
@@ -408,9 +513,108 @@ impl ServeHandle {
     /// * [`ServeError::Overloaded`] when the queue is at capacity.
     /// * [`ServeError::ShuttingDown`] when the server has exited.
     pub fn submit(&self, query: &[u8]) -> Result<Ticket, ServeError> {
+        self.submit_at(query, None)
+    }
+
+    /// Like [`submit`](Self::submit), with a per-request deadline:
+    /// the request must start executing within `budget` of now, or it
+    /// is rejected with [`ServeError::DeadlineExceeded`] instead of
+    /// running dead work. A tight budget also closes the batching
+    /// window early — the dispatcher never holds a window open past
+    /// the earliest pending deadline (see the
+    /// [module-level "Deadlines"](self#serving)).
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::DeadlineExceeded`] immediately when `budget`
+    ///   is zero, or from [`Ticket::wait`] when the deadline passed
+    ///   before the dispatcher reached the request.
+    /// * Otherwise the same conditions as [`submit`](Self::submit).
+    pub fn submit_with_deadline(
+        &self,
+        query: &[u8],
+        budget: Duration,
+    ) -> Result<Ticket, ServeError> {
         validate_query(self.shared.word_len, self.shared.n_levels, query)?;
-        // Admit-or-reject atomically: a check-then-increment would let
-        // concurrent submitters race past the capacity bound together.
+        let deadline = self.deadline_for(budget)?;
+        self.submit_at(query, Some(deadline))
+    }
+
+    /// Converts a request budget into an absolute deadline; a zero
+    /// budget is dead on arrival. Callers validate the query *first*,
+    /// so a malformed request always reports its validation error
+    /// (the documented admission contract), never `DeadlineExceeded`.
+    fn deadline_for(&self, budget: Duration) -> Result<Instant, ServeError> {
+        if budget.is_zero() {
+            self.shared
+                .deadline_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::DeadlineExceeded {
+                budget,
+                waited: Duration::ZERO,
+            });
+        }
+        Ok(Instant::now() + budget)
+    }
+
+    /// [`submit_with_deadline`](Self::submit_with_deadline), blocking
+    /// for the winner.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as
+    /// [`submit_with_deadline`](Self::submit_with_deadline) and
+    /// [`Ticket::wait`].
+    pub fn search_with_deadline(
+        &self,
+        query: &[u8],
+        budget: Duration,
+    ) -> Result<(usize, f64), ServeError> {
+        self.submit_with_deadline(query, budget)?.wait()
+    }
+
+    pub(crate) fn submit_at(
+        &self,
+        query: &[u8],
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, ServeError> {
+        validate_query(self.shared.word_len, self.shared.n_levels, query)?;
+        self.admit()?;
+        self.enqueue_search(query, deadline)
+    }
+
+    /// Enqueues a search whose admission slot the caller already
+    /// holds (a failed send releases it).
+    pub(crate) fn enqueue_search(
+        &self,
+        query: &[u8],
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, ServeError> {
+        let (responder, slot) = Responder::new();
+        let request = Request::Search(PendingSearch {
+            query: query.to_vec(),
+            submitted: Instant::now(),
+            deadline,
+            responder,
+        });
+        if self.tx.send(request).is_err() {
+            self.release_slot();
+            return Err(ServeError::ShuttingDown);
+        }
+        Ok(Ticket { slot })
+    }
+
+    /// Releases one admission slot reserved by
+    /// [`admit`](Self::admit) without enqueueing a request (the
+    /// sharded front end reserves across every shard before sending
+    /// anywhere, and must roll back on a partial reservation).
+    pub(crate) fn release_slot(&self) {
+        self.shared.depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Admit-or-reject atomically: a check-then-increment would let
+    /// concurrent submitters race past the capacity bound together.
+    pub(crate) fn admit(&self) -> Result<(), ServeError> {
         let admitted =
             self.shared
                 .depth
@@ -424,17 +628,7 @@ impl ServeHandle {
                 capacity: self.shared.capacity,
             });
         }
-        let (responder, slot) = Responder::new();
-        let request = Request::Search {
-            query: query.to_vec(),
-            submitted: Instant::now(),
-            responder,
-        };
-        if self.tx.send(request).is_err() {
-            self.shared.depth.fetch_sub(1, Ordering::Relaxed);
-            return Err(ServeError::ShuttingDown);
-        }
-        Ok(Ticket { slot })
+        Ok(())
     }
 
     /// Submits one query and blocks until its
@@ -450,26 +644,83 @@ impl ServeHandle {
         self.submit(query)?.wait()
     }
 
-    /// The `k` nearest rows for one query, nearest first — the debug /
-    /// analytics endpoint: it closes the current batch window and runs
-    /// alone on the dispatcher (see
-    /// [`BankedMcam::search_top_k_with`]). `k` is clamped, never an
-    /// error. Bypasses admission control.
+    /// Submits one top-k query without blocking on its result. Top-k
+    /// traffic coalesces into the same micro-batch window as winner
+    /// traffic (one [`BankedMcam::search_batch_top_k_with`] sweep per
+    /// window) instead of running solo as a batch barrier, so a k-NN
+    /// workload batches like everything else. `k` is clamped, never an
+    /// error. Counts against admission control like a winner search.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`submit`](Self::submit).
+    pub fn submit_top_k(&self, query: &[u8], k: usize) -> Result<TopKTicket, ServeError> {
+        self.submit_top_k_at(query, k, None)
+    }
+
+    /// Like [`submit_top_k`](Self::submit_top_k) with a per-request
+    /// deadline — the same semantics as
+    /// [`submit_with_deadline`](Self::submit_with_deadline).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as
+    /// [`submit_with_deadline`](Self::submit_with_deadline).
+    pub fn submit_top_k_with_deadline(
+        &self,
+        query: &[u8],
+        k: usize,
+        budget: Duration,
+    ) -> Result<TopKTicket, ServeError> {
+        validate_query(self.shared.word_len, self.shared.n_levels, query)?;
+        let deadline = self.deadline_for(budget)?;
+        self.submit_top_k_at(query, k, Some(deadline))
+    }
+
+    pub(crate) fn submit_top_k_at(
+        &self,
+        query: &[u8],
+        k: usize,
+        deadline: Option<Instant>,
+    ) -> Result<TopKTicket, ServeError> {
+        validate_query(self.shared.word_len, self.shared.n_levels, query)?;
+        self.admit()?;
+        self.enqueue_top_k(query, k, deadline)
+    }
+
+    /// Top-k face of [`enqueue_search`](Self::enqueue_search): the
+    /// caller already holds an admission slot.
+    pub(crate) fn enqueue_top_k(
+        &self,
+        query: &[u8],
+        k: usize,
+        deadline: Option<Instant>,
+    ) -> Result<TopKTicket, ServeError> {
+        let (responder, slot) = Responder::new();
+        let request = Request::TopK(PendingTopK {
+            query: query.to_vec(),
+            k,
+            submitted: Instant::now(),
+            deadline,
+            responder,
+        });
+        if self.tx.send(request).is_err() {
+            self.release_slot();
+            return Err(ServeError::ShuttingDown);
+        }
+        Ok(TopKTicket { slot })
+    }
+
+    /// The `k` nearest rows for one query, nearest first — blocking
+    /// face of [`submit_top_k`](Self::submit_top_k), bit-identical to
+    /// [`BankedMcam::search_top_k_with`] at the server's precision
+    /// against the contents visible at execution time.
     ///
     /// # Errors
     ///
     /// Same conditions as [`search`](Self::search).
     pub fn search_top_k(&self, query: &[u8], k: usize) -> Result<Vec<(usize, f64)>, ServeError> {
-        validate_query(self.shared.word_len, self.shared.n_levels, query)?;
-        let (responder, slot) = Responder::new();
-        self.tx
-            .send(Request::TopK {
-                query: query.to_vec(),
-                k,
-                responder,
-            })
-            .map_err(|_| ServeError::ShuttingDown)?;
-        slot.wait()
+        self.submit_top_k(query, k)?.wait()
     }
 
     /// Stores one word through the dispatcher and blocks until it is
@@ -520,6 +771,7 @@ impl ServeHandle {
         stats::snapshot(
             &inner,
             self.shared.rejected.load(Ordering::Relaxed),
+            self.shared.deadline_rejected.load(Ordering::Relaxed),
             self.shared.started.elapsed(),
             self.queue_depth(),
             self.queue_capacity(),
@@ -567,6 +819,7 @@ impl McamServer {
             word_len: memory.word_len(),
             n_levels: memory.ladder().n_levels(),
             rejected: AtomicU64::new(0),
+            deadline_rejected: AtomicU64::new(0),
             stats: Mutex::new(StatsInner::default()),
             started: Instant::now(),
         });
@@ -648,7 +901,128 @@ fn auto_capacity(memory: &BankedMcam, config: &ServeConfig) -> usize {
         .max(config.max_batch)
 }
 
-type PendingSearch = (Vec<u8>, Instant, Responder<(usize, f64)>);
+/// One open batching window: the winner and top-k searches collected
+/// so far, plus the earliest per-request deadline among them.
+struct Window {
+    searches: Vec<PendingSearch>,
+    topks: Vec<PendingTopK>,
+    earliest_deadline: Option<Instant>,
+}
+
+impl Window {
+    fn with_capacity(max_batch: usize) -> Self {
+        Window {
+            searches: Vec::with_capacity(max_batch),
+            topks: Vec::new(),
+            earliest_deadline: None,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.searches.len() + self.topks.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn note_deadline(&mut self, deadline: Option<Instant>) {
+        if let Some(d) = deadline {
+            self.earliest_deadline = Some(match self.earliest_deadline {
+                Some(e) => e.min(d),
+                None => d,
+            });
+        }
+    }
+
+    /// The instant this window must close: `max_wait` after it opened,
+    /// or the earliest pending per-request deadline, whichever is
+    /// sooner.
+    fn close_at(&self, window_deadline: Instant) -> Instant {
+        match self.earliest_deadline {
+            Some(d) => d.min(window_deadline),
+            None => window_deadline,
+        }
+    }
+}
+
+/// Deadline gate for a popped request: hands the responder back when
+/// the request is still live, or rejects it (dead on arrival at the
+/// dispatcher — its deadline passed while it sat queued) and returns
+/// `None`.
+fn live_or_reject<T>(
+    deadline: Option<Instant>,
+    submitted: Instant,
+    now: Instant,
+    responder: Responder<T>,
+    shared: &Shared,
+) -> Option<Responder<T>> {
+    match deadline {
+        Some(d) if d <= now => {
+            shared.depth.fetch_sub(1, Ordering::Relaxed);
+            shared.deadline_rejected.fetch_add(1, Ordering::Relaxed);
+            responder.fulfill(Err(ServeError::DeadlineExceeded {
+                budget: d.saturating_duration_since(submitted),
+                waited: now.saturating_duration_since(submitted),
+            }));
+            None
+        }
+        _ => Some(responder),
+    }
+}
+
+/// Adds a popped search to the window, unless it is dead on arrival.
+fn push_search(window: &mut Window, search: PendingSearch, shared: &Shared) {
+    let PendingSearch {
+        query,
+        submitted,
+        deadline,
+        responder,
+    } = search;
+    if let Some(responder) = live_or_reject(deadline, submitted, Instant::now(), responder, shared)
+    {
+        window.note_deadline(deadline);
+        window.searches.push(PendingSearch {
+            query,
+            submitted,
+            deadline,
+            responder,
+        });
+    }
+}
+
+/// Adds a popped top-k request to the window, unless it is dead on
+/// arrival.
+fn push_topk(window: &mut Window, topk: PendingTopK, shared: &Shared) {
+    let PendingTopK {
+        query,
+        k,
+        submitted,
+        deadline,
+        responder,
+    } = topk;
+    if let Some(responder) = live_or_reject(deadline, submitted, Instant::now(), responder, shared)
+    {
+        window.note_deadline(deadline);
+        window.topks.push(PendingTopK {
+            query,
+            k,
+            submitted,
+            deadline,
+            responder,
+        });
+    }
+}
+
+/// Time remaining until the batch window must close, or `None` when
+/// the close instant has already arrived. The dispatcher breaks out of
+/// its wait loop on `None` and executes the batch — it must **never**
+/// re-arm `recv_timeout` with a zero timeout, which would spin the
+/// wait loop at full CPU until some request happened to land.
+fn window_timeout(close_at: Instant, now: Instant) -> Option<Duration> {
+    let remaining = close_at.saturating_duration_since(now);
+    (!remaining.is_zero()).then_some(remaining)
+}
 
 /// The dispatcher loop: the only code that touches `memory` while the
 /// server runs. Returns the memory on shutdown.
@@ -658,7 +1032,6 @@ fn dispatch(
     shared: &Shared,
     config: &ServeConfig,
 ) -> BankedMcam {
-    let mut batch: Vec<PendingSearch> = Vec::with_capacity(config.max_batch);
     'serve: loop {
         let Ok(first) = rx.recv() else {
             break 'serve; // every handle dropped
@@ -672,37 +1045,27 @@ fn dispatch(
                 Request::Report { responder } => {
                     responder.fulfill(Ok(report(&memory, config)));
                 }
-                Request::TopK {
-                    query,
-                    k,
-                    responder,
-                } => {
-                    let result = memory.search_top_k_with(&query, k, config.precision);
-                    responder.fulfill(result.map_err(ServeError::Core));
-                }
                 Request::Store { word, responder } => {
                     let result = memory.store(&word).map_err(ServeError::Core);
                     responder.fulfill(result);
                     lock(&shared.stats).stores += 1;
                 }
-                Request::Search {
-                    query,
-                    submitted,
-                    responder,
-                } => {
-                    batch.push((query, submitted, responder));
-                    let deadline = Instant::now() + config.max_wait;
-                    while batch.len() < config.max_batch {
-                        let timeout = deadline.saturating_duration_since(Instant::now());
-                        if timeout.is_zero() {
-                            break;
-                        }
+                opener @ (Request::Search(_) | Request::TopK(_)) => {
+                    let mut window = Window::with_capacity(config.max_batch);
+                    match opener {
+                        Request::Search(s) => push_search(&mut window, s, shared),
+                        Request::TopK(t) => push_topk(&mut window, t, shared),
+                        _ => unreachable!("opener is a search"),
+                    }
+                    let window_deadline = Instant::now() + config.max_wait;
+                    while !window.is_empty() && window.len() < config.max_batch {
+                        let close_at = window.close_at(window_deadline);
+                        let Some(timeout) = window_timeout(close_at, Instant::now()) else {
+                            break; // window due: execute, never spin
+                        };
                         match rx.recv_timeout(timeout) {
-                            Ok(Request::Search {
-                                query,
-                                submitted,
-                                responder,
-                            }) => batch.push((query, submitted, responder)),
+                            Ok(Request::Search(s)) => push_search(&mut window, s, shared),
+                            Ok(Request::TopK(t)) => push_topk(&mut window, t, shared),
                             // A store/report/shutdown closes the window
                             // (barrier ordering) and runs after this
                             // batch.
@@ -715,7 +1078,7 @@ fn dispatch(
                             }
                         }
                     }
-                    execute_batch(&memory, &mut batch, shared, config.precision);
+                    execute_window(&memory, window, shared, config.precision);
                 }
             }
         }
@@ -723,11 +1086,14 @@ fn dispatch(
     // Drain: answer anything still queued so no client blocks forever.
     while let Ok(request) = rx.try_recv() {
         match request {
-            Request::Search { responder, .. } => {
+            Request::Search(PendingSearch { responder, .. }) => {
                 shared.depth.fetch_sub(1, Ordering::Relaxed);
                 responder.fulfill(Err(ServeError::ShuttingDown));
             }
-            Request::TopK { responder, .. } => responder.fulfill(Err(ServeError::ShuttingDown)),
+            Request::TopK(PendingTopK { responder, .. }) => {
+                shared.depth.fetch_sub(1, Ordering::Relaxed);
+                responder.fulfill(Err(ServeError::ShuttingDown));
+            }
             Request::Store { responder, .. } => responder.fulfill(Err(ServeError::ShuttingDown)),
             Request::Report { responder } => responder.fulfill(Err(ServeError::ShuttingDown)),
             Request::Shutdown => {}
@@ -736,26 +1102,36 @@ fn dispatch(
     memory
 }
 
-/// Executes one collected micro-batch and fans the winners out.
-fn execute_batch(
-    memory: &BankedMcam,
-    batch: &mut Vec<PendingSearch>,
-    shared: &Shared,
-    precision: Precision,
-) {
+/// Executes one collected micro-batch — the winner queries as one
+/// batched-winners sweep, the top-k queries as one batched top-k sweep
+/// at the largest requested `k` (each request's answer truncated to
+/// its own `k`, a prefix of the `k_max` list, so results stay
+/// bit-identical to solo execution) — and fans the results out.
+fn execute_window(memory: &BankedMcam, mut window: Window, shared: &Shared, precision: Precision) {
+    if window.is_empty() {
+        return;
+    }
     let exec_start = Instant::now();
-    let queries: Vec<&[u8]> = batch.iter().map(|(q, _, _)| q.as_slice()).collect();
-    let result = memory.search_batch_winners_with(&queries, precision);
-    drop(queries);
+    let winner_queries: Vec<&[u8]> = window.searches.iter().map(|s| s.query.as_slice()).collect();
+    let winners = memory.search_batch_winners_with(&winner_queries, precision);
+    drop(winner_queries);
+    let k_max = window.topks.iter().map(|t| t.k).max().unwrap_or(0);
+    let topk_queries: Vec<&[u8]> = window.topks.iter().map(|t| t.query.as_slice()).collect();
+    let topk_hits = memory.search_batch_top_k_with(&topk_queries, k_max, precision);
+    drop(topk_queries);
     let exec_ns = exec_start.elapsed().as_nanos();
-    let size = batch.len();
+    let size = window.len();
     {
         let mut stats = lock(&shared.stats);
         stats.record_batch(
-            batch
+            window
+                .searches
                 .iter()
-                .map(|(_, submitted, _)| exec_start.duration_since(*submitted)),
+                .map(|s| s.submitted)
+                .chain(window.topks.iter().map(|t| t.submitted))
+                .map(|submitted| exec_start.saturating_duration_since(submitted)),
             size,
+            window.topks.len(),
             exec_ns,
         );
     }
@@ -764,17 +1140,35 @@ fn execute_batch(
     // free, or a full wave of closed-loop clients would be spuriously
     // rejected against a queue that is actually drained.
     shared.depth.fetch_sub(size, Ordering::Relaxed);
-    match result {
-        Ok(winners) => {
-            for ((_, _, responder), winner) in batch.drain(..).zip(winners) {
-                responder.fulfill(Ok(winner));
+    if !window.searches.is_empty() {
+        match winners {
+            Ok(winners) => {
+                for (s, winner) in window.searches.drain(..).zip(winners) {
+                    s.responder.fulfill(Ok(winner));
+                }
+            }
+            // Queries were validated at admission, so a batch-level
+            // failure (an empty memory) applies to every request
+            // equally.
+            Err(e) => {
+                for s in window.searches.drain(..) {
+                    s.responder.fulfill(Err(ServeError::Core(e.clone())));
+                }
             }
         }
-        // Queries were validated at admission, so a batch-level failure
-        // (an empty memory) applies to every request equally.
-        Err(e) => {
-            for (_, _, responder) in batch.drain(..) {
-                responder.fulfill(Err(ServeError::Core(e.clone())));
+    }
+    if !window.topks.is_empty() {
+        match topk_hits {
+            Ok(per_query) => {
+                for (t, mut hits) in window.topks.drain(..).zip(per_query) {
+                    hits.truncate(t.k);
+                    t.responder.fulfill(Ok(hits));
+                }
+            }
+            Err(e) => {
+                for t in window.topks.drain(..) {
+                    t.responder.fulfill(Err(ServeError::Core(e.clone())));
+                }
             }
         }
     }
@@ -940,6 +1334,154 @@ mod tests {
             handle.store(&[0, 0, 0, 1]),
             Err(ServeError::ShuttingDown)
         ));
+    }
+
+    #[test]
+    fn window_timeout_never_rearms_with_zero() {
+        let now = Instant::now();
+        // Window still open: the remaining time is returned.
+        let t = window_timeout(now + Duration::from_millis(5), now).expect("open window");
+        assert!(t <= Duration::from_millis(5) && !t.is_zero());
+        // Window exactly due or overdue: close, never a zero re-wait
+        // (a zero recv_timeout would spin the dispatcher at full CPU).
+        assert_eq!(window_timeout(now, now), None);
+        assert_eq!(window_timeout(now, now + Duration::from_millis(1)), None);
+    }
+
+    #[test]
+    fn zero_budget_rejected_at_submission() {
+        let server = McamServer::start(memory_with_rows(&[[0u8, 0, 0, 0]]), ServeConfig::default());
+        let handle = server.handle();
+        match handle.search_with_deadline(&[0, 0, 0, 0], Duration::ZERO) {
+            Err(ServeError::DeadlineExceeded { budget, waited }) => {
+                assert_eq!(budget, Duration::ZERO);
+                assert_eq!(waited, Duration::ZERO);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        // The top-k path shares the deadline contract.
+        assert!(matches!(
+            handle.submit_top_k_with_deadline(&[0, 0, 0, 0], 2, Duration::ZERO),
+            Err(ServeError::DeadlineExceeded { .. })
+        ));
+        assert_eq!(server.stats().deadline_rejected, 2);
+        // A malformed query reports its validation error even with a
+        // zero budget — validation outranks the deadline check, and
+        // the deadline counter must not move.
+        assert!(matches!(
+            handle.submit_with_deadline(&[0, 0, 0], Duration::ZERO),
+            Err(ServeError::Core(CoreError::WordLengthMismatch { .. }))
+        ));
+        assert!(matches!(
+            handle.submit_top_k_with_deadline(&[0, 0, 0, 9], 2, Duration::ZERO),
+            Err(ServeError::Core(CoreError::LevelOutOfRange { .. }))
+        ));
+        assert_eq!(server.stats().deadline_rejected, 2);
+        // A generous budget answers normally and matches the
+        // deadline-free path bitwise.
+        let with = handle
+            .search_with_deadline(&[0, 0, 0, 1], Duration::from_secs(10))
+            .unwrap();
+        let without = handle.search(&[0, 0, 0, 1]).unwrap();
+        assert_eq!(with.0, without.0);
+        assert_eq!(with.1.to_bits(), without.1.to_bits());
+        assert_eq!(
+            handle
+                .submit_top_k_with_deadline(&[0, 0, 0, 1], 1, Duration::from_secs(10))
+                .unwrap()
+                .wait()
+                .unwrap(),
+            handle.search_top_k(&[0, 0, 0, 1], 1).unwrap()
+        );
+    }
+
+    #[test]
+    fn tight_deadline_closes_window_before_max_wait() {
+        // A pathological 10 s window: without deadline-aware closing,
+        // a solo request would idle the full window out.
+        let server = McamServer::start(
+            memory_with_rows(&[[0u8, 0, 0, 0], [1, 1, 1, 1]]),
+            ServeConfig {
+                max_wait: Duration::from_secs(10),
+                ..ServeConfig::default()
+            },
+        );
+        let handle = server.handle();
+        let started = Instant::now();
+        let (row, _) = handle
+            .search_with_deadline(&[1, 1, 1, 1], Duration::from_millis(50))
+            .unwrap();
+        assert_eq!(row, 1);
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "deadline did not close the batching window early"
+        );
+    }
+
+    #[test]
+    fn dead_on_arrival_requests_are_rejected_not_executed() {
+        // A 1 ns budget: by the time the dispatcher pops the search
+        // off its queue (thread wakeups are microseconds), the
+        // deadline has passed — the request must be rejected as dead
+        // on arrival, not executed.
+        let server = McamServer::start(memory_with_rows(&[[0u8, 0, 0, 0]]), ServeConfig::default());
+        let handle = server.handle();
+        let ticket = handle
+            .submit_with_deadline(&[0, 0, 0, 1], Duration::from_nanos(1))
+            .unwrap();
+        match ticket.wait() {
+            Err(ServeError::DeadlineExceeded { waited, .. }) => {
+                assert!(waited >= Duration::from_nanos(1));
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(server.stats().deadline_rejected, 1);
+        // The admission slot was released: the queue is drained.
+        assert_eq!(handle.queue_depth(), 0);
+    }
+
+    #[test]
+    fn top_k_traffic_coalesces_into_batches() {
+        let memory = memory_with_rows(&[[0u8, 1, 2, 3], [7, 7, 7, 7], [1, 1, 2, 3], [4, 4, 4, 4]]);
+        let direct = memory_with_rows(&[[0u8, 1, 2, 3], [7, 7, 7, 7], [1, 1, 2, 3], [4, 4, 4, 4]]);
+        let server = McamServer::start(
+            memory,
+            ServeConfig {
+                max_wait: Duration::from_millis(50),
+                ..ServeConfig::default()
+            },
+        );
+        let handle = server.handle();
+        // A burst of mixed winner + top-k submissions with different
+        // k, all in flight before any wait: the dispatcher coalesces
+        // them into shared windows, and each answer is bit-identical
+        // to the solo result.
+        let queries = [[0u8, 1, 2, 3], [4, 4, 4, 5], [7, 7, 6, 7]];
+        let winner_tickets: Vec<_> = queries.iter().map(|q| handle.submit(q).unwrap()).collect();
+        let topk_tickets: Vec<_> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| handle.submit_top_k(q, i + 1).unwrap())
+            .collect();
+        for (q, t) in queries.iter().zip(winner_tickets) {
+            let direct_hit = direct.search(q).unwrap();
+            let got = t.wait().unwrap();
+            assert_eq!(got.0, direct_hit.0);
+            assert_eq!(got.1.to_bits(), direct_hit.1.to_bits());
+        }
+        for (i, (q, t)) in queries.iter().zip(topk_tickets).enumerate() {
+            let want = direct.search_top_k_with(q, i + 1, Precision::F64).unwrap();
+            assert_eq!(t.wait().unwrap(), want);
+        }
+        let stats = server.stats();
+        assert_eq!(stats.queries, 6);
+        assert_eq!(stats.topk_queries, 3);
+        // Coalescing happened: fewer windows than requests.
+        assert!(
+            stats.batches < 6,
+            "expected coalesced windows, got {} batches",
+            stats.batches
+        );
     }
 
     #[test]

@@ -8,7 +8,9 @@ use std::time::{Duration, Instant};
 
 use femcam_core::{BankedMcam, CoreError, NnIndex, Precision, Quantizer, QueryResult};
 
-use crate::{McamServer, ServeConfig, ServeError, ServeHandle, ServeStats, Ticket};
+use crate::{
+    McamServer, ServeConfig, ServeError, ServeStats, ServingHandle, ServingTicket, ShardedServer,
+};
 
 /// How long `query_batch` waits out a queue saturated by traffic that
 /// is not its own before propagating the overload to the caller —
@@ -16,10 +18,18 @@ use crate::{McamServer, ServeConfig, ServeError, ServeHandle, ServeStats, Ticket
 /// several batch drains regardless of how fast the retry loop spins.
 const OVERLOAD_PATIENCE: Duration = Duration::from_millis(50);
 
-/// Sleep per retry while waiting out foreign overload: a fraction of
+/// First retry sleep while waiting out foreign overload: a fraction of
 /// the default batching window, so a freed admission slot is picked up
-/// promptly without busy-spinning.
-const OVERLOAD_BACKOFF: Duration = Duration::from_micros(50);
+/// promptly. Subsequent retries back off exponentially (doubling up to
+/// [`OVERLOAD_BACKOFF_MAX`]) instead of hammering a queue that stayed
+/// saturated — a saturated dispatcher drains in batch-window units, so
+/// constant-rate resubmission is pure contention.
+const OVERLOAD_BACKOFF_START: Duration = Duration::from_micros(50);
+
+/// Bounded-backoff ceiling: a few batching windows, so even maximal
+/// backoff still probes the queue several times within
+/// [`OVERLOAD_PATIENCE`].
+const OVERLOAD_BACKOFF_MAX: Duration = Duration::from_millis(2);
 
 /// A labelled NN engine serving through a [`McamServer`].
 ///
@@ -35,27 +45,22 @@ const OVERLOAD_BACKOFF: Duration = Duration::from_micros(50);
 #[derive(Debug)]
 pub struct ServedNn {
     quantizer: Quantizer,
-    server: McamServer,
-    handle: ServeHandle,
+    server: Server,
+    handle: ServingHandle,
     labels: Vec<u32>,
     bits: u8,
     precision: Precision,
 }
 
+/// The owned serving back end: a single dispatcher or a sharded fleet.
+#[derive(Debug)]
+enum Server {
+    Single(McamServer),
+    Sharded(ShardedServer),
+}
+
 impl ServedNn {
-    /// Starts a server around `memory` and wraps it as an engine.
-    ///
-    /// # Errors
-    ///
-    /// * [`CoreError::InvalidParameter`] if the quantizer's level
-    ///   count differs from the memory ladder's.
-    /// * [`CoreError::DimensionMismatch`] if the quantizer's
-    ///   dimensionality differs from the memory's word length.
-    pub fn new(
-        quantizer: Quantizer,
-        memory: BankedMcam,
-        config: ServeConfig,
-    ) -> femcam_core::Result<Self> {
+    fn validate(quantizer: &Quantizer, memory: &BankedMcam) -> femcam_core::Result<()> {
         if quantizer.n_levels() as usize != memory.ladder().n_levels() {
             return Err(CoreError::InvalidParameter {
                 name: "n_levels",
@@ -68,13 +73,64 @@ impl ServedNn {
                 actual: quantizer.dims(),
             });
         }
+        Ok(())
+    }
+
+    /// Starts a single-dispatcher server around `memory` and wraps it
+    /// as an engine.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidParameter`] if the quantizer's level
+    ///   count differs from the memory ladder's.
+    /// * [`CoreError::DimensionMismatch`] if the quantizer's
+    ///   dimensionality differs from the memory's word length.
+    pub fn new(
+        quantizer: Quantizer,
+        memory: BankedMcam,
+        config: ServeConfig,
+    ) -> femcam_core::Result<Self> {
+        Self::validate(&quantizer, &memory)?;
         let bits = memory.ladder().bits();
         let precision = config.precision;
         let server = McamServer::start(memory, config);
-        let handle = server.handle();
+        let handle = ServingHandle::Single(server.handle());
         Ok(ServedNn {
             quantizer,
-            server,
+            server: Server::Single(server),
+            handle,
+            labels: Vec::new(),
+            bits,
+            precision,
+        })
+    }
+
+    /// Starts a [`ShardedServer`] (`shards` dispatchers over the
+    /// partitioned memory) and wraps it as an engine; results stay
+    /// bit-identical to [`new`](Self::new) by the shard-merge
+    /// contract.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`new`](Self::new).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero (see [`ShardedServer::start`]).
+    pub fn new_sharded(
+        quantizer: Quantizer,
+        memory: BankedMcam,
+        shards: usize,
+        config: ServeConfig,
+    ) -> femcam_core::Result<Self> {
+        Self::validate(&quantizer, &memory)?;
+        let bits = memory.ladder().bits();
+        let precision = config.precision;
+        let server = ShardedServer::start(memory, shards, config);
+        let handle = ServingHandle::Sharded(server.handle());
+        Ok(ServedNn {
+            quantizer,
+            server: Server::Sharded(server),
             handle,
             labels: Vec::new(),
             bits,
@@ -83,29 +139,37 @@ impl ServedNn {
     }
 
     /// A cloneable client handle to the underlying server (e.g. for
-    /// concurrent submitters or stats).
+    /// concurrent submitters).
     ///
-    /// Note: rows written through [`ServeHandle::store`] bypass this
+    /// Note: rows written through [`ServingHandle::store`] bypass this
     /// engine's label bookkeeping. The engine stays safe — queries
     /// whose winner is an unlabeled row, and any later
     /// [`add`](NnIndex::add), report [`CoreError::Unavailable`]
     /// instead of mislabeling — but labelled serving should go through
     /// [`add`](NnIndex::add) exclusively.
     #[must_use]
-    pub fn handle(&self) -> ServeHandle {
-        self.server.handle()
+    pub fn handle(&self) -> ServingHandle {
+        self.handle.clone()
     }
 
-    /// Snapshot of the serving statistics.
+    /// Snapshot of the serving statistics (for a sharded back end,
+    /// the [`crate::ShardedStats::merged`] aggregate).
     #[must_use]
     pub fn stats(&self) -> ServeStats {
-        self.server.stats()
+        match &self.server {
+            Server::Single(s) => s.stats(),
+            Server::Sharded(s) => s.stats().merged(),
+        }
     }
 
-    /// Shuts the server down and returns the live memory.
+    /// Shuts the server down and returns the live memory (a sharded
+    /// back end reassembles its partition first).
     #[must_use]
     pub fn into_memory(self) -> BankedMcam {
-        self.server.shutdown()
+        match self.server {
+            Server::Single(s) => s.shutdown(),
+            Server::Sharded(s) => s.shutdown(),
+        }
     }
 
     fn result(&self, index: usize, score: f64) -> femcam_core::Result<QueryResult> {
@@ -159,10 +223,31 @@ impl NnIndex for ServedNn {
 
     fn query_k(&self, features: &[f32], k: usize) -> femcam_core::Result<Vec<QueryResult>> {
         let levels = self.quantizer.quantize(features)?;
-        let hits = self
-            .handle
-            .search_top_k(&levels, k)
-            .map_err(CoreError::from)?;
+        // Top-k went under admission control when it joined the
+        // batching window (it used to run as an admission-exempt
+        // barrier), so transient saturation by foreign traffic can
+        // reject it — wait it out with the same bounded backoff as
+        // `query_batch` instead of failing a previously
+        // always-answered call.
+        let mut overloaded_since: Option<Instant> = None;
+        let mut backoff = OVERLOAD_BACKOFF_START;
+        let hits = loop {
+            match self.handle.search_top_k(&levels, k) {
+                Ok(hits) => break hits,
+                Err(ServeError::Overloaded { .. }) => {
+                    let since = *overloaded_since.get_or_insert_with(Instant::now);
+                    let waited = since.elapsed();
+                    if waited > OVERLOAD_PATIENCE {
+                        return Err(CoreError::Overloaded {
+                            waited_us: u64::try_from(waited.as_micros()).unwrap_or(u64::MAX),
+                        });
+                    }
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(OVERLOAD_BACKOFF_MAX);
+                }
+                Err(e) => return Err(CoreError::from(e)),
+            }
+        };
         hits.into_iter()
             .map(|(index, score)| self.result(index, score))
             .collect()
@@ -184,8 +269,9 @@ impl NnIndex for ServedNn {
         // in-flight ticket to free a slot instead of failing the whole
         // batch. Tickets drain in submission order, so `out` stays in
         // query order.
-        let mut in_flight: VecDeque<Ticket> = VecDeque::new();
+        let mut in_flight: VecDeque<ServingTicket> = VecDeque::new();
         let mut overloaded_since: Option<Instant> = None;
+        let mut backoff = OVERLOAD_BACKOFF_START;
         let mut pending = levels.iter();
         let mut next = pending.next();
         while let Some(level) = next {
@@ -193,6 +279,7 @@ impl NnIndex for ServedNn {
                 Ok(ticket) => {
                     in_flight.push_back(ticket);
                     overloaded_since = None;
+                    backoff = OVERLOAD_BACKOFF_START;
                     next = pending.next();
                 }
                 Err(ServeError::Overloaded { .. }) if !in_flight.is_empty() => {
@@ -201,14 +288,21 @@ impl NnIndex for ServedNn {
                     out.push(self.result(index, score)?);
                 }
                 // Foreign traffic saturates the queue with none of our
-                // own work outstanding: wait out several batching
-                // windows before giving up.
-                Err(e @ ServeError::Overloaded { .. }) => {
+                // own work outstanding: back off exponentially (bounded
+                // at a few batching windows) instead of hammering the
+                // saturated queue, and give up once the patience budget
+                // is spent — surfacing how long the queue stayed
+                // saturated.
+                Err(ServeError::Overloaded { .. }) => {
                     let since = *overloaded_since.get_or_insert_with(Instant::now);
-                    if since.elapsed() > OVERLOAD_PATIENCE {
-                        return Err(CoreError::from(e));
+                    let waited = since.elapsed();
+                    if waited > OVERLOAD_PATIENCE {
+                        return Err(CoreError::Overloaded {
+                            waited_us: u64::try_from(waited.as_micros()).unwrap_or(u64::MAX),
+                        });
                     }
-                    std::thread::sleep(OVERLOAD_BACKOFF);
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(OVERLOAD_BACKOFF_MAX);
                 }
                 Err(e) => return Err(CoreError::from(e)),
             }
@@ -232,11 +326,19 @@ impl NnIndex for ServedNn {
     }
 
     fn name(&self) -> String {
-        format!(
-            "mcam-served-{}bit{}",
-            self.bits,
-            self.precision.name_suffix()
-        )
+        match &self.server {
+            Server::Single(_) => format!(
+                "mcam-served-{}bit{}",
+                self.bits,
+                self.precision.name_suffix()
+            ),
+            Server::Sharded(s) => format!(
+                "mcam-sharded{}-{}bit{}",
+                s.n_shards(),
+                self.bits,
+                self.precision.name_suffix()
+            ),
+        }
     }
 }
 

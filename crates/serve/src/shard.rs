@@ -1,0 +1,896 @@
+//! Sharded serving front end: one micro-batching dispatcher per bank
+//! shard, fan-out searches, a fixed-order winner merge.
+//!
+//! [`ShardedServer`] partitions a [`BankedMcam`]'s banks across `N`
+//! single-dispatcher [`McamServer`] shards
+//! ([`BankedMcam::partition`]). Searches fan out to every shard and
+//! merge by ascending `(conductance, global_row)` — the same
+//! contractual order the banked winner merge already pins — so sharded
+//! results are **bit-identical** to a single-dispatcher server and to
+//! a direct search over the unpartitioned memory. Stores route only to
+//! the shard that owns the append tail, so a write is a batch barrier
+//! on *one* shard's queue while every other shard keeps coalescing
+//! searches. See the crate-level
+//! ["Sharding and deadlines"](crate#sharding-and-deadlines) section
+//! for the full semantics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use femcam_core::exec::validate_query;
+use femcam_core::{BankedMcam, CoreError};
+
+use crate::{
+    McamServer, MemoryReport, ServeConfig, ServeError, ServeHandle, ServeStats, Ticket, TopKTicket,
+};
+
+/// Client-level counters a [`ShardedHandle`] keeps in addition to the
+/// per-shard dispatcher stats (a fanned request executes once per
+/// shard, so per-shard counters alone would overcount client traffic).
+#[derive(Debug)]
+struct ClientCounters {
+    submitted: AtomicU64,
+    topk_submitted: AtomicU64,
+    rejected: AtomicU64,
+    deadline_rejected: AtomicU64,
+    started: Instant,
+}
+
+impl Default for ClientCounters {
+    fn default() -> Self {
+        ClientCounters {
+            submitted: AtomicU64::new(0),
+            topk_submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            deadline_rejected: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+}
+
+/// A sharded micro-batching server: `N` single-dispatcher shards over
+/// a partitioned [`BankedMcam`], plus the fan-out/merge front end.
+/// See the [module docs](self).
+#[derive(Debug)]
+pub struct ShardedServer {
+    shards: Vec<McamServer>,
+    handle: ShardedHandle,
+}
+
+impl ShardedServer {
+    /// Partitions `memory` into `shards` contiguous bank ranges and
+    /// starts one dispatcher per shard, each configured with `config`
+    /// (a configured [`ServeConfig::queue_capacity`] applies *per
+    /// shard*; the default derives each shard's capacity from its own
+    /// geometry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero, `config.max_batch` is zero, or a
+    /// dispatcher thread cannot be spawned.
+    #[must_use]
+    pub fn start(memory: BankedMcam, shards: usize, config: ServeConfig) -> Self {
+        assert!(shards > 0, "a sharded server needs at least one shard");
+        let word_len = memory.word_len();
+        let n_levels = memory.ladder().n_levels();
+        let parts = memory.partition(shards);
+        let bases: Vec<usize> = parts
+            .iter()
+            .scan(0usize, |rows, part| {
+                let base = *rows;
+                *rows += part.n_rows();
+                Some(base)
+            })
+            .collect();
+        // The append tail: the shard holding the globally last
+        // (possibly partial) bank. Every later shard is empty and
+        // stays empty — stores route here so global rows keep the
+        // dense, single-memory assignment.
+        let tail = parts.iter().rposition(|part| !part.is_empty()).unwrap_or(0);
+        // Searches only fan to shards that can ever hold rows: the
+        // nonempty ones plus the tail (empty only while the whole
+        // memory is). Permanently-empty shards (more shards than
+        // banks) would cost an admission slot and a dispatcher
+        // round-trip per query just to answer EmptyArray.
+        let targets: Vec<usize> = parts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, part)| (!part.is_empty() || i == tail).then_some(i))
+            .collect();
+        let servers: Vec<McamServer> = parts
+            .into_iter()
+            .map(|part| McamServer::start(part, config.clone()))
+            .collect();
+        let handle = ShardedHandle {
+            shards: servers.iter().map(McamServer::handle).collect(),
+            bases: bases.into(),
+            targets: targets.into(),
+            tail,
+            word_len,
+            n_levels,
+            counters: Arc::new(ClientCounters::default()),
+        };
+        ShardedServer {
+            shards: servers,
+            handle,
+        }
+    }
+
+    /// A cloneable client handle.
+    #[must_use]
+    pub fn handle(&self) -> ShardedHandle {
+        self.handle.clone()
+    }
+
+    /// Number of shards (dispatcher threads).
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard and client-level serving statistics.
+    #[must_use]
+    pub fn stats(&self) -> ShardedStats {
+        self.handle.stats()
+    }
+
+    /// Merged live plan-memory report across every shard.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShuttingDown`] when a shard dispatcher has exited.
+    pub fn memory_report(&self) -> Result<MemoryReport, ServeError> {
+        self.handle.memory_report()
+    }
+
+    /// Stops every shard dispatcher and reassembles the partitioned
+    /// memory into one [`BankedMcam`] ([`BankedMcam::concat`]), with
+    /// global rows exactly where an unsharded server left them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard dispatcher thread itself panicked.
+    #[must_use]
+    pub fn shutdown(self) -> BankedMcam {
+        let parts: Vec<BankedMcam> = self.shards.into_iter().map(McamServer::shutdown).collect();
+        BankedMcam::concat(parts).expect("shard partition preserves geometry")
+    }
+}
+
+/// Cloneable client handle to a running [`ShardedServer`].
+#[derive(Debug, Clone)]
+pub struct ShardedHandle {
+    /// Per-shard handles, in ascending global-row order.
+    shards: Vec<ServeHandle>,
+    /// Global row base of each shard (rows stored in earlier shards).
+    bases: Arc<[usize]>,
+    /// Shards searches fan to (ascending; excludes permanently-empty
+    /// shards, includes the tail).
+    targets: Arc<[usize]>,
+    /// The shard that owns the append tail (receives every store).
+    tail: usize,
+    word_len: usize,
+    n_levels: usize,
+    counters: Arc<ClientCounters>,
+}
+
+impl ShardedHandle {
+    /// Submits one query to every shard without blocking; the returned
+    /// [`ShardTicket`] merges the per-shard winners. Queries are
+    /// validated here, synchronously, exactly like
+    /// [`ServeHandle::submit`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServeHandle::submit`]; admission is
+    /// all-or-nothing — a slot is reserved on *every* shard before
+    /// anything is enqueued, so a rejection by one shard never leaves
+    /// the others executing work nobody waits for.
+    pub fn submit(&self, query: &[u8]) -> Result<ShardTicket, ServeError> {
+        self.submit_at(query, None)
+    }
+
+    /// Like [`submit`](Self::submit) with a per-request deadline: the
+    /// same deadline instant fans to every shard, and the merged
+    /// request reports [`ServeError::DeadlineExceeded`] if any shard
+    /// could not execute it in time (a partial merge is never
+    /// returned).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServeHandle::submit_with_deadline`].
+    pub fn submit_with_deadline(
+        &self,
+        query: &[u8],
+        budget: Duration,
+    ) -> Result<ShardTicket, ServeError> {
+        validate_query(self.word_len, self.n_levels, query)?;
+        let deadline = self.deadline_for(budget)?;
+        self.submit_at(query, Some(deadline))
+    }
+
+    /// Converts a request budget into an absolute deadline; a zero
+    /// budget is dead on arrival. Callers validate the query *first*,
+    /// so a malformed request always reports its validation error,
+    /// never `DeadlineExceeded`.
+    fn deadline_for(&self, budget: Duration) -> Result<Instant, ServeError> {
+        if budget.is_zero() {
+            self.counters
+                .deadline_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::DeadlineExceeded {
+                budget,
+                waited: Duration::ZERO,
+            });
+        }
+        Ok(Instant::now() + budget)
+    }
+
+    /// Two-phase fan-out over the target shards: reserve an admission
+    /// slot on **every** target, then enqueue everywhere via
+    /// `enqueue`. A partial fan-out (enqueue as you admit, bail on
+    /// the first rejection) would leave the already-reached shards
+    /// executing a query nobody waits for — overload on one shard
+    /// would then burn capacity on every healthy shard. With
+    /// reservation up front, the only post-reservation failure is
+    /// shutdown (whose dispatchers drain their queues); the slots of
+    /// targets the enqueue loop never reached are rolled back.
+    /// Returns `(global_row_base, ticket)` per target, ascending.
+    fn fan_out<T>(
+        &self,
+        enqueue: impl Fn(&ServeHandle) -> Result<T, ServeError>,
+    ) -> Result<Vec<(usize, T)>, ServeError> {
+        for (pos, &i) in self.targets.iter().enumerate() {
+            if let Err(e) = self.shards[i].admit() {
+                for &reserved in &self.targets[..pos] {
+                    self.shards[reserved].release_slot();
+                }
+                if matches!(e, ServeError::Overloaded { .. }) {
+                    self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                }
+                return Err(e);
+            }
+        }
+        let mut parts = Vec::with_capacity(self.targets.len());
+        for &i in self.targets.iter() {
+            match enqueue(&self.shards[i]) {
+                Ok(ticket) => parts.push((self.bases[i], ticket)),
+                // The failing shard released its own slot inside the
+                // enqueue; the enqueued ones hold queued requests.
+                Err(e) => {
+                    for &unreached in &self.targets[parts.len() + 1..] {
+                        self.shards[unreached].release_slot();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(parts)
+    }
+
+    fn submit_at(
+        &self,
+        query: &[u8],
+        deadline: Option<Instant>,
+    ) -> Result<ShardTicket, ServeError> {
+        validate_query(self.word_len, self.n_levels, query)?;
+        let parts = self.fan_out(|shard| shard.enqueue_search(query, deadline))?;
+        Ok(ShardTicket {
+            parts,
+            counters: Arc::clone(&self.counters),
+        })
+    }
+
+    /// Submits one query to every shard and blocks for the merged
+    /// `(global_row, total_conductance)` winner — bit-identical to
+    /// [`BankedMcam::search_with`] over the unpartitioned memory at
+    /// the shards' precision.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`submit`](Self::submit) and
+    /// [`ShardTicket::wait`].
+    pub fn search(&self, query: &[u8]) -> Result<(usize, f64), ServeError> {
+        self.submit(query)?.wait()
+    }
+
+    /// [`submit_with_deadline`](Self::submit_with_deadline), blocking
+    /// for the merged winner.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as
+    /// [`submit_with_deadline`](Self::submit_with_deadline) and
+    /// [`ShardTicket::wait`].
+    pub fn search_with_deadline(
+        &self,
+        query: &[u8],
+        budget: Duration,
+    ) -> Result<(usize, f64), ServeError> {
+        self.submit_with_deadline(query, budget)?.wait()
+    }
+
+    /// Submits one top-k query to every shard without blocking; the
+    /// returned [`ShardTopKTicket`] merges the per-shard candidate
+    /// lists by ascending `(conductance, global_row)` and truncates to
+    /// `k` — bit-identical to [`BankedMcam::search_top_k_with`] over
+    /// the unpartitioned memory. `k` is clamped, never an error.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`submit`](Self::submit).
+    pub fn submit_top_k(&self, query: &[u8], k: usize) -> Result<ShardTopKTicket, ServeError> {
+        self.submit_top_k_at(query, k, None)
+    }
+
+    /// Like [`submit_top_k`](Self::submit_top_k) with a per-request
+    /// deadline — the same semantics as
+    /// [`submit_with_deadline`](Self::submit_with_deadline).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as
+    /// [`submit_with_deadline`](Self::submit_with_deadline).
+    pub fn submit_top_k_with_deadline(
+        &self,
+        query: &[u8],
+        k: usize,
+        budget: Duration,
+    ) -> Result<ShardTopKTicket, ServeError> {
+        validate_query(self.word_len, self.n_levels, query)?;
+        let deadline = self.deadline_for(budget)?;
+        self.submit_top_k_at(query, k, Some(deadline))
+    }
+
+    fn submit_top_k_at(
+        &self,
+        query: &[u8],
+        k: usize,
+        deadline: Option<Instant>,
+    ) -> Result<ShardTopKTicket, ServeError> {
+        validate_query(self.word_len, self.n_levels, query)?;
+        let parts = self.fan_out(|shard| shard.enqueue_top_k(query, k, deadline))?;
+        self.counters.topk_submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(ShardTopKTicket {
+            parts,
+            k,
+            counters: Arc::clone(&self.counters),
+        })
+    }
+
+    /// The merged `k` nearest rows for one query, nearest first —
+    /// blocking face of [`submit_top_k`](Self::submit_top_k).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`submit_top_k`](Self::submit_top_k) and
+    /// [`ShardTopKTicket::wait`].
+    pub fn search_top_k(&self, query: &[u8], k: usize) -> Result<Vec<(usize, f64)>, ServeError> {
+        self.submit_top_k(query, k)?.wait()
+    }
+
+    /// Stores one word through the tail shard's dispatcher and blocks
+    /// until applied; returns the new **global** row index — the same
+    /// index an unsharded server (or a direct
+    /// [`BankedMcam::store`]) would have assigned. Only the tail
+    /// shard's plan cache is dirtied; every other shard keeps batching
+    /// undisturbed.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServeHandle::store`].
+    pub fn store(&self, word: &[u8]) -> Result<usize, ServeError> {
+        let local = self.shards[self.tail].store(word)?;
+        Ok(self.bases[self.tail] + local)
+    }
+
+    /// Merged live plan-memory report: rows, banks, and resident plan
+    /// bytes summed across every shard.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShuttingDown`] when a shard dispatcher has exited.
+    pub fn memory_report(&self) -> Result<MemoryReport, ServeError> {
+        let mut merged: Option<MemoryReport> = None;
+        for shard in &self.shards {
+            let report = shard.memory_report()?;
+            merged = Some(match merged {
+                None => report,
+                Some(mut m) => {
+                    m.rows += report.rows;
+                    m.banks += report.banks;
+                    m.plan += report.plan;
+                    m
+                }
+            });
+        }
+        Ok(merged.expect("at least one shard"))
+    }
+
+    /// Per-shard and client-level serving statistics.
+    #[must_use]
+    pub fn stats(&self) -> ShardedStats {
+        ShardedStats {
+            submitted: self.counters.submitted.load(Ordering::Relaxed),
+            topk_submitted: self.counters.topk_submitted.load(Ordering::Relaxed),
+            rejected: self.counters.rejected.load(Ordering::Relaxed),
+            deadline_rejected: self.counters.deadline_rejected.load(Ordering::Relaxed),
+            elapsed: self.counters.started.elapsed(),
+            per_shard: self.shards.iter().map(ServeHandle::stats).collect(),
+        }
+    }
+
+    /// Number of shards this handle fans out to.
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+/// An in-flight fanned winner search: wait on it to receive the
+/// merged `(global_row, total_conductance)` winner.
+#[derive(Debug)]
+pub struct ShardTicket {
+    /// `(global_row_base, ticket)` per shard, ascending base order.
+    parts: Vec<(usize, Ticket)>,
+    counters: Arc<ClientCounters>,
+}
+
+impl ShardTicket {
+    /// Blocks until every shard answered, then merges: ascending
+    /// conductance, exact ties to the lowest global row (the
+    /// contractual banked-merge order). Shards that are empty
+    /// contribute no candidates; if every shard is empty the merged
+    /// request reports [`CoreError::EmptyArray`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Ticket::wait`]; any shard's
+    /// [`ServeError::DeadlineExceeded`] fails the merged request (a
+    /// partial merge is never returned).
+    pub fn wait(self) -> Result<(usize, f64), ServeError> {
+        let mut best: Option<(usize, f64)> = None;
+        let mut dead: Option<ServeError> = None;
+        for (base, ticket) in self.parts {
+            match ticket.wait() {
+                Ok((local, g)) => {
+                    // Shards fold in ascending global-row order with a
+                    // strict `<`, so exact cross-shard ties keep the
+                    // earlier (lower global row) winner — identical to
+                    // the in-memory banked merge.
+                    if best.is_none_or(|(_, bg)| g < bg) {
+                        best = Some((base + local, g));
+                    }
+                }
+                Err(ServeError::Core(CoreError::EmptyArray)) => {}
+                // Expiry on any shard kills the merged request, but
+                // counts once at the client level, however many
+                // shards rejected their copy.
+                Err(e @ ServeError::DeadlineExceeded { .. }) => {
+                    if dead.is_none() {
+                        dead = Some(e);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if let Some(e) = dead {
+            self.counters
+                .deadline_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
+        best.ok_or(ServeError::Core(CoreError::EmptyArray))
+    }
+}
+
+/// An in-flight fanned top-k search: wait on it to receive the merged
+/// hits, nearest first.
+#[derive(Debug)]
+pub struct ShardTopKTicket {
+    parts: Vec<(usize, TopKTicket)>,
+    k: usize,
+    counters: Arc<ClientCounters>,
+}
+
+impl ShardTopKTicket {
+    /// Blocks until every shard answered, then merges the candidate
+    /// lists by ascending `(conductance, global_row)` and truncates to
+    /// `k`. Every global top-`k` row is within its own shard's
+    /// top-`k`, so the merge loses nothing.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ShardTicket::wait`].
+    pub fn wait(self) -> Result<Vec<(usize, f64)>, ServeError> {
+        let mut candidates: Vec<(usize, f64)> = Vec::new();
+        let mut any = false;
+        let mut dead: Option<ServeError> = None;
+        for (base, ticket) in self.parts {
+            match ticket.wait() {
+                Ok(hits) => {
+                    any = true;
+                    candidates.extend(hits.into_iter().map(|(local, g)| (base + local, g)));
+                }
+                Err(ServeError::Core(CoreError::EmptyArray)) => {}
+                Err(e @ ServeError::DeadlineExceeded { .. }) => {
+                    if dead.is_none() {
+                        dead = Some(e);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if let Some(e) = dead {
+            self.counters
+                .deadline_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
+        if !any {
+            return Err(ServeError::Core(CoreError::EmptyArray));
+        }
+        candidates.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        candidates.truncate(self.k);
+        Ok(candidates)
+    }
+}
+
+/// Serving statistics of a [`ShardedServer`]: client-level counters
+/// plus each shard's own [`ServeStats`].
+#[derive(Debug, Clone)]
+pub struct ShardedStats {
+    /// Client-level submissions accepted by every shard (one per
+    /// fanned request, not one per shard).
+    pub submitted: u64,
+    /// The subset of `submitted` that were top-k requests.
+    pub topk_submitted: u64,
+    /// Client-level requests rejected by admission control on some
+    /// shard.
+    pub rejected: u64,
+    /// Client-level requests whose deadline killed them: zero-budget
+    /// submissions plus merged requests that expired on some shard —
+    /// each counted **once**, however many shards rejected their
+    /// fanned copy (the per-shard `deadline_rejected` counters count
+    /// copies and therefore over-state client traffic N-fold).
+    pub deadline_rejected: u64,
+    /// Wall-clock time since the sharded front end started.
+    pub elapsed: Duration,
+    /// Each shard dispatcher's own statistics, in shard order.
+    pub per_shard: Vec<ServeStats>,
+}
+
+impl ShardedStats {
+    /// Aggregates into one [`ServeStats`] with **client-level traffic
+    /// counters**: `queries`, `topk_queries`, `rejected`,
+    /// `deadline_rejected`, and `queries_per_s` count each fanned
+    /// request once — not once per shard — so the numbers stay
+    /// comparable with a single-dispatcher server under the same
+    /// client load. Execution-cost fields keep per-shard semantics:
+    /// `batches`/`mean_batch`/`max_batch` aggregate the dispatchers'
+    /// windows (weighted by batches), `mean_exec_us_per_query` is the
+    /// mean over per-shard *executions* (each fanned request executes
+    /// once per shard), and the wait percentiles are the **worst
+    /// shard's** (conservative — the merged answer is gated by its
+    /// slowest shard anyway).
+    #[must_use]
+    pub fn merged(&self) -> ServeStats {
+        let executed: u64 = self.per_shard.iter().map(|s| s.queries).sum();
+        let batches: u64 = self.per_shard.iter().map(|s| s.batches).sum();
+        let batch_size_sum: f64 = self
+            .per_shard
+            .iter()
+            .map(|s| s.mean_batch * s.batches as f64)
+            .sum();
+        let exec_us_sum: f64 = self
+            .per_shard
+            .iter()
+            .map(|s| s.mean_exec_us_per_query * s.queries as f64)
+            .sum();
+        ServeStats {
+            queries: self.submitted,
+            topk_queries: self.topk_submitted,
+            stores: self.per_shard.iter().map(|s| s.stores).sum(),
+            batches,
+            rejected: self.rejected,
+            deadline_rejected: self.deadline_rejected,
+            mean_batch: if batches == 0 {
+                0.0
+            } else {
+                batch_size_sum / batches as f64
+            },
+            max_batch: self
+                .per_shard
+                .iter()
+                .map(|s| s.max_batch)
+                .max()
+                .unwrap_or(0),
+            p50_wait_us: self
+                .per_shard
+                .iter()
+                .map(|s| s.p50_wait_us)
+                .fold(0.0, f64::max),
+            p99_wait_us: self
+                .per_shard
+                .iter()
+                .map(|s| s.p99_wait_us)
+                .fold(0.0, f64::max),
+            mean_exec_us_per_query: if executed == 0 {
+                0.0
+            } else {
+                exec_us_sum / executed as f64
+            },
+            queries_per_s: if self.elapsed.as_secs_f64() > 0.0 {
+                self.submitted as f64 / self.elapsed.as_secs_f64()
+            } else {
+                0.0
+            },
+            queue_depth: self.per_shard.iter().map(|s| s.queue_depth).sum(),
+            queue_capacity: self.per_shard.iter().map(|s| s.queue_capacity).sum(),
+        }
+    }
+}
+
+/// A client handle to either serving front end — what lets adapters
+/// (e.g. [`crate::ServedNn`]) treat a single-dispatcher and a sharded
+/// server uniformly.
+#[derive(Debug, Clone)]
+pub enum ServingHandle {
+    /// Handle to a single-dispatcher [`McamServer`].
+    Single(ServeHandle),
+    /// Handle to a [`ShardedServer`].
+    Sharded(ShardedHandle),
+}
+
+/// An in-flight winner search on either front end.
+#[derive(Debug)]
+pub enum ServingTicket {
+    /// Ticket from a single-dispatcher server.
+    Single(Ticket),
+    /// Merged fan-out ticket from a sharded server.
+    Sharded(ShardTicket),
+}
+
+impl ServingTicket {
+    /// Blocks until the winner arrives.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Ticket::wait`] / [`ShardTicket::wait`].
+    pub fn wait(self) -> Result<(usize, f64), ServeError> {
+        match self {
+            ServingTicket::Single(t) => t.wait(),
+            ServingTicket::Sharded(t) => t.wait(),
+        }
+    }
+}
+
+impl ServingHandle {
+    /// Submits one query without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServeHandle::submit`] /
+    /// [`ShardedHandle::submit`].
+    pub fn submit(&self, query: &[u8]) -> Result<ServingTicket, ServeError> {
+        match self {
+            ServingHandle::Single(h) => h.submit(query).map(ServingTicket::Single),
+            ServingHandle::Sharded(h) => h.submit(query).map(ServingTicket::Sharded),
+        }
+    }
+
+    /// Submits one query and blocks for the winner.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServeHandle::search`] /
+    /// [`ShardedHandle::search`].
+    pub fn search(&self, query: &[u8]) -> Result<(usize, f64), ServeError> {
+        match self {
+            ServingHandle::Single(h) => h.search(query),
+            ServingHandle::Sharded(h) => h.search(query),
+        }
+    }
+
+    /// Submits one query with a deadline and blocks for the winner.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServeHandle::search_with_deadline`] /
+    /// [`ShardedHandle::search_with_deadline`].
+    pub fn search_with_deadline(
+        &self,
+        query: &[u8],
+        budget: Duration,
+    ) -> Result<(usize, f64), ServeError> {
+        match self {
+            ServingHandle::Single(h) => h.search_with_deadline(query, budget),
+            ServingHandle::Sharded(h) => h.search_with_deadline(query, budget),
+        }
+    }
+
+    /// The `k` nearest rows for one query, nearest first.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServeHandle::search_top_k`] /
+    /// [`ShardedHandle::search_top_k`].
+    pub fn search_top_k(&self, query: &[u8], k: usize) -> Result<Vec<(usize, f64)>, ServeError> {
+        match self {
+            ServingHandle::Single(h) => h.search_top_k(query, k),
+            ServingHandle::Sharded(h) => h.search_top_k(query, k),
+        }
+    }
+
+    /// Stores one word; returns the new global row index.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServeHandle::store`] /
+    /// [`ShardedHandle::store`].
+    pub fn store(&self, word: &[u8]) -> Result<usize, ServeError> {
+        match self {
+            ServingHandle::Single(h) => h.store(word),
+            ServingHandle::Sharded(h) => h.store(word),
+        }
+    }
+
+    /// Merged live plan-memory report.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShuttingDown`] when a dispatcher has exited.
+    pub fn memory_report(&self) -> Result<MemoryReport, ServeError> {
+        match self {
+            ServingHandle::Single(h) => h.memory_report(),
+            ServingHandle::Sharded(h) => h.memory_report(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServeConfig;
+    use femcam_core::{ConductanceLut, LevelLadder, Precision};
+    use femcam_device::FefetModel;
+
+    fn memory_with_rows(rows: &[[u8; 4]], rows_per_bank: usize) -> BankedMcam {
+        let ladder = LevelLadder::new(3).unwrap();
+        let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+        let mut memory = BankedMcam::new(ladder, lut, 4, rows_per_bank);
+        for row in rows {
+            memory.store(row).unwrap();
+        }
+        memory
+    }
+
+    #[test]
+    fn sharded_results_match_direct_search() {
+        let rows = [
+            [0u8, 1, 2, 3],
+            [7, 7, 7, 7],
+            [1, 1, 2, 3],
+            [4, 4, 4, 4],
+            [2, 2, 2, 2],
+        ];
+        let direct = memory_with_rows(&rows, 2);
+        for shards in [1usize, 2, 3, 5] {
+            let server =
+                ShardedServer::start(memory_with_rows(&rows, 2), shards, ServeConfig::default());
+            assert_eq!(server.n_shards(), shards);
+            let handle = server.handle();
+            for q in [[0u8, 1, 2, 3], [4, 4, 4, 5], [1, 1, 2, 2], [7, 7, 7, 6]] {
+                let (row, g) = handle.search(&q).unwrap();
+                let (drow, dg) = direct.search(&q).unwrap();
+                assert_eq!(row, drow, "{shards} shards");
+                assert_eq!(g.to_bits(), dg.to_bits(), "{shards} shards");
+                let top = handle.search_top_k(&q, 3).unwrap();
+                let dtop = direct.search_top_k_with(&q, 3, Precision::F64).unwrap();
+                assert_eq!(top, dtop, "{shards} shards top-k");
+            }
+            let stats = server.stats();
+            assert_eq!(stats.submitted, 8);
+            assert_eq!(stats.per_shard.len(), shards);
+            let memory = server.shutdown();
+            assert_eq!(memory.n_rows(), rows.len());
+        }
+    }
+
+    #[test]
+    fn sharded_stores_route_to_tail_and_assign_global_rows() {
+        let rows = [[0u8, 0, 0, 0], [1, 1, 1, 1], [2, 2, 2, 2]];
+        let server = ShardedServer::start(memory_with_rows(&rows, 2), 2, ServeConfig::default());
+        let handle = server.handle();
+        // A shadow tracks what a single memory would assign.
+        let mut shadow = memory_with_rows(&rows, 2);
+        for word in [[5u8, 5, 5, 5], [6, 6, 6, 6], [3, 3, 3, 3]] {
+            let got = handle.store(&word).unwrap();
+            let want = shadow.store(&word).unwrap();
+            assert_eq!(got, want);
+            // The store is visible to the very next merged search.
+            let (row, g) = handle.search(&word).unwrap();
+            let (drow, dg) = shadow.search(&word).unwrap();
+            assert_eq!(row, drow);
+            assert_eq!(g.to_bits(), dg.to_bits());
+        }
+        let report = handle.memory_report().unwrap();
+        assert_eq!(report.rows, 6);
+        let memory = server.shutdown();
+        assert_eq!(memory.n_rows(), shadow.n_rows());
+    }
+
+    #[test]
+    fn empty_sharded_memory_errors_and_recovers_after_store() {
+        let ladder = LevelLadder::new(3).unwrap();
+        let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+        let memory = BankedMcam::new(ladder, lut, 4, 2);
+        let server = ShardedServer::start(memory, 3, ServeConfig::default());
+        let handle = server.handle();
+        assert!(matches!(
+            handle.search(&[0, 0, 0, 0]),
+            Err(ServeError::Core(CoreError::EmptyArray))
+        ));
+        assert!(matches!(
+            handle.search_top_k(&[0, 0, 0, 0], 2),
+            Err(ServeError::Core(CoreError::EmptyArray))
+        ));
+        assert_eq!(handle.store(&[3, 3, 3, 3]).unwrap(), 0);
+        assert_eq!(handle.search(&[3, 3, 3, 3]).unwrap().0, 0);
+        let memory = server.shutdown();
+        assert_eq!(memory.n_rows(), 1);
+    }
+
+    #[test]
+    fn zero_budget_is_rejected_synchronously() {
+        let server = ShardedServer::start(
+            memory_with_rows(&[[0u8, 0, 0, 0]], 2),
+            2,
+            ServeConfig::default(),
+        );
+        let handle = server.handle();
+        assert!(matches!(
+            handle.search_with_deadline(&[0, 0, 0, 0], Duration::ZERO),
+            Err(ServeError::DeadlineExceeded { .. })
+        ));
+        assert!(matches!(
+            handle.submit_top_k_with_deadline(&[0, 0, 0, 0], 2, Duration::ZERO),
+            Err(ServeError::DeadlineExceeded { .. })
+        ));
+        // Validation outranks the zero-budget check.
+        assert!(matches!(
+            handle.submit_with_deadline(&[0, 0, 0], Duration::ZERO),
+            Err(ServeError::Core(CoreError::WordLengthMismatch { .. }))
+        ));
+        // A generous budget answers normally.
+        assert!(handle
+            .search_with_deadline(&[0, 0, 0, 0], Duration::from_secs(10))
+            .is_ok());
+        assert!(handle
+            .submit_top_k_with_deadline(&[0, 0, 0, 0], 1, Duration::from_secs(10))
+            .unwrap()
+            .wait()
+            .is_ok());
+        assert_eq!(server.stats().deadline_rejected, 2);
+    }
+
+    #[test]
+    fn malformed_queries_rejected_before_fanout() {
+        let server = ShardedServer::start(
+            memory_with_rows(&[[0u8, 0, 0, 0]], 2),
+            2,
+            ServeConfig::default(),
+        );
+        let handle = server.handle();
+        assert!(matches!(
+            handle.search(&[0, 0, 0]),
+            Err(ServeError::Core(CoreError::WordLengthMismatch { .. }))
+        ));
+        assert!(matches!(
+            handle.search_top_k(&[9, 9, 9, 9], 2),
+            Err(ServeError::Core(CoreError::LevelOutOfRange { .. }))
+        ));
+    }
+}

@@ -18,6 +18,7 @@ const WAIT_SAMPLES: usize = 4096;
 #[derive(Debug, Default, Clone)]
 pub(crate) struct StatsInner {
     pub queries: u64,
+    pub topk_queries: u64,
     pub stores: u64,
     pub batches: u64,
     pub batch_size_sum: u64,
@@ -29,14 +30,17 @@ pub(crate) struct StatsInner {
 }
 
 impl StatsInner {
-    /// Records one executed micro-batch of `size` requests.
+    /// Records one executed micro-batch of `size` requests, of which
+    /// `topk` were top-k searches (the rest winner searches).
     pub fn record_batch(
         &mut self,
         waits: impl Iterator<Item = Duration>,
         size: usize,
+        topk: usize,
         exec_ns: u128,
     ) {
         self.queries += size as u64;
+        self.topk_queries += topk as u64;
         self.batches += 1;
         self.batch_size_sum += size as u64;
         self.max_batch = self.max_batch.max(size);
@@ -56,14 +60,19 @@ impl StatsInner {
 /// Immutable snapshot of a server's serving statistics.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeStats {
-    /// Searches executed (answered) so far.
+    /// Searches executed (answered) so far — winner and top-k alike.
     pub queries: u64,
+    /// The subset of `queries` that were top-k searches.
+    pub topk_queries: u64,
     /// Stores applied so far.
     pub stores: u64,
     /// Micro-batches executed so far.
     pub batches: u64,
     /// Submissions rejected by admission control.
     pub rejected: u64,
+    /// Requests rejected because their deadline passed before the
+    /// dispatcher could execute them.
+    pub deadline_rejected: u64,
     /// Mean achieved micro-batch size (`queries / batches`).
     pub mean_batch: f64,
     /// Largest micro-batch executed.
@@ -85,18 +94,21 @@ pub struct ServeStats {
     pub queue_capacity: usize,
 }
 
-/// Nearest-rank percentile (`q` in 0..=1) of a sample set.
+/// Nearest-rank percentile (`q` in 0..=1) of a sample set: the
+/// `ceil(q·n)`-th smallest sample (1-based), so p50 of `1..=100` is
+/// 50 — not 51, which the previous `round(q·(n−1))` index produced.
 fn percentile(sorted: &[u32], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let rank = (q * (sorted.len() - 1) as f64).round() as usize;
-    f64::from(sorted[rank.min(sorted.len() - 1)])
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    f64::from(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
 }
 
 pub(crate) fn snapshot(
     inner: &StatsInner,
     rejected: u64,
+    deadline_rejected: u64,
     elapsed: Duration,
     queue_depth: usize,
     queue_capacity: usize,
@@ -106,9 +118,11 @@ pub(crate) fn snapshot(
     let queries = inner.queries;
     ServeStats {
         queries,
+        topk_queries: inner.topk_queries,
         stores: inner.stores,
         batches: inner.batches,
         rejected,
+        deadline_rejected,
         mean_batch: if inner.batches == 0 {
             0.0
         } else {
@@ -137,12 +151,21 @@ mod tests {
     use super::*;
 
     #[test]
-    fn percentiles_on_known_samples() {
+    fn percentiles_are_exact_nearest_rank() {
         let sorted: Vec<u32> = (1..=100).collect();
+        // Nearest-rank: p50 of 1..=100 is the 50th smallest sample —
+        // exactly 50, not the 51 the old round(q·(n−1)) index gave.
         assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 0.5), 50.0);
+        assert_eq!(percentile(&sorted, 0.99), 99.0);
         assert_eq!(percentile(&sorted, 1.0), 100.0);
-        assert!((percentile(&sorted, 0.5) - 51.0).abs() <= 1.0);
-        assert!(percentile(&sorted, 0.99) >= 99.0);
+        // Odd sample count: the median is the middle sample.
+        let odd: Vec<u32> = (1..=5).collect();
+        assert_eq!(percentile(&odd, 0.5), 3.0);
+        // Degenerate sets.
+        assert_eq!(percentile(&[7], 0.0), 7.0);
+        assert_eq!(percentile(&[7], 0.5), 7.0);
+        assert_eq!(percentile(&[7], 1.0), 7.0);
         assert_eq!(percentile(&[], 0.5), 0.0);
     }
 
@@ -153,22 +176,28 @@ mod tests {
             inner.record_batch(
                 (0..4).map(|i| Duration::from_micros(100 + i)),
                 4,
+                1,      // one of the four was a top-k request
                 40_000, // 10 µs per query
             );
         }
         assert_eq!(inner.queries, 12);
+        assert_eq!(inner.topk_queries, 3);
         assert_eq!(inner.batches, 3);
-        let stats = snapshot(&inner, 0, Duration::from_secs(1), 0, 64);
+        let stats = snapshot(&inner, 0, 0, Duration::from_secs(1), 0, 64);
         assert_eq!(stats.mean_batch, 4.0);
         assert_eq!(stats.max_batch, 4);
         assert!((stats.mean_exec_us_per_query - 10.0).abs() < 1e-9);
         assert!((stats.queries_per_s - 12.0).abs() < 1e-9);
-        assert!(stats.p50_wait_us >= 100.0 && stats.p99_wait_us <= 103.0);
+        // 12 samples of {100,101,102,103}: nearest-rank p50 is the 6th
+        // smallest (101), p99 the 12th (103) — exact, not approximate.
+        assert_eq!(stats.p50_wait_us, 101.0);
+        assert_eq!(stats.p99_wait_us, 103.0);
         // The ring never grows past its sample budget.
         let mut big = StatsInner::default();
         big.record_batch(
             (0..2 * WAIT_SAMPLES).map(|_| Duration::from_micros(1)),
             2 * WAIT_SAMPLES,
+            0,
             0,
         );
         assert_eq!(big.wait_us.len(), WAIT_SAMPLES);

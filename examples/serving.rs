@@ -133,5 +133,55 @@ fn main() -> femcam_core::Result<()> {
 
     let memory = server.shutdown();
     println!("server drained; memory back with {} rows", memory.n_rows());
+
+    // 8. Shard the same memory across 4 dispatchers: searches fan out
+    //    and merge by (conductance, global_row), so results stay
+    //    bit-identical to the single-dispatcher server — while a store
+    //    barriers only the tail shard's queue.
+    let sharded = ShardedServer::start(
+        memory,
+        4,
+        ServeConfig {
+            max_batch: 64,
+            max_wait: Duration::from_micros(200),
+            precision: Precision::Codes,
+            ..ServeConfig::default()
+        },
+    );
+    let shandle = sharded.handle();
+    println!("\nsharded front end: {} shards", sharded.n_shards());
+    for _ in 0..32 {
+        let query = random_word(&mut rng);
+        let served = shandle.search(&query).expect("sharded search");
+        let direct = shadow.search_with(&query, Precision::Codes)?;
+        assert_eq!(served, direct, "sharding broke bit-identity");
+    }
+    let hot_word = random_word(&mut rng);
+    let new_row = shandle.store(&hot_word).expect("sharded store");
+    assert_eq!(new_row, shadow.store(&hot_word)?);
+    assert_eq!(shandle.search(&hot_word).expect("search").0, new_row);
+    println!("32 sharded results + a tail-shard store: bit-identical to direct search");
+
+    // 9. Per-request deadlines: a generous budget answers normally; a
+    //    zero budget is dead on arrival and rejected without running.
+    let query = random_word(&mut rng);
+    let within = shandle
+        .search_with_deadline(&query, Duration::from_millis(50))
+        .expect("within budget");
+    assert_eq!(within, shadow.search_with(&query, Precision::Codes)?);
+    let doa = shandle.search_with_deadline(&query, Duration::ZERO);
+    assert!(matches!(doa, Err(ServeError::DeadlineExceeded { .. })));
+    let merged = sharded.stats().merged();
+    println!(
+        "deadlines: in-budget answer identical; zero-budget rejected \
+         ({} deadline rejections recorded)",
+        merged.deadline_rejected
+    );
+
+    let memory = sharded.shutdown();
+    println!(
+        "shards drained; memory reassembled with {} rows",
+        memory.n_rows()
+    );
     Ok(())
 }
