@@ -20,6 +20,12 @@
 //! achieved batch and µs/query plus the ratio against the
 //! single-dispatcher baseline.
 //!
+//! A **two-stage routing sweep** (`routing` key) measures the LSH
+//! bank router over a clustered workload on the same geometry:
+//! probed banks per query, top-1 recall against a `SoftwareNn`
+//! ground truth (the MCAM distance evaluated in software), and
+//! routed vs full-sweep µs/query.
+//!
 //! `FEMCAM_BENCH_MS` shortens the per-config sampling window (CI smoke
 //! mode); with the default full window the recorder *asserts* the
 //! performance contracts of the executor — multi-thread throughput
@@ -28,9 +34,11 @@
 //! kernel at least 1.5× over f32, codes plan memory at least 16×
 //! below the f64 planes on the sweep geometry, for the serving
 //! sweep an achieved batch of at least 8 with µs/query within 2× of
-//! the offline batch-64 number at the same precision, and for the
+//! the offline batch-64 number at the same precision, for the
 //! sharded sweep a fan-out/merge overhead bound: one-shard sharded
-//! µs/query within 1.25× of the single-dispatcher number.
+//! µs/query within 1.25× of the single-dispatcher number, and for
+//! the routing sweep at least 2× routed throughput over the full
+//! sweep at ≥ 0.95 top-1 recall.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -42,8 +50,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use femcam_core::{
-    par, BankedMcam, ConductanceLut, Euclidean, LevelLadder, McamArray, NnIndex, Precision,
-    SoftwareNn, TcamArray,
+    par, BankedMcam, ConductanceLut, Euclidean, LevelLadder, McamArray, McamSoftware, NnIndex,
+    Precision, QuantizeStrategy, Quantizer, RoutedMcam, RouterConfig, SoftwareNn, TcamArray,
 };
 use femcam_device::FefetModel;
 use femcam_lsh::RandomHyperplanes;
@@ -309,6 +317,139 @@ fn measure_serving(precision: Precision, shards: Option<usize>) -> ServingMeasur
     }
 }
 
+/// Clusters and queries for the two-stage routing sweep.
+const ROUTE_CLUSTERS: usize = 64;
+const ROUTE_QUERIES: usize = 256;
+
+fn jitter_level(l: u8, up: bool) -> u8 {
+    if up {
+        (l + 1).min(7)
+    } else {
+        l.saturating_sub(1)
+    }
+}
+
+/// Clustered rows on the sweep geometry: `ROUTE_CLUSTERS` random
+/// centers, each row a center with ±1 jitter on ~25% of dims — the
+/// locality two-stage retrieval exploits (same-cluster rows share
+/// signature buckets; uniform random rows have no bucket structure to
+/// route on).
+fn clustered_rows(rng: &mut StdRng) -> Vec<Vec<u8>> {
+    let centers: Vec<Vec<u8>> = (0..ROUTE_CLUSTERS)
+        .map(|_| random_levels(rng, WORD_LEN))
+        .collect();
+    (0..SWEEP_ROWS)
+        .map(|i| {
+            centers[i % ROUTE_CLUSTERS]
+                .iter()
+                .map(|&l| {
+                    if rng.gen_range(0..4u8) == 0 {
+                        jitter_level(l, rng.gen::<bool>())
+                    } else {
+                        l
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Result of one two-stage routing measurement.
+struct RoutingMeasurement {
+    precision: Precision,
+    n_banks: usize,
+    probed_banks_mean: f64,
+    recall_top1: f64,
+    us_per_query_routed: f64,
+    us_per_query_full: f64,
+    speedup_vs_full: f64,
+}
+
+/// Measures the LSH router over a clustered workload: builds a
+/// `RoutedMcam` with locality-aware placement, scores routed top-1
+/// recall against a `SoftwareNn` ground truth (the MCAM distance
+/// evaluated in software), and times routed vs full-sweep batched
+/// winners at `precision`.
+fn measure_routing(precision: Precision) -> RoutingMeasurement {
+    let ladder = LevelLadder::new(3).unwrap();
+    let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+    let mut rng = StdRng::seed_from_u64(21);
+    let rows = clustered_rows(&mut rng);
+    let (routed, placement) = RoutedMcam::build(
+        ladder,
+        lut.clone(),
+        WORD_LEN,
+        SWEEP_ROWS_PER_BANK,
+        RouterConfig::default(),
+        &rows,
+    )
+    .unwrap();
+    let mut input_of = vec![0usize; SWEEP_ROWS];
+    for (input, &global) in placement.iter().enumerate() {
+        input_of[global] = input;
+    }
+    // Queries: stored rows with 3 of 64 dims jittered ±1.
+    let queries: Vec<Vec<u8>> = (0..ROUTE_QUERIES)
+        .map(|j| {
+            let mut q = rows[(j * 31) % SWEEP_ROWS].clone();
+            for _ in 0..3 {
+                let d = rng.gen_range(0..WORD_LEN);
+                q[d] = jitter_level(q[d], rng.gen::<bool>());
+            }
+            q
+        })
+        .collect();
+    let refs: Vec<&[u8]> = queries.iter().map(|q| q.as_slice()).collect();
+
+    // Ground truth: SoftwareNn over the software MCAM distance, with a
+    // quantizer fitted so levels-as-f32 round-trip exactly.
+    let calibration = [vec![0.0f32; WORD_LEN], vec![7.0f32; WORD_LEN]];
+    let quantizer = Quantizer::fit(
+        calibration.iter().map(|r| r.as_slice()),
+        WORD_LEN,
+        8,
+        QuantizeStrategy::PerFeatureMinMax,
+    )
+    .unwrap();
+    let mut truth = SoftwareNn::new(McamSoftware::new(lut, quantizer), WORD_LEN);
+    for (i, row) in rows.iter().enumerate() {
+        let features: Vec<f32> = row.iter().map(|&l| f32::from(l)).collect();
+        truth.add(&features, i as u32).unwrap();
+    }
+
+    let n_banks = routed.memory().n_banks();
+    let probed: usize = refs.iter().map(|q| routed.route(q).unwrap().len()).sum();
+    let routed_winners = routed.search_batch_winners_with(&refs, precision).unwrap();
+    let mut top1_hits = 0usize;
+    for (q, &(global, _)) in queries.iter().zip(&routed_winners) {
+        let features: Vec<f32> = q.iter().map(|&l| f32::from(l)).collect();
+        let want = truth.query(&features).unwrap().index;
+        if input_of[global] == want {
+            top1_hits += 1;
+        }
+    }
+    let routed_ns = ns_per_query(ROUTE_QUERIES, 2, || {
+        std::hint::black_box(routed.search_batch_winners_with(&refs, precision).unwrap());
+    });
+    let full_ns = ns_per_query(ROUTE_QUERIES, 2, || {
+        std::hint::black_box(
+            routed
+                .memory()
+                .search_batch_winners_with(&refs, precision)
+                .unwrap(),
+        );
+    });
+    RoutingMeasurement {
+        precision,
+        n_banks,
+        probed_banks_mean: probed as f64 / ROUTE_QUERIES as f64,
+        recall_top1: top1_hits as f64 / ROUTE_QUERIES as f64,
+        us_per_query_routed: routed_ns / 1e3,
+        us_per_query_full: full_ns / 1e3,
+        speedup_vs_full: full_ns / routed_ns,
+    }
+}
+
 /// Records the machine-readable throughput baseline the acceptance
 /// criterion checks: seed-style scalar row-by-row search vs the
 /// compiled, batched multi-bank executor, plus the full sweep grid.
@@ -559,6 +700,33 @@ fn record_search_baseline(_c: &mut Criterion) {
         })
         .collect();
 
+    // Two-stage routing sweep: LSH bank routing → compiled masked
+    // re-rank on a clustered workload, at the reference and the
+    // packed-code precisions. The strict-mode contract: at least 2x
+    // routed throughput over the full sweep at >= 0.95 top-1 recall.
+    let routing: Vec<RoutingMeasurement> = [Precision::F64, Precision::Codes]
+        .into_iter()
+        .map(measure_routing)
+        .collect();
+    let routing_lines: Vec<String> = routing
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"precision\": \"{}\", \"queries\": {ROUTE_QUERIES}, \
+                 \"n_banks\": {}, \"probed_banks_mean\": {:.2}, \
+                 \"recall_top1\": {:.4}, \"us_per_query_routed\": {:.2}, \
+                 \"us_per_query_full\": {:.2}, \"speedup_vs_full\": {:.2}}}",
+                m.precision.name(),
+                m.n_banks,
+                m.probed_banks_mean,
+                m.recall_top1,
+                m.us_per_query_routed,
+                m.us_per_query_full,
+                m.speedup_vs_full,
+            )
+        })
+        .collect();
+
     let speedup = scalar_ns / best_batched_ns;
     let json = format!(
         "{{\n  \"config\": {{\"rows\": {SWEEP_ROWS}, \"word_len\": {WORD_LEN}, \
@@ -576,13 +744,15 @@ fn record_search_baseline(_c: &mut Criterion) {
          \"thread_scaling\": [\n{}\n  ],\n\
          \"precision\": [\n{}\n  ],\n\
          \"serving\": [\n{}\n  ],\n\
-         \"serving_sharded\": [\n{}\n  ]\n}}\n",
+         \"serving_sharded\": [\n{}\n  ],\n\
+         \"routing\": [\n{}\n  ]\n}}\n",
         plan_mode_lines.join(",\n"),
         sweep_lines.join(",\n"),
         scaling_lines.join(",\n"),
         precision_lines.join(",\n"),
         serving_lines.join(",\n"),
-        sharded_lines.join(",\n")
+        sharded_lines.join(",\n"),
+        routing_lines.join(",\n")
     );
     let path = femcam_bench::results_dir().join("BENCH_search.json");
     std::fs::write(&path, &json).expect("write BENCH_search.json");
@@ -622,6 +792,19 @@ fn record_search_baseline(_c: &mut Criterion) {
             m.achieved_batch_max,
             m.p50_wait_us,
             m.p99_wait_us,
+        );
+    }
+    for m in &routing {
+        println!(
+            "routing ({}): probed {:.1}/{} banks, top-1 recall {:.3}, \
+             routed {:.1} us/query vs full {:.1} us/query ({:.2}x)",
+            m.precision.name(),
+            m.probed_banks_mean,
+            m.n_banks,
+            m.recall_top1,
+            m.us_per_query_routed,
+            m.us_per_query_full,
+            m.speedup_vs_full,
         );
     }
 
@@ -709,6 +892,31 @@ fn record_search_baseline(_c: &mut Criterion) {
             one_shard.us_per_query,
             path.display()
         );
+        // Two-stage routing contract: on the clustered workload the
+        // router must buy at least 2x throughput over the full sweep
+        // while keeping top-1 recall at 0.95 or better.
+        for m in &routing {
+            assert!(
+                m.recall_top1 >= 0.95,
+                "routing ({}) top-1 recall {:.3} below the 0.95 contract \
+                 (probed {:.1}/{} banks; see {})",
+                m.precision.name(),
+                m.recall_top1,
+                m.probed_banks_mean,
+                m.n_banks,
+                path.display()
+            );
+            assert!(
+                m.speedup_vs_full >= 2.0,
+                "routing ({}) speedup {:.2}x over the full sweep below the \
+                 2x contract (probed {:.1}/{} banks; see {})",
+                m.precision.name(),
+                m.speedup_vs_full,
+                m.probed_banks_mean,
+                m.n_banks,
+                path.display()
+            );
+        }
     } else if speedup_threads < 1.0 || speedup_f32 < 1.5 || speedup_codes < 1.5 {
         println!(
             "warning (smoke mode, contracts not enforced): \

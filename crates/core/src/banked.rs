@@ -346,17 +346,19 @@ impl BankedMcam {
     fn search_codes(&self, query: &[u8]) -> Result<(usize, f64)> {
         let plans = self.codes_bank_plans()?;
         let refs: Vec<&CodesDispatch> = plans.iter().collect();
+        let bases = exec::bank_bases(refs.len(), self.rows_per_bank);
         // Work is summed per bank by what each dispatch actually
         // executes (codes discount for packed banks, full plane cost
         // for variation fallbacks).
         let threads = par::threads_for(exec::banked_work_per_query(&refs));
-        exec::banked_winner_kernel(&refs, self.rows_per_bank, query, threads)
+        exec::banked_winner_kernel(&refs, &bases, query, threads)
     }
 
     fn search_batch_codes(&self, queries: &[&[u8]]) -> Result<Vec<(usize, f64)>> {
         let plans = self.codes_bank_plans()?;
         let refs: Vec<&CodesDispatch> = plans.iter().collect();
-        exec::banked_winner_batch_kernel(&refs, self.rows_per_bank, queries, par::max_threads())
+        let bases = exec::bank_bases(refs.len(), self.rows_per_bank);
+        exec::banked_winner_batch_kernel(&refs, &bases, queries, par::max_threads())
     }
 
     /// Searches every bank — through the cached per-bank compiled
@@ -532,17 +534,180 @@ impl BankedMcam {
         if queries.is_empty() {
             return Ok(Vec::new());
         }
+        // The full sweep is the all-banks instantiation of the masked
+        // path — one implementation, bit-identity by construction.
+        let all: Vec<usize> = (0..self.banks.len()).collect();
+        self.search_batch_top_k_masked(queries, k, precision, &all)
+    }
+
+    /// Validates a bank mask: strictly ascending, in-range bank
+    /// indices, at least one of them (the
+    /// [bank-mask contract](crate::exec#bank-mask-contract)).
+    fn check_bank_mask(&self, banks: &[usize]) -> Result<()> {
+        if banks.is_empty() {
+            return Err(CoreError::InvalidParameter {
+                name: "bank mask",
+                value: 0.0,
+            });
+        }
+        let mut prev = None;
+        for &b in banks {
+            if b >= self.banks.len() || prev.is_some_and(|p: usize| p >= b) {
+                return Err(CoreError::InvalidParameter {
+                    name: "bank mask",
+                    value: b as f64,
+                });
+            }
+            prev = Some(b);
+        }
+        Ok(())
+    }
+
+    /// Global base rows of the masked banks (mask already validated).
+    fn masked_bases(&self, banks: &[usize]) -> Vec<usize> {
+        banks.iter().map(|&b| b * self.rows_per_bank).collect()
+    }
+
+    fn masked_plane_winners<S: PlaneScalar>(
+        &self,
+        queries: &[&[u8]],
+        banks: &[usize],
+        n_threads: usize,
+    ) -> Result<Vec<(usize, f64)>> {
+        let plans: Vec<Arc<CompiledMcam<S>>> = banks
+            .iter()
+            .map(|&b| self.banks[b].cached_plan::<S>())
+            .collect::<Result<_>>()?;
+        let refs: Vec<&CompiledMcam<S>> = plans.iter().map(Arc::as_ref).collect();
+        let bases = self.masked_bases(banks);
+        exec::banked_winner_batch_kernel(&refs, &bases, queries, n_threads)
+    }
+
+    fn masked_codes_winners(
+        &self,
+        queries: &[&[u8]],
+        banks: &[usize],
+        n_threads: usize,
+    ) -> Result<Vec<(usize, f64)>> {
+        let plans: Vec<CodesDispatch> = banks
+            .iter()
+            .map(|&b| self.banks[b].compiled_codes())
+            .collect::<Result<_>>()?;
+        let refs: Vec<&CodesDispatch> = plans.iter().collect();
+        let bases = self.masked_bases(banks);
+        exec::banked_winner_batch_kernel(&refs, &bases, queries, n_threads)
+    }
+
+    /// Each query's merged `(global_row, total_conductance)` winner over
+    /// **only the masked banks** — the second (exact re-rank) stage of
+    /// two-stage retrieval (see [`crate::router`]). `banks` lists the
+    /// bank subset to sweep, strictly ascending.
+    ///
+    /// Per query, the winner is exactly what a sequential scan of the
+    /// masked banks would report: conductances are bit-identical to the
+    /// full sweep (a bank's fold never sees the mask) and exact ties
+    /// resolve to the lowest global row within the mask. A mask
+    /// covering every bank is bit-identical to
+    /// [`search_batch_winners_with`](Self::search_batch_winners_with)
+    /// — the [bank-mask contract](crate::exec#bank-mask-contract).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::EmptyArray`] if nothing is stored.
+    /// * [`CoreError::InvalidParameter`] if the mask is empty, not
+    ///   strictly ascending, or names a bank that does not exist.
+    /// * The first failing query (in query order) fails the batch.
+    pub fn search_batch_winners_masked(
+        &self,
+        queries: &[&[u8]],
+        precision: Precision,
+        banks: &[usize],
+    ) -> Result<Vec<(usize, f64)>> {
+        self.search_batch_winners_masked_threads(queries, precision, banks, par::max_threads())
+    }
+
+    /// [`search_batch_winners_masked`](Self::search_batch_winners_masked)
+    /// with an explicit worker-thread budget, for callers that already
+    /// parallelize *across* masked sweeps (the routed batch path runs
+    /// one sweep per distinct mask concurrently and hands each sweep a
+    /// share of the machine). Results are bit-identical at any budget;
+    /// only timing changes.
+    pub(crate) fn search_batch_winners_masked_threads(
+        &self,
+        queries: &[&[u8]],
+        precision: Precision,
+        banks: &[usize],
+        n_threads: usize,
+    ) -> Result<Vec<(usize, f64)>> {
+        if self.is_empty() {
+            return Err(CoreError::EmptyArray);
+        }
+        self.check_bank_mask(banks)?;
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        match precision {
+            Precision::F64 => self.masked_plane_winners::<f64>(queries, banks, n_threads),
+            Precision::F32 => self.masked_plane_winners::<f32>(queries, banks, n_threads),
+            Precision::Codes => self.masked_codes_winners(queries, banks, n_threads),
+        }
+    }
+
+    /// Single-query face of
+    /// [`search_batch_winners_masked`](Self::search_batch_winners_masked).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as
+    /// [`search_batch_winners_masked`](Self::search_batch_winners_masked).
+    pub fn search_masked_with(
+        &self,
+        query: &[u8],
+        precision: Precision,
+        banks: &[usize],
+    ) -> Result<(usize, f64)> {
+        let mut winners = self.search_batch_winners_masked(&[query], precision, banks)?;
+        Ok(winners.pop().expect("one query in, one out"))
+    }
+
+    /// Each query's `k` nearest rows over **only the masked banks** —
+    /// the top-k face of
+    /// [`search_batch_winners_masked`](Self::search_batch_winners_masked),
+    /// with the same merge ordering as
+    /// [`search_batch_top_k_with`](Self::search_batch_top_k_with):
+    /// ascending `(conductance, global_row)`, `k` clamped to the rows
+    /// the mask exposes (never an error).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as
+    /// [`search_batch_winners_masked`](Self::search_batch_winners_masked).
+    pub fn search_batch_top_k_masked(
+        &self,
+        queries: &[&[u8]],
+        k: usize,
+        precision: Precision,
+        banks: &[usize],
+    ) -> Result<Vec<Vec<(usize, f64)>>> {
+        if self.is_empty() {
+            return Err(CoreError::EmptyArray);
+        }
+        self.check_bank_mask(banks)?;
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
         for query in queries {
             self.check_query(query)?;
         }
-        let k = k.min(self.n_rows());
+        let masked_rows: usize = banks.iter().map(|&b| self.banks[b].n_rows()).sum();
+        let k = k.min(masked_rows);
         if k == 0 {
             return Ok(vec![Vec::new(); queries.len()]);
         }
         let mut merged: Vec<Vec<(usize, f64)>> = vec![Vec::new(); queries.len()];
-        for (bank_idx, bank) in self.banks.iter().enumerate() {
+        for &bank_idx in banks {
             let base = bank_idx * self.rows_per_bank;
-            let per_bank = bank.search_batch_top_k_with(queries, k, precision)?;
+            let per_bank = self.banks[bank_idx].search_batch_top_k_with(queries, k, precision)?;
             for (slot, hits) in merged.iter_mut().zip(per_bank) {
                 slot.extend(hits.into_iter().map(|(local, g)| (base + local, g)));
             }
@@ -608,6 +773,14 @@ impl BankedMcam {
     /// Full per-bank outcomes (for energy accounting or inspection),
     /// banks sharded across worker threads like [`search`](Self::search).
     ///
+    /// Runs through the cached per-bank compiled `f64` plans under the
+    /// same amortization gate as [`search`](Self::search) (warm plans
+    /// always, cold ones only once a compile pays for itself), falling
+    /// back to the scalar physics path otherwise. Compiled `f64`
+    /// conductances are bit-identical to the scalar sweep (see
+    /// [`crate::exec`]'s "Determinism guarantee"), so the outcomes are
+    /// the same either way.
+    ///
     /// # Errors
     ///
     /// Same conditions as [`search`](Self::search).
@@ -615,9 +788,30 @@ impl BankedMcam {
         if self.is_empty() {
             return Err(CoreError::EmptyArray);
         }
-        par::try_par_map(&self.banks, self.search_threads(), |_, bank| {
-            bank.search(query)
-        })
+        match self.f64_bank_plans_for(1)? {
+            Some(plans) => {
+                par::try_par_map(&plans, self.search_threads(), |_, plan| plan.search(query))
+            }
+            None => par::try_par_map(&self.banks, self.search_threads(), |_, bank| {
+                bank.search(query)
+            }),
+        }
+    }
+
+    /// The underlying banks, in global-row order (crate-internal: what
+    /// the [`crate::router`] rebuild walks to index existing rows).
+    pub(crate) fn banks(&self) -> &[McamArray] {
+        &self.banks
+    }
+
+    /// The stored word at a global row, if that row exists — global
+    /// rows are `bank_idx * rows_per_bank + local`, exactly what
+    /// [`store`](Self::store) returned.
+    #[must_use]
+    pub fn row(&self, global_row: usize) -> Option<&[u8]> {
+        let bank = self.banks.get(global_row / self.rows_per_bank)?;
+        let local = global_row % self.rows_per_bank;
+        (local < bank.n_rows()).then(|| bank.row(local))
     }
 }
 

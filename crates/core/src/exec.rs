@@ -140,6 +140,26 @@
 //! same sequencing holds in `f32` mode (the fold is identical, just in
 //! `f32`), so `f32` results are deterministic and thread-count
 //! independent as well.
+//!
+//! # Bank-mask contract
+//!
+//! The banked drivers ([`banked_winner_kernel`],
+//! [`banked_winner_batch_kernel`]) never assume they are sweeping every
+//! bank: each per-bank kernel arrives paired with the **global base
+//! row** of that bank, and a winner is always reported as
+//! `base + local`. A full sweep is just the instantiation whose bases
+//! are `[0, rows_per_bank, 2·rows_per_bank, ..]`; a routed sweep (see
+//! [`crate::router`]) passes the same kernels for a *subset* of banks,
+//! in ascending bank order, with each bank's true base.
+//!
+//! Because the merge is the same fixed-order fold either way, a masked
+//! sweep obeys the full-sweep contract restricted to its subset: per
+//! query, the winner is the row a sequential scan of exactly the masked
+//! banks would report, conductances are bit-identical to the full sweep
+//! (each bank's fold never sees the mask), and exact ties still resolve
+//! to the lowest global row *within the mask*. A mask that covers every
+//! bank is therefore bit-identical to the unmasked entry points — the
+//! property `tests/routing_props.rs` pins across all precisions.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -1807,17 +1827,30 @@ pub(crate) fn banked_work_per_query<K: BlockKernel>(plans: &[&K]) -> usize {
     plans.iter().map(|p| p.batch_work_per_query()).sum()
 }
 
+/// Global base rows of a full `n_banks`-bank sweep — the all-banks
+/// instantiation of the bank-mask contract (see the module-level
+/// ["Bank-mask contract"](self#bank-mask-contract)).
+pub(crate) fn bank_bases(n_banks: usize, rows_per_bank: usize) -> Vec<usize> {
+    (0..n_banks).map(|b| b * rows_per_bank).collect()
+}
+
 /// Single-query hierarchical winner-take-all over per-bank kernels:
 /// banks shard across up to `n_threads` workers, winners merge in
 /// ascending bank order (fixed-order fold, lowest-global-row
 /// tie-break). Generic over the kernel, so the plane and packed-code
 /// banked paths share one merge.
+///
+/// `bases[i]` is the global base row of `plans[i]` — pass
+/// [`bank_bases`] for a full sweep, or any ascending bank subset's true
+/// bases for a masked sweep (the module-level
+/// ["Bank-mask contract"](self#bank-mask-contract)).
 pub(crate) fn banked_winner_kernel<K: BlockKernel>(
     plans: &[&K],
-    rows_per_bank: usize,
+    bases: &[usize],
     query: &[u8],
     n_threads: usize,
 ) -> Result<(usize, f64)> {
+    debug_assert_eq!(plans.len(), bases.len(), "one base per bank kernel");
     let first = plans.first().expect("at least one bank");
     first.check_query(query)?;
     let block = [query];
@@ -1829,8 +1862,8 @@ pub(crate) fn banked_winner_kernel<K: BlockKernel>(
         (local, g.to_f64())
     });
     let mut best: Option<(usize, f64)> = None;
-    for (bank_idx, &(local, g)) in per_bank.iter().enumerate() {
-        let global = bank_idx * rows_per_bank + local;
+    for (&base, &(local, g)) in bases.iter().zip(per_bank.iter()) {
+        let global = base + local;
         if best.is_none_or(|(_, bg)| g < bg) {
             best = Some((global, g));
         }
@@ -1842,12 +1875,17 @@ pub(crate) fn banked_winner_kernel<K: BlockKernel>(
 /// contiguous query groups shard across workers; each worker sweeps
 /// banks in ascending order for its group with one reusable scratch,
 /// merging per-query winners in bank order as it goes.
+///
+/// `bases[i]` is the global base row of `plans[i]` (see
+/// [`banked_winner_kernel`] and the module-level
+/// ["Bank-mask contract"](self#bank-mask-contract)).
 pub(crate) fn banked_winner_batch_kernel<K: BlockKernel>(
     plans: &[&K],
-    rows_per_bank: usize,
+    bases: &[usize],
     queries: &[&[u8]],
     n_threads: usize,
 ) -> Result<Vec<(usize, f64)>> {
+    debug_assert_eq!(plans.len(), bases.len(), "one base per bank kernel");
     let first = plans.first().expect("at least one bank");
     for q in queries {
         first.check_query(q)?;
@@ -1861,7 +1899,7 @@ pub(crate) fn banked_winner_batch_kernel<K: BlockKernel>(
     let per_group = par::par_map(&groups, threads, |_, group| {
         let mut scratch = BatchScratch::<K::Acc>::new();
         let mut best: Vec<Option<(usize, f64)>> = vec![None; group.len()];
-        for (bank_idx, plan) in plans.iter().enumerate() {
+        for (plan, &base) in plans.iter().zip(bases) {
             let n = plan.n_rows();
             let mut done = 0;
             for block in group.chunks(plan.block_len()) {
@@ -1875,7 +1913,7 @@ pub(crate) fn banked_winner_batch_kernel<K: BlockKernel>(
                     let rows = &acc[qi * n..(qi + 1) * n];
                     let (local, g) = argmin(rows);
                     let g = g.to_f64();
-                    let global = bank_idx * rows_per_bank + local;
+                    let global = base + local;
                     let slot = &mut best[done + qi];
                     if slot.is_none_or(|(_, bg)| g < bg) {
                         *slot = Some((global, g));
@@ -1899,7 +1937,12 @@ pub(crate) fn banked_winner<S: PlaneScalar>(
     query: &[u8],
     n_threads: usize,
 ) -> Result<(usize, f64)> {
-    banked_winner_kernel(plans, rows_per_bank, query, n_threads)
+    banked_winner_kernel(
+        plans,
+        &bank_bases(plans.len(), rows_per_bank),
+        query,
+        n_threads,
+    )
 }
 
 /// Batched winner merge over per-bank plane plans (the
@@ -1910,7 +1953,12 @@ pub(crate) fn banked_winner_batch<S: PlaneScalar>(
     queries: &[&[u8]],
     n_threads: usize,
 ) -> Result<Vec<(usize, f64)>> {
-    banked_winner_batch_kernel(plans, rows_per_bank, queries, n_threads)
+    banked_winner_batch_kernel(
+        plans,
+        &bank_bases(plans.len(), rows_per_bank),
+        queries,
+        n_threads,
+    )
 }
 
 /// A compiled multi-bank packed-code plan: one [`CodesDispatch`] per
@@ -1977,7 +2025,8 @@ impl CompiledBankedCodes {
     /// Propagates per-bank query validation failures.
     pub fn search(&self, query: &[u8], n_threads: usize) -> Result<(usize, f64)> {
         let plans: Vec<&CodesDispatch> = self.plans.iter().collect();
-        banked_winner_kernel(&plans, self.rows_per_bank, query, n_threads)
+        let bases = bank_bases(plans.len(), self.rows_per_bank);
+        banked_winner_kernel(&plans, &bases, query, n_threads)
     }
 
     /// Batched multi-bank search — same contract as
@@ -1988,7 +2037,8 @@ impl CompiledBankedCodes {
     /// The first failing query (in input order) fails the batch.
     pub fn search_batch(&self, queries: &[&[u8]], n_threads: usize) -> Result<Vec<(usize, f64)>> {
         let plans: Vec<&CodesDispatch> = self.plans.iter().collect();
-        banked_winner_batch_kernel(&plans, self.rows_per_bank, queries, n_threads)
+        let bases = bank_bases(plans.len(), self.rows_per_bank);
+        banked_winner_batch_kernel(&plans, &bases, queries, n_threads)
     }
 }
 

@@ -25,6 +25,9 @@
 //!   introspection, cache-tiled block kernels with reusable scratch,
 //!   and work-proportional row/query/bank sharding across worker
 //!   threads with bounded-heap top-k.
+//! * [`router`] — two-stage retrieval: an LSH router (SimHash bucket →
+//!   bank subsets) in front of the exact masked-bank MCAM re-rank, with
+//!   locality-aware bulk placement and store-synchronized buckets.
 //! * [`tcam`] / [`acam`] — the ternary CAM baseline (Hamming search and a
 //!   multi-lookup L∞ extension) and the analog-CAM generalization.
 //! * [`quantize`] — feature quantizers that map real-valued vectors onto
@@ -77,6 +80,7 @@ pub mod lut;
 pub mod par;
 mod proptests;
 pub mod quantize;
+pub mod router;
 pub mod tcam;
 
 pub use acam::{AcamArray, AcamCell};
@@ -94,6 +98,7 @@ pub use experiment::{measured_lut, ExperimentConfig};
 pub use levels::LevelLadder;
 pub use lut::ConductanceLut;
 pub use quantize::{QuantizeStrategy, Quantizer};
+pub use router::{LshRouter, RoutedMcam, RouterConfig};
 pub use tcam::{TcamArray, TcamOutcome, Ternary};
 
 /// Result alias used by fallible APIs in this crate.

@@ -34,10 +34,10 @@ pub mod prelude {
     pub use femcam_core::{
         accuracy, top_k_indices, AcamArray, AcamCell, BankedMcam, CodesDispatch, CompiledBanked,
         CompiledBankedCodes, CompiledCodes, CompiledMcam, ConductanceLut, CoreError, Cosine,
-        Distance, DistanceKind, Euclidean, LevelLadder, Linf, McamArray, McamArrayBuilder,
-        McamCell, McamNn, McamSoftware, MlTiming, NnIndex, PlanMemoryBytes, PlaneScalar, Precision,
-        QuantizeStrategy, Quantizer, SearchOutcome, SenseAmp, SoftwareNn, TcamArray, TcamLshNn,
-        Ternary, VariationSpec,
+        Distance, DistanceKind, Euclidean, LevelLadder, Linf, LshRouter, McamArray,
+        McamArrayBuilder, McamCell, McamNn, McamSoftware, MlTiming, NnIndex, PlanMemoryBytes,
+        PlaneScalar, Precision, QuantizeStrategy, Quantizer, RoutedMcam, RouterConfig,
+        SearchOutcome, SenseAmp, SoftwareNn, TcamArray, TcamLshNn, Ternary, VariationSpec,
     };
     pub use femcam_data::{
         synth, ClassFeatureSource, Dataset, GlyphClass, GlyphRenderer, PrototypeFeatureModel,

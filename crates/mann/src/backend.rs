@@ -8,7 +8,7 @@
 use femcam_core::{BankedMcam, ConductanceLut, LevelLadder, McamArray, McamArrayBuilder};
 use femcam_core::{
     Cosine, DistanceKind, Euclidean, Linf, Manhattan, McamNn, NnIndex, Precision, QuantizeStrategy,
-    Quantizer, SoftwareNn, TcamLshNn, VariationSpec,
+    Quantizer, RoutedMcam, RouterConfig, SoftwareNn, TcamLshNn, VariationSpec,
 };
 use femcam_device::FefetModel;
 use femcam_serve::{ServeConfig, ServedNn};
@@ -76,6 +76,29 @@ pub enum Backend {
         rows_per_bank: usize,
         /// Number of dispatcher shards.
         shards: usize,
+    },
+    /// Two-stage retrieval behind the serving layer: an LSH bank
+    /// router (`femcam_core::router`) in front of the compiled masked
+    /// MCAM re-rank, served through a micro-batching dispatcher
+    /// ([`femcam_serve::McamServer::start_routed`]). Unlike
+    /// [`Backend::McamServed`], results follow the routed-memory
+    /// contract: exact over the probed bank subset, approximate
+    /// overall. Episodes whose support set fits the probed buckets
+    /// (in particular anything within one bank, or exact-match
+    /// queries) answer identically to the full sweep.
+    McamRouted {
+        /// Cell precision in bits.
+        bits: u8,
+        /// Feature quantization strategy.
+        strategy: QuantizeStrategy,
+        /// Execution precision of the served re-rank kernel.
+        precision: Precision,
+        /// Rows per physical bank of the served memory.
+        rows_per_bank: usize,
+        /// LSH router configuration (signature bits, probe radius,
+        /// bank budget, plane seed). Router planes are fixed hardware,
+        /// so the seed is used as-is rather than derived per episode.
+        router: RouterConfig,
     },
     /// The TCAM+LSH baseline.
     TcamLsh {
@@ -196,6 +219,19 @@ impl Backend {
         }
     }
 
+    /// Two-stage (LSH-routed) MCAM backend at the default `f64`
+    /// precision; 256 rows per bank and the default router geometry.
+    #[must_use]
+    pub fn mcam_routed(bits: u8) -> Self {
+        Backend::McamRouted {
+            bits,
+            strategy: QuantizeStrategy::PerFeatureQuantile,
+            precision: Precision::F64,
+            rows_per_bank: 256,
+            router: RouterConfig::default(),
+        }
+    }
+
     /// Iso-word-length TCAM+LSH backend.
     #[must_use]
     pub fn tcam_lsh() -> Self {
@@ -238,6 +274,11 @@ impl Backend {
                 ..
             } => {
                 format!("mcam-sharded{shards}-{bits}bit{}", precision.name_suffix())
+            }
+            Backend::McamRouted {
+                bits, precision, ..
+            } => {
+                format!("mcam-routed-{bits}bit{}", precision.name_suffix())
             }
             Backend::TcamLsh { signature_bits } => match signature_bits {
                 Some(b) => format!("tcam+lsh-{b}b"),
@@ -353,6 +394,29 @@ impl Backend {
                     (*shards).max(1),
                     config,
                 )?))
+            }
+            Backend::McamRouted {
+                bits,
+                strategy,
+                precision,
+                rows_per_bank,
+                router,
+            } => {
+                let ladder = LevelLadder::new(*bits)?;
+                let quantizer = Quantizer::fit(
+                    calibration.iter().copied(),
+                    dims,
+                    ladder.n_levels() as u16,
+                    *strategy,
+                )?;
+                let lut = ConductanceLut::from_device(model, &ladder);
+                let memory = BankedMcam::new(ladder, lut, dims, (*rows_per_bank).max(1));
+                let routed = RoutedMcam::new(memory, *router)?;
+                let config = ServeConfig {
+                    precision: *precision,
+                    ..ServeConfig::default()
+                };
+                Ok(Box::new(ServedNn::new_routed(quantizer, routed, config)?))
             }
             Backend::TcamLsh { signature_bits } => {
                 let bits = signature_bits.unwrap_or(dims);
@@ -567,6 +631,39 @@ mod tests {
                 assert_eq!((a.index, a.label), (b.index, b.label));
                 assert_eq!(a.score, b.score);
             }
+        }
+    }
+
+    #[test]
+    fn routed_backend_matches_direct_mcam_on_small_episodes() {
+        let model = FefetModel::default();
+        let cal = calibration_data();
+        let cal_refs: Vec<&[f32]> = cal.iter().map(|r| r.as_slice()).collect();
+        let backend = Backend::mcam_routed(3);
+        assert_eq!(backend.name(), "mcam-routed-3bit");
+        let mut routed = backend.build_index(&cal_refs, 4, 1, &model).unwrap();
+        let mut direct = Backend::mcam(3)
+            .build_index(&cal_refs, 4, 1, &model)
+            .unwrap();
+        for idx in [&mut routed, &mut direct] {
+            idx.add(&[0.0, 1.0, 0.0, 0.0], 0).unwrap();
+            idx.add(&[1.0, 0.0, 0.5, -1.0], 1).unwrap();
+            idx.add(&[0.5, 0.5, 0.25, -0.5], 2).unwrap();
+        }
+        // A 3-row episode lives in one bank, so a route either probes
+        // that bank (full sweep) or falls back to it: results are
+        // bit-identical to the direct engine.
+        let queries: Vec<Vec<f32>> = vec![
+            vec![0.95, 0.05, 0.45, -0.9],
+            vec![0.0, 0.9, 0.05, 0.0],
+            vec![0.4, 0.6, 0.2, -0.4],
+        ];
+        let refs: Vec<&[f32]> = queries.iter().map(|q| q.as_slice()).collect();
+        let s = routed.query_batch(&refs).unwrap();
+        let d = direct.query_batch(&refs).unwrap();
+        for (a, b) in s.iter().zip(&d) {
+            assert_eq!((a.index, a.label), (b.index, b.label));
+            assert_eq!(a.score, b.score, "routed score drifted from direct");
         }
     }
 

@@ -68,6 +68,19 @@
 //! view the memory is sequentially consistent: a search submitted
 //! after a store completed observes that store.
 //!
+//! **Routed serving.** [`McamServer::start_routed`] serves a
+//! [`RoutedMcam`] instead of a plain memory: the micro-batch window
+//! still collects queries exactly as above, but execution groups the
+//! window by routed bank subset and runs one *masked* batched sweep
+//! per distinct subset ([`RoutedMcam::search_batch_winners_with`]), so
+//! batching efficiency survives routing. Stores flow through
+//! [`RoutedMcam::store`] on the dispatcher thread, which updates the
+//! router's buckets in the same step as the memory — router state can
+//! never race a search, exactly like plan-cache invalidation. Served
+//! results are bit-identical to calling the routed index directly;
+//! relative to a full sweep they are exact within each query's routed
+//! banks (see `femcam_core::router`'s accuracy model).
+//!
 //! **Determinism contract.** Per-request results are **bit-identical**
 //! to calling [`BankedMcam::search_with`] directly at the same
 //! precision against the same contents — regardless of which
@@ -167,7 +180,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use femcam_core::exec::validate_query;
-use femcam_core::{par, BankedMcam, CoreError, PlanMemoryBytes, Precision};
+use femcam_core::{par, BankedMcam, CoreError, PlanMemoryBytes, Precision, RoutedMcam};
 
 use stats::StatsInner;
 
@@ -791,6 +804,62 @@ impl ServeHandle {
     }
 }
 
+/// The dispatcher-owned memory: a plain full-sweep [`BankedMcam`], or
+/// a [`RoutedMcam`] whose searches run the two-stage routed path (the
+/// window groups by routed bank subset) and whose stores keep the
+/// router's buckets in sync on the dispatcher thread.
+#[derive(Debug)]
+enum ServeMemory {
+    Plain(BankedMcam),
+    Routed(RoutedMcam),
+}
+
+impl ServeMemory {
+    fn as_banked(&self) -> &BankedMcam {
+        match self {
+            ServeMemory::Plain(m) => m,
+            ServeMemory::Routed(r) => r.memory(),
+        }
+    }
+
+    fn into_banked(self) -> BankedMcam {
+        match self {
+            ServeMemory::Plain(m) => m,
+            ServeMemory::Routed(r) => r.into_memory(),
+        }
+    }
+
+    fn store(&mut self, word: &[u8]) -> femcam_core::Result<usize> {
+        match self {
+            ServeMemory::Plain(m) => m.store(word),
+            ServeMemory::Routed(r) => r.store(word),
+        }
+    }
+
+    fn search_batch_winners_with(
+        &self,
+        queries: &[&[u8]],
+        precision: Precision,
+    ) -> femcam_core::Result<Vec<(usize, f64)>> {
+        match self {
+            ServeMemory::Plain(m) => m.search_batch_winners_with(queries, precision),
+            ServeMemory::Routed(r) => r.search_batch_winners_with(queries, precision),
+        }
+    }
+
+    fn search_batch_top_k_with(
+        &self,
+        queries: &[&[u8]],
+        k: usize,
+        precision: Precision,
+    ) -> femcam_core::Result<Vec<Vec<(usize, f64)>>> {
+        match self {
+            ServeMemory::Plain(m) => m.search_batch_top_k_with(queries, k, precision),
+            ServeMemory::Routed(r) => r.search_batch_top_k_with(queries, k, precision),
+        }
+    }
+}
+
 /// A running micro-batching server: owns the dispatcher thread, which
 /// owns the [`BankedMcam`]. See the [module docs](self) for the
 /// serving model.
@@ -809,15 +878,33 @@ impl McamServer {
     /// cannot be spawned.
     #[must_use]
     pub fn start(memory: BankedMcam, config: ServeConfig) -> Self {
+        Self::start_inner(ServeMemory::Plain(memory), config)
+    }
+
+    /// Starts the dispatcher thread around a routed index: searches run
+    /// the two-stage routed path (the micro-batch window groups queries
+    /// by routed bank subset), and stores update the router's buckets
+    /// on the dispatcher thread — see the
+    /// [module-level "Routed serving"](self#serving).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`start`](Self::start).
+    #[must_use]
+    pub fn start_routed(routed: RoutedMcam, config: ServeConfig) -> Self {
+        Self::start_inner(ServeMemory::Routed(routed), config)
+    }
+
+    fn start_inner(memory: ServeMemory, config: ServeConfig) -> Self {
         assert!(config.max_batch > 0, "max_batch must be at least 1");
         let capacity = config
             .queue_capacity
-            .unwrap_or_else(|| auto_capacity(&memory, &config));
+            .unwrap_or_else(|| auto_capacity(memory.as_banked(), &config));
         let shared = Arc::new(Shared {
             depth: AtomicUsize::new(0),
             capacity: capacity.max(1),
-            word_len: memory.word_len(),
-            n_levels: memory.ladder().n_levels(),
+            word_len: memory.as_banked().word_len(),
+            n_levels: memory.as_banked().ladder().n_levels(),
             rejected: AtomicU64::new(0),
             deadline_rejected: AtomicU64::new(0),
             stats: Mutex::new(StatsInner::default()),
@@ -1027,7 +1114,7 @@ fn window_timeout(close_at: Instant, now: Instant) -> Option<Duration> {
 /// The dispatcher loop: the only code that touches `memory` while the
 /// server runs. Returns the memory on shutdown.
 fn dispatch(
-    mut memory: BankedMcam,
+    mut memory: ServeMemory,
     rx: &Receiver<Request>,
     shared: &Shared,
     config: &ServeConfig,
@@ -1043,7 +1130,7 @@ fn dispatch(
             match request {
                 Request::Shutdown => break 'serve,
                 Request::Report { responder } => {
-                    responder.fulfill(Ok(report(&memory, config)));
+                    responder.fulfill(Ok(report(memory.as_banked(), config)));
                 }
                 Request::Store { word, responder } => {
                     let result = memory.store(&word).map_err(ServeError::Core);
@@ -1099,7 +1186,7 @@ fn dispatch(
             Request::Shutdown => {}
         }
     }
-    memory
+    memory.into_banked()
 }
 
 /// Executes one collected micro-batch — the winner queries as one
@@ -1107,7 +1194,7 @@ fn dispatch(
 /// at the largest requested `k` (each request's answer truncated to
 /// its own `k`, a prefix of the `k_max` list, so results stay
 /// bit-identical to solo execution) — and fans the results out.
-fn execute_window(memory: &BankedMcam, mut window: Window, shared: &Shared, precision: Precision) {
+fn execute_window(memory: &ServeMemory, mut window: Window, shared: &Shared, precision: Precision) {
     if window.is_empty() {
         return;
     }

@@ -6,7 +6,7 @@
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
-use femcam_core::{BankedMcam, CoreError, NnIndex, Precision, Quantizer, QueryResult};
+use femcam_core::{BankedMcam, CoreError, NnIndex, Precision, Quantizer, QueryResult, RoutedMcam};
 
 use crate::{
     McamServer, ServeConfig, ServeError, ServeStats, ServingHandle, ServingTicket, ShardedServer,
@@ -50,6 +50,9 @@ pub struct ServedNn {
     labels: Vec<u32>,
     bits: u8,
     precision: Precision,
+    /// Whether the dispatcher routes queries through an LSH front end
+    /// ([`Self::new_routed`]) — affects [`NnIndex::name`] only.
+    routed: bool,
 }
 
 /// The owned serving back end: a single dispatcher or a sharded fleet.
@@ -102,6 +105,37 @@ impl ServedNn {
             labels: Vec::new(),
             bits,
             precision,
+            routed: false,
+        })
+    }
+
+    /// Starts a single-dispatcher server around a [`RoutedMcam`]
+    /// ([`McamServer::start_routed`]) and wraps it as an engine: every
+    /// query routes through the LSH bank router before the exact
+    /// masked MCAM re-rank, so results follow the routed-memory
+    /// contract — exact over the probed banks, approximate overall.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`new`](Self::new).
+    pub fn new_routed(
+        quantizer: Quantizer,
+        routed: RoutedMcam,
+        config: ServeConfig,
+    ) -> femcam_core::Result<Self> {
+        Self::validate(&quantizer, routed.memory())?;
+        let bits = routed.memory().ladder().bits();
+        let precision = config.precision;
+        let server = McamServer::start_routed(routed, config);
+        let handle = ServingHandle::Single(server.handle());
+        Ok(ServedNn {
+            quantizer,
+            server: Server::Single(server),
+            handle,
+            labels: Vec::new(),
+            bits,
+            precision,
+            routed: true,
         })
     }
 
@@ -135,6 +169,7 @@ impl ServedNn {
             labels: Vec::new(),
             bits,
             precision,
+            routed: false,
         })
     }
 
@@ -327,6 +362,11 @@ impl NnIndex for ServedNn {
 
     fn name(&self) -> String {
         match &self.server {
+            Server::Single(_) if self.routed => format!(
+                "mcam-routed-{}bit{}",
+                self.bits,
+                self.precision.name_suffix()
+            ),
             Server::Single(_) => format!(
                 "mcam-served-{}bit{}",
                 self.bits,
@@ -461,6 +501,42 @@ mod tests {
             let single = served.query(q).unwrap();
             assert_eq!((b.index, b.score), (single.index, single.score));
         }
+    }
+
+    #[test]
+    fn routed_served_engine_answers_exact_matches() {
+        use femcam_core::RouterConfig;
+        let (features, labels) = clustered_data();
+        let ladder = LevelLadder::new(3).unwrap();
+        let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+        let quantizer = Quantizer::fit(
+            features.iter().map(|r| r.as_slice()),
+            3,
+            ladder.n_levels() as u16,
+            QuantizeStrategy::PerFeatureMinMax,
+        )
+        .unwrap();
+        let memory = BankedMcam::new(ladder, lut, 3, 4);
+        let routed = RoutedMcam::new(memory, RouterConfig::default()).unwrap();
+        let mut served = ServedNn::new_routed(quantizer, routed, ServeConfig::default()).unwrap();
+        for (f, &l) in features.iter().zip(&labels) {
+            served.add(f, l).unwrap();
+        }
+        assert!(served.name().starts_with("mcam-routed-3bit"));
+        // Every stored vector is its own nearest neighbor, and routed
+        // search always reaches an exact match (stores update the
+        // router's buckets), so each query must label itself.
+        for (f, &l) in features.iter().zip(&labels) {
+            let got = served.query(f).unwrap();
+            assert_eq!(got.label, l);
+        }
+        let refs: Vec<&[f32]> = features.iter().map(|f| f.as_slice()).collect();
+        let batched = served.query_batch(&refs).unwrap();
+        for (b, &l) in batched.iter().zip(&labels) {
+            assert_eq!(b.label, l);
+        }
+        let memory = served.into_memory();
+        assert_eq!(memory.n_rows(), features.len());
     }
 
     #[test]

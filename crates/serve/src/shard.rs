@@ -13,13 +13,26 @@
 //! searches. See the crate-level
 //! ["Sharding and deadlines"](crate#sharding-and-deadlines) section
 //! for the full semantics.
+//!
+//! **Routed fan-out.** [`ShardedServer::start_routed`] puts the
+//! [`LshRouter`] of a [`RoutedMcam`] in front of the fan-out: each
+//! query is hashed once at the client, its routed banks are mapped to
+//! the shards that own them (bank ranges are contiguous per shard),
+//! and the request fans only to that shard subset. A contacted shard
+//! still sweeps *all* of its banks — a superset of the routed banks it
+//! owns — so shard-level routing can only raise recall relative to
+//! bank-level routing while skipping the dispatcher round-trip, the
+//! admission slot, and the sweep on every shard the router ruled out.
+//! An empty route falls back to the full fan-out, and stores keep the
+//! router's buckets synchronized (tail store, then
+//! [`LshRouter::note_store`]) so a new row is immediately routable.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
 use femcam_core::exec::validate_query;
-use femcam_core::{BankedMcam, CoreError};
+use femcam_core::{BankedMcam, CoreError, LshRouter, RoutedMcam};
 
 use crate::{
     McamServer, MemoryReport, ServeConfig, ServeError, ServeHandle, ServeStats, Ticket, TopKTicket,
@@ -71,10 +84,44 @@ impl ShardedServer {
     /// dispatcher thread cannot be spawned.
     #[must_use]
     pub fn start(memory: BankedMcam, shards: usize, config: ServeConfig) -> Self {
+        Self::start_inner(memory, None, shards, config)
+    }
+
+    /// Like [`start`](Self::start), but keeps the [`LshRouter`] of
+    /// `routed` at the front end: searches fan only to the shards
+    /// owning the query's routed banks (see the [module
+    /// docs](self#)). Results follow the routed-memory contract —
+    /// exact over the probed shard subset, approximate overall — and
+    /// [`shutdown`](Self::shutdown) returns the reassembled
+    /// [`BankedMcam`] (the router is dropped; rebuild one with
+    /// [`RoutedMcam::new`] to keep routing).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`start`](Self::start).
+    #[must_use]
+    pub fn start_routed(routed: RoutedMcam, shards: usize, config: ServeConfig) -> Self {
+        let (memory, router) = routed.into_parts();
+        Self::start_inner(memory, Some(router), shards, config)
+    }
+
+    fn start_inner(
+        memory: BankedMcam,
+        router: Option<LshRouter>,
+        shards: usize,
+        config: ServeConfig,
+    ) -> Self {
         assert!(shards > 0, "a sharded server needs at least one shard");
         let word_len = memory.word_len();
         let n_levels = memory.ladder().n_levels();
         let parts = memory.partition(shards);
+        // Bank → owning shard, from the contiguous partition ranges.
+        // Banks appended after start (stores growing the tail) map to
+        // the tail shard via `bank_shard.get(..).unwrap_or(tail)`.
+        let mut bank_shard = Vec::new();
+        for (i, part) in parts.iter().enumerate() {
+            bank_shard.resize(bank_shard.len() + part.n_banks(), i);
+        }
         let bases: Vec<usize> = parts
             .iter()
             .scan(0usize, |rows, part| {
@@ -106,6 +153,8 @@ impl ShardedServer {
             shards: servers.iter().map(McamServer::handle).collect(),
             bases: bases.into(),
             targets: targets.into(),
+            bank_shard: bank_shard.into(),
+            router: router.map(|r| Arc::new(RwLock::new(r))),
             tail,
             word_len,
             n_levels,
@@ -168,6 +217,13 @@ pub struct ShardedHandle {
     /// Shards searches fan to (ascending; excludes permanently-empty
     /// shards, includes the tail).
     targets: Arc<[usize]>,
+    /// Bank index → owning shard (contiguous partition ranges); banks
+    /// appended after start belong to the tail shard.
+    bank_shard: Arc<[usize]>,
+    /// LSH front-end router ([`ShardedServer::start_routed`]); `None`
+    /// fans every search to all targets. Searches take the read lock
+    /// (concurrent), stores the write lock (bucket update).
+    router: Option<Arc<RwLock<LshRouter>>>,
     /// The shard that owns the append tail (receives every store).
     tail: usize,
     word_len: usize,
@@ -239,11 +295,12 @@ impl ShardedHandle {
     /// Returns `(global_row_base, ticket)` per target, ascending.
     fn fan_out<T>(
         &self,
+        targets: &[usize],
         enqueue: impl Fn(&ServeHandle) -> Result<T, ServeError>,
     ) -> Result<Vec<(usize, T)>, ServeError> {
-        for (pos, &i) in self.targets.iter().enumerate() {
+        for (pos, &i) in targets.iter().enumerate() {
             if let Err(e) = self.shards[i].admit() {
-                for &reserved in &self.targets[..pos] {
+                for &reserved in &targets[..pos] {
                     self.shards[reserved].release_slot();
                 }
                 if matches!(e, ServeError::Overloaded { .. }) {
@@ -252,14 +309,14 @@ impl ShardedHandle {
                 return Err(e);
             }
         }
-        let mut parts = Vec::with_capacity(self.targets.len());
-        for &i in self.targets.iter() {
+        let mut parts = Vec::with_capacity(targets.len());
+        for &i in targets.iter() {
             match enqueue(&self.shards[i]) {
                 Ok(ticket) => parts.push((self.bases[i], ticket)),
                 // The failing shard released its own slot inside the
                 // enqueue; the enqueued ones hold queued requests.
                 Err(e) => {
-                    for &unreached in &self.targets[parts.len() + 1..] {
+                    for &unreached in &targets[parts.len() + 1..] {
                         self.shards[unreached].release_slot();
                     }
                     return Err(e);
@@ -270,13 +327,44 @@ impl ShardedHandle {
         Ok(parts)
     }
 
+    /// The shard subset a (validated) query fans to: the full target
+    /// set without a router, else the shards owning the query's routed
+    /// banks. A contacted shard sweeps all of its banks, so this is a
+    /// superset of the routed banks; an empty route (unseen bucket
+    /// region) falls back to every target. The returned list is
+    /// ascending, deduplicated, and always a subset of `self.targets`.
+    fn route_targets(&self, query: &[u8]) -> Result<Vec<usize>, ServeError> {
+        let Some(router) = &self.router else {
+            return Ok(self.targets.to_vec());
+        };
+        let banks = router
+            .read()
+            .expect("router lock poisoned")
+            .route(query)
+            .map_err(ServeError::Core)?;
+        if banks.is_empty() {
+            return Ok(self.targets.to_vec());
+        }
+        let mut targets: Vec<usize> = banks
+            .iter()
+            .map(|&b| self.bank_shard.get(b).copied().unwrap_or(self.tail))
+            .filter(|s| self.targets.binary_search(s).is_ok())
+            .collect();
+        targets.dedup();
+        if targets.is_empty() {
+            return Ok(self.targets.to_vec());
+        }
+        Ok(targets)
+    }
+
     fn submit_at(
         &self,
         query: &[u8],
         deadline: Option<Instant>,
     ) -> Result<ShardTicket, ServeError> {
         validate_query(self.word_len, self.n_levels, query)?;
-        let parts = self.fan_out(|shard| shard.enqueue_search(query, deadline))?;
+        let targets = self.route_targets(query)?;
+        let parts = self.fan_out(&targets, |shard| shard.enqueue_search(query, deadline))?;
         Ok(ShardTicket {
             parts,
             counters: Arc::clone(&self.counters),
@@ -351,7 +439,8 @@ impl ShardedHandle {
         deadline: Option<Instant>,
     ) -> Result<ShardTopKTicket, ServeError> {
         validate_query(self.word_len, self.n_levels, query)?;
-        let parts = self.fan_out(|shard| shard.enqueue_top_k(query, k, deadline))?;
+        let targets = self.route_targets(query)?;
+        let parts = self.fan_out(&targets, |shard| shard.enqueue_top_k(query, k, deadline))?;
         self.counters.topk_submitted.fetch_add(1, Ordering::Relaxed);
         Ok(ShardTopKTicket {
             parts,
@@ -383,7 +472,17 @@ impl ShardedHandle {
     /// Same conditions as [`ServeHandle::store`].
     pub fn store(&self, word: &[u8]) -> Result<usize, ServeError> {
         let local = self.shards[self.tail].store(word)?;
-        Ok(self.bases[self.tail] + local)
+        let global = self.bases[self.tail] + local;
+        if let Some(router) = &self.router {
+            // Bucket update after the store is applied: the row is
+            // routable the moment any client can observe it.
+            router
+                .write()
+                .expect("router lock poisoned")
+                .note_store(word, global)
+                .map_err(ServeError::Core)?;
+        }
+        Ok(global)
     }
 
     /// Merged live plan-memory report: rows, banks, and resident plan
@@ -874,6 +973,46 @@ mod tests {
             .wait()
             .is_ok());
         assert_eq!(server.stats().deadline_rejected, 2);
+    }
+
+    #[test]
+    fn routed_sharded_serving_finds_exact_matches_and_tracks_stores() {
+        use femcam_core::{RoutedMcam, RouterConfig};
+        let rows = [
+            [0u8, 1, 2, 3],
+            [7, 7, 7, 7],
+            [1, 1, 2, 3],
+            [4, 4, 4, 4],
+            [2, 2, 2, 2],
+            [6, 0, 6, 0],
+        ];
+        for shards in [1usize, 2, 3] {
+            let routed = RoutedMcam::new(memory_with_rows(&rows, 2), RouterConfig::default())
+                .expect("router over served geometry");
+            let server = ShardedServer::start_routed(routed, shards, ServeConfig::default());
+            let handle = server.handle();
+            let mut shadow = memory_with_rows(&rows, 2);
+            // An exact-match query's winner is globally minimal and its
+            // duplicates share its bucket, so routed results equal the
+            // full sweep for every stored word.
+            for (row, word) in rows.iter().enumerate() {
+                let (got, g) = handle.search(word).unwrap();
+                let (want, wg) = shadow.search(word).unwrap();
+                assert_eq!((got, g.to_bits()), (want, wg.to_bits()), "{shards} shards");
+                assert_eq!(got, row);
+            }
+            // Stores stay routable: tail store + router bucket update.
+            for word in [[5u8, 5, 0, 5], [0, 7, 0, 7]] {
+                let got = handle.store(&word).unwrap();
+                let want = shadow.store(&word).unwrap();
+                assert_eq!(got, want, "{shards} shards global row");
+                assert_eq!(handle.search(&word).unwrap().0, got, "{shards} shards");
+                let top = handle.search_top_k(&word, 1).unwrap();
+                assert_eq!(top[0].0, got, "{shards} shards top-k");
+            }
+            let memory = server.shutdown();
+            assert_eq!(memory.n_rows(), shadow.n_rows());
+        }
     }
 
     #[test]

@@ -111,5 +111,26 @@ fn main() -> femcam_core::Result<()> {
         mem.f32_plane,
         mem.codes,
     );
+
+    // 9. Two-stage retrieval: an LSH router in front of the compiled
+    //    re-rank. `RoutedMcam::build` places rows bucket-by-bucket so
+    //    each SimHash bucket concentrates in few banks, and a routed
+    //    search sweeps only the banks the query's bucket (plus its
+    //    Hamming-ball neighbors) occupies — the winner is exact within
+    //    those banks. With a mask covering every bank the result is
+    //    bit-identical to the full sweep; here the memory is tiny, so
+    //    we just show the plumbing.
+    let (ladder2, lut2) = (*array.ladder(), array.lut().clone());
+    let (routed, placement) =
+        RoutedMcam::build(ladder2, lut2, 4, 2, RouterConfig::default(), &levels)?;
+    let routed_query = quantizer.quantize(&query)?;
+    let probed = routed.route(&routed_query)?;
+    let (global, g) = routed.search_with(&routed_query, Precision::Codes)?;
+    println!(
+        "\nrouted: probed {} of {} banks, nearest input row {} (G_ML = {g:.3e} S)",
+        probed.len(),
+        routed.memory().n_banks(),
+        placement.iter().position(|&p| p == global).expect("placed"),
+    );
     Ok(())
 }
