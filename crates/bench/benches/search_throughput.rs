@@ -317,6 +317,145 @@ fn measure_serving(precision: Precision, shards: Option<usize>) -> ServingMeasur
     }
 }
 
+/// Result of the fault-injected serving measurement (`--features
+/// chaos`): closed-loop p99 before and after a shard kill, plus the
+/// time the front end took to start answering again.
+#[cfg(feature = "chaos")]
+struct FaultMeasurement {
+    queries_healthy: u64,
+    p99_healthy_us: f64,
+    queries_degraded: u64,
+    p99_degraded_us: f64,
+    failed_requests: u64,
+    recovery_us: f64,
+}
+
+/// Nearest-rank p99 of raw microsecond samples.
+#[cfg(feature = "chaos")]
+fn p99_us(samples: &mut [u64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_unstable();
+    samples[((samples.len() * 99) / 100).min(samples.len() - 1)] as f64
+}
+
+/// Drives the closed-loop clients against a two-shard server, kills
+/// the tail shard mid-run via an injected store panic against a
+/// zero-restart budget, and measures the latency cost of degraded
+/// operation: p99 while healthy, p99 over the surviving shard, how
+/// many in-flight requests failed during the kill, and how long until
+/// the front end answered again.
+#[cfg(feature = "chaos")]
+fn measure_serving_faults() -> FaultMeasurement {
+    use femcam_serve::fault::{FaultKind, FaultPlan, FaultRule, FaultSite, CHAOS_PANIC};
+    // The injected panic unwinds a dispatcher by design: silence its
+    // default-hook backtrace in the bench output.
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| info.payload().downcast_ref::<String>().map(String::as_str));
+        if !msg.is_some_and(|m| m.starts_with(CHAOS_PANIC)) {
+            default(info);
+        }
+    }));
+    let (banked, _) = sweep_memory(13);
+    let plan = FaultPlan::new(
+        29,
+        vec![FaultRule {
+            site: FaultSite::Store,
+            kind: FaultKind::Panic,
+            probability: 1.0,
+            budget: None,
+        }],
+    );
+    let config = ServeConfig {
+        max_batch: SERVE_CLIENTS,
+        max_wait: Duration::from_micros(300),
+        precision: Precision::Codes,
+        // First injected panic trips the breaker: a deterministic,
+        // permanent single-shard kill.
+        restart_budget: 0,
+        faults: Some(plan.clone()),
+        ..ServeConfig::default()
+    };
+    let server = ShardedServer::start(banked, 2, config);
+    let handle = server.handle();
+    let stop = Arc::new(AtomicBool::new(false));
+    let degraded = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..SERVE_CLIENTS)
+        .map(|c| {
+            let handle = handle.clone();
+            let stop = Arc::clone(&stop);
+            let degraded = Arc::clone(&degraded);
+            let mut rng = StdRng::seed_from_u64(0xFA17 + c as u64);
+            std::thread::spawn(move || {
+                let mut healthy: Vec<u64> = Vec::new();
+                let mut after: Vec<u64> = Vec::new();
+                let mut failed = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let query = random_levels(&mut rng, WORD_LEN);
+                    let start = Instant::now();
+                    match handle.search(&query) {
+                        Ok(_) => {
+                            let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                            if degraded.load(Ordering::Relaxed) {
+                                after.push(us);
+                            } else {
+                                healthy.push(us);
+                            }
+                        }
+                        // In-flight work on the killed shard fails
+                        // cleanly; the next iteration re-probes.
+                        Err(_) => failed += 1,
+                    }
+                }
+                (healthy, after, failed)
+            })
+        })
+        .collect();
+    let window = u64::try_from(bench_window_ms()).unwrap_or(300);
+    std::thread::sleep(Duration::from_millis(window));
+    // Kill: stores route to the tail shard only, so arming the plan
+    // and issuing one store panics exactly that dispatcher, and the
+    // zero restart budget makes the kill permanent (quarantine).
+    plan.set_armed(true);
+    let killed = Instant::now();
+    let probe = random_levels(&mut StdRng::seed_from_u64(99), WORD_LEN);
+    let _ = handle.store(&probe);
+    // Recovery: how long until the front end answers a fresh search
+    // again (over the surviving shard, with degraded coverage).
+    let recovery_us = loop {
+        if handle.search(&probe).is_ok() {
+            break killed.elapsed().as_micros() as f64;
+        }
+    };
+    degraded.store(true, Ordering::Relaxed);
+    std::thread::sleep(Duration::from_millis(window));
+    stop.store(true, Ordering::Relaxed);
+    let mut healthy: Vec<u64> = Vec::new();
+    let mut after: Vec<u64> = Vec::new();
+    let mut failed = 0u64;
+    for client in clients {
+        let (h, a, f) = client.join().expect("fault client");
+        healthy.extend(h);
+        after.extend(a);
+        failed += f;
+    }
+    drop(server);
+    FaultMeasurement {
+        queries_healthy: healthy.len() as u64,
+        p99_healthy_us: p99_us(&mut healthy),
+        queries_degraded: after.len() as u64,
+        p99_degraded_us: p99_us(&mut after),
+        failed_requests: failed,
+        recovery_us,
+    }
+}
+
 /// Clusters and queries for the two-stage routing sweep.
 const ROUTE_CLUSTERS: usize = 64;
 const ROUTE_QUERIES: usize = 256;
@@ -727,6 +866,31 @@ fn record_search_baseline(_c: &mut Criterion) {
         })
         .collect();
 
+    // Fault-injected serving entry (only with `--features chaos`):
+    // closed-loop p99 through a shard kill plus recovery time. Without
+    // the feature the key records an empty sweep.
+    #[cfg(feature = "chaos")]
+    let faults = Some(measure_serving_faults());
+    #[cfg(not(feature = "chaos"))]
+    let faults: Option<()> = None;
+    let serving_faults_lines: Vec<String> = match &faults {
+        #[cfg(feature = "chaos")]
+        Some(m) => vec![format!(
+            "    {{\"precision\": \"codes\", \"shards\": 2, \
+             \"clients\": {SERVE_CLIENTS}, \"queries_healthy\": {}, \
+             \"p99_healthy_us\": {:.0}, \"queries_degraded\": {}, \
+             \"p99_degraded_us\": {:.0}, \"failed_requests\": {}, \
+             \"recovery_us\": {:.0}}}",
+            m.queries_healthy,
+            m.p99_healthy_us,
+            m.queries_degraded,
+            m.p99_degraded_us,
+            m.failed_requests,
+            m.recovery_us,
+        )],
+        _ => Vec::new(),
+    };
+
     let speedup = scalar_ns / best_batched_ns;
     let json = format!(
         "{{\n  \"config\": {{\"rows\": {SWEEP_ROWS}, \"word_len\": {WORD_LEN}, \
@@ -745,14 +909,16 @@ fn record_search_baseline(_c: &mut Criterion) {
          \"precision\": [\n{}\n  ],\n\
          \"serving\": [\n{}\n  ],\n\
          \"serving_sharded\": [\n{}\n  ],\n\
-         \"routing\": [\n{}\n  ]\n}}\n",
+         \"routing\": [\n{}\n  ],\n\
+         \"serving_faults\": [\n{}\n  ]\n}}\n",
         plan_mode_lines.join(",\n"),
         sweep_lines.join(",\n"),
         scaling_lines.join(",\n"),
         precision_lines.join(",\n"),
         serving_lines.join(",\n"),
         sharded_lines.join(",\n"),
-        routing_lines.join(",\n")
+        routing_lines.join(",\n"),
+        serving_faults_lines.join(",\n")
     );
     let path = femcam_bench::results_dir().join("BENCH_search.json");
     std::fs::write(&path, &json).expect("write BENCH_search.json");
@@ -805,6 +971,28 @@ fn record_search_baseline(_c: &mut Criterion) {
             m.us_per_query_routed,
             m.us_per_query_full,
             m.speedup_vs_full,
+        );
+    }
+
+    #[cfg(feature = "chaos")]
+    if let Some(m) = &faults {
+        println!(
+            "serving faults (codes, 2 shards, tail killed): healthy p99 {:.0} us \
+             ({} queries), degraded p99 {:.0} us ({} queries), {} failed \
+             in-flight, recovery {:.0} us",
+            m.p99_healthy_us,
+            m.queries_healthy,
+            m.p99_degraded_us,
+            m.queries_degraded,
+            m.failed_requests,
+            m.recovery_us,
+        );
+        // Self-healing sanity: the surviving shard kept every client
+        // making progress after the kill.
+        assert!(
+            m.queries_degraded > 0,
+            "no queries completed after the shard kill (see {})",
+            path.display()
         );
     }
 

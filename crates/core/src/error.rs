@@ -55,6 +55,17 @@ pub enum CoreError {
         /// Total time spent overloaded (backing off), in microseconds.
         waited_us: u64,
     },
+    /// A sharded serving front end could not search the full bank set
+    /// (a shard was quarantined, failed, or timed out) and its
+    /// degraded-result policy is fail-closed, so the partial merge was
+    /// refused rather than returned. Produced by `femcam-serve`
+    /// adapters; the counts say how much of the memory was reachable.
+    Degraded {
+        /// Banks actually searched.
+        searched: usize,
+        /// Banks the request intended to search.
+        total: usize,
+    },
     /// A quantizer was used before fitting, or fitted on no data.
     QuantizerNotFitted,
     /// Input feature dimensionality does not match the engine.
@@ -102,6 +113,13 @@ impl fmt::Display for CoreError {
                 write!(
                     f,
                     "serving queue stayed at capacity for {waited_us} us of bounded retries"
+                )
+            }
+            CoreError::Degraded { searched, total } => {
+                write!(
+                    f,
+                    "degraded coverage refused (fail-closed policy): \
+                     searched {searched} of {total} banks"
                 )
             }
             CoreError::QuantizerNotFitted => {
@@ -160,6 +178,10 @@ mod tests {
                 reason: "queue full",
             },
             CoreError::Overloaded { waited_us: 50_000 },
+            CoreError::Degraded {
+                searched: 3,
+                total: 16,
+            },
             CoreError::QuantizerNotFitted,
             CoreError::DimensionMismatch {
                 expected: 64,

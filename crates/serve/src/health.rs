@@ -1,0 +1,238 @@
+//! Failure-model primitives: per-shard health, degraded-coverage
+//! records, the degraded-result policy knob, and the dispatcher
+//! restart-rate circuit breaker.
+//!
+//! See the crate-level ["Failure model"](crate#failure-model) section
+//! for how these compose.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::{Duration, Instant};
+
+/// Health of one shard of a [`crate::ShardedServer`], as observed by
+/// the fan-out front end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// The shard is answering normally.
+    Healthy,
+    /// The shard missed at least one per-shard deadline
+    /// ([`crate::ServeConfig::shard_timeout`]) — it still receives
+    /// traffic, but recent merges completed without it.
+    Degraded,
+    /// The shard's dispatcher is gone (circuit breaker tripped, or its
+    /// channel closed): fan-out skips it entirely until shutdown.
+    Quarantined,
+}
+
+impl ShardHealth {
+    pub(crate) fn from_u8(v: u8) -> Self {
+        match v {
+            0 => ShardHealth::Healthy,
+            1 => ShardHealth::Degraded,
+            _ => ShardHealth::Quarantined,
+        }
+    }
+
+    pub(crate) fn as_u8(self) -> u8 {
+        match self {
+            ShardHealth::Healthy => 0,
+            ShardHealth::Degraded => 1,
+            ShardHealth::Quarantined => 2,
+        }
+    }
+}
+
+/// The shared per-shard health board: lock-free, written by whichever
+/// client thread observes a shard failure first.
+#[derive(Debug)]
+pub(crate) struct HealthBoard {
+    states: Box<[AtomicU8]>,
+}
+
+impl HealthBoard {
+    pub(crate) fn new(n: usize) -> Self {
+        HealthBoard {
+            states: (0..n).map(|_| AtomicU8::new(0)).collect(),
+        }
+    }
+
+    pub(crate) fn get(&self, shard: usize) -> ShardHealth {
+        ShardHealth::from_u8(self.states[shard].load(Ordering::Relaxed))
+    }
+
+    /// Monotone escalation: health only ever worsens (a quarantined
+    /// shard never silently returns — its dispatcher is gone).
+    pub(crate) fn escalate(&self, shard: usize, to: ShardHealth) {
+        self.states[shard].fetch_max(to.as_u8(), Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> Vec<ShardHealth> {
+        (0..self.states.len()).map(|i| self.get(i)).collect()
+    }
+}
+
+/// What a sharded front end does with a result whose coverage is
+/// incomplete (a shard was quarantined or timed out mid-merge).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradedPolicy {
+    /// Return the best answer over the surviving shards, with its
+    /// [`Coverage`] record saying exactly which banks contributed
+    /// (the default — availability first, like the paper's
+    /// variation-tolerant sensing keeps answering under device
+    /// faults).
+    #[default]
+    FailOpen,
+    /// Refuse the partial merge with [`crate::ServeError::Degraded`]:
+    /// callers that would rather retry elsewhere than act on a
+    /// partial answer.
+    FailClosed,
+}
+
+/// How much of the memory a merged result actually searched, in banks.
+///
+/// `searched == total` is a full-coverage (exact-contract) answer;
+/// anything less means some intended shard did not contribute and the
+/// result is the exact merge over `banks` only — checkable against
+/// `BankedMcam::search_masked_with` over the same bank subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coverage {
+    /// Banks that contributed to the merge.
+    pub searched: usize,
+    /// Banks the request intended to search (the routed subset, or
+    /// every bank), including the ones lost to failed shards.
+    pub total: usize,
+    /// The contributing bank indices, ascending — the mask to replay
+    /// the merge against a direct [`femcam_core::BankedMcam`]. Banks
+    /// appended by stores after the server started belong to the tail
+    /// shard's range.
+    pub banks: Vec<usize>,
+}
+
+impl Coverage {
+    /// A full-coverage record over `banks` (all intended banks
+    /// answered).
+    #[must_use]
+    pub fn full(banks: Vec<usize>) -> Self {
+        Coverage {
+            searched: banks.len(),
+            total: banks.len(),
+            banks,
+        }
+    }
+
+    /// `true` when some intended bank did not contribute.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        self.searched < self.total
+    }
+}
+
+/// A value plus the [`Coverage`] it was computed over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Covered<T> {
+    /// The merged result.
+    pub value: T,
+    /// How much of the memory contributed.
+    pub coverage: Coverage,
+}
+
+/// Sliding-window restart-rate circuit breaker: a dispatcher may
+/// self-heal at most `budget` times within any `window`; one more trip
+/// transitions the server to its terminal `Failed` state instead of
+/// crash-looping (a deterministic fault would otherwise burn a core
+/// re-panicking forever).
+#[derive(Debug)]
+pub(crate) struct RestartBreaker {
+    budget: usize,
+    window: Duration,
+    restarts: VecDeque<Instant>,
+}
+
+impl RestartBreaker {
+    pub(crate) fn new(budget: usize, window: Duration) -> Self {
+        RestartBreaker {
+            budget,
+            window,
+            restarts: VecDeque::new(),
+        }
+    }
+
+    /// Records one restart at `now`; returns `true` when the budget is
+    /// exhausted and the server must fail terminally instead of
+    /// restarting.
+    pub(crate) fn record(&mut self, now: Instant) -> bool {
+        while let Some(&front) = self.restarts.front() {
+            if now.saturating_duration_since(front) > self.window {
+                self.restarts.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.restarts.push_back(now);
+        self.restarts.len() > self.budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+
+    #[test]
+    fn breaker_trips_only_past_budget_within_window() {
+        let mut b = RestartBreaker::new(3, Duration::from_secs(1));
+        let t0 = Instant::now();
+        assert!(!b.record(t0));
+        assert!(!b.record(t0 + Duration::from_millis(10)));
+        assert!(!b.record(t0 + Duration::from_millis(20)));
+        // Fourth restart inside the window: trip.
+        assert!(b.record(t0 + Duration::from_millis(30)));
+    }
+
+    #[test]
+    fn breaker_forgets_restarts_outside_window() {
+        let mut b = RestartBreaker::new(2, Duration::from_millis(100));
+        let t0 = Instant::now();
+        assert!(!b.record(t0));
+        assert!(!b.record(t0 + Duration::from_millis(10)));
+        // Both earlier restarts have aged out: the budget is fresh.
+        assert!(!b.record(t0 + Duration::from_millis(500)));
+        assert!(!b.record(t0 + Duration::from_millis(510)));
+        assert!(b.record(t0 + Duration::from_millis(520)));
+    }
+
+    #[test]
+    fn zero_budget_fails_on_first_restart() {
+        let mut b = RestartBreaker::new(0, Duration::from_secs(1));
+        assert!(b.record(Instant::now()));
+    }
+
+    #[test]
+    fn health_board_escalates_monotonically() {
+        let board = HealthBoard::new(2);
+        assert_eq!(board.get(0), ShardHealth::Healthy);
+        board.escalate(0, ShardHealth::Degraded);
+        assert_eq!(board.get(0), ShardHealth::Degraded);
+        board.escalate(0, ShardHealth::Quarantined);
+        // Escalation never reverses.
+        board.escalate(0, ShardHealth::Healthy);
+        assert_eq!(board.get(0), ShardHealth::Quarantined);
+        assert_eq!(
+            board.snapshot(),
+            vec![ShardHealth::Quarantined, ShardHealth::Healthy]
+        );
+    }
+
+    #[test]
+    fn coverage_degraded_flag_tracks_counts() {
+        let full = Coverage::full(vec![0, 1, 2]);
+        assert!(!full.degraded());
+        assert_eq!(full.searched, 3);
+        let partial = Coverage {
+            searched: 2,
+            total: 3,
+            banks: vec![0, 2],
+        };
+        assert!(partial.degraded());
+    }
+}

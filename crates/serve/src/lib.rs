@@ -130,6 +130,63 @@
 //!   every shard — if any shard cannot answer in time, the merged
 //!   request reports `DeadlineExceeded` rather than a partial merge.
 //!
+//! # Failure model
+//!
+//! The serving stack assumes parts of it **will** misbehave — the
+//! paper's own pitch is accuracy *under device-level faults*
+//! (variation-tolerant sensing, the §IV-D write-and-verify loop) —
+//! and extends that stance to the software above the array. Three
+//! guarantees, all exercised by the `chaos`-feature fault-injection
+//! harness (`tests/chaos_props.rs`):
+//!
+//! * **No stranded waiter, ever.** Every submitted ticket resolves
+//!   with a result or an error. The dispatcher wraps batch execution
+//!   and store application in `catch_unwind`: a panic mid-batch
+//!   answers every in-flight waiter with
+//!   [`ServeError::DispatcherFailed`] (never a hang), keeps the owned
+//!   memory, and restarts the loop in place. Dispatcher exit paths
+//!   drain the queue; abandoned responders wake their waiters with
+//!   [`ServeError::ShuttingDown`].
+//! * **Self-healing, with a circuit breaker.** Each recovery
+//!   increments the [`ServeStats::restarts`] counter. More than
+//!   [`ServeConfig::restart_budget`] restarts within any
+//!   [`ServeConfig::restart_window`] trips the breaker: the server
+//!   transitions to a **terminal failed state**
+//!   ([`ServeStats::failed`], [`ServeHandle::is_failed`]) instead of
+//!   crash-looping — every subsequent request is rejected with
+//!   `DispatcherFailed`, and [`McamServer::shutdown`] still recovers
+//!   the memory. Results after a successful self-heal are
+//!   bit-identical to direct search (the memory was never shared with
+//!   the panicking batch).
+//! * **Degraded coverage beats no answer.** A [`ShardedServer`]
+//!   tracks per-shard health ([`ShardHealth`]): a shard whose
+//!   dispatcher failed terminally (or whose channel closed) is
+//!   **quarantined** — fan-out skips it — and a shard that misses the
+//!   per-shard deadline ([`ServeConfig::shard_timeout`]) is marked
+//!   degraded and loses its contribution to that merge. Merges
+//!   complete over the surviving shards and carry a [`Coverage`]
+//!   record (banks searched / banks intended, the exact contributing
+//!   bank set) through [`ShardTicket::wait_covered`],
+//!   [`ServingTicket::wait_covered`], and
+//!   [`ServedNn::query_with_coverage`]. A degraded answer is the
+//!   *exact* merge over `Coverage::banks` (checkable against
+//!   [`BankedMcam::search_masked_with`]). The policy knob
+//!   [`ServeConfig::degraded_policy`] picks fail-open (default:
+//!   return the partial answer with its coverage) or fail-closed
+//!   (reject with [`ServeError::Degraded`]). Routed searches whose
+//!   banks all live on quarantined shards fall back to a full sweep
+//!   of the surviving shards. A poisoned router lock degrades to full
+//!   fan-out (a recall-safe superset) instead of panicking clients.
+//!
+//! Error taxonomy: [`ServeError::Overloaded`] (admission),
+//! [`ServeError::DeadlineExceeded`] (the request's own budget),
+//! [`ServeError::ShuttingDown`] (orderly exit),
+//! [`ServeError::DispatcherFailed`] (a crash was absorbed on the
+//! request's behalf), [`ServeError::Degraded`] (partial coverage
+//! under fail-closed policy), and [`ServeError::Core`] (the search
+//! itself failed). Everything maps onto `femcam_core::CoreError` for
+//! engine-trait callers.
+//!
 //! # Example
 //!
 //! ```
@@ -151,7 +208,7 @@
 //! // Writes go through the same dispatcher; later searches see them.
 //! let new_row = handle.store(&[4, 4, 4, 4])?;
 //! assert_eq!(handle.search(&[4, 4, 4, 4])?.0, new_row);
-//! let memory = server.shutdown(); // returns the live memory
+//! let memory = server.shutdown()?; // returns the live memory
 //! assert_eq!(memory.n_rows(), 4);
 //! # Ok(())
 //! # }
@@ -159,11 +216,20 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// The serving stack's failure model forbids panicking on client or
+// dispatcher threads: every `unwrap`/`expect` in library code needs an
+// explicit, justified allow (CI runs clippy with `-D warnings`).
+#![warn(clippy::unwrap_used)]
+#![warn(clippy::expect_used)]
 
+#[cfg(feature = "chaos")]
+pub mod fault;
+mod health;
 mod nn;
 mod shard;
 mod stats;
 
+pub use health::{Coverage, Covered, DegradedPolicy, ShardHealth};
 pub use nn::ServedNn;
 pub use shard::{
     ServingHandle, ServingTicket, ShardTicket, ShardTopKTicket, ShardedHandle, ShardedServer,
@@ -173,7 +239,8 @@ pub use stats::ServeStats;
 
 use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
@@ -182,6 +249,7 @@ use std::time::{Duration, Instant};
 use femcam_core::exec::validate_query;
 use femcam_core::{par, BankedMcam, CoreError, PlanMemoryBytes, Precision, RoutedMcam};
 
+use health::RestartBreaker;
 use stats::StatsInner;
 
 /// Configuration of a [`McamServer`].
@@ -208,6 +276,28 @@ pub struct ServeConfig {
     /// the live [`BankedMcam::plan_memory_bytes`] by
     /// [`ServeHandle::memory_report`].
     pub plan_budget_bytes: Option<usize>,
+    /// How many dispatcher self-heals (panic → recover → restart) are
+    /// tolerated within [`restart_window`](Self::restart_window)
+    /// before the circuit breaker trips the server into its terminal
+    /// failed state (default 8). See the
+    /// [module-level "Failure model"](self#failure-model).
+    pub restart_budget: usize,
+    /// Sliding window the restart budget applies over (default 1 s).
+    pub restart_window: Duration,
+    /// Per-shard merge deadline of a [`ShardedServer`]: a shard that
+    /// has not answered a fanned request within this budget loses its
+    /// contribution (the merge completes over the survivors, with the
+    /// loss recorded in the result's [`Coverage`]). `None` (default)
+    /// waits indefinitely. Ignored by a single-dispatcher server.
+    pub shard_timeout: Option<Duration>,
+    /// What a sharded merge does when coverage is incomplete: return
+    /// the partial answer with its [`Coverage`] (fail-open, default)
+    /// or reject with [`ServeError::Degraded`] (fail-closed).
+    pub degraded_policy: DegradedPolicy,
+    /// Fault-injection schedule installed on server start (chaos
+    /// testing only — see [`fault`]). `None` injects nothing.
+    #[cfg(feature = "chaos")]
+    pub faults: Option<fault::FaultPlan>,
 }
 
 impl Default for ServeConfig {
@@ -218,6 +308,12 @@ impl Default for ServeConfig {
             precision: Precision::F64,
             queue_capacity: None,
             plan_budget_bytes: None,
+            restart_budget: 8,
+            restart_window: Duration::from_secs(1),
+            shard_timeout: None,
+            degraded_policy: DegradedPolicy::FailOpen,
+            #[cfg(feature = "chaos")]
+            faults: None,
         }
     }
 }
@@ -252,6 +348,26 @@ pub enum ServeError {
         /// How long the request actually sat queued before rejection.
         waited: Duration,
     },
+    /// The dispatcher panicked while this request was in flight (the
+    /// panic was caught; the request was answered instead of
+    /// stranded), or the restart circuit breaker has tripped and the
+    /// server is in its terminal failed state. See the
+    /// [module-level "Failure model"](self#failure-model).
+    DispatcherFailed {
+        /// The panic payload message, or the breaker-trip reason.
+        detail: String,
+    },
+    /// A sharded merge completed with incomplete coverage (a shard was
+    /// quarantined or timed out) and the server's
+    /// [`DegradedPolicy::FailClosed`] policy refused the partial
+    /// answer. Under the default fail-open policy this error is only
+    /// produced when **no** shard answered at all.
+    Degraded {
+        /// Banks that contributed to the merge.
+        searched: usize,
+        /// Banks the request intended to search.
+        total: usize,
+    },
     /// The underlying search or store failed.
     Core(CoreError),
 }
@@ -268,6 +384,12 @@ impl fmt::Display for ServeError {
                 f,
                 "deadline exceeded before execution (budget {budget:?}, waited {waited:?})"
             ),
+            ServeError::DispatcherFailed { detail } => {
+                write!(f, "serving dispatcher failed: {detail}")
+            }
+            ServeError::Degraded { searched, total } => {
+                write!(f, "degraded coverage: searched {searched} of {total} banks")
+            }
             ServeError::Core(e) => write!(f, "search failed: {e}"),
         }
     }
@@ -301,6 +423,10 @@ impl From<ServeError> for CoreError {
             ServeError::DeadlineExceeded { .. } => CoreError::Unavailable {
                 reason: "request deadline exceeded before execution",
             },
+            ServeError::DispatcherFailed { .. } => CoreError::Unavailable {
+                reason: "serving dispatcher failed",
+            },
+            ServeError::Degraded { searched, total } => CoreError::Degraded { searched, total },
         }
     }
 }
@@ -369,6 +495,31 @@ impl<T> OneShot<T> {
             }
         }
     }
+
+    /// [`wait`](Self::wait) with an absolute give-up instant: `None`
+    /// means the slot was still pending at `deadline` (the waiter
+    /// abandons it — a later fulfillment lands in a slot nobody reads,
+    /// which is harmless).
+    fn wait_deadline(&self, deadline: Instant) -> Option<Result<T, ServeError>> {
+        let mut st = lock(&self.state);
+        loop {
+            match std::mem::replace(&mut *st, SlotState::Pending) {
+                SlotState::Done(r) => return Some(r),
+                SlotState::Abandoned => return Some(Err(ServeError::ShuttingDown)),
+                SlotState::Pending => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return None;
+                    }
+                    let (guard, _timed_out) = self
+                        .cv
+                        .wait_timeout(st, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    st = guard;
+                }
+            }
+        }
+    }
 }
 
 /// The dispatcher-side half of a one-shot: fulfilling it wakes the
@@ -423,6 +574,9 @@ impl<T> Drop for Responder<T> {
 #[derive(Debug)]
 pub struct Ticket {
     slot: Arc<OneShot<(usize, f64)>>,
+    /// Banks the served memory held at submission — a
+    /// single-dispatcher answer always covers all of them.
+    banks: usize,
 }
 
 impl Ticket {
@@ -434,8 +588,37 @@ impl Ticket {
     ///   empty).
     /// * [`ServeError::ShuttingDown`] if the server exited before
     ///   answering.
+    /// * [`ServeError::DispatcherFailed`] if the dispatcher panicked
+    ///   with this request in flight (the panic was caught on its
+    ///   behalf) or has failed terminally.
     pub fn wait(self) -> Result<(usize, f64), ServeError> {
         self.slot.wait()
+    }
+
+    /// [`wait`](Self::wait), with the result's [`Coverage`] record. A
+    /// single-dispatcher answer is always full coverage (there is one
+    /// memory; it either answers over all of its banks or errors).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`wait`](Self::wait).
+    pub fn wait_covered(self) -> Result<Covered<(usize, f64)>, ServeError> {
+        let coverage = Coverage::full((0..self.banks).collect());
+        self.slot.wait().map(|value| Covered { value, coverage })
+    }
+
+    /// [`wait`](Self::wait) with an absolute give-up instant; `None`
+    /// abandons the ticket still unanswered.
+    pub(crate) fn wait_deadline(
+        self,
+        deadline: Instant,
+    ) -> Option<Result<(usize, f64), ServeError>> {
+        self.slot.wait_deadline(deadline)
+    }
+
+    /// Banks the served memory held at submission.
+    pub(crate) fn banks_count(&self) -> usize {
+        self.banks
     }
 }
 
@@ -444,6 +627,7 @@ impl Ticket {
 #[derive(Debug)]
 pub struct TopKTicket {
     slot: Arc<OneShot<Vec<(usize, f64)>>>,
+    banks: usize,
 }
 
 impl TopKTicket {
@@ -454,6 +638,31 @@ impl TopKTicket {
     /// Same conditions as [`Ticket::wait`].
     pub fn wait(self) -> Result<Vec<(usize, f64)>, ServeError> {
         self.slot.wait()
+    }
+
+    /// [`wait`](Self::wait), with the (always-full) [`Coverage`]
+    /// record — see [`Ticket::wait_covered`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`wait`](Self::wait).
+    pub fn wait_covered(self) -> Result<Covered<Vec<(usize, f64)>>, ServeError> {
+        let coverage = Coverage::full((0..self.banks).collect());
+        self.slot.wait().map(|value| Covered { value, coverage })
+    }
+
+    /// [`wait`](Self::wait) with an absolute give-up instant; `None`
+    /// abandons the ticket still unanswered.
+    pub(crate) fn wait_deadline(
+        self,
+        deadline: Instant,
+    ) -> Option<Result<Vec<(usize, f64)>, ServeError>> {
+        self.slot.wait_deadline(deadline)
+    }
+
+    /// Banks the served memory held at submission.
+    pub(crate) fn banks_count(&self) -> usize {
+        self.banks
     }
 }
 
@@ -502,6 +711,17 @@ struct Shared {
     deadline_rejected: AtomicU64,
     stats: Mutex<StatsInner>,
     started: Instant,
+    /// Banks the served memory currently holds (maintained by the
+    /// dispatcher after each store) — the denominator of full
+    /// [`Coverage`] records.
+    n_banks: AtomicUsize,
+    /// Dispatcher self-heals so far (caught panic → restart).
+    restarts: AtomicU64,
+    /// Terminal failed state: the restart circuit breaker tripped.
+    failed: AtomicBool,
+    /// Installed fault-injection schedule (chaos testing).
+    #[cfg(feature = "chaos")]
+    faults: Option<fault::FaultPlan>,
 }
 
 /// Cloneable client handle to a running [`McamServer`].
@@ -596,6 +816,12 @@ impl ServeHandle {
         self.enqueue_search(query, deadline)
     }
 
+    /// The error a request gets when the dispatcher is gone: terminal
+    /// failure (breaker tripped) outranks orderly shutdown.
+    pub(crate) fn exit_error(&self) -> ServeError {
+        exit_error(&self.shared)
+    }
+
     /// Enqueues a search whose admission slot the caller already
     /// holds (a failed send releases it).
     pub(crate) fn enqueue_search(
@@ -610,11 +836,12 @@ impl ServeHandle {
             deadline,
             responder,
         });
+        let banks = self.shared.n_banks.load(Ordering::Relaxed);
         if self.tx.send(request).is_err() {
             self.release_slot();
-            return Err(ServeError::ShuttingDown);
+            return Err(self.exit_error());
         }
-        Ok(Ticket { slot })
+        Ok(Ticket { slot, banks })
     }
 
     /// Releases one admission slot reserved by
@@ -627,7 +854,28 @@ impl ServeHandle {
 
     /// Admit-or-reject atomically: a check-then-increment would let
     /// concurrent submitters race past the capacity bound together.
+    /// A terminally-failed server rejects everything with
+    /// [`ServeError::DispatcherFailed`].
     pub(crate) fn admit(&self) -> Result<(), ServeError> {
+        if self.shared.failed.load(Ordering::SeqCst) {
+            return Err(self.exit_error());
+        }
+        #[cfg(feature = "chaos")]
+        if let Some(plan) = &self.shared.faults {
+            // Forced overload at admission; other kinds are harmless
+            // here (a client thread must never panic on injection).
+            match plan.sample(fault::FaultSite::Admission) {
+                Some(fault::FaultKind::Overload) => {
+                    self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(ServeError::Overloaded {
+                        depth: self.shared.depth.load(Ordering::Relaxed),
+                        capacity: self.shared.capacity,
+                    });
+                }
+                Some(fault::FaultKind::Delay(d)) => std::thread::sleep(d),
+                Some(fault::FaultKind::Panic) | None => {}
+            }
+        }
         let admitted =
             self.shared
                 .depth
@@ -717,11 +965,12 @@ impl ServeHandle {
             deadline,
             responder,
         });
+        let banks = self.shared.n_banks.load(Ordering::Relaxed);
         if self.tx.send(request).is_err() {
             self.release_slot();
-            return Err(ServeError::ShuttingDown);
+            return Err(self.exit_error());
         }
-        Ok(TopKTicket { slot })
+        Ok(TopKTicket { slot, banks })
     }
 
     /// The `k` nearest rows for one query, nearest first — blocking
@@ -747,7 +996,11 @@ impl ServeHandle {
     ///
     /// * [`ServeError::Core`] for malformed words (validated here, like
     ///   queries).
-    /// * [`ServeError::ShuttingDown`] when the server has exited.
+    /// * [`ServeError::ShuttingDown`] when the server has exited, or
+    ///   [`ServeError::DispatcherFailed`] when it failed terminally or
+    ///   panicked while applying this store (an injected or real store
+    ///   panic is caught *before* the word is applied — a failed store
+    ///   never half-mutates the memory).
     pub fn store(&self, word: &[u8]) -> Result<usize, ServeError> {
         validate_query(self.shared.word_len, self.shared.n_levels, word)?;
         let (responder, slot) = Responder::new();
@@ -756,7 +1009,7 @@ impl ServeHandle {
                 word: word.to_vec(),
                 responder,
             })
-            .map_err(|_| ServeError::ShuttingDown)?;
+            .map_err(|_| self.exit_error())?;
         slot.wait()
     }
 
@@ -764,12 +1017,13 @@ impl ServeHandle {
     ///
     /// # Errors
     ///
-    /// [`ServeError::ShuttingDown`] when the server has exited.
+    /// [`ServeError::ShuttingDown`] when the server has exited,
+    /// [`ServeError::DispatcherFailed`] when it failed terminally.
     pub fn memory_report(&self) -> Result<MemoryReport, ServeError> {
         let (responder, slot) = Responder::new();
         self.tx
             .send(Request::Report { responder })
-            .map_err(|_| ServeError::ShuttingDown)?;
+            .map_err(|_| self.exit_error())?;
         slot.wait()
     }
 
@@ -788,6 +1042,8 @@ impl ServeHandle {
             self.shared.started.elapsed(),
             self.queue_depth(),
             self.queue_capacity(),
+            self.restarts(),
+            self.is_failed(),
         )
     }
 
@@ -801,6 +1057,28 @@ impl ServeHandle {
     #[must_use]
     pub fn queue_capacity(&self) -> usize {
         self.shared.capacity
+    }
+
+    /// Dispatcher self-heals (caught panic → restart) so far.
+    #[must_use]
+    pub fn restarts(&self) -> u64 {
+        self.shared.restarts.load(Ordering::Relaxed)
+    }
+
+    /// Banks the served memory holds right now (maintained by the
+    /// dispatcher after every store) — what a sharded front end
+    /// charges as lost coverage when this shard cannot answer.
+    pub(crate) fn banks_snapshot(&self) -> usize {
+        self.shared.n_banks.load(Ordering::Relaxed)
+    }
+
+    /// `true` once the restart circuit breaker tripped: the server is
+    /// terminally failed and rejects every request with
+    /// [`ServeError::DispatcherFailed`] (the memory is still
+    /// recoverable through [`McamServer::shutdown`]).
+    #[must_use]
+    pub fn is_failed(&self) -> bool {
+        self.shared.failed.load(Ordering::SeqCst)
     }
 }
 
@@ -909,10 +1187,18 @@ impl McamServer {
             deadline_rejected: AtomicU64::new(0),
             stats: Mutex::new(StatsInner::default()),
             started: Instant::now(),
+            n_banks: AtomicUsize::new(memory.as_banked().n_banks()),
+            restarts: AtomicU64::new(0),
+            failed: AtomicBool::new(false),
+            #[cfg(feature = "chaos")]
+            faults: config.faults.clone(),
         });
         let (tx, rx) = mpsc::channel();
         let dispatcher_shared = Arc::clone(&shared);
         let dispatcher_config = config.clone();
+        // A documented startup panic, not a runtime panic path: the
+        // server cannot exist without its dispatcher thread.
+        #[allow(clippy::expect_used)]
         let dispatcher = std::thread::Builder::new()
             .name("femcam-serve".into())
             .spawn(move || dispatch(memory, &rx, &dispatcher_shared, &dispatcher_config))
@@ -945,19 +1231,22 @@ impl McamServer {
     }
 
     /// Stops the dispatcher (already-queued requests are answered with
-    /// [`ServeError::ShuttingDown`]) and returns the live memory.
+    /// [`ServeError::ShuttingDown`]) and returns the live memory. A
+    /// server whose restart breaker tripped (terminal `Failed` state)
+    /// still exits cleanly here and hands back its recovered memory.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the dispatcher thread itself panicked.
-    #[must_use]
-    pub fn shutdown(mut self) -> BankedMcam {
+    /// [`ServeError::DispatcherFailed`] if the dispatcher thread died
+    /// outside its supervised region (the memory is lost with it).
+    pub fn shutdown(mut self) -> Result<BankedMcam, ServeError> {
         let _ = self.handle.tx.send(Request::Shutdown);
-        let dispatcher = self
-            .dispatcher
-            .take()
-            .expect("dispatcher runs until shutdown");
-        dispatcher.join().expect("serving dispatcher panicked")
+        let Some(dispatcher) = self.dispatcher.take() else {
+            return Err(ServeError::ShuttingDown);
+        };
+        dispatcher.join().map_err(|_| ServeError::DispatcherFailed {
+            detail: "dispatcher thread died outside supervision".into(),
+        })
     }
 }
 
@@ -1113,12 +1402,22 @@ fn window_timeout(close_at: Instant, now: Instant) -> Option<Duration> {
 
 /// The dispatcher loop: the only code that touches `memory` while the
 /// server runs. Returns the memory on shutdown.
+///
+/// Batch execution and the store path run under `catch_unwind`
+/// supervision: a panic mid-batch is converted into
+/// [`ServeError::DispatcherFailed`] for every in-flight waiter and the
+/// loop restarts in place with the memory it still owns. Restarts are
+/// rate-limited by a [`RestartBreaker`]; exhausting the budget
+/// transitions the server to a terminal `Failed` state (new and queued
+/// requests are answered with the failure) instead of crash-looping.
 fn dispatch(
     mut memory: ServeMemory,
     rx: &Receiver<Request>,
     shared: &Shared,
     config: &ServeConfig,
 ) -> BankedMcam {
+    let mut breaker = RestartBreaker::new(config.restart_budget, config.restart_window);
+    let mut leftover: Option<Request> = None;
     'serve: loop {
         let Ok(first) = rx.recv() else {
             break 'serve; // every handle dropped
@@ -1133,9 +1432,28 @@ fn dispatch(
                     responder.fulfill(Ok(report(memory.as_banked(), config)));
                 }
                 Request::Store { word, responder } => {
-                    let result = memory.store(&word).map_err(ServeError::Core);
-                    responder.fulfill(result);
-                    lock(&shared.stats).stores += 1;
+                    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        #[cfg(feature = "chaos")]
+                        inject(shared, fault::FaultSite::Store);
+                        memory.store(&word).map_err(ServeError::Core)
+                    }));
+                    match outcome {
+                        Ok(result) => {
+                            shared
+                                .n_banks
+                                .store(memory.as_banked().n_banks(), Ordering::Relaxed);
+                            responder.fulfill(result);
+                            lock(&shared.stats).stores += 1;
+                        }
+                        Err(payload) => {
+                            responder.fulfill(Err(ServeError::DispatcherFailed {
+                                detail: panic_detail(payload.as_ref()),
+                            }));
+                            if note_restart(shared, &mut breaker) {
+                                break 'serve;
+                            }
+                        }
+                    }
                 }
                 opener @ (Request::Search(_) | Request::TopK(_)) => {
                     let mut window = Window::with_capacity(config.max_batch);
@@ -1165,28 +1483,93 @@ fn dispatch(
                             }
                         }
                     }
-                    execute_window(&memory, window, shared, config.precision);
+                    if execute_window(&memory, window, shared, config.precision).is_err()
+                        && note_restart(shared, &mut breaker)
+                    {
+                        // Carry the interrupting request into the
+                        // drain, so the breaker trip answers it too.
+                        leftover = pending.take();
+                        break 'serve;
+                    }
                 }
             }
         }
     }
     // Drain: answer anything still queued so no client blocks forever.
+    // An orderly exit answers with `ShuttingDown`, a breaker-tripped
+    // (terminal `Failed`) one with `DispatcherFailed`.
+    if let Some(request) = leftover {
+        answer_exit(request, shared);
+    }
     while let Ok(request) = rx.try_recv() {
-        match request {
-            Request::Search(PendingSearch { responder, .. }) => {
-                shared.depth.fetch_sub(1, Ordering::Relaxed);
-                responder.fulfill(Err(ServeError::ShuttingDown));
-            }
-            Request::TopK(PendingTopK { responder, .. }) => {
-                shared.depth.fetch_sub(1, Ordering::Relaxed);
-                responder.fulfill(Err(ServeError::ShuttingDown));
-            }
-            Request::Store { responder, .. } => responder.fulfill(Err(ServeError::ShuttingDown)),
-            Request::Report { responder } => responder.fulfill(Err(ServeError::ShuttingDown)),
-            Request::Shutdown => {}
-        }
+        answer_exit(request, shared);
     }
     memory.into_banked()
+}
+
+/// The error a dispatcher that is no longer serving hands out:
+/// [`ServeError::DispatcherFailed`] in the terminal `Failed` state,
+/// [`ServeError::ShuttingDown`] on an orderly exit.
+fn exit_error(shared: &Shared) -> ServeError {
+    if shared.failed.load(Ordering::SeqCst) {
+        ServeError::DispatcherFailed {
+            detail: "restart budget exhausted; server is in terminal failed state".into(),
+        }
+    } else {
+        ServeError::ShuttingDown
+    }
+}
+
+/// Answers one drained request with the dispatcher's exit error.
+fn answer_exit(request: Request, shared: &Shared) {
+    match request {
+        Request::Search(PendingSearch { responder, .. }) => {
+            shared.depth.fetch_sub(1, Ordering::Relaxed);
+            responder.fulfill(Err(exit_error(shared)));
+        }
+        Request::TopK(PendingTopK { responder, .. }) => {
+            shared.depth.fetch_sub(1, Ordering::Relaxed);
+            responder.fulfill(Err(exit_error(shared)));
+        }
+        Request::Store { responder, .. } => responder.fulfill(Err(exit_error(shared))),
+        Request::Report { responder } => responder.fulfill(Err(exit_error(shared))),
+        Request::Shutdown => {}
+    }
+}
+
+/// Records one supervised dispatcher restart; returns `true` when the
+/// restart-rate budget is exhausted and the server must transition to
+/// its terminal `Failed` state instead of restarting again.
+fn note_restart(shared: &Shared, breaker: &mut RestartBreaker) -> bool {
+    shared.restarts.fetch_add(1, Ordering::SeqCst);
+    if breaker.record(Instant::now()) {
+        shared.failed.store(true, Ordering::SeqCst);
+        true
+    } else {
+        false
+    }
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "dispatcher panicked with a non-string payload".to_string()
+    }
+}
+
+/// Samples the installed [`fault::FaultPlan`] at `site` and executes
+/// whatever fault it injects (panic/delay) on the calling thread.
+#[cfg(feature = "chaos")]
+fn inject(shared: &Shared, site: fault::FaultSite) {
+    if let Some(plan) = &shared.faults {
+        if let Some(kind) = plan.sample(site) {
+            fault::trigger_dispatcher_fault(kind);
+        }
+    }
 }
 
 /// Executes one collected micro-batch — the winner queries as one
@@ -1194,18 +1577,55 @@ fn dispatch(
 /// at the largest requested `k` (each request's answer truncated to
 /// its own `k`, a prefix of the `k_max` list, so results stay
 /// bit-identical to solo execution) — and fans the results out.
-fn execute_window(memory: &ServeMemory, mut window: Window, shared: &Shared, precision: Precision) {
+///
+/// The sweeps run under `catch_unwind`: a panic answers every request
+/// in the window with [`ServeError::DispatcherFailed`] (slots
+/// released, nobody stranded) and returns `Err` with the panic detail
+/// so the caller can count the restart. The window stays owned out
+/// here — an unwind can never drop a live responder.
+fn execute_window(
+    memory: &ServeMemory,
+    mut window: Window,
+    shared: &Shared,
+    precision: Precision,
+) -> Result<(), String> {
     if window.is_empty() {
-        return;
+        return Ok(());
     }
     let exec_start = Instant::now();
-    let winner_queries: Vec<&[u8]> = window.searches.iter().map(|s| s.query.as_slice()).collect();
-    let winners = memory.search_batch_winners_with(&winner_queries, precision);
-    drop(winner_queries);
     let k_max = window.topks.iter().map(|t| t.k).max().unwrap_or(0);
-    let topk_queries: Vec<&[u8]> = window.topks.iter().map(|t| t.query.as_slice()).collect();
-    let topk_hits = memory.search_batch_top_k_with(&topk_queries, k_max, precision);
-    drop(topk_queries);
+    let sweeps = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        #[cfg(feature = "chaos")]
+        inject(shared, fault::FaultSite::PreBatch);
+        let winner_queries: Vec<&[u8]> =
+            window.searches.iter().map(|s| s.query.as_slice()).collect();
+        let winners = memory.search_batch_winners_with(&winner_queries, precision);
+        drop(winner_queries);
+        let topk_queries: Vec<&[u8]> = window.topks.iter().map(|t| t.query.as_slice()).collect();
+        let topk_hits = memory.search_batch_top_k_with(&topk_queries, k_max, precision);
+        drop(topk_queries);
+        #[cfg(feature = "chaos")]
+        inject(shared, fault::FaultSite::PostBatch);
+        (winners, topk_hits)
+    }));
+    let (winners, topk_hits) = match sweeps {
+        Ok(pair) => pair,
+        Err(payload) => {
+            let detail = panic_detail(payload.as_ref());
+            shared.depth.fetch_sub(window.len(), Ordering::Relaxed);
+            for s in window.searches.drain(..) {
+                s.responder.fulfill(Err(ServeError::DispatcherFailed {
+                    detail: detail.clone(),
+                }));
+            }
+            for t in window.topks.drain(..) {
+                t.responder.fulfill(Err(ServeError::DispatcherFailed {
+                    detail: detail.clone(),
+                }));
+            }
+            return Err(detail);
+        }
+    };
     let exec_ns = exec_start.elapsed().as_nanos();
     let size = window.len();
     {
@@ -1259,6 +1679,7 @@ fn execute_window(memory: &ServeMemory, mut window: Window, shared: &Shared, pre
             }
         }
     }
+    Ok(())
 }
 
 fn report(memory: &BankedMcam, config: &ServeConfig) -> MemoryReport {
@@ -1273,6 +1694,7 @@ fn report(memory: &BankedMcam, config: &ServeConfig) -> MemoryReport {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use femcam_core::{ConductanceLut, LevelLadder};
     use femcam_device::FefetModel;
@@ -1342,7 +1764,7 @@ mod tests {
         let report = handle.memory_report().unwrap();
         assert_eq!(report.rows, 2);
         assert_eq!(report.word_len, 4);
-        let memory = server.shutdown();
+        let memory = server.shutdown().unwrap();
         assert_eq!(memory.n_rows(), 2);
     }
 

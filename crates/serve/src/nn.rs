@@ -4,10 +4,13 @@
 //! engine trait transparently gains micro-batched execution.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use femcam_core::{BankedMcam, CoreError, NnIndex, Precision, Quantizer, QueryResult, RoutedMcam};
+use rand::{rngs::StdRng, Rng, SeedableRng};
 
+use crate::health::Coverage;
 use crate::{
     McamServer, ServeConfig, ServeError, ServeStats, ServingHandle, ServingTicket, ShardedServer,
 };
@@ -30,6 +33,52 @@ const OVERLOAD_BACKOFF_START: Duration = Duration::from_micros(50);
 /// backoff still probes the queue several times within
 /// [`OVERLOAD_PATIENCE`].
 const OVERLOAD_BACKOFF_MAX: Duration = Duration::from_millis(2);
+
+/// Seeds for per-call-site backoff RNGs: a plain counter, so every
+/// retry loop gets a distinct, reproducible stream without sharing
+/// state.
+static BACKOFF_SEED: AtomicU64 = AtomicU64::new(0x5eed);
+
+/// Jittered exponential backoff for overload retries: each sleep is
+/// drawn uniformly from `[base/2, base]`, then the base doubles
+/// (capped at [`OVERLOAD_BACKOFF_MAX`]).
+///
+/// The jitter decorrelates retriers — with a deterministic schedule,
+/// every client rejected by the same saturated queue re-probes at the
+/// same instants and collides again on each freed slot. The total wait
+/// stays bounded: bases sum geometrically, so the sleeps consumed
+/// before a patience budget `P` is observed spent add up to at most
+/// `P + OVERLOAD_BACKOFF_MAX` (the loop checks the budget before each
+/// sleep, and one final capped sleep may follow the last check).
+#[derive(Debug)]
+struct Backoff {
+    base: Duration,
+    rng: StdRng,
+}
+
+impl Backoff {
+    fn new() -> Self {
+        Backoff {
+            base: OVERLOAD_BACKOFF_START,
+            rng: StdRng::seed_from_u64(BACKOFF_SEED.fetch_add(1, Ordering::Relaxed)),
+        }
+    }
+
+    /// The next sleep: uniform in `[base/2, base]`; the base doubles
+    /// for the draw after, bounded by [`OVERLOAD_BACKOFF_MAX`].
+    fn next_delay(&mut self) -> Duration {
+        let base = u64::try_from(self.base.as_nanos()).unwrap_or(u64::MAX);
+        let jittered = self.rng.gen_range(base / 2..=base);
+        self.base = (self.base * 2).min(OVERLOAD_BACKOFF_MAX);
+        Duration::from_nanos(jittered)
+    }
+
+    /// Back to the starting delay (a slot was obtained; the next
+    /// overload episode is a fresh one).
+    fn reset(&mut self) {
+        self.base = OVERLOAD_BACKOFF_START;
+    }
+}
 
 /// A labelled NN engine serving through a [`McamServer`].
 ///
@@ -199,12 +248,41 @@ impl ServedNn {
 
     /// Shuts the server down and returns the live memory (a sharded
     /// back end reassembles its partition first).
-    #[must_use]
-    pub fn into_memory(self) -> BankedMcam {
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Unavailable`] if a dispatcher thread died outside
+    /// supervision, so its part of the memory is unrecoverable.
+    pub fn into_memory(self) -> femcam_core::Result<BankedMcam> {
         match self.server {
             Server::Single(s) => s.shutdown(),
             Server::Sharded(s) => s.shutdown(),
         }
+        .map_err(CoreError::from)
+    }
+
+    /// Like [`NnIndex::query`], but also reports the [`Coverage`] the
+    /// winner was merged over: full on a healthy server, partial when
+    /// a sharded back end lost shards and the fail-open policy
+    /// answered from the survivors.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NnIndex::query`], plus
+    /// [`CoreError::Degraded`] under the fail-closed policy when
+    /// coverage is partial.
+    pub fn query_with_coverage(
+        &self,
+        features: &[f32],
+    ) -> femcam_core::Result<(QueryResult, Coverage)> {
+        let levels = self.quantizer.quantize(features)?;
+        let covered = self
+            .handle
+            .submit(&levels)
+            .and_then(ServingTicket::wait_covered)
+            .map_err(CoreError::from)?;
+        let (index, score) = covered.value;
+        Ok((self.result(index, score)?, covered.coverage))
     }
 
     fn result(&self, index: usize, score: f64) -> femcam_core::Result<QueryResult> {
@@ -265,7 +343,7 @@ impl NnIndex for ServedNn {
         // `query_batch` instead of failing a previously
         // always-answered call.
         let mut overloaded_since: Option<Instant> = None;
-        let mut backoff = OVERLOAD_BACKOFF_START;
+        let mut backoff = Backoff::new();
         let hits = loop {
             match self.handle.search_top_k(&levels, k) {
                 Ok(hits) => break hits,
@@ -277,8 +355,7 @@ impl NnIndex for ServedNn {
                             waited_us: u64::try_from(waited.as_micros()).unwrap_or(u64::MAX),
                         });
                     }
-                    std::thread::sleep(backoff);
-                    backoff = (backoff * 2).min(OVERLOAD_BACKOFF_MAX);
+                    std::thread::sleep(backoff.next_delay());
                 }
                 Err(e) => return Err(CoreError::from(e)),
             }
@@ -306,7 +383,7 @@ impl NnIndex for ServedNn {
         // query order.
         let mut in_flight: VecDeque<ServingTicket> = VecDeque::new();
         let mut overloaded_since: Option<Instant> = None;
-        let mut backoff = OVERLOAD_BACKOFF_START;
+        let mut backoff = Backoff::new();
         let mut pending = levels.iter();
         let mut next = pending.next();
         while let Some(level) = next {
@@ -314,30 +391,32 @@ impl NnIndex for ServedNn {
                 Ok(ticket) => {
                     in_flight.push_back(ticket);
                     overloaded_since = None;
-                    backoff = OVERLOAD_BACKOFF_START;
+                    backoff.reset();
                     next = pending.next();
                 }
-                Err(ServeError::Overloaded { .. }) if !in_flight.is_empty() => {
-                    let ticket = in_flight.pop_front().expect("nonempty");
-                    let (index, score) = ticket.wait().map_err(CoreError::from)?;
-                    out.push(self.result(index, score)?);
-                }
-                // Foreign traffic saturates the queue with none of our
-                // own work outstanding: back off exponentially (bounded
-                // at a few batching windows) instead of hammering the
-                // saturated queue, and give up once the patience budget
-                // is spent — surfacing how long the queue stayed
-                // saturated.
                 Err(ServeError::Overloaded { .. }) => {
-                    let since = *overloaded_since.get_or_insert_with(Instant::now);
-                    let waited = since.elapsed();
-                    if waited > OVERLOAD_PATIENCE {
-                        return Err(CoreError::Overloaded {
-                            waited_us: u64::try_from(waited.as_micros()).unwrap_or(u64::MAX),
-                        });
+                    if let Some(ticket) = in_flight.pop_front() {
+                        // Our own work fills the queue: drain the
+                        // oldest ticket to free a slot.
+                        let (index, score) = ticket.wait().map_err(CoreError::from)?;
+                        out.push(self.result(index, score)?);
+                    } else {
+                        // Foreign traffic saturates the queue with none
+                        // of our own work outstanding: back off
+                        // exponentially (bounded at a few batching
+                        // windows) instead of hammering the saturated
+                        // queue, and give up once the patience budget
+                        // is spent — surfacing how long the queue
+                        // stayed saturated.
+                        let since = *overloaded_since.get_or_insert_with(Instant::now);
+                        let waited = since.elapsed();
+                        if waited > OVERLOAD_PATIENCE {
+                            return Err(CoreError::Overloaded {
+                                waited_us: u64::try_from(waited.as_micros()).unwrap_or(u64::MAX),
+                            });
+                        }
+                        std::thread::sleep(backoff.next_delay());
                     }
-                    std::thread::sleep(backoff);
-                    backoff = (backoff * 2).min(OVERLOAD_BACKOFF_MAX);
                 }
                 Err(e) => return Err(CoreError::from(e)),
             }
@@ -384,6 +463,8 @@ impl NnIndex for ServedNn {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use femcam_core::{ConductanceLut, LevelLadder, McamNn, QuantizeStrategy};
     use femcam_device::FefetModel;
@@ -535,7 +616,7 @@ mod tests {
         for (b, &l) in batched.iter().zip(&labels) {
             assert_eq!(b.label, l);
         }
-        let memory = served.into_memory();
+        let memory = served.into_memory().unwrap();
         assert_eq!(memory.n_rows(), features.len());
     }
 
@@ -587,6 +668,56 @@ mod tests {
             served.query_k_batch(&[], 3),
             Err(CoreError::EmptyArray)
         ));
+    }
+
+    #[test]
+    fn backoff_jitter_stays_within_bounds_and_doubles() {
+        let mut backoff = Backoff::new();
+        let mut expected_base = OVERLOAD_BACKOFF_START;
+        for _ in 0..16 {
+            let delay = backoff.next_delay();
+            assert!(
+                delay >= expected_base / 2 && delay <= expected_base,
+                "delay {delay:?} outside [{:?}, {expected_base:?}]",
+                expected_base / 2,
+            );
+            expected_base = (expected_base * 2).min(OVERLOAD_BACKOFF_MAX);
+        }
+        // After enough doublings the ceiling binds: every further draw
+        // lands in [MAX/2, MAX].
+        let delay = backoff.next_delay();
+        assert!(delay >= OVERLOAD_BACKOFF_MAX / 2 && delay <= OVERLOAD_BACKOFF_MAX);
+        // And reset() restarts the schedule from the first delay.
+        backoff.reset();
+        let delay = backoff.next_delay();
+        assert!(delay >= OVERLOAD_BACKOFF_START / 2 && delay <= OVERLOAD_BACKOFF_START);
+    }
+
+    #[test]
+    fn backoff_total_wait_is_bounded() {
+        // Bounded-total-wait contract: the retry loops check the
+        // patience budget before each sleep, so the sleeps consumed
+        // until the budget is observed spent sum to at most
+        // PATIENCE + BACKOFF_MAX — jitter must not break this.
+        for _ in 0..8 {
+            let mut backoff = Backoff::new();
+            let mut total = Duration::ZERO;
+            while total <= OVERLOAD_PATIENCE {
+                total += backoff.next_delay();
+            }
+            assert!(total <= OVERLOAD_PATIENCE + OVERLOAD_BACKOFF_MAX);
+        }
+    }
+
+    #[test]
+    fn distinct_backoffs_draw_distinct_schedules() {
+        // Jitter exists to decorrelate concurrent retriers: two loops
+        // started back to back must not sleep in lockstep.
+        let mut a = Backoff::new();
+        let mut b = Backoff::new();
+        let schedule_a: Vec<Duration> = (0..8).map(|_| a.next_delay()).collect();
+        let schedule_b: Vec<Duration> = (0..8).map(|_| b.next_delay()).collect();
+        assert_ne!(schedule_a, schedule_b);
     }
 
     #[test]

@@ -34,6 +34,9 @@ use std::time::{Duration, Instant};
 use femcam_core::exec::validate_query;
 use femcam_core::{BankedMcam, CoreError, LshRouter, RoutedMcam};
 
+#[cfg(feature = "chaos")]
+use crate::fault;
+use crate::health::{Coverage, Covered, DegradedPolicy, HealthBoard, ShardHealth};
 use crate::{
     McamServer, MemoryReport, ServeConfig, ServeError, ServeHandle, ServeStats, Ticket, TopKTicket,
 };
@@ -122,6 +125,18 @@ impl ShardedServer {
         for (i, part) in parts.iter().enumerate() {
             bank_shard.resize(bank_shard.len() + part.n_banks(), i);
         }
+        // Global bank base of each shard: banks held by earlier shards.
+        // Stores only ever grow the tail, and every shard after the
+        // tail is permanently empty, so these bases stay exact for the
+        // server's whole life.
+        let bank_bases: Vec<usize> = parts
+            .iter()
+            .scan(0usize, |banks, part| {
+                let base = *banks;
+                *banks += part.n_banks();
+                Some(base)
+            })
+            .collect();
         let bases: Vec<usize> = parts
             .iter()
             .scan(0usize, |rows, part| {
@@ -154,10 +169,16 @@ impl ShardedServer {
             bases: bases.into(),
             targets: targets.into(),
             bank_shard: bank_shard.into(),
+            bank_bases: bank_bases.into(),
             router: router.map(|r| Arc::new(RwLock::new(r))),
             tail,
             word_len,
             n_levels,
+            health: Arc::new(HealthBoard::new(shards)),
+            policy: config.degraded_policy,
+            shard_timeout: config.shard_timeout,
+            #[cfg(feature = "chaos")]
+            faults: config.faults.clone(),
             counters: Arc::new(ClientCounters::default()),
         };
         ShardedServer {
@@ -195,15 +216,32 @@ impl ShardedServer {
 
     /// Stops every shard dispatcher and reassembles the partitioned
     /// memory into one [`BankedMcam`] ([`BankedMcam::concat`]), with
-    /// global rows exactly where an unsharded server left them.
+    /// global rows exactly where an unsharded server left them. Shards
+    /// whose restart breaker tripped still shut down cleanly and
+    /// contribute their recovered memory.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a shard dispatcher thread itself panicked.
-    #[must_use]
-    pub fn shutdown(self) -> BankedMcam {
-        let parts: Vec<BankedMcam> = self.shards.into_iter().map(McamServer::shutdown).collect();
-        BankedMcam::concat(parts).expect("shard partition preserves geometry")
+    /// [`ServeError::DispatcherFailed`] if some shard's dispatcher
+    /// thread died outside its supervised region (that shard's banks
+    /// are lost, so the memory cannot be reassembled), or
+    /// [`ServeError::Core`] if the surviving parts no longer share a
+    /// geometry (cannot happen for parts of one partition).
+    pub fn shutdown(self) -> Result<BankedMcam, ServeError> {
+        let mut parts = Vec::with_capacity(self.shards.len());
+        let mut dead: Vec<usize> = Vec::new();
+        for (i, shard) in self.shards.into_iter().enumerate() {
+            match shard.shutdown() {
+                Ok(part) => parts.push(part),
+                Err(_) => dead.push(i),
+            }
+        }
+        if !dead.is_empty() {
+            return Err(ServeError::DispatcherFailed {
+                detail: format!("shard dispatcher(s) {dead:?} died; their banks are unrecoverable"),
+            });
+        }
+        BankedMcam::concat(parts).map_err(ServeError::Core)
     }
 }
 
@@ -220,15 +258,46 @@ pub struct ShardedHandle {
     /// Bank index → owning shard (contiguous partition ranges); banks
     /// appended after start belong to the tail shard.
     bank_shard: Arc<[usize]>,
+    /// Global bank base of each shard (banks held by earlier shards).
+    bank_bases: Arc<[usize]>,
     /// LSH front-end router ([`ShardedServer::start_routed`]); `None`
     /// fans every search to all targets. Searches take the read lock
-    /// (concurrent), stores the write lock (bucket update).
+    /// (concurrent), stores the write lock (bucket update). A poisoned
+    /// lock degrades routing to the full fan-out, never a panic.
     router: Option<Arc<RwLock<LshRouter>>>,
     /// The shard that owns the append tail (receives every store).
     tail: usize,
     word_len: usize,
     n_levels: usize,
+    /// Shared per-shard health, escalated by whichever client observes
+    /// a failure first.
+    health: Arc<HealthBoard>,
+    /// What to do with a merge that lost coverage.
+    policy: DegradedPolicy,
+    /// Per-shard answer deadline; a shard that misses it is marked
+    /// [`ShardHealth::Degraded`] and its banks drop out of the merge.
+    shard_timeout: Option<Duration>,
+    #[cfg(feature = "chaos")]
+    faults: Option<fault::FaultPlan>,
     counters: Arc<ClientCounters>,
+}
+
+/// One contacted shard's stake in a fanned request: its ticket plus
+/// the global row/bank geometry the merge and coverage accounting
+/// need.
+#[derive(Debug)]
+struct Part<T> {
+    shard: usize,
+    row_base: usize,
+    bank_base: usize,
+    ticket: T,
+}
+
+/// What a fan-out actually reached: tickets on the live shards, plus
+/// the banks intended but unreachable (owning shard quarantined).
+struct FanOut<T> {
+    parts: Vec<Part<T>>,
+    lost_banks: usize,
 }
 
 impl ShardedHandle {
@@ -283,48 +352,135 @@ impl ShardedHandle {
         Ok(Instant::now() + budget)
     }
 
-    /// Two-phase fan-out over the target shards: reserve an admission
-    /// slot on **every** target, then enqueue everywhere via
-    /// `enqueue`. A partial fan-out (enqueue as you admit, bail on
-    /// the first rejection) would leave the already-reached shards
-    /// executing a query nobody waits for — overload on one shard
-    /// would then burn capacity on every healthy shard. With
-    /// reservation up front, the only post-reservation failure is
-    /// shutdown (whose dispatchers drain their queues); the slots of
-    /// targets the enqueue loop never reached are rolled back.
-    /// Returns `(global_row_base, ticket)` per target, ascending.
+    /// Whether fan-out must skip this shard: already on the board as
+    /// quarantined, or its dispatcher's restart breaker tripped (which
+    /// this check is the first to observe — it escalates the board).
+    fn quarantined(&self, shard: usize) -> bool {
+        if self.health.get(shard) == ShardHealth::Quarantined {
+            return true;
+        }
+        if self.shards[shard].is_failed() {
+            self.health.escalate(shard, ShardHealth::Quarantined);
+            return true;
+        }
+        false
+    }
+
+    /// Banks currently charged to `shard` for coverage accounting.
+    fn shard_banks(&self, shard: usize) -> usize {
+        self.shards[shard].banks_snapshot()
+    }
+
+    /// Two-phase fan-out over the intended target shards: reserve an
+    /// admission slot on every **live** target, then enqueue
+    /// everywhere via `enqueue`. A partial fan-out (enqueue as you
+    /// admit, bail on the first rejection) would leave the
+    /// already-reached shards executing a query nobody waits for —
+    /// overload on one shard would then burn capacity on every healthy
+    /// shard; backpressure therefore stays all-or-nothing (a rejection
+    /// rolls the reserved slots back and fails the request). A *dead*
+    /// shard is different: it is quarantined and skipped, its banks
+    /// recorded as lost coverage, and the request proceeds over the
+    /// survivors. Intended targets that are all quarantined fall back
+    /// to a full sweep of the surviving target set (routed searches
+    /// keep answering, degraded, when their routed shards die).
     fn fan_out<T>(
         &self,
-        targets: &[usize],
+        intended: &[usize],
         enqueue: impl Fn(&ServeHandle) -> Result<T, ServeError>,
-    ) -> Result<Vec<(usize, T)>, ServeError> {
-        for (pos, &i) in targets.iter().enumerate() {
-            if let Err(e) = self.shards[i].admit() {
-                for &reserved in &targets[..pos] {
-                    self.shards[reserved].release_slot();
-                }
-                if matches!(e, ServeError::Overloaded { .. }) {
-                    self.counters.rejected.fetch_add(1, Ordering::Relaxed);
-                }
-                return Err(e);
+    ) -> Result<FanOut<T>, ServeError> {
+        let mut lost_shards: Vec<usize> = Vec::new();
+        let mut live: Vec<usize> = Vec::with_capacity(intended.len());
+        for &i in intended {
+            if self.quarantined(i) {
+                lost_shards.push(i);
+            } else {
+                live.push(i);
             }
         }
-        let mut parts = Vec::with_capacity(targets.len());
-        for &i in targets.iter() {
+        if live.is_empty() && !lost_shards.is_empty() {
+            // Every intended shard is gone: surviving-shard full sweep.
+            live = self
+                .targets
+                .iter()
+                .copied()
+                .filter(|&i| !lost_shards.contains(&i) && !self.quarantined(i))
+                .collect();
+        }
+        let mut admitted = Vec::with_capacity(live.len());
+        // Losses from an *orderly* shutdown are not faults: when every
+        // loss this call was a clean `ShuttingDown`, the caller gets
+        // that error back instead of a degraded-coverage verdict.
+        let mut clean_shutdowns = 0usize;
+        for &i in &live {
+            match self.shards[i].admit() {
+                Ok(()) => admitted.push(i),
+                Err(e @ ServeError::Overloaded { .. }) => {
+                    for &reserved in &admitted {
+                        self.shards[reserved].release_slot();
+                    }
+                    self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(e);
+                }
+                Err(ServeError::ShuttingDown) => {
+                    clean_shutdowns += 1;
+                    lost_shards.push(i);
+                }
+                // A terminally-failed shard rejects admission: skip it
+                // and keep the request alive on the survivors.
+                Err(_) => {
+                    self.health.escalate(i, ShardHealth::Quarantined);
+                    lost_shards.push(i);
+                }
+            }
+        }
+        let mut parts: Vec<Part<T>> = Vec::with_capacity(admitted.len());
+        for (pos, &i) in admitted.iter().enumerate() {
             match enqueue(&self.shards[i]) {
-                Ok(ticket) => parts.push((self.bases[i], ticket)),
-                // The failing shard released its own slot inside the
-                // enqueue; the enqueued ones hold queued requests.
+                Ok(ticket) => parts.push(Part {
+                    shard: i,
+                    row_base: self.bases[i],
+                    bank_base: self.bank_bases[i],
+                    ticket,
+                }),
+                // The shard shut down between admit and enqueue (the
+                // enqueue released its own slot): a clean loss, not a
+                // fault worth quarantining over.
+                Err(ServeError::ShuttingDown) => {
+                    clean_shutdowns += 1;
+                    lost_shards.push(i);
+                }
+                // The shard's dispatcher died between admit and
+                // enqueue: quarantine it, count its banks as lost
+                // coverage, and keep the request alive on survivors.
+                Err(ServeError::DispatcherFailed { .. }) => {
+                    self.health.escalate(i, ShardHealth::Quarantined);
+                    lost_shards.push(i);
+                }
+                // Any other enqueue failure aborts the fan-out; roll
+                // back the slots the loop has not reached yet.
                 Err(e) => {
-                    for &unreached in &targets[parts.len() + 1..] {
+                    for &unreached in &admitted[pos + 1..] {
                         self.shards[unreached].release_slot();
                     }
                     return Err(e);
                 }
             }
         }
+        let lost_banks: usize = lost_shards.iter().map(|&i| self.shard_banks(i)).sum();
+        if parts.is_empty() && !lost_shards.is_empty() {
+            // Nothing live at all — not even a fallback survivor.
+            if clean_shutdowns == lost_shards.len() {
+                // The server is going away in an orderly fashion.
+                return Err(ServeError::ShuttingDown);
+            }
+            return Err(ServeError::Degraded {
+                searched: 0,
+                total: lost_banks,
+            });
+        }
         self.counters.submitted.fetch_add(1, Ordering::Relaxed);
-        Ok(parts)
+        Ok(FanOut { parts, lost_banks })
     }
 
     /// The shard subset a (validated) query fans to: the full target
@@ -337,11 +493,17 @@ impl ShardedHandle {
         let Some(router) = &self.router else {
             return Ok(self.targets.to_vec());
         };
-        let banks = router
-            .read()
-            .expect("router lock poisoned")
-            .route(query)
-            .map_err(ServeError::Core)?;
+        #[cfg(feature = "chaos")]
+        self.inject_router_fault(router);
+        let Ok(guard) = router.read() else {
+            // Poisoned router lock: a writer panicked mid-update, so
+            // the buckets may be stale. Degrade to the full fan-out —
+            // a recall-safe superset of any route — instead of
+            // panicking the client thread.
+            return Ok(self.targets.to_vec());
+        };
+        let banks = guard.route(query).map_err(ServeError::Core)?;
+        drop(guard);
         if banks.is_empty() {
             return Ok(self.targets.to_vec());
         }
@@ -364,9 +526,13 @@ impl ShardedHandle {
     ) -> Result<ShardTicket, ServeError> {
         validate_query(self.word_len, self.n_levels, query)?;
         let targets = self.route_targets(query)?;
-        let parts = self.fan_out(&targets, |shard| shard.enqueue_search(query, deadline))?;
+        let fan = self.fan_out(&targets, |shard| shard.enqueue_search(query, deadline))?;
         Ok(ShardTicket {
-            parts,
+            parts: fan.parts,
+            lost_banks: fan.lost_banks,
+            shard_deadline: self.shard_timeout.map(|t| Instant::now() + t),
+            policy: self.policy,
+            health: Arc::clone(&self.health),
             counters: Arc::clone(&self.counters),
         })
     }
@@ -440,11 +606,15 @@ impl ShardedHandle {
     ) -> Result<ShardTopKTicket, ServeError> {
         validate_query(self.word_len, self.n_levels, query)?;
         let targets = self.route_targets(query)?;
-        let parts = self.fan_out(&targets, |shard| shard.enqueue_top_k(query, k, deadline))?;
+        let fan = self.fan_out(&targets, |shard| shard.enqueue_top_k(query, k, deadline))?;
         self.counters.topk_submitted.fetch_add(1, Ordering::Relaxed);
         Ok(ShardTopKTicket {
-            parts,
+            parts: fan.parts,
+            lost_banks: fan.lost_banks,
             k,
+            shard_deadline: self.shard_timeout.map(|t| Instant::now() + t),
+            policy: self.policy,
+            health: Arc::clone(&self.health),
             counters: Arc::clone(&self.counters),
         })
     }
@@ -475,14 +645,37 @@ impl ShardedHandle {
         let global = self.bases[self.tail] + local;
         if let Some(router) = &self.router {
             // Bucket update after the store is applied: the row is
-            // routable the moment any client can observe it.
-            router
-                .write()
-                .expect("router lock poisoned")
-                .note_store(word, global)
-                .map_err(ServeError::Core)?;
+            // routable the moment any client can observe it. A
+            // poisoned lock skips the update — with the router
+            // poisoned, every search already degrades to the full
+            // fan-out, so stale buckets cannot cost recall — and the
+            // store still reports success (the word *is* stored).
+            if let Ok(mut guard) = router.write() {
+                guard.note_store(word, global).map_err(ServeError::Core)?;
+            }
         }
         Ok(global)
+    }
+
+    /// Samples the [`fault::FaultSite::RouterRead`] chaos site: a
+    /// `Panic` poisons the router lock from a sacrificial thread (the
+    /// documented poisoned-router degrade path — a client thread never
+    /// unwinds), a `Delay` sleeps in place.
+    #[cfg(feature = "chaos")]
+    fn inject_router_fault(&self, router: &Arc<RwLock<LshRouter>>) {
+        let Some(plan) = &self.faults else { return };
+        match plan.sample(fault::FaultSite::RouterRead) {
+            Some(fault::FaultKind::Panic) => {
+                let lock = Arc::clone(router);
+                let _ = std::thread::spawn(move || {
+                    let _guard = lock.write();
+                    panic!("{}", fault::CHAOS_PANIC);
+                })
+                .join();
+            }
+            Some(fault::FaultKind::Delay(d)) => std::thread::sleep(d),
+            Some(fault::FaultKind::Overload) | None => {}
+        }
     }
 
     /// Merged live plan-memory report: rows, banks, and resident plan
@@ -505,7 +698,7 @@ impl ShardedHandle {
                 }
             });
         }
-        Ok(merged.expect("at least one shard"))
+        merged.ok_or(ServeError::ShuttingDown)
     }
 
     /// Per-shard and client-level serving statistics.
@@ -517,8 +710,15 @@ impl ShardedHandle {
             rejected: self.counters.rejected.load(Ordering::Relaxed),
             deadline_rejected: self.counters.deadline_rejected.load(Ordering::Relaxed),
             elapsed: self.counters.started.elapsed(),
+            health: self.health.snapshot(),
             per_shard: self.shards.iter().map(ServeHandle::stats).collect(),
         }
+    }
+
+    /// Current per-shard health, in shard order.
+    #[must_use]
+    pub fn shard_health(&self) -> Vec<ShardHealth> {
+        self.health.snapshot()
     }
 
     /// Number of shards this handle fans out to.
@@ -532,38 +732,88 @@ impl ShardedHandle {
 /// merged `(global_row, total_conductance)` winner.
 #[derive(Debug)]
 pub struct ShardTicket {
-    /// `(global_row_base, ticket)` per shard, ascending base order.
-    parts: Vec<(usize, Ticket)>,
+    /// Per-shard stakes, ascending shard (and so global-row) order.
+    parts: Vec<Part<Ticket>>,
+    /// Banks lost before enqueue (quarantined shards).
+    lost_banks: usize,
+    /// Per-shard answer deadline ([`crate::ServeConfig::shard_timeout`]).
+    shard_deadline: Option<Instant>,
+    policy: DegradedPolicy,
+    health: Arc<HealthBoard>,
     counters: Arc<ClientCounters>,
 }
 
 impl ShardTicket {
-    /// Blocks until every shard answered, then merges: ascending
-    /// conductance, exact ties to the lowest global row (the
-    /// contractual banked-merge order). Shards that are empty
-    /// contribute no candidates; if every shard is empty the merged
-    /// request reports [`CoreError::EmptyArray`].
+    /// Blocks for the merged winner, discarding the coverage record —
+    /// see [`wait_covered`](Self::wait_covered).
     ///
     /// # Errors
     ///
-    /// Same conditions as [`Ticket::wait`]; any shard's
-    /// [`ServeError::DeadlineExceeded`] fails the merged request (a
-    /// partial merge is never returned).
+    /// Same conditions as [`wait_covered`](Self::wait_covered).
     pub fn wait(self) -> Result<(usize, f64), ServeError> {
+        self.wait_covered().map(|c| c.value)
+    }
+
+    /// Blocks until every live shard answered (or missed its per-shard
+    /// deadline), then merges: ascending conductance, exact ties to
+    /// the lowest global row (the contractual banked-merge order).
+    /// Shards that are empty contribute no candidates; if every
+    /// covered shard is empty the merged request reports
+    /// [`CoreError::EmptyArray`].
+    ///
+    /// A shard that is gone ([`ServeError::ShuttingDown`] /
+    /// [`ServeError::DispatcherFailed`]) or that missed the per-shard
+    /// deadline drops out of the merge: its banks are recorded as lost
+    /// in the result's [`Coverage`] and its health is escalated. Under
+    /// [`DegradedPolicy::FailOpen`] the merge over the surviving banks
+    /// is returned with `coverage.degraded() == true` — exactly the
+    /// bank-mask merge over `coverage.banks`; under
+    /// [`DegradedPolicy::FailClosed`] (or when *nothing* survived) the
+    /// request fails with [`ServeError::Degraded`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Ticket::wait`], plus
+    /// [`ServeError::Degraded`] as above; any shard's
+    /// [`ServeError::DeadlineExceeded`] (the *request* deadline) still
+    /// fails the merged request.
+    pub fn wait_covered(self) -> Result<Covered<(usize, f64)>, ServeError> {
         let mut best: Option<(usize, f64)> = None;
+        let mut banks: Vec<usize> = Vec::new();
+        let mut lost_banks = self.lost_banks;
         let mut dead: Option<ServeError> = None;
-        for (base, ticket) in self.parts {
-            match ticket.wait() {
+        for part in self.parts {
+            let n_banks = part.ticket.banks_count();
+            let answer = match self.shard_deadline {
+                Some(deadline) => match part.ticket.wait_deadline(deadline) {
+                    Some(answer) => answer,
+                    None => {
+                        // Missed the per-shard deadline: the shard is
+                        // slow, not gone — degraded, banks lost from
+                        // this merge only.
+                        self.health.escalate(part.shard, ShardHealth::Degraded);
+                        lost_banks += n_banks;
+                        continue;
+                    }
+                },
+                None => part.ticket.wait(),
+            };
+            match answer {
                 Ok((local, g)) => {
+                    banks.extend(part.bank_base..part.bank_base + n_banks);
                     // Shards fold in ascending global-row order with a
                     // strict `<`, so exact cross-shard ties keep the
                     // earlier (lower global row) winner — identical to
                     // the in-memory banked merge.
                     if best.is_none_or(|(_, bg)| g < bg) {
-                        best = Some((base + local, g));
+                        best = Some((part.row_base + local, g));
                     }
                 }
-                Err(ServeError::Core(CoreError::EmptyArray)) => {}
+                // An empty shard covered its (zero or more) banks; it
+                // just has no rows to contribute.
+                Err(ServeError::Core(CoreError::EmptyArray)) => {
+                    banks.extend(part.bank_base..part.bank_base + n_banks);
+                }
                 // Expiry on any shard kills the merged request, but
                 // counts once at the client level, however many
                 // shards rejected their copy.
@@ -572,6 +822,11 @@ impl ShardTicket {
                         dead = Some(e);
                     }
                 }
+                // The shard died with this request in flight.
+                Err(ServeError::ShuttingDown | ServeError::DispatcherFailed { .. }) => {
+                    self.health.escalate(part.shard, ShardHealth::Quarantined);
+                    lost_banks += n_banks;
+                }
                 Err(e) => return Err(e),
             }
         }
@@ -581,7 +836,23 @@ impl ShardTicket {
                 .fetch_add(1, Ordering::Relaxed);
             return Err(e);
         }
-        best.ok_or(ServeError::Core(CoreError::EmptyArray))
+        let coverage = Coverage {
+            searched: banks.len(),
+            total: banks.len() + lost_banks,
+            banks,
+        };
+        if coverage.degraded()
+            && (self.policy == DegradedPolicy::FailClosed || coverage.searched == 0)
+        {
+            return Err(ServeError::Degraded {
+                searched: coverage.searched,
+                total: coverage.total,
+            });
+        }
+        match best {
+            Some(value) => Ok(Covered { value, coverage }),
+            None => Err(ServeError::Core(CoreError::EmptyArray)),
+        }
     }
 }
 
@@ -589,35 +860,75 @@ impl ShardTicket {
 /// hits, nearest first.
 #[derive(Debug)]
 pub struct ShardTopKTicket {
-    parts: Vec<(usize, TopKTicket)>,
+    parts: Vec<Part<TopKTicket>>,
+    lost_banks: usize,
     k: usize,
+    shard_deadline: Option<Instant>,
+    policy: DegradedPolicy,
+    health: Arc<HealthBoard>,
     counters: Arc<ClientCounters>,
 }
 
 impl ShardTopKTicket {
-    /// Blocks until every shard answered, then merges the candidate
-    /// lists by ascending `(conductance, global_row)` and truncates to
-    /// `k`. Every global top-`k` row is within its own shard's
-    /// top-`k`, so the merge loses nothing.
+    /// Blocks for the merged hits, discarding the coverage record —
+    /// see [`wait_covered`](Self::wait_covered).
     ///
     /// # Errors
     ///
-    /// Same conditions as [`ShardTicket::wait`].
+    /// Same conditions as [`wait_covered`](Self::wait_covered).
     pub fn wait(self) -> Result<Vec<(usize, f64)>, ServeError> {
+        self.wait_covered().map(|c| c.value)
+    }
+
+    /// Blocks until every live shard answered, then merges the
+    /// candidate lists by ascending `(conductance, global_row)` and
+    /// truncates to `k`. Every global top-`k` row is within its own
+    /// shard's top-`k`, so the merge loses nothing over the covered
+    /// banks. Failed and timed-out shards degrade coverage exactly as
+    /// in [`ShardTicket::wait_covered`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ShardTicket::wait_covered`].
+    pub fn wait_covered(self) -> Result<Covered<Vec<(usize, f64)>>, ServeError> {
         let mut candidates: Vec<(usize, f64)> = Vec::new();
+        let mut banks: Vec<usize> = Vec::new();
+        let mut lost_banks = self.lost_banks;
         let mut any = false;
         let mut dead: Option<ServeError> = None;
-        for (base, ticket) in self.parts {
-            match ticket.wait() {
+        for part in self.parts {
+            let n_banks = part.ticket.banks_count();
+            let answer = match self.shard_deadline {
+                Some(deadline) => match part.ticket.wait_deadline(deadline) {
+                    Some(answer) => answer,
+                    None => {
+                        self.health.escalate(part.shard, ShardHealth::Degraded);
+                        lost_banks += n_banks;
+                        continue;
+                    }
+                },
+                None => part.ticket.wait(),
+            };
+            match answer {
                 Ok(hits) => {
                     any = true;
-                    candidates.extend(hits.into_iter().map(|(local, g)| (base + local, g)));
+                    banks.extend(part.bank_base..part.bank_base + n_banks);
+                    candidates.extend(
+                        hits.into_iter()
+                            .map(|(local, g)| (part.row_base + local, g)),
+                    );
                 }
-                Err(ServeError::Core(CoreError::EmptyArray)) => {}
+                Err(ServeError::Core(CoreError::EmptyArray)) => {
+                    banks.extend(part.bank_base..part.bank_base + n_banks);
+                }
                 Err(e @ ServeError::DeadlineExceeded { .. }) => {
                     if dead.is_none() {
                         dead = Some(e);
                     }
+                }
+                Err(ServeError::ShuttingDown | ServeError::DispatcherFailed { .. }) => {
+                    self.health.escalate(part.shard, ShardHealth::Quarantined);
+                    lost_banks += n_banks;
                 }
                 Err(e) => return Err(e),
             }
@@ -628,12 +939,28 @@ impl ShardTopKTicket {
                 .fetch_add(1, Ordering::Relaxed);
             return Err(e);
         }
+        let coverage = Coverage {
+            searched: banks.len(),
+            total: banks.len() + lost_banks,
+            banks,
+        };
+        if coverage.degraded()
+            && (self.policy == DegradedPolicy::FailClosed || coverage.searched == 0)
+        {
+            return Err(ServeError::Degraded {
+                searched: coverage.searched,
+                total: coverage.total,
+            });
+        }
         if !any {
             return Err(ServeError::Core(CoreError::EmptyArray));
         }
         candidates.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         candidates.truncate(self.k);
-        Ok(candidates)
+        Ok(Covered {
+            value: candidates,
+            coverage,
+        })
     }
 }
 
@@ -657,6 +984,8 @@ pub struct ShardedStats {
     pub deadline_rejected: u64,
     /// Wall-clock time since the sharded front end started.
     pub elapsed: Duration,
+    /// Per-shard health at snapshot time, in shard order.
+    pub health: Vec<ShardHealth>,
     /// Each shard dispatcher's own statistics, in shard order.
     pub per_shard: Vec<ServeStats>,
 }
@@ -728,6 +1057,10 @@ impl ShardedStats {
             },
             queue_depth: self.per_shard.iter().map(|s| s.queue_depth).sum(),
             queue_capacity: self.per_shard.iter().map(|s| s.queue_capacity).sum(),
+            restarts: self.per_shard.iter().map(|s| s.restarts).sum(),
+            // The front end keeps answering (degraded) while any shard
+            // lives; only a full wipe-out is a failed server.
+            failed: !self.per_shard.is_empty() && self.per_shard.iter().all(|s| s.failed),
         }
     }
 }
@@ -762,6 +1095,21 @@ impl ServingTicket {
         match self {
             ServingTicket::Single(t) => t.wait(),
             ServingTicket::Sharded(t) => t.wait(),
+        }
+    }
+
+    /// Blocks for the winner plus its [`Coverage`] record (always full
+    /// on a single-dispatcher server; possibly degraded on a sharded
+    /// one).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Ticket::wait_covered`] /
+    /// [`ShardTicket::wait_covered`].
+    pub fn wait_covered(self) -> Result<Covered<(usize, f64)>, ServeError> {
+        match self {
+            ServingTicket::Single(t) => t.wait_covered(),
+            ServingTicket::Sharded(t) => t.wait_covered(),
         }
     }
 }
@@ -851,6 +1199,7 @@ impl ServingHandle {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
     use super::*;
     use crate::ServeConfig;
     use femcam_core::{ConductanceLut, LevelLadder, Precision};
@@ -893,7 +1242,7 @@ mod tests {
             let stats = server.stats();
             assert_eq!(stats.submitted, 8);
             assert_eq!(stats.per_shard.len(), shards);
-            let memory = server.shutdown();
+            let memory = server.shutdown().unwrap();
             assert_eq!(memory.n_rows(), rows.len());
         }
     }
@@ -917,7 +1266,7 @@ mod tests {
         }
         let report = handle.memory_report().unwrap();
         assert_eq!(report.rows, 6);
-        let memory = server.shutdown();
+        let memory = server.shutdown().unwrap();
         assert_eq!(memory.n_rows(), shadow.n_rows());
     }
 
@@ -938,7 +1287,7 @@ mod tests {
         ));
         assert_eq!(handle.store(&[3, 3, 3, 3]).unwrap(), 0);
         assert_eq!(handle.search(&[3, 3, 3, 3]).unwrap().0, 0);
-        let memory = server.shutdown();
+        let memory = server.shutdown().unwrap();
         assert_eq!(memory.n_rows(), 1);
     }
 
@@ -1010,7 +1359,7 @@ mod tests {
                 let top = handle.search_top_k(&word, 1).unwrap();
                 assert_eq!(top[0].0, got, "{shards} shards top-k");
             }
-            let memory = server.shutdown();
+            let memory = server.shutdown().unwrap();
             assert_eq!(memory.n_rows(), shadow.n_rows());
         }
     }

@@ -92,6 +92,12 @@ pub struct ServeStats {
     pub queue_depth: usize,
     /// The admission-control capacity in effect.
     pub queue_capacity: usize,
+    /// Supervised dispatcher restarts (panics converted to
+    /// [`crate::ServeError::DispatcherFailed`] and healed in place).
+    pub restarts: u64,
+    /// `true` once the restart-rate circuit breaker tripped: the server
+    /// is in its terminal `Failed` state and rejects all requests.
+    pub failed: bool,
 }
 
 /// Nearest-rank percentile (`q` in 0..=1) of a sample set: the
@@ -105,6 +111,7 @@ fn percentile(sorted: &[u32], q: f64) -> f64 {
     f64::from(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
 }
 
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn snapshot(
     inner: &StatsInner,
     rejected: u64,
@@ -112,6 +119,8 @@ pub(crate) fn snapshot(
     elapsed: Duration,
     queue_depth: usize,
     queue_capacity: usize,
+    restarts: u64,
+    failed: bool,
 ) -> ServeStats {
     let mut sorted = inner.wait_us.clone();
     sorted.sort_unstable();
@@ -143,6 +152,8 @@ pub(crate) fn snapshot(
         },
         queue_depth,
         queue_capacity,
+        restarts,
+        failed,
     }
 }
 
@@ -183,7 +194,7 @@ mod tests {
         assert_eq!(inner.queries, 12);
         assert_eq!(inner.topk_queries, 3);
         assert_eq!(inner.batches, 3);
-        let stats = snapshot(&inner, 0, 0, Duration::from_secs(1), 0, 64);
+        let stats = snapshot(&inner, 0, 0, Duration::from_secs(1), 0, 64, 0, false);
         assert_eq!(stats.mean_batch, 4.0);
         assert_eq!(stats.max_batch, 4);
         assert!((stats.mean_exec_us_per_query - 10.0).abs() < 1e-9);

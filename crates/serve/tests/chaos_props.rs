@@ -1,0 +1,522 @@
+//! Chaos harness (feature `chaos`): drives the serving stack through
+//! deterministic injected faults and pins the failure-model contract:
+//!
+//! 1. **No hangs** — every ticket resolves (with an answer or a clean
+//!    error) under interleaved stores, injected dispatcher panics,
+//!    and forced admission overload, across precisions and shard
+//!    counts, including tickets queued behind the failing batch.
+//! 2. **Post-heal bit-identity** — once a fault schedule's budget is
+//!    spent, a supervised dispatcher's answers are bitwise identical
+//!    to a direct [`BankedMcam`] search, and shutdown still recovers
+//!    the memory.
+//! 3. **Degraded answers are exact over their coverage** — a merge
+//!    that lost a shard reports exactly which banks contributed, and
+//!    the answer equals [`BankedMcam::search_masked_with`] over that
+//!    subset, bitwise.
+//! 4. **Terminal failure is clean** — a tripped restart breaker stops
+//!    the crash-loop, rejects new work with `DispatcherFailed`, and
+//!    still hands the memory back on shutdown.
+
+#![cfg(feature = "chaos")]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::sync::mpsc;
+use std::sync::Once;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use femcam_core::{BankedMcam, ConductanceLut, LevelLadder, Precision, RoutedMcam, RouterConfig};
+use femcam_device::FefetModel;
+use femcam_serve::fault::{FaultKind, FaultPlan, FaultRule, FaultSite, CHAOS_PANIC};
+use femcam_serve::{
+    DegradedPolicy, McamServer, ServeConfig, ServeError, ServingHandle, ShardHealth, ShardedServer,
+};
+
+/// Injected panics unwind dispatcher threads by design; silence their
+/// default-hook backtraces (real panics still print).
+fn quiet_chaos_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| payload.downcast_ref::<String>().map(String::as_str));
+            if msg.is_some_and(|m| m.starts_with(CHAOS_PANIC)) {
+                return;
+            }
+            default(info);
+        }));
+    });
+}
+
+const BITS: u8 = 3;
+const WORD_LEN: usize = 4;
+const ROWS_PER_BANK: usize = 2;
+const N_LEVELS: usize = 8;
+
+fn empty_memory() -> BankedMcam {
+    let ladder = LevelLadder::new(BITS).expect("ladder");
+    let lut = ConductanceLut::from_device(&FefetModel::default(), &ladder);
+    BankedMcam::new(ladder, lut, WORD_LEN, ROWS_PER_BANK)
+}
+
+/// Deterministic pseudo-random word over the level alphabet.
+fn gen_word(seed: u64, salt: usize) -> Vec<u8> {
+    (0..WORD_LEN)
+        .map(|c| (((seed as usize).wrapping_mul(37) + salt * 23 + c * 11) % N_LEVELS) as u8)
+        .collect()
+}
+
+/// A served memory and its identically-populated shadow (the direct
+/// oracle) — `rows` rows each, deterministic contents.
+fn seeded_pair(rows: usize, seed: u64) -> (BankedMcam, BankedMcam) {
+    let mut memory = empty_memory();
+    let mut shadow = empty_memory();
+    for salt in 0..rows {
+        let word = gen_word(seed, salt);
+        memory.store(&word).expect("store");
+        shadow.store(&word).expect("store");
+    }
+    (memory, shadow)
+}
+
+fn chaos_config(faults: FaultPlan) -> ServeConfig {
+    ServeConfig {
+        max_batch: 2,
+        max_wait: Duration::from_micros(50),
+        faults: Some(faults),
+        ..ServeConfig::default()
+    }
+}
+
+/// Contract 2: three sure pre-batch panics kill three consecutive
+/// batches (each waiter gets `DispatcherFailed`, never a hang), the
+/// supervisor restarts in place each time, and once the budget is
+/// spent every answer is bitwise identical to the direct search.
+#[test]
+fn dispatcher_heals_and_post_heal_results_are_bit_identical() {
+    quiet_chaos_panics();
+    let (memory, shadow) = seeded_pair(8, 41);
+    let plan = FaultPlan::new(
+        7,
+        vec![FaultRule::sure(FaultSite::PreBatch, FaultKind::Panic, 3)],
+    );
+    let server = McamServer::start(memory, chaos_config(plan.clone()));
+    let handle = server.handle();
+    let probe = gen_word(41, 2);
+    // Healthy warm-up: the plan is still disarmed.
+    let healthy = handle.search(&probe).expect("warm-up search");
+    plan.set_armed(true);
+    for _ in 0..3 {
+        match handle.search(&probe) {
+            Err(ServeError::DispatcherFailed { detail }) => {
+                assert!(
+                    detail.contains(CHAOS_PANIC),
+                    "panic payload lost in supervision: {detail}"
+                );
+            }
+            other => panic!("batch under a sure panic must fail cleanly, got {other:?}"),
+        }
+    }
+    assert_eq!(plan.injected(FaultSite::PreBatch), 3);
+    assert_eq!(handle.restarts(), 3);
+    assert!(
+        !handle.is_failed(),
+        "3 restarts are within the default budget"
+    );
+    // Healed: every post-heal answer is bit-identical to the oracle.
+    for salt in 0..8 {
+        let query = gen_word(41, salt);
+        let (row, score) = handle.search(&query).expect("post-heal search");
+        let (want_row, want_score) = shadow.search_with(&query, Precision::F64).expect("oracle");
+        assert_eq!(row, want_row);
+        assert_eq!(score.to_bits(), want_score.to_bits(), "salt {salt}");
+    }
+    assert_eq!(handle.search(&probe).expect("healed"), healthy);
+    let recovered = server.shutdown().expect("clean shutdown after healing");
+    assert_eq!(recovered.n_rows(), 8);
+}
+
+/// Contract 4: an unlimited panic schedule against a tiny restart
+/// budget trips the breaker into the terminal `Failed` state — new
+/// work is rejected with `DispatcherFailed` instead of crash-looping,
+/// and shutdown still recovers the memory.
+#[test]
+fn restart_breaker_trips_to_terminal_failed_state() {
+    quiet_chaos_panics();
+    let (memory, _) = seeded_pair(8, 43);
+    let plan = FaultPlan::armed(
+        11,
+        vec![FaultRule {
+            site: FaultSite::PreBatch,
+            kind: FaultKind::Panic,
+            probability: 1.0,
+            budget: None,
+        }],
+    );
+    let server = McamServer::start(
+        memory,
+        ServeConfig {
+            restart_budget: 2,
+            restart_window: Duration::from_secs(60),
+            ..chaos_config(plan)
+        },
+    );
+    let handle = server.handle();
+    let probe = gen_word(43, 0);
+    // Every batch panics; the third restart exceeds the budget of 2.
+    for _ in 0..3 {
+        assert!(
+            matches!(
+                handle.search(&probe),
+                Err(ServeError::DispatcherFailed { .. })
+            ),
+            "every batch under an unlimited sure panic fails cleanly"
+        );
+    }
+    // The waiter is answered just before the dispatcher records the
+    // tripping restart: give the flag a moment to become visible.
+    for _ in 0..200 {
+        if handle.is_failed() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(handle.is_failed(), "breaker past budget is terminal");
+    assert!(handle.restarts() >= 3);
+    // Terminal state rejects rather than hangs or crash-loops.
+    assert!(matches!(
+        handle.search(&probe),
+        Err(ServeError::DispatcherFailed { .. })
+    ));
+    assert!(matches!(
+        handle.store(&probe),
+        Err(ServeError::DispatcherFailed { .. })
+    ));
+    // The supervised exit still hands the memory back.
+    let recovered = server
+        .shutdown()
+        .expect("terminal server recovers its memory");
+    assert_eq!(recovered.n_rows(), 8);
+}
+
+/// Builds a two-shard server over 8 seeded rows (4 banks, 2 per
+/// shard), kills the tail shard via store panics against a
+/// zero-restart budget, and returns the handle plus shadow memory.
+fn killed_tail_fixture(policy: DegradedPolicy) -> (ShardedServer, BankedMcam) {
+    let (memory, shadow) = seeded_pair(8, 47);
+    let plan = FaultPlan::armed(
+        13,
+        vec![FaultRule {
+            site: FaultSite::Store,
+            kind: FaultKind::Panic,
+            probability: 1.0,
+            budget: None,
+        }],
+    );
+    let server = ShardedServer::start(
+        memory,
+        2,
+        ServeConfig {
+            restart_budget: 0,
+            degraded_policy: policy,
+            ..chaos_config(plan)
+        },
+    );
+    // Stores route to the tail shard only: the injected panic trips
+    // its zero budget immediately (and, by the Store-site contract,
+    // never mutates the memory — the shadow stays identical).
+    let handle = server.handle();
+    assert!(matches!(
+        handle.store(&gen_word(47, 99)),
+        Err(ServeError::DispatcherFailed { .. })
+    ));
+    (server, shadow)
+}
+
+/// Contract 3 (fail-open): with the tail shard quarantined, searches
+/// complete over the surviving shard, report exactly which banks
+/// contributed, and the answer equals the masked direct search over
+/// that subset, bitwise.
+#[test]
+fn quarantined_shard_yields_exact_masked_coverage() {
+    quiet_chaos_panics();
+    let (server, shadow) = killed_tail_fixture(DegradedPolicy::FailOpen);
+    let handle = server.handle();
+    for salt in 0..8 {
+        let query = gen_word(47, salt);
+        let covered = handle
+            .submit(&query)
+            .expect("fan-out to survivors")
+            .wait_covered()
+            .expect("fail-open merge completes");
+        assert!(covered.coverage.degraded());
+        assert_eq!(covered.coverage.searched, 2, "surviving shard owns 2 banks");
+        assert_eq!(covered.coverage.total, 4);
+        assert_eq!(covered.coverage.banks, vec![0, 1]);
+        let (want_row, want_score) = shadow
+            .search_masked_with(&query, Precision::F64, &covered.coverage.banks)
+            .expect("masked oracle");
+        let (row, score) = covered.value;
+        assert_eq!(row, want_row, "salt {salt}");
+        assert_eq!(score.to_bits(), want_score.to_bits(), "salt {salt}");
+    }
+    assert_eq!(
+        handle.shard_health(),
+        vec![ShardHealth::Healthy, ShardHealth::Quarantined]
+    );
+    // Even the tripped shard exits its terminal drain cleanly: the
+    // supervised dispatcher still owns its memory, so shutdown
+    // reassembles the full partition (and the injected store panics
+    // never mutated it).
+    let recovered = server
+        .shutdown()
+        .expect("terminal shard recovers its banks");
+    assert_eq!(recovered.n_rows(), 8);
+}
+
+/// Contract 3 (fail-closed): the same quarantine scenario refuses the
+/// partial merge with `ServeError::Degraded` carrying the exact
+/// coverage counts.
+#[test]
+fn fail_closed_policy_refuses_degraded_merges() {
+    quiet_chaos_panics();
+    let (server, _) = killed_tail_fixture(DegradedPolicy::FailClosed);
+    let handle = server.handle();
+    match handle.search(&gen_word(47, 0)) {
+        Err(ServeError::Degraded { searched, total }) => {
+            assert_eq!((searched, total), (2, 4));
+        }
+        other => panic!("fail-closed must refuse the partial merge, got {other:?}"),
+    }
+    drop(server);
+}
+
+/// A shard stalled past the per-shard timeout loses its contribution:
+/// the merge completes over the fast shard, coverage shrinks
+/// accordingly, the answer is exact over the covered banks, and the
+/// slow shard is marked `Degraded` (it keeps receiving traffic).
+#[test]
+fn delayed_shard_times_out_into_degraded_coverage() {
+    quiet_chaos_panics();
+    let (memory, shadow) = seeded_pair(8, 53);
+    let plan = FaultPlan::armed(
+        17,
+        vec![FaultRule::sure(
+            FaultSite::PreBatch,
+            FaultKind::Delay(Duration::from_millis(600)),
+            1,
+        )],
+    );
+    let server = ShardedServer::start(
+        memory,
+        2,
+        ServeConfig {
+            shard_timeout: Some(Duration::from_millis(120)),
+            ..chaos_config(plan)
+        },
+    );
+    let handle = server.handle();
+    let query = gen_word(53, 3);
+    // Whichever dispatcher samples the site first absorbs the single
+    // delay — the schedule decides which, the budget guarantees one.
+    let covered = handle
+        .submit(&query)
+        .expect("fan-out")
+        .wait_covered()
+        .expect("fail-open merge completes over the fast shard");
+    assert!(covered.coverage.degraded());
+    assert_eq!(covered.coverage.searched, 2);
+    assert_eq!(covered.coverage.total, 4);
+    let (want_row, want_score) = shadow
+        .search_masked_with(&query, Precision::F64, &covered.coverage.banks)
+        .expect("masked oracle");
+    assert_eq!(covered.value.0, want_row);
+    assert_eq!(covered.value.1.to_bits(), want_score.to_bits());
+    let health = handle.shard_health();
+    assert_eq!(
+        health
+            .iter()
+            .filter(|h| **h == ShardHealth::Degraded)
+            .count(),
+        1,
+        "exactly one shard missed the deadline: {health:?}"
+    );
+    // The stall was transient: once the sleep drains, full coverage
+    // returns (a Degraded shard is not fenced off). Probe until the
+    // stalled dispatcher catches up with its queue.
+    let mut healed = false;
+    for _ in 0..60 {
+        std::thread::sleep(Duration::from_millis(50));
+        let covered = handle
+            .submit(&query)
+            .expect("fan-out")
+            .wait_covered()
+            .expect("merge");
+        if !covered.coverage.degraded() {
+            healed = true;
+            break;
+        }
+    }
+    assert!(healed, "stalled shard never returned to full coverage");
+    let recovered = server.shutdown().expect("both dispatchers alive");
+    assert_eq!(recovered.n_rows(), 8);
+}
+
+/// A poisoned router lock (injected via the RouterRead panic, which
+/// unwinds a sacrificial thread holding the write guard) degrades
+/// routing to the full fan-out: every answer stays exact, and stores
+/// keep succeeding without the router's bucket update.
+#[test]
+fn poisoned_router_degrades_to_full_fan_out() {
+    quiet_chaos_panics();
+    let (memory, mut shadow) = seeded_pair(8, 59);
+    let routed = RoutedMcam::new(memory, RouterConfig::default()).expect("router");
+    let plan = FaultPlan::armed(
+        19,
+        vec![FaultRule::sure(FaultSite::RouterRead, FaultKind::Panic, 1)],
+    );
+    let server = ShardedServer::start_routed(routed, 2, chaos_config(plan.clone()));
+    let handle = server.handle();
+    // The first search consumes the poison budget and, with the lock
+    // poisoned, falls back to the full fan-out — which is exactly the
+    // unrouted winner.
+    for salt in 0..8 {
+        let query = gen_word(59, salt);
+        let (row, score) = handle.search(&query).expect("poisoned route degrades");
+        let (want_row, want_score) = shadow.search_with(&query, Precision::F64).expect("oracle");
+        assert_eq!(row, want_row, "salt {salt}");
+        assert_eq!(score.to_bits(), want_score.to_bits(), "salt {salt}");
+    }
+    assert_eq!(plan.injected(FaultSite::RouterRead), 1);
+    // Stores survive the poisoned lock (the bucket update is skipped;
+    // full fan-out keeps the new row reachable).
+    let word = gen_word(59, 100);
+    assert_eq!(handle.store(&word).expect("store past poison"), 8);
+    shadow.store(&word).expect("shadow store");
+    let (row, _) = handle.search(&word).expect("new row reachable");
+    let (want_row, _) = shadow.search_with(&word, Precision::F64).expect("oracle");
+    assert_eq!(row, want_row);
+    let recovered = server.shutdown().expect("clean shutdown");
+    assert_eq!(recovered.n_rows(), 9);
+}
+
+/// One chaos scenario for the no-hang property: a burst of searches
+/// (queued behind whichever batches the schedule kills) interleaved
+/// with stores, then a full drain. Returns only when every ticket
+/// resolved; the caller bounds the wall clock.
+fn no_hang_scenario(seed: u64, precision: Precision, shards: usize, panic_budget: u64) {
+    let (memory, _) = seeded_pair(8, seed);
+    let plan = FaultPlan::armed(
+        seed,
+        vec![
+            FaultRule {
+                site: FaultSite::PreBatch,
+                kind: FaultKind::Panic,
+                probability: 0.5,
+                budget: Some(panic_budget),
+            },
+            FaultRule::sure(FaultSite::Store, FaultKind::Panic, 1),
+            FaultRule {
+                site: FaultSite::Admission,
+                kind: FaultKind::Overload,
+                probability: 0.2,
+                budget: None,
+            },
+        ],
+    );
+    let config = ServeConfig {
+        precision,
+        // Generous budget: this property is about resolution, not the
+        // terminal state (pinned separately).
+        restart_budget: 64,
+        ..chaos_config(plan)
+    };
+    enum AnyServer {
+        Single(McamServer),
+        Sharded(ShardedServer),
+    }
+    let (server, handle) = if shards == 1 {
+        let server = McamServer::start(memory, config);
+        let handle = ServingHandle::Single(server.handle());
+        (AnyServer::Single(server), handle)
+    } else {
+        let server = ShardedServer::start(memory, shards, config);
+        let handle = ServingHandle::Sharded(server.handle());
+        (AnyServer::Sharded(server), handle)
+    };
+    let mut tickets = Vec::new();
+    for i in 0..24 {
+        let word = gen_word(seed, i);
+        if i % 5 == 4 {
+            // Stores interleave with the in-flight searches; the first
+            // one absorbs the sure store panic.
+            let _ = handle.store(&word);
+        } else {
+            // Submit without waiting: tickets pile up behind batches
+            // the panic schedule may kill.
+            match handle.submit(&word) {
+                Ok(ticket) => tickets.push(ticket),
+                Err(
+                    ServeError::Overloaded { .. }
+                    | ServeError::ShuttingDown
+                    | ServeError::DispatcherFailed { .. }
+                    | ServeError::Degraded { .. },
+                ) => {}
+                Err(e) => panic!("unexpected admission error: {e:?}"),
+            }
+        }
+    }
+    for ticket in tickets {
+        // The invariant is that this RETURNS — an answer or a clean
+        // error, never a hang (the caller enforces the wall clock).
+        let _ = ticket.wait();
+    }
+    // Dropping the server joins the dispatchers: reaching the end of
+    // this scenario also proves shutdown completes under the fault
+    // schedule.
+    match server {
+        AnyServer::Single(s) => {
+            let _ = s.shutdown();
+        }
+        AnyServer::Sharded(s) => {
+            let _ = s.shutdown();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Contract 1: every ticket resolves under interleaved stores,
+    /// injected dispatcher panics, and forced overload — across
+    /// precisions and shard counts — within a hard wall-clock bound.
+    #[test]
+    fn every_ticket_resolves_under_chaos(
+        seed in 0u64..=u64::from(u32::MAX),
+        tag in 0u8..3,
+        shards in 1usize..=3,
+        panic_budget in 0u64..6,
+    ) {
+        quiet_chaos_panics();
+        let precision = match tag {
+            0 => Precision::F64,
+            1 => Precision::F32,
+            _ => Precision::Codes,
+        };
+        let (tx, rx) = mpsc::channel();
+        let scenario = std::thread::spawn(move || {
+            no_hang_scenario(seed, precision, shards, panic_budget);
+            let _ = tx.send(());
+        });
+        prop_assert!(
+            rx.recv_timeout(Duration::from_secs(10)).is_ok(),
+            "serving stack hung under chaos (seed {seed}, {precision:?}, {shards} shard(s))"
+        );
+        prop_assert!(scenario.join().is_ok(), "chaos scenario thread panicked");
+    }
+}

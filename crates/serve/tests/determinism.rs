@@ -92,7 +92,7 @@ proptest! {
                 );
             }
         }
-        let memory = server.shutdown();
+        let memory = server.shutdown().unwrap();
         prop_assert_eq!(memory.n_rows(), shadow.n_rows());
     }
 

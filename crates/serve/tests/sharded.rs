@@ -107,7 +107,7 @@ proptest! {
         }
         let merged_stats = sharded.stats().merged();
         prop_assert!(merged_stats.queries + merged_stats.stores > 0);
-        let reassembled = sharded.shutdown();
+        let reassembled = sharded.shutdown().expect("clean shutdown");
         prop_assert_eq!(reassembled.n_rows(), shadow.n_rows());
         prop_assert_eq!(reassembled.n_banks(), shadow.n_banks());
         let _ = single.shutdown();

@@ -131,7 +131,7 @@ fn main() -> femcam_core::Result<()> {
     }
     println!("\ndeterminism check: 32 served results bit-identical to direct search");
 
-    let memory = server.shutdown();
+    let memory = server.shutdown()?;
     println!("server drained; memory back with {} rows", memory.n_rows());
 
     // 8. Shard the same memory across 4 dispatchers: searches fan out
@@ -178,7 +178,7 @@ fn main() -> femcam_core::Result<()> {
         merged.deadline_rejected
     );
 
-    let memory = sharded.shutdown();
+    let memory = sharded.shutdown()?;
     println!(
         "shards drained; memory reassembled with {} rows",
         memory.n_rows()
