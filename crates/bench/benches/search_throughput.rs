@@ -26,6 +26,13 @@
 //! ground truth (the MCAM distance evaluated in software), and
 //! routed vs full-sweep µs/query.
 //!
+//! With `--features chaos` the recorder also measures fault-injected
+//! serving (`serving_faults` key: p99 through a permanent shard kill
+//! plus recovery time) and a **quarantine storm** (`quarantine_storm`
+//! key): N−1 of N shards killed under closed-loop load, recording the
+//! wall-clock time until the probe/re-admit supervisor has returned
+//! the board to full health.
+//!
 //! `FEMCAM_BENCH_MS` shortens the per-config sampling window (CI smoke
 //! mode); with the default full window the recorder *asserts* the
 //! performance contracts of the executor — multi-thread throughput
@@ -451,6 +458,128 @@ fn measure_serving_faults() -> FaultMeasurement {
         p99_healthy_us: p99_us(&mut healthy),
         queries_degraded: after.len() as u64,
         p99_degraded_us: p99_us(&mut after),
+        failed_requests: failed,
+        recovery_us,
+    }
+}
+
+/// Result of the quarantine-storm measurement (`--features chaos`):
+/// kill N−1 of N shards under closed-loop load and time how long the
+/// probe/re-admit supervisor takes to return the board to full
+/// health.
+#[cfg(feature = "chaos")]
+struct StormMeasurement {
+    shards: usize,
+    kills: u64,
+    readmitted: u64,
+    probe_failures: u64,
+    queries: u64,
+    failed_requests: u64,
+    /// Wall clock from arming the kill schedule to every shard back
+    /// `Healthy` with all kills re-admitted (time to full recovery).
+    recovery_us: f64,
+}
+
+/// Drives the closed-loop clients against a four-shard server with a
+/// probe supervisor, kills three of the four dispatchers via injected
+/// batch panics against a zero restart budget, and measures the time
+/// until every shard has been resurrected (canary-gated re-admit) and
+/// the board is fully healthy again.
+#[cfg(feature = "chaos")]
+fn measure_quarantine_storm() -> StormMeasurement {
+    use femcam_serve::fault::{FaultKind, FaultPlan, FaultRule, FaultSite};
+    use femcam_serve::ShardHealth;
+    const STORM_SHARDS: usize = 4;
+    let kills = (STORM_SHARDS - 1) as u64;
+    let (banked, _) = sweep_memory(17);
+    let plan = FaultPlan::new(
+        31,
+        vec![FaultRule::sure(
+            FaultSite::PreBatch,
+            FaultKind::Panic,
+            kills,
+        )],
+    );
+    let config = ServeConfig {
+        max_batch: SERVE_CLIENTS,
+        max_wait: Duration::from_micros(300),
+        precision: Precision::Codes,
+        // Each injected panic trips a breaker permanently; only the
+        // probe supervisor can bring the shard back.
+        restart_budget: 0,
+        probe_interval: Some(Duration::from_millis(10)),
+        faults: Some(plan.clone()),
+        ..ServeConfig::default()
+    };
+    let server = ShardedServer::start(banked, STORM_SHARDS, config);
+    let handle = server.handle();
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..SERVE_CLIENTS)
+        .map(|c| {
+            let handle = handle.clone();
+            let stop = Arc::clone(&stop);
+            let mut rng = StdRng::seed_from_u64(0x570A + c as u64);
+            std::thread::spawn(move || {
+                let mut done = 0u64;
+                let mut failed = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let query = random_levels(&mut rng, WORD_LEN);
+                    match handle.search(&query) {
+                        Ok(_) => done += 1,
+                        // In-flight work on a killed shard fails
+                        // cleanly; the next iteration re-probes.
+                        Err(_) => failed += 1,
+                    }
+                }
+                (done, failed)
+            })
+        })
+        .collect();
+    // Healthy warm-up, then unleash the storm.
+    std::thread::sleep(Duration::from_millis(
+        u64::try_from(bench_window_ms()).unwrap_or(300),
+    ));
+    plan.set_armed(true);
+    let storm = Instant::now();
+    let mut recovery_us = f64::NAN;
+    for _ in 0..3000 {
+        let stats = server.stats();
+        if stats.quarantined >= kills
+            && stats.readmitted >= kills
+            && stats.health.iter().all(|h| *h == ShardHealth::Healthy)
+        {
+            recovery_us = storm.elapsed().as_micros() as f64;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    stop.store(true, Ordering::Relaxed);
+    let mut queries = 0u64;
+    let mut failed = 0u64;
+    for client in clients {
+        let (d, f) = client.join().expect("storm client");
+        queries += d;
+        failed += f;
+    }
+    let stats = server.stats();
+    // Self-healing sanity: the storm must actually converge — every
+    // killed shard re-admitted, the whole board healthy again.
+    assert!(
+        recovery_us.is_finite(),
+        "quarantine storm never recovered: health {:?}, quarantined {}, \
+         readmitted {}, probe failures {}",
+        stats.health,
+        stats.quarantined,
+        stats.readmitted,
+        stats.probe_failures
+    );
+    drop(server);
+    StormMeasurement {
+        shards: STORM_SHARDS,
+        kills: stats.quarantined,
+        readmitted: stats.readmitted,
+        probe_failures: stats.probe_failures,
+        queries,
         failed_requests: failed,
         recovery_us,
     }
@@ -891,6 +1020,32 @@ fn record_search_baseline(_c: &mut Criterion) {
         _ => Vec::new(),
     };
 
+    // Quarantine-storm entry (only with `--features chaos`): kill N−1
+    // of N shards under closed-loop load and record the time until the
+    // probe supervisor has resurrected the full board.
+    #[cfg(feature = "chaos")]
+    let storm = Some(measure_quarantine_storm());
+    #[cfg(not(feature = "chaos"))]
+    let storm: Option<()> = None;
+    let quarantine_storm_lines: Vec<String> = match &storm {
+        #[cfg(feature = "chaos")]
+        Some(m) => vec![format!(
+            "    {{\"precision\": \"codes\", \"shards\": {}, \
+             \"clients\": {SERVE_CLIENTS}, \"kills\": {}, \
+             \"readmitted\": {}, \"probe_failures\": {}, \
+             \"queries\": {}, \"failed_requests\": {}, \
+             \"recovery_us\": {:.0}}}",
+            m.shards,
+            m.kills,
+            m.readmitted,
+            m.probe_failures,
+            m.queries,
+            m.failed_requests,
+            m.recovery_us,
+        )],
+        _ => Vec::new(),
+    };
+
     let speedup = scalar_ns / best_batched_ns;
     let json = format!(
         "{{\n  \"config\": {{\"rows\": {SWEEP_ROWS}, \"word_len\": {WORD_LEN}, \
@@ -910,7 +1065,8 @@ fn record_search_baseline(_c: &mut Criterion) {
          \"serving\": [\n{}\n  ],\n\
          \"serving_sharded\": [\n{}\n  ],\n\
          \"routing\": [\n{}\n  ],\n\
-         \"serving_faults\": [\n{}\n  ]\n}}\n",
+         \"serving_faults\": [\n{}\n  ],\n\
+         \"quarantine_storm\": [\n{}\n  ]\n}}\n",
         plan_mode_lines.join(",\n"),
         sweep_lines.join(",\n"),
         scaling_lines.join(",\n"),
@@ -918,7 +1074,8 @@ fn record_search_baseline(_c: &mut Criterion) {
         serving_lines.join(",\n"),
         sharded_lines.join(",\n"),
         routing_lines.join(",\n"),
-        serving_faults_lines.join(",\n")
+        serving_faults_lines.join(",\n"),
+        quarantine_storm_lines.join(",\n")
     );
     let path = femcam_bench::results_dir().join("BENCH_search.json");
     std::fs::write(&path, &json).expect("write BENCH_search.json");
@@ -993,6 +1150,22 @@ fn record_search_baseline(_c: &mut Criterion) {
             m.queries_degraded > 0,
             "no queries completed after the shard kill (see {})",
             path.display()
+        );
+    }
+
+    #[cfg(feature = "chaos")]
+    if let Some(m) = &storm {
+        println!(
+            "quarantine storm (codes, {} shards, {} killed): full recovery in \
+             {:.0} us ({} re-admitted, {} probe failures, {} queries served, \
+             {} failed in-flight)",
+            m.shards,
+            m.kills,
+            m.recovery_us,
+            m.readmitted,
+            m.probe_failures,
+            m.queries,
+            m.failed_requests,
         );
     }
 

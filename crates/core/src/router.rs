@@ -117,6 +117,12 @@ pub struct LshRouter {
     buckets: HashMap<u64, Vec<u64>>,
     /// One past the highest bank ever noted.
     n_banks: usize,
+    /// Reversible re-placement overlay for orphaned banks: routes that
+    /// would land on a key bank return its value bank instead. The
+    /// bucket bitmasks underneath are never touched, so removing an
+    /// entry restores the original route exactly (see
+    /// [`displace_banks`](Self::displace_banks)).
+    displaced: BTreeMap<usize, usize>,
 }
 
 impl LshRouter {
@@ -169,6 +175,7 @@ impl LshRouter {
             word_len,
             buckets: HashMap::new(),
             n_banks: 0,
+            displaced: BTreeMap::new(),
         })
     }
 
@@ -305,7 +312,59 @@ impl LshRouter {
                 bits &= bits - 1;
             }
         }
+        if !self.displaced.is_empty() {
+            for b in &mut banks {
+                if let Some(&sub) = self.displaced.get(b) {
+                    *b = sub;
+                }
+            }
+            banks.sort_unstable();
+            banks.dedup();
+        }
         Ok(banks)
+    }
+
+    /// Reversibly re-places `orphaned` banks onto `substitutes`
+    /// (round-robin): any route that would return an orphaned bank
+    /// returns its substitute instead. The bucket bitmasks are left
+    /// untouched, so [`restore_banks`](Self::restore_banks) undoes the
+    /// re-placement exactly. This is the repair a sharded front end
+    /// applies when a quarantined shard orphans its banks — routed
+    /// traffic degrades to a *narrower* fan-out over live banks instead
+    /// of falling back to the widest sweep — and reverts on re-admit.
+    ///
+    /// Substitutes should be live (non-orphaned) banks; the overlay is
+    /// resolved in a single step, never chained. Returns the number of
+    /// overlay entries recorded (zero when `substitutes` is empty).
+    pub fn displace_banks(&mut self, orphaned: &[usize], substitutes: &[usize]) -> usize {
+        if substitutes.is_empty() {
+            return 0;
+        }
+        let mut placed = 0usize;
+        for (i, &bank) in orphaned.iter().enumerate() {
+            let sub = substitutes[i % substitutes.len()];
+            if sub == bank {
+                continue;
+            }
+            self.displaced.insert(bank, sub);
+            placed += 1;
+        }
+        placed
+    }
+
+    /// Removes the re-placement overlay entries for `orphaned`,
+    /// restoring their original routes — the undo of
+    /// [`displace_banks`](Self::displace_banks) on shard re-admit.
+    pub fn restore_banks(&mut self, orphaned: &[usize]) {
+        for bank in orphaned {
+            self.displaced.remove(bank);
+        }
+    }
+
+    /// Number of banks currently re-placed by the overlay.
+    #[must_use]
+    pub fn displaced_banks(&self) -> usize {
+        self.displaced.len()
     }
 }
 
@@ -641,6 +700,41 @@ mod tests {
         let banks = router.route(&query).unwrap();
         assert!(!banks.is_empty());
         assert!(banks.len() < 32, "cap did not bite: {}", banks.len());
+    }
+
+    #[test]
+    fn displaced_banks_redirect_routes_and_restore_exactly() {
+        let mut router = LshRouter::new(8, 8, 2, RouterConfig::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let words: Vec<Vec<u8>> = (0..24)
+            .map(|_| (0..8).map(|_| rng.gen_range(0..8)).collect())
+            .collect();
+        for (row, word) in words.iter().enumerate() {
+            router.note_store(word, row).unwrap();
+        }
+        let before: Vec<Vec<usize>> = words.iter().map(|w| router.route(w).unwrap()).collect();
+        // Orphan banks 0..6 (shard 0 of a 2-shard split), substitute
+        // with the live banks 6..12 round-robin.
+        let orphaned = [0, 1, 2, 3, 4, 5];
+        let substitutes = [6, 7, 8, 9, 10, 11];
+        assert_eq!(router.displace_banks(&orphaned, &substitutes), 6);
+        assert_eq!(router.displaced_banks(), 6);
+        for word in &words {
+            let banks = router.route(word).unwrap();
+            // No orphaned bank survives in any route...
+            assert!(banks.iter().all(|b| !orphaned.contains(b)), "{banks:?}");
+            // ...and routes stay ascending + deduplicated.
+            assert!(banks.windows(2).all(|w| w[0] < w[1]));
+        }
+        // Empty substitutes record nothing; self-substitution is a
+        // no-op entry.
+        assert_eq!(router.displace_banks(&[7], &[]), 0);
+        assert_eq!(router.displace_banks(&[7], &[7]), 0);
+        // Restore undoes the overlay bit-exactly.
+        router.restore_banks(&orphaned);
+        assert_eq!(router.displaced_banks(), 0);
+        let after: Vec<Vec<usize>> = words.iter().map(|w| router.route(w).unwrap()).collect();
+        assert_eq!(before, after);
     }
 
     #[test]

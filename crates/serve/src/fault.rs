@@ -47,9 +47,21 @@ pub enum FaultSite {
     /// In [`crate::ServeHandle::admit`]: an `Overload` here rejects
     /// the submission as if the queue were full.
     Admission,
+    /// In the re-admit supervisor, before a quarantined shard's memory
+    /// is reclaimed. A `Panic` here aborts the probe (the shard stays
+    /// quarantined, `probe_failures` counts it); a `Delay` stretches
+    /// the resurrection window so races with live traffic get
+    /// exercised.
+    Probe,
+    /// In the re-admit supervisor, after the replacement dispatcher
+    /// passed its canary but before the health board flips to
+    /// `Healthy`. A `Panic` here fails the probe at the last possible
+    /// moment — the replacement stays installed but quarantined, and
+    /// the next probe must re-run the canary.
+    Readmit,
 }
 
-const N_SITES: usize = 5;
+const N_SITES: usize = 7;
 
 fn site_index(site: FaultSite) -> usize {
     match site {
@@ -58,6 +70,8 @@ fn site_index(site: FaultSite) -> usize {
         FaultSite::Store => 2,
         FaultSite::RouterRead => 3,
         FaultSite::Admission => 4,
+        FaultSite::Probe => 5,
+        FaultSite::Readmit => 6,
     }
 }
 

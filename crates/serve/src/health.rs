@@ -20,8 +20,14 @@ pub enum ShardHealth {
     /// traffic, but recent merges completed without it.
     Degraded,
     /// The shard's dispatcher is gone (circuit breaker tripped, or its
-    /// channel closed): fan-out skips it entirely until shutdown.
+    /// channel closed): fan-out skips it entirely until a probe
+    /// re-admits it or the server shuts down.
     Quarantined,
+    /// A supervisor is resurrecting the shard: its banks were reclaimed
+    /// from the dead dispatcher and a replacement is being canary-
+    /// validated. Fan-out still skips it (like `Quarantined`) until the
+    /// canary answer is bit-identical to the masked-sweep oracle.
+    Probing,
 }
 
 impl ShardHealth {
@@ -29,6 +35,7 @@ impl ShardHealth {
         match v {
             0 => ShardHealth::Healthy,
             1 => ShardHealth::Degraded,
+            3 => ShardHealth::Probing,
             _ => ShardHealth::Quarantined,
         }
     }
@@ -38,7 +45,16 @@ impl ShardHealth {
             ShardHealth::Healthy => 0,
             ShardHealth::Degraded => 1,
             ShardHealth::Quarantined => 2,
+            ShardHealth::Probing => 3,
         }
+    }
+
+    /// `true` when fan-out must not send traffic to the shard: its
+    /// dispatcher is gone (`Quarantined`) or mid-resurrection
+    /// (`Probing`).
+    #[must_use]
+    pub fn excluded(self) -> bool {
+        matches!(self, ShardHealth::Quarantined | ShardHealth::Probing)
     }
 }
 
@@ -60,10 +76,61 @@ impl HealthBoard {
         ShardHealth::from_u8(self.states[shard].load(Ordering::Relaxed))
     }
 
-    /// Monotone escalation: health only ever worsens (a quarantined
-    /// shard never silently returns — its dispatcher is gone).
-    pub(crate) fn escalate(&self, shard: usize, to: ShardHealth) {
-        self.states[shard].fetch_max(to.as_u8(), Ordering::Relaxed);
+    /// Monotone escalation: observed failures only ever worsen health
+    /// (`Healthy → Degraded → Quarantined`). Returns the state the
+    /// board held *before* the call, so the first observer of a
+    /// transition can count and log it exactly once. De-escalation is
+    /// never done here — a quarantined shard returns only through the
+    /// guarded probe transitions below, which require a supervisor to
+    /// have replaced the dead dispatcher first.
+    ///
+    /// `Probing` (encoded above `Quarantined`) is deliberately
+    /// unreachable through this path: clients cannot race a shard into
+    /// or out of its resurrection window.
+    pub(crate) fn escalate(&self, shard: usize, to: ShardHealth) -> ShardHealth {
+        debug_assert!(!matches!(to, ShardHealth::Probing));
+        ShardHealth::from_u8(self.states[shard].fetch_max(to.as_u8(), Ordering::Relaxed))
+    }
+
+    /// Guarded `Quarantined → Probing` transition; `true` when this
+    /// caller won the probe (exactly one supervisor resurrects a shard
+    /// at a time).
+    pub(crate) fn begin_probe(&self, shard: usize) -> bool {
+        self.states[shard]
+            .compare_exchange(
+                ShardHealth::Quarantined.as_u8(),
+                ShardHealth::Probing.as_u8(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+
+    /// Guarded `Probing → Healthy` transition: the canary answered
+    /// bit-identically, the replacement dispatcher rejoins merges.
+    pub(crate) fn admit(&self, shard: usize) -> bool {
+        self.states[shard]
+            .compare_exchange(
+                ShardHealth::Probing.as_u8(),
+                ShardHealth::Healthy.as_u8(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+
+    /// Guarded `Probing → Quarantined` transition: the probe failed
+    /// (injected fault, unrecoverable memory, or canary mismatch); the
+    /// shard stays out of merges until the next probe.
+    pub(crate) fn fail_probe(&self, shard: usize) -> bool {
+        self.states[shard]
+            .compare_exchange(
+                ShardHealth::Probing.as_u8(),
+                ShardHealth::Quarantined.as_u8(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            )
+            .is_ok()
     }
 
     pub(crate) fn snapshot(&self) -> Vec<ShardHealth> {
@@ -211,9 +278,20 @@ mod tests {
     fn health_board_escalates_monotonically() {
         let board = HealthBoard::new(2);
         assert_eq!(board.get(0), ShardHealth::Healthy);
-        board.escalate(0, ShardHealth::Degraded);
+        assert_eq!(
+            board.escalate(0, ShardHealth::Degraded),
+            ShardHealth::Healthy
+        );
         assert_eq!(board.get(0), ShardHealth::Degraded);
-        board.escalate(0, ShardHealth::Quarantined);
+        // The returned previous state identifies the first observer.
+        assert_eq!(
+            board.escalate(0, ShardHealth::Quarantined),
+            ShardHealth::Degraded
+        );
+        assert_eq!(
+            board.escalate(0, ShardHealth::Quarantined),
+            ShardHealth::Quarantined
+        );
         // Escalation never reverses.
         board.escalate(0, ShardHealth::Healthy);
         assert_eq!(board.get(0), ShardHealth::Quarantined);
@@ -221,6 +299,36 @@ mod tests {
             board.snapshot(),
             vec![ShardHealth::Quarantined, ShardHealth::Healthy]
         );
+    }
+
+    #[test]
+    fn probe_transitions_are_guarded() {
+        let board = HealthBoard::new(1);
+        // Only a quarantined shard can enter probing.
+        assert!(!board.begin_probe(0));
+        board.escalate(0, ShardHealth::Quarantined);
+        assert!(board.begin_probe(0));
+        assert_eq!(board.get(0), ShardHealth::Probing);
+        // Exactly one supervisor wins the probe.
+        assert!(!board.begin_probe(0));
+        // Client escalation cannot stomp a probe in flight.
+        board.escalate(0, ShardHealth::Quarantined);
+        assert_eq!(board.get(0), ShardHealth::Probing);
+        // Failed probe returns to quarantine; a later probe may retry.
+        assert!(board.fail_probe(0));
+        assert_eq!(board.get(0), ShardHealth::Quarantined);
+        assert!(!board.admit(0));
+        assert!(board.begin_probe(0));
+        assert!(board.admit(0));
+        assert_eq!(board.get(0), ShardHealth::Healthy);
+    }
+
+    #[test]
+    fn excluded_covers_quarantined_and_probing() {
+        assert!(!ShardHealth::Healthy.excluded());
+        assert!(!ShardHealth::Degraded.excluded());
+        assert!(ShardHealth::Quarantined.excluded());
+        assert!(ShardHealth::Probing.excluded());
     }
 
     #[test]

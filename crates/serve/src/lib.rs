@@ -177,6 +177,45 @@
 //!   banks all live on quarantined shards fall back to a full sweep
 //!   of the surviving shards. A poisoned router lock degrades to full
 //!   fan-out (a recall-safe superset) instead of panicking clients.
+//! * **Quarantine is not a grave.** Shard health is a five-edge state
+//!   machine:
+//!
+//!   ```text
+//!   Healthy ──missed shard deadline──▶ Degraded
+//!   Healthy | Degraded ──dispatcher gone──▶ Quarantined
+//!   Quarantined ──probe supervisor wins CAS──▶ Probing
+//!   Probing ──canary bit-identical──▶ Healthy
+//!   Probing ──probe failed──▶ Quarantined
+//!   ```
+//!
+//!   The first three edges are monotone escalations any client thread
+//!   may publish (lock-free `fetch_max`; `Probing` is encoded above
+//!   `Quarantined`, so a racing client can never stomp a resurrection
+//!   in flight). The last three are guarded compare-and-swap
+//!   transitions owned by exactly one prober at a time: the supervisor
+//!   ([`ServeConfig::probe_interval`], or an explicit
+//!   [`ShardedServer::try_readmit`]) reclaims the quarantined shard's
+//!   banks via the dead server's fallible `shutdown()`, spawns a
+//!   replacement dispatcher, and re-admits it **only** behind the
+//!   canary rule: the replacement's answers to resident-row probe
+//!   queries must be bit-identical (`f64::to_bits` on the winning
+//!   conductance) to a masked-sweep oracle computed on the reclaimed
+//!   memory itself. Any probe failure — injected fault, unrecoverable
+//!   memory, canary mismatch, lost ownership — returns the shard to
+//!   `Quarantined` for a later retry and counts in
+//!   [`ServeStats::probe_failures`]. While a shard is quarantined its
+//!   routed bank subsets are **re-placed** onto live shards (an overlay
+//!   on the router, never a bucket rewrite), so routed traffic keeps
+//!   its narrow fan-out instead of widening to a full sweep; a
+//!   successful re-admit undoes the overlay exactly. Transition counts
+//!   are monotone and observable: [`ShardedStats`] `degraded` /
+//!   `quarantined` / `readmitted` / `probe_failures`.
+//!
+//! Error precedence: a request whose own deadline has already expired
+//! reports [`ServeError::DeadlineExceeded`] even when the topology is
+//! simultaneously degraded — request-validity errors outrank topology
+//! errors, so callers can tell "your budget was too small" from "the
+//! fleet is sick".
 //!
 //! Error taxonomy: [`ServeError::Overloaded`] (admission),
 //! [`ServeError::DeadlineExceeded`] (the request's own budget),
@@ -294,6 +333,16 @@ pub struct ServeConfig {
     /// the partial answer with its [`Coverage`] (fail-open, default)
     /// or reject with [`ServeError::Degraded`] (fail-closed).
     pub degraded_policy: DegradedPolicy,
+    /// How often a [`ShardedServer`]'s probe supervisor sweeps for
+    /// quarantined shards to resurrect (reclaim the dead dispatcher's
+    /// memory, canary-validate a replacement, re-admit — see the
+    /// [module-level "Failure model"](self#failure-model)). `None`
+    /// (the default) spawns no supervisor thread; quarantined shards
+    /// then return only through explicit
+    /// [`ShardedServer::try_readmit`] /
+    /// [`ShardedServer::readmit_quarantined`] calls. Ignored by a
+    /// single-dispatcher server.
+    pub probe_interval: Option<Duration>,
     /// Fault-injection schedule installed on server start (chaos
     /// testing only — see [`fault`]). `None` injects nothing.
     #[cfg(feature = "chaos")]
@@ -312,6 +361,7 @@ impl Default for ServeConfig {
             restart_window: Duration::from_secs(1),
             shard_timeout: None,
             degraded_policy: DegradedPolicy::FailOpen,
+            probe_interval: None,
             #[cfg(feature = "chaos")]
             faults: None,
         }

@@ -5,6 +5,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use femcam_core::{BankedMcam, CoreError, NnIndex, Precision, Quantizer, QueryResult, RoutedMcam};
@@ -102,6 +103,11 @@ pub struct ServedNn {
     /// Whether the dispatcher routes queries through an LSH front end
     /// ([`Self::new_routed`]) — affects [`NnIndex::name`] only.
     routed: bool,
+    /// [`Coverage`] of the most recent winner query answered through
+    /// this engine — how callers coding against the plain [`NnIndex`]
+    /// trait (whose `query` cannot return coverage) observe that a
+    /// fail-open sharded back end answered from a partial topology.
+    last_coverage: Mutex<Option<Coverage>>,
 }
 
 /// The owned serving back end: a single dispatcher or a sharded fleet.
@@ -155,6 +161,7 @@ impl ServedNn {
             bits,
             precision,
             routed: false,
+            last_coverage: Mutex::new(None),
         })
     }
 
@@ -185,6 +192,7 @@ impl ServedNn {
             bits,
             precision,
             routed: true,
+            last_coverage: Mutex::new(None),
         })
     }
 
@@ -219,6 +227,7 @@ impl ServedNn {
             bits,
             precision,
             routed: false,
+            last_coverage: Mutex::new(None),
         })
     }
 
@@ -281,8 +290,25 @@ impl ServedNn {
             .submit(&levels)
             .and_then(ServingTicket::wait_covered)
             .map_err(CoreError::from)?;
+        self.record_coverage(&covered.coverage);
         let (index, score) = covered.value;
         Ok((self.result(index, score)?, covered.coverage))
+    }
+
+    /// [`Coverage`] of the most recent winner query ([`NnIndex::query`]
+    /// or [`query_with_coverage`](Self::query_with_coverage)) answered
+    /// through this engine, or `None` before the first one. Full on a
+    /// single-dispatcher back end; on a fail-open sharded back end a
+    /// partial record here is how plain [`NnIndex`] callers — whose
+    /// `query` signature cannot carry coverage — learn that the last
+    /// answer was merged over a degraded topology.
+    #[must_use]
+    pub fn last_coverage(&self) -> Option<Coverage> {
+        crate::lock(&self.last_coverage).clone()
+    }
+
+    fn record_coverage(&self, coverage: &Coverage) {
+        *crate::lock(&self.last_coverage) = Some(coverage.clone());
     }
 
     fn result(&self, index: usize, score: f64) -> femcam_core::Result<QueryResult> {
@@ -330,7 +356,13 @@ impl NnIndex for ServedNn {
 
     fn query(&self, features: &[f32]) -> femcam_core::Result<QueryResult> {
         let levels = self.quantizer.quantize(features)?;
-        let (index, score) = self.handle.search(&levels).map_err(CoreError::from)?;
+        let covered = self
+            .handle
+            .submit(&levels)
+            .and_then(ServingTicket::wait_covered)
+            .map_err(CoreError::from)?;
+        self.record_coverage(&covered.coverage);
+        let (index, score) = covered.value;
         self.result(index, score)
     }
 
@@ -668,6 +700,23 @@ mod tests {
             served.query_k_batch(&[], 3),
             Err(CoreError::EmptyArray)
         ));
+    }
+
+    #[test]
+    fn last_coverage_tracks_winner_queries() {
+        let (features, labels) = clustered_data();
+        let (mut served, _) = build_served(Precision::F64, 4);
+        assert_eq!(served.last_coverage(), None, "no query answered yet");
+        for (f, &l) in features.iter().zip(&labels) {
+            served.add(f, l).unwrap();
+        }
+        served.query(&features[0]).unwrap();
+        let coverage = served.last_coverage().expect("query records coverage");
+        assert!(!coverage.degraded(), "single dispatcher is always full");
+        assert_eq!(coverage.searched, coverage.banks.len());
+        // The explicit coverage face records the same thing.
+        let (_, explicit) = served.query_with_coverage(&features[1]).unwrap();
+        assert_eq!(served.last_coverage(), Some(explicit));
     }
 
     #[test]

@@ -27,8 +27,9 @@
 //! router's buckets synchronized (tail store, then
 //! [`LshRouter::note_store`]) so a new row is immediately routable.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::thread;
 use std::time::{Duration, Instant};
 
 use femcam_core::exec::validate_query;
@@ -44,12 +45,19 @@ use crate::{
 /// Client-level counters a [`ShardedHandle`] keeps in addition to the
 /// per-shard dispatcher stats (a fanned request executes once per
 /// shard, so per-shard counters alone would overcount client traffic).
+/// The health-transition counters are monotone and count *transitions*,
+/// not observations: whichever client (or supervisor) moves the board
+/// first increments once and logs once.
 #[derive(Debug)]
 struct ClientCounters {
     submitted: AtomicU64,
     topk_submitted: AtomicU64,
     rejected: AtomicU64,
     deadline_rejected: AtomicU64,
+    degraded: AtomicU64,
+    quarantined: AtomicU64,
+    readmitted: AtomicU64,
+    probe_failures: AtomicU64,
     started: Instant,
 }
 
@@ -60,18 +68,165 @@ impl Default for ClientCounters {
             topk_submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             deadline_rejected: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            readmitted: AtomicU64::new(0),
+            probe_failures: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
 }
 
+/// The shared, swap-capable view of the sharded topology: everything a
+/// client clone or an in-flight ticket needs to observe failures,
+/// repair routes, and see a resurrected shard. One `Arc<Topology>` is
+/// shared by every [`ShardedHandle`] clone, every ticket, and the
+/// probe supervisor, so a replacement dispatcher installed by re-admit
+/// is immediately visible everywhere.
+#[derive(Debug)]
+struct Topology {
+    /// Per-shard handles behind swap cells, in ascending global-row
+    /// order: re-admit replaces a dead shard's handle in place. Reads
+    /// are brief clone-and-release ([`Topology::shard`]); only the
+    /// re-admit supervisor writes.
+    shards: Box<[RwLock<ServeHandle>]>,
+    /// Global row base of each shard (rows stored in earlier shards).
+    bases: Box<[usize]>,
+    /// Shards searches fan to (ascending; excludes permanently-empty
+    /// shards, includes the tail).
+    targets: Box<[usize]>,
+    /// Bank index → owning shard (contiguous partition ranges); banks
+    /// appended after start belong to the tail shard.
+    bank_shard: Box<[usize]>,
+    /// Global bank base of each shard (banks held by earlier shards).
+    bank_bases: Box<[usize]>,
+    /// LSH front-end router ([`ShardedServer::start_routed`]); `None`
+    /// fans every search to all targets. Searches take the read lock
+    /// (concurrent), stores the write lock (bucket update). A poisoned
+    /// lock degrades routing to the full fan-out, never a panic.
+    router: Option<RwLock<LshRouter>>,
+    /// The shard that owns the append tail (receives every store).
+    tail: usize,
+    /// Shared per-shard health, escalated by whichever client observes
+    /// a failure first, de-escalated only by the probe/re-admit path.
+    health: HealthBoard,
+    counters: ClientCounters,
+}
+
+impl Topology {
+    /// A clone of shard `i`'s current handle (cheap: an `Arc` plus a
+    /// channel sender). Callers hold the clone for the whole request so
+    /// admission slots are always released on the same dispatcher that
+    /// reserved them, even if re-admit swaps the cell mid-request.
+    fn shard(&self, i: usize) -> ServeHandle {
+        self.shards[i]
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// First observation of a shard going degraded: escalate, count
+    /// once, log once.
+    fn mark_degraded(&self, shard: usize) {
+        let prev = self.health.escalate(shard, ShardHealth::Degraded);
+        if prev == ShardHealth::Healthy {
+            self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+            eprintln!("femcam-serve: shard {shard} healthy -> degraded (missed shard deadline)");
+        }
+    }
+
+    /// First observation of a shard's dispatcher being gone: escalate,
+    /// count once, log once, and re-place its orphaned router banks
+    /// onto live shards so routed fan-out narrows instead of widening.
+    fn mark_quarantined(&self, shard: usize) {
+        let prev = self.health.escalate(shard, ShardHealth::Quarantined);
+        if !prev.excluded() {
+            self.counters.quarantined.fetch_add(1, Ordering::Relaxed);
+            eprintln!("femcam-serve: shard {shard} {prev:?} -> quarantined (dispatcher gone)");
+            self.displace_orphaned_routes(shard);
+        }
+    }
+
+    /// The start-time bank indices owned by `shard` (banks appended by
+    /// later stores belong to the tail but are not re-placed — they
+    /// already fall back to the tail mapping).
+    fn owned_banks(&self, shard: usize) -> Vec<usize> {
+        (0..self.bank_shard.len())
+            .filter(|&b| self.bank_shard[b] == shard)
+            .collect()
+    }
+
+    /// Re-places the quarantined shard's banks onto the first bank of
+    /// each surviving target (round-robin), reversibly — see
+    /// [`LshRouter::displace_banks`]. Routed queries whose banks all
+    /// lived on the dead shard then fan to *one* substitute shard
+    /// instead of falling back to the widest surviving sweep.
+    fn displace_orphaned_routes(&self, shard: usize) {
+        let Some(router) = &self.router else { return };
+        let orphaned = self.owned_banks(shard);
+        if orphaned.is_empty() {
+            return;
+        }
+        let substitutes: Vec<usize> = self
+            .targets
+            .iter()
+            .copied()
+            .filter(|&t| {
+                t != shard && !self.health.get(t).excluded() && self.bank_shard.contains(&t)
+            })
+            .map(|t| self.bank_bases[t])
+            .collect();
+        // A poisoned router already degrades every search to the full
+        // fan-out, so skipping the repair costs nothing.
+        if let Ok(mut guard) = router.write() {
+            let placed = guard.displace_banks(&orphaned, &substitutes);
+            if placed > 0 {
+                eprintln!(
+                    "femcam-serve: shard {shard} re-placed {placed} orphaned router bank(s) \
+                     onto live shards"
+                );
+            }
+        }
+    }
+
+    /// Undoes [`displace_orphaned_routes`](Self::displace_orphaned_routes)
+    /// on re-admit: the shard's banks route to it again.
+    fn restore_orphaned_routes(&self, shard: usize) {
+        let Some(router) = &self.router else { return };
+        let orphaned = self.owned_banks(shard);
+        if orphaned.is_empty() {
+            return;
+        }
+        if let Ok(mut guard) = router.write() {
+            guard.restore_banks(&orphaned);
+        }
+    }
+}
+
 /// A sharded micro-batching server: `N` single-dispatcher shards over
-/// a partitioned [`BankedMcam`], plus the fan-out/merge front end.
+/// a partitioned [`BankedMcam`], plus the fan-out/merge front end and
+/// the probe/re-admit supervisor that resurrects quarantined shards.
 /// See the [module docs](self).
 #[derive(Debug)]
 pub struct ShardedServer {
-    shards: Vec<McamServer>,
+    /// Per-shard dispatcher servers behind slots the re-admit path can
+    /// swap. A slot is `None` only when the shard's memory was lost
+    /// (its dispatcher died outside supervision) — permanently dead.
+    shards: Arc<Vec<Mutex<Option<McamServer>>>>,
     handle: ShardedHandle,
+    config: ServeConfig,
+    prober: Option<Prober>,
+}
+
+/// The background probe thread ([`ServeConfig::probe_interval`]).
+#[derive(Debug)]
+struct Prober {
+    stop: Arc<AtomicBool>,
+    thread: thread::JoinHandle<()>,
 }
 
 impl ShardedServer {
@@ -164,26 +319,59 @@ impl ShardedServer {
             .into_iter()
             .map(|part| McamServer::start(part, config.clone()))
             .collect();
-        let handle = ShardedHandle {
-            shards: servers.iter().map(McamServer::handle).collect(),
+        let topo = Arc::new(Topology {
+            shards: servers
+                .iter()
+                .map(|s| RwLock::new(s.handle()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
             bases: bases.into(),
             targets: targets.into(),
             bank_shard: bank_shard.into(),
             bank_bases: bank_bases.into(),
-            router: router.map(|r| Arc::new(RwLock::new(r))),
+            router: router.map(RwLock::new),
             tail,
+            health: HealthBoard::new(shards),
+            counters: ClientCounters::default(),
+        });
+        let handle = ShardedHandle {
+            topo,
             word_len,
             n_levels,
-            health: Arc::new(HealthBoard::new(shards)),
             policy: config.degraded_policy,
             shard_timeout: config.shard_timeout,
             #[cfg(feature = "chaos")]
             faults: config.faults.clone(),
-            counters: Arc::new(ClientCounters::default()),
         };
+        let slots: Arc<Vec<Mutex<Option<McamServer>>>> =
+            Arc::new(servers.into_iter().map(|s| Mutex::new(Some(s))).collect());
+        let prober = config.probe_interval.and_then(|interval| {
+            let stop = Arc::new(AtomicBool::new(false));
+            let spawned = {
+                let stop = Arc::clone(&stop);
+                let slots = Arc::clone(&slots);
+                let handle = handle.clone();
+                let config = config.clone();
+                thread::Builder::new()
+                    .name("femcam-probe".into())
+                    .spawn(move || probe_loop(&stop, interval, &slots, &handle, &config))
+            };
+            match spawned {
+                Ok(thread) => Some(Prober { stop, thread }),
+                // No supervisor thread is a degraded mode, not a fatal
+                // one: quarantined shards can still come back through
+                // explicit try_readmit/readmit_quarantined calls.
+                Err(e) => {
+                    eprintln!("femcam-serve: probe supervisor failed to spawn: {e}");
+                    None
+                }
+            }
+        });
         ShardedServer {
-            shards: servers,
+            shards: slots,
             handle,
+            config,
+            prober,
         }
     }
 
@@ -214,6 +402,44 @@ impl ShardedServer {
         self.handle.memory_report()
     }
 
+    /// Attempts to resurrect one quarantined shard: reclaim its memory
+    /// from the dead dispatcher (`McamServer::shutdown` returns the
+    /// banks even from a terminally-failed server), spawn a replacement
+    /// dispatcher over them, and re-admit it behind the canary gate —
+    /// the replacement's served answers must be **bit-identical** to a
+    /// direct sweep of the recovered memory before the health board
+    /// flips `Quarantined → Probing → Healthy` and the shard rejoins
+    /// merges (with its router banks restored). Returns `Ok(true)` when
+    /// the shard was re-admitted, `Ok(false)` when there was nothing to
+    /// do (shard healthy, already probing, or the probe failed and the
+    /// shard stays quarantined for a later retry).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::DispatcherFailed`] when the shard's dispatcher
+    /// died outside supervision: its memory is unrecoverable and the
+    /// shard is permanently lost.
+    pub fn try_readmit(&self, shard: usize) -> Result<bool, ServeError> {
+        try_readmit_shard(&self.shards, &self.handle, &self.config, shard)
+    }
+
+    /// Sweeps every shard through [`try_readmit`](Self::try_readmit);
+    /// returns how many shards were re-admitted. The manual face of the
+    /// probe supervisor ([`ServeConfig::probe_interval`] runs the same
+    /// sweep on a timer).
+    pub fn readmit_quarantined(&self) -> usize {
+        (0..self.handle.n_shards())
+            .filter(|&shard| self.try_readmit(shard).unwrap_or(false))
+            .count()
+    }
+
+    fn stop_prober(&mut self) {
+        if let Some(prober) = self.prober.take() {
+            prober.stop.store(true, Ordering::SeqCst);
+            let _ = prober.thread.join();
+        }
+    }
+
     /// Stops every shard dispatcher and reassembles the partitioned
     /// memory into one [`BankedMcam`] ([`BankedMcam::concat`]), with
     /// global rows exactly where an unsharded server left them. Shards
@@ -227,13 +453,15 @@ impl ShardedServer {
     /// are lost, so the memory cannot be reassembled), or
     /// [`ServeError::Core`] if the surviving parts no longer share a
     /// geometry (cannot happen for parts of one partition).
-    pub fn shutdown(self) -> Result<BankedMcam, ServeError> {
+    pub fn shutdown(mut self) -> Result<BankedMcam, ServeError> {
+        self.stop_prober();
         let mut parts = Vec::with_capacity(self.shards.len());
         let mut dead: Vec<usize> = Vec::new();
-        for (i, shard) in self.shards.into_iter().enumerate() {
-            match shard.shutdown() {
-                Ok(part) => parts.push(part),
-                Err(_) => dead.push(i),
+        for (i, slot) in self.shards.iter().enumerate() {
+            let server = slot.lock().unwrap_or_else(PoisonError::into_inner).take();
+            match server.map(McamServer::shutdown) {
+                Some(Ok(part)) => parts.push(part),
+                Some(Err(_)) | None => dead.push(i),
             }
         }
         if !dead.is_empty() {
@@ -245,33 +473,169 @@ impl ShardedServer {
     }
 }
 
+impl Drop for ShardedServer {
+    /// Stops the probe supervisor so a dropped (not shut down) server
+    /// never leaks a thread holding the shard slots alive.
+    fn drop(&mut self) {
+        self.stop_prober();
+    }
+}
+
+/// The probe supervisor loop: every `interval`, sweep the shards and
+/// try to resurrect whatever is quarantined. Sleeps in short chunks so
+/// shutdown never waits a full interval to join the thread.
+fn probe_loop(
+    stop: &AtomicBool,
+    interval: Duration,
+    slots: &[Mutex<Option<McamServer>>],
+    handle: &ShardedHandle,
+    config: &ServeConfig,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        let mut waited = Duration::ZERO;
+        while waited < interval && !stop.load(Ordering::SeqCst) {
+            let step = (interval - waited).min(Duration::from_millis(20));
+            thread::sleep(step);
+            waited += step;
+        }
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        for shard in 0..handle.n_shards() {
+            let _ = try_readmit_shard(slots, handle, config, shard);
+        }
+    }
+}
+
+/// The probe/re-admit state machine for one shard — see
+/// [`ShardedServer::try_readmit`] for the contract. Exactly one caller
+/// can hold a shard's probe at a time (`HealthBoard::begin_probe` is a
+/// guarded CAS), so the manual path and the probe thread never race
+/// each other into a double resurrection.
+fn try_readmit_shard(
+    slots: &[Mutex<Option<McamServer>>],
+    handle: &ShardedHandle,
+    config: &ServeConfig,
+    shard: usize,
+) -> Result<bool, ServeError> {
+    let topo = &handle.topo;
+    // Observe (and escalate) first: a tripped breaker nobody searched
+    // through yet is still a quarantine candidate.
+    if !handle.quarantined(shard) || !topo.health.begin_probe(shard) {
+        return Ok(false);
+    }
+    eprintln!("femcam-serve: shard {shard} quarantined -> probing");
+    let fail = |detail: &str| {
+        topo.counters.probe_failures.fetch_add(1, Ordering::Relaxed);
+        topo.health.fail_probe(shard);
+        eprintln!("femcam-serve: shard {shard} probing -> quarantined ({detail})");
+    };
+    #[cfg(feature = "chaos")]
+    if let Some(plan) = &handle.faults {
+        match plan.sample(fault::FaultSite::Probe) {
+            Some(fault::FaultKind::Panic | fault::FaultKind::Overload) => {
+                fail("injected probe fault");
+                return Ok(false);
+            }
+            Some(fault::FaultKind::Delay(d)) => thread::sleep(d),
+            None => {}
+        }
+    }
+    let mut slot = slots[shard].lock().unwrap_or_else(PoisonError::into_inner);
+    let Some(server) = slot.take() else {
+        // A previous probe already found the memory unrecoverable.
+        fail("memory lost");
+        return Err(ServeError::DispatcherFailed {
+            detail: format!("shard {shard} memory was lost; cannot resurrect"),
+        });
+    };
+    // Reclaim the banks. A terminally-failed server still returns its
+    // memory; only a dispatcher that died *outside* supervision loses
+    // it, and then the shard is permanently gone (slot stays empty).
+    let memory = match server.shutdown() {
+        Ok(memory) => memory,
+        Err(e) => {
+            fail("memory unrecoverable");
+            return Err(e);
+        }
+    };
+    // Canary oracle before the respawn: direct sweeps of the recovered
+    // part are the ground truth its served answers must match bit for
+    // bit. Sample a few spread-out resident rows as exact-match
+    // canaries (an empty part has nothing to validate).
+    let canaries: Vec<Vec<u8>> = {
+        let n = memory.n_rows();
+        [0usize, n / 3, 2 * n / 3, n.saturating_sub(1)]
+            .iter()
+            .filter(|&&row| row < n)
+            .filter_map(|&row| memory.row(row).map(<[u8]>::to_vec))
+            .collect()
+    };
+    let oracle: Vec<(usize, f64)> = match canaries
+        .iter()
+        .map(|q| memory.search_with(q, config.precision))
+        .collect()
+    {
+        Ok(oracle) => oracle,
+        Err(e) => {
+            // Cannot happen for resident rows, but never lose the
+            // memory over it: put a fresh server back and bail.
+            *slot = Some(McamServer::start(memory, config.clone()));
+            fail("canary oracle failed");
+            return Err(ServeError::Core(e));
+        }
+    };
+    let server = McamServer::start(memory, config.clone());
+    let replacement = server.handle();
+    let canary_ok = canaries.iter().zip(&oracle).all(|(q, &(row, g))| {
+        replacement
+            .search(q)
+            .is_ok_and(|(got_row, got_g)| got_row == row && got_g.to_bits() == g.to_bits())
+    });
+    // The replacement holds the memory either way; a canary mismatch
+    // leaves it installed but quarantined so the next probe retries.
+    *slot = Some(server);
+    *topo.shards[shard]
+        .write()
+        .unwrap_or_else(PoisonError::into_inner) = replacement;
+    drop(slot);
+    if !canary_ok {
+        fail("canary mismatch");
+        return Ok(false);
+    }
+    #[cfg(feature = "chaos")]
+    if let Some(plan) = &handle.faults {
+        match plan.sample(fault::FaultSite::Readmit) {
+            Some(fault::FaultKind::Panic | fault::FaultKind::Overload) => {
+                fail("injected readmit fault");
+                return Ok(false);
+            }
+            Some(fault::FaultKind::Delay(d)) => thread::sleep(d),
+            None => {}
+        }
+    }
+    topo.restore_orphaned_routes(shard);
+    if topo.health.admit(shard) {
+        topo.counters.readmitted.fetch_add(1, Ordering::Relaxed);
+        eprintln!("femcam-serve: shard {shard} probing -> healthy (canary bit-identical)");
+        Ok(true)
+    } else {
+        // Unreachable while probes are exclusive; count it rather than
+        // trust an impossible board state.
+        fail("lost probe ownership");
+        Ok(false)
+    }
+}
+
 /// Cloneable client handle to a running [`ShardedServer`].
 #[derive(Debug, Clone)]
 pub struct ShardedHandle {
-    /// Per-shard handles, in ascending global-row order.
-    shards: Vec<ServeHandle>,
-    /// Global row base of each shard (rows stored in earlier shards).
-    bases: Arc<[usize]>,
-    /// Shards searches fan to (ascending; excludes permanently-empty
-    /// shards, includes the tail).
-    targets: Arc<[usize]>,
-    /// Bank index → owning shard (contiguous partition ranges); banks
-    /// appended after start belong to the tail shard.
-    bank_shard: Arc<[usize]>,
-    /// Global bank base of each shard (banks held by earlier shards).
-    bank_bases: Arc<[usize]>,
-    /// LSH front-end router ([`ShardedServer::start_routed`]); `None`
-    /// fans every search to all targets. Searches take the read lock
-    /// (concurrent), stores the write lock (bucket update). A poisoned
-    /// lock degrades routing to the full fan-out, never a panic.
-    router: Option<Arc<RwLock<LshRouter>>>,
-    /// The shard that owns the append tail (receives every store).
-    tail: usize,
+    /// The shared topology: per-shard handle cells, geometry, router,
+    /// health board, and client counters — one instance across every
+    /// clone, ticket, and the probe supervisor.
+    topo: Arc<Topology>,
     word_len: usize,
     n_levels: usize,
-    /// Shared per-shard health, escalated by whichever client observes
-    /// a failure first.
-    health: Arc<HealthBoard>,
     /// What to do with a merge that lost coverage.
     policy: DegradedPolicy,
     /// Per-shard answer deadline; a shard that misses it is marked
@@ -279,7 +643,6 @@ pub struct ShardedHandle {
     shard_timeout: Option<Duration>,
     #[cfg(feature = "chaos")]
     faults: Option<fault::FaultPlan>,
-    counters: Arc<ClientCounters>,
 }
 
 /// One contacted shard's stake in a fanned request: its ticket plus
@@ -332,7 +695,7 @@ impl ShardedHandle {
     ) -> Result<ShardTicket, ServeError> {
         validate_query(self.word_len, self.n_levels, query)?;
         let deadline = self.deadline_for(budget)?;
-        self.submit_at(query, Some(deadline))
+        self.submit_at(query, Some((deadline, budget)))
     }
 
     /// Converts a request budget into an absolute deadline; a zero
@@ -341,7 +704,8 @@ impl ShardedHandle {
     /// never `DeadlineExceeded`.
     fn deadline_for(&self, budget: Duration) -> Result<Instant, ServeError> {
         if budget.is_zero() {
-            self.counters
+            self.topo
+                .counters
                 .deadline_rejected
                 .fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::DeadlineExceeded {
@@ -352,15 +716,43 @@ impl ShardedHandle {
         Ok(Instant::now() + budget)
     }
 
-    /// Whether fan-out must skip this shard: already on the board as
-    /// quarantined, or its dispatcher's restart breaker tripped (which
-    /// this check is the first to observe — it escalates the board).
+    /// Error precedence at the fan-out boundary: a request whose
+    /// deadline has *already expired* reports `DeadlineExceeded` even
+    /// when the topology is simultaneously quarantined — request-
+    /// validity errors outrank topology errors (the same rule that
+    /// makes validation outrank the zero-budget check).
+    fn deadline_outranks<T>(
+        &self,
+        result: Result<T, ServeError>,
+        deadline: Option<(Instant, Duration)>,
+    ) -> Result<T, ServeError> {
+        match (result, deadline) {
+            (Err(ServeError::Degraded { .. }), Some((instant, budget)))
+                if Instant::now() >= instant =>
+            {
+                self.topo
+                    .counters
+                    .deadline_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::DeadlineExceeded {
+                    budget,
+                    waited: budget + Instant::now().saturating_duration_since(instant),
+                })
+            }
+            (result, _) => result,
+        }
+    }
+
+    /// Whether fan-out must skip this shard: already off the board
+    /// (quarantined or mid-probe), or its dispatcher's restart breaker
+    /// tripped (which this check is the first to observe — it
+    /// escalates the board and repairs the routes).
     fn quarantined(&self, shard: usize) -> bool {
-        if self.health.get(shard) == ShardHealth::Quarantined {
+        if self.topo.health.get(shard).excluded() {
             return true;
         }
-        if self.shards[shard].is_failed() {
-            self.health.escalate(shard, ShardHealth::Quarantined);
+        if self.topo.shard(shard).is_failed() {
+            self.topo.mark_quarantined(shard);
             return true;
         }
         false
@@ -368,7 +760,7 @@ impl ShardedHandle {
 
     /// Banks currently charged to `shard` for coverage accounting.
     fn shard_banks(&self, shard: usize) -> usize {
-        self.shards[shard].banks_snapshot()
+        self.topo.shard(shard).banks_snapshot()
     }
 
     /// Two-phase fan-out over the intended target shards: reserve an
@@ -401,25 +793,31 @@ impl ShardedHandle {
         if live.is_empty() && !lost_shards.is_empty() {
             // Every intended shard is gone: surviving-shard full sweep.
             live = self
+                .topo
                 .targets
                 .iter()
                 .copied()
                 .filter(|&i| !lost_shards.contains(&i) && !self.quarantined(i))
                 .collect();
         }
-        let mut admitted = Vec::with_capacity(live.len());
+        // The request pins each shard's *current* handle for its whole
+        // lifetime: if re-admit swaps a cell mid-request, admission
+        // slots are still released on the dispatcher that reserved
+        // them, never on the replacement.
+        let mut admitted: Vec<(usize, ServeHandle)> = Vec::with_capacity(live.len());
         // Losses from an *orderly* shutdown are not faults: when every
         // loss this call was a clean `ShuttingDown`, the caller gets
         // that error back instead of a degraded-coverage verdict.
         let mut clean_shutdowns = 0usize;
         for &i in &live {
-            match self.shards[i].admit() {
-                Ok(()) => admitted.push(i),
+            let shard = self.topo.shard(i);
+            match shard.admit() {
+                Ok(()) => admitted.push((i, shard)),
                 Err(e @ ServeError::Overloaded { .. }) => {
-                    for &reserved in &admitted {
-                        self.shards[reserved].release_slot();
+                    for (_, reserved) in &admitted {
+                        reserved.release_slot();
                     }
-                    self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    self.topo.counters.rejected.fetch_add(1, Ordering::Relaxed);
                     return Err(e);
                 }
                 Err(ServeError::ShuttingDown) => {
@@ -429,18 +827,19 @@ impl ShardedHandle {
                 // A terminally-failed shard rejects admission: skip it
                 // and keep the request alive on the survivors.
                 Err(_) => {
-                    self.health.escalate(i, ShardHealth::Quarantined);
+                    self.topo.mark_quarantined(i);
                     lost_shards.push(i);
                 }
             }
         }
         let mut parts: Vec<Part<T>> = Vec::with_capacity(admitted.len());
-        for (pos, &i) in admitted.iter().enumerate() {
-            match enqueue(&self.shards[i]) {
+        for (pos, (i, shard)) in admitted.iter().enumerate() {
+            let i = *i;
+            match enqueue(shard) {
                 Ok(ticket) => parts.push(Part {
                     shard: i,
-                    row_base: self.bases[i],
-                    bank_base: self.bank_bases[i],
+                    row_base: self.topo.bases[i],
+                    bank_base: self.topo.bank_bases[i],
                     ticket,
                 }),
                 // The shard shut down between admit and enqueue (the
@@ -454,14 +853,14 @@ impl ShardedHandle {
                 // enqueue: quarantine it, count its banks as lost
                 // coverage, and keep the request alive on survivors.
                 Err(ServeError::DispatcherFailed { .. }) => {
-                    self.health.escalate(i, ShardHealth::Quarantined);
+                    self.topo.mark_quarantined(i);
                     lost_shards.push(i);
                 }
                 // Any other enqueue failure aborts the fan-out; roll
                 // back the slots the loop has not reached yet.
                 Err(e) => {
-                    for &unreached in &admitted[pos + 1..] {
-                        self.shards[unreached].release_slot();
+                    for (_, unreached) in &admitted[pos + 1..] {
+                        unreached.release_slot();
                     }
                     return Err(e);
                 }
@@ -479,7 +878,7 @@ impl ShardedHandle {
                 total: lost_banks,
             });
         }
-        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        self.topo.counters.submitted.fetch_add(1, Ordering::Relaxed);
         Ok(FanOut { parts, lost_banks })
     }
 
@@ -490,31 +889,37 @@ impl ShardedHandle {
     /// region) falls back to every target. The returned list is
     /// ascending, deduplicated, and always a subset of `self.targets`.
     fn route_targets(&self, query: &[u8]) -> Result<Vec<usize>, ServeError> {
-        let Some(router) = &self.router else {
-            return Ok(self.targets.to_vec());
+        let Some(router) = &self.topo.router else {
+            return Ok(self.topo.targets.to_vec());
         };
         #[cfg(feature = "chaos")]
-        self.inject_router_fault(router);
+        self.inject_router_fault();
         let Ok(guard) = router.read() else {
             // Poisoned router lock: a writer panicked mid-update, so
             // the buckets may be stale. Degrade to the full fan-out —
             // a recall-safe superset of any route — instead of
             // panicking the client thread.
-            return Ok(self.targets.to_vec());
+            return Ok(self.topo.targets.to_vec());
         };
         let banks = guard.route(query).map_err(ServeError::Core)?;
         drop(guard);
         if banks.is_empty() {
-            return Ok(self.targets.to_vec());
+            return Ok(self.topo.targets.to_vec());
         }
         let mut targets: Vec<usize> = banks
             .iter()
-            .map(|&b| self.bank_shard.get(b).copied().unwrap_or(self.tail))
-            .filter(|s| self.targets.binary_search(s).is_ok())
+            .map(|&b| {
+                self.topo
+                    .bank_shard
+                    .get(b)
+                    .copied()
+                    .unwrap_or(self.topo.tail)
+            })
+            .filter(|s| self.topo.targets.binary_search(s).is_ok())
             .collect();
         targets.dedup();
         if targets.is_empty() {
-            return Ok(self.targets.to_vec());
+            return Ok(self.topo.targets.to_vec());
         }
         Ok(targets)
     }
@@ -522,18 +927,23 @@ impl ShardedHandle {
     fn submit_at(
         &self,
         query: &[u8],
-        deadline: Option<Instant>,
+        deadline: Option<(Instant, Duration)>,
     ) -> Result<ShardTicket, ServeError> {
         validate_query(self.word_len, self.n_levels, query)?;
         let targets = self.route_targets(query)?;
-        let fan = self.fan_out(&targets, |shard| shard.enqueue_search(query, deadline))?;
+        let enqueue_deadline = deadline.map(|(instant, _)| instant);
+        let fan = self.deadline_outranks(
+            self.fan_out(&targets, |shard| {
+                shard.enqueue_search(query, enqueue_deadline)
+            }),
+            deadline,
+        )?;
         Ok(ShardTicket {
             parts: fan.parts,
             lost_banks: fan.lost_banks,
             shard_deadline: self.shard_timeout.map(|t| Instant::now() + t),
             policy: self.policy,
-            health: Arc::clone(&self.health),
-            counters: Arc::clone(&self.counters),
+            topo: Arc::clone(&self.topo),
         })
     }
 
@@ -595,27 +1005,35 @@ impl ShardedHandle {
     ) -> Result<ShardTopKTicket, ServeError> {
         validate_query(self.word_len, self.n_levels, query)?;
         let deadline = self.deadline_for(budget)?;
-        self.submit_top_k_at(query, k, Some(deadline))
+        self.submit_top_k_at(query, k, Some((deadline, budget)))
     }
 
     fn submit_top_k_at(
         &self,
         query: &[u8],
         k: usize,
-        deadline: Option<Instant>,
+        deadline: Option<(Instant, Duration)>,
     ) -> Result<ShardTopKTicket, ServeError> {
         validate_query(self.word_len, self.n_levels, query)?;
         let targets = self.route_targets(query)?;
-        let fan = self.fan_out(&targets, |shard| shard.enqueue_top_k(query, k, deadline))?;
-        self.counters.topk_submitted.fetch_add(1, Ordering::Relaxed);
+        let enqueue_deadline = deadline.map(|(instant, _)| instant);
+        let fan = self.deadline_outranks(
+            self.fan_out(&targets, |shard| {
+                shard.enqueue_top_k(query, k, enqueue_deadline)
+            }),
+            deadline,
+        )?;
+        self.topo
+            .counters
+            .topk_submitted
+            .fetch_add(1, Ordering::Relaxed);
         Ok(ShardTopKTicket {
             parts: fan.parts,
             lost_banks: fan.lost_banks,
             k,
             shard_deadline: self.shard_timeout.map(|t| Instant::now() + t),
             policy: self.policy,
-            health: Arc::clone(&self.health),
-            counters: Arc::clone(&self.counters),
+            topo: Arc::clone(&self.topo),
         })
     }
 
@@ -641,9 +1059,9 @@ impl ShardedHandle {
     ///
     /// Same conditions as [`ServeHandle::store`].
     pub fn store(&self, word: &[u8]) -> Result<usize, ServeError> {
-        let local = self.shards[self.tail].store(word)?;
-        let global = self.bases[self.tail] + local;
-        if let Some(router) = &self.router {
+        let local = self.topo.shard(self.topo.tail).store(word)?;
+        let global = self.topo.bases[self.topo.tail] + local;
+        if let Some(router) = &self.topo.router {
             // Bucket update after the store is applied: the row is
             // routable the moment any client can observe it. A
             // poisoned lock skips the update — with the router
@@ -662,13 +1080,14 @@ impl ShardedHandle {
     /// documented poisoned-router degrade path — a client thread never
     /// unwinds), a `Delay` sleeps in place.
     #[cfg(feature = "chaos")]
-    fn inject_router_fault(&self, router: &Arc<RwLock<LshRouter>>) {
+    fn inject_router_fault(&self) {
         let Some(plan) = &self.faults else { return };
         match plan.sample(fault::FaultSite::RouterRead) {
             Some(fault::FaultKind::Panic) => {
-                let lock = Arc::clone(router);
+                let topo = Arc::clone(&self.topo);
                 let _ = std::thread::spawn(move || {
-                    let _guard = lock.write();
+                    let Some(router) = &topo.router else { return };
+                    let _guard = router.write();
                     panic!("{}", fault::CHAOS_PANIC);
                 })
                 .join();
@@ -686,8 +1105,8 @@ impl ShardedHandle {
     /// [`ServeError::ShuttingDown`] when a shard dispatcher has exited.
     pub fn memory_report(&self) -> Result<MemoryReport, ServeError> {
         let mut merged: Option<MemoryReport> = None;
-        for shard in &self.shards {
-            let report = shard.memory_report()?;
+        for i in 0..self.topo.n_shards() {
+            let report = self.topo.shard(i).memory_report()?;
             merged = Some(match merged {
                 None => report,
                 Some(mut m) => {
@@ -704,27 +1123,34 @@ impl ShardedHandle {
     /// Per-shard and client-level serving statistics.
     #[must_use]
     pub fn stats(&self) -> ShardedStats {
+        let counters = &self.topo.counters;
         ShardedStats {
-            submitted: self.counters.submitted.load(Ordering::Relaxed),
-            topk_submitted: self.counters.topk_submitted.load(Ordering::Relaxed),
-            rejected: self.counters.rejected.load(Ordering::Relaxed),
-            deadline_rejected: self.counters.deadline_rejected.load(Ordering::Relaxed),
-            elapsed: self.counters.started.elapsed(),
-            health: self.health.snapshot(),
-            per_shard: self.shards.iter().map(ServeHandle::stats).collect(),
+            submitted: counters.submitted.load(Ordering::Relaxed),
+            topk_submitted: counters.topk_submitted.load(Ordering::Relaxed),
+            rejected: counters.rejected.load(Ordering::Relaxed),
+            deadline_rejected: counters.deadline_rejected.load(Ordering::Relaxed),
+            degraded: counters.degraded.load(Ordering::Relaxed),
+            quarantined: counters.quarantined.load(Ordering::Relaxed),
+            readmitted: counters.readmitted.load(Ordering::Relaxed),
+            probe_failures: counters.probe_failures.load(Ordering::Relaxed),
+            elapsed: counters.started.elapsed(),
+            health: self.topo.health.snapshot(),
+            per_shard: (0..self.topo.n_shards())
+                .map(|i| self.topo.shard(i).stats())
+                .collect(),
         }
     }
 
     /// Current per-shard health, in shard order.
     #[must_use]
     pub fn shard_health(&self) -> Vec<ShardHealth> {
-        self.health.snapshot()
+        self.topo.health.snapshot()
     }
 
     /// Number of shards this handle fans out to.
     #[must_use]
     pub fn n_shards(&self) -> usize {
-        self.shards.len()
+        self.topo.n_shards()
     }
 }
 
@@ -739,8 +1165,7 @@ pub struct ShardTicket {
     /// Per-shard answer deadline ([`crate::ServeConfig::shard_timeout`]).
     shard_deadline: Option<Instant>,
     policy: DegradedPolicy,
-    health: Arc<HealthBoard>,
-    counters: Arc<ClientCounters>,
+    topo: Arc<Topology>,
 }
 
 impl ShardTicket {
@@ -791,7 +1216,7 @@ impl ShardTicket {
                         // Missed the per-shard deadline: the shard is
                         // slow, not gone — degraded, banks lost from
                         // this merge only.
-                        self.health.escalate(part.shard, ShardHealth::Degraded);
+                        self.topo.mark_degraded(part.shard);
                         lost_banks += n_banks;
                         continue;
                     }
@@ -824,14 +1249,15 @@ impl ShardTicket {
                 }
                 // The shard died with this request in flight.
                 Err(ServeError::ShuttingDown | ServeError::DispatcherFailed { .. }) => {
-                    self.health.escalate(part.shard, ShardHealth::Quarantined);
+                    self.topo.mark_quarantined(part.shard);
                     lost_banks += n_banks;
                 }
                 Err(e) => return Err(e),
             }
         }
         if let Some(e) = dead {
-            self.counters
+            self.topo
+                .counters
                 .deadline_rejected
                 .fetch_add(1, Ordering::Relaxed);
             return Err(e);
@@ -865,8 +1291,7 @@ pub struct ShardTopKTicket {
     k: usize,
     shard_deadline: Option<Instant>,
     policy: DegradedPolicy,
-    health: Arc<HealthBoard>,
-    counters: Arc<ClientCounters>,
+    topo: Arc<Topology>,
 }
 
 impl ShardTopKTicket {
@@ -902,7 +1327,7 @@ impl ShardTopKTicket {
                 Some(deadline) => match part.ticket.wait_deadline(deadline) {
                     Some(answer) => answer,
                     None => {
-                        self.health.escalate(part.shard, ShardHealth::Degraded);
+                        self.topo.mark_degraded(part.shard);
                         lost_banks += n_banks;
                         continue;
                     }
@@ -927,14 +1352,15 @@ impl ShardTopKTicket {
                     }
                 }
                 Err(ServeError::ShuttingDown | ServeError::DispatcherFailed { .. }) => {
-                    self.health.escalate(part.shard, ShardHealth::Quarantined);
+                    self.topo.mark_quarantined(part.shard);
                     lost_banks += n_banks;
                 }
                 Err(e) => return Err(e),
             }
         }
         if let Some(e) = dead {
-            self.counters
+            self.topo
+                .counters
                 .deadline_rejected
                 .fetch_add(1, Ordering::Relaxed);
             return Err(e);
@@ -982,6 +1408,18 @@ pub struct ShardedStats {
     /// fanned copy (the per-shard `deadline_rejected` counters count
     /// copies and therefore over-state client traffic N-fold).
     pub deadline_rejected: u64,
+    /// Shards observed entering `Degraded` (monotone transition count,
+    /// not an observation count — each `Healthy → Degraded` move
+    /// increments once, whichever client saw it first).
+    pub degraded: u64,
+    /// Shards observed entering `Quarantined` (monotone; counts
+    /// transitions, including a re-quarantine after a re-admit).
+    pub quarantined: u64,
+    /// Shards re-admitted by a successful probe (`Quarantined →
+    /// Probing → Healthy`, behind the canary bit-identity gate).
+    pub readmitted: u64,
+    /// Probes that failed and returned their shard to `Quarantined`.
+    pub probe_failures: u64,
     /// Wall-clock time since the sharded front end started.
     pub elapsed: Duration,
     /// Per-shard health at snapshot time, in shard order.
@@ -1061,6 +1499,10 @@ impl ShardedStats {
             // The front end keeps answering (degraded) while any shard
             // lives; only a full wipe-out is a failed server.
             failed: !self.per_shard.is_empty() && self.per_shard.iter().all(|s| s.failed),
+            degraded: self.degraded,
+            quarantined: self.quarantined,
+            readmitted: self.readmitted,
+            probe_failures: self.probe_failures,
         }
     }
 }

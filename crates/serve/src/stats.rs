@@ -98,6 +98,19 @@ pub struct ServeStats {
     /// `true` once the restart-rate circuit breaker tripped: the server
     /// is in its terminal `Failed` state and rejects all requests.
     pub failed: bool,
+    /// Health transitions observed on the sharded front end, monotone
+    /// over the server's lifetime: shards seen entering `Degraded`.
+    /// Always zero for a single-dispatcher server (no health board).
+    pub degraded: u64,
+    /// Shards seen entering `Quarantined` (sharded front end only).
+    pub quarantined: u64,
+    /// Shards re-admitted by a successful probe (`Quarantined →
+    /// Probing → Healthy`; sharded front end only).
+    pub readmitted: u64,
+    /// Probes that failed (injected fault, unrecoverable memory, or
+    /// canary mismatch) and returned the shard to `Quarantined`
+    /// (sharded front end only).
+    pub probe_failures: u64,
 }
 
 /// Nearest-rank percentile (`q` in 0..=1) of a sample set: the
@@ -154,6 +167,13 @@ pub(crate) fn snapshot(
         queue_capacity,
         restarts,
         failed,
+        // Health-transition counters live on the sharded front end
+        // (see `ShardedStats::merged`); a lone dispatcher has no
+        // health board.
+        degraded: 0,
+        quarantined: 0,
+        readmitted: 0,
+        probe_failures: 0,
     }
 }
 

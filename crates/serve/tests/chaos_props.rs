@@ -16,12 +16,23 @@
 //! 4. **Terminal failure is clean** — a tripped restart breaker stops
 //!    the crash-loop, rejects new work with `DispatcherFailed`, and
 //!    still hands the memory back on shutdown.
+//! 5. **Quarantine is survivable and reversible** — killing N−1 of N
+//!    shards under closed-loop load loses no ticket, every degraded
+//!    answer stays exact over its reported coverage, the probe/
+//!    re-admit supervisor resurrects every shard behind the canary
+//!    bit-identity gate, and post-resurrection answers are bitwise
+//!    identical to the full-sweep oracle. Store traffic racing the
+//!    re-admit lifecycle loses no row from merges or router buckets.
+//!
+//! Proptest case counts are tunable via the `FEMCAM_CHAOS_CASES` env
+//! knob (CI smoke runs use a small value; soak runs can raise it).
 
 #![cfg(feature = "chaos")]
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use std::sync::mpsc;
-use std::sync::Once;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Once};
+use std::thread;
 use std::time::Duration;
 
 use proptest::prelude::*;
@@ -57,6 +68,23 @@ const BITS: u8 = 3;
 const WORD_LEN: usize = 4;
 const ROWS_PER_BANK: usize = 2;
 const N_LEVELS: usize = 8;
+
+/// Closed-loop clients the quarantine storm drives.
+const STORM_CLIENTS: usize = 32;
+/// Shards in the quarantine storm (N−1 of them are killed).
+const STORM_SHARDS: usize = 4;
+/// Rows seeded for the storm: 8 banks, 2 per shard.
+const STORM_ROWS: usize = 16;
+
+/// Proptest case count, overridable via the `FEMCAM_CHAOS_CASES` env
+/// knob so CI smoke stays fast while soak runs can crank it up.
+fn chaos_cases(default: u32) -> u32 {
+    std::env::var("FEMCAM_CHAOS_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
 
 fn empty_memory() -> BankedMcam {
     let ladder = LevelLadder::new(BITS).expect("ladder");
@@ -405,6 +433,439 @@ fn poisoned_router_degrades_to_full_fan_out() {
     assert_eq!(recovered.n_rows(), 9);
 }
 
+/// Satellite pin (error precedence): a request whose deadline has
+/// already expired reports `DeadlineExceeded`, never `Degraded`, even
+/// when the topology is simultaneously quarantined — at both layers
+/// where the two errors can collide (the merge and the fan-out).
+#[test]
+fn expired_deadline_outranks_quarantined_topology() {
+    quiet_chaos_panics();
+    // Merge layer: fail-closed + killed tail reports Degraded for a
+    // plain search, but the request's own expired deadline wins.
+    let (server, _) = killed_tail_fixture(DegradedPolicy::FailClosed);
+    let handle = server.handle();
+    let query = gen_word(47, 0);
+    assert!(matches!(
+        handle.search(&query),
+        Err(ServeError::Degraded { .. })
+    ));
+    match handle.search_with_deadline(&query, Duration::from_nanos(1)) {
+        Err(ServeError::DeadlineExceeded { .. }) => {}
+        other => panic!("expired deadline must outrank Degraded, got {other:?}"),
+    }
+    drop(server);
+    // Fan-out layer: with EVERY shard quarantined the fan-out itself
+    // errors Degraded — unless the deadline already expired.
+    let (memory, _) = seeded_pair(8, 71);
+    let plan = FaultPlan::armed(
+        23,
+        vec![FaultRule::sure(FaultSite::PreBatch, FaultKind::Panic, 2)],
+    );
+    let server = ShardedServer::start(
+        memory,
+        2,
+        ServeConfig {
+            restart_budget: 0,
+            ..chaos_config(plan)
+        },
+    );
+    let handle = server.handle();
+    let query = gen_word(71, 0);
+    for _ in 0..200 {
+        let _ = handle.search(&query);
+        if handle
+            .shard_health()
+            .iter()
+            .all(|h| *h == ShardHealth::Quarantined)
+        {
+            break;
+        }
+        thread::sleep(Duration::from_millis(2));
+    }
+    assert!(
+        handle
+            .shard_health()
+            .iter()
+            .all(|h| *h == ShardHealth::Quarantined),
+        "both dispatchers should trip their zero restart budget"
+    );
+    assert!(matches!(
+        handle.search(&query),
+        Err(ServeError::Degraded { searched: 0, .. })
+    ));
+    match handle.search_with_deadline(&query, Duration::from_nanos(1)) {
+        Err(ServeError::DeadlineExceeded { .. }) => {}
+        other => panic!("expired deadline must outrank a dead topology, got {other:?}"),
+    }
+    drop(server);
+}
+
+/// Probe and Readmit fault sites: an injected fault at either stage of
+/// the re-admit lifecycle fails the probe (counted, shard back to
+/// `Quarantined`, memory never lost) and a later retry completes the
+/// resurrection with bit-identical answers.
+#[test]
+fn probe_and_readmit_faults_fail_closed_then_retry_succeeds() {
+    quiet_chaos_panics();
+    let (memory, mut shadow) = seeded_pair(8, 61);
+    let plan = FaultPlan::armed(
+        29,
+        vec![
+            FaultRule::sure(FaultSite::Store, FaultKind::Panic, 1),
+            FaultRule::sure(FaultSite::Probe, FaultKind::Panic, 1),
+            FaultRule::sure(FaultSite::Readmit, FaultKind::Overload, 1),
+        ],
+    );
+    let server = ShardedServer::start(
+        memory,
+        2,
+        ServeConfig {
+            restart_budget: 0,
+            ..chaos_config(plan)
+        },
+    );
+    let handle = server.handle();
+    // A healthy shard is a probe no-op.
+    assert!(!server.try_readmit(0).expect("healthy no-op"));
+    // The sure store panic trips the tail's zero restart budget.
+    assert!(matches!(
+        handle.store(&gen_word(61, 99)),
+        Err(ServeError::DispatcherFailed { .. })
+    ));
+    // The waiter is answered just before the breaker records the
+    // tripping restart: drive searches until a client observes the
+    // dead dispatcher and quarantines the shard (otherwise the first
+    // probe below could see a still-Healthy board and no-op without
+    // consuming its injected fault).
+    for _ in 0..200 {
+        let _ = handle.search(&gen_word(61, 0));
+        if handle.shard_health()[1] == ShardHealth::Quarantined {
+            break;
+        }
+        thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(handle.shard_health()[1], ShardHealth::Quarantined);
+    // Probe 1 absorbs the injected Probe fault: fail-closed, counted.
+    assert!(!server.try_readmit(1).expect("probe survives"));
+    assert_eq!(handle.shard_health()[1], ShardHealth::Quarantined);
+    // Probe 2 passes the canary but absorbs the Readmit fault — the
+    // replacement stays installed (the memory is live again) yet the
+    // shard remains quarantined for the next retry.
+    assert!(!server.try_readmit(1).expect("readmit survives"));
+    assert_eq!(handle.shard_health()[1], ShardHealth::Quarantined);
+    // Probe 3: budgets spent, the shard rejoins the board.
+    assert!(server.try_readmit(1).expect("resurrection"));
+    assert_eq!(
+        handle.shard_health(),
+        vec![ShardHealth::Healthy, ShardHealth::Healthy]
+    );
+    let stats = server.stats();
+    assert_eq!(stats.probe_failures, 2);
+    assert_eq!(stats.readmitted, 1);
+    assert!(stats.quarantined >= 1);
+    // Stores work again (they route to the resurrected tail), and
+    // every answer is full-coverage bit-identical to the oracle.
+    let word = gen_word(61, 100);
+    assert_eq!(handle.store(&word).expect("store after re-admit"), 8);
+    shadow.store(&word).expect("shadow store");
+    for row in 0..shadow.n_rows() {
+        let query = shadow.row(row).expect("resident row").to_vec();
+        let covered = handle
+            .submit(&query)
+            .expect("submit")
+            .wait_covered()
+            .expect("full merge");
+        assert!(!covered.coverage.degraded(), "row {row}");
+        let (want_row, want_g) = shadow.search_with(&query, Precision::F64).expect("oracle");
+        assert_eq!(covered.value.0, want_row, "row {row}");
+        assert_eq!(covered.value.1.to_bits(), want_g.to_bits(), "row {row}");
+    }
+    let recovered = server.shutdown().expect("clean shutdown");
+    assert_eq!(recovered.n_rows(), 9);
+}
+
+/// Tentpole (contract 5): the quarantine storm. Kill N−1 of N shards
+/// under closed-loop load from [`STORM_CLIENTS`] clients and require:
+/// every ticket resolves (joining the clients proves it), every
+/// degraded answer is exact over its reported coverage (bitwise vs the
+/// masked oracle), the probe supervisor re-admits every killed shard,
+/// and post-resurrection answers are full-coverage bit-identical to
+/// the full-sweep oracle.
+fn quarantine_storm_scenario(seed: u64) {
+    let (memory, _) = seeded_pair(STORM_ROWS, seed);
+    let kills = (STORM_SHARDS - 1) as u64;
+    let plan = FaultPlan::new(
+        seed,
+        vec![FaultRule::sure(
+            FaultSite::PreBatch,
+            FaultKind::Panic,
+            kills,
+        )],
+    );
+    let server = ShardedServer::start(
+        memory,
+        STORM_SHARDS,
+        ServeConfig {
+            restart_budget: 0,
+            probe_interval: Some(Duration::from_millis(25)),
+            ..chaos_config(plan.clone())
+        },
+    );
+    let handle = server.handle();
+    // Healthy warm-up: full coverage while the plan is disarmed.
+    let warm = handle
+        .submit(&gen_word(seed, 0))
+        .expect("warm-up submit")
+        .wait_covered()
+        .expect("warm-up merge");
+    assert!(!warm.coverage.degraded(), "warm-up must be full coverage");
+    plan.set_armed(true);
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..STORM_CLIENTS)
+        .map(|c| {
+            let handle = handle.clone();
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                // Each client carries its own oracle copy (the storm
+                // injects no store faults, so the served memory never
+                // diverges from the seeded contents).
+                let (oracle, _) = seeded_pair(STORM_ROWS, seed);
+                let mut resolved = 0u64;
+                let mut salt = c;
+                while !stop.load(Ordering::Relaxed) {
+                    let query = gen_word(seed, salt % STORM_ROWS);
+                    salt += 1;
+                    let ticket = match handle.submit(&query) {
+                        Ok(ticket) => ticket,
+                        Err(
+                            ServeError::Overloaded { .. }
+                            | ServeError::Degraded { .. }
+                            | ServeError::DispatcherFailed { .. }
+                            | ServeError::ShuttingDown,
+                        ) => continue,
+                        Err(e) => panic!("client {c}: unexpected admission error: {e:?}"),
+                    };
+                    // The closed loop: every ticket must RESOLVE. A
+                    // hang here leaves the client unjoinable and fails
+                    // the test's wall clock.
+                    match ticket.wait_covered() {
+                        Ok(covered) => {
+                            assert_eq!(
+                                covered.coverage.searched,
+                                covered.coverage.banks.len(),
+                                "client {c}: coverage counts must match its bank list"
+                            );
+                            let (want_row, want_g) = oracle
+                                .search_masked_with(&query, Precision::F64, &covered.coverage.banks)
+                                .expect("masked oracle");
+                            assert_eq!(covered.value.0, want_row, "client {c}");
+                            assert_eq!(
+                                covered.value.1.to_bits(),
+                                want_g.to_bits(),
+                                "client {c}: degraded answers must stay exact over coverage"
+                            );
+                        }
+                        Err(
+                            ServeError::Degraded { .. }
+                            | ServeError::DispatcherFailed { .. }
+                            | ServeError::ShuttingDown,
+                        ) => {}
+                        Err(e) => panic!("client {c}: unexpected merge error: {e:?}"),
+                    }
+                    resolved += 1;
+                }
+                resolved
+            })
+        })
+        .collect();
+    // Storm convergence: the monotone counters must record all N−1
+    // kills AND their resurrections, and the board must settle fully
+    // healthy. (A replacement that absorbs leftover panic budget gets
+    // re-killed and re-admitted — the counters only move forward, and
+    // the finite budget guarantees convergence.)
+    let mut converged = false;
+    for _ in 0..1200 {
+        let stats = server.stats();
+        if stats.quarantined >= kills
+            && stats.readmitted >= kills
+            && stats.health.iter().all(|h| *h == ShardHealth::Healthy)
+        {
+            converged = true;
+            break;
+        }
+        thread::sleep(Duration::from_millis(25));
+    }
+    stop.store(true, Ordering::Relaxed);
+    let mut resolved = 0u64;
+    for client in clients {
+        // Joining proves zero hung tickets.
+        resolved += client.join().expect("storm client panicked");
+    }
+    let stats = server.stats();
+    assert!(
+        converged,
+        "storm never converged: health {:?}, quarantined {}, readmitted {}, probe failures {}",
+        stats.health, stats.quarantined, stats.readmitted, stats.probe_failures
+    );
+    assert!(resolved > 0, "closed-loop clients made no progress");
+    assert_eq!(plan.injected(FaultSite::PreBatch), kills);
+    // Post-resurrection bit-identity: every seeded word answers with
+    // full coverage, bitwise equal to the full-sweep oracle.
+    let (oracle, _) = seeded_pair(STORM_ROWS, seed);
+    for salt in 0..STORM_ROWS {
+        let query = gen_word(seed, salt);
+        let covered = handle
+            .submit(&query)
+            .expect("post-storm submit")
+            .wait_covered()
+            .expect("post-storm merge");
+        assert!(!covered.coverage.degraded(), "salt {salt}");
+        let (want_row, want_g) = oracle.search_with(&query, Precision::F64).expect("oracle");
+        assert_eq!(covered.value.0, want_row, "salt {salt}");
+        assert_eq!(covered.value.1.to_bits(), want_g.to_bits(), "salt {salt}");
+    }
+    // Every resurrected shard still owns its banks: shutdown
+    // reassembles the full partition.
+    let recovered = server.shutdown().expect("all shards reassemble");
+    assert_eq!(recovered.n_rows(), STORM_ROWS);
+}
+
+#[test]
+fn quarantine_storm_survives_n_minus_1_kills() {
+    quiet_chaos_panics();
+    let (tx, rx) = mpsc::channel();
+    let scenario = thread::spawn(move || {
+        quarantine_storm_scenario(67);
+        let _ = tx.send(());
+    });
+    assert!(
+        rx.recv_timeout(Duration::from_secs(60)).is_ok(),
+        "quarantine storm hung"
+    );
+    assert!(scenario.join().is_ok(), "quarantine storm panicked");
+}
+
+/// One store/re-admit race scenario (contract 5, durability half): a
+/// routed two-shard server loses its tail (the store shard), store
+/// traffic keeps hammering while probes race the re-admit lifecycle,
+/// and afterwards no acknowledged row is lost from merges or router
+/// buckets — rows are dense, in order, and every resident word answers
+/// full-coverage bit-identical to the oracle through the router.
+fn store_readmit_race_scenario(seed: u64) {
+    let (memory, _) = seeded_pair(8, seed);
+    let routed = RoutedMcam::new(memory, RouterConfig::default()).expect("router");
+    let plan = FaultPlan::armed(
+        seed,
+        vec![FaultRule::sure(FaultSite::Store, FaultKind::Panic, 1)],
+    );
+    let server = ShardedServer::start_routed(
+        routed,
+        2,
+        ServeConfig {
+            restart_budget: 0,
+            ..chaos_config(plan)
+        },
+    );
+    let handle = server.handle();
+    // The sure store panic trips the tail's zero restart budget; by
+    // the Store-site contract the word was never applied.
+    assert!(matches!(
+        handle.store(&gen_word(seed, 100)),
+        Err(ServeError::DispatcherFailed { .. })
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    let storer = {
+        let handle = handle.clone();
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut stored: Vec<(usize, Vec<u8>)> = Vec::new();
+            let mut salt = 200usize;
+            while !stop.load(Ordering::Relaxed) {
+                let word = gen_word(seed, salt);
+                salt += 1;
+                // Stores on the dead dispatcher error cleanly; once
+                // the probe swaps the handle cell they start landing
+                // on the replacement — both interleavings race the
+                // re-admit lifecycle below.
+                if let Ok(row) = handle.store(&word) {
+                    stored.push((row, word));
+                }
+                thread::sleep(Duration::from_micros(500));
+            }
+            stored
+        })
+    };
+    let mut readmitted = false;
+    for _ in 0..400 {
+        match server.try_readmit(1) {
+            Ok(true) => {
+                readmitted = true;
+                break;
+            }
+            Ok(false) => thread::sleep(Duration::from_millis(2)),
+            Err(e) => panic!("probe lost the shard memory: {e:?}"),
+        }
+    }
+    assert!(readmitted, "tail shard never re-admitted");
+    stop.store(true, Ordering::Relaxed);
+    let mut stored = storer.join().expect("store thread panicked");
+    // Post-re-admit stores must succeed unconditionally.
+    let word = gen_word(seed, 150);
+    let post_row = handle.store(&word).expect("store after re-admit");
+    stored.push((post_row, word));
+    // No acknowledged row was lost and none duplicated: global rows
+    // are dense from the seeded tail, in acknowledgement order.
+    let mut shadow = seeded_pair(8, seed).1;
+    for (i, (row, word)) in stored.iter().enumerate() {
+        assert_eq!(*row, 8 + i, "stores assign dense global rows");
+        shadow.store(word).expect("shadow store");
+    }
+    // Every resident word — seeded and stored — answers through the
+    // routed front end with full coverage, bitwise equal to the
+    // direct full-sweep oracle (so the restored router buckets and
+    // the re-admitted shard's banks are all reachable).
+    for row in 0..shadow.n_rows() {
+        let query = shadow.row(row).expect("resident row").to_vec();
+        let covered = handle
+            .submit(&query)
+            .expect("submit")
+            .wait_covered()
+            .expect("full merge after re-admit");
+        assert!(!covered.coverage.degraded(), "row {row}");
+        let (want_row, want_g) = shadow.search_with(&query, Precision::F64).expect("oracle");
+        assert_eq!(covered.value.0, want_row, "row {row}");
+        assert_eq!(covered.value.1.to_bits(), want_g.to_bits(), "row {row}");
+    }
+    let stats = server.stats();
+    assert!(stats.quarantined >= 1, "the kill must be observed");
+    assert!(stats.readmitted >= 1, "the resurrection must be counted");
+    let recovered = server.shutdown().expect("clean shutdown");
+    assert_eq!(recovered.n_rows(), shadow.n_rows());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(chaos_cases(6)))]
+
+    /// Contract 5 (durability half): store traffic racing the
+    /// probe/re-admit lifecycle never loses an acknowledged row, for
+    /// arbitrary seeds (which vary fault schedules, contents, and
+    /// thread interleavings).
+    #[test]
+    fn stores_racing_readmit_lose_no_rows(seed in 0u64..=u64::from(u32::MAX)) {
+        quiet_chaos_panics();
+        let (tx, rx) = mpsc::channel();
+        let scenario = thread::spawn(move || {
+            store_readmit_race_scenario(seed);
+            let _ = tx.send(());
+        });
+        prop_assert!(
+            rx.recv_timeout(Duration::from_secs(30)).is_ok(),
+            "store/re-admit race hung (seed {seed})"
+        );
+        prop_assert!(scenario.join().is_ok(), "race scenario panicked (seed {seed})");
+    }
+}
+
 /// One chaos scenario for the no-hang property: a burst of searches
 /// (queued behind whichever batches the schedule kills) interleaved
 /// with stores, then a full drain. Returns only when every ticket
@@ -490,7 +951,7 @@ fn no_hang_scenario(seed: u64, precision: Precision, shards: usize, panic_budget
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+    #![proptest_config(ProptestConfig::with_cases(chaos_cases(12)))]
 
     /// Contract 1: every ticket resolves under interleaved stores,
     /// injected dispatcher panics, and forced overload — across
