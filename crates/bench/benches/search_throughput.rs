@@ -20,6 +20,13 @@
 //! achieved batch and µs/query plus the ratio against the
 //! single-dispatcher baseline.
 //!
+//! A **metric-mode sweep** (`metric_modes` key) measures the
+//! runtime-reconfigurable distance semantics at the packed-code
+//! precision: batch-64 µs/query and resident codes plan bytes per
+//! [`Metric`] on the sweep geometry, with a strict-mode contract that
+//! no synthesized metric costs more than 1.5× the default conductance
+//! metric.
+//!
 //! A **two-stage routing sweep** (`routing` key) measures the LSH
 //! bank router over a clustered workload on the same geometry:
 //! probed banks per query, top-1 recall against a `SoftwareNn`
@@ -57,8 +64,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use femcam_core::{
-    par, BankedMcam, ConductanceLut, Euclidean, LevelLadder, McamArray, McamSoftware, NnIndex,
-    Precision, QuantizeStrategy, Quantizer, RoutedMcam, RouterConfig, SoftwareNn, TcamArray,
+    par, BankedMcam, CodesDispatch, ConductanceLut, Euclidean, LevelLadder, McamArray,
+    McamSoftware, Metric, NnIndex, Precision, QuantizeStrategy, Quantizer, RoutedMcam,
+    RouterConfig, SoftwareNn, TcamArray,
 };
 use femcam_device::FefetModel;
 use femcam_lsh::RandomHyperplanes;
@@ -893,6 +901,52 @@ fn record_search_baseline(_c: &mut Criterion) {
         }
     }
 
+    // Metric-mode sweep (`metric_modes` key): the reconfigurable
+    // distance semantics at the packed-code precision on the same
+    // banked geometry — batch-64 µs/query through the cached per-metric
+    // front door, plus each metric's resident codes plan bytes. The
+    // synthesized metrics reuse the packed kernel with a different
+    // value table (L∞ with the max fold), so their cost must stay
+    // close to the default conductance metric.
+    let metric_batch = 64;
+    let metric_refs: Vec<&[u8]> = queries[..metric_batch]
+        .iter()
+        .map(|q| q.as_slice())
+        .collect();
+    let mut metric_lines = Vec::new();
+    let mut metric_us: HashMap<&'static str, f64> = HashMap::new();
+    for metric in Metric::ALL {
+        // Warm the (codes, metric) cache slot so the compile is not
+        // part of the timed window.
+        banked
+            .search_batch_winners_with_metric(&metric_refs, Precision::Codes, metric)
+            .unwrap();
+        let ns = ns_per_query(metric_batch, 2, || {
+            std::hint::black_box(
+                banked
+                    .search_batch_winners_with_metric(&metric_refs, Precision::Codes, metric)
+                    .unwrap(),
+            );
+        });
+        let plan_bytes = CodesDispatch::compile_snapshot_metric(&flat, metric)
+            .unwrap()
+            .plan_bytes();
+        metric_us.insert(metric.name(), ns / 1e3);
+        metric_lines.push(format!(
+            "    {{\"metric\": \"{}\", \"precision\": \"codes\", \
+             \"batch\": {metric_batch}, \"us_per_query\": {:.2}, \
+             \"queries_per_s\": {:.1}, \"plan_bytes\": {plan_bytes}}}",
+            metric.name(),
+            ns / 1e3,
+            1e9 / ns
+        ));
+    }
+    let metric_overhead = Metric::ALL
+        .iter()
+        .filter(|&&m| m != Metric::McamConductance)
+        .map(|m| metric_us[m.name()] / metric_us[Metric::McamConductance.name()])
+        .fold(0.0f64, f64::max);
+
     // Closed-loop serving sweep: single-query submissions through the
     // femcam-serve micro-batcher over the same memory geometry, at the
     // fast execution modes. The contract ties online throughput to the
@@ -1062,6 +1116,7 @@ fn record_search_baseline(_c: &mut Criterion) {
          \"sweep\": [\n{}\n  ],\n\
          \"thread_scaling\": [\n{}\n  ],\n\
          \"precision\": [\n{}\n  ],\n\
+         \"metric_modes\": [\n{}\n  ],\n\
          \"serving\": [\n{}\n  ],\n\
          \"serving_sharded\": [\n{}\n  ],\n\
          \"routing\": [\n{}\n  ],\n\
@@ -1071,6 +1126,7 @@ fn record_search_baseline(_c: &mut Criterion) {
         sweep_lines.join(",\n"),
         scaling_lines.join(",\n"),
         precision_lines.join(",\n"),
+        metric_lines.join(",\n"),
         serving_lines.join(",\n"),
         sharded_lines.join(",\n"),
         routing_lines.join(",\n"),
@@ -1100,6 +1156,15 @@ fn record_search_baseline(_c: &mut Criterion) {
             m.achieved_batch_max,
             m.p50_wait_us,
             m.p99_wait_us,
+        );
+    }
+    for metric in Metric::ALL {
+        println!(
+            "metric mode ({}, codes, batch {metric_batch}): {:.2} us/query \
+             ({:.2}x vs default)",
+            metric.name(),
+            metric_us[metric.name()],
+            metric_us[metric.name()] / metric_us[Metric::McamConductance.name()],
         );
     }
     for m in &sharded {
@@ -1210,6 +1275,18 @@ fn record_search_baseline(_c: &mut Criterion) {
             plan_ratio >= 16.0,
             "codes plan memory only {plan_ratio:.1}x below the f64 planes \
              (contract: >= 16x; see {})",
+            path.display()
+        );
+        // Reconfigurable-metric contract: every synthesized metric
+        // rides the same packed kernel as the default conductance
+        // metric (a different value table, plus the max fold for L∞),
+        // so none may cost more than 1.5x the default at the same
+        // precision.
+        assert!(
+            metric_overhead <= 1.5,
+            "non-default metric costs {metric_overhead:.2}x the default \
+             conductance metric at codes precision (contract: <= 1.5x; \
+             see {})",
             path.display()
         );
         // Serving contracts: micro-batching must actually coalesce

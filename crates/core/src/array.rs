@@ -23,7 +23,7 @@ use std::sync::Arc;
 use crate::cell::McamCell;
 use crate::error::CoreError;
 use crate::exec::{
-    self, CodesDispatch, CompiledMcam, PlanCache, PlanMemoryBytes, PlaneScalar, Precision,
+    self, CodesDispatch, CompiledMcam, Metric, PlanCache, PlanMemoryBytes, PlaneScalar, Precision,
 };
 use crate::levels::LevelLadder;
 use crate::lut::ConductanceLut;
@@ -440,6 +440,17 @@ impl McamArray {
         }
     }
 
+    /// Per-cell value of cell `c` of row `r` under `input` for a chosen
+    /// [`Metric`]: the realized conductance for the default metric, the
+    /// synthesized level-space distance for the digital metrics (which
+    /// read the stored level code only and never see device variation).
+    pub(crate) fn cell_metric_value(&self, r: usize, c: usize, input: u8, metric: Metric) -> f64 {
+        match metric {
+            Metric::McamConductance => self.cell_conductance(r, c, input),
+            _ => metric.level_distance(input, self.states[r * self.word_len + c]),
+        }
+    }
+
     /// Total ML conductance of row `r` for `query`.
     ///
     /// # Errors
@@ -476,6 +487,45 @@ impl McamArray {
         Ok(SearchOutcome { conductances })
     }
 
+    /// The scalar per-metric reference oracle: folds each row's
+    /// per-cell metric values in ascending column order starting from
+    /// `0.0` (sum, or max for [`Metric::Linf`]) in `f64` — the path
+    /// every compiled `f64` metric plan is bit-identical to, exactly as
+    /// [`search`](Self::search) anchors the default metric
+    /// (`search_metric(q, Metric::McamConductance)` *is*
+    /// [`search`](Self::search)).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search`](Self::search).
+    pub fn search_metric(&self, query: &[u8], metric: Metric) -> Result<SearchOutcome> {
+        if self.is_empty() {
+            return Err(CoreError::EmptyArray);
+        }
+        self.check_word(query)?;
+        let max_fold = metric.is_max_fold();
+        let conductances = (0..self.n_rows())
+            .map(|r| {
+                let mut acc = 0.0f64;
+                for (c, &input) in query.iter().enumerate() {
+                    let v = self.cell_metric_value(r, c, input, metric);
+                    acc = if max_fold {
+                        // The same `>` maximum the compiled fold runs.
+                        if v > acc {
+                            v
+                        } else {
+                            acc
+                        }
+                    } else {
+                        acc + v
+                    };
+                }
+                acc
+            })
+            .collect();
+        Ok(SearchOutcome { conductances })
+    }
+
     /// Compiles the array's current contents into a reusable
     /// plane-major query plan (see [`crate::exec`]). This is an
     /// explicit snapshot; prefer the cached entry points
@@ -497,13 +547,36 @@ impl McamArray {
     ///
     /// Returns [`CoreError::EmptyArray`] if nothing is stored.
     pub fn cached_plan<S: PlaneScalar>(&self) -> Result<Arc<CompiledMcam<S>>> {
-        self.plans.get_or_compile::<S>(self)
+        self.plans.get_or_compile::<S>(self, Metric::default())
     }
 
-    /// The cached plan for `S` if one is currently compiled, without
-    /// compiling on a miss.
+    /// The cached compiled plan for plane scalar `S` at a chosen
+    /// [`Metric`], compiling it on first use — the per-metric face of
+    /// [`cached_plan`](Self::cached_plan).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyArray`] if nothing is stored.
+    pub fn cached_plan_metric<S: PlaneScalar>(
+        &self,
+        metric: Metric,
+    ) -> Result<Arc<CompiledMcam<S>>> {
+        self.plans.get_or_compile::<S>(self, metric)
+    }
+
+    /// The cached plan for `S` (default metric) if one is currently
+    /// compiled, without compiling on a miss.
     pub fn cached_plan_if_warm<S: PlaneScalar>(&self) -> Option<Arc<CompiledMcam<S>>> {
-        self.plans.cached::<S>()
+        self.plans.cached::<S>(Metric::default())
+    }
+
+    /// [`cached_plan_if_warm`](Self::cached_plan_if_warm) at a chosen
+    /// [`Metric`].
+    pub fn cached_plan_if_warm_metric<S: PlaneScalar>(
+        &self,
+        metric: Metric,
+    ) -> Option<Arc<CompiledMcam<S>>> {
+        self.plans.cached::<S>(metric)
     }
 
     /// The cached `f64` (reference, bit-identical) compiled plan.
@@ -539,7 +612,20 @@ impl McamArray {
     ///
     /// Returns [`CoreError::EmptyArray`] if nothing is stored.
     pub fn compiled_codes(&self) -> Result<CodesDispatch> {
-        self.plans.get_or_compile_codes(self)
+        self.plans.get_or_compile_codes(self, Metric::default())
+    }
+
+    /// The cached codes-mode execution engine at a chosen [`Metric`] —
+    /// the per-metric face of [`compiled_codes`](Self::compiled_codes).
+    /// Synthesized (digital) metrics pack even on per-cell (variation)
+    /// arrays; only the default conductance metric falls back to `f32`
+    /// planes there.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyArray`] if nothing is stored.
+    pub fn compiled_codes_metric(&self, metric: Metric) -> Result<CodesDispatch> {
+        self.plans.get_or_compile_codes(self, metric)
     }
 
     /// Resident bytes of the cached compiled plans, one field per
@@ -557,12 +643,12 @@ impl McamArray {
     /// fills, and `None` — run the bit-identical scalar path — when the
     /// cache is cold and the batch is too small to pay for compiling
     /// (e.g. single queries interleaved with stores).
-    fn f64_plan_for(&self, batch: usize) -> Result<Option<Arc<CompiledMcam<f64>>>> {
-        if let Some(plan) = self.plans.cached::<f64>() {
+    fn f64_plan_for(&self, batch: usize, metric: Metric) -> Result<Option<Arc<CompiledMcam<f64>>>> {
+        if let Some(plan) = self.plans.cached::<f64>(metric) {
             return Ok(Some(plan));
         }
         if batch >= self.ladder.n_levels() {
-            return self.compiled().map(Some);
+            return self.cached_plan_metric::<f64>(metric).map(Some);
         }
         Ok(None)
     }
@@ -578,13 +664,31 @@ impl McamArray {
     ///
     /// Same conditions as [`search`](Self::search).
     pub fn search_with(&self, query: &[u8], precision: Precision) -> Result<SearchOutcome> {
+        self.search_with_metric(query, precision, Metric::default())
+    }
+
+    /// [`search_with`](Self::search_with) at a chosen [`Metric`]: the
+    /// same cached-plan execution with per-cell values and fold
+    /// selected by `metric` (see [`crate::exec`]'s "Metric modes"). At
+    /// [`Precision::F64`] the outcome is bit-identical to the scalar
+    /// per-metric oracle [`search_metric`](Self::search_metric).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search`](Self::search).
+    pub fn search_with_metric(
+        &self,
+        query: &[u8],
+        precision: Precision,
+        metric: Metric,
+    ) -> Result<SearchOutcome> {
         match precision {
-            Precision::F64 => match self.f64_plan_for(1)? {
+            Precision::F64 => match self.f64_plan_for(1, metric)? {
                 Some(plan) => plan.search(query),
-                None => self.search(query),
+                None => self.search_metric(query, metric),
             },
-            Precision::F32 => self.compiled_f32()?.search(query),
-            Precision::Codes => self.compiled_codes()?.search(query),
+            Precision::F32 => self.cached_plan_metric::<f32>(metric)?.search(query),
+            Precision::Codes => self.compiled_codes_metric(metric)?.search(query),
         }
     }
 
@@ -629,6 +733,21 @@ impl McamArray {
         queries: &[&[u8]],
         precision: Precision,
     ) -> Result<Vec<SearchOutcome>> {
+        self.search_batch_with_metric(queries, precision, Metric::default())
+    }
+
+    /// [`search_batch_with`](Self::search_batch_with) at a chosen
+    /// [`Metric`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search_batch`](Self::search_batch).
+    pub fn search_batch_with_metric(
+        &self,
+        queries: &[&[u8]],
+        precision: Precision,
+        metric: Metric,
+    ) -> Result<Vec<SearchOutcome>> {
         if self.is_empty() {
             return Err(CoreError::EmptyArray);
         }
@@ -637,12 +756,19 @@ impl McamArray {
         }
         let threads = par::max_threads();
         match precision {
-            Precision::F64 => match self.f64_plan_for(queries.len())? {
+            Precision::F64 => match self.f64_plan_for(queries.len(), metric)? {
                 Some(plan) => plan.search_batch(queries, threads),
-                None => queries.iter().map(|q| self.search(q)).collect(),
+                None => queries
+                    .iter()
+                    .map(|q| self.search_metric(q, metric))
+                    .collect(),
             },
-            Precision::F32 => self.compiled_f32()?.search_batch(queries, threads),
-            Precision::Codes => self.compiled_codes()?.search_batch(queries, threads),
+            Precision::F32 => self
+                .cached_plan_metric::<f32>(metric)?
+                .search_batch(queries, threads),
+            Precision::Codes => self
+                .compiled_codes_metric(metric)?
+                .search_batch(queries, threads),
         }
     }
 
@@ -658,6 +784,21 @@ impl McamArray {
         queries: &[&[u8]],
         precision: Precision,
     ) -> Result<Vec<(usize, f64)>> {
+        self.search_batch_winners_with_metric(queries, precision, Metric::default())
+    }
+
+    /// [`search_batch_winners_with`](Self::search_batch_winners_with)
+    /// at a chosen [`Metric`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search_batch`](Self::search_batch).
+    pub fn search_batch_winners_with_metric(
+        &self,
+        queries: &[&[u8]],
+        precision: Precision,
+        metric: Metric,
+    ) -> Result<Vec<(usize, f64)>> {
         if self.is_empty() {
             return Err(CoreError::EmptyArray);
         }
@@ -666,20 +807,22 @@ impl McamArray {
         }
         let threads = par::max_threads();
         match precision {
-            Precision::F64 => match self.f64_plan_for(queries.len())? {
+            Precision::F64 => match self.f64_plan_for(queries.len(), metric)? {
                 Some(plan) => plan.search_batch_winners(queries, threads),
                 None => queries
                     .iter()
                     .map(|q| {
-                        let outcome = self.search(q)?;
+                        let outcome = self.search_metric(q, metric)?;
                         let best = outcome.best_row();
                         Ok((best, outcome.conductance(best)))
                     })
                     .collect(),
             },
-            Precision::F32 => self.compiled_f32()?.search_batch_winners(queries, threads),
+            Precision::F32 => self
+                .cached_plan_metric::<f32>(metric)?
+                .search_batch_winners(queries, threads),
             Precision::Codes => self
-                .compiled_codes()?
+                .compiled_codes_metric(metric)?
                 .search_batch_winners(queries, threads),
         }
     }
@@ -697,6 +840,23 @@ impl McamArray {
         k: usize,
         precision: Precision,
     ) -> Result<Vec<Vec<(usize, f64)>>> {
+        self.search_batch_top_k_with_metric(queries, k, precision, Metric::default())
+    }
+
+    /// [`search_batch_top_k_with`](Self::search_batch_top_k_with) at a
+    /// chosen [`Metric`] — the bounded-heap selection works unchanged
+    /// because every metric's scores obey "smaller = nearer".
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search_batch`](Self::search_batch).
+    pub fn search_batch_top_k_with_metric(
+        &self,
+        queries: &[&[u8]],
+        k: usize,
+        precision: Precision,
+        metric: Metric,
+    ) -> Result<Vec<Vec<(usize, f64)>>> {
         if self.is_empty() {
             return Err(CoreError::EmptyArray);
         }
@@ -705,12 +865,12 @@ impl McamArray {
         }
         let threads = par::max_threads();
         match precision {
-            Precision::F64 => match self.f64_plan_for(queries.len())? {
+            Precision::F64 => match self.f64_plan_for(queries.len(), metric)? {
                 Some(plan) => plan.search_batch_top_k(queries, k, threads),
                 None => queries
                     .iter()
                     .map(|q| {
-                        let outcome = self.search(q)?;
+                        let outcome = self.search_metric(q, metric)?;
                         Ok(outcome
                             .top_k(k)
                             .into_iter()
@@ -719,9 +879,11 @@ impl McamArray {
                     })
                     .collect(),
             },
-            Precision::F32 => self.compiled_f32()?.search_batch_top_k(queries, k, threads),
+            Precision::F32 => self
+                .cached_plan_metric::<f32>(metric)?
+                .search_batch_top_k(queries, k, threads),
             Precision::Codes => self
-                .compiled_codes()?
+                .compiled_codes_metric(metric)?
                 .search_batch_top_k(queries, k, threads),
         }
     }

@@ -17,8 +17,8 @@ use std::sync::Arc;
 use crate::array::{McamArray, McamArrayBuilder, SearchOutcome};
 use crate::error::CoreError;
 use crate::exec::{
-    self, CodesDispatch, CompiledBanked, CompiledBankedCodes, CompiledMcam, PlanMemoryBytes,
-    PlaneScalar, Precision,
+    self, CodesDispatch, CompiledBanked, CompiledBankedCodes, CompiledMcam, Metric,
+    PlanMemoryBytes, PlaneScalar, Precision,
 };
 use crate::levels::LevelLadder;
 use crate::lut::ConductanceLut;
@@ -270,11 +270,14 @@ impl BankedMcam {
     /// bank compiles lazily and recompiles only when *that* bank has
     /// mutated since its last compile (storing a row dirties one bank,
     /// not the whole memory).
-    fn bank_plans<S: PlaneScalar>(&self) -> Result<Vec<Arc<CompiledMcam<S>>>> {
+    fn bank_plans<S: PlaneScalar>(&self, metric: Metric) -> Result<Vec<Arc<CompiledMcam<S>>>> {
         if self.is_empty() {
             return Err(CoreError::EmptyArray);
         }
-        self.banks.iter().map(McamArray::cached_plan::<S>).collect()
+        self.banks
+            .iter()
+            .map(|b| b.cached_plan_metric::<S>(metric))
+            .collect()
     }
 
     /// Like [`bank_plans`](Self::bank_plans), but only when every bank
@@ -282,29 +285,33 @@ impl BankedMcam {
     /// the cold ones; `None` means the bit-identical scalar sweep
     /// should serve this call (cold cache, workload too small to pay
     /// for `n_levels` plane fills per bank).
-    fn f64_bank_plans_for(&self, batch: usize) -> Result<Option<Vec<Arc<CompiledMcam<f64>>>>> {
+    fn f64_bank_plans_for(
+        &self,
+        batch: usize,
+        metric: Metric,
+    ) -> Result<Option<Vec<Arc<CompiledMcam<f64>>>>> {
         if self.is_empty() {
             return Err(CoreError::EmptyArray);
         }
         let warm: Option<Vec<_>> = self
             .banks
             .iter()
-            .map(McamArray::cached_plan_if_warm::<f64>)
+            .map(|b| b.cached_plan_if_warm_metric::<f64>(metric))
             .collect();
         if warm.is_some() {
             return Ok(warm);
         }
         if batch >= self.ladder.n_levels() {
-            return self.bank_plans::<f64>().map(Some);
+            return self.bank_plans::<f64>(metric).map(Some);
         }
         Ok(None)
     }
 
     /// The pre-PR-2 scalar reference sweep: per-bank physics-path
     /// searches (sharded across workers), winners merged in bank order.
-    fn search_scalar(&self, query: &[u8]) -> Result<(usize, f64)> {
+    fn search_scalar(&self, query: &[u8], metric: Metric) -> Result<(usize, f64)> {
         let per_bank = par::try_par_map(&self.banks, self.search_threads(), |_, bank| {
-            bank.search(query)
+            bank.search_metric(query, metric)
         })?;
         let mut best: Option<(usize, f64)> = None;
         for (bank_idx, outcome) in per_bank.iter().enumerate() {
@@ -318,14 +325,18 @@ impl BankedMcam {
         Ok(best.expect("nonempty banked memory"))
     }
 
-    fn search_impl<S: PlaneScalar>(&self, query: &[u8]) -> Result<(usize, f64)> {
-        let plans = self.bank_plans::<S>()?;
+    fn search_impl<S: PlaneScalar>(&self, query: &[u8], metric: Metric) -> Result<(usize, f64)> {
+        let plans = self.bank_plans::<S>(metric)?;
         let refs: Vec<&CompiledMcam<S>> = plans.iter().map(Arc::as_ref).collect();
         exec::banked_winner(&refs, self.rows_per_bank, query, self.search_threads())
     }
 
-    fn search_batch_impl<S: PlaneScalar>(&self, queries: &[&[u8]]) -> Result<Vec<(usize, f64)>> {
-        let plans = self.bank_plans::<S>()?;
+    fn search_batch_impl<S: PlaneScalar>(
+        &self,
+        queries: &[&[u8]],
+        metric: Metric,
+    ) -> Result<Vec<(usize, f64)>> {
+        let plans = self.bank_plans::<S>(metric)?;
         let refs: Vec<&CompiledMcam<S>> = plans.iter().map(Arc::as_ref).collect();
         exec::banked_winner_batch(&refs, self.rows_per_bank, queries, par::max_threads())
     }
@@ -336,15 +347,18 @@ impl BankedMcam {
     /// mutates. Codes plans compile eagerly — no cold-cache
     /// amortization gate, because compiling one costs about one scalar
     /// query over the bank ([`exec::CODES_COMPILE_THRESHOLD`]).
-    fn codes_bank_plans(&self) -> Result<Vec<CodesDispatch>> {
+    fn codes_bank_plans(&self, metric: Metric) -> Result<Vec<CodesDispatch>> {
         if self.is_empty() {
             return Err(CoreError::EmptyArray);
         }
-        self.banks.iter().map(McamArray::compiled_codes).collect()
+        self.banks
+            .iter()
+            .map(|b| b.compiled_codes_metric(metric))
+            .collect()
     }
 
-    fn search_codes(&self, query: &[u8]) -> Result<(usize, f64)> {
-        let plans = self.codes_bank_plans()?;
+    fn search_codes(&self, query: &[u8], metric: Metric) -> Result<(usize, f64)> {
+        let plans = self.codes_bank_plans(metric)?;
         let refs: Vec<&CodesDispatch> = plans.iter().collect();
         let bases = exec::bank_bases(refs.len(), self.rows_per_bank);
         // Work is summed per bank by what each dispatch actually
@@ -354,8 +368,8 @@ impl BankedMcam {
         exec::banked_winner_kernel(&refs, &bases, query, threads)
     }
 
-    fn search_batch_codes(&self, queries: &[&[u8]]) -> Result<Vec<(usize, f64)>> {
-        let plans = self.codes_bank_plans()?;
+    fn search_batch_codes(&self, queries: &[&[u8]], metric: Metric) -> Result<Vec<(usize, f64)>> {
+        let plans = self.codes_bank_plans(metric)?;
         let refs: Vec<&CodesDispatch> = plans.iter().collect();
         let bases = exec::bank_bases(refs.len(), self.rows_per_bank);
         exec::banked_winner_batch_kernel(&refs, &bases, queries, par::max_threads())
@@ -376,12 +390,16 @@ impl BankedMcam {
     /// * [`CoreError::EmptyArray`] if nothing is stored.
     /// * Propagates per-bank search failures.
     pub fn search(&self, query: &[u8]) -> Result<(usize, f64)> {
-        match self.f64_bank_plans_for(1)? {
+        self.search_f64_metric(query, Metric::default())
+    }
+
+    fn search_f64_metric(&self, query: &[u8], metric: Metric) -> Result<(usize, f64)> {
+        match self.f64_bank_plans_for(1, metric)? {
             Some(plans) => {
                 let refs: Vec<&CompiledMcam<f64>> = plans.iter().map(Arc::as_ref).collect();
                 exec::banked_winner(&refs, self.rows_per_bank, query, self.search_threads())
             }
-            None => self.search_scalar(query),
+            None => self.search_scalar(query, metric),
         }
     }
 
@@ -393,10 +411,27 @@ impl BankedMcam {
     ///
     /// Same conditions as [`search`](Self::search).
     pub fn search_with(&self, query: &[u8], precision: Precision) -> Result<(usize, f64)> {
+        self.search_with_metric(query, precision, Metric::default())
+    }
+
+    /// [`search_with`](Self::search_with) at a chosen [`Metric`] (see
+    /// [`crate::exec`]'s "Metric modes") — per-bank winners still merge
+    /// in ascending bank order, so lowest-global-row tie-breaks hold
+    /// under every metric.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search`](Self::search).
+    pub fn search_with_metric(
+        &self,
+        query: &[u8],
+        precision: Precision,
+        metric: Metric,
+    ) -> Result<(usize, f64)> {
         match precision {
-            Precision::F64 => self.search(query),
-            Precision::F32 => self.search_impl::<f32>(query),
-            Precision::Codes => self.search_codes(query),
+            Precision::F64 => self.search_f64_metric(query, metric),
+            Precision::F32 => self.search_impl::<f32>(query, metric),
+            Precision::Codes => self.search_codes(query, metric),
         }
     }
 
@@ -416,18 +451,29 @@ impl BankedMcam {
     ///   empty-batch contract on [`McamArray::search_batch`]).
     /// * The first failing query (in query order) fails the batch.
     pub fn search_batch(&self, queries: &[&[u8]]) -> Result<Vec<(usize, f64)>> {
+        self.search_batch_f64_metric(queries, Metric::default())
+    }
+
+    fn search_batch_f64_metric(
+        &self,
+        queries: &[&[u8]],
+        metric: Metric,
+    ) -> Result<Vec<(usize, f64)>> {
         if self.is_empty() {
             return Err(CoreError::EmptyArray);
         }
         if queries.is_empty() {
             return Ok(Vec::new());
         }
-        match self.f64_bank_plans_for(queries.len())? {
+        match self.f64_bank_plans_for(queries.len(), metric)? {
             Some(plans) => {
                 let refs: Vec<&CompiledMcam<f64>> = plans.iter().map(Arc::as_ref).collect();
                 exec::banked_winner_batch(&refs, self.rows_per_bank, queries, par::max_threads())
             }
-            None => queries.iter().map(|q| self.search(q)).collect(),
+            None => queries
+                .iter()
+                .map(|q| self.search_f64_metric(q, metric))
+                .collect(),
         }
     }
 
@@ -441,6 +487,21 @@ impl BankedMcam {
         queries: &[&[u8]],
         precision: Precision,
     ) -> Result<Vec<(usize, f64)>> {
+        self.search_batch_with_metric(queries, precision, Metric::default())
+    }
+
+    /// [`search_batch_with`](Self::search_batch_with) at a chosen
+    /// [`Metric`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search_batch`](Self::search_batch).
+    pub fn search_batch_with_metric(
+        &self,
+        queries: &[&[u8]],
+        precision: Precision,
+        metric: Metric,
+    ) -> Result<Vec<(usize, f64)>> {
         if self.is_empty() {
             return Err(CoreError::EmptyArray);
         }
@@ -448,9 +509,9 @@ impl BankedMcam {
             return Ok(Vec::new());
         }
         match precision {
-            Precision::F64 => self.search_batch(queries),
-            Precision::F32 => self.search_batch_impl::<f32>(queries),
-            Precision::Codes => self.search_batch_codes(queries),
+            Precision::F64 => self.search_batch_f64_metric(queries, metric),
+            Precision::F32 => self.search_batch_impl::<f32>(queries, metric),
+            Precision::Codes => self.search_batch_codes(queries, metric),
         }
     }
 
@@ -477,6 +538,21 @@ impl BankedMcam {
         self.search_batch_with(queries, precision)
     }
 
+    /// [`search_batch_winners_with`](Self::search_batch_winners_with)
+    /// at a chosen [`Metric`] — the per-request-metric serving path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search_batch`](Self::search_batch).
+    pub fn search_batch_winners_with_metric(
+        &self,
+        queries: &[&[u8]],
+        precision: Precision,
+        metric: Metric,
+    ) -> Result<Vec<(usize, f64)>> {
+        self.search_batch_with_metric(queries, precision, metric)
+    }
+
     /// The `k` nearest rows for one query as
     /// `(global_row, total_conductance)` pairs, nearest first:
     /// per-bank bounded-heap top-k through each bank's cached plan at
@@ -497,10 +573,26 @@ impl BankedMcam {
         k: usize,
         precision: Precision,
     ) -> Result<Vec<(usize, f64)>> {
+        self.search_top_k_with_metric(query, k, precision, Metric::default())
+    }
+
+    /// [`search_top_k_with`](Self::search_top_k_with) at a chosen
+    /// [`Metric`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search`](Self::search).
+    pub fn search_top_k_with_metric(
+        &self,
+        query: &[u8],
+        k: usize,
+        precision: Precision,
+        metric: Metric,
+    ) -> Result<Vec<(usize, f64)>> {
         if self.is_empty() {
             return Err(CoreError::EmptyArray);
         }
-        let mut hits = self.search_batch_top_k_with(&[query], k, precision)?;
+        let mut hits = self.search_batch_top_k_with_metric(&[query], k, precision, metric)?;
         Ok(hits.pop().expect("one query in, one out"))
     }
 
@@ -528,6 +620,23 @@ impl BankedMcam {
         k: usize,
         precision: Precision,
     ) -> Result<Vec<Vec<(usize, f64)>>> {
+        self.search_batch_top_k_with_metric(queries, k, precision, Metric::default())
+    }
+
+    /// [`search_batch_top_k_with`](Self::search_batch_top_k_with) at a
+    /// chosen [`Metric`] — bounded-heap semantics carry over unchanged
+    /// because every metric's scores obey "smaller = nearer".
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search_batch`](Self::search_batch).
+    pub fn search_batch_top_k_with_metric(
+        &self,
+        queries: &[&[u8]],
+        k: usize,
+        precision: Precision,
+        metric: Metric,
+    ) -> Result<Vec<Vec<(usize, f64)>>> {
         if self.is_empty() {
             return Err(CoreError::EmptyArray);
         }
@@ -537,7 +646,7 @@ impl BankedMcam {
         // The full sweep is the all-banks instantiation of the masked
         // path — one implementation, bit-identity by construction.
         let all: Vec<usize> = (0..self.banks.len()).collect();
-        self.search_batch_top_k_masked(queries, k, precision, &all)
+        self.search_batch_top_k_masked_metric(queries, k, precision, metric, &all)
     }
 
     /// Validates a bank mask: strictly ascending, in-range bank
@@ -572,11 +681,12 @@ impl BankedMcam {
         &self,
         queries: &[&[u8]],
         banks: &[usize],
+        metric: Metric,
         n_threads: usize,
     ) -> Result<Vec<(usize, f64)>> {
         let plans: Vec<Arc<CompiledMcam<S>>> = banks
             .iter()
-            .map(|&b| self.banks[b].cached_plan::<S>())
+            .map(|&b| self.banks[b].cached_plan_metric::<S>(metric))
             .collect::<Result<_>>()?;
         let refs: Vec<&CompiledMcam<S>> = plans.iter().map(Arc::as_ref).collect();
         let bases = self.masked_bases(banks);
@@ -587,11 +697,12 @@ impl BankedMcam {
         &self,
         queries: &[&[u8]],
         banks: &[usize],
+        metric: Metric,
         n_threads: usize,
     ) -> Result<Vec<(usize, f64)>> {
         let plans: Vec<CodesDispatch> = banks
             .iter()
-            .map(|&b| self.banks[b].compiled_codes())
+            .map(|&b| self.banks[b].compiled_codes_metric(metric))
             .collect::<Result<_>>()?;
         let refs: Vec<&CodesDispatch> = plans.iter().collect();
         let bases = self.masked_bases(banks);
@@ -623,7 +734,31 @@ impl BankedMcam {
         precision: Precision,
         banks: &[usize],
     ) -> Result<Vec<(usize, f64)>> {
-        self.search_batch_winners_masked_threads(queries, precision, banks, par::max_threads())
+        self.search_batch_winners_masked_metric(queries, precision, Metric::default(), banks)
+    }
+
+    /// [`search_batch_winners_masked`](Self::search_batch_winners_masked)
+    /// at a chosen [`Metric`] — what lets the routed re-rank honor a
+    /// per-request metric while the router itself stays metric-agnostic.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as
+    /// [`search_batch_winners_masked`](Self::search_batch_winners_masked).
+    pub fn search_batch_winners_masked_metric(
+        &self,
+        queries: &[&[u8]],
+        precision: Precision,
+        metric: Metric,
+        banks: &[usize],
+    ) -> Result<Vec<(usize, f64)>> {
+        self.search_batch_winners_masked_threads(
+            queries,
+            precision,
+            metric,
+            banks,
+            par::max_threads(),
+        )
     }
 
     /// [`search_batch_winners_masked`](Self::search_batch_winners_masked)
@@ -636,6 +771,7 @@ impl BankedMcam {
         &self,
         queries: &[&[u8]],
         precision: Precision,
+        metric: Metric,
         banks: &[usize],
         n_threads: usize,
     ) -> Result<Vec<(usize, f64)>> {
@@ -647,9 +783,9 @@ impl BankedMcam {
             return Ok(Vec::new());
         }
         match precision {
-            Precision::F64 => self.masked_plane_winners::<f64>(queries, banks, n_threads),
-            Precision::F32 => self.masked_plane_winners::<f32>(queries, banks, n_threads),
-            Precision::Codes => self.masked_codes_winners(queries, banks, n_threads),
+            Precision::F64 => self.masked_plane_winners::<f64>(queries, banks, metric, n_threads),
+            Precision::F32 => self.masked_plane_winners::<f32>(queries, banks, metric, n_threads),
+            Precision::Codes => self.masked_codes_winners(queries, banks, metric, n_threads),
         }
     }
 
@@ -667,6 +803,25 @@ impl BankedMcam {
         banks: &[usize],
     ) -> Result<(usize, f64)> {
         let mut winners = self.search_batch_winners_masked(&[query], precision, banks)?;
+        Ok(winners.pop().expect("one query in, one out"))
+    }
+
+    /// [`search_masked_with`](Self::search_masked_with) at a chosen
+    /// [`Metric`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as
+    /// [`search_batch_winners_masked`](Self::search_batch_winners_masked).
+    pub fn search_masked_with_metric(
+        &self,
+        query: &[u8],
+        precision: Precision,
+        metric: Metric,
+        banks: &[usize],
+    ) -> Result<(usize, f64)> {
+        let mut winners =
+            self.search_batch_winners_masked_metric(&[query], precision, metric, banks)?;
         Ok(winners.pop().expect("one query in, one out"))
     }
 
@@ -689,6 +844,24 @@ impl BankedMcam {
         precision: Precision,
         banks: &[usize],
     ) -> Result<Vec<Vec<(usize, f64)>>> {
+        self.search_batch_top_k_masked_metric(queries, k, precision, Metric::default(), banks)
+    }
+
+    /// [`search_batch_top_k_masked`](Self::search_batch_top_k_masked)
+    /// at a chosen [`Metric`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as
+    /// [`search_batch_winners_masked`](Self::search_batch_winners_masked).
+    pub fn search_batch_top_k_masked_metric(
+        &self,
+        queries: &[&[u8]],
+        k: usize,
+        precision: Precision,
+        metric: Metric,
+        banks: &[usize],
+    ) -> Result<Vec<Vec<(usize, f64)>>> {
         if self.is_empty() {
             return Err(CoreError::EmptyArray);
         }
@@ -707,7 +880,8 @@ impl BankedMcam {
         let mut merged: Vec<Vec<(usize, f64)>> = vec![Vec::new(); queries.len()];
         for &bank_idx in banks {
             let base = bank_idx * self.rows_per_bank;
-            let per_bank = self.banks[bank_idx].search_batch_top_k_with(queries, k, precision)?;
+            let per_bank = self.banks[bank_idx]
+                .search_batch_top_k_with_metric(queries, k, precision, metric)?;
             for (slot, hits) in merged.iter_mut().zip(per_bank) {
                 slot.extend(hits.into_iter().map(|(local, g)| (base + local, g)));
             }
@@ -788,7 +962,7 @@ impl BankedMcam {
         if self.is_empty() {
             return Err(CoreError::EmptyArray);
         }
-        match self.f64_bank_plans_for(1)? {
+        match self.f64_bank_plans_for(1, Metric::default())? {
             Some(plans) => {
                 par::try_par_map(&plans, self.search_threads(), |_, plan| plan.search(query))
             }

@@ -8,6 +8,7 @@
 //!
 //! All distances are "smaller is nearer".
 
+use crate::exec::Metric;
 use crate::lut::ConductanceLut;
 use crate::quantize::Quantizer;
 use crate::Result;
@@ -143,13 +144,37 @@ impl Distance for Linf {
 pub struct McamSoftware {
     lut: ConductanceLut,
     quantizer: Quantizer,
+    metric: Metric,
 }
 
 impl McamSoftware {
-    /// Wraps a LUT and a fitted quantizer.
+    /// Wraps a LUT and a fitted quantizer, evaluating the default
+    /// [`Metric::McamConductance`] distance.
     #[must_use]
     pub fn new(lut: ConductanceLut, quantizer: Quantizer) -> Self {
-        McamSoftware { lut, quantizer }
+        McamSoftware {
+            lut,
+            quantizer,
+            metric: Metric::default(),
+        }
+    }
+
+    /// Builder-style metric selection: the same knob the compiled
+    /// engine exposes ([`crate::exec`]'s "Metric modes"), so recall
+    /// evaluation can use ground truth under the *same* distance
+    /// semantics as the compiled path under test. Synthesized metrics
+    /// ([`Metric::L1`], [`Metric::Linf`], [`Metric::Hamming`]) fold the
+    /// quantized level codes directly and never read the LUT.
+    #[must_use]
+    pub fn with_metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// The metric this ground truth evaluates.
+    #[must_use]
+    pub fn metric(&self) -> Metric {
+        self.metric
     }
 
     /// The embedded quantizer.
@@ -164,7 +189,8 @@ impl McamSoftware {
         &self.lut
     }
 
-    /// Distance between two already-quantized words.
+    /// Distance between two already-quantized words under the selected
+    /// metric.
     ///
     /// # Errors
     ///
@@ -176,11 +202,16 @@ impl McamSoftware {
                 actual: query.len(),
             });
         }
-        Ok(query
-            .iter()
-            .zip(stored)
-            .map(|(&i, &s)| self.lut.get(i, s))
-            .sum())
+        let cells = query.iter().zip(stored);
+        Ok(match self.metric {
+            Metric::McamConductance => cells.map(|(&i, &s)| self.lut.get(i, s)).sum(),
+            Metric::Linf => cells
+                .map(|(&i, &s)| self.metric.level_distance(i, s))
+                .fold(0.0, |acc, v| if v > acc { v } else { acc }),
+            Metric::L1 | Metric::Hamming => {
+                cells.map(|(&i, &s)| self.metric.level_distance(i, s)).sum()
+            }
+        })
     }
 }
 
@@ -192,7 +223,12 @@ impl Distance for McamSoftware {
     }
 
     fn name(&self) -> &'static str {
-        "mcam"
+        match self.metric {
+            Metric::McamConductance => "mcam",
+            Metric::L1 => "mcam-l1",
+            Metric::Linf => "mcam-linf",
+            Metric::Hamming => "mcam-hamming",
+        }
     }
 }
 
@@ -232,6 +268,35 @@ impl DistanceKind {
             DistanceKind::Manhattan => Manhattan.name(),
             DistanceKind::Linf => Linf.name(),
         }
+    }
+
+    /// The software distance matching a compiled [`Metric`]'s feature-
+    /// space semantics, when one exists: [`Metric::L1`] quantizes
+    /// Manhattan distance and [`Metric::Linf`] quantizes Chebyshev, so
+    /// ground truth under the returned kind evaluates the same ordering
+    /// the compiled path approximates. [`Metric::McamConductance`] and
+    /// [`Metric::Hamming`] have no FP32 analogue here (use
+    /// [`McamSoftware::with_metric`] for level-space ground truth).
+    #[must_use]
+    pub fn for_metric(metric: Metric) -> Option<DistanceKind> {
+        match metric {
+            Metric::L1 => Some(DistanceKind::Manhattan),
+            Metric::Linf => Some(DistanceKind::Linf),
+            Metric::McamConductance | Metric::Hamming => None,
+        }
+    }
+}
+
+// `DistanceKind` is itself a `Distance`, so engines like
+// [`crate::SoftwareNn`] can be driven directly by a runtime-selected
+// kind — the ground-truth side of the per-request metric knob.
+impl Distance for DistanceKind {
+    fn eval(&self, a: &[f32], b: &[f32]) -> f64 {
+        DistanceKind::eval(*self, a, b)
+    }
+
+    fn name(&self) -> &'static str {
+        DistanceKind::name(*self)
     }
 }
 

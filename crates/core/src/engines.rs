@@ -18,7 +18,7 @@ use femcam_lsh::RandomHyperplanes;
 use crate::array::{McamArray, McamArrayBuilder, VariationSpec};
 use crate::distance::Distance;
 use crate::error::CoreError;
-use crate::exec::{self, Precision};
+use crate::exec::{self, Metric, Precision};
 use crate::levels::LevelLadder;
 use crate::lut::ConductanceLut;
 use crate::par;
@@ -306,6 +306,7 @@ pub struct McamNn {
     array: McamArray,
     labels: Vec<u32>,
     precision: Precision,
+    metric: Metric,
 }
 
 impl McamNn {
@@ -327,6 +328,7 @@ impl McamNn {
             array,
             labels: Vec::new(),
             precision: Precision::F64,
+            metric: Metric::default(),
         })
     }
 
@@ -352,6 +354,32 @@ impl McamNn {
     #[must_use]
     pub fn with_precision(mut self, precision: Precision) -> Self {
         self.precision = precision;
+        self
+    }
+
+    /// The distance semantics queries run under (default
+    /// [`Metric::McamConductance`], the paper's analog distance).
+    #[must_use]
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Selects the distance semantics for all query paths — a runtime
+    /// knob beside [`set_precision`](Self::set_precision). Synthesized
+    /// metrics ([`Metric::L1`], [`Metric::Linf`], [`Metric::Hamming`])
+    /// run through the same compiled kernels with distance-valued
+    /// tables (see [`crate::exec`]'s "Metric modes"); "smaller score =
+    /// nearer" holds for every choice. Switching costs nothing until
+    /// the next query, which compiles (and caches) the chosen metric's
+    /// plan.
+    pub fn set_metric(&mut self, metric: Metric) {
+        self.metric = metric;
+    }
+
+    /// Builder-style [`set_metric`](Self::set_metric).
+    #[must_use]
+    pub fn with_metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
         self
     }
 
@@ -432,6 +460,7 @@ impl McamNn {
             array,
             labels: self.labels,
             precision: self.precision,
+            metric: self.metric,
         })
     }
 
@@ -472,7 +501,9 @@ impl NnIndex for McamNn {
 
     fn query(&self, features: &[f32]) -> Result<QueryResult> {
         let levels = self.quantizer.quantize(features)?;
-        let outcome = self.array.search_with(&levels, self.precision)?;
+        let outcome = self
+            .array
+            .search_with_metric(&levels, self.precision, self.metric)?;
         let index = outcome.best_row();
         Ok(QueryResult {
             index,
@@ -483,7 +514,9 @@ impl NnIndex for McamNn {
 
     fn query_k(&self, features: &[f32], k: usize) -> Result<Vec<QueryResult>> {
         let levels = self.quantizer.quantize(features)?;
-        let outcome = self.array.search_with(&levels, self.precision)?;
+        let outcome = self
+            .array
+            .search_with_metric(&levels, self.precision, self.metric)?;
         Ok(outcome
             .top_k(k)
             .into_iter()
@@ -503,9 +536,9 @@ impl NnIndex for McamNn {
         }
         let levels = self.quantize_batch(queries)?;
         let refs: Vec<&[u8]> = levels.iter().map(|l| l.as_slice()).collect();
-        let winners = self
-            .array
-            .search_batch_winners_with(&refs, self.precision)?;
+        let winners =
+            self.array
+                .search_batch_winners_with_metric(&refs, self.precision, self.metric)?;
         Ok(winners
             .into_iter()
             .map(|(index, score)| QueryResult {
@@ -522,9 +555,9 @@ impl NnIndex for McamNn {
         }
         let levels = self.quantize_batch(queries)?;
         let refs: Vec<&[u8]> = levels.iter().map(|l| l.as_slice()).collect();
-        let hits = self
-            .array
-            .search_batch_top_k_with(&refs, k, self.precision)?;
+        let hits =
+            self.array
+                .search_batch_top_k_with_metric(&refs, k, self.precision, self.metric)?;
         Ok(hits
             .into_iter()
             .map(|top| {
@@ -541,9 +574,10 @@ impl NnIndex for McamNn {
 
     fn name(&self) -> String {
         format!(
-            "mcam-{}bit{}",
+            "mcam-{}bit{}{}",
             self.array.ladder().bits(),
-            self.precision.name_suffix()
+            self.precision.name_suffix(),
+            self.metric.name_suffix()
         )
     }
 }

@@ -112,6 +112,44 @@
 //! the cached-plan entry points ([`McamArray::search_batch_with`],
 //! [`crate::engines::McamNn::set_precision`]).
 //!
+//! # Metric modes
+//!
+//! Beside [`Precision`], every compiled plan carries a [`Metric`]: the
+//! distance semantics its per-cell values encode. The kernel is always
+//! "fold a per-cell value over the row", so a metric is nothing more
+//! than a different value table plus (for L∞) a different fold:
+//!
+//! * **[`Metric::McamConductance`]** (the default) folds the device
+//!   LUT's conductances with `+` — the paper's analog distance, the
+//!   only metric that sees device variation.
+//! * **[`Metric::L1`]** synthesizes a *distance-valued* table from the
+//!   level ladder — `|input − state|` per cell — and sums it: exact
+//!   digital Manhattan distance in level space.
+//! * **[`Metric::Hamming`]** synthesizes `0/1` per cell (mismatch
+//!   counting) and sums it.
+//! * **[`Metric::Linf`]** synthesizes `|input − state|` and folds it
+//!   with `max` instead of `+` — the one metric that exercises the
+//!   generalized reduce strategy of the block kernels (every
+//!   accumulate loop, scalar and AVX2 alike, is monomorphized over
+//!   Sum/Max at dispatch time).
+//!
+//! "Smaller score = nearer" stays the universal contract: synthesized
+//! tables hold distances, so argmin, bounded-heap top-k, and the banked
+//! winner merges work unchanged across metrics. All synthesized values
+//! are non-negative, so `0` is a valid fold identity for both Sum and
+//! Max. Synthesized metrics are *digital* — they read stored level
+//! codes, never realized conductances — so they are exact under device
+//! variation too, and [`Precision::Codes`] packs them even on per-cell
+//! banks (only [`Metric::McamConductance`] needs the `f32` plane
+//! fallback there). Per metric, the same bit-identity ladder holds as
+//! for precisions: `f64` plans match the scalar per-metric oracle
+//! ([`McamArray::search_metric`]) bit-for-bit, codes match `f32`
+//! planes bit-for-bit (`tests/metric_props.rs` pins both).
+//!
+//! The [`PlanCache`] keys its slots by `(precision, metric)`, so mixed
+//! metric traffic against one array caches one plan per combination and
+//! every mutation invalidates them all.
+//!
 //! # Cached, auto-recompiling plans
 //!
 //! A plan is a snapshot of the array contents at compile time. So that
@@ -214,6 +252,113 @@ impl Precision {
     }
 }
 
+/// Number of [`Metric`] variants — the per-metric slot count of a
+/// [`PlanCache`].
+pub const N_METRICS: usize = 4;
+
+/// Runtime selector for the distance semantics of a compiled plan (see
+/// the [module-level "Metric modes"](self#metric-modes)).
+///
+/// Orthogonal to [`Precision`]: every `(precision, metric)` combination
+/// compiles, caches, and searches independently. "Smaller score =
+/// nearer" holds for every metric — non-default metrics fold
+/// *distance-valued* tables synthesized from the level ladder, so the
+/// winner/top-k machinery is metric-agnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Metric {
+    /// The paper's analog distance: fold the device LUT's conductances
+    /// with `+`. The default, and the only metric that sees device
+    /// variation.
+    #[default]
+    McamConductance,
+    /// Digital Manhattan distance in level space: sum of
+    /// `|input − state|` per cell.
+    L1,
+    /// Digital Chebyshev distance: `max` of `|input − state|` per cell
+    /// — the max-fold metric.
+    Linf,
+    /// Mismatch count: sum of `0/1` per cell.
+    Hamming,
+}
+
+impl Metric {
+    /// Every metric, in [`index`](Self::index) order.
+    pub const ALL: [Metric; N_METRICS] = [
+        Metric::McamConductance,
+        Metric::L1,
+        Metric::Linf,
+        Metric::Hamming,
+    ];
+
+    /// Short lowercase name (`"mcam"` / `"l1"` / `"linf"` /
+    /// `"hamming"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::McamConductance => "mcam",
+            Metric::L1 => "l1",
+            Metric::Linf => "linf",
+            Metric::Hamming => "hamming",
+        }
+    }
+
+    /// Engine-name suffix: empty for the default, `"-l1"` / `"-linf"`
+    /// / `"-hamming"` for the opt-in metrics — the single definition
+    /// every engine/backend report name appends (mirroring
+    /// [`Precision::name_suffix`]).
+    #[must_use]
+    pub fn name_suffix(self) -> &'static str {
+        match self {
+            Metric::McamConductance => "",
+            Metric::L1 => "-l1",
+            Metric::Linf => "-linf",
+            Metric::Hamming => "-hamming",
+        }
+    }
+
+    /// The dense `0..N_METRICS` index of this metric — the
+    /// [`PlanCache`] slot it compiles into, and a stable key for
+    /// per-metric tables (the serving layer groups micro-batch windows
+    /// with it). [`Metric::ALL`]`[m.index()] == m`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Metric::McamConductance => 0,
+            Metric::L1 => 1,
+            Metric::Linf => 2,
+            Metric::Hamming => 3,
+        }
+    }
+
+    /// Whether this metric folds per-cell values with `max` instead of
+    /// `+` (only [`Metric::Linf`]).
+    #[must_use]
+    pub fn is_max_fold(self) -> bool {
+        matches!(self, Metric::Linf)
+    }
+
+    /// The synthesized per-cell distance of a *digital* metric for an
+    /// `(input, state)` level pair. Never called for the default
+    /// metric, whose values come from the device LUT (or the realized
+    /// per-cell bank) instead.
+    pub(crate) fn level_distance(self, input: u8, state: u8) -> f64 {
+        match self {
+            Metric::McamConductance => {
+                unreachable!("the conductance metric reads the device LUT")
+            }
+            Metric::L1 | Metric::Linf => (f64::from(input) - f64::from(state)).abs(),
+            Metric::Hamming => {
+                if input == state {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+}
+
 /// Cold-cache amortization threshold for [`Precision::Codes`]: the
 /// batch size from which compiling a packed-code plan pays for itself.
 ///
@@ -259,10 +404,27 @@ pub trait PlaneScalar:
     fn to_f64(self) -> f64;
     /// Addition in this precision (the determinism-critical fold step).
     fn add(self, rhs: Self) -> Self;
+    /// Maximum in this precision (the [`Metric::Linf`] fold step). Plan
+    /// values are non-negative and finite, so the plain `>` maximum is
+    /// well defined and `ZERO` is its identity.
+    fn max(self, rhs: Self) -> Self;
 
-    /// The cache slot for this precision inside a [`PlanCache`].
+    /// The Sum/Max reduce the accumulate kernels monomorphize over:
+    /// `MAX` selects the fold at compile time, so the inner loops carry
+    /// no per-element branch.
+    #[inline(always)]
+    fn fold<const MAX: bool>(self, rhs: Self) -> Self {
+        if MAX {
+            self.max(rhs)
+        } else {
+            self.add(rhs)
+        }
+    }
+
+    /// The per-metric cache slots for this precision inside a
+    /// [`PlanCache`].
     #[doc(hidden)]
-    fn plan_slot(cache: &PlanCache) -> &Mutex<Option<Arc<CompiledMcam<Self>>>>
+    fn plan_slot(cache: &PlanCache) -> &Mutex<[Option<Arc<CompiledMcam<Self>>>; N_METRICS]>
     where
         Self: Sized;
 }
@@ -286,8 +448,17 @@ impl PlaneScalar for f64 {
         self + rhs
     }
 
-    fn plan_slot(cache: &PlanCache) -> &Mutex<Option<Arc<CompiledMcam<Self>>>> {
-        &cache.f64_plan
+    #[inline(always)]
+    fn max(self, rhs: Self) -> Self {
+        if rhs > self {
+            rhs
+        } else {
+            self
+        }
+    }
+
+    fn plan_slot(cache: &PlanCache) -> &Mutex<[Option<Arc<CompiledMcam<Self>>>; N_METRICS]> {
+        &cache.f64_plans
     }
 }
 
@@ -310,8 +481,17 @@ impl PlaneScalar for f32 {
         self + rhs
     }
 
-    fn plan_slot(cache: &PlanCache) -> &Mutex<Option<Arc<CompiledMcam<Self>>>> {
-        &cache.f32_plan
+    #[inline(always)]
+    fn max(self, rhs: Self) -> Self {
+        if rhs > self {
+            rhs
+        } else {
+            self
+        }
+    }
+
+    fn plan_slot(cache: &PlanCache) -> &Mutex<[Option<Arc<CompiledMcam<Self>>>; N_METRICS]> {
+        &cache.f32_plans
     }
 }
 
@@ -320,101 +500,119 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 /// Interior-mutable cache of compiled plans for one array: one slot per
-/// [`Precision`], filled lazily on first use and cleared by
-/// [`invalidate`](Self::invalidate) when the array mutates (the
-/// dirty-flag half of auto-recompilation — an empty slot *is* the dirty
-/// flag).
+/// `(`[`Precision`]`, `[`Metric`]`)` combination, filled lazily on
+/// first use and cleared by [`invalidate`](Self::invalidate) when the
+/// array mutates (the dirty-flag half of auto-recompilation — an empty
+/// slot *is* the dirty flag).
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    f64_plan: Mutex<Option<Arc<CompiledMcam<f64>>>>,
-    f32_plan: Mutex<Option<Arc<CompiledMcam<f32>>>>,
-    codes_plan: Mutex<Option<Arc<CompiledCodes>>>,
+    f64_plans: Mutex<[Option<Arc<CompiledMcam<f64>>>; N_METRICS]>,
+    f32_plans: Mutex<[Option<Arc<CompiledMcam<f32>>>; N_METRICS]>,
+    codes_plans: Mutex<[Option<Arc<CompiledCodes>>; N_METRICS]>,
 }
 
 impl PlanCache {
-    /// Returns the cached plan for `S`, compiling and caching it from
-    /// `array` on a miss.
+    /// Returns the cached plan for `S` at `metric`, compiling and
+    /// caching it from `array` on a miss.
     ///
     /// # Errors
     ///
-    /// Propagates [`CompiledMcam::compile`] failures (the slot stays
-    /// empty).
+    /// Propagates [`CompiledMcam::compile_metric`] failures (the slot
+    /// stays empty).
     pub fn get_or_compile<S: PlaneScalar>(
         &self,
         array: &McamArray,
+        metric: Metric,
     ) -> Result<Arc<CompiledMcam<S>>> {
-        let mut slot = lock(S::plan_slot(self));
-        if let Some(plan) = slot.as_ref() {
+        let mut slots = lock(S::plan_slot(self));
+        if let Some(plan) = slots[metric.index()].as_ref() {
             return Ok(Arc::clone(plan));
         }
-        let plan = Arc::new(CompiledMcam::<S>::compile(array)?);
-        *slot = Some(Arc::clone(&plan));
+        let plan = Arc::new(CompiledMcam::<S>::compile_metric(array, metric)?);
+        slots[metric.index()] = Some(Arc::clone(&plan));
         Ok(plan)
     }
 
-    /// The cached plan for `S` if one is currently compiled, without
-    /// compiling on a miss (lets callers amortize: skip plan
-    /// construction for workloads too small to pay for it).
-    pub fn cached<S: PlaneScalar>(&self) -> Option<Arc<CompiledMcam<S>>> {
-        lock(S::plan_slot(self)).as_ref().map(Arc::clone)
+    /// The cached plan for `S` at `metric` if one is currently
+    /// compiled, without compiling on a miss (lets callers amortize:
+    /// skip plan construction for workloads too small to pay for it).
+    pub fn cached<S: PlaneScalar>(&self, metric: Metric) -> Option<Arc<CompiledMcam<S>>> {
+        lock(S::plan_slot(self))[metric.index()]
+            .as_ref()
+            .map(Arc::clone)
     }
 
-    /// The codes-mode execution engine for `array`, compiling and
-    /// caching on a miss. This is where the codes-mode dispatch lives:
-    /// shared-LUT arrays get the packed-code plan (cached in the codes
-    /// slot); per-cell (variation) arrays transparently fall back to
-    /// the cached `f32` plane plan — see the
-    /// [module-level "Codes mode"](self#codes-mode).
+    /// The codes-mode execution engine for `array` at `metric`,
+    /// compiling and caching on a miss. This is where the codes-mode
+    /// dispatch lives: packable `(array, metric)` pairs get the
+    /// packed-code plan (cached in the codes slot); the conductance
+    /// metric on per-cell (variation) arrays transparently falls back
+    /// to the cached `f32` plane plan — see the
+    /// [module-level "Codes mode"](self#codes-mode). Synthesized
+    /// (digital) metrics always pack.
     ///
     /// # Errors
     ///
     /// Propagates compile failures (the slot stays empty).
-    pub fn get_or_compile_codes(&self, array: &McamArray) -> Result<CodesDispatch> {
-        if array.has_per_cell_bank() {
-            return Ok(CodesDispatch::Planes(self.get_or_compile::<f32>(array)?));
+    pub fn get_or_compile_codes(&self, array: &McamArray, metric: Metric) -> Result<CodesDispatch> {
+        if metric == Metric::McamConductance && array.has_per_cell_bank() {
+            return Ok(CodesDispatch::Planes(
+                self.get_or_compile::<f32>(array, metric)?,
+            ));
         }
-        let mut slot = lock(&self.codes_plan);
-        if let Some(plan) = slot.as_ref() {
+        let mut slots = lock(&self.codes_plans);
+        if let Some(plan) = slots[metric.index()].as_ref() {
             return Ok(CodesDispatch::Packed(Arc::clone(plan)));
         }
-        let plan = Arc::new(CompiledCodes::compile(array)?);
-        *slot = Some(Arc::clone(&plan));
+        let plan = Arc::new(CompiledCodes::compile_metric(array, metric)?);
+        slots[metric.index()] = Some(Arc::clone(&plan));
         Ok(CodesDispatch::Packed(plan))
     }
 
-    /// The cached packed-code plan if one is currently compiled,
-    /// without compiling on a miss.
-    pub fn cached_codes(&self) -> Option<Arc<CompiledCodes>> {
-        lock(&self.codes_plan).as_ref().map(Arc::clone)
+    /// The cached packed-code plan at `metric` if one is currently
+    /// compiled, without compiling on a miss.
+    pub fn cached_codes(&self, metric: Metric) -> Option<Arc<CompiledCodes>> {
+        lock(&self.codes_plans)[metric.index()]
+            .as_ref()
+            .map(Arc::clone)
     }
 
-    /// Resident bytes of each cached plan slot (0 = slot empty) — the
+    /// Resident bytes of each cached plan slot, summed across metrics
+    /// per precision (0 = every slot of that precision cold) — the
     /// introspection behind [`McamArray::plan_memory_bytes`].
     #[must_use]
     pub fn memory_bytes(&self) -> PlanMemoryBytes {
+        fn sum_planes<S: PlaneScalar>(slots: &[Option<Arc<CompiledMcam<S>>>; N_METRICS]) -> usize {
+            slots
+                .iter()
+                .map(|s| s.as_ref().map_or(0, |p| p.plan_bytes()))
+                .sum()
+        }
         PlanMemoryBytes {
-            f64_plane: lock(&self.f64_plan).as_ref().map_or(0, |p| p.plan_bytes()),
-            f32_plane: lock(&self.f32_plan).as_ref().map_or(0, |p| p.plan_bytes()),
-            codes: lock(&self.codes_plan)
-                .as_ref()
-                .map_or(0, |p| p.plan_bytes()),
+            f64_plane: sum_planes(&lock(&self.f64_plans)),
+            f32_plane: sum_planes(&lock(&self.f32_plans)),
+            codes: lock(&self.codes_plans)
+                .iter()
+                .map(|s| s.as_ref().map_or(0, |p| p.plan_bytes()))
+                .sum(),
         }
     }
 
-    /// Drops every cached plan; the next search recompiles.
+    /// Drops every cached plan (all precisions, all metrics); the next
+    /// search recompiles.
     pub fn invalidate(&mut self) {
         *self
-            .f64_plan
+            .f64_plans
             .get_mut()
-            .unwrap_or_else(PoisonError::into_inner) = None;
+            .unwrap_or_else(PoisonError::into_inner) = Default::default();
         *self
-            .f32_plan
+            .f32_plans
             .get_mut()
-            .unwrap_or_else(PoisonError::into_inner) = None;
+            .unwrap_or_else(PoisonError::into_inner) = Default::default();
         *self
-            .codes_plan
+            .codes_plans
             .get_mut()
-            .unwrap_or_else(PoisonError::into_inner) = None;
+            .unwrap_or_else(PoisonError::into_inner) = Default::default();
     }
 }
 
@@ -571,6 +769,9 @@ pub struct CompiledMcam<S: PlaneScalar = f64> {
     n_rows: usize,
     word_len: usize,
     n_levels: usize,
+    /// The distance semantics the planes encode (and, for
+    /// [`Metric::Linf`], the max fold the accumulators run).
+    metric: Metric,
     /// `[input][column][row]`, rows contiguous.
     planes: Vec<S>,
 }
@@ -601,6 +802,28 @@ const SERVE_SUB: usize = 32;
 /// every query in the block reads it back.
 const CODES_IDX_SLAB_BYTES: usize = 16 * 1024;
 
+/// The vector face of [`PlaneScalar::fold`]: Sum or Max across eight
+/// lanes, selected at monomorphization time. `#[inline(always)]` (and
+/// no `target_feature` of its own) so it fuses into the AVX2 callers.
+///
+/// # Safety
+///
+/// Caller must have AVX2 enabled (the only callers are
+/// `target_feature(enable = "avx2")` kernels).
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+unsafe fn fold_ps<const MAX: bool>(
+    a: std::arch::x86_64::__m256,
+    b: std::arch::x86_64::__m256,
+) -> std::arch::x86_64::__m256 {
+    use std::arch::x86_64::*;
+    if MAX {
+        _mm256_max_ps(a, b)
+    } else {
+        _mm256_add_ps(a, b)
+    }
+}
+
 impl<S: PlaneScalar> CompiledMcam<S> {
     /// Compiles the array's current contents into a plane-major plan.
     ///
@@ -611,6 +834,19 @@ impl<S: PlaneScalar> CompiledMcam<S> {
     ///
     /// Returns [`CoreError::EmptyArray`] if nothing is stored.
     pub fn compile(array: &McamArray) -> Result<Self> {
+        Self::compile_metric(array, Metric::default())
+    }
+
+    /// Compiles the array's current contents into a plane-major plan
+    /// whose per-cell values encode `metric` (see the
+    /// [module-level "Metric modes"](self#metric-modes)): the device
+    /// LUT / realized bank for [`Metric::McamConductance`], synthesized
+    /// level-space distances otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyArray`] if nothing is stored.
+    pub fn compile_metric(array: &McamArray, metric: Metric) -> Result<Self> {
         if array.is_empty() {
             return Err(CoreError::EmptyArray);
         }
@@ -626,7 +862,7 @@ impl<S: PlaneScalar> CompiledMcam<S> {
                 let mut plane = Vec::with_capacity(plane_work);
                 for c in 0..word_len {
                     for r in 0..n_rows {
-                        plane.push(S::from_f64(array.cell_conductance(r, c, input)));
+                        plane.push(S::from_f64(array.cell_metric_value(r, c, input, metric)));
                     }
                 }
                 plane
@@ -640,6 +876,7 @@ impl<S: PlaneScalar> CompiledMcam<S> {
             n_rows,
             word_len,
             n_levels,
+            metric,
             planes,
         })
     }
@@ -668,6 +905,12 @@ impl<S: PlaneScalar> CompiledMcam<S> {
         S::PRECISION
     }
 
+    /// The metric this plan was compiled for.
+    #[must_use]
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
     /// Resident bytes of this plan's conductance planes.
     #[must_use]
     pub fn plan_bytes(&self) -> usize {
@@ -680,14 +923,23 @@ impl<S: PlaneScalar> CompiledMcam<S> {
 
     /// Accumulates the query into `out[..]` for rows
     /// `row_start..row_start + out.len()`, in ascending column order
-    /// (the determinism-critical inner loop).
+    /// (the determinism-critical inner loop), dispatching once into the
+    /// Sum- or Max-monomorphized fold.
     fn accumulate_rows(&self, query: &[u8], row_start: usize, out: &mut [S]) {
+        if self.metric.is_max_fold() {
+            self.accumulate_rows_fold::<true>(query, row_start, out);
+        } else {
+            self.accumulate_rows_fold::<false>(query, row_start, out);
+        }
+    }
+
+    fn accumulate_rows_fold<const MAX: bool>(&self, query: &[u8], row_start: usize, out: &mut [S]) {
         out.fill(S::ZERO);
         for (c, &q) in query.iter().enumerate() {
             let base = (q as usize * self.word_len + c) * self.n_rows + row_start;
             let column = &self.planes[base..base + out.len()];
             for (acc, &g) in out.iter_mut().zip(column) {
-                *acc = acc.add(g);
+                *acc = acc.fold::<MAX>(g);
             }
         }
     }
@@ -716,6 +968,14 @@ impl<S: PlaneScalar> CompiledMcam<S> {
     /// sharing an input level at a column reuse the same L1-hot plane
     /// panel instead of re-streaming it.
     fn accumulate_block(&self, queries: &[&[u8]], acc: &mut [S]) {
+        if self.metric.is_max_fold() {
+            self.accumulate_block_fold::<true>(queries, acc);
+        } else {
+            self.accumulate_block_fold::<false>(queries, acc);
+        }
+    }
+
+    fn accumulate_block_fold<const MAX: bool>(&self, queries: &[&[u8]], acc: &mut [S]) {
         let n = self.n_rows;
         debug_assert!(acc.len() >= queries.len() * n);
         acc[..queries.len() * n].fill(S::ZERO);
@@ -729,7 +989,7 @@ impl<S: PlaneScalar> CompiledMcam<S> {
                     let column = &self.planes[base + t0..base + t1];
                     let out = &mut acc[qi * n + t0..qi * n + t1];
                     for (a, &g) in out.iter_mut().zip(column) {
-                        *a = a.add(g);
+                        *a = a.fold::<MAX>(g);
                     }
                 }
             }
@@ -1037,13 +1297,16 @@ pub struct CompiledCodes {
     n_rows: usize,
     word_len: usize,
     n_levels: usize,
+    /// The distance semantics `lut` encodes (and, for
+    /// [`Metric::Linf`], the max fold the gather loops run).
+    metric: Metric,
     /// Power-of-two row stride of `lut`; `stride - 1` is the gather
     /// mask.
     lut_stride: usize,
     /// `[column][row]`, rows contiguous; one byte per cell.
     codes: Vec<u8>,
-    /// `[input][state]` conductances, rounded to `f32` exactly like the
-    /// `f32` planes; rows padded to `lut_stride`.
+    /// `[input][state]` per-cell values, rounded to `f32` exactly like
+    /// the `f32` planes; rows padded to `lut_stride`.
     lut: Vec<f32>,
 }
 
@@ -1062,10 +1325,26 @@ impl CompiledCodes {
     ///   conductances (device variation) — use a plane plan, or the
     ///   transparent [`McamArray::compiled_codes`] dispatch.
     pub fn compile(array: &McamArray) -> Result<Self> {
+        Self::compile_metric(array, Metric::default())
+    }
+
+    /// Compiles the array's current contents into a packed-code plan
+    /// whose LUT encodes `metric`: the shared device LUT for
+    /// [`Metric::McamConductance`], a synthesized level-space distance
+    /// table otherwise. Synthesized metrics are digital — they read
+    /// stored level codes only — so they pack even on per-cell
+    /// (variation) arrays.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::EmptyArray`] if nothing is stored.
+    /// * [`CoreError::PerCellBank`] for [`Metric::McamConductance`] on
+    ///   an array realizing per-cell conductances (device variation).
+    pub fn compile_metric(array: &McamArray, metric: Metric) -> Result<Self> {
         if array.is_empty() {
             return Err(CoreError::EmptyArray);
         }
-        if array.has_per_cell_bank() {
+        if metric == Metric::McamConductance && array.has_per_cell_bank() {
             return Err(CoreError::PerCellBank);
         }
         let n_rows = array.n_rows();
@@ -1079,8 +1358,10 @@ impl CompiledCodes {
             for state in 0..n_levels as u8 {
                 // The exact f32 rounding the f32 planes hold — the
                 // bit-identity contract hinges on this.
-                lut[input as usize * lut_stride + state as usize] =
-                    array.lut().get(input, state) as f32;
+                lut[input as usize * lut_stride + state as usize] = match metric {
+                    Metric::McamConductance => array.lut().get(input, state) as f32,
+                    _ => metric.level_distance(input, state) as f32,
+                };
             }
         }
         let mut codes = vec![0u8; word_len * n_rows];
@@ -1093,6 +1374,7 @@ impl CompiledCodes {
             n_rows,
             word_len,
             n_levels,
+            metric,
             lut_stride,
             codes,
             lut,
@@ -1121,6 +1403,12 @@ impl CompiledCodes {
     #[must_use]
     pub fn precision(&self) -> Precision {
         Precision::Codes
+    }
+
+    /// The metric this plan was compiled for.
+    #[must_use]
+    pub fn metric(&self) -> Metric {
+        self.metric
     }
 
     /// Resident bytes of this plan: the packed codes plus the `f32`
@@ -1189,7 +1477,12 @@ impl CompiledCodes {
     /// `row_start + out.len() <= n_rows`.
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx2")]
-    unsafe fn accumulate_query_avx2(&self, query: &[u8], row_start: usize, out: &mut [f32]) {
+    unsafe fn accumulate_query_avx2<const MAX: bool>(
+        &self,
+        query: &[u8],
+        row_start: usize,
+        out: &mut [f32],
+    ) {
         use std::arch::x86_64::*;
         let n = self.n_rows;
         let len = out.len();
@@ -1212,10 +1505,10 @@ impl CompiledCodes {
                 let i1 = _mm256_cvtepu8_epi32(_mm_loadl_epi64(base.add(8).cast()));
                 let i2 = _mm256_cvtepu8_epi32(_mm_loadl_epi64(base.add(16).cast()));
                 let i3 = _mm256_cvtepu8_epi32(_mm_loadl_epi64(base.add(24).cast()));
-                a0 = _mm256_add_ps(a0, _mm256_permutevar8x32_ps(table, i0));
-                a1 = _mm256_add_ps(a1, _mm256_permutevar8x32_ps(table, i1));
-                a2 = _mm256_add_ps(a2, _mm256_permutevar8x32_ps(table, i2));
-                a3 = _mm256_add_ps(a3, _mm256_permutevar8x32_ps(table, i3));
+                a0 = fold_ps::<MAX>(a0, _mm256_permutevar8x32_ps(table, i0));
+                a1 = fold_ps::<MAX>(a1, _mm256_permutevar8x32_ps(table, i1));
+                a2 = fold_ps::<MAX>(a2, _mm256_permutevar8x32_ps(table, i2));
+                a3 = fold_ps::<MAX>(a3, _mm256_permutevar8x32_ps(table, i3));
             }
             _mm256_storeu_ps(out_ptr.add(s), a0);
             _mm256_storeu_ps(out_ptr.add(s + 8), a1);
@@ -1229,7 +1522,7 @@ impl CompiledCodes {
                 let table = tables[level as usize];
                 let base = codes.add(c * n + row_start + s);
                 let idx = _mm256_cvtepu8_epi32(_mm_loadl_epi64(base.cast()));
-                a = _mm256_add_ps(a, _mm256_permutevar8x32_ps(table, idx));
+                a = fold_ps::<MAX>(a, _mm256_permutevar8x32_ps(table, idx));
             }
             _mm256_storeu_ps(out_ptr.add(s), a);
             s += 8;
@@ -1242,7 +1535,7 @@ impl CompiledCodes {
                 let table = &self.lut[level as usize * 8..][..8];
                 let column = &self.codes[c * n + row_start + s..][..len - s];
                 for (acc, &code) in out[s..].iter_mut().zip(column) {
-                    *acc += table[(code & 7) as usize];
+                    *acc = acc.fold::<MAX>(table[(code & 7) as usize]);
                 }
             }
         }
@@ -1267,7 +1560,12 @@ impl CompiledCodes {
     /// must hold `queries.len() * n_rows` scalars.
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx2")]
-    unsafe fn accumulate_block_avx2(&self, queries: &[&[u8]], acc: &mut [f32], aux: &mut Vec<f32>) {
+    unsafe fn accumulate_block_avx2<const MAX: bool>(
+        &self,
+        queries: &[&[u8]],
+        acc: &mut [f32],
+        aux: &mut Vec<f32>,
+    ) {
         use std::arch::x86_64::*;
         let n = self.n_rows;
         let wl = self.word_len;
@@ -1315,7 +1613,7 @@ impl CompiledCodes {
                         let base = idx_slab.add(c * tile + s);
                         for (j, sum) in sums.iter_mut().enumerate() {
                             let idx = _mm256_loadu_si256(base.add(j * 8).cast());
-                            *sum = _mm256_add_ps(*sum, _mm256_permutevar8x32_ps(table, idx));
+                            *sum = fold_ps::<MAX>(*sum, _mm256_permutevar8x32_ps(table, idx));
                         }
                     }
                     for (j, &sum) in sums.iter().enumerate() {
@@ -1328,7 +1626,7 @@ impl CompiledCodes {
                     for (c, &level) in q.iter().enumerate() {
                         let table = tables[level as usize];
                         let idx = _mm256_loadu_si256(idx_slab.add(c * tile + s).cast());
-                        a = _mm256_add_ps(a, _mm256_permutevar8x32_ps(table, idx));
+                        a = fold_ps::<MAX>(a, _mm256_permutevar8x32_ps(table, idx));
                     }
                     _mm256_storeu_ps(out.add(s), a);
                     s += 8;
@@ -1341,7 +1639,7 @@ impl CompiledCodes {
                         let table = &self.lut[level as usize * 8..][..8];
                         let column = &self.codes[c * n + t0 + s..][..tlen - s];
                         for (a, &code) in out_tail.iter_mut().zip(column) {
-                            *a += table[(code & 7) as usize];
+                            *a = a.fold::<MAX>(table[(code & 7) as usize]);
                         }
                     }
                 }
@@ -1356,12 +1654,25 @@ impl CompiledCodes {
     /// ascending column order, `f32` accumulation, so the fold is
     /// bit-identical to the `f32` plane kernel's.
     fn accumulate_rows(&self, query: &[u8], row_start: usize, out: &mut [f32]) {
+        if self.metric.is_max_fold() {
+            self.accumulate_rows_fold::<true>(query, row_start, out);
+        } else {
+            self.accumulate_rows_fold::<false>(query, row_start, out);
+        }
+    }
+
+    fn accumulate_rows_fold<const MAX: bool>(
+        &self,
+        query: &[u8],
+        row_start: usize,
+        out: &mut [f32],
+    ) {
         if self.simd_eligible() {
             // SAFETY: eligibility checked AVX2 + 8-entry LUT rows;
             // callers pass validated queries and in-range row windows.
             #[cfg(target_arch = "x86_64")]
             unsafe {
-                self.accumulate_query_avx2(query, row_start, out);
+                self.accumulate_query_avx2::<MAX>(query, row_start, out);
             }
             return;
         }
@@ -1373,7 +1684,7 @@ impl CompiledCodes {
             for (acc, &code) in out.iter_mut().zip(column) {
                 // `code & mask < table.len()` by construction: the
                 // bound check vanishes.
-                *acc += table[code as usize & mask];
+                *acc = acc.fold::<MAX>(table[code as usize & mask]);
             }
         }
     }
@@ -1401,6 +1712,19 @@ impl CompiledCodes {
     /// [`accumulate_rows`](Self::accumulate_rows) and bit-identical to
     /// the `f32` plane kernel.
     fn accumulate_block(&self, queries: &[&[u8]], acc: &mut [f32], aux: &mut Vec<f32>) {
+        if self.metric.is_max_fold() {
+            self.accumulate_block_fold::<true>(queries, acc, aux);
+        } else {
+            self.accumulate_block_fold::<false>(queries, acc, aux);
+        }
+    }
+
+    fn accumulate_block_fold<const MAX: bool>(
+        &self,
+        queries: &[&[u8]],
+        acc: &mut [f32],
+        aux: &mut Vec<f32>,
+    ) {
         let n = self.n_rows;
         debug_assert!(acc.len() >= queries.len() * n);
         if self.simd_eligible() {
@@ -1410,7 +1734,7 @@ impl CompiledCodes {
             // SAFETY: eligibility checked AVX2 + 8-entry LUT rows; the
             // drivers validate queries before any work runs.
             unsafe {
-                self.accumulate_block_avx2(queries, acc, aux);
+                self.accumulate_block_avx2::<MAX>(queries, acc, aux);
             }
             return;
         }
@@ -1461,7 +1785,7 @@ impl CompiledCodes {
                             let panel = &aux[(c * self.lut_stride + level as usize) * tlen + s0..]
                                 [..SERVE_SUB];
                             for (l, &g) in local.iter_mut().zip(panel) {
-                                *l += g;
+                                *l = l.fold::<MAX>(g);
                             }
                         }
                         out[s0..s0 + SERVE_SUB].copy_from_slice(&local);
@@ -1471,7 +1795,7 @@ impl CompiledCodes {
                             let panel = &aux[(c * self.lut_stride + level as usize) * tlen + s0..]
                                 [..tlen - s0];
                             for (a, &g) in out[s0..].iter_mut().zip(panel) {
-                                *a += g;
+                                *a = a.fold::<MAX>(g);
                             }
                         }
                         s0 = tlen;
@@ -1603,14 +1927,35 @@ impl CodesDispatch {
     ///
     /// Returns [`CoreError::EmptyArray`] if nothing is stored.
     pub fn compile_snapshot(array: &McamArray) -> Result<CodesDispatch> {
-        if array.has_per_cell_bank() {
+        Self::compile_snapshot_metric(array, Metric::default())
+    }
+
+    /// [`compile_snapshot`](Self::compile_snapshot) at a chosen
+    /// [`Metric`]. Synthesized (digital) metrics always pack — only the
+    /// conductance metric needs the `f32` plane fallback on per-cell
+    /// (variation) arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyArray`] if nothing is stored.
+    pub fn compile_snapshot_metric(array: &McamArray, metric: Metric) -> Result<CodesDispatch> {
+        if metric == Metric::McamConductance && array.has_per_cell_bank() {
             Ok(CodesDispatch::Planes(Arc::new(
-                CompiledMcam::<f32>::compile(array)?,
+                CompiledMcam::<f32>::compile_metric(array, metric)?,
             )))
         } else {
-            Ok(CodesDispatch::Packed(Arc::new(CompiledCodes::compile(
-                array,
-            )?)))
+            Ok(CodesDispatch::Packed(Arc::new(
+                CompiledCodes::compile_metric(array, metric)?,
+            )))
+        }
+    }
+
+    /// The metric this snapshot was compiled for.
+    #[must_use]
+    pub fn metric(&self) -> Metric {
+        match self {
+            CodesDispatch::Packed(c) => c.metric(),
+            CodesDispatch::Planes(p) => p.metric(),
         }
     }
 
@@ -1754,10 +2099,26 @@ impl<S: PlaneScalar> CompiledBanked<S> {
     /// Returns [`CoreError::EmptyArray`] if `banks` is empty or any
     /// bank is.
     pub fn compile(banks: &[McamArray], rows_per_bank: usize) -> Result<Self> {
+        Self::compile_metric(banks, rows_per_bank, Metric::default())
+    }
+
+    /// [`compile`](Self::compile) at a chosen [`Metric`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyArray`] if `banks` is empty or any
+    /// bank is.
+    pub fn compile_metric(
+        banks: &[McamArray],
+        rows_per_bank: usize,
+        metric: Metric,
+    ) -> Result<Self> {
         if banks.is_empty() {
             return Err(CoreError::EmptyArray);
         }
-        let plans = par::try_par_map(banks, 1, |_, bank| CompiledMcam::compile(bank))?;
+        let plans = par::try_par_map(banks, 1, |_, bank| {
+            CompiledMcam::compile_metric(bank, metric)
+        })?;
         Ok(CompiledBanked {
             plans,
             rows_per_bank,
@@ -1982,10 +2343,26 @@ impl CompiledBankedCodes {
     /// Returns [`CoreError::EmptyArray`] if `banks` is empty or any
     /// bank is.
     pub fn compile(banks: &[McamArray], rows_per_bank: usize) -> Result<Self> {
+        Self::compile_metric(banks, rows_per_bank, Metric::default())
+    }
+
+    /// [`compile`](Self::compile) at a chosen [`Metric`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyArray`] if `banks` is empty or any
+    /// bank is.
+    pub fn compile_metric(
+        banks: &[McamArray],
+        rows_per_bank: usize,
+        metric: Metric,
+    ) -> Result<Self> {
         if banks.is_empty() {
             return Err(CoreError::EmptyArray);
         }
-        let plans = par::try_par_map(banks, 1, |_, bank| CodesDispatch::compile_snapshot(bank))?;
+        let plans = par::try_par_map(banks, 1, |_, bank| {
+            CodesDispatch::compile_snapshot_metric(bank, metric)
+        })?;
         Ok(CompiledBankedCodes {
             plans,
             rows_per_bank,

@@ -92,7 +92,7 @@ pub use engines::{accuracy, classify_knn, McamNn, NnIndex, QueryResult, Software
 pub use error::CoreError;
 pub use exec::{
     top_k_indices, CodesDispatch, CompiledBanked, CompiledBankedCodes, CompiledCodes, CompiledMcam,
-    PlanCache, PlanMemoryBytes, PlaneScalar, Precision,
+    Metric, PlanCache, PlanMemoryBytes, PlaneScalar, Precision, N_METRICS,
 };
 pub use experiment::{measured_lut, ExperimentConfig};
 pub use levels::LevelLadder;

@@ -52,7 +52,7 @@ use femcam_lsh::RandomHyperplanes;
 
 use crate::banked::BankedMcam;
 use crate::error::CoreError;
-use crate::exec::{self, Precision};
+use crate::exec::{self, Metric, Precision};
 use crate::levels::LevelLadder;
 use crate::lut::ConductanceLut;
 use crate::par;
@@ -475,11 +475,29 @@ impl RoutedMcam {
     ///
     /// Same conditions as [`BankedMcam::search_masked_with`].
     pub fn search_with(&self, query: &[u8], precision: Precision) -> Result<(usize, f64)> {
+        self.search_with_metric(query, precision, Metric::default())
+    }
+
+    /// [`search_with`](Self::search_with) at a chosen [`Metric`]: the
+    /// route is metric-agnostic (SimHash buckets depend only on the
+    /// stored words), while the exact re-rank inside the routed banks
+    /// honors the request metric.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BankedMcam::search_masked_with`].
+    pub fn search_with_metric(
+        &self,
+        query: &[u8],
+        precision: Precision,
+        metric: Metric,
+    ) -> Result<(usize, f64)> {
         if self.memory.is_empty() {
             return Err(CoreError::EmptyArray);
         }
         let banks = self.route(query)?;
-        self.memory.search_masked_with(query, precision, &banks)
+        self.memory
+            .search_masked_with_metric(query, precision, metric, &banks)
     }
 
     /// Routes every query, then executes the re-rank **bank-major**:
@@ -509,6 +527,23 @@ impl RoutedMcam {
         queries: &[&[u8]],
         precision: Precision,
     ) -> Result<Vec<(usize, f64)>> {
+        self.search_batch_winners_with_metric(queries, precision, Metric::default())
+    }
+
+    /// [`search_batch_winners_with`](Self::search_batch_winners_with)
+    /// at a chosen [`Metric`] — routing stays metric-agnostic, the
+    /// bank-major re-rank honors the request metric.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BankedMcam::search_batch_winners_masked`];
+    /// the lowest-indexed failing query fails the batch.
+    pub fn search_batch_winners_with_metric(
+        &self,
+        queries: &[&[u8]],
+        precision: Precision,
+        metric: Metric,
+    ) -> Result<Vec<(usize, f64)>> {
         if self.memory.is_empty() {
             return Err(CoreError::EmptyArray);
         }
@@ -529,7 +564,7 @@ impl RoutedMcam {
         let per_bank_winners = par::try_par_map(&touched, par::max_threads(), |_, &b| {
             let group: Vec<&[u8]> = per_bank[b].iter().map(|&i| queries[i]).collect();
             self.memory
-                .search_batch_winners_masked_threads(&group, precision, &[b], share)
+                .search_batch_winners_masked_threads(&group, precision, metric, &[b], share)
         })?;
         let mut out: Vec<Option<(usize, f64)>> = vec![None; queries.len()];
         for (&b, winners) in touched.iter().zip(per_bank_winners) {
@@ -560,6 +595,22 @@ impl RoutedMcam {
         k: usize,
         precision: Precision,
     ) -> Result<Vec<Vec<(usize, f64)>>> {
+        self.search_batch_top_k_with_metric(queries, k, precision, Metric::default())
+    }
+
+    /// [`search_batch_top_k_with`](Self::search_batch_top_k_with) at a
+    /// chosen [`Metric`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BankedMcam::search_batch_top_k_masked`].
+    pub fn search_batch_top_k_with_metric(
+        &self,
+        queries: &[&[u8]],
+        k: usize,
+        precision: Precision,
+        metric: Metric,
+    ) -> Result<Vec<Vec<(usize, f64)>>> {
         if self.memory.is_empty() {
             return Err(CoreError::EmptyArray);
         }
@@ -567,7 +618,7 @@ impl RoutedMcam {
         let per_group = par::try_par_map(&groups, par::max_threads(), |_, (banks, idxs)| {
             let group: Vec<&[u8]> = idxs.iter().map(|&i| queries[i]).collect();
             self.memory
-                .search_batch_top_k_masked(&group, k, precision, banks)
+                .search_batch_top_k_masked_metric(&group, k, precision, metric, banks)
         })?;
         let mut out = vec![Vec::new(); queries.len()];
         for ((_, idxs), hits) in groups.iter().zip(per_group) {

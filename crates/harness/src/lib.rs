@@ -35,9 +35,10 @@ pub mod prelude {
         accuracy, top_k_indices, AcamArray, AcamCell, BankedMcam, CodesDispatch, CompiledBanked,
         CompiledBankedCodes, CompiledCodes, CompiledMcam, ConductanceLut, CoreError, Cosine,
         Distance, DistanceKind, Euclidean, LevelLadder, Linf, LshRouter, McamArray,
-        McamArrayBuilder, McamCell, McamNn, McamSoftware, MlTiming, NnIndex, PlanMemoryBytes,
-        PlaneScalar, Precision, QuantizeStrategy, Quantizer, RoutedMcam, RouterConfig,
-        SearchOutcome, SenseAmp, SoftwareNn, TcamArray, TcamLshNn, Ternary, VariationSpec,
+        McamArrayBuilder, McamCell, McamNn, McamSoftware, Metric, MlTiming, NnIndex,
+        PlanMemoryBytes, PlaneScalar, Precision, QuantizeStrategy, Quantizer, RoutedMcam,
+        RouterConfig, SearchOutcome, SenseAmp, SoftwareNn, TcamArray, TcamLshNn, Ternary,
+        VariationSpec, N_METRICS,
     };
     pub use femcam_data::{
         synth, ClassFeatureSource, Dataset, GlyphClass, GlyphRenderer, PrototypeFeatureModel,

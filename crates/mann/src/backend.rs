@@ -7,8 +7,8 @@
 
 use femcam_core::{BankedMcam, ConductanceLut, LevelLadder, McamArray, McamArrayBuilder};
 use femcam_core::{
-    Cosine, DistanceKind, Euclidean, Linf, Manhattan, McamNn, NnIndex, Precision, QuantizeStrategy,
-    Quantizer, RoutedMcam, RouterConfig, SoftwareNn, TcamLshNn, VariationSpec,
+    Cosine, DistanceKind, Euclidean, Linf, Manhattan, McamNn, Metric, NnIndex, Precision,
+    QuantizeStrategy, Quantizer, RoutedMcam, RouterConfig, SoftwareNn, TcamLshNn, VariationSpec,
 };
 use femcam_device::FefetModel;
 use femcam_serve::{ServeConfig, ServedNn};
@@ -36,6 +36,11 @@ pub enum Backend {
         /// [`Precision::Codes`] = byte-packed level-code mode; see
         /// `femcam_core::exec`'s "Precision modes" and "Codes mode").
         precision: Precision,
+        /// Distance semantics of the compiled search kernel
+        /// ([`Metric::McamConductance`] = the paper's device curves;
+        /// `L1` / `Linf` / `Hamming` = synthesized digital metrics —
+        /// see `femcam_core::exec`'s "Metric modes").
+        metric: Metric,
     },
     /// The proposed in-MCAM search behind the async micro-batching
     /// serving layer (`femcam_serve`): the same quantize→search
@@ -135,6 +140,23 @@ impl Backend {
             variation_sigma: 0.0,
             lut: None,
             precision: Precision::F64,
+            metric: Metric::default(),
+        }
+    }
+
+    /// Nominal MCAM backend at a chosen [`Metric`]: the same
+    /// quantize→search pipeline, with the compiled kernel's distance
+    /// semantics swapped at plan-compile time (the report name gains
+    /// the metric suffix, e.g. `mcam-3bit-l1`).
+    #[must_use]
+    pub fn mcam_metric(bits: u8, metric: Metric) -> Self {
+        Backend::Mcam {
+            bits,
+            strategy: QuantizeStrategy::PerFeatureQuantile,
+            variation_sigma: 0.0,
+            lut: None,
+            precision: Precision::F64,
+            metric,
         }
     }
 
@@ -149,6 +171,7 @@ impl Backend {
             variation_sigma: 0.0,
             lut: None,
             precision: Precision::F32,
+            metric: Metric::default(),
         }
     }
 
@@ -165,6 +188,7 @@ impl Backend {
             variation_sigma: 0.0,
             lut: None,
             precision: Precision::Codes,
+            metric: Metric::default(),
         }
     }
 
@@ -177,6 +201,7 @@ impl Backend {
             variation_sigma: sigma_v,
             lut: None,
             precision: Precision::F64,
+            metric: Metric::default(),
         }
     }
 
@@ -189,6 +214,7 @@ impl Backend {
             variation_sigma: 0.0,
             lut: Some(lut),
             precision: Precision::F64,
+            metric: Metric::default(),
         }
     }
 
@@ -250,6 +276,7 @@ impl Backend {
                 variation_sigma,
                 lut,
                 precision,
+                metric,
                 ..
             } => {
                 let mut n = format!("mcam-{bits}bit");
@@ -260,6 +287,7 @@ impl Backend {
                     n.push_str("-exp");
                 }
                 n.push_str(precision.name_suffix());
+                n.push_str(metric.name_suffix());
                 n
             }
             Backend::McamServed {
@@ -317,6 +345,7 @@ impl Backend {
                 variation_sigma,
                 lut,
                 precision,
+                metric,
             } => {
                 let ladder = LevelLadder::new(*bits)?;
                 let quantizer = Quantizer::fit(
@@ -344,7 +373,9 @@ impl Backend {
                     McamArray::new(ladder, nominal_lut, dims)
                 };
                 Ok(Box::new(
-                    McamNn::new(quantizer, array)?.with_precision(*precision),
+                    McamNn::new(quantizer, array)?
+                        .with_precision(*precision)
+                        .with_metric(*metric),
                 ))
             }
             Backend::McamServed {
@@ -664,6 +695,36 @@ mod tests {
         for (a, b) in s.iter().zip(&d) {
             assert_eq!((a.index, a.label), (b.index, b.label));
             assert_eq!(a.score, b.score, "routed score drifted from direct");
+        }
+    }
+
+    #[test]
+    fn metric_backend_names_and_classifies() {
+        let model = FefetModel::default();
+        let cal = calibration_data();
+        let cal_refs: Vec<&[f32]> = cal.iter().map(|r| r.as_slice()).collect();
+        assert_eq!(Backend::mcam_metric(3, Metric::L1).name(), "mcam-3bit-l1");
+        assert_eq!(
+            Backend::mcam_metric(3, Metric::Linf).name(),
+            "mcam-3bit-linf"
+        );
+        assert_eq!(
+            Backend::mcam_metric(2, Metric::Hamming).name(),
+            "mcam-2bit-hamming"
+        );
+        // The default metric keeps the historical names unchanged.
+        assert_eq!(
+            Backend::mcam_metric(3, Metric::McamConductance).name(),
+            "mcam-3bit"
+        );
+        for metric in Metric::ALL {
+            let mut idx = Backend::mcam_metric(3, metric)
+                .build_index(&cal_refs, 4, 1, &model)
+                .unwrap();
+            idx.add(&[0.0, 1.0, 0.0, 0.0], 0).unwrap();
+            idx.add(&[1.0, 0.0, 0.5, -1.0], 1).unwrap();
+            let r = idx.query(&[0.95, 0.05, 0.45, -0.9]).unwrap();
+            assert_eq!(r.label, 1, "{metric:?} misclassified an easy query");
         }
     }
 

@@ -30,6 +30,7 @@ fn probe_noise_sigma() {
                     variation_sigma: 0.0,
                     lut: None,
                     precision: femcam_core::Precision::F64,
+                    metric: femcam_core::Metric::default(),
                 },
                 &cfg,
             )
@@ -43,6 +44,7 @@ fn probe_noise_sigma() {
                     variation_sigma: 0.0,
                     lut: None,
                     precision: femcam_core::Precision::F64,
+                    metric: femcam_core::Metric::default(),
                 },
                 &cfg,
             )

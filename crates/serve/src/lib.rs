@@ -286,7 +286,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use femcam_core::exec::validate_query;
-use femcam_core::{par, BankedMcam, CoreError, PlanMemoryBytes, Precision, RoutedMcam};
+use femcam_core::{
+    par, BankedMcam, CoreError, Metric, PlanMemoryBytes, Precision, RoutedMcam, N_METRICS,
+};
 
 use health::RestartBreaker;
 use stats::StatsInner;
@@ -719,6 +721,7 @@ impl TopKTicket {
 /// A queued winner search (one entry of a batching window).
 struct PendingSearch {
     query: Vec<u8>,
+    metric: Metric,
     submitted: Instant,
     deadline: Option<Instant>,
     responder: Responder<(usize, f64)>,
@@ -728,6 +731,7 @@ struct PendingSearch {
 struct PendingTopK {
     query: Vec<u8>,
     k: usize,
+    metric: Metric,
     submitted: Instant,
     deadline: Option<Instant>,
     responder: Responder<Vec<(usize, f64)>>,
@@ -796,7 +800,37 @@ impl ServeHandle {
     /// * [`ServeError::Overloaded`] when the queue is at capacity.
     /// * [`ServeError::ShuttingDown`] when the server has exited.
     pub fn submit(&self, query: &[u8]) -> Result<Ticket, ServeError> {
-        self.submit_at(query, None)
+        self.submit_at(query, None, Metric::default())
+    }
+
+    /// [`submit`](Self::submit) at a chosen per-request [`Metric`]:
+    /// the request is answered under `metric` semantics regardless of
+    /// what the rest of its micro-batch window asked for (the
+    /// dispatcher groups each window by metric and runs one batched
+    /// sweep per distinct metric). The server's precision still
+    /// applies.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`submit`](Self::submit).
+    pub fn submit_with_metric(&self, query: &[u8], metric: Metric) -> Result<Ticket, ServeError> {
+        self.submit_at(query, None, metric)
+    }
+
+    /// [`submit_with_metric`](Self::submit_with_metric), blocking for
+    /// the winner — bit-identical to
+    /// [`BankedMcam::search_with_metric`] at the server's precision
+    /// against the contents visible at execution time.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search`](Self::search).
+    pub fn search_with_metric(
+        &self,
+        query: &[u8],
+        metric: Metric,
+    ) -> Result<(usize, f64), ServeError> {
+        self.submit_with_metric(query, metric)?.wait()
     }
 
     /// Like [`submit`](Self::submit), with a per-request deadline:
@@ -820,7 +854,7 @@ impl ServeHandle {
     ) -> Result<Ticket, ServeError> {
         validate_query(self.shared.word_len, self.shared.n_levels, query)?;
         let deadline = self.deadline_for(budget)?;
-        self.submit_at(query, Some(deadline))
+        self.submit_at(query, Some(deadline), Metric::default())
     }
 
     /// Converts a request budget into an absolute deadline; a zero
@@ -860,10 +894,11 @@ impl ServeHandle {
         &self,
         query: &[u8],
         deadline: Option<Instant>,
+        metric: Metric,
     ) -> Result<Ticket, ServeError> {
         validate_query(self.shared.word_len, self.shared.n_levels, query)?;
         self.admit()?;
-        self.enqueue_search(query, deadline)
+        self.enqueue_search(query, deadline, metric)
     }
 
     /// The error a request gets when the dispatcher is gone: terminal
@@ -878,10 +913,12 @@ impl ServeHandle {
         &self,
         query: &[u8],
         deadline: Option<Instant>,
+        metric: Metric,
     ) -> Result<Ticket, ServeError> {
         let (responder, slot) = Responder::new();
         let request = Request::Search(PendingSearch {
             query: query.to_vec(),
+            metric,
             submitted: Instant::now(),
             deadline,
             responder,
@@ -966,7 +1003,42 @@ impl ServeHandle {
     ///
     /// Same conditions as [`submit`](Self::submit).
     pub fn submit_top_k(&self, query: &[u8], k: usize) -> Result<TopKTicket, ServeError> {
-        self.submit_top_k_at(query, k, None)
+        self.submit_top_k_at(query, k, None, Metric::default())
+    }
+
+    /// [`submit_top_k`](Self::submit_top_k) at a chosen per-request
+    /// [`Metric`] — the top-k face of
+    /// [`submit_with_metric`](Self::submit_with_metric).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`submit_top_k`](Self::submit_top_k).
+    pub fn submit_top_k_with_metric(
+        &self,
+        query: &[u8],
+        k: usize,
+        metric: Metric,
+    ) -> Result<TopKTicket, ServeError> {
+        self.submit_top_k_at(query, k, None, metric)
+    }
+
+    /// The `k` nearest rows under a chosen per-request [`Metric`],
+    /// nearest first — blocking face of
+    /// [`submit_top_k_with_metric`](Self::submit_top_k_with_metric),
+    /// bit-identical to [`BankedMcam::search_top_k_with_metric`] at
+    /// the server's precision against the contents visible at
+    /// execution time.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search_top_k`](Self::search_top_k).
+    pub fn search_top_k_with_metric(
+        &self,
+        query: &[u8],
+        k: usize,
+        metric: Metric,
+    ) -> Result<Vec<(usize, f64)>, ServeError> {
+        self.submit_top_k_with_metric(query, k, metric)?.wait()
     }
 
     /// Like [`submit_top_k`](Self::submit_top_k) with a per-request
@@ -985,7 +1057,7 @@ impl ServeHandle {
     ) -> Result<TopKTicket, ServeError> {
         validate_query(self.shared.word_len, self.shared.n_levels, query)?;
         let deadline = self.deadline_for(budget)?;
-        self.submit_top_k_at(query, k, Some(deadline))
+        self.submit_top_k_at(query, k, Some(deadline), Metric::default())
     }
 
     pub(crate) fn submit_top_k_at(
@@ -993,10 +1065,11 @@ impl ServeHandle {
         query: &[u8],
         k: usize,
         deadline: Option<Instant>,
+        metric: Metric,
     ) -> Result<TopKTicket, ServeError> {
         validate_query(self.shared.word_len, self.shared.n_levels, query)?;
         self.admit()?;
-        self.enqueue_top_k(query, k, deadline)
+        self.enqueue_top_k(query, k, deadline, metric)
     }
 
     /// Top-k face of [`enqueue_search`](Self::enqueue_search): the
@@ -1006,11 +1079,13 @@ impl ServeHandle {
         query: &[u8],
         k: usize,
         deadline: Option<Instant>,
+        metric: Metric,
     ) -> Result<TopKTicket, ServeError> {
         let (responder, slot) = Responder::new();
         let request = Request::TopK(PendingTopK {
             query: query.to_vec(),
             k,
+            metric,
             submitted: Instant::now(),
             deadline,
             responder,
@@ -1168,10 +1243,13 @@ impl ServeMemory {
         &self,
         queries: &[&[u8]],
         precision: Precision,
+        metric: Metric,
     ) -> femcam_core::Result<Vec<(usize, f64)>> {
         match self {
-            ServeMemory::Plain(m) => m.search_batch_winners_with(queries, precision),
-            ServeMemory::Routed(r) => r.search_batch_winners_with(queries, precision),
+            ServeMemory::Plain(m) => m.search_batch_winners_with_metric(queries, precision, metric),
+            ServeMemory::Routed(r) => {
+                r.search_batch_winners_with_metric(queries, precision, metric)
+            }
         }
     }
 
@@ -1180,10 +1258,15 @@ impl ServeMemory {
         queries: &[&[u8]],
         k: usize,
         precision: Precision,
+        metric: Metric,
     ) -> femcam_core::Result<Vec<Vec<(usize, f64)>>> {
         match self {
-            ServeMemory::Plain(m) => m.search_batch_top_k_with(queries, k, precision),
-            ServeMemory::Routed(r) => r.search_batch_top_k_with(queries, k, precision),
+            ServeMemory::Plain(m) => {
+                m.search_batch_top_k_with_metric(queries, k, precision, metric)
+            }
+            ServeMemory::Routed(r) => {
+                r.search_batch_top_k_with_metric(queries, k, precision, metric)
+            }
         }
     }
 }
@@ -1401,6 +1484,7 @@ fn live_or_reject<T>(
 fn push_search(window: &mut Window, search: PendingSearch, shared: &Shared) {
     let PendingSearch {
         query,
+        metric,
         submitted,
         deadline,
         responder,
@@ -1410,6 +1494,7 @@ fn push_search(window: &mut Window, search: PendingSearch, shared: &Shared) {
         window.note_deadline(deadline);
         window.searches.push(PendingSearch {
             query,
+            metric,
             submitted,
             deadline,
             responder,
@@ -1423,6 +1508,7 @@ fn push_topk(window: &mut Window, topk: PendingTopK, shared: &Shared) {
     let PendingTopK {
         query,
         k,
+        metric,
         submitted,
         deadline,
         responder,
@@ -1433,6 +1519,7 @@ fn push_topk(window: &mut Window, topk: PendingTopK, shared: &Shared) {
         window.topks.push(PendingTopK {
             query,
             k,
+            metric,
             submitted,
             deadline,
             responder,
@@ -1622,17 +1709,20 @@ fn inject(shared: &Shared, site: fault::FaultSite) {
     }
 }
 
-/// Executes one collected micro-batch — the winner queries as one
-/// batched-winners sweep, the top-k queries as one batched top-k sweep
-/// at the largest requested `k` (each request's answer truncated to
-/// its own `k`, a prefix of the `k_max` list, so results stay
-/// bit-identical to solo execution) — and fans the results out.
+/// Executes one collected micro-batch and fans the results out. The
+/// window is grouped by per-request [`Metric`] — a window is almost
+/// always uniform, so the grouping degenerates to one group. Each
+/// group's winner queries run as one batched-winners sweep and its
+/// top-k queries as one batched top-k sweep at the group's largest
+/// requested `k` (each request's answer truncated to its own `k`, a
+/// prefix of the `k_max` list, so results stay bit-identical to solo
+/// execution).
 ///
 /// The sweeps run under `catch_unwind`: a panic answers every request
 /// in the window with [`ServeError::DispatcherFailed`] (slots
 /// released, nobody stranded) and returns `Err` with the panic detail
-/// so the caller can count the restart. The window stays owned out
-/// here — an unwind can never drop a live responder.
+/// so the caller can count the restart. The metric groups stay owned
+/// out here — an unwind can never drop a live responder.
 fn execute_window(
     memory: &ServeMemory,
     mut window: Window,
@@ -1643,17 +1733,51 @@ fn execute_window(
         return Ok(());
     }
     let exec_start = Instant::now();
-    let k_max = window.topks.iter().map(|t| t.k).max().unwrap_or(0);
+    let size = window.len();
+    let n_topk = window.topks.len();
+    let waits: Vec<Duration> = window
+        .searches
+        .iter()
+        .map(|s| s.submitted)
+        .chain(window.topks.iter().map(|t| t.submitted))
+        .map(|submitted| exec_start.saturating_duration_since(submitted))
+        .collect();
+    // Group by request metric; arrival order is preserved within each
+    // group, and a uniform window fills exactly one slot.
+    let mut search_groups: [Vec<PendingSearch>; N_METRICS] = Default::default();
+    for s in window.searches.drain(..) {
+        search_groups[s.metric.index()].push(s);
+    }
+    let mut topk_groups: [Vec<PendingTopK>; N_METRICS] = Default::default();
+    for t in window.topks.drain(..) {
+        topk_groups[t.metric.index()].push(t);
+    }
+    type Sweep<T> = Option<femcam_core::Result<T>>;
+    type TopKSweeps = [Sweep<Vec<Vec<(usize, f64)>>>; N_METRICS];
     let sweeps = std::panic::catch_unwind(AssertUnwindSafe(|| {
         #[cfg(feature = "chaos")]
         inject(shared, fault::FaultSite::PreBatch);
-        let winner_queries: Vec<&[u8]> =
-            window.searches.iter().map(|s| s.query.as_slice()).collect();
-        let winners = memory.search_batch_winners_with(&winner_queries, precision);
-        drop(winner_queries);
-        let topk_queries: Vec<&[u8]> = window.topks.iter().map(|t| t.query.as_slice()).collect();
-        let topk_hits = memory.search_batch_top_k_with(&topk_queries, k_max, precision);
-        drop(topk_queries);
+        let mut winners: [Sweep<Vec<(usize, f64)>>; N_METRICS] = Default::default();
+        for metric in Metric::ALL {
+            let group = &search_groups[metric.index()];
+            if group.is_empty() {
+                continue;
+            }
+            let queries: Vec<&[u8]> = group.iter().map(|s| s.query.as_slice()).collect();
+            winners[metric.index()] =
+                Some(memory.search_batch_winners_with(&queries, precision, metric));
+        }
+        let mut topk_hits: TopKSweeps = Default::default();
+        for metric in Metric::ALL {
+            let group = &topk_groups[metric.index()];
+            if group.is_empty() {
+                continue;
+            }
+            let k_max = group.iter().map(|t| t.k).max().unwrap_or(0);
+            let queries: Vec<&[u8]> = group.iter().map(|t| t.query.as_slice()).collect();
+            topk_hits[metric.index()] =
+                Some(memory.search_batch_top_k_with(&queries, k_max, precision, metric));
+        }
         #[cfg(feature = "chaos")]
         inject(shared, fault::FaultSite::PostBatch);
         (winners, topk_hits)
@@ -1662,13 +1786,13 @@ fn execute_window(
         Ok(pair) => pair,
         Err(payload) => {
             let detail = panic_detail(payload.as_ref());
-            shared.depth.fetch_sub(window.len(), Ordering::Relaxed);
-            for s in window.searches.drain(..) {
+            shared.depth.fetch_sub(size, Ordering::Relaxed);
+            for s in search_groups.iter_mut().flat_map(|g| g.drain(..)) {
                 s.responder.fulfill(Err(ServeError::DispatcherFailed {
                     detail: detail.clone(),
                 }));
             }
-            for t in window.topks.drain(..) {
+            for t in topk_groups.iter_mut().flat_map(|g| g.drain(..)) {
                 t.responder.fulfill(Err(ServeError::DispatcherFailed {
                     detail: detail.clone(),
                 }));
@@ -1677,56 +1801,47 @@ fn execute_window(
         }
     };
     let exec_ns = exec_start.elapsed().as_nanos();
-    let size = window.len();
     {
         let mut stats = lock(&shared.stats);
-        stats.record_batch(
-            window
-                .searches
-                .iter()
-                .map(|s| s.submitted)
-                .chain(window.topks.iter().map(|t| t.submitted))
-                .map(|submitted| exec_start.saturating_duration_since(submitted)),
-            size,
-            window.topks.len(),
-            exec_ns,
-        );
+        stats.record_batch(waits.into_iter(), size, n_topk, exec_ns);
     }
     // Release the admission slots *before* waking any waiter: a client
     // that resubmits the instant its result arrives must find its slot
     // free, or a full wave of closed-loop clients would be spuriously
     // rejected against a queue that is actually drained.
     shared.depth.fetch_sub(size, Ordering::Relaxed);
-    if !window.searches.is_empty() {
-        match winners {
-            Ok(winners) => {
-                for (s, winner) in window.searches.drain(..).zip(winners) {
+    for (group, sweep) in search_groups.iter_mut().zip(winners) {
+        match sweep {
+            Some(Ok(hits)) => {
+                for (s, winner) in group.drain(..).zip(hits) {
                     s.responder.fulfill(Ok(winner));
                 }
             }
-            // Queries were validated at admission, so a batch-level
-            // failure (an empty memory) applies to every request
-            // equally.
-            Err(e) => {
-                for s in window.searches.drain(..) {
+            // Queries were validated at admission, so a sweep-level
+            // failure (an empty memory) applies to every request in
+            // the group equally.
+            Some(Err(e)) => {
+                for s in group.drain(..) {
                     s.responder.fulfill(Err(ServeError::Core(e.clone())));
                 }
             }
+            None => {}
         }
     }
-    if !window.topks.is_empty() {
-        match topk_hits {
-            Ok(per_query) => {
-                for (t, mut hits) in window.topks.drain(..).zip(per_query) {
+    for (group, sweep) in topk_groups.iter_mut().zip(topk_hits) {
+        match sweep {
+            Some(Ok(per_query)) => {
+                for (t, mut hits) in group.drain(..).zip(per_query) {
                     hits.truncate(t.k);
                     t.responder.fulfill(Ok(hits));
                 }
             }
-            Err(e) => {
-                for t in window.topks.drain(..) {
+            Some(Err(e)) => {
+                for t in group.drain(..) {
                     t.responder.fulfill(Err(ServeError::Core(e.clone())));
                 }
             }
+            None => {}
         }
     }
     Ok(())

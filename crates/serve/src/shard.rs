@@ -33,7 +33,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use femcam_core::exec::validate_query;
-use femcam_core::{BankedMcam, CoreError, LshRouter, RoutedMcam};
+use femcam_core::{BankedMcam, CoreError, LshRouter, Metric, RoutedMcam};
 
 #[cfg(feature = "chaos")]
 use crate::fault;
@@ -421,6 +421,7 @@ impl ShardedServer {
     /// shard is permanently lost.
     pub fn try_readmit(&self, shard: usize) -> Result<bool, ServeError> {
         try_readmit_shard(&self.shards, &self.handle, &self.config, shard)
+            .map(|outcome| outcome == ProbeOutcome::Readmitted)
     }
 
     /// Sweeps every shard through [`try_readmit`](Self::try_readmit);
@@ -481,9 +482,73 @@ impl Drop for ShardedServer {
     }
 }
 
+/// What one probe/re-admit attempt amounted to, as the supervisor's
+/// retry backoff needs to see it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProbeOutcome {
+    /// Nothing to do: the shard is healthy, or another caller holds
+    /// its probe.
+    Idle,
+    /// The shard passed the canary gate and rejoined merges.
+    Readmitted,
+    /// A probe ran and failed; the shard stays quarantined.
+    Failed,
+}
+
+/// Ceiling on the per-shard probe backoff multiplier: a shard that
+/// keeps failing its probe is retried at most this many base intervals
+/// apart, so a recovered-but-slow shard is never written off entirely.
+const PROBE_BACKOFF_CAP: u32 = 16;
+
+/// Per-shard exponential backoff for quarantine probe retries. A
+/// probe sweep burns a dispatcher shutdown/respawn plus a canary
+/// sweep per attempt, so hammering a shard that keeps failing its
+/// canary every interval steals dispatcher time from healthy traffic.
+/// Each failed probe doubles that shard's wait (base interval × 1, 2,
+/// 4, … up to [`PROBE_BACKOFF_CAP`]); a successful re-admit — or the
+/// shard turning out healthy — resets it to the base, so a fresh
+/// quarantine is always probed promptly.
+#[derive(Debug)]
+struct ProbeBackoff {
+    /// Multiplier on the base interval for each shard's *next* retry.
+    factor: Vec<u32>,
+    /// Earliest instant each shard may be probed again.
+    next: Vec<Instant>,
+}
+
+impl ProbeBackoff {
+    fn new(shards: usize, now: Instant) -> Self {
+        ProbeBackoff {
+            factor: vec![1; shards],
+            next: vec![now; shards],
+        }
+    }
+
+    fn due(&self, shard: usize, now: Instant) -> bool {
+        now >= self.next[shard]
+    }
+
+    /// Records one attempt's outcome: failure schedules the next retry
+    /// a doubled multiple of `base` out; anything else resets the
+    /// shard to prompt probing.
+    fn record(&mut self, shard: usize, outcome: ProbeOutcome, base: Duration, now: Instant) {
+        match outcome {
+            ProbeOutcome::Failed => {
+                self.next[shard] = now + base.saturating_mul(self.factor[shard]);
+                self.factor[shard] = (self.factor[shard] * 2).min(PROBE_BACKOFF_CAP);
+            }
+            ProbeOutcome::Idle | ProbeOutcome::Readmitted => {
+                self.factor[shard] = 1;
+                self.next[shard] = now;
+            }
+        }
+    }
+}
+
 /// The probe supervisor loop: every `interval`, sweep the shards and
-/// try to resurrect whatever is quarantined. Sleeps in short chunks so
-/// shutdown never waits a full interval to join the thread.
+/// try to resurrect whatever is quarantined and due under its
+/// [`ProbeBackoff`]. Sleeps in short chunks so shutdown never waits a
+/// full interval to join the thread.
 fn probe_loop(
     stop: &AtomicBool,
     interval: Duration,
@@ -491,6 +556,7 @@ fn probe_loop(
     handle: &ShardedHandle,
     config: &ServeConfig,
 ) {
+    let mut backoff = ProbeBackoff::new(handle.n_shards(), Instant::now());
     while !stop.load(Ordering::SeqCst) {
         let mut waited = Duration::ZERO;
         while waited < interval && !stop.load(Ordering::SeqCst) {
@@ -502,7 +568,16 @@ fn probe_loop(
             return;
         }
         for shard in 0..handle.n_shards() {
-            let _ = try_readmit_shard(slots, handle, config, shard);
+            if !backoff.due(shard, Instant::now()) {
+                continue;
+            }
+            // A permanently-lost shard (its memory died with the
+            // dispatcher) also backs off: the failure is final, but
+            // retrying at the capped cadence keeps the log honest
+            // without burning a lock sweep every interval.
+            let outcome =
+                try_readmit_shard(slots, handle, config, shard).unwrap_or(ProbeOutcome::Failed);
+            backoff.record(shard, outcome, interval, Instant::now());
         }
     }
 }
@@ -517,12 +592,12 @@ fn try_readmit_shard(
     handle: &ShardedHandle,
     config: &ServeConfig,
     shard: usize,
-) -> Result<bool, ServeError> {
+) -> Result<ProbeOutcome, ServeError> {
     let topo = &handle.topo;
     // Observe (and escalate) first: a tripped breaker nobody searched
     // through yet is still a quarantine candidate.
     if !handle.quarantined(shard) || !topo.health.begin_probe(shard) {
-        return Ok(false);
+        return Ok(ProbeOutcome::Idle);
     }
     eprintln!("femcam-serve: shard {shard} quarantined -> probing");
     let fail = |detail: &str| {
@@ -535,7 +610,7 @@ fn try_readmit_shard(
         match plan.sample(fault::FaultSite::Probe) {
             Some(fault::FaultKind::Panic | fault::FaultKind::Overload) => {
                 fail("injected probe fault");
-                return Ok(false);
+                return Ok(ProbeOutcome::Failed);
             }
             Some(fault::FaultKind::Delay(d)) => thread::sleep(d),
             None => {}
@@ -601,14 +676,14 @@ fn try_readmit_shard(
     drop(slot);
     if !canary_ok {
         fail("canary mismatch");
-        return Ok(false);
+        return Ok(ProbeOutcome::Failed);
     }
     #[cfg(feature = "chaos")]
     if let Some(plan) = &handle.faults {
         match plan.sample(fault::FaultSite::Readmit) {
             Some(fault::FaultKind::Panic | fault::FaultKind::Overload) => {
                 fail("injected readmit fault");
-                return Ok(false);
+                return Ok(ProbeOutcome::Failed);
             }
             Some(fault::FaultKind::Delay(d)) => thread::sleep(d),
             None => {}
@@ -618,12 +693,12 @@ fn try_readmit_shard(
     if topo.health.admit(shard) {
         topo.counters.readmitted.fetch_add(1, Ordering::Relaxed);
         eprintln!("femcam-serve: shard {shard} probing -> healthy (canary bit-identical)");
-        Ok(true)
+        Ok(ProbeOutcome::Readmitted)
     } else {
         // Unreachable while probes are exclusive; count it rather than
         // trust an impossible board state.
         fail("lost probe ownership");
-        Ok(false)
+        Ok(ProbeOutcome::Failed)
     }
 }
 
@@ -676,7 +751,40 @@ impl ShardedHandle {
     /// anything is enqueued, so a rejection by one shard never leaves
     /// the others executing work nobody waits for.
     pub fn submit(&self, query: &[u8]) -> Result<ShardTicket, ServeError> {
-        self.submit_at(query, None)
+        self.submit_at(query, None, Metric::default())
+    }
+
+    /// [`submit`](Self::submit) at a chosen per-request [`Metric`]:
+    /// every contacted shard answers under `metric` semantics, and the
+    /// merge order (ascending distance, exact ties to the lowest
+    /// global row) is metric-independent, so the merged winner is
+    /// bit-identical to [`BankedMcam::search_with_metric`] over the
+    /// unpartitioned memory. Routing (when present) stays
+    /// metric-agnostic — only the shard sweeps honor the metric.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`submit`](Self::submit).
+    pub fn submit_with_metric(
+        &self,
+        query: &[u8],
+        metric: Metric,
+    ) -> Result<ShardTicket, ServeError> {
+        self.submit_at(query, None, metric)
+    }
+
+    /// [`submit_with_metric`](Self::submit_with_metric), blocking for
+    /// the merged winner.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search`](Self::search).
+    pub fn search_with_metric(
+        &self,
+        query: &[u8],
+        metric: Metric,
+    ) -> Result<(usize, f64), ServeError> {
+        self.submit_with_metric(query, metric)?.wait()
     }
 
     /// Like [`submit`](Self::submit) with a per-request deadline: the
@@ -695,7 +803,7 @@ impl ShardedHandle {
     ) -> Result<ShardTicket, ServeError> {
         validate_query(self.word_len, self.n_levels, query)?;
         let deadline = self.deadline_for(budget)?;
-        self.submit_at(query, Some((deadline, budget)))
+        self.submit_at(query, Some((deadline, budget)), Metric::default())
     }
 
     /// Converts a request budget into an absolute deadline; a zero
@@ -928,13 +1036,14 @@ impl ShardedHandle {
         &self,
         query: &[u8],
         deadline: Option<(Instant, Duration)>,
+        metric: Metric,
     ) -> Result<ShardTicket, ServeError> {
         validate_query(self.word_len, self.n_levels, query)?;
         let targets = self.route_targets(query)?;
         let enqueue_deadline = deadline.map(|(instant, _)| instant);
         let fan = self.deadline_outranks(
             self.fan_out(&targets, |shard| {
-                shard.enqueue_search(query, enqueue_deadline)
+                shard.enqueue_search(query, enqueue_deadline, metric)
             }),
             deadline,
         )?;
@@ -986,7 +1095,39 @@ impl ShardedHandle {
     ///
     /// Same conditions as [`submit`](Self::submit).
     pub fn submit_top_k(&self, query: &[u8], k: usize) -> Result<ShardTopKTicket, ServeError> {
-        self.submit_top_k_at(query, k, None)
+        self.submit_top_k_at(query, k, None, Metric::default())
+    }
+
+    /// [`submit_top_k`](Self::submit_top_k) at a chosen per-request
+    /// [`Metric`] — the top-k face of
+    /// [`submit_with_metric`](Self::submit_with_metric).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`submit_top_k`](Self::submit_top_k).
+    pub fn submit_top_k_with_metric(
+        &self,
+        query: &[u8],
+        k: usize,
+        metric: Metric,
+    ) -> Result<ShardTopKTicket, ServeError> {
+        self.submit_top_k_at(query, k, None, metric)
+    }
+
+    /// The merged `k` nearest rows under a chosen per-request
+    /// [`Metric`], nearest first — blocking face of
+    /// [`submit_top_k_with_metric`](Self::submit_top_k_with_metric).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`search_top_k`](Self::search_top_k).
+    pub fn search_top_k_with_metric(
+        &self,
+        query: &[u8],
+        k: usize,
+        metric: Metric,
+    ) -> Result<Vec<(usize, f64)>, ServeError> {
+        self.submit_top_k_with_metric(query, k, metric)?.wait()
     }
 
     /// Like [`submit_top_k`](Self::submit_top_k) with a per-request
@@ -1005,7 +1146,7 @@ impl ShardedHandle {
     ) -> Result<ShardTopKTicket, ServeError> {
         validate_query(self.word_len, self.n_levels, query)?;
         let deadline = self.deadline_for(budget)?;
-        self.submit_top_k_at(query, k, Some((deadline, budget)))
+        self.submit_top_k_at(query, k, Some((deadline, budget)), Metric::default())
     }
 
     fn submit_top_k_at(
@@ -1013,13 +1154,14 @@ impl ShardedHandle {
         query: &[u8],
         k: usize,
         deadline: Option<(Instant, Duration)>,
+        metric: Metric,
     ) -> Result<ShardTopKTicket, ServeError> {
         validate_query(self.word_len, self.n_levels, query)?;
         let targets = self.route_targets(query)?;
         let enqueue_deadline = deadline.map(|(instant, _)| instant);
         let fan = self.deadline_outranks(
             self.fan_out(&targets, |shard| {
-                shard.enqueue_top_k(query, k, enqueue_deadline)
+                shard.enqueue_top_k(query, k, enqueue_deadline, metric)
             }),
             deadline,
         )?;
@@ -1580,6 +1722,43 @@ impl ServingHandle {
         match self {
             ServingHandle::Single(h) => h.search(query),
             ServingHandle::Sharded(h) => h.search(query),
+        }
+    }
+
+    /// Submits one query at a chosen per-request [`Metric`] and blocks
+    /// for the winner.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServeHandle::search_with_metric`] /
+    /// [`ShardedHandle::search_with_metric`].
+    pub fn search_with_metric(
+        &self,
+        query: &[u8],
+        metric: Metric,
+    ) -> Result<(usize, f64), ServeError> {
+        match self {
+            ServingHandle::Single(h) => h.search_with_metric(query, metric),
+            ServingHandle::Sharded(h) => h.search_with_metric(query, metric),
+        }
+    }
+
+    /// The `k` nearest rows at a chosen per-request [`Metric`],
+    /// nearest first.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServeHandle::search_top_k_with_metric`] /
+    /// [`ShardedHandle::search_top_k_with_metric`].
+    pub fn search_top_k_with_metric(
+        &self,
+        query: &[u8],
+        k: usize,
+        metric: Metric,
+    ) -> Result<Vec<(usize, f64)>, ServeError> {
+        match self {
+            ServingHandle::Single(h) => h.search_top_k_with_metric(query, k, metric),
+            ServingHandle::Sharded(h) => h.search_top_k_with_metric(query, k, metric),
         }
     }
 

@@ -112,7 +112,46 @@ fn main() -> femcam_core::Result<()> {
         mem.codes,
     );
 
-    // 9. Two-stage retrieval: an LSH router in front of the compiled
+    // 9. Runtime-reconfigurable distance: beside `Precision`, every
+    //    cached plan carries a `Metric`. Non-default metrics synthesize
+    //    *distance-valued* tables from the level ladder (digital — they
+    //    read stored level codes, so they are exact at every precision)
+    //    and reuse the same compiled kernels; L-infinity swaps the sum
+    //    fold for a max fold. Same array, no re-programming.
+    let probe = &level_refs[1];
+    for metric in Metric::ALL {
+        let o = array.search_with_metric(probe, Precision::Codes, metric)?;
+        println!(
+            "metric {:>7}: nearest row {} (score {:.3e})",
+            metric.name(),
+            o.best_row(),
+            o.conductance(o.best_row())
+        );
+    }
+    //    The engine knob: `McamNn::set_metric` reconfigures a live
+    //    index between queries — the cache keeps one plan per
+    //    (precision, metric) slot, so flipping back is free.
+    let mut index = McamNn::fit(
+        3,
+        vectors.iter().map(|v| v.as_slice()),
+        4,
+        QuantizeStrategy::PerFeatureMinMax,
+        &model,
+    )?;
+    for (i, v) in vectors.iter().enumerate() {
+        index.add(v, i as u32)?;
+    }
+    index.set_metric(Metric::L1);
+    let hit = index.query(&query)?;
+    println!(
+        "McamNn under {}: nearest entry {} (label {})",
+        index.name(),
+        hit.index,
+        hit.label
+    );
+    index.set_metric(Metric::default()); // back to the analog distance
+
+    // 10. Two-stage retrieval: an LSH router in front of the compiled
     //    re-rank. `RoutedMcam::build` places rows bucket-by-bucket so
     //    each SimHash bucket concentrates in few banks, and a routed
     //    search sweeps only the banks the query's bucket (plus its
