@@ -150,8 +150,12 @@ impl SearchOutcome {
         self.conductances
             .iter()
             .enumerate()
+            // femcam::allow(no_panic): conductances come from the ladder
+            // model, which never yields NaN.
             .min_by(|a, b| a.1.partial_cmp(b.1).expect("conductances are finite"))
             .map(|(i, _)| i)
+            // femcam::allow(no_panic): the iterator is nonempty — arrays
+            // are constructed with n_levels >= 2.
             .expect("outcome is nonempty")
     }
 
@@ -258,6 +262,9 @@ impl McamArrayBuilder {
         let variation = self.variation.map(|(spec, model)| VariationState {
             model,
             sampler: GaussianVth::new(spec.sigma_v, spec.seed)
+                // femcam::allow(no_panic): the spec was validated at
+                // configuration time; this re-checks a construction
+                // invariant.
                 .expect("variation sigma must be finite and non-negative"),
         });
         let bank = if variation.is_some() {

@@ -322,6 +322,7 @@ impl BankedMcam {
                 best = Some((global, g));
             }
         }
+        // femcam::allow(no_panic): guarded by the is_empty check above.
         Ok(best.expect("nonempty banked memory"))
     }
 
@@ -593,6 +594,8 @@ impl BankedMcam {
             return Err(CoreError::EmptyArray);
         }
         let mut hits = self.search_batch_top_k_with_metric(&[query], k, precision, metric)?;
+        // femcam::allow(no_panic): the batch call returns exactly one entry
+        // per query.
         Ok(hits.pop().expect("one query in, one out"))
     }
 
@@ -803,6 +806,8 @@ impl BankedMcam {
         banks: &[usize],
     ) -> Result<(usize, f64)> {
         let mut winners = self.search_batch_winners_masked(&[query], precision, banks)?;
+        // femcam::allow(no_panic): the batch call returns exactly one entry
+        // per query.
         Ok(winners.pop().expect("one query in, one out"))
     }
 
@@ -822,6 +827,8 @@ impl BankedMcam {
     ) -> Result<(usize, f64)> {
         let mut winners =
             self.search_batch_winners_masked_metric(&[query], precision, metric, banks)?;
+        // femcam::allow(no_panic): the batch call returns exactly one entry
+        // per query.
         Ok(winners.pop().expect("one query in, one out"))
     }
 

@@ -217,8 +217,12 @@ impl McamSoftware {
 
 impl Distance for McamSoftware {
     fn eval(&self, a: &[f32], b: &[f32]) -> f64 {
+        // femcam::allow(no_panic): quantizer dimensions were checked when
+        // the distance was built (both lines).
         let qa = self.quantizer.quantize(a).expect("dimension mismatch");
         let qb = self.quantizer.quantize(b).expect("dimension mismatch");
+        // femcam::allow(no_panic): same construction-time dimension check
+        // as above.
         self.eval_levels(&qa, &qb).expect("equal lengths")
     }
 

@@ -150,6 +150,8 @@ where
         .iter()
         .max_by_key(|&&(_, c)| c)
         .map(|&(l, _)| l)
+        // femcam::allow(no_panic): query_k(.., 1) on a nonempty engine
+        // returns at least one hit.
         .expect("query_k returns at least one hit"))
 }
 
@@ -453,6 +455,8 @@ impl McamNn {
         for r in 0..self.array.n_rows() {
             array
                 .store(self.array.row(r))
+                // femcam::allow(no_panic): rows were validated when first
+                // stored; re-storing them cannot fail.
                 .expect("existing rows are valid");
         }
         Ok(McamNn {

@@ -201,7 +201,9 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, PoisonError};
+
+use crate::sync::{Mutex, MutexGuard};
 
 use crate::array::{McamArray, SearchOutcome};
 use crate::error::CoreError;
@@ -504,11 +506,21 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// first use and cleared by [`invalidate`](Self::invalidate) when the
 /// array mutates (the dirty-flag half of auto-recompilation — an empty
 /// slot *is* the dirty flag).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PlanCache {
     f64_plans: Mutex<[Option<Arc<CompiledMcam<f64>>>; N_METRICS]>,
     f32_plans: Mutex<[Option<Arc<CompiledMcam<f32>>>; N_METRICS]>,
     codes_plans: Mutex<[Option<Arc<CompiledCodes>>; N_METRICS]>,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache {
+            f64_plans: Mutex::new("core.plan_cache.f64", Default::default()),
+            f32_plans: Mutex::new("core.plan_cache.f32", Default::default()),
+            codes_plans: Mutex::new("core.plan_cache.codes", Default::default()),
+        }
+    }
 }
 
 impl PlanCache {
@@ -812,6 +824,9 @@ const CODES_IDX_SLAB_BYTES: usize = 16 * 1024;
 /// `target_feature(enable = "avx2")` kernels).
 #[cfg(target_arch = "x86_64")]
 #[inline(always)]
+// SAFETY: pure register arithmetic — sound whenever AVX2 is enabled,
+// which the caller contract above guarantees (only reachable from
+// `target_feature(enable = "avx2")` kernels).
 unsafe fn fold_ps<const MAX: bool>(
     a: std::arch::x86_64::__m256,
     b: std::arch::x86_64::__m256,
@@ -1477,6 +1492,14 @@ impl CompiledCodes {
     /// `row_start + out.len() <= n_rows`.
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx2")]
+    // SAFETY: inside the body, every raw load is in bounds under the
+    // caller contract: `lut_stride == 8` pads each level's LUT row to
+    // exactly the 8 lanes one `_mm256_loadu_ps` reads; query levels
+    // `< n_levels` keep the `tables` index in range; and
+    // `row_start + out.len() <= n_rows` bounds every
+    // `codes.add(c * n + row_start + s)` within the column-major codes
+    // slab. All loads/stores are `loadu`/`storeu`, so no alignment
+    // obligation beyond validity.
     unsafe fn accumulate_query_avx2<const MAX: bool>(
         &self,
         query: &[u8],
@@ -1560,6 +1583,11 @@ impl CompiledCodes {
     /// must hold `queries.len() * n_rows` scalars.
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx2")]
+    // SAFETY: same in-bounds argument as `accumulate_query_avx2`
+    // (padded 8-lane LUT rows, validated query levels, row tiles
+    // bounded by `n_rows`), plus `aux` is resized below to hold one
+    // widened tile before any indexed access; unaligned intrinsics
+    // throughout, so validity is the only pointer obligation.
     unsafe fn accumulate_block_avx2<const MAX: bool>(
         &self,
         queries: &[&[u8]],
@@ -2212,6 +2240,8 @@ pub(crate) fn banked_winner_kernel<K: BlockKernel>(
     n_threads: usize,
 ) -> Result<(usize, f64)> {
     debug_assert_eq!(plans.len(), bases.len(), "one base per bank kernel");
+    // femcam::allow(no_panic): callers pass one plan per bank and banked
+    // memories have >= 1 bank.
     let first = plans.first().expect("at least one bank");
     first.check_query(query)?;
     let block = [query];
@@ -2229,6 +2259,8 @@ pub(crate) fn banked_winner_kernel<K: BlockKernel>(
             best = Some((global, g));
         }
     }
+    // femcam::allow(no_panic): the loop above ran over >= 1 bank, so a
+    // winner exists.
     Ok(best.expect("merge over at least one bank"))
 }
 
@@ -2247,6 +2279,8 @@ pub(crate) fn banked_winner_batch_kernel<K: BlockKernel>(
     n_threads: usize,
 ) -> Result<Vec<(usize, f64)>> {
     debug_assert_eq!(plans.len(), bases.len(), "one base per bank kernel");
+    // femcam::allow(no_panic): callers pass one plan per bank and banked
+    // memories have >= 1 bank.
     let first = plans.first().expect("at least one bank");
     for q in queries {
         first.check_query(q)?;
@@ -2284,6 +2318,8 @@ pub(crate) fn banked_winner_batch_kernel<K: BlockKernel>(
             }
         }
         best.into_iter()
+            // femcam::allow(no_panic): every query saw every bank, so each
+            // slot was filled.
             .map(|b| b.expect("at least one bank per query"))
             .collect::<Vec<_>>()
     });

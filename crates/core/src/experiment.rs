@@ -118,6 +118,8 @@ pub fn measured_lut(
     // One fabricated cell per state, with frozen placement error.
     let cells: Vec<McamCell> = (0..n as u8)
         .map(|state| {
+            // femcam::allow(no_panic): states iterate over the ladder's own
+            // level count.
             let nominal = McamCell::programmed(ladder, state).expect("state within ladder");
             McamCell::with_thresholds(
                 normal(&mut rng, nominal.vth_left(), config.device_sigma_v),
@@ -131,6 +133,8 @@ pub fn measured_lut(
         for input in 0..n as u8 {
             let true_g = cells[state]
                 .conductance(model, ladder, input)
+                // femcam::allow(no_panic): inputs iterate over the ladder's
+                // own level count.
                 .expect("input within ladder");
             let mut acc = 0.0;
             for _ in 0..config.n_averages {

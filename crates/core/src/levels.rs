@@ -210,6 +210,8 @@ impl LevelLadder {
                 vs.push(v);
             }
         }
+        // femcam::allow(no_panic): ladder voltages are finite by
+        // construction.
         vs.sort_by(|a, b| a.partial_cmp(b).expect("voltages are finite"));
         vs
     }

@@ -81,6 +81,7 @@ pub mod par;
 mod proptests;
 pub mod quantize;
 pub mod router;
+pub mod sync;
 pub mod tcam;
 
 pub use acam::{AcamArray, AcamCell};

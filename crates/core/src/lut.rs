@@ -49,10 +49,14 @@ impl ConductanceLut {
         let n = ladder.n_levels();
         let mut table = vec![0.0; n * n];
         for state in 0..n as u8 {
+            // femcam::allow(no_panic): states iterate over the ladder's own
+            // level count.
             let cell = McamCell::programmed(ladder, state).expect("state within ladder");
             for input in 0..n as u8 {
                 let g = cell
                     .conductance(model, ladder, input)
+                    // femcam::allow(no_panic): inputs iterate over the
+                    // ladder's own level count.
                     .expect("input within ladder");
                 table[input as usize * n + state as usize] = g;
             }

@@ -201,6 +201,9 @@ where
             .collect();
         let mut out = Vec::with_capacity(n);
         for handle in handles {
+            // femcam::allow(no_panic): deliberate panic propagation —
+            // a worker panic must resurface on the calling thread, not
+            // vanish into a dropped JoinHandle.
             out.extend(handle.join().expect("parallel worker panicked"));
         }
         out

@@ -139,6 +139,8 @@ impl Quantizer {
                 let mut centers = Vec::with_capacity(dims);
                 for col in &columns {
                     let mut sorted = col.clone();
+                    // femcam::allow(no_panic): features were rejected as
+                    // non-finite at ingestion.
                     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
                     let (e, c) = quantile_grid(&sorted, n_levels);
                     edges.push(e);

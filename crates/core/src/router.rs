@@ -577,6 +577,8 @@ impl RoutedMcam {
         }
         Ok(out
             .into_iter()
+            // femcam::allow(no_panic): the fallback arm above routes
+            // unmatched queries to all banks.
             .map(|w| w.expect("every query routes to at least one bank"))
             .collect())
     }

@@ -1,0 +1,772 @@
+//! Named, order-checked synchronization primitives for the workspace.
+//!
+//! Every `Mutex`/`RwLock` in `femcam-core` and `femcam-serve` is
+//! constructed through these wrappers with a `&'static str` **site
+//! name** (the lock's class, e.g. `"shard.slot"`); the `femcam-lint`
+//! `raw-sync` rule keeps raw `std::sync` lock construction out of the
+//! rest of the workspace so this stays true.
+//!
+//! # Passthrough vs. instrumented
+//!
+//! In release builds (no `debug_assertions`, no `lockorder` feature)
+//! the wrappers are passthrough: acquiring is exactly a
+//! `std::sync::Mutex`/`RwLock` acquisition plus a dead `&'static str`
+//! field — no atomics, no thread-locals, no global state.
+//!
+//! Under `cfg(debug_assertions)` or `--features lockorder`, every
+//! acquisition is recorded against a **per-process lock-order graph**:
+//!
+//! * each thread keeps a thread-local stack of the lock sites it
+//!   currently holds;
+//! * acquiring site `B` while holding site `A` records the directed
+//!   edge `A → B` (first recording keeps the acquiring thread's name
+//!   and held stack as the example provenance);
+//! * an acquisition that would close a cycle (`B` is already reachable
+//!   from the site being acquired, or a thread re-enters a site class
+//!   it already holds) is a **potential deadlock**: the acquisition
+//!   panics *before* blocking, with a report naming both acquisition
+//!   sites and the previously recorded order, and the report is kept
+//!   for [`take_cycle_reports`].
+//!
+//! The graph is keyed by site *class*, not lock instance: two
+//! dispatchers that each take `"serve.stats"` then `"serve.oneshot"`
+//! share the same edge. This is deliberately conservative — it flags
+//! orders that *could* deadlock across instances, which is exactly the
+//! property the serving stack's chaos and storm suites validate when
+//! run with `--features chaos,lockorder`.
+//!
+//! `RwLock` read and write acquisitions are tracked identically
+//! (reader/writer distinctions narrow the set of real deadlocks but
+//! not the set of ordering bugs worth flagging). A [`Condvar`] wait
+//! keeps its mutex site on the held stack for the duration of the wait
+//! — the guard is conceptually held across the wakeup.
+
+use std::fmt;
+use std::mem::ManuallyDrop;
+use std::ops::{Deref, DerefMut};
+use std::sync::{LockResult, PoisonError, WaitTimeoutResult};
+use std::time::Duration;
+
+/// One lock site: the name is always carried (it is part of the lock's
+/// `Debug` output); the interned graph id exists only when order
+/// tracking is compiled in.
+#[derive(Clone, Copy)]
+struct Site {
+    name: &'static str,
+    #[cfg(any(debug_assertions, feature = "lockorder"))]
+    id: usize,
+}
+
+impl Site {
+    fn new(name: &'static str) -> Self {
+        Site {
+            name,
+            #[cfg(any(debug_assertions, feature = "lockorder"))]
+            id: order::intern(name),
+        }
+    }
+}
+
+/// A named [`std::sync::Mutex`] whose acquisitions participate in the
+/// lock-order graph (see the [module docs](self)).
+pub struct Mutex<T> {
+    site: Site,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates the mutex under the given site name. Names identify the
+    /// lock *class* in order reports; every instance guarding the same
+    /// kind of state should share one name.
+    pub fn new(site: &'static str, value: T) -> Self {
+        Mutex {
+            site: Site::new(site),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Mutable access through an exclusive borrow — no locking happens
+    /// (the borrow proves exclusivity), so it is not order-tracked.
+    ///
+    /// # Errors
+    ///
+    /// Propagates poisoning like [`std::sync::Mutex::get_mut`].
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+
+    /// Acquires the mutex, recording the acquisition against the
+    /// holder's lock-order stack first (so a potential deadlock is
+    /// reported instead of blocking).
+    ///
+    /// # Errors
+    ///
+    /// Propagates poisoning exactly like [`std::sync::Mutex::lock`];
+    /// the guard inside the error is usable via
+    /// [`PoisonError::into_inner`].
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        order::acquire(self.site);
+        match self.inner.lock() {
+            Ok(g) => Ok(MutexGuard::wrap(self.site, g)),
+            Err(p) => Err(PoisonError::new(MutexGuard::wrap(
+                self.site,
+                p.into_inner(),
+            ))),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex")
+            .field("site", &self.site.name)
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+/// RAII guard of [`Mutex::lock`]; releases the site from the holder's
+/// lock-order stack on drop.
+pub struct MutexGuard<'a, T> {
+    site: Site,
+    inner: ManuallyDrop<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<'a, T> MutexGuard<'a, T> {
+    fn wrap(site: Site, inner: std::sync::MutexGuard<'a, T>) -> Self {
+        MutexGuard {
+            site,
+            inner: ManuallyDrop::new(inner),
+        }
+    }
+
+    /// Disassembles the guard without running its `Drop` — the site
+    /// stays on the held stack (used by [`Condvar`], which re-wraps
+    /// the re-acquired guard on wakeup).
+    fn into_std(mut self) -> (Site, std::sync::MutexGuard<'a, T>) {
+        let site = self.site;
+        // SAFETY: `self` is forgotten on the next line, so neither its
+        // `Drop` (which would release the site and drop `inner` again)
+        // nor any other use of `self.inner` can follow this take.
+        let inner = unsafe { ManuallyDrop::take(&mut self.inner) };
+        std::mem::forget(self);
+        (site, inner)
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        order::release(self.site);
+        // SAFETY: `Drop` runs at most once, and `into_std` (the only
+        // other consumer of `inner`) forgets the guard instead of
+        // dropping it — so `inner` is still live exactly here.
+        unsafe { ManuallyDrop::drop(&mut self.inner) };
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// A named [`std::sync::RwLock`]; read and write acquisitions are
+/// tracked identically in the lock-order graph.
+pub struct RwLock<T> {
+    site: Site,
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates the lock under the given site name (see
+    /// [`Mutex::new`]).
+    pub fn new(site: &'static str, value: T) -> Self {
+        RwLock {
+            site: Site::new(site),
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Shared acquisition; order-tracked like a write.
+    ///
+    /// # Errors
+    ///
+    /// Propagates poisoning like [`std::sync::RwLock::read`].
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        order::acquire(self.site);
+        match self.inner.read() {
+            Ok(g) => Ok(RwLockReadGuard {
+                site: self.site,
+                inner: ManuallyDrop::new(g),
+            }),
+            Err(p) => Err(PoisonError::new(RwLockReadGuard {
+                site: self.site,
+                inner: ManuallyDrop::new(p.into_inner()),
+            })),
+        }
+    }
+
+    /// Exclusive acquisition.
+    ///
+    /// # Errors
+    ///
+    /// Propagates poisoning like [`std::sync::RwLock::write`].
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        order::acquire(self.site);
+        match self.inner.write() {
+            Ok(g) => Ok(RwLockWriteGuard {
+                site: self.site,
+                inner: ManuallyDrop::new(g),
+            }),
+            Err(p) => Err(PoisonError::new(RwLockWriteGuard {
+                site: self.site,
+                inner: ManuallyDrop::new(p.into_inner()),
+            })),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RwLock")
+            .field("site", &self.site.name)
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+macro_rules! rw_guard {
+    ($name:ident, $std:ident, $($mut_impl:tt)*) => {
+        /// RAII guard; releases the site from the holder's lock-order
+        /// stack on drop.
+        pub struct $name<'a, T> {
+            site: Site,
+            inner: ManuallyDrop<std::sync::$std<'a, T>>,
+        }
+
+        impl<T> Deref for $name<'_, T> {
+            type Target = T;
+            fn deref(&self) -> &T {
+                &self.inner
+            }
+        }
+
+        $($mut_impl)*
+
+        impl<T> Drop for $name<'_, T> {
+            fn drop(&mut self) {
+                order::release(self.site);
+                // SAFETY: `Drop` runs at most once and nothing else
+                // takes `inner` out of these guards, so it is live.
+                unsafe { ManuallyDrop::drop(&mut self.inner) };
+            }
+        }
+
+        impl<T: fmt::Debug> fmt::Debug for $name<'_, T> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Debug::fmt(&**self, f)
+            }
+        }
+    };
+}
+
+rw_guard!(RwLockReadGuard, RwLockReadGuard,);
+rw_guard!(
+    RwLockWriteGuard,
+    RwLockWriteGuard,
+    impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+);
+
+/// A condition variable paired with the wrapper [`Mutex`]. The mutex
+/// site stays on the waiter's held stack across the wait (the guard is
+/// handed back on wakeup), so lock-order accounting never observes a
+/// phantom release.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a condition variable (condvars are not order-tracked;
+    /// the paired mutex is).
+    #[must_use]
+    pub fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks on the condition, atomically releasing the guard's mutex
+    /// like [`std::sync::Condvar::wait`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates poisoning of the re-acquired mutex.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let (site, std_guard) = guard.into_std();
+        match self.inner.wait(std_guard) {
+            Ok(g) => Ok(MutexGuard::wrap(site, g)),
+            Err(p) => Err(PoisonError::new(MutexGuard::wrap(site, p.into_inner()))),
+        }
+    }
+
+    /// [`wait`](Self::wait) with a timeout, mirroring
+    /// [`std::sync::Condvar::wait_timeout`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates poisoning of the re-acquired mutex.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        let (site, std_guard) = guard.into_std();
+        match self.inner.wait_timeout(std_guard, dur) {
+            Ok((g, timeout)) => Ok((MutexGuard::wrap(site, g), timeout)),
+            Err(p) => {
+                let (g, timeout) = p.into_inner();
+                Err(PoisonError::new((MutexGuard::wrap(site, g), timeout)))
+            }
+        }
+    }
+
+    /// Wakes one waiter (see [`std::sync::Condvar::notify_one`]).
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiter (see [`std::sync::Condvar::notify_all`]).
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+/// Number of potential-deadlock reports recorded by this process so
+/// far (0 in passthrough builds). The chaos and storm suites assert
+/// this stays zero across every schedule the fault injector explores.
+#[must_use]
+pub fn cycle_report_count() -> usize {
+    #[cfg(any(debug_assertions, feature = "lockorder"))]
+    {
+        order::report_count()
+    }
+    #[cfg(not(any(debug_assertions, feature = "lockorder")))]
+    {
+        0
+    }
+}
+
+/// Drains the recorded potential-deadlock reports (empty in
+/// passthrough builds). [`cycle_report_count`] is monotone and is not
+/// reset by draining.
+#[must_use]
+pub fn take_cycle_reports() -> Vec<String> {
+    #[cfg(any(debug_assertions, feature = "lockorder"))]
+    {
+        order::take_reports()
+    }
+    #[cfg(not(any(debug_assertions, feature = "lockorder")))]
+    {
+        Vec::new()
+    }
+}
+
+/// Passthrough tracker for uninstrumented (release, no-`lockorder`)
+/// builds: acquisition hooks compile to nothing, so the wrappers cost
+/// exactly one dead `&'static str` per lock over the std primitives.
+#[cfg(not(any(debug_assertions, feature = "lockorder")))]
+mod order {
+    use super::Site;
+
+    #[inline(always)]
+    pub fn acquire(_site: Site) {}
+
+    #[inline(always)]
+    pub fn release(_site: Site) {}
+}
+
+/// The lock-order tracker. This module is the one place in the
+/// workspace allowed to use raw `std::sync` locks (the instrumentation
+/// cannot be built on the primitives it instruments): its global graph
+/// mutex is a leaf — no wrapper lock is ever acquired while it is
+/// held — so it cannot itself participate in a cycle.
+#[cfg(any(debug_assertions, feature = "lockorder"))]
+mod order {
+    use super::Site;
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock, PoisonError, RwLock};
+
+    /// Site-name interner state: name → id, and id → name.
+    type SiteTable = (HashMap<&'static str, usize>, Vec<&'static str>);
+
+    /// Interner: site name → graph node id. Read-mostly (every name is
+    /// interned once per process), so lookups share a read lock.
+    static SITES: OnceLock<RwLock<SiteTable>> = OnceLock::new();
+
+    /// The acquisition-order graph and the report log.
+    static GRAPH: OnceLock<Mutex<Graph>> = OnceLock::new();
+
+    thread_local! {
+        /// Site ids of the locks this thread currently holds, in
+        /// acquisition order.
+        static HELD: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+    }
+
+    #[derive(Default)]
+    struct Graph {
+        /// `edges[from]` = recorded `from → to` orderings.
+        edges: Vec<Vec<Edge>>,
+        reports: Vec<String>,
+        report_count: usize,
+    }
+
+    struct Edge {
+        to: usize,
+        /// Provenance of the first recording: thread name and the held
+        /// stack at that acquisition.
+        thread: String,
+        held: Vec<usize>,
+    }
+
+    pub(super) fn intern(name: &'static str) -> usize {
+        let sites = SITES.get_or_init(|| RwLock::new((HashMap::new(), Vec::new())));
+        {
+            let read = sites.read().unwrap_or_else(PoisonError::into_inner);
+            if let Some(&id) = read.0.get(name) {
+                return id;
+            }
+        }
+        let mut write = sites.write().unwrap_or_else(PoisonError::into_inner);
+        if let Some(&id) = write.0.get(name) {
+            return id;
+        }
+        let id = write.1.len();
+        write.0.insert(name, id);
+        write.1.push(name);
+        id
+    }
+
+    fn name_of(id: usize) -> &'static str {
+        let sites = SITES.get_or_init(|| RwLock::new((HashMap::new(), Vec::new())));
+        let read = sites.read().unwrap_or_else(PoisonError::into_inner);
+        read.1.get(id).copied().unwrap_or("<unknown site>")
+    }
+
+    fn names(ids: &[usize]) -> Vec<&'static str> {
+        ids.iter().map(|&i| name_of(i)).collect()
+    }
+
+    /// Records the acquisition of `site` against this thread's held
+    /// stack; panics with a potential-deadlock report if the recorded
+    /// order graph already reaches any held site from `site`.
+    pub(super) fn acquire(site: Site) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if !held.is_empty() {
+                record_edges(&held, site);
+            }
+            held.push(site.id);
+        });
+    }
+
+    pub(super) fn release(site: Site) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&id| id == site.id) {
+                held.remove(pos);
+            }
+        });
+    }
+
+    fn record_edges(held: &[usize], site: Site) {
+        let graph = GRAPH.get_or_init(|| Mutex::new(Graph::default()));
+        let mut g = graph.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut report: Option<String> = None;
+        for &h in held {
+            if h == site.id {
+                report = Some(format!(
+                    "potential deadlock: thread '{}' is acquiring lock site `{}` \
+                     while already holding a lock of the same site (held stack: {:?}) — \
+                     two threads nesting this site on different instances can deadlock",
+                    thread_name(),
+                    site.name,
+                    names(held),
+                ));
+                break;
+            }
+            if g.edge(h, site.id).is_some() {
+                continue;
+            }
+            if let Some(path) = g.path(site.id, h) {
+                let first = g.edge(path[0], path[1]);
+                let provenance = first.map_or_else(String::new, |e| {
+                    format!(
+                        " (that order was first recorded on thread '{}' holding {:?})",
+                        e.thread,
+                        names(&e.held),
+                    )
+                });
+                report = Some(format!(
+                    "potential deadlock: thread '{}' is acquiring lock site `{}` while \
+                     holding `{}` (held stack: {:?}), but the opposite acquisition order \
+                     {} was recorded earlier{}",
+                    thread_name(),
+                    site.name,
+                    name_of(h),
+                    names(held),
+                    path_names(&path),
+                    provenance,
+                ));
+                break;
+            }
+            g.add_edge(h, site.id, held);
+        }
+        if let Some(msg) = report {
+            g.reports.push(msg.clone());
+            g.report_count += 1;
+            drop(g);
+            // femcam::allow(no_panic): this panic IS the fail-fast — a
+            // detected lock-order inversion must stop the thread before it
+            // can block.
+            panic!("{msg}");
+        }
+    }
+
+    fn thread_name() -> String {
+        std::thread::current()
+            .name()
+            .unwrap_or("<unnamed>")
+            .to_string()
+    }
+
+    fn path_names(path: &[usize]) -> String {
+        path.iter()
+            .map(|&id| format!("`{}`", name_of(id)))
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+
+    impl Graph {
+        fn edge(&self, from: usize, to: usize) -> Option<&Edge> {
+            self.edges.get(from)?.iter().find(|e| e.to == to)
+        }
+
+        fn add_edge(&mut self, from: usize, to: usize, held: &[usize]) {
+            if self.edges.len() <= from {
+                self.edges.resize_with(from + 1, Vec::new);
+            }
+            self.edges[from].push(Edge {
+                to,
+                thread: thread_name(),
+                held: held.to_vec(),
+            });
+        }
+
+        /// A recorded-order path `from → … → to`, if one exists
+        /// (iterative DFS; the graph is tiny — one node per site
+        /// class).
+        fn path(&self, from: usize, to: usize) -> Option<Vec<usize>> {
+            let mut parent: HashMap<usize, usize> = HashMap::new();
+            let mut stack = vec![from];
+            while let Some(node) = stack.pop() {
+                if node == to {
+                    let mut path = vec![to];
+                    let mut cur = to;
+                    while cur != from {
+                        cur = parent[&cur];
+                        path.push(cur);
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                for e in self.edges.get(node).map_or(&[][..], |v| v.as_slice()) {
+                    if e.to != from && !parent.contains_key(&e.to) {
+                        parent.insert(e.to, node);
+                        stack.push(e.to);
+                    }
+                }
+            }
+            None
+        }
+    }
+
+    pub(super) fn report_count() -> usize {
+        GRAPH.get().map_or(0, |g| {
+            g.lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .report_count
+        })
+    }
+
+    pub(super) fn take_reports() -> Vec<String> {
+        GRAPH.get().map_or_else(Vec::new, |g| {
+            std::mem::take(&mut g.lock().unwrap_or_else(PoisonError::into_inner).reports)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+    use super::*;
+    #[cfg(any(debug_assertions, feature = "lockorder"))]
+    use std::panic::AssertUnwindSafe;
+
+    fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+        m.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn mutex_round_trips_values() {
+        let m = Mutex::new("sync-test.value", 41);
+        *lock(&m) += 1;
+        assert_eq!(*lock(&m), 42);
+        assert!(format!("{m:?}").contains("sync-test.value"));
+    }
+
+    #[test]
+    fn rwlock_read_write_round_trip() {
+        let l = RwLock::new("sync-test.rw", vec![1, 2]);
+        l.write().unwrap().push(3);
+        assert_eq!(l.read().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter_and_returns_guard() {
+        let pair = std::sync::Arc::new((Mutex::new("sync-test.cv", false), Condvar::new()));
+        let waiter = {
+            let pair = std::sync::Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let (m, cv) = &*pair;
+                let mut done = lock(m);
+                while !*done {
+                    done = cv.wait(done).unwrap_or_else(PoisonError::into_inner);
+                }
+            })
+        };
+        {
+            let (m, cv) = &*pair;
+            *lock(m) = true;
+            cv.notify_all();
+        }
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_wait_timeout_times_out() {
+        let m = Mutex::new("sync-test.cv-timeout", ());
+        let cv = Condvar::new();
+        let guard = lock(&m);
+        let (_guard, timeout) = cv
+            .wait_timeout(guard, Duration::from_millis(1))
+            .unwrap_or_else(PoisonError::into_inner);
+        assert!(timeout.timed_out());
+    }
+
+    #[test]
+    fn poisoned_mutex_recovers_through_into_inner() {
+        let m = std::sync::Arc::new(Mutex::new("sync-test.poison", 7));
+        let poisoner = {
+            let m = std::sync::Arc::clone(&m);
+            std::thread::spawn(move || {
+                let _guard = m.lock().unwrap();
+                panic!("poison the lock");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        assert_eq!(*m.lock().unwrap_or_else(PoisonError::into_inner), 7);
+    }
+
+    /// The acceptance-criterion test: a deliberately inverted pair of
+    /// acquisitions is detected and reported with both site names.
+    #[cfg(any(debug_assertions, feature = "lockorder"))]
+    #[test]
+    fn inverted_acquisition_order_is_reported_with_both_sites() {
+        let a = Mutex::new("lockorder-test.alpha", ());
+        let b = Mutex::new("lockorder-test.beta", ());
+        // Establish the order alpha → beta.
+        {
+            let _ga = lock(&a);
+            let _gb = lock(&b);
+        }
+        let before = cycle_report_count();
+        // Invert it: beta → alpha must be flagged before blocking.
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _gb = lock(&b);
+            let _ga = lock(&a);
+        }));
+        let err = result.expect_err("inverted order must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .expect("panic payload is a message");
+        assert!(msg.contains("lockorder-test.alpha"), "report: {msg}");
+        assert!(msg.contains("lockorder-test.beta"), "report: {msg}");
+        assert!(msg.contains("potential deadlock"), "report: {msg}");
+        assert_eq!(cycle_report_count(), before + 1);
+        let reports = take_cycle_reports();
+        assert!(reports.iter().any(|r| r.contains("lockorder-test.beta")));
+        // The count is monotone; draining does not reset it.
+        assert_eq!(cycle_report_count(), before + 1);
+    }
+
+    /// Same-site nesting (two instances of one class) is flagged too.
+    #[cfg(any(debug_assertions, feature = "lockorder"))]
+    #[test]
+    fn same_site_nesting_is_reported() {
+        let a = Mutex::new("lockorder-test.same", ());
+        let b = Mutex::new("lockorder-test.same", ());
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _ga = lock(&a);
+            let _gb = lock(&b);
+        }));
+        let err = result.expect_err("same-site nesting must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic payload is a String");
+        assert!(msg.contains("lockorder-test.same"), "report: {msg}");
+    }
+
+    /// Consistent nesting across threads is not a cycle.
+    #[test]
+    fn consistent_order_is_silent() {
+        let outer = std::sync::Arc::new(Mutex::new("lockorder-test.outer", ()));
+        let inner = std::sync::Arc::new(Mutex::new("lockorder-test.inner", ()));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let outer = std::sync::Arc::clone(&outer);
+                let inner = std::sync::Arc::clone(&inner);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        let _go = lock(&outer);
+                        let _gi = lock(&inner);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! `femcam-lint`: runs the workspace concurrency lints and exits
+//! nonzero on any finding.
+//!
+//! ```text
+//! femcam-lint [WORKSPACE_ROOT]   # default: walk up from cwd to the
+//!                                # directory containing Cargo.toml + crates/
+//! femcam-lint --rules            # list the rule table
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use femcam_lint::{lint_workspace, RULES};
+
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let arg = std::env::args().nth(1);
+    if arg.as_deref() == Some("--rules") {
+        for r in RULES {
+            println!("{}  {:<20} {}", r.id, r.name, r.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root = match arg.map(PathBuf::from).or_else(find_root) {
+        Some(root) => root,
+        None => {
+            eprintln!("femcam-lint: no workspace root found (pass it as the first argument)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let findings = match lint_workspace(&root) {
+        Ok(findings) => findings,
+        Err(e) => {
+            eprintln!("femcam-lint: failed to walk {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        eprintln!("femcam-lint: clean ({} rules)", RULES.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("femcam-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,36 @@
+// Fixture for FL001 (unsafe_safety). Not compiled — lexed by the
+// integration tests under a fake `crates/core/src/` path label.
+
+// HIT: naked unsafe block, no justification.
+fn hit() {
+    let x = [1u8, 2];
+    let _ = unsafe { *x.as_ptr() };
+}
+
+// MISS: justified by a SAFETY comment directly above.
+fn miss_comment() {
+    let x = [1u8, 2];
+    // SAFETY: the pointer comes from a live array one line up.
+    let _ = unsafe { *x.as_ptr() };
+}
+
+/// MISS: justified by a doc contract.
+///
+/// # Safety
+///
+/// Caller must pass a valid, aligned pointer.
+unsafe fn miss_doc(p: *const u8) -> u8 {
+    *p
+}
+
+// femcam::allow(unsafe_safety): suppression exercised by the tests —
+// a deliberate hole with a written reason.
+fn suppressed() {
+    let x = [1u8, 2];
+    let _ = unsafe { *x.as_ptr() };
+}
+
+// MISS: the word in a string or comment is not a site: "unsafe".
+fn not_a_site() {
+    let _ = "unsafe { nothing() }";
+}

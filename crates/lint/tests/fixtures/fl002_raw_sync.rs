@@ -1,0 +1,20 @@
+// Fixture for FL002 (raw_sync). Not compiled — lexed by the
+// integration tests under a fake `crates/serve/src/` path label.
+
+// HIT: raw lock type in a use-list.
+use std::sync::{Arc, Mutex};
+
+// HIT: fully-qualified raw lock construction.
+fn hit() {
+    let _ = std::sync::RwLock::new(0u32);
+}
+
+// MISS: Arc/PoisonError/atomics/mpsc from std::sync are fine.
+use std::sync::atomic::AtomicU64;
+use std::sync::{mpsc, PoisonError};
+
+// MISS: the instrumented wrapper is the sanctioned import.
+use femcam_core::sync::{Condvar, RwLock};
+
+// femcam::allow(raw_sync): suppression exercised by the tests.
+use std::sync::Condvar as RawCondvar;

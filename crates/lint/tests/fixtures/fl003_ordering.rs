@@ -1,0 +1,52 @@
+// Fixture for FL003 (ordering_comment). Not compiled — lexed by the
+// integration tests under a fake `crates/serve/src/` path label.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static N: AtomicUsize = AtomicUsize::new(0);
+
+// HIT: atomic ordering with no justification in reach.
+fn hit() {
+    N.store(1, Ordering::SeqCst);
+}
+
+// MISS: justified on the same line.
+fn miss_same_line() {
+    N.store(1, Ordering::Release); // ORDERING: publishes the init above.
+}
+
+// MISS: justified by a comment above a multi-line statement.
+fn miss_block_above() {
+    // ORDERING: Relaxed — monotone counter, no memory rides on it.
+    let _ = N
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| Some(n + 1))
+        .ok();
+}
+
+// HIT: a blank line breaks the comment span.
+fn hit_span_broken() {
+    // ORDERING: this comment is orphaned by the blank line below.
+
+    N.store(2, Ordering::SeqCst);
+}
+
+// femcam::allow(ordering_comment): suppression exercised by the tests.
+fn suppressed() {
+    N.store(3, Ordering::AcqRel);
+}
+
+// MISS: std::cmp::Ordering is not an atomic ordering.
+fn cmp_is_fine(a: u32, b: u32) -> std::cmp::Ordering {
+    a.cmp(&b).then(std::cmp::Ordering::Equal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // MISS: test modules are exempt.
+    #[test]
+    fn in_tests_is_fine() {
+        N.store(4, Ordering::SeqCst);
+    }
+}

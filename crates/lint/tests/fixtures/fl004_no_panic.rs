@@ -1,0 +1,45 @@
+// Fixture for FL004 (no_panic). Not compiled — lexed by the
+// integration tests under both serve (in-scope) and data
+// (out-of-scope) path labels.
+
+// HIT: unwrap in production code.
+fn hit_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+// HIT: expect in production code.
+fn hit_expect(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+// HIT: explicit panic.
+fn hit_panic() {
+    panic!("boom");
+}
+
+// MISS: unwrap_or and friends are not panic paths.
+fn miss_fallback(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+// femcam::allow(no_panic): a documented startup invariant, exercised
+// by the tests as the suppression case.
+fn suppressed(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+// MISS: suppression by rule id instead of name.
+fn suppressed_by_id(x: Option<u32>) -> u32 {
+    // femcam::allow(FL004): id-form suppression.
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    // MISS: tests may unwrap freely.
+    #[test]
+    fn in_tests_is_fine() {
+        Some(1u32).unwrap();
+        assert!(true);
+    }
+}

@@ -1,0 +1,28 @@
+// Fixture for FL005 (instant_in_dispatch). Not compiled — lexed by
+// the integration tests under the `crates/serve/src/lib.rs` label the
+// rule pins.
+
+use std::time::Instant;
+
+// MISS: clock reads outside the dispatcher are unrestricted.
+fn helper_clock() -> Instant {
+    Instant::now()
+}
+
+fn dispatch(n: usize) -> usize {
+    let mut acc = 0;
+    for i in 0..n {
+        // HIT: a raw clock read inside the dispatcher hot loop.
+        let t = Instant::now();
+        acc += t.elapsed().as_nanos() as usize + i;
+    }
+    // femcam::allow(instant_in_dispatch): suppression exercised by the
+    // tests — one sanctioned read outside the per-window loop.
+    let _late = Instant::now();
+    acc
+}
+
+// MISS: code after the dispatcher body is out of the rule's region.
+fn after_dispatch() -> Instant {
+    Instant::now()
+}

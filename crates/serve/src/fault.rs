@@ -18,7 +18,9 @@
 //! so test harnesses can tell injected crashes from real bugs.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, PoisonError};
+
+use femcam_core::sync::Mutex;
 use std::time::Duration;
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -155,7 +157,7 @@ impl FaultPlan {
                         rule,
                     })
                     .collect(),
-                rng: Mutex::new(StdRng::seed_from_u64(seed)),
+                rng: Mutex::new("serve.fault.rng", StdRng::seed_from_u64(seed)),
                 injected: Default::default(),
             }),
         }
@@ -171,19 +173,29 @@ impl FaultPlan {
 
     /// Arms or disarms every clone of this plan.
     pub fn set_armed(&self, armed: bool) {
-        self.inner.armed.store(armed, Ordering::SeqCst);
+        // ORDERING: Release pairs with the Acquire in `is_armed`: a
+        // sampler that observes `armed == true` also observes every
+        // write the arming thread made before arming (rule budgets are
+        // immutable after construction, so this is belt-and-braces,
+        // not load-bearing).
+        self.inner.armed.store(armed, Ordering::Release);
     }
 
     /// Whether the plan is currently armed.
     #[must_use]
     pub fn is_armed(&self) -> bool {
-        self.inner.armed.load(Ordering::SeqCst)
+        // ORDERING: Acquire — see `set_armed`.
+        self.inner.armed.load(Ordering::Acquire)
     }
 
     /// Faults injected at `site` so far (across all clones).
     #[must_use]
     pub fn injected(&self, site: FaultSite) -> u64 {
-        self.inner.injected[site_index(site)].load(Ordering::SeqCst)
+        // ORDERING: Relaxed — a diagnostic counter. Tests read it
+        // either after joining the injecting threads or after a
+        // fulfilled ticket, both of which already order the counting
+        // `fetch_add` before this load (join / the one-shot's mutex).
+        self.inner.injected[site_index(site)].load(Ordering::Relaxed)
     }
 
     /// Samples the site: the fault to inject on this visit, if any.
@@ -209,12 +221,17 @@ impl FaultPlan {
                     continue;
                 }
             }
+            // ORDERING: Relaxed — never-over-firing is the RMW's
+            // atomicity (a budget unit is consumed exactly once); no
+            // other memory rides on the decrement.
             let took = state
                 .remaining
-                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |r| r.checked_sub(1))
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |r| r.checked_sub(1))
                 .is_ok();
             if took {
-                self.inner.injected[site_index(site)].fetch_add(1, Ordering::SeqCst);
+                // ORDERING: Relaxed — see `injected` (readers are
+                // ordered by join or the fulfilled one-shot).
+                self.inner.injected[site_index(site)].fetch_add(1, Ordering::Relaxed);
                 return Some(state.rule.kind);
             }
         }
@@ -227,6 +244,9 @@ impl FaultPlan {
 /// and `Overload` is meaningless here (ignored).
 pub(crate) fn trigger_dispatcher_fault(kind: FaultKind) {
     match kind {
+        // femcam::allow(no_panic): the injected panic IS the fault —
+        // chaos-only instrumentation, unwound into the dispatcher's
+        // catch_unwind supervisor by design.
         FaultKind::Panic => panic!("{CHAOS_PANIC}"),
         FaultKind::Delay(d) => std::thread::sleep(d),
         FaultKind::Overload => {}

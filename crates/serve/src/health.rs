@@ -73,6 +73,12 @@ impl HealthBoard {
     }
 
     pub(crate) fn get(&self, shard: usize) -> ShardHealth {
+        // ORDERING: Relaxed — the board is advisory control-plane
+        // state; a stale read only routes one more request at a shard
+        // that is about to be excluded (or skips one that just
+        // healed), both of which the merge path already tolerates.
+        // Data publication (the replacement handle) happens through
+        // the topology cell's RwLock, never through this byte.
         ShardHealth::from_u8(self.states[shard].load(Ordering::Relaxed))
     }
 
@@ -89,6 +95,10 @@ impl HealthBoard {
     /// or out of its resurrection window.
     pub(crate) fn escalate(&self, shard: usize, to: ShardHealth) -> ShardHealth {
         debug_assert!(!matches!(to, ShardHealth::Probing));
+        // ORDERING: Relaxed — monotonicity comes from fetch_max's
+        // atomicity, not from inter-thread ordering; no other memory
+        // is published under this write (see `get`), so first-observer
+        // accounting stays exact while racing observers stay unordered.
         ShardHealth::from_u8(self.states[shard].fetch_max(to.as_u8(), Ordering::Relaxed))
     }
 
@@ -96,6 +106,10 @@ impl HealthBoard {
     /// caller won the probe (exactly one supervisor resurrects a shard
     /// at a time).
     pub(crate) fn begin_probe(&self, shard: usize) -> bool {
+        // ORDERING: Relaxed — exclusivity (one supervisor wins) is the
+        // CAS's atomicity; the winner publishes nothing under this
+        // transition (it builds the replacement first and installs it
+        // through the topology cell's RwLock).
         self.states[shard]
             .compare_exchange(
                 ShardHealth::Quarantined.as_u8(),
@@ -109,6 +123,9 @@ impl HealthBoard {
     /// Guarded `Probing → Healthy` transition: the canary answered
     /// bit-identically, the replacement dispatcher rejoins merges.
     pub(crate) fn admit(&self, shard: usize) -> bool {
+        // ORDERING: Relaxed — the replacement handle was already
+        // published through the topology cell's RwLock write before
+        // this transition; the CAS only re-opens routing.
         self.states[shard]
             .compare_exchange(
                 ShardHealth::Probing.as_u8(),
@@ -123,6 +140,8 @@ impl HealthBoard {
     /// (injected fault, unrecoverable memory, or canary mismatch); the
     /// shard stays out of merges until the next probe.
     pub(crate) fn fail_probe(&self, shard: usize) -> bool {
+        // ORDERING: Relaxed — failure path of the probe CAS pair; see
+        // `begin_probe` (nothing is published under the transition).
         self.states[shard]
             .compare_exchange(
                 ShardHealth::Probing.as_u8(),

@@ -197,10 +197,12 @@
 //!   [`ShardedServer::try_readmit`]) reclaims the quarantined shard's
 //!   banks via the dead server's fallible `shutdown()`, spawns a
 //!   replacement dispatcher, and re-admits it **only** behind the
-//!   canary rule: the replacement's answers to resident-row probe
-//!   queries must be bit-identical (`f64::to_bits` on the winning
-//!   conductance) to a masked-sweep oracle computed on the reclaimed
-//!   memory itself. Any probe failure — injected fault, unrecoverable
+//!   canary rule: the replacement's answers to the probe suite —
+//!   resident rows, near-miss perturbations of them, and top-k
+//!   replays deep enough to straddle a bank boundary — must be
+//!   bit-identical (`f64::to_bits` on every returned conductance) to
+//!   a direct-sweep oracle computed on the reclaimed memory itself,
+//!   failing closed on any shape mismatch. Any probe failure — injected fault, unrecoverable
 //!   memory, canary mismatch, lost ownership — returns the shard to
 //!   `Quarantined` for a later retry and counts in
 //!   [`ServeStats::probe_failures`]. While a shard is quarantined its
@@ -225,6 +227,40 @@
 //! under fail-closed policy), and [`ServeError::Core`] (the search
 //! itself failed). Everything maps onto `femcam_core::CoreError` for
 //! engine-trait callers.
+//!
+//! # Concurrency model
+//!
+//! Every lock in the serving stack is a [`femcam_core::sync`] wrapper
+//! constructed with a **site name**; debug builds (and release builds
+//! with the `lockorder` feature) record the acquisition-order graph
+//! across sites and panic on the first cycle, naming both sites. The
+//! lock hierarchy is deliberately flat:
+//!
+//! - `shard.slot` (a shard's `McamServer` slot, held across
+//!   shutdown/respawn during a probe) may nest `shard.cell` (the
+//!   topology's per-shard handle `RwLock`, written to publish the
+//!   replacement) and `serve.oneshot` (canary replays wait on their
+//!   tickets while the slot is held).
+//! - Every other site — `serve.stats`, `serve.fault.rng`,
+//!   `shard.router`, `core.plan_cache.*`, `serve.nn.last_coverage` —
+//!   is a **leaf**: nothing else is acquired while it is held.
+//!
+//! Anything outside that order is a regression; the chaos and storm
+//! suites assert zero cycle reports
+//! ([`femcam_core::sync::cycle_report_count`]) after every scenario.
+//!
+//! Atomics carry narrow roles, each justified by an `// ORDERING:`
+//! comment at the use site (enforced by the `femcam-lint` workspace
+//! gate): the dispatcher-failed flag is the only acquire/release
+//! pair a client decision rides on; restart, admission-depth, and
+//! stats counters are relaxed, ordered — where a test or caller needs
+//! ordering — by the one-shot ticket mutex they are read behind or by
+//! a thread join. The restart counter is bumped **before** the failed
+//! window's waiters are fulfilled, so any client observing
+//! [`ServeError::DispatcherFailed`] already sees its restart counted.
+//! The dispatcher's hot loop never reads the clock directly: window
+//! timing goes through the `Window` helpers, and the `femcam-lint`
+//! rule `instant_in_dispatch` keeps it that way.
 //!
 //! # Example
 //!
@@ -281,7 +317,9 @@ use std::fmt;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::{Arc, PoisonError};
+
+use femcam_core::sync::{Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -516,7 +554,7 @@ impl MemoryReport {
     }
 }
 
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -587,7 +625,7 @@ struct Responder<T> {
 impl<T> Responder<T> {
     fn new() -> (Responder<T>, Arc<OneShot<T>>) {
         let slot = Arc::new(OneShot {
-            state: Mutex::new(SlotState::Pending),
+            state: Mutex::new("serve.oneshot", SlotState::Pending),
             cv: Condvar::new(),
         });
         (
@@ -863,6 +901,8 @@ impl ServeHandle {
     /// (the documented admission contract), never `DeadlineExceeded`.
     fn deadline_for(&self, budget: Duration) -> Result<Instant, ServeError> {
         if budget.is_zero() {
+            // ORDERING: Relaxed — monotone stats counter; readers want
+            // a recent total, not an ordering edge.
             self.shared
                 .deadline_rejected
                 .fetch_add(1, Ordering::Relaxed);
@@ -923,6 +963,9 @@ impl ServeHandle {
             deadline,
             responder,
         });
+        // ORDERING: Relaxed — advisory bank count for the ticket's
+        // coverage record; the dispatcher's answer (ordered by the
+        // channel + one-shot mutex) is authoritative.
         let banks = self.shared.n_banks.load(Ordering::Relaxed);
         if self.tx.send(request).is_err() {
             self.release_slot();
@@ -936,6 +979,9 @@ impl ServeHandle {
     /// sharded front end reserves across every shard before sending
     /// anywhere, and must roll back on a partial reservation).
     pub(crate) fn release_slot(&self) {
+        // ORDERING: Relaxed — the admission gate is the `fetch_update`
+        // in `admit`; the counter's atomicity alone bounds the queue,
+        // no memory is published under a slot release.
         self.shared.depth.fetch_sub(1, Ordering::Relaxed);
     }
 
@@ -944,7 +990,10 @@ impl ServeHandle {
     /// A terminally-failed server rejects everything with
     /// [`ServeError::DispatcherFailed`].
     pub(crate) fn admit(&self) -> Result<(), ServeError> {
-        if self.shared.failed.load(Ordering::SeqCst) {
+        // ORDERING: Acquire pairs with the Release store in
+        // `note_restart`: a client that observes the terminal flag
+        // also observes the restart count that tripped it.
+        if self.shared.failed.load(Ordering::Acquire) {
             return Err(self.exit_error());
         }
         #[cfg(feature = "chaos")]
@@ -953,6 +1002,8 @@ impl ServeHandle {
             // here (a client thread must never panic on injection).
             match plan.sample(fault::FaultSite::Admission) {
                 Some(fault::FaultKind::Overload) => {
+                    // ORDERING: Relaxed — stats counter + advisory
+                    // depth snapshot for the error message.
                     self.shared.rejected.fetch_add(1, Ordering::Relaxed);
                     return Err(ServeError::Overloaded {
                         depth: self.shared.depth.load(Ordering::Relaxed),
@@ -963,6 +1014,9 @@ impl ServeHandle {
                 Some(fault::FaultKind::Panic) | None => {}
             }
         }
+        // ORDERING: Relaxed — the capacity bound needs only the RMW's
+        // atomicity (concurrent admits serialize on the CAS loop); no
+        // payload is published through `depth`.
         let admitted =
             self.shared
                 .depth
@@ -970,6 +1024,7 @@ impl ServeHandle {
                     (depth < self.shared.capacity).then_some(depth + 1)
                 });
         if let Err(depth) = admitted {
+            // ORDERING: Relaxed — monotone stats counter.
             self.shared.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::Overloaded {
                 depth,
@@ -1090,6 +1145,9 @@ impl ServeHandle {
             deadline,
             responder,
         });
+        // ORDERING: Relaxed — advisory bank count for the ticket's
+        // coverage record; the dispatcher's answer (ordered by the
+        // channel + one-shot mutex) is authoritative.
         let banks = self.shared.n_banks.load(Ordering::Relaxed);
         if self.tx.send(request).is_err() {
             self.release_slot();
@@ -1160,6 +1218,8 @@ impl ServeHandle {
         // percentile sort after releasing it — never stall the
         // dispatcher's per-batch stats update on a snapshot.
         let inner = lock(&self.shared.stats).clone();
+        // ORDERING: Relaxed — a stats snapshot tolerates counters read
+        // at slightly different instants; each is individually recent.
         stats::snapshot(
             &inner,
             self.shared.rejected.load(Ordering::Relaxed),
@@ -1175,6 +1235,8 @@ impl ServeHandle {
     /// Searches currently queued or executing.
     #[must_use]
     pub fn queue_depth(&self) -> usize {
+        // ORDERING: Relaxed — advisory snapshot; the admission bound
+        // itself is enforced by the RMW in `admit`.
         self.shared.depth.load(Ordering::Relaxed)
     }
 
@@ -1187,6 +1249,10 @@ impl ServeHandle {
     /// Dispatcher self-heals (caught panic → restart) so far.
     #[must_use]
     pub fn restarts(&self) -> u64 {
+        // ORDERING: Relaxed — `note_restart` counts a batch's restart
+        // before any of its waiters wake, and the waiter's one-shot
+        // mutex hand-off orders that count before this load; the
+        // counter itself needs no edge of its own.
         self.shared.restarts.load(Ordering::Relaxed)
     }
 
@@ -1194,6 +1260,7 @@ impl ServeHandle {
     /// dispatcher after every store) — what a sharded front end
     /// charges as lost coverage when this shard cannot answer.
     pub(crate) fn banks_snapshot(&self) -> usize {
+        // ORDERING: Relaxed — see `enqueue_search`'s coverage note.
         self.shared.n_banks.load(Ordering::Relaxed)
     }
 
@@ -1203,7 +1270,9 @@ impl ServeHandle {
     /// recoverable through [`McamServer::shutdown`]).
     #[must_use]
     pub fn is_failed(&self) -> bool {
-        self.shared.failed.load(Ordering::SeqCst)
+        // ORDERING: Acquire pairs with `note_restart`'s Release store
+        // — observing the trip also observes the final restart count.
+        self.shared.failed.load(Ordering::Acquire)
     }
 }
 
@@ -1318,7 +1387,7 @@ impl McamServer {
             n_levels: memory.as_banked().ladder().n_levels(),
             rejected: AtomicU64::new(0),
             deadline_rejected: AtomicU64::new(0),
-            stats: Mutex::new(StatsInner::default()),
+            stats: Mutex::new("serve.stats", StatsInner::default()),
             started: Instant::now(),
             n_banks: AtomicUsize::new(memory.as_banked().n_banks()),
             restarts: AtomicU64::new(0),
@@ -1329,8 +1398,9 @@ impl McamServer {
         let (tx, rx) = mpsc::channel();
         let dispatcher_shared = Arc::clone(&shared);
         let dispatcher_config = config.clone();
-        // A documented startup panic, not a runtime panic path: the
-        // server cannot exist without its dispatcher thread.
+        // femcam::allow(no_panic): a documented startup panic, not a
+        // runtime panic path — the server cannot exist without its
+        // dispatcher thread.
         #[allow(clippy::expect_used)]
         let dispatcher = std::thread::Builder::new()
             .name("femcam-serve".into())
@@ -1411,18 +1481,30 @@ fn auto_capacity(memory: &BankedMcam, config: &ServeConfig) -> usize {
 }
 
 /// One open batching window: the winner and top-k searches collected
-/// so far, plus the earliest per-request deadline among them.
+/// so far, the latest instant the window may stay open, and the
+/// earliest per-request deadline among the collected searches.
+///
+/// The window helpers below are the only clock reads the dispatcher's
+/// wait loop is allowed (the `femcam-lint` `instant-in-dispatch` rule
+/// pins this): batching-delay policy lives here, not inline in
+/// [`dispatch`].
 struct Window {
     searches: Vec<PendingSearch>,
     topks: Vec<PendingTopK>,
+    /// `max_wait` past the instant the window opened: the window
+    /// closes by then even if no request carries a deadline.
+    closes_by: Instant,
     earliest_deadline: Option<Instant>,
 }
 
 impl Window {
-    fn with_capacity(max_batch: usize) -> Self {
+    /// Opens a window: it admits at most `max_batch` requests and
+    /// closes no later than `max_wait` from now.
+    fn open(max_batch: usize, max_wait: Duration) -> Self {
         Window {
             searches: Vec::with_capacity(max_batch),
             topks: Vec::new(),
+            closes_by: Instant::now() + max_wait,
             earliest_deadline: None,
         }
     }
@@ -1447,11 +1529,18 @@ impl Window {
     /// The instant this window must close: `max_wait` after it opened,
     /// or the earliest pending per-request deadline, whichever is
     /// sooner.
-    fn close_at(&self, window_deadline: Instant) -> Instant {
+    fn close_at(&self) -> Instant {
         match self.earliest_deadline {
-            Some(d) => d.min(window_deadline),
-            None => window_deadline,
+            Some(d) => d.min(self.closes_by),
+            None => self.closes_by,
         }
+    }
+
+    /// Time the dispatcher may still wait for this window to fill —
+    /// [`window_timeout`] against the current clock. `None` means the
+    /// window is due: execute the batch, never re-arm the wait.
+    fn timeout(&self) -> Option<Duration> {
+        window_timeout(self.close_at(), Instant::now())
     }
 }
 
@@ -1468,6 +1557,8 @@ fn live_or_reject<T>(
 ) -> Option<Responder<T>> {
     match deadline {
         Some(d) if d <= now => {
+            // ORDERING: Relaxed — slot release (atomicity only, see
+            // `release_slot`) plus a monotone stats counter.
             shared.depth.fetch_sub(1, Ordering::Relaxed);
             shared.deadline_rejected.fetch_add(1, Ordering::Relaxed);
             responder.fulfill(Err(ServeError::DeadlineExceeded {
@@ -1576,6 +1667,10 @@ fn dispatch(
                     }));
                     match outcome {
                         Ok(result) => {
+                            // ORDERING: Relaxed — advisory coverage
+                            // denominator (see `enqueue_search`); the
+                            // store's result itself travels through
+                            // the one-shot.
                             shared
                                 .n_banks
                                 .store(memory.as_banked().n_banks(), Ordering::Relaxed);
@@ -1583,26 +1678,29 @@ fn dispatch(
                             lock(&shared.stats).stores += 1;
                         }
                         Err(payload) => {
+                            // Count the restart (and possibly trip the
+                            // breaker) before waking the waiter: a
+                            // client observing the failure must find
+                            // the restart already on the books.
+                            let tripped = note_restart(shared, &mut breaker);
                             responder.fulfill(Err(ServeError::DispatcherFailed {
                                 detail: panic_detail(payload.as_ref()),
                             }));
-                            if note_restart(shared, &mut breaker) {
+                            if tripped {
                                 break 'serve;
                             }
                         }
                     }
                 }
                 opener @ (Request::Search(_) | Request::TopK(_)) => {
-                    let mut window = Window::with_capacity(config.max_batch);
+                    let mut window = Window::open(config.max_batch, config.max_wait);
                     match opener {
                         Request::Search(s) => push_search(&mut window, s, shared),
                         Request::TopK(t) => push_topk(&mut window, t, shared),
                         _ => unreachable!("opener is a search"),
                     }
-                    let window_deadline = Instant::now() + config.max_wait;
                     while !window.is_empty() && window.len() < config.max_batch {
-                        let close_at = window.close_at(window_deadline);
-                        let Some(timeout) = window_timeout(close_at, Instant::now()) else {
+                        let Some(timeout) = window.timeout() else {
                             break; // window due: execute, never spin
                         };
                         match rx.recv_timeout(timeout) {
@@ -1620,13 +1718,16 @@ fn dispatch(
                             }
                         }
                     }
-                    if execute_window(&memory, window, shared, config.precision).is_err()
-                        && note_restart(shared, &mut breaker)
+                    if let Err(BatchPanic { tripped }) =
+                        execute_window(&memory, window, shared, config.precision, &mut breaker)
                     {
-                        // Carry the interrupting request into the
-                        // drain, so the breaker trip answers it too.
-                        leftover = pending.take();
-                        break 'serve;
+                        if tripped {
+                            // Carry the interrupting request into the
+                            // drain, so the breaker trip answers it
+                            // too.
+                            leftover = pending.take();
+                            break 'serve;
+                        }
                     }
                 }
             }
@@ -1648,7 +1749,8 @@ fn dispatch(
 /// [`ServeError::DispatcherFailed`] in the terminal `Failed` state,
 /// [`ServeError::ShuttingDown`] on an orderly exit.
 fn exit_error(shared: &Shared) -> ServeError {
-    if shared.failed.load(Ordering::SeqCst) {
+    // ORDERING: Acquire — same pairing as `is_failed`.
+    if shared.failed.load(Ordering::Acquire) {
         ServeError::DispatcherFailed {
             detail: "restart budget exhausted; server is in terminal failed state".into(),
         }
@@ -1660,6 +1762,7 @@ fn exit_error(shared: &Shared) -> ServeError {
 /// Answers one drained request with the dispatcher's exit error.
 fn answer_exit(request: Request, shared: &Shared) {
     match request {
+        // ORDERING: Relaxed — slot releases; see `release_slot`.
         Request::Search(PendingSearch { responder, .. }) => {
             shared.depth.fetch_sub(1, Ordering::Relaxed);
             responder.fulfill(Err(exit_error(shared)));
@@ -1678,9 +1781,15 @@ fn answer_exit(request: Request, shared: &Shared) {
 /// restart-rate budget is exhausted and the server must transition to
 /// its terminal `Failed` state instead of restarting again.
 fn note_restart(shared: &Shared, breaker: &mut RestartBreaker) -> bool {
-    shared.restarts.fetch_add(1, Ordering::SeqCst);
+    // ORDERING: Relaxed — the count is published to waiters by the
+    // one-shot mutex hand-off that wakes them (fulfill happens after
+    // this call), not by the counter itself.
+    shared.restarts.fetch_add(1, Ordering::Relaxed);
     if breaker.record(Instant::now()) {
-        shared.failed.store(true, Ordering::SeqCst);
+        // ORDERING: Release pairs with the Acquire loads in `admit`,
+        // `is_failed`, and `exit_error`: observing the terminal flag
+        // also observes the restart count incremented above.
+        shared.failed.store(true, Ordering::Release);
         true
     } else {
         false
@@ -1718,17 +1827,27 @@ fn inject(shared: &Shared, site: fault::FaultSite) {
 /// prefix of the `k_max` list, so results stay bit-identical to solo
 /// execution).
 ///
-/// The sweeps run under `catch_unwind`: a panic answers every request
-/// in the window with [`ServeError::DispatcherFailed`] (slots
-/// released, nobody stranded) and returns `Err` with the panic detail
-/// so the caller can count the restart. The metric groups stay owned
-/// out here — an unwind can never drop a live responder.
+/// Outcome of a batch that panicked under `catch_unwind` supervision:
+/// whether the restart it counted tripped the breaker into the
+/// terminal `Failed` state.
+struct BatchPanic {
+    tripped: bool,
+}
+
+/// The sweeps run under `catch_unwind`: a panic counts the restart
+/// against `breaker` (so the restart — and a tripped breaker's
+/// terminal `failed` flag — is visible before any waiter wakes), then
+/// answers every request in the window with
+/// [`ServeError::DispatcherFailed`] (slots released, nobody stranded)
+/// and returns the [`BatchPanic`]. The metric groups stay owned out
+/// here — an unwind can never drop a live responder.
 fn execute_window(
     memory: &ServeMemory,
     mut window: Window,
     shared: &Shared,
     precision: Precision,
-) -> Result<(), String> {
+    breaker: &mut RestartBreaker,
+) -> Result<(), BatchPanic> {
     if window.is_empty() {
         return Ok(());
     }
@@ -1786,6 +1905,11 @@ fn execute_window(
         Ok(pair) => pair,
         Err(payload) => {
             let detail = panic_detail(payload.as_ref());
+            // Restart accounting first: a waiter that observes its
+            // `DispatcherFailed` and immediately reads `restarts()` or
+            // `is_failed()` must see this batch already counted.
+            let tripped = note_restart(shared, breaker);
+            // ORDERING: Relaxed — batch slot release; see `release_slot`.
             shared.depth.fetch_sub(size, Ordering::Relaxed);
             for s in search_groups.iter_mut().flat_map(|g| g.drain(..)) {
                 s.responder.fulfill(Err(ServeError::DispatcherFailed {
@@ -1797,7 +1921,7 @@ fn execute_window(
                     detail: detail.clone(),
                 }));
             }
-            return Err(detail);
+            return Err(BatchPanic { tripped });
         }
     };
     let exec_ns = exec_start.elapsed().as_nanos();
@@ -1809,6 +1933,7 @@ fn execute_window(
     // that resubmits the instant its result arrives must find its slot
     // free, or a full wave of closed-loop clients would be spuriously
     // rejected against a queue that is actually drained.
+    // ORDERING: Relaxed — batch slot release; see `release_slot`.
     shared.depth.fetch_sub(size, Ordering::Relaxed);
     for (group, sweep) in search_groups.iter_mut().zip(winners) {
         match sweep {

@@ -3,9 +3,9 @@
 //! [`McamServer`] dispatcher, so application code written against the
 //! engine trait transparently gains micro-batched execution.
 
+use femcam_core::sync::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use femcam_core::{BankedMcam, CoreError, NnIndex, Precision, Quantizer, QueryResult, RoutedMcam};
@@ -61,6 +61,8 @@ impl Backoff {
     fn new() -> Self {
         Backoff {
             base: OVERLOAD_BACKOFF_START,
+            // ORDERING: Relaxed — the RMW's atomicity alone guarantees
+            // each retry loop a distinct seed; no ordering is needed.
             rng: StdRng::seed_from_u64(BACKOFF_SEED.fetch_add(1, Ordering::Relaxed)),
         }
     }
@@ -161,7 +163,7 @@ impl ServedNn {
             bits,
             precision,
             routed: false,
-            last_coverage: Mutex::new(None),
+            last_coverage: Mutex::new("serve.nn.last_coverage", None),
         })
     }
 
@@ -192,7 +194,7 @@ impl ServedNn {
             bits,
             precision,
             routed: true,
-            last_coverage: Mutex::new(None),
+            last_coverage: Mutex::new("serve.nn.last_coverage", None),
         })
     }
 
@@ -227,7 +229,7 @@ impl ServedNn {
             bits,
             precision,
             routed: false,
-            last_coverage: Mutex::new(None),
+            last_coverage: Mutex::new("serve.nn.last_coverage", None),
         })
     }
 

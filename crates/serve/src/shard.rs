@@ -28,7 +28,9 @@
 //! [`LshRouter::note_store`]) so a new row is immediately routable.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::sync::{Arc, PoisonError};
+
+use femcam_core::sync::{Mutex, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -134,6 +136,8 @@ impl Topology {
     fn mark_degraded(&self, shard: usize) {
         let prev = self.health.escalate(shard, ShardHealth::Degraded);
         if prev == ShardHealth::Healthy {
+            // ORDERING: Relaxed — monotone client-stats counter;
+            // exactly-once comes from `escalate`'s fetch_max return.
             self.counters.degraded.fetch_add(1, Ordering::Relaxed);
             eprintln!("femcam-serve: shard {shard} healthy -> degraded (missed shard deadline)");
         }
@@ -145,6 +149,8 @@ impl Topology {
     fn mark_quarantined(&self, shard: usize) {
         let prev = self.health.escalate(shard, ShardHealth::Quarantined);
         if !prev.excluded() {
+            // ORDERING: Relaxed — monotone client-stats counter;
+            // exactly-once comes from `escalate`'s fetch_max return.
             self.counters.quarantined.fetch_add(1, Ordering::Relaxed);
             eprintln!("femcam-serve: shard {shard} {prev:?} -> quarantined (dispatcher gone)");
             self.displace_orphaned_routes(shard);
@@ -322,14 +328,14 @@ impl ShardedServer {
         let topo = Arc::new(Topology {
             shards: servers
                 .iter()
-                .map(|s| RwLock::new(s.handle()))
+                .map(|s| RwLock::new("shard.cell", s.handle()))
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
             bases: bases.into(),
             targets: targets.into(),
             bank_shard: bank_shard.into(),
             bank_bases: bank_bases.into(),
-            router: router.map(RwLock::new),
+            router: router.map(|r| RwLock::new("shard.router", r)),
             tail,
             health: HealthBoard::new(shards),
             counters: ClientCounters::default(),
@@ -343,8 +349,12 @@ impl ShardedServer {
             #[cfg(feature = "chaos")]
             faults: config.faults.clone(),
         };
-        let slots: Arc<Vec<Mutex<Option<McamServer>>>> =
-            Arc::new(servers.into_iter().map(|s| Mutex::new(Some(s))).collect());
+        let slots: Arc<Vec<Mutex<Option<McamServer>>>> = Arc::new(
+            servers
+                .into_iter()
+                .map(|s| Mutex::new("shard.slot", Some(s)))
+                .collect(),
+        );
         let prober = config.probe_interval.and_then(|interval| {
             let stop = Arc::new(AtomicBool::new(false));
             let spawned = {
@@ -436,7 +446,10 @@ impl ShardedServer {
 
     fn stop_prober(&mut self) {
         if let Some(prober) = self.prober.take() {
-            prober.stop.store(true, Ordering::SeqCst);
+            // ORDERING: Release pairs with the prober loop's Acquire
+            // loads — a plain stop flag; the join below is the real
+            // synchronization point for everything the prober did.
+            prober.stop.store(true, Ordering::Release);
             let _ = prober.thread.join();
         }
     }
@@ -557,14 +570,17 @@ fn probe_loop(
     config: &ServeConfig,
 ) {
     let mut backoff = ProbeBackoff::new(handle.n_shards(), Instant::now());
-    while !stop.load(Ordering::SeqCst) {
+    // ORDERING: Acquire (all three loads) pairs with `stop_prober`'s
+    // Release store; the flag carries no payload — it only ends the
+    // loop, and the subsequent join orders everything else.
+    while !stop.load(Ordering::Acquire) {
         let mut waited = Duration::ZERO;
-        while waited < interval && !stop.load(Ordering::SeqCst) {
+        while waited < interval && !stop.load(Ordering::Acquire) {
             let step = (interval - waited).min(Duration::from_millis(20));
             thread::sleep(step);
             waited += step;
         }
-        if stop.load(Ordering::SeqCst) {
+        if stop.load(Ordering::Acquire) {
             return;
         }
         for shard in 0..handle.n_shards() {
@@ -580,6 +596,75 @@ fn probe_loop(
             backoff.record(shard, outcome, interval, Instant::now());
         }
     }
+}
+
+/// One canary probe replayed against a resurrected shard: a query and
+/// the top-k depth to replay it at (`k == 1` is the single-winner
+/// path; deeper replays exercise the cross-bank merge).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Canary {
+    query: Vec<u8>,
+    k: usize,
+}
+
+/// Builds the canary suite for a recovered part: exact-match resident
+/// rows spread across the part, plus **near-miss** perturbations of
+/// the same rows — one cell's level bumped so the query sits *between*
+/// stored rows instead of on one — replayed at a top-k depth that
+/// straddles the bank boundary. A merge that concatenates per-bank
+/// hits (or breaks goodness ties in the wrong row order) reproduces
+/// the exact-match canaries fine and only trips the near-miss ones,
+/// which is precisely the regression class the probe must fail closed
+/// on. Empty parts yield an empty suite (nothing to validate).
+fn canary_suite(memory: &BankedMcam) -> Vec<Canary> {
+    let n = memory.n_rows();
+    let bases: Vec<Vec<u8>> = [0usize, n / 3, 2 * n / 3, n.saturating_sub(1)]
+        .iter()
+        .filter(|&&row| row < n)
+        .filter_map(|&row| memory.row(row).map(<[u8]>::to_vec))
+        .collect();
+    let n_levels = memory.ladder().n_levels() as u8;
+    // One past a full bank: whenever the part spans banks, the replay
+    // must interleave hits from at least two of them.
+    let straddle = (memory.rows_per_bank() + 1).min(n);
+    let mut suite: Vec<Canary> = bases
+        .iter()
+        .map(|query| Canary {
+            query: query.clone(),
+            k: 1,
+        })
+        .collect();
+    for base in &bases {
+        let mut near = base.clone();
+        near[0] = (near[0] + 1) % n_levels;
+        suite.push(Canary {
+            query: near.clone(),
+            k: 1,
+        });
+        if straddle > 1 {
+            suite.push(Canary {
+                query: near,
+                k: straddle,
+            });
+        }
+    }
+    suite
+}
+
+/// Bitwise comparison of a canary suite's served answers against the
+/// direct-sweep oracle. **Fail closed**: any shape mismatch (missing
+/// answer, wrong hit count) is a failure, not a skip — a merge bug
+/// that drops or duplicates hits must read as a failed canary, never
+/// as a vacuous pass.
+fn canaries_pass(oracle: &[Vec<(usize, f64)>], served: &[Vec<(usize, f64)>]) -> bool {
+    oracle.len() == served.len()
+        && oracle.iter().zip(served).all(|(want, got)| {
+            want.len() == got.len()
+                && want
+                    .iter()
+                    .zip(got)
+                    .all(|(&(wr, wg), &(gr, gg))| wr == gr && wg.to_bits() == gg.to_bits())
+        })
 }
 
 /// The probe/re-admit state machine for one shard — see
@@ -601,6 +686,7 @@ fn try_readmit_shard(
     }
     eprintln!("femcam-serve: shard {shard} quarantined -> probing");
     let fail = |detail: &str| {
+        // ORDERING: Relaxed — monotone probe-stats counter.
         topo.counters.probe_failures.fetch_add(1, Ordering::Relaxed);
         topo.health.fail_probe(shard);
         eprintln!("femcam-serve: shard {shard} probing -> quarantined ({detail})");
@@ -636,25 +722,19 @@ fn try_readmit_shard(
     };
     // Canary oracle before the respawn: direct sweeps of the recovered
     // part are the ground truth its served answers must match bit for
-    // bit. Sample a few spread-out resident rows as exact-match
-    // canaries (an empty part has nothing to validate).
-    let canaries: Vec<Vec<u8>> = {
-        let n = memory.n_rows();
-        [0usize, n / 3, 2 * n / 3, n.saturating_sub(1)]
-            .iter()
-            .filter(|&&row| row < n)
-            .filter_map(|&row| memory.row(row).map(<[u8]>::to_vec))
-            .collect()
-    };
-    let oracle: Vec<(usize, f64)> = match canaries
+    // bit — exact-match residents plus near-miss/straddling replays
+    // (see `canary_suite`).
+    let suite = canary_suite(&memory);
+    let oracle: Vec<Vec<(usize, f64)>> = match suite
         .iter()
-        .map(|q| memory.search_with(q, config.precision))
+        .map(|c| memory.search_top_k_with(&c.query, c.k, config.precision))
         .collect()
     {
         Ok(oracle) => oracle,
         Err(e) => {
-            // Cannot happen for resident rows, but never lose the
-            // memory over it: put a fresh server back and bail.
+            // Cannot happen for resident-derived queries, but never
+            // lose the memory over it: put a fresh server back and
+            // bail.
             *slot = Some(McamServer::start(memory, config.clone()));
             fail("canary oracle failed");
             return Err(ServeError::Core(e));
@@ -662,11 +742,11 @@ fn try_readmit_shard(
     };
     let server = McamServer::start(memory, config.clone());
     let replacement = server.handle();
-    let canary_ok = canaries.iter().zip(&oracle).all(|(q, &(row, g))| {
-        replacement
-            .search(q)
-            .is_ok_and(|(got_row, got_g)| got_row == row && got_g.to_bits() == g.to_bits())
-    });
+    let served: Result<Vec<Vec<(usize, f64)>>, ServeError> = suite
+        .iter()
+        .map(|c| replacement.search_top_k(&c.query, c.k))
+        .collect();
+    let canary_ok = served.is_ok_and(|served| canaries_pass(&oracle, &served));
     // The replacement holds the memory either way; a canary mismatch
     // leaves it installed but quarantined so the next probe retries.
     *slot = Some(server);
@@ -691,6 +771,8 @@ fn try_readmit_shard(
     }
     topo.restore_orphaned_routes(shard);
     if topo.health.admit(shard) {
+        // ORDERING: Relaxed — monotone probe-stats counter; the
+        // replacement handle was published by the cell RwLock swap.
         topo.counters.readmitted.fetch_add(1, Ordering::Relaxed);
         eprintln!("femcam-serve: shard {shard} probing -> healthy (canary bit-identical)");
         Ok(ProbeOutcome::Readmitted)
@@ -812,6 +894,7 @@ impl ShardedHandle {
     /// never `DeadlineExceeded`.
     fn deadline_for(&self, budget: Duration) -> Result<Instant, ServeError> {
         if budget.is_zero() {
+            // ORDERING: Relaxed — monotone client-stats counter.
             self.topo
                 .counters
                 .deadline_rejected
@@ -838,6 +921,7 @@ impl ShardedHandle {
             (Err(ServeError::Degraded { .. }), Some((instant, budget)))
                 if Instant::now() >= instant =>
             {
+                // ORDERING: Relaxed — monotone client-stats counter.
                 self.topo
                     .counters
                     .deadline_rejected
@@ -925,6 +1009,7 @@ impl ShardedHandle {
                     for (_, reserved) in &admitted {
                         reserved.release_slot();
                     }
+                    // ORDERING: Relaxed — monotone client-stats counter.
                     self.topo.counters.rejected.fetch_add(1, Ordering::Relaxed);
                     return Err(e);
                 }
@@ -986,6 +1071,7 @@ impl ShardedHandle {
                 total: lost_banks,
             });
         }
+        // ORDERING: Relaxed — monotone client-stats counter.
         self.topo.counters.submitted.fetch_add(1, Ordering::Relaxed);
         Ok(FanOut { parts, lost_banks })
     }
@@ -1165,6 +1251,7 @@ impl ShardedHandle {
             }),
             deadline,
         )?;
+        // ORDERING: Relaxed — monotone client-stats counter.
         self.topo
             .counters
             .topk_submitted
@@ -1230,6 +1317,9 @@ impl ShardedHandle {
                 let _ = std::thread::spawn(move || {
                     let Some(router) = &topo.router else { return };
                     let _guard = router.write();
+                    // femcam::allow(no_panic): chaos-only sacrificial
+                    // thread — the panic deliberately poisons the router
+                    // lock.
                     panic!("{}", fault::CHAOS_PANIC);
                 })
                 .join();
@@ -1266,6 +1356,8 @@ impl ShardedHandle {
     #[must_use]
     pub fn stats(&self) -> ShardedStats {
         let counters = &self.topo.counters;
+        // ORDERING: Relaxed (all loads) — a stats snapshot tolerates
+        // counters read at slightly different instants.
         ShardedStats {
             submitted: counters.submitted.load(Ordering::Relaxed),
             topk_submitted: counters.topk_submitted.load(Ordering::Relaxed),
@@ -1398,6 +1490,7 @@ impl ShardTicket {
             }
         }
         if let Some(e) = dead {
+            // ORDERING: Relaxed — monotone client-stats counter.
             self.topo
                 .counters
                 .deadline_rejected
@@ -1501,6 +1594,7 @@ impl ShardTopKTicket {
             }
         }
         if let Some(e) = dead {
+            // ORDERING: Relaxed — monotone client-stats counter.
             self.topo
                 .counters
                 .deadline_rejected
@@ -1866,6 +1960,93 @@ mod tests {
             let memory = server.shutdown().unwrap();
             assert_eq!(memory.n_rows(), rows.len());
         }
+    }
+
+    #[test]
+    fn canary_suite_covers_near_misses_and_bank_straddles() {
+        let rows = [
+            [0u8, 1, 2, 3],
+            [7, 7, 7, 7],
+            [1, 1, 2, 3],
+            [4, 4, 4, 4],
+            [2, 2, 2, 2],
+        ];
+        let memory = memory_with_rows(&rows, 2);
+        let suite = canary_suite(&memory);
+        // Near-miss canaries: queries that match no resident row.
+        let resident: Vec<&[u8]> = rows.iter().map(|r| &r[..]).collect();
+        assert!(
+            suite
+                .iter()
+                .any(|c| !resident.contains(&c.query.as_slice())),
+            "suite has no near-miss queries: {suite:?}"
+        );
+        // Straddling depths: a replay deeper than one bank.
+        assert!(
+            suite.iter().any(|c| c.k > memory.rows_per_bank()),
+            "suite has no bank-straddling top-k depth: {suite:?}"
+        );
+        // Every canary must be answerable by the direct sweep.
+        for c in &suite {
+            memory
+                .search_top_k_with(&c.query, c.k, Precision::F64)
+                .unwrap();
+        }
+    }
+
+    /// Forces the regression class the near-miss canaries exist for: a
+    /// merge that concatenates per-bank hits (bank-major row order)
+    /// instead of interleaving by goodness must fail the canary check
+    /// — and so must dropped hits (fail closed on shape).
+    #[test]
+    fn canary_check_fails_closed_on_merge_order_bug() {
+        let rows = [
+            [0u8, 1, 2, 3],
+            [7, 7, 7, 7],
+            [1, 1, 2, 3],
+            [4, 4, 4, 4],
+            [2, 2, 2, 2],
+        ];
+        let memory = memory_with_rows(&rows, 2);
+        let suite = canary_suite(&memory);
+        let oracle: Vec<Vec<(usize, f64)>> = suite
+            .iter()
+            .map(|c| {
+                memory
+                    .search_top_k_with(&c.query, c.k, Precision::F64)
+                    .unwrap()
+            })
+            .collect();
+        // The honest replay passes.
+        assert!(canaries_pass(&oracle, &oracle.clone()));
+        // A mis-merged replay: per-bank concatenation yields hits in
+        // ascending global-row order, not ascending goodness. Build it
+        // from the oracle itself so every hit is individually correct
+        // and only the merge order is wrong.
+        let mut mis_merged = oracle.clone();
+        let mut any_reordered = false;
+        for answer in &mut mis_merged {
+            let before = answer.clone();
+            answer.sort_by_key(|&(row, _)| row);
+            any_reordered |= *answer != before;
+        }
+        assert!(
+            any_reordered,
+            "no canary answer distinguishes row order from goodness order: {oracle:?}"
+        );
+        assert!(
+            !canaries_pass(&oracle, &mis_merged),
+            "merge-order bug passed the canary gate"
+        );
+        // Dropped hits fail closed, as does a vanished answer.
+        let mut truncated = oracle.clone();
+        let deep = truncated
+            .iter_mut()
+            .find(|a| a.len() > 1)
+            .expect("suite has a deep replay");
+        deep.pop();
+        assert!(!canaries_pass(&oracle, &truncated));
+        assert!(!canaries_pass(&oracle, &oracle[..oracle.len() - 1]));
     }
 
     #[test]

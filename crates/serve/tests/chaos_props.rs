@@ -64,6 +64,17 @@ fn quiet_chaos_panics() {
     });
 }
 
+/// Every chaos schedule runs with the lock-order tracker live (debug
+/// builds and `--features lockorder`): no schedule the injector
+/// explores may record a potential-deadlock cycle.
+fn assert_no_lock_order_cycles() {
+    let reports = femcam_core::sync::take_cycle_reports();
+    assert!(
+        reports.is_empty() && femcam_core::sync::cycle_report_count() == 0,
+        "lock-order cycles reported under chaos: {reports:#?}"
+    );
+}
+
 const BITS: u8 = 3;
 const WORD_LEN: usize = 4;
 const ROWS_PER_BANK: usize = 2;
@@ -167,6 +178,7 @@ fn dispatcher_heals_and_post_heal_results_are_bit_identical() {
     assert_eq!(handle.search(&probe).expect("healed"), healthy);
     let recovered = server.shutdown().expect("clean shutdown after healing");
     assert_eq!(recovered.n_rows(), 8);
+    assert_no_lock_order_cycles();
 }
 
 /// Contract 4: an unlimited panic schedule against a tiny restart
@@ -431,6 +443,7 @@ fn poisoned_router_degrades_to_full_fan_out() {
     assert_eq!(row, want_row);
     let recovered = server.shutdown().expect("clean shutdown");
     assert_eq!(recovered.n_rows(), 9);
+    assert_no_lock_order_cycles();
 }
 
 /// Satellite pin (error precedence): a request whose deadline has
@@ -582,6 +595,7 @@ fn probe_and_readmit_faults_fail_closed_then_retry_succeeds() {
     }
     let recovered = server.shutdown().expect("clean shutdown");
     assert_eq!(recovered.n_rows(), 9);
+    assert_no_lock_order_cycles();
 }
 
 /// Tentpole (contract 5): the quarantine storm. Kill N−1 of N shards
@@ -728,6 +742,7 @@ fn quarantine_storm_scenario(seed: u64) {
     // reassembles the full partition.
     let recovered = server.shutdown().expect("all shards reassemble");
     assert_eq!(recovered.n_rows(), STORM_ROWS);
+    assert_no_lock_order_cycles();
 }
 
 #[test]
@@ -841,6 +856,7 @@ fn store_readmit_race_scenario(seed: u64) {
     assert!(stats.readmitted >= 1, "the resurrection must be counted");
     let recovered = server.shutdown().expect("clean shutdown");
     assert_eq!(recovered.n_rows(), shadow.n_rows());
+    assert_no_lock_order_cycles();
 }
 
 proptest! {
